@@ -1,0 +1,92 @@
+//! Graphviz DOT export for visual debugging of BDDs.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::node::{Ref, VarId};
+use crate::Bdd;
+
+impl Bdd {
+    /// Renders the graph of `roots` in Graphviz DOT format.
+    ///
+    /// Solid edges are `hi` (variable true), dashed edges are `lo`.
+    /// Named variables (see [`Bdd::set_var_name`]) are used as labels.
+    pub fn to_dot(&self, roots: &[(&str, Ref)]) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  node [shape=circle];\n");
+        out.push_str("  f0 [label=\"0\", shape=box];\n");
+        out.push_str("  f1 [label=\"1\", shape=box];\n");
+        let mut seen: HashSet<Ref> = HashSet::new();
+        let mut stack: Vec<Ref> = Vec::new();
+        for (name, r) in roots {
+            let _ = writeln!(
+                out,
+                "  root_{n} [label=\"{n}\", shape=plaintext];\n  root_{n} -> {};",
+                Self::dot_id(*r),
+                n = sanitize(name),
+            );
+            stack.push(*r);
+        }
+        while let Some(r) = stack.pop() {
+            if r.is_const() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            let label = self
+                .var_name(VarId(n.var))
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("v{}", n.var));
+            let _ = writeln!(out, "  n{} [label=\"{label}\"];", r.0);
+            let _ = writeln!(out, "  n{} -> {} [style=dashed];", r.0, Self::dot_id(n.lo));
+            let _ = writeln!(out, "  n{} -> {};", r.0, Self::dot_id(n.hi));
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn dot_id(r: Ref) -> String {
+        match r {
+            Ref::FALSE => "f0".to_owned(),
+            Ref::TRUE => "f1".to_owned(),
+            Ref(i) => format!("n{i}"),
+        }
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = Bdd::new();
+        let x = b.new_named_var("x");
+        let y = b.new_var();
+        let fx = b.var(x);
+        let fy = b.var(y);
+        let f = b.and(fx, fy);
+        let dot = b.to_dot(&[("f", f)]);
+        assert!(dot.contains("digraph bdd"));
+        assert!(dot.contains("label=\"x\""));
+        assert!(dot.contains("label=\"v1\""));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("root_f"));
+        // Two decision nodes for x ∧ y.
+        assert_eq!(dot.matches("label=\"x\"").count(), 1);
+    }
+
+    #[test]
+    fn dot_of_constant() {
+        let b = Bdd::new();
+        let dot = b.to_dot(&[("t", Ref::TRUE)]);
+        assert!(dot.contains("root_t -> f1"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # covest-bdd
+//!
+//! A from-scratch reduced ordered binary decision diagram (ROBDD) engine:
+//! the symbolic substrate for the `covest` workspace, which reproduces
+//! *"Coverage Estimation for Symbolic Model Checking"* (Hoskote, Kam, Ho,
+//! Zhao — DAC 1999).
+//!
+//! The engine provides everything a symbolic model checker and the DAC'99
+//! coverage estimator need:
+//!
+//! - hash-consed nodes with a unique table ([`Bdd`]), so equal functions
+//!   have equal [`Ref`]s (canonicity);
+//! - memoized if-then-else ([`Bdd::ite`]) and all derived connectives;
+//! - quantification ([`Bdd::exists`], [`Bdd::forall`]) and the fused
+//!   relational product ([`Bdd::and_exists`]) used for image computation;
+//! - substitution and renaming ([`Bdd::compose`], [`Bdd::vector_compose`],
+//!   [`Bdd::rename`], [`Bdd::swap`]) for next-state/current-state moves and
+//!   for the paper's *dual FSM* construction;
+//! - model counting ([`Bdd::sat_count_over`], [`Bdd::sat_count_exact`]) for
+//!   coverage percentages, plus cube/minterm enumeration for reporting
+//!   uncovered states;
+//! - mark-and-sweep garbage collection ([`Bdd::gc`]) and DOT export.
+//!
+//! # Example
+//!
+//! ```
+//! use covest_bdd::{Bdd, Ref};
+//!
+//! let mut bdd = Bdd::new();
+//! let x = bdd.new_named_var("x");
+//! let y = bdd.new_named_var("y");
+//! let fx = bdd.var(x);
+//! let fy = bdd.var(y);
+//! let f = bdd.implies(fx, fy);
+//! // "x → y" has three satisfying assignments over {x, y}.
+//! assert_eq!(bdd.sat_count_exact(f, &[x, y]), 3);
+//! // Quantifying x away yields the constant true.
+//! assert_eq!(bdd.exists(f, &[x]), Ref::TRUE);
+//! ```
+
+mod count;
+mod dot;
+mod manager;
+mod node;
+mod quant;
+mod subst;
+
+pub use count::{Cubes, Minterms};
+pub use manager::Bdd;
+pub use node::{Ref, VarId};

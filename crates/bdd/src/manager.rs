@@ -1,0 +1,581 @@
+//! The BDD manager: node store, unique table and core operations.
+
+use std::collections::HashMap;
+
+use crate::node::{Node, Ref, VarId, TERMINAL_VAR};
+
+/// A manager for reduced ordered binary decision diagrams (ROBDDs).
+///
+/// All nodes live in a single arena owned by the manager; functions are
+/// denoted by [`Ref`] handles. Nodes are hash-consed through a unique
+/// table, so structural equality of `Ref`s coincides with semantic
+/// equality of the Boolean functions they denote.
+///
+/// The manager is the substrate for every symbolic computation in the
+/// `covest` workspace (transition relations, reachability, model checking
+/// and the coverage-estimation fixpoints of the DAC'99 algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use covest_bdd::Bdd;
+///
+/// let mut bdd = Bdd::new();
+/// let x = bdd.new_var();
+/// let y = bdd.new_var();
+/// let fx = bdd.var(x);
+/// let fy = bdd.var(y);
+/// let conj = bdd.and(fx, fy);
+/// let conj2 = bdd.and(fy, fx);
+/// assert_eq!(conj, conj2); // canonicity
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    var2level: Vec<u32>,
+    level2var: Vec<u32>,
+    var_names: Vec<Option<String>>,
+    free: Vec<u32>,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bdd {
+    /// Creates an empty manager with no variables.
+    pub fn new() -> Self {
+        let terminal = Node {
+            var: TERMINAL_VAR,
+            lo: Ref::FALSE,
+            hi: Ref::TRUE,
+        };
+        Bdd {
+            // Slots 0 and 1 are the terminals; their node contents are
+            // sentinels and never looked up through the unique table.
+            nodes: vec![terminal, terminal],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            var_names: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh variable, ordered after all existing variables.
+    pub fn new_var(&mut self) -> VarId {
+        let id = self.var2level.len() as u32;
+        self.var2level.push(id);
+        self.level2var.push(id);
+        self.var_names.push(None);
+        VarId(id)
+    }
+
+    /// Creates `n` fresh variables, ordered after all existing variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<VarId> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Creates a fresh named variable (the name shows up in DOT dumps and
+    /// debugging output).
+    pub fn new_named_var(&mut self, name: impl Into<String>) -> VarId {
+        let v = self.new_var();
+        self.var_names[v.index()] = Some(name.into());
+        v
+    }
+
+    /// Assigns a debug name to a variable.
+    pub fn set_var_name(&mut self, var: VarId, name: impl Into<String>) {
+        self.var_names[var.index()] = Some(name.into());
+    }
+
+    /// Returns the debug name of `var`, if one was assigned.
+    pub fn var_name(&self, var: VarId) -> Option<&str> {
+        self.var_names[var.index()].as_deref()
+    }
+
+    /// Number of variables created on this manager.
+    pub fn num_vars(&self) -> usize {
+        self.var2level.len()
+    }
+
+    /// Total number of allocated (live or freed-but-unreused) node slots,
+    /// including the two terminals. This is the "BDD nodes" statistic
+    /// reported in the paper's Table 2.
+    pub fn table_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live nodes (allocated slots minus the free list).
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// The level (position in the variable order, `0` = topmost) of `var`.
+    pub fn level_of(&self, var: VarId) -> u32 {
+        self.var2level[var.index()]
+    }
+
+    /// The variable sitting at `level` in the current order.
+    pub fn var_at_level(&self, level: u32) -> VarId {
+        VarId(self.level2var[level as usize])
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, r: Ref) -> Node {
+        self.nodes[r.index()]
+    }
+
+    /// Level of the topmost variable of `r`; terminals get `u32::MAX`.
+    #[inline]
+    pub(crate) fn level(&self, r: Ref) -> u32 {
+        if r.is_const() {
+            u32::MAX
+        } else {
+            self.var2level[self.nodes[r.index()].var as usize]
+        }
+    }
+
+    /// The variable labelling the root node of `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is a terminal.
+    pub fn root_var(&self, r: Ref) -> VarId {
+        assert!(!r.is_const(), "terminals have no root variable");
+        VarId(self.nodes[r.index()].var)
+    }
+
+    /// The `(lo, hi)` cofactors of the root node of `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is a terminal.
+    pub fn children(&self, r: Ref) -> (Ref, Ref) {
+        assert!(!r.is_const(), "terminals have no children");
+        let n = self.nodes[r.index()];
+        (n.lo, n.hi)
+    }
+
+    /// Hash-consed node constructor; maintains the ROBDD invariants.
+    pub(crate) fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            self.var2level[var as usize] < self.level(lo)
+                && self.var2level[var as usize] < self.level(hi),
+            "ordering violation in mk"
+        );
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            Ref(slot)
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(node);
+            Ref(slot)
+        };
+        self.unique.insert(node, r);
+        r
+    }
+
+    /// The function that is true exactly when `var` is true.
+    pub fn var(&mut self, var: VarId) -> Ref {
+        self.mk(var.0, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// The function that is true exactly when `var` is false.
+    pub fn nvar(&mut self, var: VarId) -> Ref {
+        self.mk(var.0, Ref::TRUE, Ref::FALSE)
+    }
+
+    /// A literal: `var` if `positive`, `!var` otherwise.
+    pub fn literal(&mut self, var: VarId, positive: bool) -> Ref {
+        if positive {
+            self.var(var)
+        } else {
+            self.nvar(var)
+        }
+    }
+
+    /// The constant function for `value`.
+    pub fn constant(&self, value: bool) -> Ref {
+        if value {
+            Ref::TRUE
+        } else {
+            Ref::FALSE
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// This is the single primitive from which all binary connectives are
+    /// derived; results are memoized in the manager-wide cache.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let var = self.level2var[top as usize];
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(var, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Shannon cofactors of `r` with respect to the variable at `level`
+    /// (which must be at or above `r`'s root level).
+    #[inline]
+    pub(crate) fn cofactors_at(&self, r: Ref, level: u32) -> (Ref, Ref) {
+        if self.level(r) == level {
+            let n = self.nodes[r.index()];
+            (n.lo, n.hi)
+        } else {
+            (r, r)
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        self.ite(f, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::FALSE)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, Ref::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Biconditional (xnor).
+    pub fn iff(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::TRUE)
+    }
+
+    /// Difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Conjunction of many operands (true for the empty list).
+    pub fn and_many<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
+        let mut acc = Ref::TRUE;
+        for f in fs {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of many operands (false for the empty list).
+    pub fn or_many<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
+        let mut acc = Ref::FALSE;
+        for f in fs {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Returns `true` if `f → g` is a tautology (set inclusion).
+    pub fn leq(&mut self, f: Ref, g: Ref) -> bool {
+        self.implies(f, g).is_true()
+    }
+
+    /// Evaluates `f` under a total assignment.
+    pub fn eval(&self, f: Ref, assignment: &dyn Fn(VarId) -> bool) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.nodes[cur.index()];
+            cur = if assignment(VarId(n.var)) { n.hi } else { n.lo };
+        }
+        cur.is_true()
+    }
+
+    /// Number of distinct decision nodes reachable from `f` (excluding
+    /// terminals). This per-function size is the usual "BDD size" metric.
+    pub fn node_count(&self, f: Ref) -> usize {
+        self.node_count_many(std::slice::from_ref(&f))
+    }
+
+    /// Number of distinct decision nodes reachable from any of `roots`.
+    pub fn node_count_many(&self, roots: &[Ref]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<Ref> = roots.to_vec();
+        let mut count = 0usize;
+        while let Some(r) = stack.pop() {
+            if r.is_const() || !seen.insert(r) {
+                continue;
+            }
+            count += 1;
+            let n = self.nodes[r.index()];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// The set of variables appearing in `f`, sorted by index.
+    pub fn support(&self, f: Ref) -> Vec<VarId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_const() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.nodes[r.index()];
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().map(VarId).collect()
+    }
+
+    /// Garbage-collects every node not reachable from `roots`.
+    ///
+    /// All operation caches are dropped and dead slots are recycled.
+    /// Any `Ref` not transitively protected by `roots` becomes invalid;
+    /// the caller is responsible for keeping only protected handles.
+    ///
+    /// Returns the number of freed node slots.
+    pub fn gc(&mut self, roots: &[Ref]) -> usize {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<Ref> = roots.to_vec();
+        while let Some(r) = stack.pop() {
+            if marked[r.index()] {
+                continue;
+            }
+            marked[r.index()] = true;
+            let n = self.nodes[r.index()];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        let already_free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        let mut freed = 0usize;
+        for (i, m) in marked.iter().enumerate().skip(2) {
+            if !*m && !already_free.contains(&(i as u32)) {
+                let node = self.nodes[i];
+                self.unique.remove(&node);
+                self.free.push(i as u32);
+                freed += 1;
+            }
+        }
+        self.ite_cache.clear();
+        freed
+    }
+
+    /// Drops all memoization caches (useful to bound memory between
+    /// unrelated computations without invalidating any `Ref`).
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Bdd, Ref, Ref, Ref) {
+        let mut b = Bdd::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let z = b.new_var();
+        let (fx, fy, fz) = (b.var(x), b.var(y), b.var(z));
+        (b, fx, fy, fz)
+    }
+
+    #[test]
+    fn constants() {
+        let b = Bdd::new();
+        assert!(b.constant(true).is_true());
+        assert!(b.constant(false).is_false());
+    }
+
+    #[test]
+    fn var_and_negation_are_distinct() {
+        let mut b = Bdd::new();
+        let x = b.new_var();
+        let fx = b.var(x);
+        let nfx = b.not(fx);
+        assert_ne!(fx, nfx);
+        let back = b.not(nfx);
+        assert_eq!(fx, back);
+    }
+
+    #[test]
+    fn and_or_basic_identities() {
+        let (mut b, fx, fy, _) = setup();
+        assert_eq!(b.and(fx, Ref::TRUE), fx);
+        assert_eq!(b.and(fx, Ref::FALSE), Ref::FALSE);
+        assert_eq!(b.or(fx, Ref::FALSE), fx);
+        assert_eq!(b.or(fx, Ref::TRUE), Ref::TRUE);
+        let a1 = b.and(fx, fy);
+        let a2 = b.and(fy, fx);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut b, fx, fy, _) = setup();
+        let land = b.and(fx, fy);
+        let n1 = b.not(land);
+        let nx = b.not(fx);
+        let ny = b.not(fy);
+        let n2 = b.or(nx, ny);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn xor_iff_duality() {
+        let (mut b, fx, fy, _) = setup();
+        let x1 = b.xor(fx, fy);
+        let i1 = b.iff(fx, fy);
+        let ni1 = b.not(i1);
+        assert_eq!(x1, ni1);
+    }
+
+    #[test]
+    fn ite_is_shannon_expansion() {
+        let (mut b, fx, fy, fz) = setup();
+        let f = b.ite(fx, fy, fz);
+        // f = (x ∧ y) ∨ (¬x ∧ z)
+        let xy = b.and(fx, fy);
+        let nx = b.not(fx);
+        let nxz = b.and(nx, fz);
+        let expect = b.or(xy, nxz);
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn leq_checks_inclusion() {
+        let (mut b, fx, fy, _) = setup();
+        let conj = b.and(fx, fy);
+        assert!(b.leq(conj, fx));
+        assert!(!b.leq(fx, conj));
+    }
+
+    #[test]
+    fn eval_follows_assignment() {
+        let (mut b, fx, fy, _) = setup();
+        let f = b.and(fx, fy);
+        assert!(b.eval(f, &|v| v.index() <= 1));
+        assert!(!b.eval(f, &|v| v.index() == 0));
+    }
+
+    #[test]
+    fn node_count_of_conjunction_chain() {
+        let mut b = Bdd::new();
+        let vars = b.new_vars(8);
+        let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
+        let f = b.and_many(lits);
+        assert_eq!(b.node_count(f), 8);
+    }
+
+    #[test]
+    fn support_reports_used_vars() {
+        let (mut b, fx, _, fz) = setup();
+        let f = b.and(fx, fz);
+        let s = b.support(f);
+        assert_eq!(s, vec![VarId(0), VarId(2)]);
+    }
+
+    #[test]
+    fn gc_frees_dead_nodes_and_keeps_roots() {
+        let mut b = Bdd::new();
+        let vars = b.new_vars(6);
+        let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
+        let keep = b.and(lits[0], lits[1]);
+        let _dead = b.and_many(lits.clone());
+        let live_before = b.live_nodes();
+        let freed = b.gc(&[keep]);
+        assert!(freed > 0);
+        assert_eq!(b.live_nodes(), live_before - freed);
+        // The kept function still evaluates correctly.
+        assert!(b.eval(keep, &|v| v.index() < 2));
+        // Rebuilding the same function reuses the live nodes.
+        let again = b.and(lits[0], lits[1]);
+        assert_eq!(again, keep);
+    }
+
+    #[test]
+    fn gc_then_alloc_reuses_slots() {
+        let mut b = Bdd::new();
+        let vars = b.new_vars(4);
+        let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
+        let dead = b.and_many(lits.clone());
+        let size_before = b.table_size();
+        b.gc(&[lits[0], lits[1], lits[2], lits[3]]);
+        // Build something new; table should not grow past its previous size
+        // until the free list is exhausted.
+        let _f = b.or(lits[0], lits[1]);
+        assert!(b.table_size() <= size_before);
+        let _ = dead; // dead ref must not be dereferenced after gc
+    }
+
+    #[test]
+    fn and_many_or_many_empty() {
+        let mut b = Bdd::new();
+        assert!(b.and_many([]).is_true());
+        assert!(b.or_many([]).is_false());
+    }
+
+    #[test]
+    fn named_vars() {
+        let mut b = Bdd::new();
+        let v = b.new_named_var("clk");
+        assert_eq!(b.var_name(v), Some("clk"));
+        let w = b.new_var();
+        assert_eq!(b.var_name(w), None);
+        b.set_var_name(w, "rst");
+        assert_eq!(b.var_name(w), Some("rst"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Node and reference types for the BDD manager.
+
+use std::fmt;
+
+/// Identifier of a BDD variable.
+///
+/// Variables are created by [`crate::Bdd::new_var`] and are identified by a
+/// dense index. The *order* in which variables appear along BDD paths is a
+/// separate notion (the variable's *level*); the manager maintains the
+/// `var -> level` map so that variable identity is stable even if the order
+/// changes.
+///
+/// # Examples
+///
+/// ```
+/// use covest_bdd::Bdd;
+/// let mut bdd = Bdd::new();
+/// let x = bdd.new_var();
+/// assert_eq!(x.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Creates a variable id from a raw index.
+    ///
+    /// Only meaningful for indices of variables already created on the
+    /// manager that the id will be used with.
+    pub fn from_index(index: usize) -> Self {
+        VarId(index as u32)
+    }
+
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A reference to a BDD node owned by a [`crate::Bdd`] manager.
+///
+/// `Ref`s are plain indices: they are `Copy`, cheap to store, and only
+/// meaningful together with the manager that produced them. The two
+/// constants [`Ref::FALSE`] and [`Ref::TRUE`] refer to the terminal nodes
+/// and are valid for every manager.
+///
+/// Because the manager hash-conses nodes, two `Ref`s obtained from the same
+/// manager are equal **iff** they denote the same Boolean function
+/// (canonicity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ref(pub(crate) u32);
+
+impl Ref {
+    /// The constant-false terminal.
+    pub const FALSE: Ref = Ref(0);
+    /// The constant-true terminal.
+    pub const TRUE: Ref = Ref(1);
+
+    /// Returns `true` if this is one of the two terminal nodes.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Returns `true` if this is the constant-true terminal.
+    pub fn is_true(self) -> bool {
+        self == Ref::TRUE
+    }
+
+    /// Returns `true` if this is the constant-false terminal.
+    pub fn is_false(self) -> bool {
+        self == Ref::FALSE
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Ref::FALSE => write!(f, "⊥"),
+            Ref::TRUE => write!(f, "⊤"),
+            Ref(i) => write!(f, "@{i}"),
+        }
+    }
+}
+
+/// Internal decision node: `if var then hi else lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub var: u32,
+    pub lo: Ref,
+    pub hi: Ref,
+}
+
+/// Sentinel variable index used by terminal nodes (level = +infinity).
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_refs_are_const() {
+        assert!(Ref::FALSE.is_const());
+        assert!(Ref::TRUE.is_const());
+        assert!(Ref::TRUE.is_true());
+        assert!(Ref::FALSE.is_false());
+        assert!(!Ref::TRUE.is_false());
+        assert!(!Ref(7).is_const());
+    }
+
+    #[test]
+    fn var_id_roundtrip() {
+        let v = VarId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.to_string(), "v42");
+    }
+
+    #[test]
+    fn ref_display() {
+        assert_eq!(Ref::FALSE.to_string(), "⊥");
+        assert_eq!(Ref::TRUE.to_string(), "⊤");
+        assert_eq!(Ref(9).to_string(), "@9");
+    }
+}

@@ -1,0 +1,260 @@
+//! Quantification: `exists`, `forall`, and the fused relational product
+//! `and_exists` used for symbolic image computation.
+
+use std::collections::HashMap;
+
+use crate::node::{Ref, VarId};
+use crate::Bdd;
+
+impl Bdd {
+    /// Existential quantification `∃ vars. f`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use covest_bdd::Bdd;
+    /// let mut b = Bdd::new();
+    /// let x = b.new_var();
+    /// let y = b.new_var();
+    /// let fx = b.var(x);
+    /// let fy = b.var(y);
+    /// let f = b.and(fx, fy);
+    /// let ex = b.exists(f, &[x]);
+    /// assert_eq!(ex, fy);
+    /// ```
+    pub fn exists(&mut self, f: Ref, vars: &[VarId]) -> Ref {
+        let mask = self.quant_mask(vars);
+        let mut memo = HashMap::new();
+        self.quant_rec(f, &mask, true, &mut memo)
+    }
+
+    /// Universal quantification `∀ vars. f`.
+    pub fn forall(&mut self, f: Ref, vars: &[VarId]) -> Ref {
+        let mask = self.quant_mask(vars);
+        let mut memo = HashMap::new();
+        self.quant_rec(f, &mask, false, &mut memo)
+    }
+
+    fn quant_mask(&self, vars: &[VarId]) -> Vec<bool> {
+        let mut mask = vec![false; self.num_vars()];
+        for &v in vars {
+            mask[v.index()] = true;
+        }
+        mask
+    }
+
+    fn quant_rec(
+        &mut self,
+        f: Ref,
+        mask: &[bool],
+        existential: bool,
+        memo: &mut HashMap<Ref, Ref>,
+    ) -> Ref {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.quant_rec(n.lo, mask, existential, memo);
+        let hi = self.quant_rec(n.hi, mask, existential, memo);
+        let r = if mask[n.var as usize] {
+            if existential {
+                self.or(lo, hi)
+            } else {
+                self.and(lo, hi)
+            }
+        } else {
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Fused relational product `∃ vars. (f ∧ g)`.
+    ///
+    /// Computing the conjunction and the quantification in one pass avoids
+    /// building the (often much larger) intermediate `f ∧ g`; this is the
+    /// workhorse of symbolic image/preimage computation.
+    pub fn and_exists(&mut self, f: Ref, g: Ref, vars: &[VarId]) -> Ref {
+        let mask = self.quant_mask(vars);
+        let mut memo = HashMap::new();
+        self.and_exists_rec(f, g, &mask, &mut memo)
+    }
+
+    fn and_exists_rec(
+        &mut self,
+        f: Ref,
+        g: Ref,
+        mask: &[bool],
+        memo: &mut HashMap<(Ref, Ref), Ref>,
+    ) -> Ref {
+        if f.is_false() || g.is_false() {
+            return Ref::FALSE;
+        }
+        if f.is_true() && g.is_true() {
+            return Ref::TRUE;
+        }
+        // Normalize operand order: ∧ is commutative.
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = memo.get(&(f, g)) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g));
+        let var = self.var_at_level(top);
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let r = if mask[var.index()] {
+            let lo = self.and_exists_rec(f0, g0, mask, memo);
+            if lo.is_true() {
+                // Early termination: ∨ with true.
+                memo.insert((f, g), Ref::TRUE);
+                return Ref::TRUE;
+            }
+            let hi = self.and_exists_rec(f1, g1, mask, memo);
+            self.or(lo, hi)
+        } else {
+            let lo = self.and_exists_rec(f0, g0, mask, memo);
+            let hi = self.and_exists_rec(f1, g1, mask, memo);
+            self.mk(var.0, lo, hi)
+        };
+        memo.insert((f, g), r);
+        r
+    }
+
+    /// Generalized cofactor by a literal: `f` with `var` fixed to `value`.
+    pub fn restrict(&mut self, f: Ref, var: VarId, value: bool) -> Ref {
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, var, value, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: Ref,
+        var: VarId,
+        value: bool,
+        memo: &mut HashMap<Ref, Ref>,
+    ) -> Ref {
+        if f.is_const() {
+            return f;
+        }
+        let flevel = self.level(f);
+        let vlevel = self.level_of(var);
+        if flevel > vlevel {
+            return f; // var cannot appear below its level
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let r = if n.var == var.0 {
+            if value {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.restrict_rec(n.lo, var, value, memo);
+            let hi = self.restrict_rec(n.hi, var, value, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Restricts `f` by a partial assignment given as literals.
+    pub fn restrict_cube(&mut self, f: Ref, literals: &[(VarId, bool)]) -> Ref {
+        let mut cur = f;
+        for &(v, val) in literals {
+            cur = self.restrict(cur, v, val);
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exists_removes_var_from_support() {
+        let mut b = Bdd::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let fx = b.var(x);
+        let fy = b.var(y);
+        let f = b.xor(fx, fy);
+        let ex = b.exists(f, &[x]);
+        assert!(ex.is_true()); // for any y some x makes x^y true
+        let fa = b.forall(f, &[x]);
+        assert!(fa.is_false());
+    }
+
+    #[test]
+    fn exists_forall_duality() {
+        let mut b = Bdd::new();
+        let vars = b.new_vars(4);
+        let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
+        let c0 = b.and(lits[0], lits[1]);
+        let c1 = b.xor(lits[2], lits[3]);
+        let f = b.or(c0, c1);
+        // ∃x.f == ¬∀x.¬f
+        let ex = b.exists(f, &[vars[1], vars[2]]);
+        let nf = b.not(f);
+        let fa = b.forall(nf, &[vars[1], vars[2]]);
+        let nfa = b.not(fa);
+        assert_eq!(ex, nfa);
+    }
+
+    #[test]
+    fn and_exists_matches_two_step() {
+        let mut b = Bdd::new();
+        let vars = b.new_vars(6);
+        let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
+        let t0 = b.iff(lits[0], lits[3]);
+        let t1 = b.iff(lits[1], lits[4]);
+        let part = b.and(t0, t1);
+        let t2 = b.xor(lits[2], lits[5]);
+        let f = b.and(part, t2);
+        let g = b.and(lits[0], lits[2]);
+        let quantified = [vars[0], vars[1], vars[2]];
+        let fused = b.and_exists(f, g, &quantified);
+        let conj = b.and(f, g);
+        let two_step = b.exists(conj, &quantified);
+        assert_eq!(fused, two_step);
+    }
+
+    #[test]
+    fn restrict_is_shannon_cofactor() {
+        let mut b = Bdd::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let fx = b.var(x);
+        let fy = b.var(y);
+        let f = b.ite(fx, fy, Ref::FALSE);
+        assert_eq!(b.restrict(f, x, true), fy);
+        assert_eq!(b.restrict(f, x, false), Ref::FALSE);
+    }
+
+    #[test]
+    fn restrict_cube_applies_all_literals() {
+        let mut b = Bdd::new();
+        let vars = b.new_vars(3);
+        let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
+        let c = b.and(lits[0], lits[1]);
+        let f = b.or(c, lits[2]);
+        let g = b.restrict_cube(f, &[(vars[0], true), (vars[2], false)]);
+        assert_eq!(g, lits[1]);
+    }
+
+    #[test]
+    fn quantifying_absent_var_is_identity() {
+        let mut b = Bdd::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let fx = b.var(x);
+        let ex = b.exists(fx, &[y]);
+        assert_eq!(ex, fx);
+    }
+}

@@ -1,0 +1,176 @@
+//! Substitution: functional composition and variable renaming.
+
+use std::collections::HashMap;
+
+use crate::node::{Ref, VarId};
+use crate::Bdd;
+
+impl Bdd {
+    /// Functional composition: `f` with `var` replaced by the function `g`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use covest_bdd::Bdd;
+    /// let mut b = Bdd::new();
+    /// let x = b.new_var();
+    /// let y = b.new_var();
+    /// let fx = b.var(x);
+    /// let fy = b.var(y);
+    /// let ny = b.not(fy);
+    /// // x composed with ¬y is ¬y
+    /// assert_eq!(b.compose(fx, x, ny), ny);
+    /// ```
+    pub fn compose(&mut self, f: Ref, var: VarId, g: Ref) -> Ref {
+        let map: HashMap<u32, Ref> = [(var.0, g)].into_iter().collect();
+        let mut memo = HashMap::new();
+        self.compose_rec(f, &map, &mut memo)
+    }
+
+    /// Simultaneous functional composition: every variable in `map` is
+    /// replaced by the associated function, all at once.
+    ///
+    /// Simultaneity matters: `vector_compose(f, {x ↦ y, y ↦ x})` swaps the
+    /// two variables, whereas two sequential [`Bdd::compose`] calls would
+    /// collapse them.
+    pub fn vector_compose(&mut self, f: Ref, map: &[(VarId, Ref)]) -> Ref {
+        let map: HashMap<u32, Ref> = map.iter().map(|&(v, g)| (v.0, g)).collect();
+        let mut memo = HashMap::new();
+        self.compose_rec(f, &map, &mut memo)
+    }
+
+    fn compose_rec(
+        &mut self,
+        f: Ref,
+        map: &HashMap<u32, Ref>,
+        memo: &mut HashMap<Ref, Ref>,
+    ) -> Ref {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.compose_rec(n.lo, map, memo);
+        let hi = self.compose_rec(n.hi, map, memo);
+        let selector = match map.get(&n.var) {
+            Some(&g) => g,
+            None => self.var(VarId(n.var)),
+        };
+        // ITE keeps the result canonical even when the substituted
+        // function's support lies above the current level.
+        let r = self.ite(selector, hi, lo);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Renames variables according to `pairs`, interpreted as a
+    /// simultaneous swap-free mapping `from → to`.
+    ///
+    /// Used to move a function between the current-state and next-state
+    /// variable ranks of a transition system.
+    pub fn rename(&mut self, f: Ref, pairs: &[(VarId, VarId)]) -> Ref {
+        let map: Vec<(VarId, Ref)> = pairs
+            .iter()
+            .map(|&(from, to)| {
+                let tref = self.var(to);
+                (from, tref)
+            })
+            .collect();
+        self.vector_compose(f, &map)
+    }
+
+    /// Swaps each pair of variables in both directions simultaneously
+    /// (`a ↔ b` for every `(a, b)` in `pairs`).
+    pub fn swap(&mut self, f: Ref, pairs: &[(VarId, VarId)]) -> Ref {
+        let mut map: Vec<(VarId, Ref)> = Vec::with_capacity(pairs.len() * 2);
+        for &(a, bv) in pairs {
+            let fa = self.var(a);
+            let fb = self.var(bv);
+            map.push((a, fb));
+            map.push((bv, fa));
+        }
+        self.vector_compose(f, &map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_with_constant_is_restrict() {
+        let mut b = Bdd::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let fx = b.var(x);
+        let fy = b.var(y);
+        let f = b.and(fx, fy);
+        let via_compose = b.compose(f, x, Ref::TRUE);
+        let via_restrict = b.restrict(f, x, true);
+        assert_eq!(via_compose, via_restrict);
+        assert_eq!(via_compose, fy);
+    }
+
+    #[test]
+    fn vector_compose_is_simultaneous() {
+        let mut b = Bdd::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let fx = b.var(x);
+        let fy = b.var(y);
+        let nx = b.not(fx);
+        let f = b.and(fx, fy); // x ∧ y
+        let g = b.vector_compose(f, &[(x, fy), (y, nx)]);
+        // Simultaneous: y ∧ ¬x.
+        let expect = {
+            let t = b.not(fx);
+            b.and(fy, t)
+        };
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn rename_moves_support() {
+        let mut b = Bdd::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let z = b.new_var();
+        let fx = b.var(x);
+        let fy = b.var(y);
+        let f = b.and(fx, fy);
+        let g = b.rename(f, &[(x, z)]);
+        let support = b.support(g);
+        assert_eq!(support, vec![y, z]);
+    }
+
+    #[test]
+    fn swap_is_involution() {
+        let mut b = Bdd::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let z = b.new_var();
+        let fx = b.var(x);
+        let fy = b.var(y);
+        let fz = b.var(z);
+        let fxy = b.xor(fx, fy);
+        let f = b.or(fxy, fz);
+        let g = b.swap(f, &[(x, y)]);
+        let h = b.swap(g, &[(x, y)]);
+        assert_eq!(f, h);
+    }
+
+    #[test]
+    fn rename_against_reversed_order() {
+        // Renaming to a variable *above* the source in the order must
+        // still produce a canonical result.
+        let mut b = Bdd::new();
+        let a = b.new_var(); // level 0
+        let c = b.new_var(); // level 1
+        let fc = b.var(c);
+        let fa = b.var(a);
+        let renamed = b.rename(fc, &[(c, a)]);
+        assert_eq!(renamed, fa);
+    }
+}

@@ -1,0 +1,241 @@
+//! Property-based tests for the ROBDD engine: canonicity, Boolean-algebra
+//! laws, quantifier dualities, and counting consistency against a
+//! truth-table oracle on small variable universes.
+
+use std::collections::HashMap;
+
+use covest_bdd::{Bdd, Ref, VarId};
+use proptest::prelude::*;
+
+const NVARS: usize = 5;
+
+/// A tiny expression language used to generate random Boolean functions.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(bool),
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0..NVARS).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn build(bdd: &mut Bdd, vars: &[VarId], e: &Expr) -> Ref {
+    match e {
+        Expr::Const(c) => bdd.constant(*c),
+        Expr::Var(i) => bdd.var(vars[*i]),
+        Expr::Not(a) => {
+            let fa = build(bdd, vars, a);
+            bdd.not(fa)
+        }
+        Expr::And(a, b) => {
+            let fa = build(bdd, vars, a);
+            let fb = build(bdd, vars, b);
+            bdd.and(fa, fb)
+        }
+        Expr::Or(a, b) => {
+            let fa = build(bdd, vars, a);
+            let fb = build(bdd, vars, b);
+            bdd.or(fa, fb)
+        }
+        Expr::Xor(a, b) => {
+            let fa = build(bdd, vars, a);
+            let fb = build(bdd, vars, b);
+            bdd.xor(fa, fb)
+        }
+        Expr::Ite(a, b, c) => {
+            let fa = build(bdd, vars, a);
+            let fb = build(bdd, vars, b);
+            let fc = build(bdd, vars, c);
+            bdd.ite(fa, fb, fc)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, assignment: &[bool]) -> bool {
+    match e {
+        Expr::Const(c) => *c,
+        Expr::Var(i) => assignment[*i],
+        Expr::Not(a) => !eval_expr(a, assignment),
+        Expr::And(a, b) => eval_expr(a, assignment) && eval_expr(b, assignment),
+        Expr::Or(a, b) => eval_expr(a, assignment) || eval_expr(b, assignment),
+        Expr::Xor(a, b) => eval_expr(a, assignment) ^ eval_expr(b, assignment),
+        Expr::Ite(a, b, c) => {
+            if eval_expr(a, assignment) {
+                eval_expr(b, assignment)
+            } else {
+                eval_expr(c, assignment)
+            }
+        }
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << NVARS)).map(|bits| (0..NVARS).map(|i| bits & (1 << i) != 0).collect())
+}
+
+proptest! {
+    /// The BDD agrees with direct expression evaluation on every input.
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        for a in assignments() {
+            let expect = eval_expr(&e, &a);
+            let got = bdd.eval(f, &|v| a[v.index()]);
+            prop_assert_eq!(expect, got, "assignment {:?}", a);
+        }
+    }
+
+    /// Canonicity: semantically equal functions get identical Refs.
+    #[test]
+    fn canonicity(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let f1 = build(&mut bdd, &vars, &e1);
+        let f2 = build(&mut bdd, &vars, &e2);
+        let semantically_equal = assignments()
+            .all(|a| eval_expr(&e1, &a) == eval_expr(&e2, &a));
+        prop_assert_eq!(semantically_equal, f1 == f2);
+    }
+
+    /// Exact model count matches the truth-table count.
+    #[test]
+    fn sat_count_matches_truth_table(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let expect = assignments().filter(|a| eval_expr(&e, a)).count() as u128;
+        prop_assert_eq!(bdd.sat_count_exact(f, &vars), expect);
+        let float = bdd.sat_count_over(f, &vars);
+        prop_assert!((float - expect as f64).abs() < 1e-9);
+    }
+
+    /// Minterm enumeration yields exactly the satisfying assignments.
+    #[test]
+    fn minterms_match_truth_table(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let mut got: Vec<Vec<bool>> = bdd
+            .minterms_over(f, &vars)
+            .map(|m| {
+                let lookup: HashMap<VarId, bool> = m.into_iter().collect();
+                vars.iter().map(|v| lookup[v]).collect()
+            })
+            .collect();
+        got.sort();
+        got.dedup();
+        let mut expect: Vec<Vec<bool>> =
+            assignments().filter(|a| eval_expr(&e, a)).collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// ∃x.f is the disjunction of cofactors; ∀x.f the conjunction.
+    #[test]
+    fn quantification_is_cofactor_combination(e in arb_expr(), idx in 0..NVARS) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let v = vars[idx];
+        let f0 = bdd.restrict(f, v, false);
+        let f1 = bdd.restrict(f, v, true);
+        let ex = bdd.exists(f, &[v]);
+        let ex_expect = bdd.or(f0, f1);
+        prop_assert_eq!(ex, ex_expect);
+        let fa = bdd.forall(f, &[v]);
+        let fa_expect = bdd.and(f0, f1);
+        prop_assert_eq!(fa, fa_expect);
+    }
+
+    /// Fused and_exists equals conjunction followed by quantification.
+    #[test]
+    fn and_exists_equals_two_step(e1 in arb_expr(), e2 in arb_expr(), mask in 0u32..(1 << NVARS)) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e1);
+        let g = build(&mut bdd, &vars, &e2);
+        let qs: Vec<VarId> = vars
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &v)| v)
+            .collect();
+        let fused = bdd.and_exists(f, g, &qs);
+        let conj = bdd.and(f, g);
+        let two_step = bdd.exists(conj, &qs);
+        prop_assert_eq!(fused, two_step);
+    }
+
+    /// Renaming to fresh variables then back is the identity.
+    #[test]
+    fn rename_roundtrip(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let fresh = bdd.new_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let forward: Vec<(VarId, VarId)> =
+            vars.iter().copied().zip(fresh.iter().copied()).collect();
+        let backward: Vec<(VarId, VarId)> =
+            fresh.iter().copied().zip(vars.iter().copied()).collect();
+        let there = bdd.rename(f, &forward);
+        let back = bdd.rename(there, &backward);
+        prop_assert_eq!(back, f);
+    }
+
+    /// GC with the function as root preserves it and rebuilding anything
+    /// still produces canonical results.
+    #[test]
+    fn gc_preserves_roots(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        bdd.gc(&[f]);
+        let f2 = build(&mut bdd, &vars, &e);
+        prop_assert_eq!(f, f2);
+        for a in assignments().take(8) {
+            prop_assert_eq!(bdd.eval(f, &|v| a[v.index()]), eval_expr(&e, &a));
+        }
+    }
+
+    /// Cube enumeration rebuilds the original function.
+    #[test]
+    fn cubes_rebuild_function(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let cubes: Vec<_> = bdd.cubes(f).collect();
+        let mut rebuilt = Ref::FALSE;
+        for cube in cubes {
+            let mut c = Ref::TRUE;
+            for (v, val) in cube {
+                let lit = bdd.literal(v, val);
+                c = bdd.and(c, lit);
+            }
+            rebuilt = bdd.or(rebuilt, c);
+        }
+        prop_assert_eq!(rebuilt, f);
+    }
+}

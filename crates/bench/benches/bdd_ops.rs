@@ -1,0 +1,84 @@
+//! Substrate ablation: BDD-engine design choices called out in
+//! DESIGN.md. The fused relational product (`and_exists`) versus the
+//! two-step conjoin-then-quantify pipeline, and image computation on a
+//! real transition relation.
+//! Run `cargo bench -p covest-bench --bench bdd_ops`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use covest_bdd::{Bdd, Ref, VarId};
+use covest_circuits::circular_queue;
+
+/// Builds the queue model once per iteration and returns the pieces an
+/// image computation needs.
+fn queue_parts(depth: i64) -> (Bdd, Ref, Ref, Vec<VarId>, Vec<(VarId, VarId)>) {
+    let mut bdd = Bdd::new();
+    let model = circular_queue::build(&mut bdd, depth).expect("compiles");
+    let trans = model.fsm.trans();
+    let init = model.fsm.init();
+    let mut quantified = model.fsm.current_vars();
+    quantified.extend(model.fsm.input_vars());
+    let renames = model.fsm.next_to_cur();
+    (bdd, trans, init, quantified, renames)
+}
+
+fn bench_relational_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd/relational_product");
+    for depth in [4i64, 16] {
+        group.bench_with_input(BenchmarkId::new("fused", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let (mut bdd, trans, init, quantified, renames) = queue_parts(depth);
+                let img = bdd.and_exists(trans, init, &quantified);
+                std::hint::black_box(bdd.rename(img, &renames))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two_step", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let (mut bdd, trans, init, quantified, renames) = queue_parts(depth);
+                let conj = bdd.and(trans, init);
+                let img = bdd.exists(conj, &quantified);
+                std::hint::black_box(bdd.rename(img, &renames))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd/reachability");
+    for depth in [4i64, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                let model = circular_queue::build(&mut bdd, depth).expect("compiles");
+                std::hint::black_box(model.fsm.reachable(&mut bdd))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sat_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd/sat_count");
+    group.bench_function("float_vs_exact", |b| {
+        let mut bdd = Bdd::new();
+        let model = circular_queue::build(&mut bdd, 16).expect("compiles");
+        let reach = model.fsm.reachable(&mut bdd);
+        let vars = model.fsm.current_vars();
+        b.iter(|| {
+            let f = bdd.sat_count_over(reach, &vars);
+            let e = bdd.sat_count_exact(reach, &vars);
+            std::hint::black_box((f, e))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_relational_product,
+    bench_reachability,
+    bench_sat_count
+}
+criterion_main!(benches);

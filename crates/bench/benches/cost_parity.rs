@@ -1,0 +1,66 @@
+//! The paper's Section 3 claim: coverage estimation "is of the same
+//! order of complexity as a model checking algorithm" — in practice it
+//! can be slightly more expensive because it needs the reachable-state
+//! fixpoint. This bench times the verification phase and the coverage
+//! phase separately for each Table-2 workload so the ratio can be read
+//! off directly. Run `cargo bench -p covest-bench --bench cost_parity`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use covest_bdd::Bdd;
+use covest_bench::table2_workloads;
+use covest_core::CoveredSets;
+use covest_mc::ModelChecker;
+
+fn bench_cost_parity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_parity");
+    for w in table2_workloads() {
+        let verify_label = format!("verify/{}/{}", w.circuit, w.signal);
+        group.bench_function(&verify_label, |b| {
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                let model = (w.build)(&mut bdd);
+                let mut mc = ModelChecker::new(&model.fsm);
+                for fair in &w.options.fairness {
+                    mc.add_fairness(&mut bdd, fair).expect("lowers");
+                }
+                let mut all = true;
+                for p in &w.properties {
+                    all &= mc.holds(&mut bdd, &p.clone().into()).expect("checks");
+                }
+                std::hint::black_box(all)
+            })
+        });
+        let coverage_label = format!("coverage/{}/{}", w.circuit, w.signal);
+        group.bench_function(&coverage_label, |b| {
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                let model = (w.build)(&mut bdd);
+                let mut mc = ModelChecker::new(&model.fsm);
+                for fair in &w.options.fairness {
+                    mc.add_fairness(&mut bdd, fair).expect("lowers");
+                }
+                let mut cs =
+                    CoveredSets::with_checker(&mut bdd, mc, w.signal).expect("signal exists");
+                // Coverage phase: covered sets + the reachability fixpoint
+                // the paper calls out as the extra cost.
+                let mut covered = covest_bdd::Ref::FALSE;
+                for p in &w.properties {
+                    let c = cs.covered_from_init(&mut bdd, p).expect("covers");
+                    covered = bdd.or(covered, c);
+                }
+                let reach = model.fsm.reachable(&mut bdd);
+                let space = reach;
+                std::hint::black_box((covered, space))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cost_parity
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation for the paper's Section 3 remark: "results for sub-formulas
+//! computed during verification can be memoized and used during coverage
+//! estimation for a more efficient implementation."
+//!
+//! Compares running coverage with a checker that already verified the
+//! suite (warm memo table) against a cold checker.
+//! Run `cargo bench -p covest-bench --bench memoization`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use covest_bdd::Bdd;
+use covest_circuits::pipeline;
+use covest_core::CoveredSets;
+use covest_mc::ModelChecker;
+
+fn bench_memoization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memoization");
+    let suite = pipeline::out_suite_initial(4);
+
+    group.bench_function("verify_then_cover_shared_cache", |b| {
+        b.iter(|| {
+            let mut bdd = Bdd::new();
+            let model = pipeline::build(&mut bdd, 4).expect("compiles");
+            let mut mc = ModelChecker::new(&model.fsm);
+            mc.add_fairness(&mut bdd, &pipeline::fairness()).expect("lowers");
+            let mut cs = CoveredSets::with_checker(&mut bdd, mc, "out").expect("signal");
+            // Verification warms the memo table …
+            for p in &suite {
+                assert!(cs.verify(&mut bdd, p).expect("checks"));
+            }
+            // … which coverage estimation then reuses.
+            let mut acc = covest_bdd::Ref::FALSE;
+            for p in &suite {
+                let cset = cs.covered_from_init(&mut bdd, p).expect("covers");
+                acc = bdd.or(acc, cset);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    group.bench_function("verify_then_cover_cold_cache", |b| {
+        b.iter(|| {
+            let mut bdd = Bdd::new();
+            let model = pipeline::build(&mut bdd, 4).expect("compiles");
+            // Verify with one checker …
+            let mut mc = ModelChecker::new(&model.fsm);
+            mc.add_fairness(&mut bdd, &pipeline::fairness()).expect("lowers");
+            for p in &suite {
+                assert!(mc.holds(&mut bdd, &p.clone().into()).expect("checks"));
+            }
+            // … then throw the memo table away and cover from scratch.
+            let mut mc2 = ModelChecker::new(&model.fsm);
+            mc2.add_fairness(&mut bdd, &pipeline::fairness()).expect("lowers");
+            let mut cs = CoveredSets::with_checker(&mut bdd, mc2, "out").expect("signal");
+            let mut acc = covest_bdd::Ref::FALSE;
+            for p in &suite {
+                let cset = cs.covered_from_init(&mut bdd, p).expect("covers");
+                acc = bdd.or(acc, cset);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_memoization
+}
+criterion_main!(benches);

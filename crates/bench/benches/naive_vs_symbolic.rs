@@ -1,0 +1,116 @@
+//! Ablation: the paper's symbolic Table-1 algorithm versus the naive
+//! application of Definition 3 (one dual-FSM model-checking run per
+//! reachable state). The naive baseline grows with the number of states;
+//! the symbolic algorithm does not — this is the reason the paper's
+//! algorithm matters.
+//! Run `cargo bench -p covest-bench --bench naive_vs_symbolic`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use covest_bdd::Bdd;
+use covest_circuits::circular_queue;
+use covest_core::{reference_covered_set, CoveredSets, ReferenceMode};
+use covest_ctl::{parse_formula, Formula};
+use covest_fsm::Stg;
+
+/// A chain STG of `n` states (generalized Figure 2).
+fn chain(n: usize) -> (Stg, Formula) {
+    let mut stg = Stg::new("chain");
+    stg.add_states(n);
+    let path: Vec<usize> = (0..n).collect();
+    stg.add_path(&path);
+    stg.add_edge(n - 1, n - 1);
+    stg.mark_initial(0);
+    for s in 0..n - 1 {
+        stg.label(s, "p1");
+    }
+    stg.label(n - 1, "q");
+    (stg, parse_formula("A[p1 U q]").expect("subset"))
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naive_vs_symbolic/chain");
+    for n in [8usize, 16, 32, 64] {
+        let (stg, prop) = chain(n);
+        group.bench_with_input(BenchmarkId::new("symbolic", n), &n, |b, _| {
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                let fsm = stg.compile(&mut bdd).expect("compiles");
+                let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
+                std::hint::black_box(
+                    cs.covered_from_init(&mut bdd, &prop).expect("covers"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                let fsm = stg.compile(&mut bdd).expect("compiles");
+                std::hint::black_box(
+                    reference_covered_set(
+                        &mut bdd,
+                        &fsm,
+                        "q",
+                        &prop,
+                        ReferenceMode::Transformed,
+                        &[],
+                        1 << 20,
+                    )
+                    .expect("reference runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naive_vs_symbolic/queue_wrap");
+    group.sample_size(10);
+    for depth in [2i64, 4] {
+        let suite = circular_queue::wrap_suite_initial();
+        group.bench_with_input(BenchmarkId::new("symbolic", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                let model = circular_queue::build(&mut bdd, depth).expect("compiles");
+                let mut cs =
+                    CoveredSets::new(&mut bdd, &model.fsm, "wrap").expect("wrap exists");
+                let mut acc = covest_bdd::Ref::FALSE;
+                for p in &suite {
+                    let cset = cs.covered_from_init(&mut bdd, p).expect("covers");
+                    acc = bdd.or(acc, cset);
+                }
+                std::hint::black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                let model = circular_queue::build(&mut bdd, depth).expect("compiles");
+                let mut acc = covest_bdd::Ref::FALSE;
+                for p in &suite {
+                    let cset = reference_covered_set(
+                        &mut bdd,
+                        &model.fsm,
+                        "wrap",
+                        p,
+                        ReferenceMode::Transformed,
+                        &[],
+                        1 << 20,
+                    )
+                    .expect("reference runs");
+                    acc = bdd.or(acc, cset);
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_chain, bench_queue
+}
+criterion_main!(benches);

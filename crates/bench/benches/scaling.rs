@@ -1,0 +1,93 @@
+//! Parameter sweeps: how verification and coverage estimation scale with
+//! circuit size (queue depth, buffer capacity, pipeline stages). The
+//! paper's implicit claim — same order of growth for both phases —
+//! should be visible across the sweep.
+//! Run `cargo bench -p covest-bench --bench scaling`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use covest_bdd::Bdd;
+use covest_circuits::{circular_queue, pipeline, priority_buffer};
+use covest_core::{CoverageEstimator, CoverageOptions};
+
+fn bench_queue_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/queue_depth");
+    for depth in [4i64, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut suite = circular_queue::wrap_suite_initial();
+            suite.extend(circular_queue::wrap_suite_additional());
+            suite.extend(circular_queue::wrap_suite_final());
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                let model = circular_queue::build(&mut bdd, depth).expect("compiles");
+                let est = CoverageEstimator::new(&model.fsm);
+                let a = est
+                    .analyze(&mut bdd, "wrap", &suite, &CoverageOptions::default())
+                    .expect("analyzes");
+                std::hint::black_box(a.percent())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffer_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/buffer_capacity");
+    for capacity in [4i64, 8, 12, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &capacity| {
+                let suite = priority_buffer::hi_suite(capacity);
+                b.iter(|| {
+                    let mut bdd = Bdd::new();
+                    let model =
+                        priority_buffer::build(&mut bdd, capacity, false).expect("compiles");
+                    let est = CoverageEstimator::new(&model.fsm);
+                    let a = est
+                        .analyze(&mut bdd, "hi_cnt", &suite, &CoverageOptions::default())
+                        .expect("analyzes");
+                    std::hint::black_box(a.percent())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/pipeline_stages");
+    for stages in [3usize, 5, 7, 9] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stages),
+            &stages,
+            |b, &stages| {
+                let mut suite = pipeline::out_suite_initial(stages);
+                suite.extend(pipeline::out_suite_hold());
+                let opts = CoverageOptions {
+                    fairness: vec![pipeline::fairness()],
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    let mut bdd = Bdd::new();
+                    let model = pipeline::build(&mut bdd, stages).expect("compiles");
+                    let est = CoverageEstimator::new(&model.fsm);
+                    let a = est
+                        .analyze(&mut bdd, "out", &suite, &opts)
+                        .expect("analyzes");
+                    std::hint::black_box(a.percent())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queue_depth,
+    bench_buffer_capacity,
+    bench_pipeline_stages
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench regenerating Table 2: one benchmark per observed
+//! signal, timing the full verify-plus-estimate analysis that produces
+//! the row. Run `cargo bench -p covest-bench --bench table2_circuits`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use covest_bench::{run_workload, table2_workloads};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    for w in table2_workloads() {
+        let label = format!("{}/{}", w.circuit, w.signal);
+        group.bench_function(&label, |b| {
+            b.iter(|| {
+                let analysis = run_workload(&w);
+                std::hint::black_box(analysis.percent())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table2
+}
+criterion_main!(benches);

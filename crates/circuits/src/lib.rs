@@ -1,0 +1,26 @@
+//! # covest-circuits
+//!
+//! The example circuits of the DAC'99 paper, rebuilt from their prose
+//! descriptions, together with the property suites (including their
+//! deliberate coverage holes) that drive the paper's Section 5
+//! experiments:
+//!
+//! - [`counter`]: the introduction's modulo-5 counter with `stall` /
+//!   `reset` inputs;
+//! - [`toys`]: the explicit state graphs of Figures 1–3;
+//! - [`priority_buffer`]: Circuit 1 — hi/lo priority entry counts as
+//!   observed signals, a nearly-complete `lo_cnt` suite, and an
+//!   injectable bug caught by the hole-closing property;
+//! - [`circular_queue`]: Circuit 2 — wrap bit / full / empty observed
+//!   signals, with the staged `wrap` suites (≈60% → more → 100%);
+//! - [`pipeline`]: Circuit 3 — nested-Until eventuality properties under
+//!   a `!stall` fairness constraint, with the 3-cycle output-hold hole.
+//!
+//! Every circuit is a generated SMV deck compiled through `covest-smv`,
+//! so the models are also usable as plain-text fixtures.
+
+pub mod circular_queue;
+pub mod counter;
+pub mod pipeline;
+pub mod priority_buffer;
+pub mod toys;

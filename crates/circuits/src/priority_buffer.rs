@@ -1,0 +1,275 @@
+//! Circuit 1: the priority buffer.
+//!
+//! "A priority buffer which schedules and stores incoming entries
+//! according to their priorities (high or low). … Given the number of
+//! entries already in the buffer and the number of incoming entries, the
+//! properties specify the correct number of entries in the buffer at the
+//! next clock. … High and low priority entries are checked by different
+//! properties, and their counts are considered as the observed signals."
+//!
+//! The paper's narrative for this circuit: the verified property set
+//! *looked* complete, but coverage estimation exposed a missing case —
+//! "when the buffer is empty and low priority entries are incoming, the
+//! entries should be stored". Writing that property and re-running the
+//! model checker **failed, revealing a real bug in the design**. We
+//! reproduce the story with [`deck`]'s `bug` flag: the buggy variant
+//! drops low-priority entries arriving at an empty buffer.
+
+use covest_bdd::Bdd;
+use covest_ctl::{parse_formula, Formula};
+use covest_smv::{compile, CompiledModel, ModelError};
+
+/// Maximum number of entries arriving per cycle (per priority class).
+pub const MAX_INCOMING: i64 = 2;
+
+/// Generates the priority-buffer deck.
+///
+/// `capacity` is the number of buffer slots (≥ 2). With `bug` set, the
+/// storage logic drops low-priority entries when the buffer is empty and
+/// no high-priority entry arrives in the same cycle — the defect the
+/// paper's coverage hole exposed.
+pub fn deck(capacity: i64, bug: bool) -> String {
+    assert!(capacity >= 2, "capacity must be at least 2");
+    let n = capacity;
+    let buggy_arm = if bug {
+        "\n    hi_cnt = 0 & lo_cnt = 0 & in_hi = 0 : 0;  -- BUG: drops entries\n"
+    } else {
+        "\n"
+    };
+    format!(
+        r#"
+MODULE main
+-- Priority buffer: stores incoming entries by priority class.
+VAR
+  hi_cnt : 0..{n};
+  lo_cnt : 0..{n};
+  -- Status register: how many low-priority entries were accepted in the
+  -- previous cycle (an acknowledge output of the real design).
+  lo_accepted : 0..{MAX_INCOMING};
+IVAR
+  in_hi : 0..{MAX_INCOMING};
+  in_lo : 0..{MAX_INCOMING};
+  deq   : boolean;
+DEFINE
+  total := hi_cnt + lo_cnt;
+  free_slots := case
+    total >= {n} : 0;
+    TRUE : {n} - total;
+  esac;
+  stored_hi := case
+    in_hi <= free_slots : in_hi;
+    TRUE : free_slots;
+  esac;
+  free_after_hi := free_slots - stored_hi;
+  stored_lo := case{buggy_arm}    in_lo <= free_after_hi : in_lo;
+    TRUE : free_after_hi;
+  esac;
+  hi_deq := deq & hi_cnt > 0;
+  lo_deq := deq & hi_cnt = 0 & lo_cnt > 0;
+ASSIGN
+  init(hi_cnt) := 0;
+  init(lo_cnt) := 0;
+  next(hi_cnt) := case
+    hi_deq : hi_cnt + stored_hi - 1;
+    TRUE   : hi_cnt + stored_hi;
+  esac;
+  next(lo_cnt) := case
+    lo_deq : lo_cnt + stored_lo - 1;
+    TRUE   : lo_cnt + stored_lo;
+  esac;
+  init(lo_accepted) := 0;
+  next(lo_accepted) := stored_lo;
+OBSERVED hi_cnt, lo_cnt;
+"#
+    )
+}
+
+/// Compiles the buffer.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] (the generated decks always compile).
+pub fn build(bdd: &mut Bdd, capacity: i64, bug: bool) -> Result<CompiledModel, ModelError> {
+    compile(bdd, &deck(capacity, bug))
+}
+
+fn conj(parts: Vec<String>) -> Formula {
+    let joined = parts.join(" & ");
+    parse_formula(&format!("AG ({joined})")).expect("suite formulas are in the subset")
+}
+
+/// The five-property suite for observed signal `hi_cnt` (achieves 100%).
+pub fn hi_suite(capacity: i64) -> Vec<Formula> {
+    let n = capacity;
+    let mut props = Vec::new();
+    // P1: no dequeue — stored high entries accumulate exactly.
+    let mut cases = Vec::new();
+    for b in 0..=n {
+        for i in 0..=MAX_INCOMING {
+            let expect = (b + i).min(n); // lo_cnt=anything: clamp via free
+            let _ = expect;
+            // Antecedent pins hi_cnt, in_hi, and requires room for all of
+            // them regardless of lo_cnt via total.
+            cases.push(format!(
+                "(!deq & hi_cnt = {b} & in_hi = {i} & total <= {} -> AX hi_cnt = {})",
+                n - i,
+                b + i
+            ));
+        }
+    }
+    props.push(conj(cases));
+    // P2: no dequeue, buffer already full — count holds (per value).
+    let mut cases = Vec::new();
+    for b in 0..=n {
+        cases.push(format!(
+            "(!deq & total = {n} & hi_cnt = {b} -> AX hi_cnt = {b})"
+        ));
+    }
+    props.push(conj(cases));
+    // P3: dequeue with high entries present and no incoming.
+    let mut cases = Vec::new();
+    for b in 1..=n {
+        cases.push(format!(
+            "(deq & hi_cnt = {b} & in_hi = 0 -> AX hi_cnt = {})",
+            b - 1
+        ));
+    }
+    props.push(conj(cases));
+    // P4: dequeue with incoming high entries.
+    let mut cases = Vec::new();
+    for b in 1..=n {
+        for i in 1..=MAX_INCOMING {
+            cases.push(format!(
+                "(deq & hi_cnt = {b} & in_hi = {i} & total <= {} -> AX hi_cnt = {})",
+                n - i,
+                b + i - 1
+            ));
+        }
+    }
+    props.push(conj(cases));
+    // P5: empty buffer, high entries incoming — they are stored.
+    let mut cases = Vec::new();
+    for i in 0..=MAX_INCOMING {
+        cases.push(format!(
+            "(hi_cnt = 0 & lo_cnt = 0 & in_hi = {i} & !deq -> AX hi_cnt = {i})"
+        ));
+    }
+    props.push(conj(cases));
+    props
+}
+
+/// The initial five-property suite for `lo_cnt` — the paper's suite with
+/// the **missing case**: it never checks an empty buffer receiving only
+/// low-priority entries, leaving a coverage hole just below 100%.
+pub fn lo_suite_initial(capacity: i64) -> Vec<Formula> {
+    let n = capacity;
+    let mut props = Vec::new();
+    // P1: no dequeue, low entries already present — they accumulate.
+    // (Note: this antecedent requires lo_cnt >= 1, which is exactly the
+    // paper's missing case — nobody checked the empty buffer.)
+    let mut cases = Vec::new();
+    for b in 1..=n {
+        for i in 0..=MAX_INCOMING {
+            cases.push(format!(
+                "(!deq & lo_cnt = {b} & in_lo = {i} & in_hi = 0 & total <= {} \
+                 -> AX lo_cnt = {})",
+                n - i,
+                b + i
+            ));
+        }
+    }
+    props.push(conj(cases));
+    // P2: full buffer holds (per value).
+    let mut cases = Vec::new();
+    for b in 0..=n {
+        cases.push(format!(
+            "(!deq & total = {n} & lo_cnt = {b} -> AX lo_cnt = {b})"
+        ));
+    }
+    props.push(conj(cases));
+    // P3: dequeue serves high first — low count unchanged.
+    let mut cases = Vec::new();
+    for b in 0..=n {
+        cases.push(format!(
+            "(deq & hi_cnt > 0 & lo_cnt = {b} & in_lo = 0 -> AX lo_cnt = {b})"
+        ));
+    }
+    props.push(conj(cases));
+    // P4: dequeue of a low entry when no high entries.
+    let mut cases = Vec::new();
+    for b in 1..=n {
+        cases.push(format!(
+            "(deq & hi_cnt = 0 & in_hi = 0 & lo_cnt = {b} & in_lo = 0 -> AX lo_cnt = {})",
+            b - 1
+        ));
+    }
+    props.push(conj(cases));
+    // P5: incoming low entries with high entries present.
+    let mut cases = Vec::new();
+    for b in 0..=n {
+        for i in 1..=MAX_INCOMING {
+            cases.push(format!(
+                "(!deq & hi_cnt > 0 & lo_cnt = {b} & in_lo = {i} & in_hi = 0 & total <= {} \
+                 -> AX lo_cnt = {})",
+                n - i,
+                b + i
+            ));
+        }
+    }
+    props.push(conj(cases));
+    props
+}
+
+/// The property closing the hole: an **empty** buffer receiving only
+/// low-priority entries must store them. On the buggy design this
+/// property fails — the paper's "escaped bug" moment.
+pub fn lo_missing_case() -> Formula {
+    let mut cases = Vec::new();
+    for i in 1..=MAX_INCOMING {
+        cases.push(format!(
+            "(hi_cnt = 0 & lo_cnt = 0 & in_hi = 0 & in_lo = {i} & !deq -> AX lo_cnt = {i})"
+        ));
+    }
+    conj(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covest_mc::ModelChecker;
+
+    #[test]
+    fn buffer_semantics_sane() {
+        let mut bdd = Bdd::new();
+        let model = build(&mut bdd, 4, false).expect("compiles");
+        let mut mc = ModelChecker::new(&model.fsm);
+        // Occupancy never exceeds capacity.
+        let inv = parse_formula("AG total <= 4").expect("subset");
+        assert!(mc.holds(&mut bdd, &inv.into()).expect("checks"));
+        // Storing two high entries from empty.
+        let p = parse_formula(
+            "AG (hi_cnt = 0 & lo_cnt = 0 & in_hi = 2 & !deq -> AX hi_cnt = 2)",
+        )
+        .expect("subset");
+        assert!(mc.holds(&mut bdd, &p.into()).expect("checks"));
+    }
+
+    #[test]
+    fn bug_drops_low_entries_into_empty_buffer() {
+        let mut bdd = Bdd::new();
+        let model = build(&mut bdd, 4, true).expect("compiles");
+        let mut mc = ModelChecker::new(&model.fsm);
+        let missing = lo_missing_case();
+        assert!(
+            !mc.holds(&mut bdd, &missing.into()).expect("checks"),
+            "the missing-case property must fail on the buggy design"
+        );
+        // But on the fixed design it holds.
+        let mut bdd2 = Bdd::new();
+        let fixed = build(&mut bdd2, 4, false).expect("compiles");
+        let mut mc2 = ModelChecker::new(&fixed.fsm);
+        assert!(mc2
+            .holds(&mut bdd2, &lo_missing_case().into())
+            .expect("checks"));
+    }
+}

@@ -1,0 +1,159 @@
+//! The explicit state-transition graphs of the paper's Figures 1–3.
+
+use covest_fsm::Stg;
+
+/// Figure 1: covered state for `AG (p1 -> AX AX q)`.
+///
+/// An initial `p1` state branches into two paths; the states exactly two
+/// steps away carry `q` and are the *covered* states. A further `q`
+/// state exists elsewhere but is not demanded by the property, hence not
+/// covered.
+pub fn figure1() -> Stg {
+    let mut stg = Stg::new("figure1");
+    stg.add_states(7);
+    stg.add_path(&[0, 1, 2]); // branch A: 2 steps to q-state 2
+    stg.add_path(&[0, 3, 4]); // branch B: 2 steps to q-state 4
+    stg.add_edge(2, 5);
+    stg.add_edge(4, 5);
+    stg.add_edge(5, 6);
+    stg.add_edge(6, 5);
+    stg.mark_initial(0);
+    stg.label(0, "p1");
+    stg.label(2, "q");
+    stg.label(4, "q");
+    stg.label(6, "q"); // incidental q, not covered
+    stg
+}
+
+/// The covered state ids of Figure 1 for `AG (p1 -> AX AX q)` observing
+/// `q`.
+pub const FIGURE1_COVERED: &[usize] = &[2, 4];
+
+/// Figure 2: computing covered states for `A[p1 U q]`.
+///
+/// A chain of `p1` states leads to the first `q` state. As drawn in the
+/// paper, `p1` also holds in that first `q` state — which is why the
+/// *untransformed* Definition 3 assigns this property **zero** coverage
+/// (flipping `q` there leaves the property satisfied via `p1`), while
+/// the observability-transformed formula covers exactly the first `q`
+/// state.
+pub fn figure2() -> Stg {
+    let mut stg = Stg::new("figure2");
+    stg.add_states(6);
+    stg.add_path(&[0, 1, 2, 3, 4, 5]);
+    stg.add_edge(5, 5);
+    stg.mark_initial(0);
+    for s in 0..5 {
+        stg.label(s, "p1");
+    }
+    stg.label(4, "q");
+    stg.label(5, "q");
+    stg
+}
+
+/// The covered state id of Figure 2 for `A[p1 U q]` observing `q`, under
+/// the observability transformation.
+pub const FIGURE2_COVERED: &[usize] = &[4];
+
+/// Figure 3: the state labelling used by `traverse` / `firstreached` for
+/// `A[f1 U f2]`.
+///
+/// A branching graph: from the start state, paths run through `f1`
+/// states until their first `f2` state. `traverse` marks the `f1`
+/// prefix; `firstreached` marks the first `f2` state of each path.
+pub fn figure3() -> Stg {
+    let mut stg = Stg::new("figure3");
+    stg.add_states(9);
+    // Branch A: 0 → 1 → 2 → 3(f2)
+    stg.add_path(&[0, 1, 2, 3]);
+    // Branch B: 0 → 4 → 5(f2)
+    stg.add_path(&[0, 4, 5]);
+    // Branch C: 1 → 6 → 7(f2)
+    stg.add_path(&[1, 6, 7]);
+    // Beyond-first f2 continues to 8 (also f2, but not first-reached).
+    stg.add_edge(3, 8);
+    stg.add_edge(5, 8);
+    stg.add_edge(7, 8);
+    stg.add_edge(8, 8);
+    stg.mark_initial(0);
+    for s in [0, 1, 2, 4, 6] {
+        stg.label(s, "f1");
+    }
+    for s in [3, 5, 7, 8] {
+        stg.label(s, "f2");
+    }
+    stg
+}
+
+/// `traverse(S0, f1, f2)` states of Figure 3.
+pub const FIGURE3_TRAVERSE: &[usize] = &[0, 1, 2, 4, 6];
+/// `firstreached(S0, f2)` states of Figure 3.
+pub const FIGURE3_FIRSTREACHED: &[usize] = &[3, 5, 7];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covest_bdd::{Bdd, Ref};
+    use covest_core::CoveredSets;
+    use covest_ctl::parse_formula;
+
+    fn states_fn(
+        bdd: &mut Bdd,
+        stg: &Stg,
+        fsm: &covest_fsm::SymbolicFsm,
+        ids: &[usize],
+    ) -> Ref {
+        let mut acc = Ref::FALSE;
+        for &s in ids {
+            let f = stg.state_fn(bdd, fsm, s);
+            acc = bdd.or(acc, f);
+        }
+        acc
+    }
+
+    #[test]
+    fn figure1_covered_states() {
+        let mut bdd = Bdd::new();
+        let stg = figure1();
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
+        let prop = parse_formula("AG (p1 -> AX AX q)").expect("subset");
+        assert!(cs.verify(&mut bdd, &prop).expect("verifies"));
+        let covered = cs.covered_from_init(&mut bdd, &prop).expect("covered");
+        let expect = states_fn(&mut bdd, &stg, &fsm, FIGURE1_COVERED);
+        assert_eq!(covered, expect);
+    }
+
+    #[test]
+    fn figure2_covered_states() {
+        let mut bdd = Bdd::new();
+        let stg = figure2();
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
+        let prop = parse_formula("A[p1 U q]").expect("subset");
+        assert!(cs.verify(&mut bdd, &prop).expect("verifies"));
+        let covered = cs.covered_from_init(&mut bdd, &prop).expect("covered");
+        let expect = states_fn(&mut bdd, &stg, &fsm, FIGURE2_COVERED);
+        assert_eq!(covered, expect);
+    }
+
+    #[test]
+    fn figure3_traverse_and_firstreached() {
+        let mut bdd = Bdd::new();
+        let stg = figure3();
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let mut cs = CoveredSets::new(&mut bdd, &fsm, "f2").expect("f2 exists");
+        let f1 = parse_formula("f1").expect("subset");
+        let f2 = parse_formula("f2").expect("subset");
+        let trav = cs
+            .traverse(&mut bdd, fsm.init(), &f1, &f2)
+            .expect("traverse");
+        let expect_t = states_fn(&mut bdd, &stg, &fsm, FIGURE3_TRAVERSE);
+        assert_eq!(trav, expect_t);
+        let first = cs
+            .firstreached(&mut bdd, fsm.init(), &f2)
+            .expect("firstreached");
+        let expect_f = states_fn(&mut bdd, &stg, &fsm, FIGURE3_FIRSTREACHED);
+        assert_eq!(first, expect_f);
+    }
+}

@@ -1,0 +1,177 @@
+//! `covest` — check an SMV-dialect model deck and estimate property
+//! coverage, reproducing the workflow of the DAC'99 paper.
+//!
+//! ```text
+//! covest check MODEL.smv [--coverage] [--observed SIGNAL]...
+//!                        [--traces N] [--strict] [--dot FILE]
+//! ```
+//!
+//! - verifies every `SPEC` under the deck's `FAIRNESS` constraints;
+//! - with `--coverage`, estimates coverage for each `OBSERVED` signal
+//!   (or the `--observed` overrides) and lists uncovered states;
+//! - with `--traces N`, prints shortest input sequences to up to `N`
+//!   uncovered states per signal;
+//! - `--strict` exits nonzero if any property fails;
+//! - `--dot FILE` dumps the reachable-state BDD in Graphviz format.
+
+use std::process::ExitCode;
+
+use covest_bdd::Bdd;
+use covest_core::{CoverageEstimator, CoverageOptions, CoverageTable, ReportRow};
+use covest_mc::{ModelChecker, Verdict};
+
+struct Args {
+    model_path: String,
+    coverage: bool,
+    observed: Vec<String>,
+    traces: usize,
+    strict: bool,
+    dot: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: covest check MODEL.smv [--coverage] [--observed SIGNAL]... \
+         [--traces N] [--strict] [--dot FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    match argv.next().as_deref() {
+        Some("check") => {}
+        _ => usage(),
+    }
+    let mut args = Args {
+        model_path: String::new(),
+        coverage: false,
+        observed: Vec::new(),
+        traces: 0,
+        strict: false,
+        dot: None,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--coverage" => args.coverage = true,
+            "--strict" => args.strict = true,
+            "--observed" => match argv.next() {
+                Some(s) => args.observed.push(s),
+                None => usage(),
+            },
+            "--traces" => match argv.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.traces = n,
+                None => usage(),
+            },
+            "--dot" => match argv.next() {
+                Some(p) => args.dot = Some(p),
+                None => usage(),
+            },
+            _ if args.model_path.is_empty() && !a.starts_with('-') => {
+                args.model_path = a;
+            }
+            _ => usage(),
+        }
+    }
+    if args.model_path.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match run(&args) {
+        Ok(all_passed) => {
+            if args.strict && !all_passed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
+    let src = std::fs::read_to_string(&args.model_path)?;
+    let mut bdd = Bdd::new();
+    let model = covest_smv::compile(&mut bdd, &src)?;
+    println!(
+        "model `{}`: {} state bits, {} properties, {} fairness constraints",
+        args.model_path,
+        model.fsm.num_state_bits(),
+        model.specs.len(),
+        model.fairness.len()
+    );
+
+    // Verification.
+    let mut all_passed = true;
+    let mut mc = ModelChecker::new(&model.fsm);
+    for fair in &model.fairness {
+        mc.add_fairness(&mut bdd, fair)?;
+    }
+    for spec in &model.specs {
+        let verdict = mc.check(&mut bdd, &spec.clone().into())?;
+        let mark = if verdict.holds() { "PASS" } else { "FAIL" };
+        println!("[{mark}] SPEC {spec}");
+        if let Verdict::Fails {
+            counterexample: Some(trace),
+            ..
+        } = &verdict
+        {
+            println!("{trace}");
+        }
+        all_passed &= verdict.holds();
+    }
+
+    // Coverage.
+    if args.coverage {
+        let signals: Vec<String> = if args.observed.is_empty() {
+            model.observed.clone()
+        } else {
+            args.observed.clone()
+        };
+        if signals.is_empty() {
+            eprintln!("warning: no OBSERVED signals; use --observed");
+        }
+        let estimator = CoverageEstimator::new(&model.fsm);
+        let options = CoverageOptions {
+            fairness: model.fairness.clone(),
+            ..Default::default()
+        };
+        let mut table = CoverageTable::new();
+        for signal in &signals {
+            let analysis = estimator.analyze(&mut bdd, signal, &model.specs, &options)?;
+            table.push(ReportRow::from_analysis(&args.model_path, &analysis));
+            for vac in analysis.vacuous_properties() {
+                println!("warning: SPEC {vac} passes vacuously (an implication never triggers)");
+            }
+            if analysis.percent() < 100.0 {
+                println!("\nuncovered states for `{signal}`:");
+                for state in estimator.uncovered_states(&mut bdd, &analysis, 10) {
+                    let rendered: Vec<String> = state
+                        .iter()
+                        .map(|(name, v)| format!("{name}={}", u8::from(*v)))
+                        .collect();
+                    println!("  {}", rendered.join(" "));
+                }
+                for trace in estimator.traces_to_uncovered(&mut bdd, &analysis, args.traces) {
+                    println!("trace to uncovered state:\n{trace}");
+                }
+            }
+        }
+        println!("\n{table}");
+    }
+
+    if let Some(path) = &args.dot {
+        let reach = model.fsm.reachable(&mut bdd);
+        std::fs::write(path, bdd.to_dot(&[("reachable", reach)]))?;
+        println!("wrote {path}");
+    }
+
+    Ok(all_passed)
+}

@@ -1,0 +1,92 @@
+//! End-to-end tests of the `covest` command-line tool against the
+//! bundled model decks.
+
+use std::process::Command;
+
+fn covest() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_covest-cli"))
+}
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+#[test]
+fn checks_counter_with_coverage() {
+    let out = covest()
+        .arg("check")
+        .arg(repo_root().join("models/counter.smv"))
+        .arg("--coverage")
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("[PASS]").count(), 5, "{stdout}");
+    assert!(stdout.contains("83.33"), "{stdout}");
+    assert!(stdout.contains("uncovered states for `count`"), "{stdout}");
+}
+
+#[test]
+fn strict_mode_fails_on_buggy_buffer() {
+    let out = covest()
+        .arg("check")
+        .arg(repo_root().join("models/priority_buffer_buggy.smv"))
+        .arg("--strict")
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "the buggy deck must fail strict mode");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[FAIL]"), "{stdout}");
+    assert!(stdout.contains("counterexample") || stdout.contains("step 0"), "{stdout}");
+}
+
+#[test]
+fn fixed_buffer_passes_at_full_coverage() {
+    let out = covest()
+        .arg("check")
+        .arg(repo_root().join("models/priority_buffer.smv"))
+        .arg("--coverage")
+        .arg("--strict")
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("[FAIL]"), "{stdout}");
+    assert!(stdout.contains("100.00"), "{stdout}");
+}
+
+#[test]
+fn pipeline_deck_uses_embedded_fairness() {
+    let out = covest()
+        .arg("check")
+        .arg(repo_root().join("models/pipeline.smv"))
+        .arg("--strict")
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "eventualities hold under the deck's FAIRNESS: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn usage_on_bad_arguments() {
+    let out = covest().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = covest()
+        .arg("check")
+        .arg("does-not-exist.smv")
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,509 @@
+//! The user-facing coverage estimator: multi-property analysis,
+//! don't-cares, fairness, uncovered-state reporting and traces.
+//!
+//! This is the workflow of the paper's Section 4: verify a property
+//! suite, compute the covered set per property, union them, relate the
+//! result to the coverage space (reachable states, restricted to fair
+//! paths and excluding user don't-cares), and help the user inspect the
+//! holes.
+
+use std::time::{Duration, Instant};
+
+use covest_bdd::{Bdd, Ref, VarId};
+use covest_ctl::{Formula, PropExpr};
+use covest_fsm::{SymbolicFsm, Trace};
+use covest_mc::ModelChecker;
+
+use crate::covered::CoveredSets;
+use crate::error::CoverageError;
+
+/// Per-property outcome within an analysis.
+#[derive(Debug, Clone)]
+pub struct PropertyResult {
+    /// The property.
+    pub formula: Formula,
+    /// Whether the model satisfies it.
+    pub holds: bool,
+    /// Whether the property passes *vacuously*: some implication inside
+    /// it never triggers, so it constrains nothing (and covers nothing
+    /// there). Usually a specification bug.
+    pub vacuous: bool,
+    /// Covered set contributed by this property (empty if it fails).
+    pub covered: Ref,
+}
+
+/// The result of a coverage analysis for one observed signal.
+#[derive(Debug, Clone)]
+pub struct CoverageAnalysis {
+    /// Observed signal name.
+    pub observed: String,
+    /// Per-property results, in input order.
+    pub properties: Vec<PropertyResult>,
+    /// Union of covered sets (intersected with the coverage space).
+    pub covered: Ref,
+    /// The coverage space: reachable (fair) states minus don't-cares.
+    pub space: Ref,
+    /// Number of states in `covered`.
+    pub covered_count: f64,
+    /// Number of states in `space`.
+    pub space_count: f64,
+    /// Wall-clock time spent verifying the properties.
+    pub verify_time: Duration,
+    /// BDD table size after verification (paper's "BDDs" column).
+    pub verify_nodes: usize,
+    /// Wall-clock time spent computing covered sets + the space.
+    pub coverage_time: Duration,
+    /// BDD table size after coverage estimation.
+    pub coverage_nodes: usize,
+}
+
+impl CoverageAnalysis {
+    /// Coverage percentage per Definition 4.
+    ///
+    /// An empty coverage space yields 100% (nothing to cover).
+    pub fn percent(&self) -> f64 {
+        if self.space_count == 0.0 {
+            100.0
+        } else {
+            100.0 * self.covered_count / self.space_count
+        }
+    }
+
+    /// The uncovered portion of the coverage space.
+    pub fn uncovered(&self, bdd: &mut Bdd) -> Ref {
+        bdd.diff(self.space, self.covered)
+    }
+
+    /// `true` if every property in the suite holds.
+    pub fn all_hold(&self) -> bool {
+        self.properties.iter().all(|p| p.holds)
+    }
+
+    /// Properties that pass only vacuously (see
+    /// [`PropertyResult::vacuous`]).
+    pub fn vacuous_properties(&self) -> Vec<&Formula> {
+        self.properties
+            .iter()
+            .filter(|p| p.vacuous)
+            .map(|p| &p.formula)
+            .collect()
+    }
+}
+
+/// Options controlling an analysis.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageOptions {
+    /// Propositional don't-care predicate: states where the observed
+    /// signal's value is irrelevant, excluded from the coverage space
+    /// (Section 4.2).
+    pub dont_cares: Option<PropExpr>,
+    /// Fairness constraints (Section 4.3); coverage is then computed over
+    /// states reachable along fair paths.
+    pub fairness: Vec<PropExpr>,
+    /// If `true`, failing properties abort the analysis with
+    /// [`CoverageError::PropertyFails`]; if `false` (default), failing
+    /// properties contribute no coverage but are reported.
+    pub strict: bool,
+}
+
+/// The coverage estimator for one machine.
+///
+/// # Examples
+///
+/// ```
+/// use covest_bdd::Bdd;
+/// use covest_fsm::Stg;
+/// use covest_core::{CoverageEstimator, CoverageOptions};
+/// use covest_ctl::parse_formula;
+///
+/// let mut stg = Stg::new("chain");
+/// stg.add_states(4);
+/// stg.add_path(&[0, 1, 2, 3]);
+/// stg.add_edge(3, 3);
+/// stg.mark_initial(0);
+/// stg.label(0, "p1");
+/// stg.label(1, "p1");
+/// stg.label(2, "p1");
+/// stg.label(3, "q");
+/// let mut bdd = Bdd::new();
+/// let fsm = stg.compile(&mut bdd)?;
+/// let estimator = CoverageEstimator::new(&fsm);
+/// let props = vec![parse_formula("A[p1 U q]").unwrap()];
+/// let analysis = estimator.analyze(
+///     &mut bdd, "q", &props, &CoverageOptions::default())?;
+/// assert!(analysis.all_hold());
+/// assert_eq!(analysis.percent(), 25.0); // only the first q-state covered
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CoverageEstimator<'m> {
+    fsm: &'m SymbolicFsm,
+}
+
+impl<'m> CoverageEstimator<'m> {
+    /// Creates an estimator for `fsm`.
+    pub fn new(fsm: &'m SymbolicFsm) -> Self {
+        CoverageEstimator { fsm }
+    }
+
+    /// Runs the full analysis for `observed` over a property suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverageError`] for unknown/non-boolean observed signals,
+    /// lowering failures, or (in strict mode) failing properties.
+    pub fn analyze(
+        &self,
+        bdd: &mut Bdd,
+        observed: &str,
+        properties: &[Formula],
+        options: &CoverageOptions,
+    ) -> Result<CoverageAnalysis, CoverageError> {
+        let mut mc = ModelChecker::new(self.fsm);
+        for fair in &options.fairness {
+            mc.add_fairness(bdd, fair)?;
+        }
+        let mut cs = CoveredSets::with_checker(bdd, mc, observed)?;
+
+        // Phase 1: verification.
+        let t0 = Instant::now();
+        let mut verdicts = Vec::with_capacity(properties.len());
+        for p in properties {
+            let holds = cs.verify(bdd, p)?;
+            if options.strict && !holds {
+                return Err(CoverageError::PropertyFails(p.to_string()));
+            }
+            verdicts.push(holds);
+        }
+        let verify_time = t0.elapsed();
+        let verify_nodes = bdd.table_size();
+
+        // Phase 2: covered sets + coverage space.
+        let t1 = Instant::now();
+        let mut property_results = Vec::with_capacity(properties.len());
+        let mut covered = Ref::FALSE;
+        for (p, &holds) in properties.iter().zip(&verdicts) {
+            let c = if holds {
+                cs.covered_from_init(bdd, p)?
+            } else {
+                Ref::FALSE
+            };
+            let vacuous = holds && cs.vacuous(bdd, p)?;
+            covered = bdd.or(covered, c);
+            property_results.push(PropertyResult {
+                formula: p.clone(),
+                holds,
+                vacuous,
+                covered: c,
+            });
+        }
+
+        let reach = self.fsm.reachable(bdd);
+        let fair = cs.checker_mut().fair_states(bdd);
+        let mut space = bdd.and(reach, fair);
+        if let Some(dc) = &options.dont_cares {
+            let dcf = self.fsm.signals().lower(bdd, dc)?;
+            space = bdd.diff(space, dcf);
+        }
+        let covered = bdd.and(covered, space);
+        let coverage_time = t1.elapsed();
+        let coverage_nodes = bdd.table_size();
+
+        let vars = self.state_universe(bdd, covered, space);
+        let covered_count = bdd.sat_count_over(covered, &vars);
+        let space_count = bdd.sat_count_over(space, &vars);
+
+        Ok(CoverageAnalysis {
+            observed: observed.to_owned(),
+            properties: property_results,
+            covered,
+            space,
+            covered_count,
+            space_count,
+            verify_time,
+            verify_nodes,
+            coverage_time,
+            coverage_nodes,
+        })
+    }
+
+    /// Analyzes one property suite against **several observed signals at
+    /// once**, returning a single analysis whose covered set is the union
+    /// of the per-signal covered sets — the paper's Section 2 semantics
+    /// for properties with multiple observable signals.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoverageEstimator::analyze`].
+    pub fn analyze_union(
+        &self,
+        bdd: &mut Bdd,
+        observed: &[&str],
+        properties: &[Formula],
+        options: &CoverageOptions,
+    ) -> Result<CoverageAnalysis, CoverageError> {
+        assert!(!observed.is_empty(), "need at least one observed signal");
+        let mut analyses = Vec::with_capacity(observed.len());
+        for sig in observed {
+            analyses.push(self.analyze(bdd, sig, properties, options)?);
+        }
+        let mut merged = analyses.pop().expect("nonempty");
+        for a in analyses {
+            merged.covered = bdd.or(merged.covered, a.covered);
+            for (mine, theirs) in merged.properties.iter_mut().zip(&a.properties) {
+                mine.covered = bdd.or(mine.covered, theirs.covered);
+                mine.holds &= theirs.holds;
+            }
+        }
+        let vars = self.state_universe(bdd, merged.covered, merged.space);
+        merged.covered_count = bdd.sat_count_over(merged.covered, &vars);
+        merged.observed = observed.join("+");
+        Ok(merged)
+    }
+
+    /// Analyzes several observed signals over their own property suites
+    /// and returns the per-signal analyses in input order.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoverageEstimator::analyze`].
+    pub fn analyze_signals(
+        &self,
+        bdd: &mut Bdd,
+        suites: &[(&str, Vec<Formula>)],
+        options: &CoverageOptions,
+    ) -> Result<Vec<CoverageAnalysis>, CoverageError> {
+        suites
+            .iter()
+            .map(|(sig, props)| self.analyze(bdd, sig, props, options))
+            .collect()
+    }
+
+    /// Lists up to `limit` uncovered states as named bit assignments.
+    pub fn uncovered_states(
+        &self,
+        bdd: &mut Bdd,
+        analysis: &CoverageAnalysis,
+        limit: usize,
+    ) -> Vec<Vec<(String, bool)>> {
+        let uncovered = analysis.uncovered(bdd);
+        let vars = self.fsm.current_vars();
+        bdd.minterms_over(uncovered, &vars)
+            .take(limit)
+            .map(|m| {
+                m.into_iter()
+                    .map(|(v, val)| (self.bit_name(v).to_owned(), val))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Generates shortest traces from the initial states to up to `limit`
+    /// uncovered states (Section 3's aid for strengthening properties).
+    pub fn traces_to_uncovered(
+        &self,
+        bdd: &mut Bdd,
+        analysis: &CoverageAnalysis,
+        limit: usize,
+    ) -> Vec<Trace> {
+        let uncovered = analysis.uncovered(bdd);
+        let vars = self.fsm.current_vars();
+        let targets: Vec<Vec<(VarId, bool)>> =
+            bdd.minterms_over(uncovered, &vars).take(limit).collect();
+        let mut traces = Vec::new();
+        for t in targets {
+            let mut cube = Ref::TRUE;
+            for (v, val) in t {
+                let lit = bdd.literal(v, val);
+                cube = bdd.and(cube, lit);
+            }
+            if let Some(trace) = self.fsm.trace_to(bdd, cube) {
+                traces.push(trace);
+            }
+        }
+        traces
+    }
+
+    fn bit_name(&self, v: VarId) -> &str {
+        self.fsm
+            .state_bits()
+            .iter()
+            .find(|b| b.current == v)
+            .map(|b| b.name.as_str())
+            .unwrap_or("?")
+    }
+
+    fn state_universe(&self, bdd: &Bdd, covered: Ref, space: Ref) -> Vec<VarId> {
+        // Counting universe: the state bits. Signals over inputs can leak
+        // input variables into covered sets; guard against that in debug.
+        let vars = self.fsm.current_vars();
+        debug_assert!(
+            {
+                let set: std::collections::HashSet<VarId> = vars.iter().copied().collect();
+                bdd.support(covered).iter().all(|v| set.contains(v))
+                    && bdd.support(space).iter().all(|v| set.contains(v))
+            },
+            "covered/space must be state predicates"
+        );
+        vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covest_ctl::parse_formula;
+    use covest_fsm::Stg;
+
+    fn f(s: &str) -> Formula {
+        parse_formula(s).expect(s)
+    }
+
+    fn figure2(bdd: &mut Bdd) -> (Stg, SymbolicFsm) {
+        let mut stg = Stg::new("figure2");
+        stg.add_states(6);
+        stg.add_path(&[0, 1, 2, 3, 4, 5]);
+        stg.add_edge(5, 5);
+        stg.mark_initial(0);
+        for s in 0..4 {
+            stg.label(s, "p1");
+        }
+        stg.label(4, "q");
+        stg.label(5, "q");
+        (stg.clone(), stg.compile(bdd).expect("compiles"))
+    }
+
+    #[test]
+    fn analysis_reports_percent_and_holes() {
+        let mut bdd = Bdd::new();
+        let (_, fsm) = figure2(&mut bdd);
+        let est = CoverageEstimator::new(&fsm);
+        let analysis = est
+            .analyze(
+                &mut bdd,
+                "q",
+                &[f("A[p1 U q]")],
+                &CoverageOptions::default(),
+            )
+            .expect("analyzes");
+        assert!(analysis.all_hold());
+        assert_eq!(analysis.space_count, 6.0);
+        assert_eq!(analysis.covered_count, 1.0);
+        assert!((analysis.percent() - 100.0 / 6.0).abs() < 1e-9);
+        let holes = est.uncovered_states(&mut bdd, &analysis, 10);
+        assert_eq!(holes.len(), 5);
+    }
+
+    #[test]
+    fn additional_property_closes_holes() {
+        let mut bdd = Bdd::new();
+        let (_, fsm) = figure2(&mut bdd);
+        let est = CoverageEstimator::new(&fsm);
+        // Add a property checking q persists: AG(q -> AX q) covers state 5
+        // (successor of q states); plus one checking ¬q on the prefix.
+        let props = vec![
+            f("A[p1 U q]"),
+            f("AG (q -> AX q)"),
+            f("AG (p1 -> !q)"),
+        ];
+        let analysis = est
+            .analyze(&mut bdd, "q", &props, &CoverageOptions::default())
+            .expect("analyzes");
+        assert!(analysis.all_hold());
+        assert_eq!(analysis.percent(), 100.0);
+    }
+
+    #[test]
+    fn failing_property_contributes_nothing_by_default() {
+        let mut bdd = Bdd::new();
+        let (_, fsm) = figure2(&mut bdd);
+        let est = CoverageEstimator::new(&fsm);
+        let analysis = est
+            .analyze(
+                &mut bdd,
+                "q",
+                &[f("AG q")],
+                &CoverageOptions::default(),
+            )
+            .expect("analyzes");
+        assert!(!analysis.all_hold());
+        assert_eq!(analysis.covered_count, 0.0);
+    }
+
+    #[test]
+    fn strict_mode_rejects_failing_properties() {
+        let mut bdd = Bdd::new();
+        let (_, fsm) = figure2(&mut bdd);
+        let est = CoverageEstimator::new(&fsm);
+        let err = est
+            .analyze(
+                &mut bdd,
+                "q",
+                &[f("AG q")],
+                &CoverageOptions {
+                    strict: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoverageError::PropertyFails(_)));
+    }
+
+    #[test]
+    fn dont_cares_shrink_the_space() {
+        let mut bdd = Bdd::new();
+        let (_, fsm) = figure2(&mut bdd);
+        let est = CoverageEstimator::new(&fsm);
+        // Declare the p1-prefix as don't-care for q.
+        let analysis = est
+            .analyze(
+                &mut bdd,
+                "q",
+                &[f("A[p1 U q]"), f("AG (q -> AX q)")],
+                &CoverageOptions {
+                    dont_cares: Some(PropExpr::atom("p1")),
+                    ..Default::default()
+                },
+            )
+            .expect("analyzes");
+        assert_eq!(analysis.space_count, 2.0); // states 4 and 5
+        assert_eq!(analysis.percent(), 100.0);
+    }
+
+    #[test]
+    fn traces_lead_to_uncovered_states() {
+        let mut bdd = Bdd::new();
+        let (_, fsm) = figure2(&mut bdd);
+        let est = CoverageEstimator::new(&fsm);
+        let analysis = est
+            .analyze(
+                &mut bdd,
+                "q",
+                &[f("A[p1 U q]")],
+                &CoverageOptions::default(),
+            )
+            .expect("analyzes");
+        let traces = est.traces_to_uncovered(&mut bdd, &analysis, 3);
+        assert_eq!(traces.len(), 3);
+        for t in &traces {
+            assert!(!t.steps.is_empty());
+        }
+    }
+
+    #[test]
+    fn multi_signal_analysis() {
+        let mut bdd = Bdd::new();
+        let (_, fsm) = figure2(&mut bdd);
+        let est = CoverageEstimator::new(&fsm);
+        let suites = vec![
+            ("q", vec![f("A[p1 U q]")]),
+            ("p1", vec![f("A[p1 U q]")]),
+        ];
+        let results = est
+            .analyze_signals(&mut bdd, &suites, &CoverageOptions::default())
+            .expect("analyzes");
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].covered_count, 1.0); // first q state
+        assert_eq!(results[1].covered_count, 4.0); // p1 prefix
+    }
+}

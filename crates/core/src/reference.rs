@@ -1,0 +1,233 @@
+//! Enumerative reference implementation of the coverage definition.
+//!
+//! Definition 3 of the paper characterizes the covered set directly: a
+//! state `s` is covered iff the *dual FSM* `M̂s` — identical to `M` except
+//! that the observed signal's value is complemented in `s` (Definition 2)
+//! — violates the property.
+//!
+//! This module implements that characterization by brute force: enumerate
+//! the reachable states, build the dual interpretation for each, and
+//! re-run the model checker. It is exponentially slower than the symbolic
+//! algorithm of Table 1 (one full model-checking run *per state*), which
+//! is exactly why the paper's algorithm matters; here it serves as
+//!
+//! - the ground truth for differential tests of the Correctness Theorem,
+//!   and
+//! - the baseline of the `naive_vs_symbolic` ablation benchmark.
+
+use covest_bdd::{Bdd, Ref, VarId};
+use covest_ctl::{observability_transform, Ctl, Formula, SignalRef};
+use covest_fsm::{SignalValue, SymbolicFsm};
+use covest_mc::ModelChecker;
+
+use crate::error::CoverageError;
+
+/// Safety limit on enumerated states.
+pub const DEFAULT_STATE_LIMIT: usize = 4096;
+
+/// Which formula the dual-FSM test is applied to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReferenceMode {
+    /// Apply Definition 3 to the raw formula (flipping `q` itself). This
+    /// is the "faithful application" the paper discusses — and the one
+    /// that yields the unintuitive 0% coverage for `A[p1 U q]` (Figure 2).
+    Raw,
+    /// Apply Definition 3 to the observability-transformed formula
+    /// `φ(f)`, flipping the primed copy `q'`. Per the Correctness
+    /// Theorem this matches the symbolic algorithm of Table 1.
+    Transformed,
+}
+
+/// Computes the covered set by per-state dual-FSM model checking.
+///
+/// `fairness` carries already-lowered fairness state sets, applied to
+/// every per-state check.
+///
+/// # Errors
+///
+/// - [`CoverageError::UnknownObserved`] / `ObservedNotBoolean` for bad
+///   observed signals;
+/// - [`CoverageError::PropertyFails`] if `M ⊭ f` (the definition
+///   presupposes a verified property);
+/// - [`CoverageError::StateSpaceTooLarge`] if the reachable space exceeds
+///   `limit` (use the symbolic algorithm instead);
+/// - [`CoverageError::Lower`] for unresolvable atoms.
+pub fn reference_covered_set(
+    bdd: &mut Bdd,
+    fsm: &SymbolicFsm,
+    observed: &str,
+    formula: &Formula,
+    mode: ReferenceMode,
+    fairness: &[Ref],
+    limit: usize,
+) -> Result<Ref, CoverageError> {
+    let observed_value = fsm
+        .signals()
+        .get(observed)
+        .cloned()
+        .ok_or_else(|| CoverageError::UnknownObserved(observed.to_owned()))?;
+
+    // The property must hold on the original machine.
+    let mut mc = ModelChecker::new(fsm);
+    for &c in fairness {
+        mc.add_fairness_set(c);
+    }
+    let ctl: Ctl = formula.into();
+    if !mc.holds(bdd, &ctl)? {
+        return Err(CoverageError::PropertyFails(formula.to_string()));
+    }
+
+    let check_formula: Ctl = match mode {
+        ReferenceMode::Raw => ctl,
+        ReferenceMode::Transformed => observability_transform(formula, observed),
+    };
+
+    // Enumerate reachable states.
+    let reach = fsm.reachable(bdd);
+    let cur = fsm.current_vars();
+    let states: Vec<Vec<(VarId, bool)>> = bdd.minterms_over(reach, &cur).collect();
+    if states.len() > limit {
+        return Err(CoverageError::StateSpaceTooLarge {
+            reachable: states.len(),
+            limit,
+        });
+    }
+
+    let mut covered = Ref::FALSE;
+    for assignment in &states {
+        // Characteristic function of this single state.
+        let mut cube = Ref::TRUE;
+        for &(v, val) in assignment {
+            let lit = bdd.literal(v, val);
+            cube = bdd.and(cube, lit);
+        }
+        // Dual interpretations: flip the observed signal on this state.
+        // Boolean signals have one flip; numeric signals have one per bit
+        // (the paper's multi-signal union semantics applied to the bits).
+        let duals: Vec<SignalValue> = match &observed_value {
+            SignalValue::Bool(r) => vec![SignalValue::Bool(bdd.xor(*r, cube))],
+            SignalValue::Num(sig) => (0..sig.bits.len())
+                .map(|i| {
+                    let mut flipped = sig.clone();
+                    flipped.bits[i] = bdd.xor(sig.bits[i], cube);
+                    SignalValue::Num(flipped)
+                })
+                .collect(),
+        };
+        let pattern = match mode {
+            ReferenceMode::Raw => SignalRef::new(observed),
+            ReferenceMode::Transformed => SignalRef::primed(observed),
+        };
+        for dual in duals {
+            let mut dual_mc = ModelChecker::new(fsm);
+            for &c in fairness {
+                dual_mc.add_fairness_set(c);
+            }
+            dual_mc.set_overrides(vec![(pattern.clone(), dual)]);
+            if !dual_mc.holds(bdd, &check_formula)? {
+                covered = bdd.or(covered, cube);
+                break;
+            }
+        }
+    }
+    Ok(covered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covest_ctl::parse_formula;
+    use covest_fsm::Stg;
+
+    fn f(s: &str) -> Formula {
+        parse_formula(s).expect(s)
+    }
+
+    /// Figure 2's chain. As drawn in the paper, `p1` also holds in the
+    /// first `q` state — that is precisely why the raw Definition 3
+    /// yields zero coverage for `A[p1 U q]`.
+    fn figure2(bdd: &mut Bdd) -> (Stg, SymbolicFsm) {
+        let mut stg = Stg::new("figure2");
+        stg.add_states(6);
+        stg.add_path(&[0, 1, 2, 3, 4, 5]);
+        stg.add_edge(5, 5);
+        stg.mark_initial(0);
+        for s in 0..5 {
+            stg.label(s, "p1");
+        }
+        stg.label(4, "q");
+        stg.label(5, "q");
+        (stg.clone(), stg.compile(bdd).expect("compiles"))
+    }
+
+    #[test]
+    fn raw_until_coverage_is_zero_as_paper_observes() {
+        // Section 2.1: "the coverage for this property will be zero" when
+        // Definition 3 is applied without the transformation.
+        let mut bdd = Bdd::new();
+        let (_, fsm) = figure2(&mut bdd);
+        let covered = reference_covered_set(
+            &mut bdd,
+            &fsm,
+            "q",
+            &f("A[p1 U q]"),
+            ReferenceMode::Raw,
+            &[],
+            DEFAULT_STATE_LIMIT,
+        )
+        .expect("runs");
+        assert!(covered.is_false());
+    }
+
+    #[test]
+    fn transformed_until_covers_first_q_state() {
+        let mut bdd = Bdd::new();
+        let (stg, fsm) = figure2(&mut bdd);
+        let covered = reference_covered_set(
+            &mut bdd,
+            &fsm,
+            "q",
+            &f("A[p1 U q]"),
+            ReferenceMode::Transformed,
+            &[],
+            DEFAULT_STATE_LIMIT,
+        )
+        .expect("runs");
+        let s4 = stg.state_fn(&mut bdd, &fsm, 4);
+        assert_eq!(covered, s4);
+    }
+
+    #[test]
+    fn unverified_property_is_rejected() {
+        let mut bdd = Bdd::new();
+        let (_, fsm) = figure2(&mut bdd);
+        let err = reference_covered_set(
+            &mut bdd,
+            &fsm,
+            "q",
+            &f("AG q"),
+            ReferenceMode::Raw,
+            &[],
+            DEFAULT_STATE_LIMIT,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoverageError::PropertyFails(_)));
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let mut bdd = Bdd::new();
+        let (_, fsm) = figure2(&mut bdd);
+        let err = reference_covered_set(
+            &mut bdd,
+            &fsm,
+            "q",
+            &f("A[p1 U q]"),
+            ReferenceMode::Raw,
+            &[],
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoverageError::StateSpaceTooLarge { .. }));
+    }
+}

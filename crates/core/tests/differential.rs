@@ -1,0 +1,218 @@
+//! Differential validation of the Correctness Theorem (Section 3):
+//! the symbolic covered-set algorithm of Table 1 must compute exactly the
+//! Definition-3 covered set of the observability-transformed formula.
+//!
+//! We generate hundreds of random explicit-state machines and random
+//! properties from the acceptable ACTL subset; whenever a property holds,
+//! both implementations must agree on the covered set, state for state.
+
+use covest_bdd::{Bdd, Ref};
+use covest_core::{
+    reference_covered_set, CoverageError, CoveredSets, ReferenceMode, DEFAULT_STATE_LIMIT,
+};
+use covest_ctl::{parse_formula, Formula};
+use covest_fsm::{Stg, SymbolicFsm};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Builds a random strongly-connected-ish STG with labels p, q, r.
+fn random_stg(rng: &mut StdRng) -> Stg {
+    let n = rng.gen_range(3..=7);
+    let mut stg = Stg::new("random");
+    stg.add_states(n);
+    // A random spanning path keeps most states reachable.
+    for i in 0..n - 1 {
+        stg.add_edge(i, i + 1);
+    }
+    // Extra random edges.
+    let extra = rng.gen_range(1..=n);
+    for _ in 0..extra {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        stg.add_edge(a, b);
+    }
+    // Close the end so paths do not dead-end into self-loops too often.
+    let back = rng.gen_range(0..n);
+    stg.add_edge(n - 1, back);
+    stg.mark_initial(0);
+    for s in 0..n {
+        if rng.gen_bool(0.5) {
+            stg.label(s, "p");
+        }
+        if rng.gen_bool(0.5) {
+            stg.label(s, "q");
+        }
+        if rng.gen_bool(0.3) {
+            stg.label(s, "r");
+        }
+    }
+    // Ensure every label exists somewhere so lowering never fails.
+    stg.label(rng.gen_range(0..n), "p");
+    stg.label(rng.gen_range(0..n), "q");
+    stg.label(rng.gen_range(0..n), "r");
+    stg
+}
+
+/// Formula templates over atoms drawn from {p, q, r, !p, !q, p|q, p&q}.
+fn random_formula(rng: &mut StdRng) -> Formula {
+    let atoms = ["p", "q", "r", "!p", "!q", "(p | q)", "(p & q)", "TRUE"];
+    let mut a = || atoms[rng.gen_range(0..atoms.len())];
+    let templates: Vec<String> = vec![
+        format!("{}", a()),
+        format!("{} -> {}", a(), a()),
+        format!("AX {}", a()),
+        format!("AX AX {}", a()),
+        format!("AG {}", a()),
+        format!("AG ({} -> AX {})", a(), a()),
+        format!("AG ({} -> AX AX {})", a(), a()),
+        format!("A[{} U {}]", a(), a()),
+        format!("AF {}", a()),
+        format!("AG ({} -> A[{} U {}])", a(), a(), a()),
+        format!("A[{} U A[{} U {}]]", a(), a(), a()),
+        format!("(AG {} & AX {})", a(), a()),
+        format!("{} -> AG ({} -> AX {})", a(), a(), a()),
+        format!("AG AX {}", a()),
+        format!("A[{} U {}] & AF {}", a(), a(), a()),
+    ];
+    let pick = rng.gen_range(0..templates.len());
+    parse_formula(&templates[pick]).expect("templates are in the subset")
+}
+
+fn symbolic_covered(
+    bdd: &mut Bdd,
+    fsm: &SymbolicFsm,
+    observed: &str,
+    f: &Formula,
+) -> Result<Option<Ref>, CoverageError> {
+    let mut cs = CoveredSets::new(bdd, fsm, observed)?;
+    if !cs.verify(bdd, f)? {
+        return Ok(None);
+    }
+    Ok(Some(cs.covered_from_init(bdd, f)?))
+}
+
+#[test]
+fn symbolic_algorithm_matches_definition3_of_transformed_formula() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut verified_cases = 0usize;
+    let mut attempts = 0usize;
+    while verified_cases < 120 && attempts < 3000 {
+        attempts += 1;
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let formula = random_formula(&mut rng);
+        let observed = if rng.gen_bool(0.7) { "q" } else { "p" };
+
+        let symbolic = match symbolic_covered(&mut bdd, &fsm, observed, &formula) {
+            Ok(Some(c)) => c,
+            Ok(None) => continue, // property fails: coverage undefined
+            Err(e) => panic!("symbolic failed: {e}"),
+        };
+        let reference = reference_covered_set(
+            &mut bdd,
+            &fsm,
+            observed,
+            &formula,
+            ReferenceMode::Transformed,
+            &[],
+            DEFAULT_STATE_LIMIT,
+        )
+        .expect("reference runs");
+
+        assert_eq!(
+            symbolic,
+            reference,
+            "covered sets diverge\n  formula: {formula}\n  observed: {observed}\n  \
+             model: {} states, case {attempts}",
+            stg.num_states()
+        );
+        verified_cases += 1;
+    }
+    assert!(
+        verified_cases >= 120,
+        "only {verified_cases} verified cases in {attempts} attempts"
+    );
+}
+
+#[test]
+fn raw_definition3_is_a_subset_of_reachable() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut checked = 0usize;
+    let mut attempts = 0usize;
+    while checked < 40 && attempts < 1200 {
+        attempts += 1;
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let formula = random_formula(&mut rng);
+        let raw = match reference_covered_set(
+            &mut bdd,
+            &fsm,
+            "q",
+            &formula,
+            ReferenceMode::Raw,
+            &[],
+            DEFAULT_STATE_LIMIT,
+        ) {
+            Ok(c) => c,
+            Err(CoverageError::PropertyFails(_)) => continue,
+            Err(e) => panic!("reference failed: {e}"),
+        };
+        let reach = fsm.reachable(&mut bdd);
+        assert!(bdd.leq(raw, reach), "raw covered ⊆ reachable");
+        checked += 1;
+    }
+    assert!(checked >= 40, "only {checked} cases in {attempts} attempts");
+}
+
+#[test]
+fn covered_set_is_within_reachable_states() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut checked = 0usize;
+    let mut attempts = 0usize;
+    while checked < 60 && attempts < 1500 {
+        attempts += 1;
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let formula = random_formula(&mut rng);
+        let covered = match symbolic_covered(&mut bdd, &fsm, "q", &formula) {
+            Ok(Some(c)) => c,
+            Ok(None) => continue,
+            Err(e) => panic!("symbolic failed: {e}"),
+        };
+        let reach = fsm.reachable(&mut bdd);
+        assert!(bdd.leq(covered, reach), "covered ⊆ reachable\n{formula}");
+        checked += 1;
+    }
+    assert!(checked >= 60, "only {checked} cases in {attempts} attempts");
+}
+
+#[test]
+fn properties_not_mentioning_observed_signal_cover_nothing() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut checked = 0usize;
+    let mut attempts = 0usize;
+    while checked < 30 && attempts < 1000 {
+        attempts += 1;
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let formula = random_formula(&mut rng);
+        if formula.mentions("r") {
+            continue;
+        }
+        // Observe r: the property never constrains it.
+        let covered = match symbolic_covered(&mut bdd, &fsm, "r", &formula) {
+            Ok(Some(c)) => c,
+            Ok(None) => continue,
+            Err(e) => panic!("symbolic failed: {e}"),
+        };
+        assert!(
+            covered.is_false(),
+            "property {formula} does not mention r but covered it"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 30, "only {checked} cases in {attempts} attempts");
+}

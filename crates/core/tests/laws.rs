@@ -1,0 +1,192 @@
+//! Algebraic laws of the covered-set computation, checked on random
+//! machines: properties the paper states or that follow directly from
+//! the definitions.
+
+use covest_bdd::{Bdd, Ref};
+use covest_core::{CoverageEstimator, CoverageOptions, CoveredSets};
+use covest_ctl::{parse_formula, Formula};
+use covest_fsm::Stg;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_stg(rng: &mut StdRng) -> Stg {
+    let n = rng.gen_range(3..=7);
+    let mut stg = Stg::new("random");
+    stg.add_states(n);
+    for i in 0..n - 1 {
+        stg.add_edge(i, i + 1);
+    }
+    for _ in 0..rng.gen_range(1..=n) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        stg.add_edge(a, b);
+    }
+    stg.add_edge(n - 1, rng.gen_range(0..n));
+    stg.mark_initial(0);
+    for s in 0..n {
+        if rng.gen_bool(0.5) {
+            stg.label(s, "p");
+        }
+        if rng.gen_bool(0.5) {
+            stg.label(s, "q");
+        }
+    }
+    stg.label(rng.gen_range(0..n), "p");
+    stg.label(rng.gen_range(0..n), "q");
+    stg
+}
+
+fn random_formula(rng: &mut StdRng) -> Formula {
+    let atoms = ["p", "q", "!p", "!q", "(p | q)", "(p & q)", "TRUE"];
+    let mut a = || atoms[rng.gen_range(0..atoms.len())];
+    let templates: Vec<String> = vec![
+        format!("AG ({} -> AX {})", a(), a()),
+        format!("A[{} U {}]", a(), a()),
+        format!("AF {}", a()),
+        format!("AG {}", a()),
+        format!("AX {}", a()),
+        format!("AG ({} -> A[{} U {}])", a(), a(), a()),
+    ];
+    parse_formula(&templates[rng.gen_range(0..templates.len())]).expect("in subset")
+}
+
+/// Runs `k` random (machine, formula) cases where the formula holds and
+/// feeds each to `check`.
+fn verified_cases(
+    seed: u64,
+    k: usize,
+    mut check: impl FnMut(&mut Bdd, &Stg, &covest_fsm::SymbolicFsm, &Formula),
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut done = 0;
+    let mut attempts = 0;
+    while done < k && attempts < 50 * k {
+        attempts += 1;
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let formula = random_formula(&mut rng);
+        let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
+        if !cs.verify(&mut bdd, &formula).expect("checks") {
+            continue;
+        }
+        check(&mut bdd, &stg, &fsm, &formula);
+        done += 1;
+    }
+    assert!(done >= k, "only {done} verified cases");
+}
+
+#[test]
+fn conjunction_covered_set_is_the_union() {
+    // Table 1: C(S0, f1 ∧ f2) = C(S0, f1) ∪ C(S0, f2). Check it at the
+    // API level by comparing `analyze` on [f, g] against [f ∧ g].
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut done = 0;
+    while done < 30 {
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let f = random_formula(&mut rng);
+        let g = random_formula(&mut rng);
+        let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
+        if !cs.verify(&mut bdd, &f).expect("checks") || !cs.verify(&mut bdd, &g).expect("checks")
+        {
+            continue;
+        }
+        let cf = cs.covered_from_init(&mut bdd, &f).expect("covers");
+        let cg = cs.covered_from_init(&mut bdd, &g).expect("covers");
+        let conj = f.clone().and(g.clone());
+        let cfg = cs.covered_from_init(&mut bdd, &conj).expect("covers");
+        let union = bdd.or(cf, cg);
+        assert_eq!(cfg, union, "f={f} g={g}");
+        done += 1;
+    }
+}
+
+#[test]
+fn coverage_is_monotone_in_the_property_set() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut done = 0;
+    while done < 20 {
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let props: Vec<Formula> = (0..4).map(|_| random_formula(&mut rng)).collect();
+        let est = CoverageEstimator::new(&fsm);
+        let mut last = Ref::FALSE;
+        let mut ok = true;
+        for k in 1..=props.len() {
+            let a = match est.analyze(&mut bdd, "q", &props[..k], &CoverageOptions::default()) {
+                Ok(a) => a,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            };
+            assert!(
+                bdd.leq(last, a.covered),
+                "covered set grows with more properties"
+            );
+            last = a.covered;
+        }
+        if ok {
+            done += 1;
+        }
+    }
+}
+
+#[test]
+fn covered_is_always_within_the_space() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..40 {
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let props: Vec<Formula> = (0..3).map(|_| random_formula(&mut rng)).collect();
+        let est = CoverageEstimator::new(&fsm);
+        let a = est
+            .analyze(&mut bdd, "q", &props, &CoverageOptions::default())
+            .expect("analyzes");
+        assert!(bdd.leq(a.covered, a.space));
+        assert!(a.covered_count <= a.space_count);
+        let pct = a.percent();
+        assert!((0.0..=100.0).contains(&pct));
+    }
+}
+
+#[test]
+fn union_analysis_covers_at_least_each_signal() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut done = 0;
+    while done < 20 {
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let props = vec![random_formula(&mut rng), random_formula(&mut rng)];
+        let est = CoverageEstimator::new(&fsm);
+        let opts = CoverageOptions::default();
+        let (ap, aq, aunion) = (
+            est.analyze(&mut bdd, "p", &props, &opts).expect("analyzes"),
+            est.analyze(&mut bdd, "q", &props, &opts).expect("analyzes"),
+            est.analyze_union(&mut bdd, &["p", "q"], &props, &opts)
+                .expect("analyzes"),
+        );
+        let manual = bdd.or(ap.covered, aq.covered);
+        assert_eq!(aunion.covered, manual);
+        assert!(aunion.covered_count >= ap.covered_count.max(aq.covered_count));
+        done += 1;
+    }
+}
+
+#[test]
+fn covered_states_of_ax_live_one_step_ahead() {
+    // C(S0, AX f) = C(forward(S0), f): every covered state of an AX
+    // property is an image of the start states.
+    verified_cases(5, 25, |bdd, _stg, fsm, formula| {
+        if let Formula::Ax(_) = formula {
+            let mut cs = CoveredSets::new(bdd, fsm, "q").expect("q exists");
+            let covered = cs.covered_from_init(bdd, formula).expect("covers");
+            let img = fsm.image(bdd, fsm.init());
+            assert!(bdd.leq(covered, img), "{formula}");
+        }
+    });
+}

@@ -1,0 +1,491 @@
+//! Abstract syntax for the acceptable ACTL subset of the DAC'99 paper.
+//!
+//! The paper (Section 2.1) restricts coverage estimation to the grammar
+//!
+//! ```text
+//! f ::= b | b → f | AX f | AG f | A[f U g] | f ∧ g        (+ AF f sugar)
+//! ```
+//!
+//! where `b` ranges over propositional formulas. [`PropExpr`] is the
+//! propositional layer; [`Formula`] is the temporal layer.
+
+use std::fmt;
+
+/// A reference to a named model signal, with the *primed* marker used by
+/// the observability transformation (Definition 5): `q'` is a copy of the
+/// observed signal `q` that carries coverage obligations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SignalRef {
+    /// Signal name as written in the model/property.
+    pub name: String,
+    /// Whether this occurrence was primed by the observability transform.
+    pub primed: bool,
+}
+
+impl SignalRef {
+    /// An unprimed reference to `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        SignalRef {
+            name: name.into(),
+            primed: false,
+        }
+    }
+
+    /// A primed reference to `name` (used only by the transformation).
+    pub fn primed(name: impl Into<String>) -> Self {
+        SignalRef {
+            name: name.into(),
+            primed: true,
+        }
+    }
+}
+
+impl fmt::Display for SignalRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.primed {
+            write!(f, "{}'", self.name)
+        } else {
+            write!(f, "{}", self.name)
+        }
+    }
+}
+
+/// Comparison operators usable in propositional atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on concrete integers.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CmpRhs {
+    /// Integer literal.
+    Int(i64),
+    /// Symbolic name: either another variable or an enumeration literal;
+    /// which one is resolved against the model at lowering time.
+    Sym(SignalRef),
+}
+
+impl fmt::Display for CmpRhs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpRhs::Int(i) => write!(f, "{i}"),
+            CmpRhs::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A propositional (state) formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PropExpr {
+    /// Constant `TRUE` / `FALSE`.
+    Const(bool),
+    /// A boolean signal.
+    Atom(SignalRef),
+    /// A comparison such as `count < 5` or `rp = wp`.
+    Cmp {
+        /// Left-hand variable.
+        lhs: SignalRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand side.
+        rhs: CmpRhs,
+    },
+    /// Negation.
+    Not(Box<PropExpr>),
+    /// Conjunction.
+    And(Box<PropExpr>, Box<PropExpr>),
+    /// Disjunction.
+    Or(Box<PropExpr>, Box<PropExpr>),
+    /// Implication.
+    Implies(Box<PropExpr>, Box<PropExpr>),
+    /// Biconditional.
+    Iff(Box<PropExpr>, Box<PropExpr>),
+}
+
+impl PropExpr {
+    /// Convenience constructor for a boolean atom.
+    pub fn atom(name: impl Into<String>) -> Self {
+        PropExpr::Atom(SignalRef::new(name))
+    }
+
+    /// Convenience constructor for `lhs op value`.
+    pub fn cmp_int(lhs: impl Into<String>, op: CmpOp, value: i64) -> Self {
+        PropExpr::Cmp {
+            lhs: SignalRef::new(lhs),
+            op,
+            rhs: CmpRhs::Int(value),
+        }
+    }
+
+    /// Convenience constructor for `lhs op rhs` with a symbolic rhs.
+    pub fn cmp_sym(lhs: impl Into<String>, op: CmpOp, rhs: impl Into<String>) -> Self {
+        PropExpr::Cmp {
+            lhs: SignalRef::new(lhs),
+            op,
+            rhs: CmpRhs::Sym(SignalRef::new(rhs)),
+        }
+    }
+
+    /// Negation (consuming constructor).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        PropExpr::Not(Box::new(self))
+    }
+
+    /// Conjunction (consuming constructor).
+    pub fn and(self, other: PropExpr) -> Self {
+        PropExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction (consuming constructor).
+    pub fn or(self, other: PropExpr) -> Self {
+        PropExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication (consuming constructor).
+    pub fn implies(self, other: PropExpr) -> Self {
+        PropExpr::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// Returns `true` if the expression mentions signal `name` (primed or
+    /// unprimed, as atom, comparison lhs, or symbolic rhs).
+    pub fn mentions(&self, name: &str) -> bool {
+        match self {
+            PropExpr::Const(_) => false,
+            PropExpr::Atom(s) => s.name == name,
+            PropExpr::Cmp { lhs, rhs, .. } => {
+                lhs.name == name
+                    || matches!(rhs, CmpRhs::Sym(s) if s.name == name)
+            }
+            PropExpr::Not(a) => a.mentions(name),
+            PropExpr::And(a, b)
+            | PropExpr::Or(a, b)
+            | PropExpr::Implies(a, b)
+            | PropExpr::Iff(a, b) => a.mentions(name) || b.mentions(name),
+        }
+    }
+
+    /// Returns a copy with every occurrence of signal `name` marked primed
+    /// (the substitution `q ↦ q'` of Definition 5).
+    pub fn prime_signal(&self, name: &str) -> PropExpr {
+        let prime = |s: &SignalRef| -> SignalRef {
+            if s.name == name {
+                SignalRef {
+                    name: s.name.clone(),
+                    primed: true,
+                }
+            } else {
+                s.clone()
+            }
+        };
+        match self {
+            PropExpr::Const(c) => PropExpr::Const(*c),
+            PropExpr::Atom(s) => PropExpr::Atom(prime(s)),
+            PropExpr::Cmp { lhs, op, rhs } => PropExpr::Cmp {
+                lhs: prime(lhs),
+                op: *op,
+                rhs: match rhs {
+                    CmpRhs::Int(i) => CmpRhs::Int(*i),
+                    CmpRhs::Sym(s) => CmpRhs::Sym(prime(s)),
+                },
+            },
+            PropExpr::Not(a) => PropExpr::Not(Box::new(a.prime_signal(name))),
+            PropExpr::And(a, b) => PropExpr::And(
+                Box::new(a.prime_signal(name)),
+                Box::new(b.prime_signal(name)),
+            ),
+            PropExpr::Or(a, b) => PropExpr::Or(
+                Box::new(a.prime_signal(name)),
+                Box::new(b.prime_signal(name)),
+            ),
+            PropExpr::Implies(a, b) => PropExpr::Implies(
+                Box::new(a.prime_signal(name)),
+                Box::new(b.prime_signal(name)),
+            ),
+            PropExpr::Iff(a, b) => PropExpr::Iff(
+                Box::new(a.prime_signal(name)),
+                Box::new(b.prime_signal(name)),
+            ),
+        }
+    }
+
+    /// All signal names mentioned in the expression, in first-occurrence order.
+    pub fn signals(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_signals(&mut out);
+        out
+    }
+
+    fn collect_signals(&self, out: &mut Vec<String>) {
+        let mut push = |n: &str| {
+            if !out.iter().any(|x| x == n) {
+                out.push(n.to_owned());
+            }
+        };
+        match self {
+            PropExpr::Const(_) => {}
+            PropExpr::Atom(s) => push(&s.name),
+            PropExpr::Cmp { lhs, rhs, .. } => {
+                push(&lhs.name);
+                if let CmpRhs::Sym(s) = rhs {
+                    push(&s.name);
+                }
+            }
+            PropExpr::Not(a) => a.collect_signals(out),
+            PropExpr::And(a, b)
+            | PropExpr::Or(a, b)
+            | PropExpr::Implies(a, b)
+            | PropExpr::Iff(a, b) => {
+                a.collect_signals(out);
+                b.collect_signals(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for PropExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropExpr::Const(true) => f.write_str("TRUE"),
+            PropExpr::Const(false) => f.write_str("FALSE"),
+            PropExpr::Atom(s) => write!(f, "{s}"),
+            PropExpr::Cmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            PropExpr::Not(a) => write!(f, "!({a})"),
+            PropExpr::And(a, b) => write!(f, "({a} & {b})"),
+            PropExpr::Or(a, b) => write!(f, "({a} | {b})"),
+            PropExpr::Implies(a, b) => write!(f, "({a} -> {b})"),
+            PropExpr::Iff(a, b) => write!(f, "({a} <-> {b})"),
+        }
+    }
+}
+
+/// A temporal formula in the paper's acceptable ACTL subset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// A propositional formula `b`.
+    Prop(PropExpr),
+    /// `b → f` with propositional antecedent.
+    Implies(PropExpr, Box<Formula>),
+    /// `AX f`.
+    Ax(Box<Formula>),
+    /// `AG f`.
+    Ag(Box<Formula>),
+    /// `AF f` — sugar for `A[TRUE U f]`, removed by [`Formula::normalize`].
+    Af(Box<Formula>),
+    /// `A[f U g]`.
+    Au(Box<Formula>, Box<Formula>),
+    /// Conjunction of temporal formulas.
+    And(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Lifts a propositional expression.
+    pub fn prop(p: PropExpr) -> Self {
+        Formula::Prop(p)
+    }
+
+    /// `b → f`.
+    pub fn implies(b: PropExpr, f: Formula) -> Self {
+        Formula::Implies(b, Box::new(f))
+    }
+
+    /// `AX f`.
+    pub fn ax(f: Formula) -> Self {
+        Formula::Ax(Box::new(f))
+    }
+
+    /// `AG f`.
+    pub fn ag(f: Formula) -> Self {
+        Formula::Ag(Box::new(f))
+    }
+
+    /// `AF f`.
+    pub fn af(f: Formula) -> Self {
+        Formula::Af(Box::new(f))
+    }
+
+    /// `A[f U g]`.
+    pub fn au(f: Formula, g: Formula) -> Self {
+        Formula::Au(Box::new(f), Box::new(g))
+    }
+
+    /// Conjunction (consuming constructor).
+    pub fn and(self, other: Formula) -> Self {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Removes `AF` sugar: `AF f ⇒ A[TRUE U f]` (paper, Section 2.1).
+    pub fn normalize(&self) -> Formula {
+        match self {
+            Formula::Prop(p) => Formula::Prop(p.clone()),
+            Formula::Implies(b, f) => Formula::Implies(b.clone(), Box::new(f.normalize())),
+            Formula::Ax(f) => Formula::Ax(Box::new(f.normalize())),
+            Formula::Ag(f) => Formula::Ag(Box::new(f.normalize())),
+            Formula::Af(f) => Formula::Au(
+                Box::new(Formula::Prop(PropExpr::Const(true))),
+                Box::new(f.normalize()),
+            ),
+            Formula::Au(f, g) => {
+                Formula::Au(Box::new(f.normalize()), Box::new(g.normalize()))
+            }
+            Formula::And(f, g) => {
+                Formula::And(Box::new(f.normalize()), Box::new(g.normalize()))
+            }
+        }
+    }
+
+    /// Returns `true` if the formula mentions signal `name` anywhere.
+    pub fn mentions(&self, name: &str) -> bool {
+        match self {
+            Formula::Prop(p) => p.mentions(name),
+            Formula::Implies(b, f) => b.mentions(name) || f.mentions(name),
+            Formula::Ax(f) | Formula::Ag(f) | Formula::Af(f) => f.mentions(name),
+            Formula::Au(f, g) | Formula::And(f, g) => {
+                f.mentions(name) || g.mentions(name)
+            }
+        }
+    }
+
+    /// All signal names mentioned, in first-occurrence order.
+    pub fn signals(&self) -> Vec<String> {
+        fn go(f: &Formula, out: &mut Vec<String>) {
+            let push_all = |p: &PropExpr, out: &mut Vec<String>| {
+                for s in p.signals() {
+                    if !out.iter().any(|x| *x == s) {
+                        out.push(s);
+                    }
+                }
+            };
+            match f {
+                Formula::Prop(p) => push_all(p, out),
+                Formula::Implies(b, g) => {
+                    push_all(b, out);
+                    go(g, out);
+                }
+                Formula::Ax(g) | Formula::Ag(g) | Formula::Af(g) => go(g, out),
+                Formula::Au(g, h) | Formula::And(g, h) => {
+                    go(g, out);
+                    go(h, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Prop(p) => write!(f, "{p}"),
+            Formula::Implies(b, g) => write!(f, "({b} -> {g})"),
+            Formula::Ax(g) => write!(f, "AX {g}"),
+            Formula::Ag(g) => write!(f, "AG {g}"),
+            Formula::Af(g) => write!(f, "AF {g}"),
+            Formula::Au(g, h) => write!(f, "A[{g} U {h}]"),
+            Formula::And(g, h) => write!(f, "({g} & {h})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_simple_shapes() {
+        let f = Formula::ag(Formula::implies(
+            PropExpr::atom("p1"),
+            Formula::ax(Formula::ax(Formula::prop(PropExpr::atom("q")))),
+        ));
+        assert_eq!(f.to_string(), "AG (p1 -> AX AX q)");
+    }
+
+    #[test]
+    fn normalize_removes_af() {
+        let f = Formula::af(Formula::prop(PropExpr::atom("q")));
+        let n = f.normalize();
+        assert_eq!(n.to_string(), "A[TRUE U q]");
+    }
+
+    #[test]
+    fn mentions_and_signals() {
+        let f = Formula::ag(Formula::implies(
+            PropExpr::atom("stall").not().and(PropExpr::cmp_int("count", CmpOp::Lt, 5)),
+            Formula::ax(Formula::prop(PropExpr::cmp_int("count", CmpOp::Eq, 3))),
+        ));
+        assert!(f.mentions("count"));
+        assert!(f.mentions("stall"));
+        assert!(!f.mentions("reset"));
+        assert_eq!(f.signals(), vec!["stall".to_owned(), "count".to_owned()]);
+    }
+
+    #[test]
+    fn prime_signal_marks_only_target() {
+        let p = PropExpr::atom("q").and(PropExpr::atom("p"));
+        let primed = p.prime_signal("q");
+        assert_eq!(primed.to_string(), "(q' & p)");
+    }
+
+    #[test]
+    fn prime_signal_in_comparisons() {
+        let p = PropExpr::cmp_sym("count", CmpOp::Eq, "count_prev");
+        assert_eq!(p.prime_signal("count").to_string(), "count' = count_prev");
+        assert_eq!(
+            p.prime_signal("count_prev").to_string(),
+            "count = count_prev'"
+        );
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(CmpOp::Gt.eval(3, 2));
+        assert!(CmpOp::Eq.eval(2, 2));
+        assert!(CmpOp::Ne.eval(1, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for parsing and subset validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a CTL property string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormulaError {
+    /// Byte offset of the offending token in the input.
+    pub position: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseFormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseFormulaError {}
+
+/// Error produced when a syntactically valid CTL formula falls outside the
+/// acceptable ACTL subset of the DAC'99 paper (Section 2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsetError {
+    /// Which construct was rejected.
+    pub construct: String,
+    /// Why it is outside the subset.
+    pub reason: String,
+}
+
+impl fmt::Display for SubsetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "formula outside the acceptable ACTL subset: {} ({})",
+            self.construct, self.reason
+        )
+    }
+}
+
+impl Error for SubsetError {}
+
+/// Combined error for [`crate::parse_formula`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtlError {
+    /// Lexing/parsing failed.
+    Parse(ParseFormulaError),
+    /// Parsed fine but is not in the acceptable subset.
+    Subset(SubsetError),
+}
+
+impl fmt::Display for CtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtlError::Parse(e) => write!(f, "{e}"),
+            CtlError::Subset(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CtlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CtlError::Parse(e) => Some(e),
+            CtlError::Subset(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseFormulaError> for CtlError {
+    fn from(e: ParseFormulaError) -> Self {
+        CtlError::Parse(e)
+    }
+}
+
+impl From<SubsetError> for CtlError {
+    fn from(e: SubsetError) -> Self {
+        CtlError::Subset(e)
+    }
+}

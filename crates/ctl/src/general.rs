@@ -1,0 +1,160 @@
+//! General CTL (both path quantifiers, arbitrary boolean structure).
+//!
+//! The acceptable ACTL subset ([`Formula`]) is what users write and what
+//! the coverage algorithm recurses over. The *general* [`Ctl`] type is what
+//! the model checker evaluates: it is closed under negation, which the
+//! checker needs for universal/existential dualities, and it can represent
+//! the output of the observability transformation (which falls outside the
+//! subset, e.g. `A[(f ∧ ¬g) U φ(g)]` negates a temporal formula).
+
+use std::fmt;
+
+use crate::ast::{Formula, PropExpr};
+
+/// A general CTL formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ctl {
+    /// Propositional formula.
+    Prop(PropExpr),
+    /// Negation.
+    Not(Box<Ctl>),
+    /// Conjunction.
+    And(Box<Ctl>, Box<Ctl>),
+    /// Disjunction.
+    Or(Box<Ctl>, Box<Ctl>),
+    /// Implication.
+    Implies(Box<Ctl>, Box<Ctl>),
+    /// On all next states.
+    Ax(Box<Ctl>),
+    /// On some next state.
+    Ex(Box<Ctl>),
+    /// On all paths, globally.
+    Ag(Box<Ctl>),
+    /// On some path, globally.
+    Eg(Box<Ctl>),
+    /// On all paths, eventually.
+    Af(Box<Ctl>),
+    /// On some path, eventually.
+    Ef(Box<Ctl>),
+    /// On all paths, until.
+    Au(Box<Ctl>, Box<Ctl>),
+    /// On some path, until.
+    Eu(Box<Ctl>, Box<Ctl>),
+}
+
+impl Ctl {
+    /// Lifts a propositional expression.
+    pub fn prop(p: PropExpr) -> Self {
+        Ctl::Prop(p)
+    }
+
+    /// Negation (consuming constructor).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Ctl::Not(Box::new(self))
+    }
+
+    /// Conjunction (consuming constructor).
+    pub fn and(self, other: Ctl) -> Self {
+        Ctl::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction (consuming constructor).
+    pub fn or(self, other: Ctl) -> Self {
+        Ctl::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `AX` (consuming constructor).
+    pub fn ax(self) -> Self {
+        Ctl::Ax(Box::new(self))
+    }
+
+    /// `AG` (consuming constructor).
+    pub fn ag(self) -> Self {
+        Ctl::Ag(Box::new(self))
+    }
+
+    /// `A[self U other]` (consuming constructor).
+    pub fn au(self, other: Ctl) -> Self {
+        Ctl::Au(Box::new(self), Box::new(other))
+    }
+}
+
+impl From<&Formula> for Ctl {
+    fn from(f: &Formula) -> Self {
+        match f {
+            Formula::Prop(p) => Ctl::Prop(p.clone()),
+            Formula::Implies(b, g) => Ctl::Implies(
+                Box::new(Ctl::Prop(b.clone())),
+                Box::new(Ctl::from(g.as_ref())),
+            ),
+            Formula::Ax(g) => Ctl::Ax(Box::new(Ctl::from(g.as_ref()))),
+            Formula::Ag(g) => Ctl::Ag(Box::new(Ctl::from(g.as_ref()))),
+            Formula::Af(g) => Ctl::Af(Box::new(Ctl::from(g.as_ref()))),
+            Formula::Au(g, h) => Ctl::Au(
+                Box::new(Ctl::from(g.as_ref())),
+                Box::new(Ctl::from(h.as_ref())),
+            ),
+            Formula::And(g, h) => Ctl::And(
+                Box::new(Ctl::from(g.as_ref())),
+                Box::new(Ctl::from(h.as_ref())),
+            ),
+        }
+    }
+}
+
+impl From<Formula> for Ctl {
+    fn from(f: Formula) -> Self {
+        Ctl::from(&f)
+    }
+}
+
+impl fmt::Display for Ctl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ctl::Prop(p) => write!(f, "{p}"),
+            Ctl::Not(a) => write!(f, "!({a})"),
+            Ctl::And(a, b) => write!(f, "({a} & {b})"),
+            Ctl::Or(a, b) => write!(f, "({a} | {b})"),
+            Ctl::Implies(a, b) => write!(f, "({a} -> {b})"),
+            Ctl::Ax(a) => write!(f, "AX {a}"),
+            Ctl::Ex(a) => write!(f, "EX {a}"),
+            Ctl::Ag(a) => write!(f, "AG {a}"),
+            Ctl::Eg(a) => write!(f, "EG {a}"),
+            Ctl::Af(a) => write!(f, "AF {a}"),
+            Ctl::Ef(a) => write!(f, "EF {a}"),
+            Ctl::Au(a, b) => write!(f, "A[{a} U {b}]"),
+            Ctl::Eu(a, b) => write!(f, "E[{a} U {b}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::PropExpr;
+
+    #[test]
+    fn formula_embeds_into_ctl() {
+        let f = Formula::ag(Formula::implies(
+            PropExpr::atom("p"),
+            Formula::ax(Formula::prop(PropExpr::atom("q"))),
+        ));
+        let c = Ctl::from(&f);
+        assert_eq!(c.to_string(), "AG (p -> AX q)");
+    }
+
+    #[test]
+    fn af_embeds_as_af() {
+        let f = Formula::af(Formula::prop(PropExpr::atom("q")));
+        assert_eq!(Ctl::from(&f).to_string(), "AF q");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Ctl::prop(PropExpr::atom("a"))
+            .and(Ctl::prop(PropExpr::atom("b")).not())
+            .ag();
+        assert_eq!(c.to_string(), "AG (a & !(b))");
+    }
+}

@@ -1,0 +1,625 @@
+//! A recursive-descent parser for CTL properties.
+//!
+//! The parser accepts general CTL syntax (including constructs outside the
+//! acceptable ACTL subset, such as `EX` or temporal disjunction) and a
+//! separate classification pass ([`classify`]) converts the parse tree into
+//! the paper's [`Formula`] subset, reporting a precise [`SubsetError`] when
+//! the property falls outside it.
+
+use crate::ast::{CmpOp, CmpRhs, Formula, PropExpr, SignalRef};
+use crate::error::{CtlError, ParseFormulaError, SubsetError};
+
+/// A general CTL parse tree (superset of the acceptable subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Constant.
+    Const(bool),
+    /// Named signal.
+    Atom(String),
+    /// Comparison atom.
+    Cmp(String, CmpOp, CmpRhs),
+    /// Negation.
+    Not(Box<Ast>),
+    /// Conjunction.
+    And(Box<Ast>, Box<Ast>),
+    /// Disjunction.
+    Or(Box<Ast>, Box<Ast>),
+    /// Implication.
+    Implies(Box<Ast>, Box<Ast>),
+    /// Biconditional.
+    Iff(Box<Ast>, Box<Ast>),
+    /// `AX`.
+    Ax(Box<Ast>),
+    /// `AG`.
+    Ag(Box<Ast>),
+    /// `AF`.
+    Af(Box<Ast>),
+    /// `A[_ U _]`.
+    Au(Box<Ast>, Box<Ast>),
+    /// `EX` (parsed, always rejected by classification).
+    Ex(Box<Ast>),
+    /// `EG` (parsed, always rejected by classification).
+    Eg(Box<Ast>),
+    /// `EF` (parsed, always rejected by classification).
+    Ef(Box<Ast>),
+    /// `E[_ U _]` (parsed, always rejected by classification).
+    Eu(Box<Ast>, Box<Ast>),
+}
+
+impl Ast {
+    fn is_propositional(&self) -> bool {
+        match self {
+            Ast::Const(_) | Ast::Atom(_) | Ast::Cmp(..) => true,
+            Ast::Not(a) => a.is_propositional(),
+            Ast::And(a, b) | Ast::Or(a, b) | Ast::Implies(a, b) | Ast::Iff(a, b) => {
+                a.is_propositional() && b.is_propositional()
+            }
+            Ast::Ax(_)
+            | Ast::Ag(_)
+            | Ast::Af(_)
+            | Ast::Au(..)
+            | Ast::Ex(_)
+            | Ast::Eg(_)
+            | Ast::Ef(_)
+            | Ast::Eu(..) => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+    DArrow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Tok)>, ParseFormulaError> {
+        let mut out = Vec::new();
+        loop {
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            let start = self.pos;
+            let c = self.bytes[self.pos];
+            let tok = match c {
+                b'(' => {
+                    self.pos += 1;
+                    Tok::LParen
+                }
+                b')' => {
+                    self.pos += 1;
+                    Tok::RParen
+                }
+                b'[' => {
+                    self.pos += 1;
+                    Tok::LBracket
+                }
+                b']' => {
+                    self.pos += 1;
+                    Tok::RBracket
+                }
+                b'&' => {
+                    self.pos += 1;
+                    Tok::Amp
+                }
+                b'|' => {
+                    self.pos += 1;
+                    Tok::Pipe
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Tok::Eq
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        Tok::Ne
+                    } else {
+                        Tok::Bang
+                    }
+                }
+                b'<' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.pos += 1;
+                            Tok::Le
+                        }
+                        Some(b'-') if self.peek_at(1) == Some(b'>') => {
+                            self.pos += 2;
+                            Tok::DArrow
+                        }
+                        _ => Tok::Lt,
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        Tok::Ge
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                b'-' => {
+                    if self.peek_at(1) == Some(b'>') {
+                        self.pos += 2;
+                        Tok::Arrow
+                    } else if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                        self.pos += 1;
+                        let n = self.lex_int(start)?;
+                        Tok::Int(-n)
+                    } else {
+                        return Err(ParseFormulaError {
+                            position: start,
+                            message: "unexpected '-'".to_owned(),
+                        });
+                    }
+                }
+                b'0'..=b'9' => Tok::Int(self.lex_int(start)?),
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    while self.pos < self.bytes.len()
+                        && (self.bytes[self.pos].is_ascii_alphanumeric()
+                            || self.bytes[self.pos] == b'_'
+                            || self.bytes[self.pos] == b'.')
+                    {
+                        self.pos += 1;
+                    }
+                    Tok::Ident(self.src[start..self.pos].to_owned())
+                }
+                other => {
+                    return Err(ParseFormulaError {
+                        position: start,
+                        message: format!("unexpected character {:?}", other as char),
+                    })
+                }
+            };
+            out.push((start, tok));
+        }
+        Ok(out)
+    }
+
+    fn lex_int(&mut self, start: usize) -> Result<i64, ParseFormulaError> {
+        let digits_start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        self.src[digits_start..self.pos]
+            .parse()
+            .map_err(|_| ParseFormulaError {
+                position: start,
+                message: "integer literal out of range".to_owned(),
+            })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    idx: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.idx)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|(_, t)| t.clone());
+        self.idx += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseFormulaError> {
+        if self.peek() == Some(want) {
+            self.idx += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseFormulaError {
+        ParseFormulaError {
+            position: self.pos(),
+            message,
+        }
+    }
+
+    // Grammar (loosest binding first):
+    //   iff     := implies ( '<->' implies )*
+    //   implies := or ( '->' implies )?          (right assoc)
+    //   or      := and ( '|' and )*
+    //   and     := unary ( '&' unary )*
+    //   unary   := '!' unary | temporal | primary
+    //   temporal:= ('AX'|'AG'|'AF'|'EX'|'EG'|'EF') unary
+    //            | ('A'|'E') '[' iff 'U' iff ']'
+    //   primary := '(' iff ')' | const | ident (cmp)? | int? (only via cmp rhs)
+    fn parse_iff(&mut self) -> Result<Ast, ParseFormulaError> {
+        let mut lhs = self.parse_implies()?;
+        while self.peek() == Some(&Tok::DArrow) {
+            self.idx += 1;
+            let rhs = self.parse_implies()?;
+            lhs = Ast::Iff(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_implies(&mut self) -> Result<Ast, ParseFormulaError> {
+        let lhs = self.parse_or()?;
+        if self.peek() == Some(&Tok::Arrow) {
+            self.idx += 1;
+            let rhs = self.parse_implies()?;
+            Ok(Ast::Implies(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Ast, ParseFormulaError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Tok::Pipe) {
+            self.idx += 1;
+            let rhs = self.parse_and()?;
+            lhs = Ast::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Ast, ParseFormulaError> {
+        let mut lhs = self.parse_unary()?;
+        while self.peek() == Some(&Tok::Amp) {
+            self.idx += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Ast::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Ast, ParseFormulaError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.idx += 1;
+                let inner = self.parse_unary()?;
+                Ok(Ast::Not(Box::new(inner)))
+            }
+            Some(Tok::Ident(name)) => {
+                let name = name.clone();
+                match name.as_str() {
+                    "AX" | "AG" | "AF" | "EX" | "EG" | "EF" => {
+                        self.idx += 1;
+                        let inner = self.parse_unary()?;
+                        let b = Box::new(inner);
+                        Ok(match name.as_str() {
+                            "AX" => Ast::Ax(b),
+                            "AG" => Ast::Ag(b),
+                            "AF" => Ast::Af(b),
+                            "EX" => Ast::Ex(b),
+                            "EG" => Ast::Eg(b),
+                            _ => Ast::Ef(b),
+                        })
+                    }
+                    "A" | "E" => {
+                        self.idx += 1;
+                        self.expect(&Tok::LBracket, "'[' after path quantifier")?;
+                        let f = self.parse_iff()?;
+                        match self.bump() {
+                            Some(Tok::Ident(u)) if u == "U" => {}
+                            _ => return Err(self.err("expected 'U' in until".to_owned())),
+                        }
+                        let g = self.parse_iff()?;
+                        self.expect(&Tok::RBracket, "']' closing until")?;
+                        Ok(if name == "A" {
+                            Ast::Au(Box::new(f), Box::new(g))
+                        } else {
+                            Ast::Eu(Box::new(f), Box::new(g))
+                        })
+                    }
+                    _ => self.parse_primary(),
+                }
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Ast, ParseFormulaError> {
+        match self.bump() {
+            Some(Tok::LParen) => {
+                let inner = self.parse_iff()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "TRUE" | "true" => Ok(Ast::Const(true)),
+                "FALSE" | "false" => Ok(Ast::Const(false)),
+                _ => {
+                    // Possible comparison.
+                    let op = match self.peek() {
+                        Some(Tok::Eq) => Some(CmpOp::Eq),
+                        Some(Tok::Ne) => Some(CmpOp::Ne),
+                        Some(Tok::Lt) => Some(CmpOp::Lt),
+                        Some(Tok::Le) => Some(CmpOp::Le),
+                        Some(Tok::Gt) => Some(CmpOp::Gt),
+                        Some(Tok::Ge) => Some(CmpOp::Ge),
+                        _ => None,
+                    };
+                    if let Some(op) = op {
+                        self.idx += 1;
+                        let rhs = match self.bump() {
+                            Some(Tok::Int(i)) => CmpRhs::Int(i),
+                            Some(Tok::Ident(s)) => CmpRhs::Sym(SignalRef::new(s)),
+                            _ => {
+                                return Err(
+                                    self.err("expected integer or identifier after comparison"
+                                        .to_owned())
+                                )
+                            }
+                        };
+                        Ok(Ast::Cmp(name, op, rhs))
+                    } else {
+                        Ok(Ast::Atom(name))
+                    }
+                }
+            },
+            Some(_) => Err(self.err("unexpected token".to_owned())),
+            None => Err(self.err("unexpected end of input".to_owned())),
+        }
+    }
+}
+
+/// Parses a general CTL parse tree from text.
+///
+/// # Errors
+///
+/// Returns [`ParseFormulaError`] on malformed input.
+pub fn parse_ast(src: &str) -> Result<Ast, ParseFormulaError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser {
+        toks,
+        idx: 0,
+        input_len: src.len(),
+    };
+    let ast = p.parse_iff()?;
+    if p.idx != p.toks.len() {
+        return Err(p.err("trailing input after formula".to_owned()));
+    }
+    Ok(ast)
+}
+
+fn to_prop(ast: &Ast) -> Result<PropExpr, SubsetError> {
+    match ast {
+        Ast::Const(c) => Ok(PropExpr::Const(*c)),
+        Ast::Atom(n) => Ok(PropExpr::Atom(SignalRef::new(n.clone()))),
+        Ast::Cmp(lhs, op, rhs) => Ok(PropExpr::Cmp {
+            lhs: SignalRef::new(lhs.clone()),
+            op: *op,
+            rhs: rhs.clone(),
+        }),
+        Ast::Not(a) => Ok(PropExpr::Not(Box::new(to_prop(a)?))),
+        Ast::And(a, b) => Ok(PropExpr::And(Box::new(to_prop(a)?), Box::new(to_prop(b)?))),
+        Ast::Or(a, b) => Ok(PropExpr::Or(Box::new(to_prop(a)?), Box::new(to_prop(b)?))),
+        Ast::Implies(a, b) => Ok(PropExpr::Implies(
+            Box::new(to_prop(a)?),
+            Box::new(to_prop(b)?),
+        )),
+        Ast::Iff(a, b) => Ok(PropExpr::Iff(Box::new(to_prop(a)?), Box::new(to_prop(b)?))),
+        other => Err(SubsetError {
+            construct: format!("{other:?}"),
+            reason: "temporal operator where a propositional formula is required".to_owned(),
+        }),
+    }
+}
+
+/// Converts a parse tree into the paper's acceptable ACTL subset.
+///
+/// # Errors
+///
+/// Returns [`SubsetError`] for constructs outside the subset: existential
+/// path quantifiers, negation/disjunction/biconditional over temporal
+/// operands, or temporal antecedents of implications.
+pub fn classify(ast: &Ast) -> Result<Formula, SubsetError> {
+    if ast.is_propositional() {
+        return Ok(Formula::Prop(to_prop(ast)?));
+    }
+    match ast {
+        Ast::Implies(a, b) => {
+            if !a.is_propositional() {
+                return Err(SubsetError {
+                    construct: "f -> g".to_owned(),
+                    reason: "implication antecedent must be propositional in the subset"
+                        .to_owned(),
+                });
+            }
+            Ok(Formula::Implies(to_prop(a)?, Box::new(classify(b)?)))
+        }
+        Ast::Ax(a) => Ok(Formula::Ax(Box::new(classify(a)?))),
+        Ast::Ag(a) => Ok(Formula::Ag(Box::new(classify(a)?))),
+        Ast::Af(a) => Ok(Formula::Af(Box::new(classify(a)?))),
+        Ast::Au(a, b) => Ok(Formula::Au(Box::new(classify(a)?), Box::new(classify(b)?))),
+        Ast::And(a, b) => Ok(Formula::And(Box::new(classify(a)?), Box::new(classify(b)?))),
+        Ast::Or(_, _) => Err(SubsetError {
+            construct: "f | g".to_owned(),
+            reason: "disjunction of temporal formulas is not in the acceptable subset"
+                .to_owned(),
+        }),
+        Ast::Not(_) => Err(SubsetError {
+            construct: "!f".to_owned(),
+            reason: "negation of a temporal formula is not in the acceptable subset".to_owned(),
+        }),
+        Ast::Iff(_, _) => Err(SubsetError {
+            construct: "f <-> g".to_owned(),
+            reason: "biconditional over temporal formulas is not in the acceptable subset"
+                .to_owned(),
+        }),
+        Ast::Ex(_) | Ast::Eg(_) | Ast::Ef(_) | Ast::Eu(..) => Err(SubsetError {
+            construct: "E...".to_owned(),
+            reason: "existential path quantifiers are not universal (ACTL) formulas".to_owned(),
+        }),
+        Ast::Const(_) | Ast::Atom(_) | Ast::Cmp(..) => unreachable!("handled as propositional"),
+    }
+}
+
+/// Parses a property in the paper's acceptable ACTL subset.
+///
+/// # Errors
+///
+/// Returns [`CtlError::Parse`] on malformed syntax and [`CtlError::Subset`]
+/// when the formula is valid CTL but not in the acceptable subset.
+///
+/// # Examples
+///
+/// ```
+/// use covest_ctl::parse_formula;
+/// let f = parse_formula("AG (p1 -> AX AX q)")?;
+/// assert_eq!(f.to_string(), "AG (p1 -> AX AX q)");
+/// # Ok::<(), covest_ctl::CtlError>(())
+/// ```
+pub fn parse_formula(src: &str) -> Result<Formula, CtlError> {
+    let ast = parse_ast(src)?;
+    Ok(classify(&ast)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_intro_formula() {
+        let f = parse_formula(
+            "AG (!stall & !reset & count = 3 & count < 5 -> AX count = 4)",
+        )
+        .expect("acceptable");
+        let s = f.to_string();
+        assert!(s.starts_with("AG "));
+        assert!(s.contains("count < 5"));
+    }
+
+    #[test]
+    fn parses_until_and_nested_until() {
+        let f = parse_formula("AG (p1 -> A[p2 U A[p3 U p4]])").expect("acceptable");
+        assert_eq!(f.to_string(), "AG (p1 -> A[p2 U A[p3 U p4]])");
+    }
+
+    #[test]
+    fn parses_af_sugar() {
+        let f = parse_formula("AF done").expect("acceptable");
+        assert_eq!(f.normalize().to_string(), "A[TRUE U done]");
+    }
+
+    #[test]
+    fn conjunction_of_temporal_ok() {
+        let f = parse_formula("AG p & AX q").expect("acceptable");
+        assert!(matches!(f, Formula::And(..)));
+    }
+
+    #[test]
+    fn rejects_temporal_disjunction() {
+        let e = parse_formula("AG p | AX q").unwrap_err();
+        assert!(matches!(e, CtlError::Subset(_)), "{e}");
+    }
+
+    #[test]
+    fn rejects_existential() {
+        let e = parse_formula("EF p").unwrap_err();
+        assert!(matches!(e, CtlError::Subset(_)));
+        let e = parse_formula("E[p U q]").unwrap_err();
+        assert!(matches!(e, CtlError::Subset(_)));
+    }
+
+    #[test]
+    fn rejects_temporal_negation_and_antecedent() {
+        assert!(matches!(
+            parse_formula("!AX p").unwrap_err(),
+            CtlError::Subset(_)
+        ));
+        assert!(matches!(
+            parse_formula("AX p -> q").unwrap_err(),
+            CtlError::Subset(_)
+        ));
+    }
+
+    #[test]
+    fn propositional_connectives_all_allowed() {
+        let f = parse_formula("(a | !b) & (c <-> d) -> AX (e != 2)").expect("acceptable");
+        assert!(matches!(f, Formula::Implies(..)));
+    }
+
+    #[test]
+    fn reports_parse_errors_with_position() {
+        let e = parse_ast("AG (p ->").unwrap_err();
+        assert!(e.position >= 7, "{e:?}");
+        assert!(parse_ast("p $ q").is_err());
+        assert!(parse_ast("A[p q]").is_err());
+        assert!(parse_ast("p q").is_err());
+    }
+
+    #[test]
+    fn negative_integers_in_comparisons() {
+        let f = parse_formula("x >= -3").expect("acceptable");
+        assert_eq!(f.to_string(), "x >= -3");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let cases = [
+            "AG (p1 -> AX AX q)",
+            "A[p1 U q]",
+            "AG (!stall -> A[busy U done])",
+            "(AG p & AX q)",
+            "AG ((a & b) -> AX c)",
+        ];
+        for src in cases {
+            let f = parse_formula(src).expect(src);
+            let re = parse_formula(&f.to_string()).expect("roundtrip");
+            assert_eq!(f, re, "{src}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The observability transformation `φ` of Definition 5.
+//!
+//! Given an acceptable-ACTL formula `f` and an observed signal `q`, the
+//! transformation introduces a semantically identical copy `q'` of `q` and
+//! rewrites `f` so that coverage obligations attach only to the intended
+//! occurrences:
+//!
+//! ```text
+//! φ(b)          = b[q ↦ q']
+//! φ(b → f)      = b → φ(f)                 (antecedent left unprimed)
+//! φ(AX f)       = AX φ(f)
+//! φ(AG f)       = AG φ(f)
+//! φ(A[f U g])   = A[φ(f) U g] ∧ A[(f ∧ ¬g) U φ(g)]
+//! φ(f ∧ g)      = φ(f) ∧ φ(g)
+//! ```
+//!
+//! The output is a *general* [`Ctl`] formula: the Until case leaves the
+//! acceptable subset (it negates a temporal formula), which is fine — the
+//! transformed formula is only evaluated semantically, by the reference
+//! (Definition 3) coverage implementation and by correctness tests. The
+//! symbolic algorithm of Table 1 never materializes it.
+
+use crate::ast::Formula;
+use crate::general::Ctl;
+
+/// Applies the observability transformation `φ` for observed signal `q`.
+///
+/// `AF` sugar is normalized to `A[TRUE U ·]` first, matching the paper's
+/// remark that `AF` needs no separate treatment.
+///
+/// # Examples
+///
+/// ```
+/// use covest_ctl::{observability_transform, parse_formula};
+/// let f = parse_formula("A[p1 U q]")?;
+/// let t = observability_transform(&f, "q");
+/// assert_eq!(t.to_string(), "(A[p1 U q] & A[(p1 & !(q)) U q'])");
+/// # Ok::<(), covest_ctl::CtlError>(())
+/// ```
+pub fn observability_transform(f: &Formula, q: &str) -> Ctl {
+    transform(&f.normalize(), q)
+}
+
+fn transform(f: &Formula, q: &str) -> Ctl {
+    match f {
+        Formula::Prop(b) => Ctl::Prop(b.prime_signal(q)),
+        Formula::Implies(b, g) => Ctl::Implies(
+            Box::new(Ctl::Prop(b.clone())),
+            Box::new(transform(g, q)),
+        ),
+        Formula::Ax(g) => Ctl::Ax(Box::new(transform(g, q))),
+        Formula::Ag(g) => Ctl::Ag(Box::new(transform(g, q))),
+        Formula::Af(_) => unreachable!("normalize() removes AF"),
+        Formula::Au(g, h) => {
+            let left = Ctl::Au(
+                Box::new(transform(g, q)),
+                Box::new(Ctl::from(h.as_ref())),
+            );
+            let guard = Ctl::And(
+                Box::new(Ctl::from(g.as_ref())),
+                Box::new(Ctl::Not(Box::new(Ctl::from(h.as_ref())))),
+            );
+            let right = Ctl::Au(Box::new(guard), Box::new(transform(h, q)));
+            Ctl::And(Box::new(left), Box::new(right))
+        }
+        Formula::And(g, h) => Ctl::And(Box::new(transform(g, q)), Box::new(transform(h, q))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_formula;
+
+    fn t(src: &str, q: &str) -> String {
+        observability_transform(&parse_formula(src).expect(src), q).to_string()
+    }
+
+    #[test]
+    fn propositional_occurrences_primed() {
+        assert_eq!(t("q", "q"), "q'");
+        assert_eq!(t("q & p", "q"), "(q' & p)");
+    }
+
+    #[test]
+    fn implication_antecedent_unprimed() {
+        // q in the antecedent stays unprimed: only the consequent carries
+        // coverage obligations.
+        assert_eq!(t("q -> AX q", "q"), "(q -> AX q')");
+    }
+
+    #[test]
+    fn ax_ag_commute() {
+        assert_eq!(t("AG AX q", "q"), "AG AX q'");
+    }
+
+    #[test]
+    fn until_splits_into_two_conjuncts() {
+        assert_eq!(
+            t("A[q U p]", "q"),
+            "(A[q' U p] & A[(q & !(p)) U p])"
+        );
+        assert_eq!(
+            t("A[p U q]", "q"),
+            "(A[p U q] & A[(p & !(q)) U q'])"
+        );
+    }
+
+    #[test]
+    fn af_normalizes_through_until_rule() {
+        assert_eq!(t("AF q", "q"), "(A[TRUE U q] & A[(TRUE & !(q)) U q'])");
+    }
+
+    #[test]
+    fn conjunction_distributes() {
+        assert_eq!(t("AG q & AX q", "q"), "(AG q' & AX q')");
+    }
+
+    #[test]
+    fn untouched_when_signal_absent() {
+        // Transformation of a formula not mentioning q only changes the
+        // Until syntactic shape, never introduces primes.
+        let s = t("AG (p1 -> AX p2)", "q");
+        assert!(!s.contains('\''), "{s}");
+    }
+
+    #[test]
+    fn nested_until_pipeline_shape() {
+        let s = t("AG (p1 -> A[p2 U A[p3 U p4]])", "p4");
+        // Outer until splits, inner until splits inside the right conjunct.
+        assert!(s.contains("p4'"), "{s}");
+        assert!(s.matches("A[").count() >= 4, "{s}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for symbolic FSM construction and property lowering.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when lowering a propositional formula against a model's
+/// signal table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// The formula references a signal the model does not define.
+    UnknownSignal(String),
+    /// A boolean signal was used where a numeric one is required, or vice
+    /// versa.
+    TypeMismatch {
+        /// The offending signal.
+        signal: String,
+        /// What the context required.
+        expected: &'static str,
+    },
+    /// A symbolic comparison right-hand side is neither a signal nor an
+    /// enumeration literal of the left-hand variable.
+    UnknownLiteral {
+        /// The left-hand variable.
+        lhs: String,
+        /// The unresolved name.
+        name: String,
+    },
+    /// Two numeric signals with different encodings were compared.
+    IncompatibleEncodings(String, String),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
+            LowerError::TypeMismatch { signal, expected } => {
+                write!(f, "signal `{signal}` used where a {expected} signal is required")
+            }
+            LowerError::UnknownLiteral { lhs, name } => {
+                write!(f, "`{name}` is neither a signal nor an enumeration literal of `{lhs}`")
+            }
+            LowerError::IncompatibleEncodings(a, b) => {
+                write!(f, "signals `{a}` and `{b}` have incompatible numeric encodings")
+            }
+        }
+    }
+}
+
+impl Error for LowerError {}
+
+/// Error produced by [`crate::FsmBuilder`](crate::FsmBuilder) when the
+/// machine description is inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildFsmError {
+    /// A state bit was declared twice.
+    DuplicateStateBit(String),
+    /// An input was declared twice.
+    DuplicateInput(String),
+    /// A signal name collides with an existing signal.
+    DuplicateSignal(String),
+    /// A state bit was never given a next-state function or relation.
+    MissingNext(String),
+    /// The transition relation is not total: some reachable state/input
+    /// combination has no successor.
+    NotTotal,
+}
+
+impl fmt::Display for BuildFsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildFsmError::DuplicateStateBit(s) => write!(f, "duplicate state bit `{s}`"),
+            BuildFsmError::DuplicateInput(s) => write!(f, "duplicate input `{s}`"),
+            BuildFsmError::DuplicateSignal(s) => write!(f, "duplicate signal `{s}`"),
+            BuildFsmError::MissingNext(s) => {
+                write!(f, "state bit `{s}` has no next-state function")
+            }
+            BuildFsmError::NotTotal => {
+                write!(f, "transition relation is not total")
+            }
+        }
+    }
+}
+
+impl Error for BuildFsmError {}

@@ -1,0 +1,547 @@
+//! Symbolic Mealy machines: the FSM model of Definition 1.
+//!
+//! A machine `M = <S, T_M, P, S_I>` is represented symbolically:
+//! states are assignments to boolean *state bits* (each with a current and
+//! a next BDD variable, interleaved in the order), inputs are free BDD
+//! variables, the transition relation `T_M` is a BDD over
+//! (current, input, next), and the signal set `P` is a [`SignalTable`]
+//! mapping names to functions of the current state (and inputs).
+
+use covest_bdd::{Bdd, Ref, VarId};
+
+use crate::error::BuildFsmError;
+use crate::signal::{SignalTable, SignalValue};
+
+/// A state bit with its current- and next-state BDD variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateBit {
+    /// Bit name (unique within the machine).
+    pub name: String,
+    /// Current-state variable.
+    pub current: VarId,
+    /// Next-state variable.
+    pub next: VarId,
+}
+
+/// A primary-input bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputBit {
+    /// Input name (unique within the machine).
+    pub name: String,
+    /// The input's BDD variable.
+    pub var: VarId,
+}
+
+/// A symbolic finite state machine (Mealy machine).
+///
+/// Construct with [`FsmBuilder`]; query and traverse with the methods here
+/// and in the reachability/trace modules.
+#[derive(Debug, Clone)]
+pub struct SymbolicFsm {
+    pub(crate) name: String,
+    pub(crate) state_bits: Vec<StateBit>,
+    pub(crate) input_bits: Vec<InputBit>,
+    pub(crate) init: Ref,
+    pub(crate) trans_parts: Vec<Ref>,
+    pub(crate) trans: Ref,
+    pub(crate) signals: SignalTable,
+}
+
+impl SymbolicFsm {
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared state bits, in declaration order.
+    pub fn state_bits(&self) -> &[StateBit] {
+        &self.state_bits
+    }
+
+    /// The declared input bits, in declaration order.
+    pub fn input_bits(&self) -> &[InputBit] {
+        &self.input_bits
+    }
+
+    /// Current-state variables, in declaration order.
+    pub fn current_vars(&self) -> Vec<VarId> {
+        self.state_bits.iter().map(|b| b.current).collect()
+    }
+
+    /// Next-state variables, in declaration order.
+    pub fn next_vars(&self) -> Vec<VarId> {
+        self.state_bits.iter().map(|b| b.next).collect()
+    }
+
+    /// Input variables, in declaration order.
+    pub fn input_vars(&self) -> Vec<VarId> {
+        self.input_bits.iter().map(|b| b.var).collect()
+    }
+
+    /// The set of initial states `S_I` (a BDD over current variables).
+    pub fn init(&self) -> Ref {
+        self.init
+    }
+
+    /// The monolithic transition relation over (current, input, next).
+    pub fn trans(&self) -> Ref {
+        self.trans
+    }
+
+    /// The conjunctive partition of the transition relation.
+    pub fn trans_parts(&self) -> &[Ref] {
+        &self.trans_parts
+    }
+
+    /// The machine's signal table (the paper's signal set `P`).
+    pub fn signals(&self) -> &SignalTable {
+        &self.signals
+    }
+
+    /// Mutable access to the signal table. Used by the dual-FSM
+    /// construction, which re-interprets the observed signal.
+    pub fn signals_mut(&mut self) -> &mut SignalTable {
+        &mut self.signals
+    }
+
+    /// Number of state bits (the paper's "variables" count in Table 2
+    /// corresponds to state + input bits of the model).
+    pub fn num_state_bits(&self) -> usize {
+        self.state_bits.len()
+    }
+
+    /// Current→next renaming pairs.
+    pub fn cur_to_next(&self) -> Vec<(VarId, VarId)> {
+        self.state_bits.iter().map(|b| (b.current, b.next)).collect()
+    }
+
+    /// Next→current renaming pairs.
+    pub fn next_to_cur(&self) -> Vec<(VarId, VarId)> {
+        self.state_bits.iter().map(|b| (b.next, b.current)).collect()
+    }
+
+    /// All states reachable in **exactly one step** from `set`
+    /// (the paper's `forward(S0)`), as a BDD over current variables.
+    pub fn image(&self, bdd: &mut Bdd, set: Ref) -> Ref {
+        let mut quantified = self.current_vars();
+        quantified.extend(self.input_vars());
+        let img_next = bdd.and_exists(self.trans, set, &quantified);
+        bdd.rename(img_next, &self.next_to_cur())
+    }
+
+    /// All states with **some** successor in `set` under **some** input
+    /// (existential preimage, the `EX` operation).
+    pub fn preimage(&self, bdd: &mut Bdd, set: Ref) -> Ref {
+        let set_next = bdd.rename(set, &self.cur_to_next());
+        let mut quantified = self.next_vars();
+        quantified.extend(self.input_vars());
+        bdd.and_exists(self.trans, set_next, &quantified)
+    }
+
+    /// All states whose **every** successor (under every input) lies in
+    /// `set` (universal preimage, the `AX` operation).
+    pub fn preimage_univ(&self, bdd: &mut Bdd, set: Ref) -> Ref {
+        let nset = bdd.not(set);
+        let some_bad = self.preimage(bdd, nset);
+        bdd.not(some_bad)
+    }
+
+    /// Checks that the transition relation is *total*: every state/input
+    /// combination has at least one successor. CTL semantics (and the
+    /// paper's path-based definitions) assume totality.
+    pub fn is_total(&self, bdd: &mut Bdd) -> bool {
+        let some_succ = bdd.exists(self.trans, &self.next_vars());
+        some_succ.is_true()
+    }
+
+    /// Restricts the machine's inputs with an additional constraint over
+    /// (current, input) variables, e.g. to model an environment assumption.
+    /// Returns a machine whose transition relation is `T ∧ c`.
+    ///
+    /// Note: the result may not be total; check [`SymbolicFsm::is_total`].
+    pub fn constrain(&self, bdd: &mut Bdd, constraint: Ref) -> SymbolicFsm {
+        let mut out = self.clone();
+        out.trans = bdd.and(self.trans, constraint);
+        out.trans_parts.push(constraint);
+        out
+    }
+
+    /// The characteristic function of a single state given as bit values
+    /// (missing bits default to `false`).
+    pub fn state_cube(&self, bdd: &mut Bdd, assignment: &[(&str, bool)]) -> Ref {
+        let mut cube = Ref::TRUE;
+        for bit in &self.state_bits {
+            let value = assignment
+                .iter()
+                .find(|(n, _)| *n == bit.name)
+                .map(|(_, v)| *v)
+                .unwrap_or(false);
+            let lit = bdd.literal(bit.current, value);
+            cube = bdd.and(cube, lit);
+        }
+        cube
+    }
+
+    /// Builds the *dual FSM* of Definition 2 for observed signal `q` and
+    /// the single state (or state set) `states`: identical machine except
+    /// that the value of `q` is complemented on `states`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a boolean signal of this machine (the paper's
+    /// duality is defined for boolean observed signals).
+    pub fn dual(&self, bdd: &mut Bdd, q: &str, states: Ref) -> SymbolicFsm {
+        let current = match self.signals.get(q) {
+            Some(SignalValue::Bool(r)) => *r,
+            Some(SignalValue::Num(_)) => {
+                panic!("dual FSM requires a boolean observed signal, `{q}` is numeric")
+            }
+            None => panic!("unknown observed signal `{q}`"),
+        };
+        let flipped = bdd.xor(current, states);
+        let mut out = self.clone();
+        out.signals.insert_bool(q, flipped);
+        out
+    }
+}
+
+/// Builder for [`SymbolicFsm`].
+///
+/// Variables are allocated interleaved (`bit0`, `bit0'`, `bit1`, `bit1'`,
+/// …) which is the standard good ordering for transition relations; input
+/// variables are allocated after the state variables by default, or
+/// interleaved on request.
+///
+/// # Examples
+///
+/// ```
+/// use covest_bdd::Bdd;
+/// use covest_fsm::FsmBuilder;
+///
+/// let mut bdd = Bdd::new();
+/// let mut b = FsmBuilder::new("toggler");
+/// let t = b.add_state_bit(&mut bdd, "t");
+/// let fl = bdd.var(t.current);
+/// let next = bdd.not(fl);
+/// b.set_next(&mut bdd, "t", next);
+/// let init = bdd.nvar(t.current);
+/// b.set_init(init);
+/// let fsm = b.build(&mut bdd)?;
+/// assert!(fsm.is_total(&mut bdd));
+/// # Ok::<(), covest_fsm::BuildFsmError>(())
+/// ```
+#[derive(Debug)]
+pub struct FsmBuilder {
+    name: String,
+    state_bits: Vec<StateBit>,
+    input_bits: Vec<InputBit>,
+    init: Ref,
+    nexts: Vec<Option<Ref>>,
+    frees: Vec<bool>,
+    raw_constraints: Vec<Ref>,
+    signals: SignalTable,
+}
+
+impl FsmBuilder {
+    /// Creates a builder for a machine called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        FsmBuilder {
+            name: name.into(),
+            state_bits: Vec::new(),
+            input_bits: Vec::new(),
+            init: Ref::TRUE,
+            nexts: Vec::new(),
+            frees: Vec::new(),
+            raw_constraints: Vec::new(),
+            signals: SignalTable::new(),
+        }
+    }
+
+    /// Declares a state bit, allocating its current/next variables
+    /// (interleaved). Also registers the bit as a boolean signal.
+    pub fn add_state_bit(&mut self, bdd: &mut Bdd, name: impl Into<String>) -> StateBit {
+        let name = name.into();
+        let current = bdd.new_named_var(name.clone());
+        let next = bdd.new_named_var(format!("{name}'"));
+        let bit = StateBit {
+            name: name.clone(),
+            current,
+            next,
+        };
+        self.state_bits.push(bit.clone());
+        self.nexts.push(None);
+        self.frees.push(false);
+        let f = bdd.var(current);
+        self.signals.insert_bool(name, f);
+        bit
+    }
+
+    /// Declares a *free* state bit: its next value is completely
+    /// unconstrained. This is how original SMV models primary inputs —
+    /// as unconstrained variables of the machine — and it is what makes
+    /// properties that mention inputs (like the paper's counter formula,
+    /// whose antecedent tests `stall` and `reset`) well-defined: the
+    /// input valuation is part of the state.
+    pub fn add_free_bit(&mut self, bdd: &mut Bdd, name: impl Into<String>) -> StateBit {
+        let bit = self.add_state_bit(bdd, name);
+        *self.frees.last_mut().expect("just pushed") = true;
+        bit
+    }
+
+    /// Declares an input bit and registers it as a boolean signal.
+    pub fn add_input_bit(&mut self, bdd: &mut Bdd, name: impl Into<String>) -> InputBit {
+        let name = name.into();
+        let var = bdd.new_named_var(name.clone());
+        let bit = InputBit {
+            name: name.clone(),
+            var,
+        };
+        self.input_bits.push(bit.clone());
+        let f = bdd.var(var);
+        self.signals.insert_bool(name, f);
+        bit
+    }
+
+    /// Sets the next-state function of bit `name` to `delta` (a function
+    /// of current-state and input variables). The transition part becomes
+    /// `name' ↔ delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a declared state bit.
+    pub fn set_next(&mut self, _bdd: &mut Bdd, name: &str, delta: Ref) {
+        let idx = self
+            .state_bits
+            .iter()
+            .position(|b| b.name == name)
+            .unwrap_or_else(|| panic!("unknown state bit `{name}`"));
+        self.nexts[idx] = Some(delta);
+    }
+
+    /// Adds a raw relational constraint over (current, input, next)
+    /// variables, conjoined into the transition relation. Use this for
+    /// nondeterministic transitions (e.g. explicit state graphs).
+    pub fn add_trans_constraint(&mut self, constraint: Ref) {
+        self.raw_constraints.push(constraint);
+    }
+
+    /// Sets the initial-state predicate (over current variables).
+    pub fn set_init(&mut self, init: Ref) {
+        self.init = init;
+    }
+
+    /// Registers a named boolean signal (a function of current/input vars).
+    pub fn add_signal(&mut self, name: impl Into<String>, f: Ref) {
+        self.signals.insert_bool(name, f);
+    }
+
+    /// Registers a named numeric signal.
+    pub fn add_numeric_signal(
+        &mut self,
+        name: impl Into<String>,
+        sig: crate::signal::NumericSignal,
+    ) {
+        self.signals.insert_num(name, sig);
+    }
+
+    /// Finalizes the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildFsmError::MissingNext`] if a state bit has neither a
+    /// next-state function nor any raw constraint mentioning its next
+    /// variable, and [`BuildFsmError::NotTotal`] if the resulting relation
+    /// has a state/input combination with no successor.
+    pub fn build(self, bdd: &mut Bdd) -> Result<SymbolicFsm, BuildFsmError> {
+        let mut parts = Vec::new();
+        for (idx, bit) in self.state_bits.iter().enumerate() {
+            if self.frees[idx] {
+                continue; // free bit: next value unconstrained
+            }
+            match self.nexts[idx] {
+                Some(delta) => {
+                    let nv = bdd.var(bit.next);
+                    parts.push(bdd.iff(nv, delta));
+                }
+                None => {
+                    // Allowed only if some raw constraint mentions the bit.
+                    let mentioned = self.raw_constraints.iter().any(|&c| {
+                        bdd.support(c).contains(&bit.next)
+                    });
+                    if !mentioned {
+                        return Err(BuildFsmError::MissingNext(bit.name.clone()));
+                    }
+                }
+            }
+        }
+        parts.extend(self.raw_constraints.iter().copied());
+        let trans = bdd.and_many(parts.iter().copied());
+        let fsm = SymbolicFsm {
+            name: self.name,
+            state_bits: self.state_bits,
+            input_bits: self.input_bits,
+            init: self.init,
+            trans_parts: parts,
+            trans,
+            signals: self.signals,
+        };
+        if !fsm.is_total(bdd) {
+            return Err(BuildFsmError::NotTotal);
+        }
+        Ok(fsm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-bit counter that increments each step unless `stall` is high.
+    pub(crate) fn counter2(bdd: &mut Bdd) -> SymbolicFsm {
+        let mut b = FsmBuilder::new("counter2");
+        let b0 = b.add_state_bit(bdd, "b0");
+        let b1 = b.add_state_bit(bdd, "b1");
+        let stall = b.add_input_bit(bdd, "stall");
+        let f0 = bdd.var(b0.current);
+        let f1 = bdd.var(b1.current);
+        let fs = bdd.var(stall.var);
+        // next b0 = stall ? b0 : !b0
+        let n0 = {
+            let nf0 = bdd.not(f0);
+            bdd.ite(fs, f0, nf0)
+        };
+        // next b1 = stall ? b1 : b1 ^ b0
+        let n1 = {
+            let x = bdd.xor(f1, f0);
+            bdd.ite(fs, f1, x)
+        };
+        b.set_next(bdd, "b0", n0);
+        b.set_next(bdd, "b1", n1);
+        let i0 = bdd.nvar(b0.current);
+        let i1 = bdd.nvar(b1.current);
+        let init = bdd.and(i0, i1);
+        b.set_init(init);
+        b.build(bdd).expect("valid machine")
+    }
+
+    #[test]
+    fn builder_interleaves_variables() {
+        let mut bdd = Bdd::new();
+        let fsm = counter2(&mut bdd);
+        let cur = fsm.current_vars();
+        let next = fsm.next_vars();
+        assert_eq!(bdd.level_of(cur[0]) + 1, bdd.level_of(next[0]));
+        assert_eq!(bdd.level_of(cur[1]) + 1, bdd.level_of(next[1]));
+    }
+
+    #[test]
+    fn image_steps_the_counter() {
+        let mut bdd = Bdd::new();
+        let fsm = counter2(&mut bdd);
+        // From state 00, one step reaches {00 (stall), 01}.
+        let s00 = fsm.state_cube(&mut bdd, &[("b0", false), ("b1", false)]);
+        let img = fsm.image(&mut bdd, s00);
+        let s01 = fsm.state_cube(&mut bdd, &[("b0", true), ("b1", false)]);
+        let expect = bdd.or(s00, s01);
+        assert_eq!(img, expect);
+    }
+
+    #[test]
+    fn preimage_inverts_image() {
+        let mut bdd = Bdd::new();
+        let fsm = counter2(&mut bdd);
+        let s01 = fsm.state_cube(&mut bdd, &[("b0", true), ("b1", false)]);
+        let pre = fsm.preimage(&mut bdd, s01);
+        // Predecessors of 01: 00 (increment) and 01 itself (stall).
+        let s00 = fsm.state_cube(&mut bdd, &[("b0", false), ("b1", false)]);
+        let expect = bdd.or(s00, s01);
+        assert_eq!(pre, expect);
+    }
+
+    #[test]
+    fn preimage_univ_requires_all_inputs() {
+        let mut bdd = Bdd::new();
+        let fsm = counter2(&mut bdd);
+        let s01 = fsm.state_cube(&mut bdd, &[("b0", true), ("b1", false)]);
+        // No state goes to 01 under *both* stall values except none
+        // (00 stays at 00 when stalled; 01 moves to 10 when not stalled).
+        let pre_univ = fsm.preimage_univ(&mut bdd, s01);
+        assert!(pre_univ.is_false());
+        // Universal preimage of {00, 01}: 00 (either stays or increments).
+        let s00 = fsm.state_cube(&mut bdd, &[("b0", false), ("b1", false)]);
+        let set = bdd.or(s00, s01);
+        let pre_univ2 = fsm.preimage_univ(&mut bdd, set);
+        assert_eq!(pre_univ2, s00);
+    }
+
+    #[test]
+    fn totality_detected() {
+        let mut bdd = Bdd::new();
+        let fsm = counter2(&mut bdd);
+        assert!(fsm.is_total(&mut bdd));
+        // Constrain away all transitions out of state 11 → not total.
+        let f0 = {
+            let b = &fsm.state_bits()[0];
+            bdd.var(b.current)
+        };
+        let f1 = {
+            let b = &fsm.state_bits()[1];
+            bdd.var(b.current)
+        };
+        let in11 = bdd.and(f0, f1);
+        let not11 = bdd.not(in11);
+        let constrained = fsm.constrain(&mut bdd, not11);
+        assert!(!constrained.is_total(&mut bdd));
+    }
+
+    #[test]
+    fn dual_flips_signal_on_one_state() {
+        let mut bdd = Bdd::new();
+        let fsm = counter2(&mut bdd);
+        let s00 = fsm.state_cube(&mut bdd, &[("b0", false), ("b1", false)]);
+        let dual = fsm.dual(&mut bdd, "b0", s00);
+        let orig = match fsm.signals().get("b0") {
+            Some(SignalValue::Bool(r)) => *r,
+            _ => unreachable!(),
+        };
+        let flipped = match dual.signals().get("b0") {
+            Some(SignalValue::Bool(r)) => *r,
+            _ => unreachable!(),
+        };
+        assert_ne!(orig, flipped);
+        // They agree outside s00 and disagree on it.
+        let diff = bdd.xor(orig, flipped);
+        assert_eq!(diff, s00);
+    }
+
+    #[test]
+    fn missing_next_is_an_error() {
+        let mut bdd = Bdd::new();
+        let mut b = FsmBuilder::new("broken");
+        b.add_state_bit(&mut bdd, "x");
+        let err = b.build(&mut bdd).unwrap_err();
+        assert!(matches!(err, BuildFsmError::MissingNext(_)));
+    }
+
+    #[test]
+    fn raw_constraints_allow_nondeterminism() {
+        let mut bdd = Bdd::new();
+        let mut b = FsmBuilder::new("nondet");
+        let x = b.add_state_bit(&mut bdd, "x");
+        let pick = b.add_input_bit(&mut bdd, "pick");
+        // x' = x xor pick: from any state both successors are possible.
+        let constraint = {
+            let nv = bdd.var(x.next);
+            let fx = bdd.var(x.current);
+            let fp = bdd.var(pick.var);
+            let xp = bdd.xor(fx, fp);
+            bdd.iff(nv, xp)
+        };
+        b.add_trans_constraint(constraint);
+        b.set_init(Ref::TRUE);
+        let fsm = b.build(&mut bdd).expect("total");
+        let s0 = fsm.state_cube(&mut bdd, &[("x", false)]);
+        let img = fsm.image(&mut bdd, s0);
+        assert!(img.is_true());
+    }
+}

@@ -1,0 +1,51 @@
+//! # covest-fsm
+//!
+//! Symbolic finite state machines for the `covest` workspace — the model
+//! layer of the DAC'99 paper *"Coverage Estimation for Symbolic Model
+//! Checking"* (Definition 1's `M = <S, T_M, P, S_I>`).
+//!
+//! - [`SymbolicFsm`] / [`FsmBuilder`]: Mealy machines over BDD variables,
+//!   with image/preimage, `forward`, reachability fixpoints and onion
+//!   rings;
+//! - [`SignalTable`]: named boolean and numeric signals with lowering of
+//!   [`covest_ctl::PropExpr`] atoms (including integer comparisons) to
+//!   BDDs, plus interpretation *overrides* — the hook used by `depend(b)`,
+//!   the dual FSM, and the primed signal `q'` of the paper;
+//! - [`SymbolicFsm::dual`]: Definition 2's dual machine `M̂s`;
+//! - [`Trace`] generation: shortest input sequences to target states
+//!   (Section 3's "traces to uncovered states");
+//! - [`Stg`]: explicit state-transition graphs (the paper's Figures 1–3)
+//!   compiled to symbolic machines.
+//!
+//! # Example
+//!
+//! ```
+//! use covest_bdd::Bdd;
+//! use covest_fsm::Stg;
+//!
+//! // Figure 2's chain of p1-states ending in a q-state.
+//! let mut stg = Stg::new("figure2");
+//! stg.add_states(4);
+//! stg.add_path(&[0, 1, 2, 3]);
+//! stg.mark_initial(0);
+//! stg.label(3, "q");
+//! let mut bdd = Bdd::new();
+//! let fsm = stg.compile(&mut bdd)?;
+//! let target = stg.state_fn(&mut bdd, &fsm, 3);
+//! let trace = fsm.trace_to(&mut bdd, target).expect("reachable");
+//! assert_eq!(trace.len(), 3);
+//! # Ok::<(), covest_fsm::BuildFsmError>(())
+//! ```
+
+mod error;
+mod fsm;
+mod reach;
+mod signal;
+mod stg;
+mod trace;
+
+pub use error::{BuildFsmError, LowerError};
+pub use fsm::{FsmBuilder, InputBit, StateBit, SymbolicFsm};
+pub use signal::{NumericSignal, SignalTable, SignalValue};
+pub use stg::Stg;
+pub use trace::{Trace, TraceStep};

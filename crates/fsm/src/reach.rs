@@ -1,0 +1,137 @@
+//! Reachability analysis: fixpoints and breadth-first onion rings.
+
+use covest_bdd::{Bdd, Ref};
+
+use crate::fsm::SymbolicFsm;
+
+impl SymbolicFsm {
+    /// All states reachable from `from` in any number of steps, including
+    /// `from` itself (the paper's `reachable(S0)`).
+    pub fn reachable_from(&self, bdd: &mut Bdd, from: Ref) -> Ref {
+        let mut reached = from;
+        let mut frontier = from;
+        loop {
+            let img = self.image(bdd, frontier);
+            let fresh = bdd.diff(img, reached);
+            if fresh.is_false() {
+                return reached;
+            }
+            reached = bdd.or(reached, fresh);
+            frontier = fresh;
+        }
+    }
+
+    /// All states reachable from the initial states.
+    pub fn reachable(&self, bdd: &mut Bdd) -> Ref {
+        self.reachable_from(bdd, self.init)
+    }
+
+    /// Breadth-first *onion rings* from `from`: `rings[0] = from`, and
+    /// `rings[k]` holds the states first reached at distance `k`.
+    /// The union of all rings is [`SymbolicFsm::reachable_from`].
+    pub fn onion_rings(&self, bdd: &mut Bdd, from: Ref) -> Vec<Ref> {
+        let mut rings = vec![from];
+        let mut reached = from;
+        let mut frontier = from;
+        loop {
+            let img = self.image(bdd, frontier);
+            let fresh = bdd.diff(img, reached);
+            if fresh.is_false() {
+                return rings;
+            }
+            rings.push(fresh);
+            reached = bdd.or(reached, fresh);
+            frontier = fresh;
+        }
+    }
+
+    /// Number of reachable states (the denominator of Definition 4).
+    pub fn reachable_count(&self, bdd: &mut Bdd) -> f64 {
+        let r = self.reachable(bdd);
+        let vars = self.current_vars();
+        bdd.sat_count_over(r, &vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::FsmBuilder;
+
+    /// A 3-bit counter with no inputs that increments and wraps at 6
+    /// (states 6 and 7 unreachable from 0).
+    fn mod6_counter(bdd: &mut Bdd) -> SymbolicFsm {
+        let mut b = FsmBuilder::new("mod6");
+        let bits: Vec<_> = (0..3)
+            .map(|i| b.add_state_bit(bdd, format!("c{i}")))
+            .collect();
+        let f: Vec<Ref> = bits.iter().map(|s| bdd.var(s.current)).collect();
+        // value == 5 detector
+        let n1 = bdd.not(f[1]);
+        let is5 = {
+            let a = bdd.and(f[0], n1);
+            bdd.and(a, f[2])
+        };
+        // incremented value
+        let inc0 = bdd.not(f[0]);
+        let inc1 = bdd.xor(f[1], f[0]);
+        let carry01 = bdd.and(f[0], f[1]);
+        let inc2 = bdd.xor(f[2], carry01);
+        // next = is5 ? 0 : inc
+        let n0 = bdd.ite(is5, Ref::FALSE, inc0);
+        let n1b = bdd.ite(is5, Ref::FALSE, inc1);
+        let n2 = bdd.ite(is5, Ref::FALSE, inc2);
+        b.set_next(bdd, "c0", n0);
+        b.set_next(bdd, "c1", n1b);
+        b.set_next(bdd, "c2", n2);
+        let zeros: Vec<Ref> = bits.iter().map(|s| bdd.nvar(s.current)).collect();
+        let init = bdd.and_many(zeros);
+        b.set_init(init);
+        b.build(bdd).expect("valid")
+    }
+
+    #[test]
+    fn reachable_excludes_unreachable_codes() {
+        let mut bdd = Bdd::new();
+        let fsm = mod6_counter(&mut bdd);
+        assert_eq!(fsm.reachable_count(&mut bdd), 6.0);
+    }
+
+    #[test]
+    fn rings_partition_reachable() {
+        let mut bdd = Bdd::new();
+        let fsm = mod6_counter(&mut bdd);
+        let rings = fsm.onion_rings(&mut bdd, fsm.init());
+        assert_eq!(rings.len(), 6); // distances 0..5
+        // Pairwise disjoint and union equals reachable.
+        let mut union = Ref::FALSE;
+        for (i, &ri) in rings.iter().enumerate() {
+            for &rj in rings.iter().skip(i + 1) {
+                assert!(bdd.and(ri, rj).is_false());
+            }
+            union = bdd.or(union, ri);
+        }
+        let reach = fsm.reachable(&mut bdd);
+        assert_eq!(union, reach);
+    }
+
+    #[test]
+    fn reachable_from_subset() {
+        let mut bdd = Bdd::new();
+        let fsm = mod6_counter(&mut bdd);
+        // Starting at value 4 we can still reach all six states (wraps).
+        let s4 = fsm.state_cube(&mut bdd, &[("c2", true)]);
+        let r = fsm.reachable_from(&mut bdd, s4);
+        let vars = fsm.current_vars();
+        assert_eq!(bdd.sat_count_over(r, &vars), 6.0);
+    }
+
+    #[test]
+    fn reachable_is_fixpoint() {
+        let mut bdd = Bdd::new();
+        let fsm = mod6_counter(&mut bdd);
+        let r = fsm.reachable(&mut bdd);
+        let img = fsm.image(&mut bdd, r);
+        assert!(bdd.leq(img, r));
+    }
+}

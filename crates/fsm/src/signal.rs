@@ -1,0 +1,583 @@
+//! Named signal tables and lowering of propositional formulas to BDDs.
+//!
+//! A [`SignalTable`] maps signal names to their semantic functions over the
+//! *current-state* (and input) BDD variables. The coverage machinery of the
+//! DAC'99 paper manipulates signal interpretations directly:
+//!
+//! - `depend(b)` re-lowers `b` with the observed signal interpreted as its
+//!   complement;
+//! - the dual FSM of Definition 2 flips the observed signal's function on a
+//!   single state;
+//! - the observability transformation introduces a primed copy `q'` whose
+//!   default interpretation equals `q`.
+//!
+//! All three are expressed through the `overrides` parameter of
+//! [`SignalTable::lower_with`].
+
+use std::collections::HashMap;
+
+use covest_bdd::{Bdd, Ref};
+use covest_ctl::{CmpOp, CmpRhs, PropExpr, SignalRef};
+
+use crate::error::LowerError;
+
+/// A multi-bit (range or enumeration) signal: an unsigned binary value,
+/// LSB first, plus an additive offset and optional enumeration literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumericSignal {
+    /// Bit functions, least significant first.
+    pub bits: Vec<Ref>,
+    /// Value represented = binary(bits) + offset.
+    pub offset: i64,
+    /// Enumeration literals naming particular values (e.g. `idle ↦ 0`).
+    pub literals: HashMap<String, i64>,
+}
+
+impl NumericSignal {
+    /// A plain unsigned signal with the given bit functions (LSB first).
+    pub fn unsigned(bits: Vec<Ref>) -> Self {
+        NumericSignal {
+            bits,
+            offset: 0,
+            literals: HashMap::new(),
+        }
+    }
+
+    /// Inclusive range of representable values.
+    pub fn value_range(&self) -> (i64, i64) {
+        let span = if self.bits.len() >= 63 {
+            i64::MAX
+        } else {
+            (1i64 << self.bits.len()) - 1
+        };
+        (self.offset, self.offset.saturating_add(span))
+    }
+}
+
+/// The semantic value of a signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignalValue {
+    /// A boolean signal: a single BDD over state/input variables.
+    Bool(Ref),
+    /// A multi-bit numeric signal.
+    Num(NumericSignal),
+}
+
+/// A table of named signals with lowering of [`PropExpr`] to BDDs.
+#[derive(Debug, Clone, Default)]
+pub struct SignalTable {
+    entries: HashMap<String, SignalValue>,
+}
+
+impl SignalTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a boolean signal. Returns the previous value, if any.
+    pub fn insert_bool(&mut self, name: impl Into<String>, f: Ref) -> Option<SignalValue> {
+        self.entries.insert(name.into(), SignalValue::Bool(f))
+    }
+
+    /// Registers a numeric signal. Returns the previous value, if any.
+    pub fn insert_num(
+        &mut self,
+        name: impl Into<String>,
+        sig: NumericSignal,
+    ) -> Option<SignalValue> {
+        self.entries.insert(name.into(), SignalValue::Num(sig))
+    }
+
+    /// Looks up a signal by name.
+    pub fn get(&self, name: &str) -> Option<&SignalValue> {
+        self.entries.get(name)
+    }
+
+    /// Returns `true` if `name` is a registered signal.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Iterates over `(name, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SignalValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Names of all signals, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Lowers a propositional formula to a BDD over the table's variables.
+    ///
+    /// # Errors
+    ///
+    /// See [`LowerError`].
+    pub fn lower(&self, bdd: &mut Bdd, e: &PropExpr) -> Result<Ref, LowerError> {
+        self.lower_with(bdd, e, &[])
+    }
+
+    /// Lowers `e` with interpretation overrides.
+    ///
+    /// Each override maps an exact occurrence pattern (name + primed flag)
+    /// to a replacement value. Primed occurrences without an override fall
+    /// back to the unprimed signal (Definition 5: `q'` is defined by the
+    /// same function as `q`).
+    ///
+    /// # Errors
+    ///
+    /// See [`LowerError`].
+    pub fn lower_with(
+        &self,
+        bdd: &mut Bdd,
+        e: &PropExpr,
+        overrides: &[(SignalRef, SignalValue)],
+    ) -> Result<Ref, LowerError> {
+        match e {
+            PropExpr::Const(c) => Ok(bdd.constant(*c)),
+            PropExpr::Atom(s) => match self.resolve(s, overrides)? {
+                SignalValue::Bool(r) => Ok(r),
+                SignalValue::Num(_) => Err(LowerError::TypeMismatch {
+                    signal: s.name.clone(),
+                    expected: "boolean",
+                }),
+            },
+            PropExpr::Cmp { lhs, op, rhs } => self.lower_cmp(bdd, lhs, *op, rhs, overrides),
+            PropExpr::Not(a) => {
+                let fa = self.lower_with(bdd, a, overrides)?;
+                Ok(bdd.not(fa))
+            }
+            PropExpr::And(a, b) => {
+                let fa = self.lower_with(bdd, a, overrides)?;
+                let fb = self.lower_with(bdd, b, overrides)?;
+                Ok(bdd.and(fa, fb))
+            }
+            PropExpr::Or(a, b) => {
+                let fa = self.lower_with(bdd, a, overrides)?;
+                let fb = self.lower_with(bdd, b, overrides)?;
+                Ok(bdd.or(fa, fb))
+            }
+            PropExpr::Implies(a, b) => {
+                let fa = self.lower_with(bdd, a, overrides)?;
+                let fb = self.lower_with(bdd, b, overrides)?;
+                Ok(bdd.implies(fa, fb))
+            }
+            PropExpr::Iff(a, b) => {
+                let fa = self.lower_with(bdd, a, overrides)?;
+                let fb = self.lower_with(bdd, b, overrides)?;
+                Ok(bdd.iff(fa, fb))
+            }
+        }
+    }
+
+    fn resolve(
+        &self,
+        s: &SignalRef,
+        overrides: &[(SignalRef, SignalValue)],
+    ) -> Result<SignalValue, LowerError> {
+        if let Some((_, v)) = overrides.iter().find(|(pat, _)| pat == s) {
+            return Ok(v.clone());
+        }
+        // Primed occurrences default to the unprimed interpretation.
+        self.entries
+            .get(&s.name)
+            .cloned()
+            .ok_or_else(|| LowerError::UnknownSignal(s.name.clone()))
+    }
+
+    fn lower_cmp(
+        &self,
+        bdd: &mut Bdd,
+        lhs: &SignalRef,
+        op: CmpOp,
+        rhs: &CmpRhs,
+        overrides: &[(SignalRef, SignalValue)],
+    ) -> Result<Ref, LowerError> {
+        let lv = self.resolve(lhs, overrides)?;
+        let lnum = match lv {
+            SignalValue::Num(n) => n,
+            SignalValue::Bool(_) => {
+                return Err(LowerError::TypeMismatch {
+                    signal: lhs.name.clone(),
+                    expected: "numeric",
+                })
+            }
+        };
+        match rhs {
+            CmpRhs::Int(c) => Ok(cmp_const(bdd, &lnum, op, *c)),
+            CmpRhs::Sym(r) => {
+                // A signal name takes precedence; otherwise try an
+                // enumeration literal of the lhs variable.
+                let rhs_resolved = if overrides.iter().any(|(pat, _)| pat == r)
+                    || self.entries.contains_key(&r.name)
+                {
+                    Some(self.resolve(r, overrides)?)
+                } else {
+                    None
+                };
+                match rhs_resolved {
+                    Some(SignalValue::Num(rnum)) => {
+                        if lnum.offset != rnum.offset {
+                            return Err(LowerError::IncompatibleEncodings(
+                                lhs.name.clone(),
+                                r.name.clone(),
+                            ));
+                        }
+                        Ok(cmp_vars(bdd, &lnum.bits, op, &rnum.bits))
+                    }
+                    Some(SignalValue::Bool(_)) => Err(LowerError::TypeMismatch {
+                        signal: r.name.clone(),
+                        expected: "numeric",
+                    }),
+                    None => {
+                        let lit = lnum.literals.get(&r.name).copied().ok_or_else(|| {
+                            LowerError::UnknownLiteral {
+                                lhs: lhs.name.clone(),
+                                name: r.name.clone(),
+                            }
+                        })?;
+                        Ok(cmp_const(bdd, &lnum, op, lit))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the BDD for `sig op constant`.
+fn cmp_const(bdd: &mut Bdd, sig: &NumericSignal, op: CmpOp, c: i64) -> Ref {
+    let raw = c - sig.offset;
+    let width = sig.bits.len();
+    let max_raw: i64 = if width >= 63 { i64::MAX } else { (1 << width) - 1 };
+    // Handle out-of-range constants by the mathematical truth value.
+    if raw < 0 {
+        return match op {
+            CmpOp::Eq => Ref::FALSE,
+            CmpOp::Ne => Ref::TRUE,
+            CmpOp::Lt | CmpOp::Le => Ref::FALSE,
+            CmpOp::Gt | CmpOp::Ge => Ref::TRUE,
+        };
+    }
+    if raw > max_raw {
+        return match op {
+            CmpOp::Eq => Ref::FALSE,
+            CmpOp::Ne => Ref::TRUE,
+            CmpOp::Lt | CmpOp::Le => Ref::TRUE,
+            CmpOp::Gt | CmpOp::Ge => Ref::FALSE,
+        };
+    }
+    let raw = raw as u64;
+    match op {
+        CmpOp::Eq => eq_const(bdd, &sig.bits, raw),
+        CmpOp::Ne => {
+            let e = eq_const(bdd, &sig.bits, raw);
+            bdd.not(e)
+        }
+        CmpOp::Lt => lt_const(bdd, &sig.bits, raw),
+        CmpOp::Le => lt_const(bdd, &sig.bits, raw + 1),
+        CmpOp::Ge => {
+            let l = lt_const(bdd, &sig.bits, raw);
+            bdd.not(l)
+        }
+        CmpOp::Gt => {
+            let l = lt_const(bdd, &sig.bits, raw + 1);
+            bdd.not(l)
+        }
+    }
+}
+
+fn eq_const(bdd: &mut Bdd, bits: &[Ref], c: u64) -> Ref {
+    let mut acc = Ref::TRUE;
+    for (i, &bit) in bits.iter().enumerate() {
+        let want = (c >> i) & 1 == 1;
+        let term = if want { bit } else { bdd.not(bit) };
+        acc = bdd.and(acc, term);
+    }
+    acc
+}
+
+/// `value(bits) < c` for an unsigned constant `c` (which may be `2^width`).
+fn lt_const(bdd: &mut Bdd, bits: &[Ref], c: u64) -> Ref {
+    let width = bits.len() as u32;
+    if c == 0 {
+        return Ref::FALSE;
+    }
+    if width < 64 && c >= (1u64 << width) {
+        return Ref::TRUE;
+    }
+    // MSB-first ripple: lt = (bit < c_i) | (bit == c_i) & lt_rest
+    let mut lt = Ref::FALSE;
+    for i in 0..bits.len() {
+        let bit = bits[i];
+        let ci = (c >> i) & 1 == 1;
+        if ci {
+            // bit < 1 when bit = 0; otherwise equal here, defer to rest
+            let nb = bdd.not(bit);
+            let keep = bdd.and(bit, lt);
+            lt = bdd.or(nb, keep);
+        } else {
+            // bit < 0 impossible; equal when bit = 0
+            let nb = bdd.not(bit);
+            lt = bdd.and(nb, lt);
+        }
+    }
+    lt
+}
+
+/// `value(a) op value(b)` bitwise (widths may differ; shorter padded).
+fn cmp_vars(bdd: &mut Bdd, a: &[Ref], op: CmpOp, b: &[Ref]) -> Ref {
+    let width = a.len().max(b.len());
+    let bit = |bits: &[Ref], i: usize| -> Ref {
+        bits.get(i).copied().unwrap_or(Ref::FALSE)
+    };
+    match op {
+        CmpOp::Eq | CmpOp::Ne => {
+            let mut acc = Ref::TRUE;
+            for i in 0..width {
+                let (ai, bi) = (bit(a, i), bit(b, i));
+                let e = bdd.iff(ai, bi);
+                acc = bdd.and(acc, e);
+            }
+            if op == CmpOp::Eq {
+                acc
+            } else {
+                bdd.not(acc)
+            }
+        }
+        CmpOp::Lt | CmpOp::Ge => {
+            // LSB-first ripple: lt_i = (a_i < b_i) | (a_i == b_i) & lt_{i-1}
+            let mut lt = Ref::FALSE;
+            for i in 0..width {
+                let (ai, bi) = (bit(a, i), bit(b, i));
+                let na = bdd.not(ai);
+                let strictly = bdd.and(na, bi);
+                let eq = bdd.iff(ai, bi);
+                let keep = bdd.and(eq, lt);
+                lt = bdd.or(strictly, keep);
+            }
+            if op == CmpOp::Lt {
+                lt
+            } else {
+                bdd.not(lt)
+            }
+        }
+        CmpOp::Gt | CmpOp::Le => {
+            let gt = cmp_vars(bdd, b, CmpOp::Lt, a);
+            if op == CmpOp::Gt {
+                gt
+            } else {
+                bdd.not(gt)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covest_ctl::PropExpr;
+
+    /// Builds a table with a boolean `p`, and a 3-bit counter `count`
+    /// (range 0..7) made of raw variables.
+    fn table(bdd: &mut Bdd) -> (SignalTable, Vec<covest_bdd::VarId>) {
+        let p = bdd.new_named_var("p");
+        let bits: Vec<_> = (0..3).map(|i| bdd.new_named_var(format!("c{i}"))).collect();
+        let mut t = SignalTable::new();
+        let fp = bdd.var(p);
+        t.insert_bool("p", fp);
+        let bit_fns: Vec<Ref> = bits.iter().map(|&v| bdd.var(v)).collect();
+        t.insert_num("count", NumericSignal::unsigned(bit_fns));
+        let mut all = vec![p];
+        all.extend(bits);
+        (t, all)
+    }
+
+    fn count_assignments(bdd: &Bdd, f: Ref, vars: &[covest_bdd::VarId]) -> u128 {
+        bdd.sat_count_exact(f, vars)
+    }
+
+    #[test]
+    fn lower_atom_and_connectives() {
+        let mut bdd = Bdd::new();
+        let (t, _vars) = table(&mut bdd);
+        let e = PropExpr::atom("p").not().or(PropExpr::atom("p"));
+        let f = t.lower(&mut bdd, &e).expect("lowers");
+        assert!(f.is_true());
+    }
+
+    #[test]
+    fn lower_eq_and_ne() {
+        let mut bdd = Bdd::new();
+        let (t, vars) = table(&mut bdd);
+        let f = t
+            .lower(&mut bdd, &PropExpr::cmp_int("count", CmpOp::Eq, 5))
+            .expect("lowers");
+        // p free (2) * 1 assignment of count bits
+        assert_eq!(count_assignments(&bdd, f, &vars), 2);
+        let g = t
+            .lower(&mut bdd, &PropExpr::cmp_int("count", CmpOp::Ne, 5))
+            .expect("lowers");
+        assert_eq!(count_assignments(&bdd, g, &vars), 14);
+    }
+
+    #[test]
+    fn lower_orderings_match_semantics() {
+        let mut bdd = Bdd::new();
+        let (t, vars) = table(&mut bdd);
+        for c in 0..=7i64 {
+            for (op, expect) in [
+                (CmpOp::Lt, (0..8).filter(|v| *v < c).count()),
+                (CmpOp::Le, (0..8).filter(|v| *v <= c).count()),
+                (CmpOp::Gt, (0..8).filter(|v| *v > c).count()),
+                (CmpOp::Ge, (0..8).filter(|v| *v >= c).count()),
+            ] {
+                let f = t
+                    .lower(&mut bdd, &PropExpr::cmp_int("count", op, c))
+                    .expect("lowers");
+                assert_eq!(
+                    count_assignments(&bdd, f, &vars),
+                    2 * expect as u128,
+                    "count {op:?} {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_constants() {
+        let mut bdd = Bdd::new();
+        let (t, _) = table(&mut bdd);
+        let f = t
+            .lower(&mut bdd, &PropExpr::cmp_int("count", CmpOp::Lt, 100))
+            .expect("lowers");
+        assert!(f.is_true());
+        let g = t
+            .lower(&mut bdd, &PropExpr::cmp_int("count", CmpOp::Eq, -1))
+            .expect("lowers");
+        assert!(g.is_false());
+        let h = t
+            .lower(&mut bdd, &PropExpr::cmp_int("count", CmpOp::Ge, -1))
+            .expect("lowers");
+        assert!(h.is_true());
+    }
+
+    #[test]
+    fn var_var_comparisons() {
+        let mut bdd = Bdd::new();
+        let a_vars = bdd.new_vars(2);
+        let b_vars = bdd.new_vars(2);
+        let a_bits: Vec<Ref> = a_vars.iter().map(|&v| bdd.var(v)).collect();
+        let b_bits: Vec<Ref> = b_vars.iter().map(|&v| bdd.var(v)).collect();
+        let mut t = SignalTable::new();
+        t.insert_num("a", NumericSignal::unsigned(a_bits));
+        t.insert_num("b", NumericSignal::unsigned(b_bits));
+        let vars: Vec<_> = (0..4).map(covest_bdd::VarId::from_index).collect();
+        // a = b has 4 solutions out of 16; a < b has 6.
+        let eq = t
+            .lower(&mut bdd, &PropExpr::cmp_sym("a", CmpOp::Eq, "b"))
+            .expect("lowers");
+        assert_eq!(bdd.sat_count_exact(eq, &vars), 4);
+        let lt = t
+            .lower(&mut bdd, &PropExpr::cmp_sym("a", CmpOp::Lt, "b"))
+            .expect("lowers");
+        assert_eq!(bdd.sat_count_exact(lt, &vars), 6);
+        let le = t
+            .lower(&mut bdd, &PropExpr::cmp_sym("a", CmpOp::Le, "b"))
+            .expect("lowers");
+        assert_eq!(bdd.sat_count_exact(le, &vars), 10);
+    }
+
+    #[test]
+    fn enum_literals_resolve() {
+        let mut bdd = Bdd::new();
+        let bit = bdd.new_var();
+        let fbit = bdd.var(bit);
+        let mut t = SignalTable::new();
+        let mut sig = NumericSignal::unsigned(vec![fbit]);
+        sig.literals.insert("idle".to_owned(), 0);
+        sig.literals.insert("busy".to_owned(), 1);
+        t.insert_num("state", sig);
+        let f = t
+            .lower(&mut bdd, &PropExpr::cmp_sym("state", CmpOp::Eq, "busy"))
+            .expect("lowers");
+        assert_eq!(f, fbit);
+        let e = t
+            .lower(&mut bdd, &PropExpr::cmp_sym("state", CmpOp::Eq, "bogus"))
+            .unwrap_err();
+        assert!(matches!(e, LowerError::UnknownLiteral { .. }));
+    }
+
+    #[test]
+    fn offsets_shift_constants() {
+        let mut bdd = Bdd::new();
+        let vars2 = bdd.new_vars(2);
+        let bits: Vec<Ref> = vars2.iter().map(|&v| bdd.var(v)).collect();
+        let mut t = SignalTable::new();
+        t.insert_num(
+            "x",
+            NumericSignal {
+                bits,
+                offset: 10,
+                literals: HashMap::new(),
+            },
+        );
+        let vars: Vec<_> = (0..2).map(covest_bdd::VarId::from_index).collect();
+        // x ranges over 10..13; x <= 11 has 2 solutions.
+        let f = t
+            .lower(&mut bdd, &PropExpr::cmp_int("x", CmpOp::Le, 11))
+            .expect("lowers");
+        assert_eq!(bdd.sat_count_exact(f, &vars), 2);
+    }
+
+    #[test]
+    fn overrides_replace_interpretation() {
+        let mut bdd = Bdd::new();
+        let (t, _) = table(&mut bdd);
+        let q = PropExpr::atom("p");
+        let normal = t.lower(&mut bdd, &q).expect("lowers");
+        let flipped = bdd.not(normal);
+        let via_override = t
+            .lower_with(
+                &mut bdd,
+                &q,
+                &[(SignalRef::new("p"), SignalValue::Bool(flipped))],
+            )
+            .expect("lowers");
+        assert_eq!(via_override, flipped);
+        // Primed occurrences default to the unprimed meaning...
+        let primed_expr = PropExpr::Atom(SignalRef::primed("p"));
+        let primed_default = t.lower(&mut bdd, &primed_expr).expect("lowers");
+        assert_eq!(primed_default, normal);
+        // ...but can be overridden independently.
+        let primed_override = t
+            .lower_with(
+                &mut bdd,
+                &primed_expr,
+                &[(SignalRef::primed("p"), SignalValue::Bool(flipped))],
+            )
+            .expect("lowers");
+        assert_eq!(primed_override, flipped);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut bdd = Bdd::new();
+        let (t, _) = table(&mut bdd);
+        assert!(matches!(
+            t.lower(&mut bdd, &PropExpr::atom("nope")).unwrap_err(),
+            LowerError::UnknownSignal(_)
+        ));
+        assert!(matches!(
+            t.lower(&mut bdd, &PropExpr::atom("count")).unwrap_err(),
+            LowerError::TypeMismatch { .. }
+        ));
+        assert!(matches!(
+            t.lower(&mut bdd, &PropExpr::cmp_int("p", CmpOp::Eq, 1))
+                .unwrap_err(),
+            LowerError::TypeMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,348 @@
+//! Explicit state-transition-graph models.
+//!
+//! The paper's Figures 1–3 are drawn as small explicit graphs. This module
+//! builds a [`SymbolicFsm`] from an explicit description: numbered states,
+//! directed edges, boolean signal labels per state. It is also the bridge
+//! to the enumerative *reference* implementation of Definition 3 used for
+//! differential testing.
+//!
+//! States are binary-encoded; nondeterministic choice among a state's
+//! successors is resolved by fresh input bits (making the machine a Mealy
+//! machine with a total transition relation). States without successors
+//! receive a self-loop, as CTL semantics require totality.
+
+use std::collections::BTreeMap;
+
+use covest_bdd::{Bdd, Ref, VarId};
+
+use crate::error::BuildFsmError;
+use crate::fsm::{FsmBuilder, SymbolicFsm};
+
+/// An explicit state-transition graph with labelled states.
+///
+/// # Examples
+///
+/// ```
+/// use covest_bdd::Bdd;
+/// use covest_fsm::Stg;
+///
+/// // Two states flip-flopping; signal `q` holds in state 1.
+/// let mut stg = Stg::new("toggle");
+/// stg.add_states(2);
+/// stg.add_edge(0, 1);
+/// stg.add_edge(1, 0);
+/// stg.mark_initial(0);
+/// stg.label(1, "q");
+/// let mut bdd = Bdd::new();
+/// let fsm = stg.compile(&mut bdd)?;
+/// assert_eq!(fsm.num_state_bits(), 1);
+/// # Ok::<(), covest_fsm::BuildFsmError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stg {
+    name: String,
+    num_states: usize,
+    edges: Vec<(usize, usize)>,
+    initial: Vec<usize>,
+    labels: BTreeMap<String, Vec<usize>>,
+}
+
+impl Stg {
+    /// Creates an empty graph called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Stg {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds `n` states, returning the id of the first new state.
+    pub fn add_states(&mut self, n: usize) -> usize {
+        let first = self.num_states;
+        self.num_states += n;
+        first
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Adds a directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a state.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.num_states && to < self.num_states, "unknown state");
+        self.edges.push((from, to));
+    }
+
+    /// Adds a chain of edges `path[0] → path[1] → …`.
+    pub fn add_path(&mut self, path: &[usize]) {
+        for w in path.windows(2) {
+            self.add_edge(w[0], w[1]);
+        }
+    }
+
+    /// Marks a state as initial.
+    pub fn mark_initial(&mut self, state: usize) {
+        assert!(state < self.num_states, "unknown state");
+        self.initial.push(state);
+    }
+
+    /// Asserts boolean signal `name` in `state` (signals default to false).
+    pub fn label(&mut self, state: usize, name: impl Into<String>) {
+        assert!(state < self.num_states, "unknown state");
+        self.labels.entry(name.into()).or_default().push(state);
+    }
+
+    /// The explicit successor list of `state` (with the implicit self-loop
+    /// for sink states, mirroring [`Stg::compile`]).
+    pub fn successors(&self, state: usize) -> Vec<usize> {
+        let mut succ: Vec<usize> = self
+            .edges
+            .iter()
+            .filter(|(f, _)| *f == state)
+            .map(|(_, t)| *t)
+            .collect();
+        if succ.is_empty() {
+            succ.push(state);
+        }
+        succ
+    }
+
+    /// States in which `signal` is asserted.
+    pub fn labelled_states(&self, signal: &str) -> Vec<usize> {
+        self.labels.get(signal).cloned().unwrap_or_default()
+    }
+
+    /// All signal names, sorted.
+    pub fn signal_names(&self) -> Vec<&str> {
+        self.labels.keys().map(String::as_str).collect()
+    }
+
+    /// Initial state ids.
+    pub fn initial_states(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// Compiles the graph to a symbolic Mealy machine.
+    ///
+    /// State `i` is encoded in binary over ⌈log₂ n⌉ bits named `s0…`;
+    /// `k = ⌈log₂ maxdeg⌉` input bits named `choice0…` select among each
+    /// state's successors (input values beyond the out-degree wrap around,
+    /// keeping the relation total).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildFsmError`] from the underlying builder.
+    pub fn compile(&self, bdd: &mut Bdd) -> Result<SymbolicFsm, BuildFsmError> {
+        assert!(self.num_states > 0, "graph must have at least one state");
+        let nbits = bits_for(self.num_states);
+        let maxdeg = (0..self.num_states)
+            .map(|s| self.successors(s).len())
+            .max()
+            .unwrap_or(1);
+        let cbits = bits_for(maxdeg);
+
+        let mut b = FsmBuilder::new(self.name.clone());
+        let state_bits: Vec<_> = (0..nbits)
+            .map(|i| b.add_state_bit(bdd, format!("s{i}")))
+            .collect();
+        let choice_bits: Vec<_> = (0..cbits)
+            .map(|i| b.add_input_bit(bdd, format!("choice{i}")))
+            .collect();
+
+        let cur_vars: Vec<VarId> = state_bits.iter().map(|s| s.current).collect();
+        let next_vars: Vec<VarId> = state_bits.iter().map(|s| s.next).collect();
+        let choice_vars: Vec<VarId> = choice_bits.iter().map(|c| c.var).collect();
+
+        // T = ∨_s ∨_j (cur=s ∧ choice≡j (mod deg) ∧ next=succ_j(s))
+        let mut trans = Ref::FALSE;
+        for s in 0..self.num_states {
+            let succ = self.successors(s);
+            let cur = encode(bdd, &cur_vars, s);
+            for j in 0..(1usize << cbits).max(1) {
+                let target = succ[j % succ.len()];
+                let choice = encode(bdd, &choice_vars, j);
+                let next = encode(bdd, &next_vars, target);
+                let t1 = bdd.and(cur, choice);
+                let t = bdd.and(t1, next);
+                trans = bdd.or(trans, t);
+            }
+        }
+        // Invalid binary codes (beyond num_states) self-loop so the
+        // relation stays total; they are unreachable from valid states.
+        for s in self.num_states..(1usize << nbits) {
+            let cur = encode(bdd, &cur_vars, s);
+            let next = encode(bdd, &next_vars, s);
+            let t = bdd.and(cur, next);
+            trans = bdd.or(trans, t);
+        }
+        b.add_trans_constraint(trans);
+
+        let mut init = Ref::FALSE;
+        for &s in &self.initial {
+            let e = encode(bdd, &cur_vars, s);
+            init = bdd.or(init, e);
+        }
+        b.set_init(init);
+
+        for (name, states) in &self.labels {
+            let mut f = Ref::FALSE;
+            for &s in states {
+                let e = encode(bdd, &cur_vars, s);
+                f = bdd.or(f, e);
+            }
+            b.add_signal(name.clone(), f);
+        }
+
+        // Signal exposing the raw code of each state, useful for tests.
+        b.build(bdd)
+    }
+
+    /// The characteristic BDD of state `id` on a machine compiled from
+    /// this graph.
+    pub fn state_fn(&self, bdd: &mut Bdd, fsm: &SymbolicFsm, id: usize) -> Ref {
+        let cur: Vec<VarId> = fsm.current_vars();
+        encode(bdd, &cur, id)
+    }
+
+    /// Decodes a current-state minterm of a compiled machine back to the
+    /// explicit state id.
+    pub fn decode_state(&self, assignment: &[(VarId, bool)], fsm: &SymbolicFsm) -> usize {
+        let mut id = 0usize;
+        for (i, bit) in fsm.state_bits().iter().enumerate() {
+            let v = assignment
+                .iter()
+                .find(|(var, _)| *var == bit.current)
+                .map(|(_, val)| *val)
+                .unwrap_or(false);
+            if v {
+                id |= 1 << i;
+            }
+        }
+        id
+    }
+}
+
+fn bits_for(n: usize) -> usize {
+    if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+fn encode(bdd: &mut Bdd, vars: &[VarId], value: usize) -> Ref {
+    let mut cube = Ref::TRUE;
+    for (i, &v) in vars.iter().enumerate() {
+        let bit = (value >> i) & 1 == 1;
+        let lit = bdd.literal(v, bit);
+        cube = bdd.and(cube, lit);
+    }
+    cube
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2's chain: p1-labelled states leading to a q state.
+    fn chain() -> Stg {
+        let mut stg = Stg::new("chain");
+        stg.add_states(4);
+        stg.add_path(&[0, 1, 2, 3]);
+        stg.mark_initial(0);
+        for s in 0..3 {
+            stg.label(s, "p1");
+        }
+        stg.label(3, "q");
+        stg
+    }
+
+    #[test]
+    fn compile_chain_reaches_all_states() {
+        let mut bdd = Bdd::new();
+        let stg = chain();
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        assert!(fsm.is_total(&mut bdd));
+        let vars = fsm.current_vars();
+        let r = fsm.reachable(&mut bdd);
+        assert_eq!(bdd.sat_count_over(r, &vars), 4.0);
+    }
+
+    #[test]
+    fn sink_states_get_self_loops() {
+        let mut bdd = Bdd::new();
+        let stg = chain();
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let s3 = stg.state_fn(&mut bdd, &fsm, 3);
+        let img = fsm.image(&mut bdd, s3);
+        assert_eq!(img, s3);
+    }
+
+    #[test]
+    fn branching_uses_choice_inputs() {
+        let mut bdd = Bdd::new();
+        let mut stg = Stg::new("branch");
+        stg.add_states(3);
+        stg.add_edge(0, 1);
+        stg.add_edge(0, 2);
+        stg.add_edge(1, 0);
+        stg.add_edge(2, 0);
+        stg.mark_initial(0);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        assert_eq!(fsm.input_bits().len(), 1);
+        let s0 = stg.state_fn(&mut bdd, &fsm, 0);
+        let img = fsm.image(&mut bdd, s0);
+        let s1 = stg.state_fn(&mut bdd, &fsm, 1);
+        let s2 = stg.state_fn(&mut bdd, &fsm, 2);
+        let expect = bdd.or(s1, s2);
+        assert_eq!(img, expect);
+    }
+
+    #[test]
+    fn labels_become_signals() {
+        let mut bdd = Bdd::new();
+        let stg = chain();
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let q = match fsm.signals().get("q") {
+            Some(crate::signal::SignalValue::Bool(r)) => *r,
+            other => panic!("bad signal {other:?}"),
+        };
+        let s3 = stg.state_fn(&mut bdd, &fsm, 3);
+        assert_eq!(q, s3);
+        assert_eq!(stg.labelled_states("q"), vec![3]);
+        assert_eq!(stg.signal_names(), vec!["p1", "q"]);
+    }
+
+    #[test]
+    fn unreachable_island_detected() {
+        let mut bdd = Bdd::new();
+        let mut stg = Stg::new("island");
+        stg.add_states(4);
+        stg.add_edge(0, 1);
+        stg.add_edge(1, 0);
+        stg.add_edge(2, 3); // island
+        stg.add_edge(3, 2);
+        stg.mark_initial(0);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let vars = fsm.current_vars();
+        let r = fsm.reachable(&mut bdd);
+        assert_eq!(bdd.sat_count_over(r, &vars), 2.0);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut bdd = Bdd::new();
+        let stg = chain();
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        for id in 0..4 {
+            let f = stg.state_fn(&mut bdd, &fsm, id);
+            let m = bdd.pick_minterm(f, &fsm.current_vars()).expect("state");
+            assert_eq!(stg.decode_state(&m, &fsm), id);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Trace generation: shortest input sequences witnessing reachability.
+//!
+//! The paper (Section 3) reports *traces to uncovered states*: a breadth
+//! first reachability analysis finds the shortest path from the initial
+//! states to a target state, and an input sequence is extracted along the
+//! path (following Cho/Hachtel/Somenzi's implicit enumeration technique,
+//! the paper's reference [8]).
+
+use std::collections::HashMap;
+
+use covest_bdd::{Bdd, Ref, VarId};
+
+use crate::fsm::SymbolicFsm;
+
+/// One step of a concrete trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Values of all state bits, in declaration order.
+    pub state: Vec<(String, bool)>,
+    /// Values of the inputs consumed to move to the *next* step
+    /// (empty for the final step).
+    pub inputs: Vec<(String, bool)>,
+}
+
+/// A concrete execution from an initial state to a target state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The steps, starting at an initial state and ending in the target.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Number of transitions in the trace.
+    pub fn len(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+
+    /// `true` if the trace is a single (initial) state.
+    pub fn is_empty(&self) -> bool {
+        self.steps.len() <= 1
+    }
+}
+
+impl std::fmt::Display for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            write!(f, "step {i}: ")?;
+            for (name, v) in &step.state {
+                write!(f, "{name}={} ", u8::from(*v))?;
+            }
+            if !step.inputs.is_empty() {
+                write!(f, "/ inputs: ")?;
+                for (name, v) in &step.inputs {
+                    write!(f, "{name}={} ", u8::from(*v))?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl SymbolicFsm {
+    /// Finds a shortest trace from the initial states to any state in
+    /// `target`, or `None` if `target` is unreachable.
+    pub fn trace_to(&self, bdd: &mut Bdd, target: Ref) -> Option<Trace> {
+        self.trace_from_to(bdd, self.init, target)
+    }
+
+    /// Finds a shortest trace from a state in `from` to a state in
+    /// `target`.
+    pub fn trace_from_to(&self, bdd: &mut Bdd, from: Ref, target: Ref) -> Option<Trace> {
+        // Forward BFS until the target is hit.
+        let mut rings = vec![from];
+        let mut reached = from;
+        let mut hit_ring = None;
+        if !bdd.and(from, target).is_false() {
+            hit_ring = Some(0);
+        }
+        while hit_ring.is_none() {
+            let frontier = *rings.last().expect("nonempty");
+            let img = self.image(bdd, frontier);
+            let fresh = bdd.diff(img, reached);
+            if fresh.is_false() {
+                return None; // target unreachable
+            }
+            reached = bdd.or(reached, fresh);
+            rings.push(fresh);
+            if !bdd.and(fresh, target).is_false() {
+                hit_ring = Some(rings.len() - 1);
+            }
+        }
+        let k = hit_ring.expect("set above");
+
+        // Pick the final state, then walk backwards through the rings,
+        // at each step choosing a predecessor and an input justifying
+        // the transition.
+        let cur_vars = self.current_vars();
+        let in_vars = self.input_vars();
+        let hit = bdd.and(rings[k], target);
+        let mut state_cube = self.minterm_to_cube(bdd, hit, &cur_vars);
+        let mut rev_states = vec![state_cube];
+        let mut rev_inputs: Vec<Vec<(VarId, bool)>> = Vec::new();
+        for ring in rings[..k].iter().rev() {
+            // predecessors of `state_cube` within `ring`, with inputs:
+            // T ∧ next(state) restricted to ring.
+            let state_next = bdd.rename(state_cube, &self.cur_to_next());
+            let step = bdd.and(self.trans, state_next);
+            let step = bdd.and(step, *ring);
+            // Choose one (state, input) pair.
+            let mut pick_vars = cur_vars.clone();
+            pick_vars.extend(in_vars.iter().copied());
+            let choice = bdd
+                .exists(step, &self.next_vars())
+                .pick_or(bdd, &pick_vars)
+                .expect("ring guarantees a predecessor");
+            let (st, inp) = split_choice(&choice, &cur_vars, &in_vars);
+            state_cube = cube_of(bdd, &st);
+            rev_states.push(state_cube);
+            rev_inputs.push(inp);
+        }
+
+        // Assemble forward.
+        rev_states.reverse();
+        rev_inputs.reverse();
+        let mut steps = Vec::with_capacity(rev_states.len());
+        for (i, &scube) in rev_states.iter().enumerate() {
+            let sm = bdd
+                .pick_minterm(scube, &cur_vars)
+                .expect("state cube nonempty");
+            let state = sm
+                .iter()
+                .map(|&(v, val)| (self.bit_name(v).to_owned(), val))
+                .collect();
+            let inputs = if i < rev_inputs.len() {
+                rev_inputs[i]
+                    .iter()
+                    .map(|&(v, val)| (self.input_name(v).to_owned(), val))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            steps.push(TraceStep { state, inputs });
+        }
+        Some(Trace { steps })
+    }
+
+    fn minterm_to_cube(&self, bdd: &mut Bdd, set: Ref, vars: &[VarId]) -> Ref {
+        let m = bdd.pick_minterm(set, vars).expect("nonempty set");
+        cube_of(bdd, &m)
+    }
+
+    fn bit_name(&self, v: VarId) -> &str {
+        self.state_bits
+            .iter()
+            .find(|b| b.current == v)
+            .map(|b| b.name.as_str())
+            .unwrap_or("?")
+    }
+
+    fn input_name(&self, v: VarId) -> &str {
+        self.input_bits
+            .iter()
+            .find(|b| b.var == v)
+            .map(|b| b.name.as_str())
+            .unwrap_or("?")
+    }
+}
+
+fn cube_of(bdd: &mut Bdd, literals: &[(VarId, bool)]) -> Ref {
+    let mut cube = Ref::TRUE;
+    for &(v, val) in literals {
+        let lit = bdd.literal(v, val);
+        cube = bdd.and(cube, lit);
+    }
+    cube
+}
+
+fn split_choice(
+    choice: &[(VarId, bool)],
+    cur_vars: &[VarId],
+    in_vars: &[VarId],
+) -> (Vec<(VarId, bool)>, Vec<(VarId, bool)>) {
+    let lookup: HashMap<VarId, bool> = choice.iter().copied().collect();
+    let st = cur_vars
+        .iter()
+        .map(|&v| (v, lookup.get(&v).copied().unwrap_or(false)))
+        .collect();
+    let inp = in_vars
+        .iter()
+        .map(|&v| (v, lookup.get(&v).copied().unwrap_or(false)))
+        .collect();
+    (st, inp)
+}
+
+/// Extension trait making `Ref::pick_or` readable above.
+trait PickExt {
+    fn pick_or(self, bdd: &Bdd, vars: &[VarId]) -> Option<Vec<(VarId, bool)>>;
+}
+
+impl PickExt for Ref {
+    fn pick_or(self, bdd: &Bdd, vars: &[VarId]) -> Option<Vec<(VarId, bool)>> {
+        bdd.pick_minterm(self, vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::FsmBuilder;
+
+    /// Counter with stall input (see fsm.rs tests).
+    fn counter2(bdd: &mut Bdd) -> SymbolicFsm {
+        let mut b = FsmBuilder::new("counter2");
+        let b0 = b.add_state_bit(bdd, "b0");
+        let b1 = b.add_state_bit(bdd, "b1");
+        let stall = b.add_input_bit(bdd, "stall");
+        let f0 = bdd.var(b0.current);
+        let f1 = bdd.var(b1.current);
+        let fs = bdd.var(stall.var);
+        let n0 = {
+            let nf0 = bdd.not(f0);
+            bdd.ite(fs, f0, nf0)
+        };
+        let n1 = {
+            let x = bdd.xor(f1, f0);
+            bdd.ite(fs, f1, x)
+        };
+        b.set_next(bdd, "b0", n0);
+        b.set_next(bdd, "b1", n1);
+        let i0 = bdd.nvar(b0.current);
+        let i1 = bdd.nvar(b1.current);
+        let init = bdd.and(i0, i1);
+        b.set_init(init);
+        b.build(bdd).expect("valid machine")
+    }
+
+    fn simulate(
+        fsm: &SymbolicFsm,
+        bdd: &mut Bdd,
+        trace: &Trace,
+    ) -> bool {
+        // Check every consecutive pair is a real transition.
+        for w in trace.steps.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let mut t = fsm.trans();
+            for (name, val) in &a.state {
+                let bit = fsm
+                    .state_bits()
+                    .iter()
+                    .find(|s| &s.name == name)
+                    .expect("bit");
+                t = bdd.restrict(t, bit.current, *val);
+            }
+            for (name, val) in &a.inputs {
+                let bit = fsm
+                    .input_bits()
+                    .iter()
+                    .find(|s| &s.name == name)
+                    .expect("input");
+                t = bdd.restrict(t, bit.var, *val);
+            }
+            for (name, val) in &b.state {
+                let bit = fsm
+                    .state_bits()
+                    .iter()
+                    .find(|s| &s.name == name)
+                    .expect("bit");
+                t = bdd.restrict(t, bit.next, *val);
+            }
+            if t.is_false() {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn trace_reaches_target_via_valid_transitions() {
+        let mut bdd = Bdd::new();
+        let fsm = counter2(&mut bdd);
+        let target = fsm.state_cube(&mut bdd, &[("b0", true), ("b1", true)]);
+        let trace = fsm.trace_to(&mut bdd, target).expect("reachable");
+        assert_eq!(trace.len(), 3); // shortest: 00 → 01 → 10 → 11
+        assert!(simulate(&fsm, &mut bdd, &trace));
+        let last = trace.steps.last().expect("nonempty");
+        assert_eq!(
+            last.state,
+            vec![("b0".to_owned(), true), ("b1".to_owned(), true)]
+        );
+    }
+
+    #[test]
+    fn trace_to_initial_state_is_trivial() {
+        let mut bdd = Bdd::new();
+        let fsm = counter2(&mut bdd);
+        let trace = fsm.trace_to(&mut bdd, fsm.init()).expect("trivial");
+        assert!(trace.is_empty());
+        assert_eq!(trace.len(), 0);
+    }
+
+    #[test]
+    fn unreachable_target_yields_none() {
+        let mut bdd = Bdd::new();
+        let fsm = counter2(&mut bdd);
+        assert!(fsm.trace_to(&mut bdd, Ref::FALSE).is_none());
+    }
+
+    #[test]
+    fn trace_display_mentions_inputs() {
+        let mut bdd = Bdd::new();
+        let fsm = counter2(&mut bdd);
+        let target = fsm.state_cube(&mut bdd, &[("b0", true)]);
+        let trace = fsm.trace_to(&mut bdd, target).expect("reachable");
+        let s = trace.to_string();
+        assert!(s.contains("step 0"));
+        assert!(s.contains("stall"), "{s}");
+    }
+}

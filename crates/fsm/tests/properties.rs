@@ -1,0 +1,210 @@
+//! Property-based tests on symbolic FSM operations: image/preimage
+//! adjunction, reachability invariants, and trace validity on random
+//! explicit graphs.
+
+use std::collections::HashSet;
+
+use covest_bdd::{Bdd, Ref};
+use covest_fsm::Stg;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_stg(rng: &mut StdRng) -> Stg {
+    let n = rng.gen_range(2..=9);
+    let mut stg = Stg::new("random");
+    stg.add_states(n);
+    for i in 0..n - 1 {
+        stg.add_edge(i, i + 1);
+    }
+    for _ in 0..rng.gen_range(0..=2 * n) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        stg.add_edge(a, b);
+    }
+    stg.mark_initial(0);
+    if n > 2 {
+        stg.mark_initial(rng.gen_range(1..n));
+    }
+    stg
+}
+
+/// Explicit reachability oracle on the graph.
+fn explicit_reachable(stg: &Stg) -> HashSet<usize> {
+    let mut seen: HashSet<usize> = stg.initial_states().iter().copied().collect();
+    let mut work: Vec<usize> = seen.iter().copied().collect();
+    while let Some(s) = work.pop() {
+        for t in stg.successors(s) {
+            if seen.insert(t) {
+                work.push(t);
+            }
+        }
+    }
+    seen
+}
+
+#[test]
+fn symbolic_reachability_matches_explicit_bfs() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..60 {
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let reach = fsm.reachable(&mut bdd);
+        let vars = fsm.current_vars();
+        let mut got: Vec<usize> = bdd
+            .minterms_over(reach, &vars)
+            .map(|m| stg.decode_state(&m, &fsm))
+            .collect();
+        got.sort_unstable();
+        got.dedup();
+        let mut expect: Vec<usize> = explicit_reachable(&stg).into_iter().collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn image_preimage_adjunction() {
+    // S ∩ preimage(T) ≠ ∅  ⇔  image(S) ∩ T ≠ ∅ (on random state sets).
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..40 {
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let n = stg.num_states();
+        let pick_set = |bdd: &mut Bdd, rng: &mut StdRng| -> Ref {
+            let mut acc = Ref::FALSE;
+            for s in 0..n {
+                if rng.gen_bool(0.4) {
+                    let f = stg.state_fn(bdd, &fsm, s);
+                    acc = bdd.or(acc, f);
+                }
+            }
+            acc
+        };
+        let s = pick_set(&mut bdd, &mut rng);
+        let t = pick_set(&mut bdd, &mut rng);
+        let pre_t = fsm.preimage(&mut bdd, t);
+        let img_s = fsm.image(&mut bdd, s);
+        let lhs = !bdd.and(s, pre_t).is_false();
+        let rhs = !bdd.and(img_s, t).is_false();
+        assert_eq!(lhs, rhs);
+    }
+}
+
+#[test]
+fn universal_preimage_is_dual_of_existential() {
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..40 {
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let n = stg.num_states();
+        let mut set = Ref::FALSE;
+        for s in 0..n {
+            if rng.gen_bool(0.5) {
+                let f = stg.state_fn(&mut bdd, &fsm, s);
+                set = bdd.or(set, f);
+            }
+        }
+        let nset = bdd.not(set);
+        let univ = fsm.preimage_univ(&mut bdd, set);
+        let ex_n = fsm.preimage(&mut bdd, nset);
+        let dual = bdd.not(ex_n);
+        assert_eq!(univ, dual);
+        // Universal ⊆ existential wherever the relation is total and the
+        // set is nonempty on the successor side.
+        let ex = fsm.preimage(&mut bdd, set);
+        let within = bdd.implies(univ, ex);
+        assert!(within.is_true(), "total relations: AX ⊆ EX");
+    }
+}
+
+#[test]
+fn traces_always_follow_real_edges() {
+    let mut rng = StdRng::seed_from_u64(14);
+    for _ in 0..40 {
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let n = stg.num_states();
+        let target_id = rng.gen_range(0..n);
+        let target = stg.state_fn(&mut bdd, &fsm, target_id);
+        let reachable = explicit_reachable(&stg);
+        match fsm.trace_to(&mut bdd, target) {
+            Some(trace) => {
+                assert!(reachable.contains(&target_id));
+                // Decode the state sequence and check edges.
+                let ids: Vec<usize> = trace
+                    .steps
+                    .iter()
+                    .map(|step| {
+                        let bits: Vec<(covest_bdd::VarId, bool)> = fsm
+                            .state_bits()
+                            .iter()
+                            .map(|b| {
+                                let v = step
+                                    .state
+                                    .iter()
+                                    .find(|(n, _)| *n == b.name)
+                                    .map(|(_, v)| *v)
+                                    .unwrap_or(false);
+                                (b.current, v)
+                            })
+                            .collect();
+                        stg.decode_state(&bits, &fsm)
+                    })
+                    .collect();
+                assert_eq!(*ids.last().expect("nonempty"), target_id);
+                assert!(stg.initial_states().contains(&ids[0]));
+                for w in ids.windows(2) {
+                    assert!(
+                        stg.successors(w[0]).contains(&w[1]),
+                        "trace edge {} → {} not in graph",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+            None => assert!(!reachable.contains(&target_id)),
+        }
+    }
+}
+
+#[test]
+fn onion_rings_give_shortest_distances() {
+    let mut rng = StdRng::seed_from_u64(15);
+    for _ in 0..30 {
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let rings = fsm.onion_rings(&mut bdd, fsm.init());
+        // Explicit BFS distances.
+        let mut dist: std::collections::HashMap<usize, usize> = stg
+            .initial_states()
+            .iter()
+            .map(|&s| (s, 0usize))
+            .collect();
+        let mut frontier: Vec<usize> = stg.initial_states().to_vec();
+        let mut d = 0usize;
+        while !frontier.is_empty() {
+            d += 1;
+            let mut next = Vec::new();
+            for &s in &frontier {
+                for t in stg.successors(s) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(t) {
+                        e.insert(d);
+                        next.push(t);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for (k, &ring) in rings.iter().enumerate() {
+            let vars = fsm.current_vars();
+            for m in bdd.minterms_over(ring, &vars) {
+                let id = stg.decode_state(&m, &fsm);
+                assert_eq!(dist[&id], k, "state {id} in ring {k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # covest-mc
+//!
+//! A symbolic CTL model checker over [`covest_fsm::SymbolicFsm`] — the
+//! verification engine beneath the DAC'99 coverage estimator (the paper's
+//! estimator was "implemented on top of SMV"; this crate plays SMV's
+//! role).
+//!
+//! - [`ModelChecker::sat`] evaluates any [`covest_ctl::Ctl`] formula to
+//!   the BDD of satisfying states, with memoization shared across
+//!   sub-formulas (the paper notes results "can be memoized and used
+//!   during coverage estimation");
+//! - universal operators are computed by duality from the existential
+//!   fixpoints `EX`, `EU`, `EG`;
+//! - fairness constraints (Section 4.3) are honoured via the
+//!   Emerson–Lei algorithm: `A`-quantifiers range over paths on which
+//!   every constraint holds infinitely often;
+//! - [`ModelChecker::check`] returns a [`Verdict`] with a counterexample
+//!   trace for the common failure shapes.
+//!
+//! # Example
+//!
+//! ```
+//! use covest_bdd::Bdd;
+//! use covest_fsm::Stg;
+//! use covest_mc::ModelChecker;
+//! use covest_ctl::parse_formula;
+//!
+//! let mut stg = Stg::new("toggle");
+//! stg.add_states(2);
+//! stg.add_edge(0, 1);
+//! stg.add_edge(1, 0);
+//! stg.mark_initial(0);
+//! stg.label(1, "q");
+//! let mut bdd = Bdd::new();
+//! let fsm = stg.compile(&mut bdd)?;
+//! let mut mc = ModelChecker::new(&fsm);
+//! let f = parse_formula("AG AX q").unwrap();
+//! // q holds only on odd steps, so AG AX q fails (AX q is false in odd
+//! // states, which are reachable).
+//! assert!(!mc.holds(&mut bdd, &f.into()).unwrap());
+//! let g = parse_formula("AX q").unwrap();
+//! assert!(mc.holds(&mut bdd, &g.into()).unwrap());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod checker;
+mod verdict;
+
+pub use checker::ModelChecker;
+pub use verdict::Verdict;

@@ -1,0 +1,47 @@
+//! Verification verdicts.
+
+use covest_fsm::Trace;
+
+/// The outcome of checking a property against a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// All (fair) initial states satisfy the property.
+    Holds,
+    /// Some initial state violates the property.
+    Fails {
+        /// A violating initial state, as bit assignments.
+        bad_initial: Vec<(String, bool)>,
+        /// A counterexample trace when one could be constructed (e.g. a
+        /// path to a state violating the body of a top-level `AG`).
+        counterexample: Option<Trace>,
+    },
+}
+
+impl Verdict {
+    /// `true` if the property holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds)
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Holds => write!(f, "holds"),
+            Verdict::Fails {
+                bad_initial,
+                counterexample,
+            } => {
+                write!(f, "fails in initial state ")?;
+                for (name, v) in bad_initial {
+                    write!(f, "{name}={} ", u8::from(*v))?;
+                }
+                if let Some(t) = counterexample {
+                    writeln!(f, "\ncounterexample:")?;
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}

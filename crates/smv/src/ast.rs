@@ -1,0 +1,169 @@
+//! Abstract syntax of the `covest` modeling language (an SMV dialect).
+
+use std::fmt;
+
+/// A declared variable type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarType {
+    /// `boolean`
+    Boolean,
+    /// `lo..hi` (inclusive integer range)
+    Range(i64, i64),
+    /// `{lit0, lit1, …}` enumeration
+    Enum(Vec<String>),
+}
+
+impl fmt::Display for VarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarType::Boolean => f.write_str("boolean"),
+            VarType::Range(lo, hi) => write!(f, "{lo}..{hi}"),
+            VarType::Enum(lits) => {
+                f.write_str("{")?;
+                for (i, l) in lits.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str(l)?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `->`
+    Implies,
+    /// `<->`
+    Iff,
+    /// `xor`
+    Xor,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `mod`
+    Mod,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Implies => "->",
+            BinOp::Iff => "<->",
+            BinOp::Xor => "xor",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mod => "mod",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression of the modeling language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `TRUE` / `FALSE`
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Variable, DEFINE, or enumeration literal (resolved by the type
+    /// checker).
+    Name(String),
+    /// `!e`
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `case g1 : e1; …; esac` — first true guard wins.
+    Case(Vec<(Expr, Expr)>),
+}
+
+impl Expr {
+    /// `!self` (consuming constructor).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Binary-op constructor.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Self {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Bool(true) => f.write_str("TRUE"),
+            Expr::Bool(false) => f.write_str("FALSE"),
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Name(n) => f.write_str(n),
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Case(arms) => {
+                f.write_str("case ")?;
+                for (g, e) in arms {
+                    write!(f, "{g} : {e}; ")?;
+                }
+                f.write_str("esac")
+            }
+        }
+    }
+}
+
+/// One variable declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: VarType,
+    /// `true` for `IVAR` (primary input), `false` for `VAR` (state).
+    pub input: bool,
+}
+
+/// A parsed module (we support a single `MODULE main`).
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Declared variables, in order.
+    pub vars: Vec<VarDecl>,
+    /// `init(x) := e` assignments.
+    pub inits: Vec<(String, Expr)>,
+    /// `next(x) := e` assignments.
+    pub nexts: Vec<(String, Expr)>,
+    /// `DEFINE name := e` macros, in order.
+    pub defines: Vec<(String, Expr)>,
+    /// `SPEC <actl>` properties (raw text, parsed downstream).
+    pub specs: Vec<String>,
+    /// `FAIRNESS <prop>` constraints (raw text).
+    pub fairness: Vec<String>,
+    /// `OBSERVED a, b` observed-signal names.
+    pub observed: Vec<String>,
+}

@@ -1,0 +1,707 @@
+//! Compilation of a parsed [`Module`] to a [`SymbolicFsm`].
+//!
+//! Booleans lower directly to BDDs. Integer-valued expressions are
+//! evaluated as *value partitions*: a list of `(value, condition)` pairs
+//! where the conditions are disjoint BDDs covering the state space. This
+//! keeps arithmetic exact (including negative ranges and `mod`) at the
+//! model sizes typical for property verification, and range-overflow in
+//! assignments is detected statically: if an assignment can produce an
+//! out-of-range value under a satisfiable condition, compilation fails
+//! rather than silently wrapping.
+
+use std::collections::HashMap;
+
+use covest_bdd::{Bdd, Ref};
+use covest_fsm::{FsmBuilder, NumericSignal, StateBit, SymbolicFsm};
+
+use crate::ast::{BinOp, Expr, Module, VarDecl, VarType};
+use crate::error::ModelError;
+
+/// A compiled value: boolean function or integer value partition.
+#[derive(Debug, Clone)]
+enum Value {
+    Bool(Ref),
+    /// Pairs `(value, condition)`; conditions are pairwise disjoint and
+    /// cover `TRUE` (a total partition).
+    Int(Vec<(i64, Ref)>),
+}
+
+/// Per-variable compile-time info.
+#[derive(Debug, Clone)]
+struct VarInfo {
+    decl: VarDecl,
+    /// Bit handles (bool vars use exactly one). IVARs compile to free
+    /// state bits, so every handle is a state bit.
+    bits: Vec<BitHandle>,
+    /// Minimum value (offset) for int-typed vars.
+    offset: i64,
+    /// Number of values (range size); 2 for booleans.
+    span: i64,
+}
+
+#[derive(Debug, Clone)]
+enum BitHandle {
+    State(StateBit),
+}
+
+impl BitHandle {
+    fn current(&self, bdd: &mut Bdd) -> Ref {
+        match self {
+            BitHandle::State(s) => bdd.var(s.current),
+        }
+    }
+}
+
+fn bits_needed(span: i64) -> usize {
+    debug_assert!(span >= 1);
+    let mut n = 1usize;
+    while (1i64 << n) < span {
+        n += 1;
+    }
+    n
+}
+
+struct Compiler<'a> {
+    module: &'a Module,
+    vars: HashMap<String, VarInfo>,
+    literals: HashMap<String, i64>,
+    define_cache: HashMap<String, Value>,
+    define_stack: Vec<String>,
+    /// States whose variable encodings are all valid; impossible
+    /// conditions outside this set are ignored by range and
+    /// exhaustiveness checks.
+    valid: Ref,
+}
+
+impl<'a> Compiler<'a> {
+    fn lookup_define(&self, name: &str) -> Option<&Expr> {
+        self.module
+            .defines
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e)
+    }
+
+    fn eval(&mut self, bdd: &mut Bdd, e: &Expr) -> Result<Value, ModelError> {
+        match e {
+            Expr::Bool(b) => Ok(Value::Bool(bdd.constant(*b))),
+            Expr::Int(v) => Ok(Value::Int(vec![(*v, Ref::TRUE)])),
+            Expr::Name(n) => self.eval_name(bdd, n),
+            Expr::Not(a) => match self.eval(bdd, a)? {
+                Value::Bool(r) => Ok(Value::Bool(bdd.not(r))),
+                Value::Int(_) => Err(ModelError::nowhere(format!(
+                    "`!` applied to integer expression `{a}`"
+                ))),
+            },
+            Expr::Bin(op, a, b) => self.eval_bin(bdd, *op, a, b),
+            Expr::Case(arms) => self.eval_case(bdd, arms),
+        }
+    }
+
+    fn eval_name(&mut self, bdd: &mut Bdd, n: &str) -> Result<Value, ModelError> {
+        if let Some(info) = self.vars.get(n).cloned() {
+            return Ok(match info.decl.ty {
+                VarType::Boolean => Value::Bool(info.bits[0].current(bdd)),
+                VarType::Range(..) | VarType::Enum(_) => {
+                    let mut pairs = Vec::with_capacity(info.span as usize);
+                    for raw in 0..info.span {
+                        let mut cond = Ref::TRUE;
+                        for (i, bit) in info.bits.iter().enumerate() {
+                            let b = bit.current(bdd);
+                            let want = (raw >> i) & 1 == 1;
+                            let lit = if want { b } else { bdd.not(b) };
+                            cond = bdd.and(cond, lit);
+                        }
+                        pairs.push((raw + info.offset, cond));
+                    }
+                    Value::Int(pairs)
+                }
+            });
+        }
+        if self.lookup_define(n).is_some() {
+            if let Some(v) = self.define_cache.get(n) {
+                return Ok(v.clone());
+            }
+            if self.define_stack.iter().any(|d| d == n) {
+                return Err(ModelError::nowhere(format!(
+                    "cyclic DEFINE involving `{n}`"
+                )));
+            }
+            self.define_stack.push(n.to_owned());
+            let expr = self.lookup_define(n).expect("checked above").clone();
+            let v = self.eval(bdd, &expr)?;
+            self.define_stack.pop();
+            self.define_cache.insert(n.to_owned(), v.clone());
+            return Ok(v);
+        }
+        if let Some(&v) = self.literals.get(n) {
+            return Ok(Value::Int(vec![(v, Ref::TRUE)]));
+        }
+        Err(ModelError::nowhere(format!("unknown name `{n}`")))
+    }
+
+    fn eval_bin(
+        &mut self,
+        bdd: &mut Bdd,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<Value, ModelError> {
+        let va = self.eval(bdd, a)?;
+        let vb = self.eval(bdd, b)?;
+        match op {
+            BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff | BinOp::Xor => {
+                let (ra, rb) = match (va, vb) {
+                    (Value::Bool(x), Value::Bool(y)) => (x, y),
+                    _ => {
+                        return Err(ModelError::nowhere(format!(
+                            "boolean operator `{op}` applied to integer operand in `{a} {op} {b}`"
+                        )))
+                    }
+                };
+                Ok(Value::Bool(match op {
+                    BinOp::And => bdd.and(ra, rb),
+                    BinOp::Or => bdd.or(ra, rb),
+                    BinOp::Implies => bdd.implies(ra, rb),
+                    BinOp::Iff => bdd.iff(ra, rb),
+                    BinOp::Xor => bdd.xor(ra, rb),
+                    _ => unreachable!(),
+                }))
+            }
+            BinOp::Eq | BinOp::Ne => match (va, vb) {
+                // Equality works on both kinds.
+                (Value::Bool(x), Value::Bool(y)) => {
+                    let e = bdd.iff(x, y);
+                    Ok(Value::Bool(if op == BinOp::Eq { e } else { bdd.not(e) }))
+                }
+                (Value::Int(pa), Value::Int(pb)) => {
+                    let r = int_cmp(bdd, &pa, &pb, |x, y| x == y);
+                    Ok(Value::Bool(if op == BinOp::Eq { r } else { bdd.not(r) }))
+                }
+                _ => Err(ModelError::nowhere(format!(
+                    "type mismatch in comparison `{a} {op} {b}`"
+                ))),
+            },
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match (va, vb) {
+                (Value::Int(pa), Value::Int(pb)) => {
+                    let r = match op {
+                        BinOp::Lt => int_cmp(bdd, &pa, &pb, |x, y| x < y),
+                        BinOp::Le => int_cmp(bdd, &pa, &pb, |x, y| x <= y),
+                        BinOp::Gt => int_cmp(bdd, &pa, &pb, |x, y| x > y),
+                        _ => int_cmp(bdd, &pa, &pb, |x, y| x >= y),
+                    };
+                    Ok(Value::Bool(r))
+                }
+                _ => Err(ModelError::nowhere(format!(
+                    "ordering comparison on boolean operand in `{a} {op} {b}`"
+                ))),
+            },
+            BinOp::Add | BinOp::Sub | BinOp::Mod => match (va, vb) {
+                (Value::Int(pa), Value::Int(pb)) => {
+                    let f: fn(i64, i64) -> Result<i64, ModelError> = match op {
+                        BinOp::Add => |x, y| Ok(x + y),
+                        BinOp::Sub => |x, y| Ok(x - y),
+                        _ => |x, y| {
+                            if y <= 0 {
+                                Err(ModelError::nowhere(format!(
+                                    "`mod` by non-positive constant {y}"
+                                )))
+                            } else {
+                                Ok(x.rem_euclid(y))
+                            }
+                        },
+                    };
+                    int_arith(bdd, &pa, &pb, f).map(Value::Int)
+                }
+                _ => Err(ModelError::nowhere(format!(
+                    "arithmetic on boolean operand in `{a} {op} {b}`"
+                ))),
+            },
+        }
+    }
+
+    fn eval_case(&mut self, bdd: &mut Bdd, arms: &[(Expr, Expr)]) -> Result<Value, ModelError> {
+        // Evaluate guards first; arm i fires when its guard holds and no
+        // earlier guard does.
+        let mut fire = Vec::with_capacity(arms.len());
+        let mut taken = Ref::FALSE;
+        for (g, _) in arms {
+            let gv = match self.eval(bdd, g)? {
+                Value::Bool(r) => r,
+                Value::Int(_) => {
+                    return Err(ModelError::nowhere(format!(
+                        "case guard `{g}` is not boolean"
+                    )))
+                }
+            };
+            let nt = bdd.not(taken);
+            fire.push(bdd.and(gv, nt));
+            taken = bdd.or(taken, gv);
+        }
+        let covered_all = bdd.implies(self.valid, taken);
+        if !covered_all.is_true() {
+            return Err(ModelError::nowhere(
+                "case expression is not exhaustive (add a `TRUE :` arm)",
+            ));
+        }
+        // Merge arm values.
+        let first = self.eval(bdd, &arms[0].1)?;
+        match first {
+            Value::Bool(_) => {
+                let mut acc = Ref::FALSE;
+                for ((_, e), &cond) in arms.iter().zip(&fire) {
+                    let v = match self.eval(bdd, e)? {
+                        Value::Bool(r) => r,
+                        Value::Int(_) => {
+                            return Err(ModelError::nowhere(
+                                "case arms mix boolean and integer values",
+                            ))
+                        }
+                    };
+                    let both = bdd.and(cond, v);
+                    acc = bdd.or(acc, both);
+                }
+                Ok(Value::Bool(acc))
+            }
+            Value::Int(_) => {
+                let mut merged: HashMap<i64, Ref> = HashMap::new();
+                for ((_, e), &cond) in arms.iter().zip(&fire) {
+                    let pairs = match self.eval(bdd, e)? {
+                        Value::Int(p) => p,
+                        Value::Bool(_) => {
+                            return Err(ModelError::nowhere(
+                                "case arms mix boolean and integer values",
+                            ))
+                        }
+                    };
+                    for (v, c) in pairs {
+                        let both = bdd.and(cond, c);
+                        if !both.is_false() {
+                            let entry = merged.entry(v).or_insert(Ref::FALSE);
+                            *entry = bdd.or(*entry, both);
+                        }
+                    }
+                }
+                let mut out: Vec<(i64, Ref)> = merged.into_iter().collect();
+                out.sort_by_key(|(v, _)| *v);
+                Ok(Value::Int(out))
+            }
+        }
+    }
+}
+
+/// Pointwise comparison of two partitions.
+fn int_cmp(
+    bdd: &mut Bdd,
+    pa: &[(i64, Ref)],
+    pb: &[(i64, Ref)],
+    rel: impl Fn(i64, i64) -> bool,
+) -> Ref {
+    let mut acc = Ref::FALSE;
+    for &(va, ca) in pa {
+        for &(vb, cb) in pb {
+            if rel(va, vb) {
+                let both = bdd.and(ca, cb);
+                acc = bdd.or(acc, both);
+            }
+        }
+    }
+    acc
+}
+
+/// Pointwise arithmetic on two partitions.
+fn int_arith(
+    bdd: &mut Bdd,
+    pa: &[(i64, Ref)],
+    pb: &[(i64, Ref)],
+    f: impl Fn(i64, i64) -> Result<i64, ModelError>,
+) -> Result<Vec<(i64, Ref)>, ModelError> {
+    let mut merged: HashMap<i64, Ref> = HashMap::new();
+    for &(va, ca) in pa {
+        for &(vb, cb) in pb {
+            let both = bdd.and(ca, cb);
+            if both.is_false() {
+                continue;
+            }
+            let v = f(va, vb)?;
+            let entry = merged.entry(v).or_insert(Ref::FALSE);
+            *entry = bdd.or(*entry, both);
+        }
+    }
+    let mut out: Vec<(i64, Ref)> = merged.into_iter().collect();
+    out.sort_by_key(|(v, _)| *v);
+    Ok(out)
+}
+
+/// The result of compiling a module.
+#[derive(Debug)]
+pub struct CompiledModel {
+    /// The symbolic machine.
+    pub fsm: SymbolicFsm,
+    /// Parsed SPEC properties.
+    pub specs: Vec<covest_ctl::Formula>,
+    /// Parsed FAIRNESS constraints (propositional).
+    pub fairness: Vec<covest_ctl::PropExpr>,
+    /// Observed-signal names from the OBSERVED section.
+    pub observed: Vec<String>,
+}
+
+/// Compiles a parsed module on the given manager.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] for type errors, non-exhaustive cases, range
+/// overflows, unknown names, missing `next()` assignments, or SPEC /
+/// FAIRNESS bodies that fail to parse.
+pub fn compile_module(bdd: &mut Bdd, module: &Module) -> Result<CompiledModel, ModelError> {
+    // Duplicate checks + literal table.
+    let mut literals: HashMap<String, i64> = HashMap::new();
+    let mut seen: HashMap<&str, ()> = HashMap::new();
+    for d in &module.vars {
+        if seen.insert(&d.name, ()).is_some() {
+            return Err(ModelError::nowhere(format!(
+                "duplicate variable `{}`",
+                d.name
+            )));
+        }
+        if let VarType::Enum(lits) = &d.ty {
+            for (i, l) in lits.iter().enumerate() {
+                if let Some(&prev) = literals.get(l) {
+                    if prev != i as i64 {
+                        return Err(ModelError::nowhere(format!(
+                            "enumeration literal `{l}` used with conflicting values"
+                        )));
+                    }
+                } else {
+                    literals.insert(l.clone(), i as i64);
+                }
+            }
+        }
+    }
+
+    let mut builder = FsmBuilder::new("main");
+    let mut vars: HashMap<String, VarInfo> = HashMap::new();
+    for d in &module.vars {
+        let (offset, span) = match &d.ty {
+            VarType::Boolean => (0, 2),
+            VarType::Range(lo, hi) => (*lo, hi - lo + 1),
+            VarType::Enum(lits) => (0, lits.len() as i64),
+        };
+        let nbits = match d.ty {
+            VarType::Boolean => 1,
+            _ => bits_needed(span),
+        };
+        let mut bits = Vec::with_capacity(nbits);
+        for i in 0..nbits {
+            let bit_name = if nbits == 1 && matches!(d.ty, VarType::Boolean) {
+                d.name.clone()
+            } else {
+                format!("{}.{i}", d.name)
+            };
+            if d.input {
+                // Inputs compile to *free* state bits (unconstrained next
+                // value), matching original SMV: the input valuation is
+                // part of the state, so properties may mention inputs.
+                let sb = builder.add_free_bit(bdd, bit_name);
+                bits.push(BitHandle::State(sb));
+            } else {
+                let sb = builder.add_state_bit(bdd, bit_name);
+                bits.push(BitHandle::State(sb));
+            }
+        }
+        vars.insert(
+            d.name.clone(),
+            VarInfo {
+                decl: d.clone(),
+                bits,
+                offset,
+                span,
+            },
+        );
+    }
+
+    // Invalid encodings of ranged variables must never occur: exclude
+    // them from the initial states, and — because inputs are *free* bits
+    // whose next value is otherwise unconstrained — also forbid them in
+    // the next-state rank of the transition relation. State variables
+    // with exact next-value assignments cannot produce invalid codes.
+    let mut invalid_codes = Ref::FALSE;
+    for d in &module.vars {
+        let info = vars[&d.name].clone();
+        let code_count = 1i64 << info.bits.len();
+        let mut invalid_cur = Ref::FALSE;
+        let mut invalid_next = Ref::FALSE;
+        for raw in info.span..code_count {
+            let mut cond_cur = Ref::TRUE;
+            let mut cond_next = Ref::TRUE;
+            for (i, bit) in info.bits.iter().enumerate() {
+                let BitHandle::State(sb) = bit;
+                let want = (raw >> i) & 1 == 1;
+                let bc = bdd.literal(sb.current, want);
+                cond_cur = bdd.and(cond_cur, bc);
+                let bn = bdd.literal(sb.next, want);
+                cond_next = bdd.and(cond_next, bn);
+            }
+            invalid_cur = bdd.or(invalid_cur, cond_cur);
+            invalid_next = bdd.or(invalid_next, cond_next);
+        }
+        invalid_codes = bdd.or(invalid_codes, invalid_cur);
+        if d.input && !invalid_next.is_false() {
+            let valid_next = bdd.not(invalid_next);
+            builder.add_trans_constraint(valid_next);
+        }
+    }
+    let valid = bdd.not(invalid_codes);
+
+    let mut compiler = Compiler {
+        module,
+        vars,
+        literals,
+        define_cache: HashMap::new(),
+        define_stack: Vec::new(),
+        valid,
+    };
+
+    // Register signals for properties: numeric signals for int vars,
+    // boolean signals are registered by the builder already (but only
+    // bit-level names); add whole-variable signals.
+    for d in &module.vars {
+        let info = compiler.vars[&d.name].clone();
+        match &d.ty {
+            VarType::Boolean => {
+                let f = info.bits[0].current(bdd);
+                builder.add_signal(d.name.clone(), f);
+            }
+            VarType::Range(lo, _) => {
+                let bit_fns: Vec<Ref> =
+                    info.bits.iter().map(|b| b.current(bdd)).collect();
+                let mut sig = NumericSignal::unsigned(bit_fns);
+                sig.offset = *lo;
+                builder.add_numeric_signal(d.name.clone(), sig);
+            }
+            VarType::Enum(lits) => {
+                let bit_fns: Vec<Ref> =
+                    info.bits.iter().map(|b| b.current(bdd)).collect();
+                let mut sig = NumericSignal::unsigned(bit_fns);
+                for (i, l) in lits.iter().enumerate() {
+                    sig.literals.insert(l.clone(), i as i64);
+                }
+                builder.add_numeric_signal(d.name.clone(), sig);
+            }
+        }
+    }
+
+    // init(x) constraints.
+    let mut init = valid;
+    for (name, expr) in &module.inits {
+        let info = compiler
+            .vars
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ModelError::nowhere(format!("init of unknown variable `{name}`")))?;
+        if info.decl.input {
+            return Err(ModelError::nowhere(format!(
+                "`{name}` is an input; inputs cannot be assigned"
+            )));
+        }
+        let v = compiler.eval(bdd, expr)?;
+        let constraint = assign_constraint(bdd, &mut compiler, name, &info, &v, false)?;
+        init = bdd.and(init, constraint);
+    }
+    builder.set_init(init);
+
+    // next(x) assignments.
+    for (name, expr) in &module.nexts {
+        let info = compiler
+            .vars
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ModelError::nowhere(format!("next of unknown variable `{name}`")))?;
+        if info.decl.input {
+            return Err(ModelError::nowhere(format!(
+                "`{name}` is an input; inputs cannot be assigned"
+            )));
+        }
+        let v = compiler.eval(bdd, expr)?;
+        set_next_bits(bdd, &mut builder, &mut compiler, name, &info, &v)?;
+    }
+
+    // Every state variable must have a next() assignment.
+    for d in &module.vars {
+        if !d.input && !module.nexts.iter().any(|(n, _)| n == &d.name) {
+            return Err(ModelError::nowhere(format!(
+                "state variable `{}` has no next() assignment",
+                d.name
+            )));
+        }
+    }
+
+    // DEFINEs become named signals.
+    for (name, expr) in &module.defines {
+        match compiler.eval(bdd, &Expr::Name(name.clone()))? {
+            Value::Bool(r) => {
+                builder.add_signal(name.clone(), r);
+            }
+            Value::Int(pairs) => {
+                let min = pairs.iter().map(|(v, _)| *v).min().unwrap_or(0);
+                let max = pairs.iter().map(|(v, _)| *v).max().unwrap_or(0);
+                let width = bits_needed(max - min + 1);
+                let mut bit_fns = vec![Ref::FALSE; width];
+                for &(v, c) in &pairs {
+                    let raw = v - min;
+                    for (i, bit) in bit_fns.iter_mut().enumerate() {
+                        if (raw >> i) & 1 == 1 {
+                            *bit = bdd.or(*bit, c);
+                        }
+                    }
+                }
+                let mut sig = NumericSignal::unsigned(bit_fns);
+                sig.offset = min;
+                builder.add_numeric_signal(name.clone(), sig);
+            }
+        }
+        let _ = expr;
+    }
+
+    let fsm = builder
+        .build(bdd)
+        .map_err(|e| ModelError::nowhere(e.to_string()))?;
+
+    // Parse SPEC and FAIRNESS bodies.
+    let mut specs = Vec::with_capacity(module.specs.len());
+    for s in &module.specs {
+        let f = covest_ctl::parse_formula(s)
+            .map_err(|e| ModelError::nowhere(format!("SPEC `{s}`: {e}")))?;
+        specs.push(f);
+    }
+    let mut fairness = Vec::with_capacity(module.fairness.len());
+    for s in &module.fairness {
+        let ast = covest_ctl::parse_ast(s)
+            .map_err(|e| ModelError::nowhere(format!("FAIRNESS `{s}`: {e}")))?;
+        match covest_ctl::classify(&ast) {
+            Ok(covest_ctl::Formula::Prop(p)) => fairness.push(p),
+            _ => {
+                return Err(ModelError::nowhere(format!(
+                    "FAIRNESS `{s}` must be propositional"
+                )))
+            }
+        }
+    }
+
+    // Validate observed names.
+    for o in &module.observed {
+        if !fsm.signals().contains(o) {
+            return Err(ModelError::nowhere(format!(
+                "OBSERVED signal `{o}` is not defined"
+            )));
+        }
+    }
+
+    Ok(CompiledModel {
+        fsm,
+        specs,
+        fairness,
+        observed: module.observed.clone(),
+    })
+}
+
+/// Builds the predicate `var == value` (for init) or installs next-state
+/// bit functions (for next); shared range checking.
+fn assign_constraint(
+    bdd: &mut Bdd,
+    _compiler: &mut Compiler<'_>,
+    name: &str,
+    info: &VarInfo,
+    v: &Value,
+    _next: bool,
+) -> Result<Ref, ModelError> {
+    match (&info.decl.ty, v) {
+        (VarType::Boolean, Value::Bool(r)) => {
+            let cur = info.bits[0].current(bdd);
+            Ok(bdd.iff(cur, *r))
+        }
+        (VarType::Boolean, Value::Int(_)) => Err(ModelError::nowhere(format!(
+            "integer assigned to boolean `{name}`"
+        ))),
+        (_, Value::Bool(_)) => Err(ModelError::nowhere(format!(
+            "boolean assigned to integer `{name}`"
+        ))),
+        (_, Value::Int(pairs)) => {
+            check_range(bdd, _compiler.valid, name, info, pairs)?;
+            let mut acc = Ref::FALSE;
+            for &(val, cond) in pairs {
+                let raw = val - info.offset;
+                let mut eq = Ref::TRUE;
+                for (i, bit) in info.bits.iter().enumerate() {
+                    let b = bit.current(bdd);
+                    let want = (raw >> i) & 1 == 1;
+                    let lit = if want { b } else { bdd.not(b) };
+                    eq = bdd.and(eq, lit);
+                }
+                let both = bdd.and(cond, eq);
+                acc = bdd.or(acc, both);
+            }
+            Ok(acc)
+        }
+    }
+}
+
+fn set_next_bits(
+    bdd: &mut Bdd,
+    builder: &mut FsmBuilder,
+    _compiler: &mut Compiler<'_>,
+    name: &str,
+    info: &VarInfo,
+    v: &Value,
+) -> Result<(), ModelError> {
+    match (&info.decl.ty, v) {
+        (VarType::Boolean, Value::Bool(r)) => {
+            builder.set_next(bdd, name, *r);
+            Ok(())
+        }
+        (VarType::Boolean, Value::Int(_)) => Err(ModelError::nowhere(format!(
+            "integer assigned to boolean `{name}`"
+        ))),
+        (_, Value::Bool(_)) => Err(ModelError::nowhere(format!(
+            "boolean assigned to integer `{name}`"
+        ))),
+        (_, Value::Int(pairs)) => {
+            check_range(bdd, _compiler.valid, name, info, pairs)?;
+            let width = info.bits.len();
+            let mut bit_fns = vec![Ref::FALSE; width];
+            for &(val, cond) in pairs {
+                let raw = val - info.offset;
+                for (i, bit) in bit_fns.iter_mut().enumerate() {
+                    if (raw >> i) & 1 == 1 {
+                        *bit = bdd.or(*bit, cond);
+                    }
+                }
+            }
+            for (i, f) in bit_fns.into_iter().enumerate() {
+                builder.set_next(bdd, &format!("{name}.{i}"), f);
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_range(
+    bdd: &mut Bdd,
+    valid: Ref,
+    name: &str,
+    info: &VarInfo,
+    pairs: &[(i64, Ref)],
+) -> Result<(), ModelError> {
+    for &(val, cond) in pairs {
+        let possible = bdd.and(cond, valid);
+        if (val < info.offset || val >= info.offset + info.span) && !possible.is_false() {
+            return Err(ModelError::nowhere(format!(
+                "assignment to `{name}` can produce out-of-range value {val} \
+                 (range {}..{})",
+                info.offset,
+                info.offset + info.span - 1
+            )));
+        }
+    }
+    Ok(())
+}

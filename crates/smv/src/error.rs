@@ -1,0 +1,45 @@
+//! Errors for parsing and compiling model decks.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error with a line/column position in the source deck.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ModelError {
+    pub(crate) fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ModelError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn nowhere(message: impl Into<String>) -> Self {
+        ModelError {
+            line: 0,
+            column: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "model error: {}", self.message)
+        } else {
+            write!(f, "model error at {}:{}: {}", self.line, self.column, self.message)
+        }
+    }
+}
+
+impl Error for ModelError {}

@@ -1,0 +1,70 @@
+//! # covest-smv
+//!
+//! An SMV-dialect modeling language for the `covest` workspace. The
+//! DAC'99 coverage estimator was "implemented on top of SMV"; this crate
+//! lets models and property suites be written the way the paper's users
+//! wrote them, then compiles them to [`covest_fsm::SymbolicFsm`] machines
+//! by bit-blasting.
+//!
+//! Supported deck sections:
+//!
+//! - `MODULE main` (optional header)
+//! - `VAR x : boolean; y : 0..7; z : {idle, busy};` — state variables
+//! - `IVAR i : boolean;` — primary inputs
+//! - `ASSIGN init(x) := …; next(x) := case … esac;` — deterministic
+//!   next-state functions with exhaustive `case` expressions
+//! - `DEFINE full := count = 7;` — macros, exported as named signals
+//! - `SPEC <ACTL property>;` — properties in the acceptable subset
+//! - `FAIRNESS <proposition>;` — fairness constraints (Section 4.3)
+//! - `OBSERVED count, full;` — observed signals for coverage (extension)
+//!
+//! # Example
+//!
+//! ```
+//! use covest_bdd::Bdd;
+//! use covest_smv::compile;
+//!
+//! let deck = r#"
+//! MODULE main
+//! VAR count : 0..4;
+//! IVAR stall : boolean;
+//! ASSIGN
+//!   init(count) := 0;
+//!   next(count) := case
+//!     stall : count;
+//!     count < 4 : count + 1;
+//!     TRUE : 0;
+//!   esac;
+//! SPEC AG (!stall & count < 4 -> AX count = count);
+//! OBSERVED count;
+//! "#;
+//! let mut bdd = Bdd::new();
+//! let model = compile(&mut bdd, deck)?;
+//! assert_eq!(model.specs.len(), 1);
+//! assert!(model.fsm.is_total(&mut bdd));
+//! # Ok::<(), covest_smv::ModelError>(())
+//! ```
+
+mod ast;
+mod compile;
+mod error;
+mod lex;
+mod parse;
+
+pub use ast::{BinOp, Expr, Module, VarDecl, VarType};
+pub use compile::{compile_module, CompiledModel};
+pub use error::ModelError;
+pub use lex::{lex, TokKind, Token};
+pub use parse::parse_module;
+
+use covest_bdd::Bdd;
+
+/// Parses and compiles a model deck in one step.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] for lexical, syntactic, type, or range errors.
+pub fn compile(bdd: &mut Bdd, src: &str) -> Result<CompiledModel, ModelError> {
+    let module = parse_module(src)?;
+    compile_module(bdd, &module)
+}

@@ -1,0 +1,531 @@
+//! Parser for the modeling language.
+
+use crate::ast::{BinOp, Expr, Module, VarDecl, VarType};
+use crate::error::ModelError;
+use crate::lex::{lex, TokKind, Token};
+
+const SECTIONS: &[&str] = &[
+    "MODULE", "VAR", "IVAR", "ASSIGN", "DEFINE", "SPEC", "FAIRNESS", "OBSERVED",
+];
+
+struct Parser {
+    toks: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokKind {
+        &self.toks[self.idx].kind
+    }
+
+    fn peek_tok(&self) -> &Token {
+        &self.toks[self.idx]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.idx].clone();
+        if self.idx < self.toks.len() - 1 {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ModelError {
+        let t = self.peek_tok();
+        ModelError::new(t.line, t.column, message)
+    }
+
+    fn expect(&mut self, kind: &TokKind, what: &str) -> Result<(), ModelError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ModelError> {
+        match self.peek().clone() {
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn at_section(&self) -> bool {
+        matches!(self.peek(), TokKind::Ident(s) if SECTIONS.contains(&s.as_str()))
+            || matches!(self.peek(), TokKind::Eof)
+    }
+
+    fn parse_module(&mut self) -> Result<Module, ModelError> {
+        let mut m = Module::default();
+        // Optional MODULE header.
+        if matches!(self.peek(), TokKind::Ident(s) if s == "MODULE") {
+            self.bump();
+            let name = self.expect_ident("module name")?;
+            if name != "main" {
+                return Err(self.err("only `MODULE main` is supported"));
+            }
+        }
+        loop {
+            match self.peek().clone() {
+                TokKind::Eof => break,
+                TokKind::Ident(sec) if sec == "VAR" || sec == "IVAR" => {
+                    self.bump();
+                    let input = sec == "IVAR";
+                    while !self.at_section() {
+                        let decl = self.parse_var_decl(input)?;
+                        m.vars.push(decl);
+                    }
+                }
+                TokKind::Ident(sec) if sec == "ASSIGN" => {
+                    self.bump();
+                    while !self.at_section() {
+                        self.parse_assign(&mut m)?;
+                    }
+                }
+                TokKind::Ident(sec) if sec == "DEFINE" => {
+                    self.bump();
+                    while !self.at_section() {
+                        let name = self.expect_ident("DEFINE name")?;
+                        self.expect(&TokKind::Assign, "`:=`")?;
+                        let e = self.parse_expr()?;
+                        self.expect(&TokKind::Semi, "`;`")?;
+                        m.defines.push((name, e));
+                    }
+                }
+                TokKind::Ident(sec) if sec == "SPEC" => {
+                    self.bump();
+                    m.specs.push(self.capture_until_semi()?);
+                }
+                TokKind::Ident(sec) if sec == "FAIRNESS" => {
+                    self.bump();
+                    m.fairness.push(self.capture_until_semi()?);
+                }
+                TokKind::Ident(sec) if sec == "OBSERVED" => {
+                    self.bump();
+                    loop {
+                        m.observed.push(self.expect_ident("signal name")?);
+                        if self.peek() == &TokKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&TokKind::Semi, "`;`")?;
+                }
+                _ => return Err(self.err("expected a section keyword")),
+            }
+        }
+        Ok(m)
+    }
+
+    fn parse_var_decl(&mut self, input: bool) -> Result<VarDecl, ModelError> {
+        let name = self.expect_ident("variable name")?;
+        self.expect(&TokKind::Colon, "`:`")?;
+        let ty = match self.peek().clone() {
+            TokKind::Ident(s) if s == "boolean" => {
+                self.bump();
+                VarType::Boolean
+            }
+            TokKind::Int(lo) => {
+                self.bump();
+                self.expect(&TokKind::DotDot, "`..`")?;
+                let hi = match self.bump().kind {
+                    TokKind::Int(h) => h,
+                    _ => return Err(self.err("expected range upper bound")),
+                };
+                if hi < lo {
+                    return Err(self.err(format!("empty range {lo}..{hi}")));
+                }
+                VarType::Range(lo, hi)
+            }
+            TokKind::Minus => {
+                self.bump();
+                let lo = match self.bump().kind {
+                    TokKind::Int(l) => -l,
+                    _ => return Err(self.err("expected range lower bound")),
+                };
+                self.expect(&TokKind::DotDot, "`..`")?;
+                let neg = if self.peek() == &TokKind::Minus {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                let hi = match self.bump().kind {
+                    TokKind::Int(h) => {
+                        if neg {
+                            -h
+                        } else {
+                            h
+                        }
+                    }
+                    _ => return Err(self.err("expected range upper bound")),
+                };
+                if hi < lo {
+                    return Err(self.err(format!("empty range {lo}..{hi}")));
+                }
+                VarType::Range(lo, hi)
+            }
+            TokKind::LBrace => {
+                self.bump();
+                let mut lits = Vec::new();
+                loop {
+                    lits.push(self.expect_ident("enumeration literal")?);
+                    match self.bump().kind {
+                        TokKind::Comma => continue,
+                        TokKind::RBrace => break,
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+                VarType::Enum(lits)
+            }
+            _ => return Err(self.err("expected a type")),
+        };
+        self.expect(&TokKind::Semi, "`;`")?;
+        Ok(VarDecl { name, ty, input })
+    }
+
+    fn parse_assign(&mut self, m: &mut Module) -> Result<(), ModelError> {
+        let kw = self.expect_ident("`init` or `next`")?;
+        if kw != "init" && kw != "next" {
+            return Err(self.err("expected `init(...)` or `next(...)`"));
+        }
+        self.expect(&TokKind::LParen, "`(`")?;
+        let var = self.expect_ident("variable name")?;
+        self.expect(&TokKind::RParen, "`)`")?;
+        self.expect(&TokKind::Assign, "`:=`")?;
+        let e = self.parse_expr()?;
+        self.expect(&TokKind::Semi, "`;`")?;
+        if kw == "init" {
+            m.inits.push((var, e));
+        } else {
+            m.nexts.push((var, e));
+        }
+        Ok(())
+    }
+
+    /// Re-serializes tokens up to the terminating `;` (for SPEC/FAIRNESS
+    /// bodies handed to the CTL parser).
+    fn capture_until_semi(&mut self) -> Result<String, ModelError> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokKind::Semi => {
+                    self.bump();
+                    break;
+                }
+                TokKind::Eof => return Err(self.err("unterminated SPEC/FAIRNESS (missing `;`)")),
+                kind => {
+                    self.bump();
+                    parts.push(tok_text(&kind));
+                }
+            }
+        }
+        if parts.is_empty() {
+            return Err(self.err("empty SPEC/FAIRNESS body"));
+        }
+        Ok(parts.join(" "))
+    }
+
+    // Expression grammar, loosest binding first.
+    fn parse_expr(&mut self) -> Result<Expr, ModelError> {
+        self.parse_iff()
+    }
+
+    fn parse_iff(&mut self) -> Result<Expr, ModelError> {
+        let mut lhs = self.parse_implies()?;
+        while self.peek() == &TokKind::DArrow {
+            self.bump();
+            let rhs = self.parse_implies()?;
+            lhs = Expr::bin(BinOp::Iff, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_implies(&mut self) -> Result<Expr, ModelError> {
+        let lhs = self.parse_or()?;
+        if self.peek() == &TokKind::Arrow {
+            self.bump();
+            let rhs = self.parse_implies()?;
+            Ok(Expr::bin(BinOp::Implies, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ModelError> {
+        let mut lhs = self.parse_and()?;
+        loop {
+            match self.peek().clone() {
+                TokKind::Pipe => {
+                    self.bump();
+                    let rhs = self.parse_and()?;
+                    lhs = Expr::bin(BinOp::Or, lhs, rhs);
+                }
+                TokKind::Ident(s) if s == "xor" => {
+                    self.bump();
+                    let rhs = self.parse_and()?;
+                    lhs = Expr::bin(BinOp::Xor, lhs, rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ModelError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.peek() == &TokKind::Amp {
+            self.bump();
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ModelError> {
+        let lhs = self.parse_sum()?;
+        let op = match self.peek() {
+            TokKind::Eq => Some(BinOp::Eq),
+            TokKind::Ne => Some(BinOp::Ne),
+            TokKind::Lt => Some(BinOp::Lt),
+            TokKind::Le => Some(BinOp::Le),
+            TokKind::Gt => Some(BinOp::Gt),
+            TokKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_sum()?;
+            Ok(Expr::bin(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_sum(&mut self) -> Result<Expr, ModelError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek() {
+                TokKind::Plus => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = Expr::bin(BinOp::Add, lhs, rhs);
+                }
+                TokKind::Minus => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = Expr::bin(BinOp::Sub, lhs, rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ModelError> {
+        let mut lhs = self.parse_unary()?;
+        while matches!(self.peek(), TokKind::Ident(s) if s == "mod") {
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::bin(BinOp::Mod, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ModelError> {
+        match self.peek().clone() {
+            TokKind::Bang => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(e.not())
+            }
+            TokKind::Minus => {
+                self.bump();
+                match self.bump().kind {
+                    TokKind::Int(v) => Ok(Expr::Int(-v)),
+                    _ => Err(self.err("expected integer after unary `-`")),
+                }
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ModelError> {
+        match self.peek().clone() {
+            TokKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&TokKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokKind::Ident(s) if s == "TRUE" => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            TokKind::Ident(s) if s == "FALSE" => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            TokKind::Ident(s) if s == "case" => {
+                self.bump();
+                let mut arms = Vec::new();
+                loop {
+                    if matches!(self.peek(), TokKind::Ident(e) if e == "esac") {
+                        self.bump();
+                        break;
+                    }
+                    let guard = self.parse_expr()?;
+                    self.expect(&TokKind::Colon, "`:`")?;
+                    let value = self.parse_expr()?;
+                    self.expect(&TokKind::Semi, "`;`")?;
+                    arms.push((guard, value));
+                }
+                if arms.is_empty() {
+                    return Err(self.err("empty case expression"));
+                }
+                Ok(Expr::Case(arms))
+            }
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(Expr::Name(s))
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+}
+
+fn tok_text(kind: &TokKind) -> String {
+    match kind {
+        TokKind::Ident(s) => s.clone(),
+        TokKind::Int(v) => v.to_string(),
+        TokKind::LParen => "(".into(),
+        TokKind::RParen => ")".into(),
+        TokKind::LBrace => "{".into(),
+        TokKind::RBrace => "}".into(),
+        TokKind::LBracket => "[".into(),
+        TokKind::RBracket => "]".into(),
+        TokKind::Colon => ":".into(),
+        TokKind::Semi => ";".into(),
+        TokKind::Comma => ",".into(),
+        TokKind::DotDot => "..".into(),
+        TokKind::Assign => ":=".into(),
+        TokKind::Bang => "!".into(),
+        TokKind::Amp => "&".into(),
+        TokKind::Pipe => "|".into(),
+        TokKind::Arrow => "->".into(),
+        TokKind::DArrow => "<->".into(),
+        TokKind::Eq => "=".into(),
+        TokKind::Ne => "!=".into(),
+        TokKind::Lt => "<".into(),
+        TokKind::Le => "<=".into(),
+        TokKind::Gt => ">".into(),
+        TokKind::Ge => ">=".into(),
+        TokKind::Plus => "+".into(),
+        TokKind::Minus => "-".into(),
+        TokKind::Eof => String::new(),
+    }
+}
+
+/// Parses a model deck into a [`Module`].
+///
+/// # Errors
+///
+/// Returns [`ModelError`] with a source position on malformed input.
+pub fn parse_module(src: &str) -> Result<Module, ModelError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, idx: 0 };
+    p.parse_module()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECK: &str = r#"
+MODULE main
+VAR
+  x : boolean;
+  count : 0..7;
+  state : {idle, busy, done};
+IVAR
+  stall : boolean;
+ASSIGN
+  init(x) := FALSE;
+  next(x) := !x;
+  init(count) := 0;
+  next(count) := case
+    stall : count;
+    count < 7 : count + 1;
+    TRUE : 0;
+  esac;
+DEFINE
+  full := count = 7;
+SPEC AG (stall -> AX x);
+FAIRNESS !stall;
+OBSERVED count, x;
+"#;
+
+    #[test]
+    fn parses_full_deck() {
+        let m = parse_module(DECK).expect("parses");
+        assert_eq!(m.vars.len(), 4);
+        assert_eq!(m.vars[1].ty, VarType::Range(0, 7));
+        assert!(matches!(m.vars[2].ty, VarType::Enum(ref l) if l.len() == 3));
+        assert!(m.vars[3].input);
+        assert_eq!(m.inits.len(), 2);
+        assert_eq!(m.nexts.len(), 2);
+        assert_eq!(m.defines.len(), 1);
+        assert_eq!(m.specs, vec!["AG ( stall -> AX x )".to_owned()]);
+        assert_eq!(m.fairness, vec!["! stall".to_owned()]);
+        assert_eq!(m.observed, vec!["count".to_owned(), "x".to_owned()]);
+    }
+
+    #[test]
+    fn case_expression_parses() {
+        let m = parse_module(DECK).expect("parses");
+        let (_, next_count) = &m.nexts[1];
+        match next_count {
+            Expr::Case(arms) => assert_eq!(arms.len(), 3),
+            other => panic!("expected case, got {other}"),
+        }
+    }
+
+    #[test]
+    fn spec_text_reparses_with_ctl_parser() {
+        let m = parse_module(DECK).expect("parses");
+        let f = covest_ctl::parse_formula(&m.specs[0]).expect("ctl parses");
+        assert_eq!(f.to_string(), "AG (stall -> AX x)");
+    }
+
+    #[test]
+    fn negative_ranges() {
+        let m = parse_module("VAR t : -2..3;").expect("parses");
+        assert_eq!(m.vars[0].ty, VarType::Range(-2, 3));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse_module("VAR x boolean;").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("expected `:`"), "{e}");
+        assert!(parse_module("ASSIGN foo(x) := 1;").is_err());
+        assert!(parse_module("VAR x : 5..2;").is_err());
+        assert!(parse_module("SPEC AG x").is_err()); // missing semicolon
+        assert!(parse_module("MODULE other VAR x : boolean;").is_err());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let m = parse_module("DEFINE d := a + 1 < b & c;").expect("parses");
+        let (_, e) = &m.defines[0];
+        // Parses as ((a+1) < b) & c.
+        assert_eq!(e.to_string(), "(((a + 1) < b) & c)");
+    }
+}

@@ -1,0 +1,277 @@
+//! Differential validation of the deck compiler against a concrete-value
+//! interpreter: for every (state, input) assignment of a small deck, the
+//! successor state computed by direct expression evaluation must match
+//! the compiled transition relation, and the initial predicate must match
+//! the evaluated init constraints.
+
+use std::collections::HashMap;
+
+use covest_bdd::Bdd;
+use covest_smv::{compile, parse_module, BinOp, Expr, Module, VarType};
+
+/// A concrete value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    B(bool),
+    I(i64),
+}
+
+/// Evaluates an expression under a concrete environment.
+fn eval(module: &Module, env: &HashMap<String, Val>, e: &Expr) -> Val {
+    match e {
+        Expr::Bool(b) => Val::B(*b),
+        Expr::Int(i) => Val::I(*i),
+        Expr::Name(n) => {
+            if let Some(v) = env.get(n) {
+                *v
+            } else if let Some((_, def)) = module.defines.iter().find(|(d, _)| d == n) {
+                eval(module, env, def)
+            } else {
+                // Enumeration literal.
+                for d in &module.vars {
+                    if let VarType::Enum(lits) = &d.ty {
+                        if let Some(i) = lits.iter().position(|l| l == n) {
+                            return Val::I(i as i64);
+                        }
+                    }
+                }
+                panic!("unknown name {n}")
+            }
+        }
+        Expr::Not(a) => match eval(module, env, a) {
+            Val::B(b) => Val::B(!b),
+            v => panic!("! on {v:?}"),
+        },
+        Expr::Bin(op, a, b) => {
+            let va = eval(module, env, a);
+            let vb = eval(module, env, b);
+            match (op, va, vb) {
+                (BinOp::And, Val::B(x), Val::B(y)) => Val::B(x && y),
+                (BinOp::Or, Val::B(x), Val::B(y)) => Val::B(x || y),
+                (BinOp::Implies, Val::B(x), Val::B(y)) => Val::B(!x || y),
+                (BinOp::Iff, Val::B(x), Val::B(y)) => Val::B(x == y),
+                (BinOp::Xor, Val::B(x), Val::B(y)) => Val::B(x != y),
+                (BinOp::Eq, Val::B(x), Val::B(y)) => Val::B(x == y),
+                (BinOp::Ne, Val::B(x), Val::B(y)) => Val::B(x != y),
+                (BinOp::Eq, Val::I(x), Val::I(y)) => Val::B(x == y),
+                (BinOp::Ne, Val::I(x), Val::I(y)) => Val::B(x != y),
+                (BinOp::Lt, Val::I(x), Val::I(y)) => Val::B(x < y),
+                (BinOp::Le, Val::I(x), Val::I(y)) => Val::B(x <= y),
+                (BinOp::Gt, Val::I(x), Val::I(y)) => Val::B(x > y),
+                (BinOp::Ge, Val::I(x), Val::I(y)) => Val::B(x >= y),
+                (BinOp::Add, Val::I(x), Val::I(y)) => Val::I(x + y),
+                (BinOp::Sub, Val::I(x), Val::I(y)) => Val::I(x - y),
+                (BinOp::Mod, Val::I(x), Val::I(y)) => Val::I(x.rem_euclid(y)),
+                other => panic!("type error {other:?}"),
+            }
+        }
+        Expr::Case(arms) => {
+            for (g, v) in arms {
+                if eval(module, env, g) == Val::B(true) {
+                    return eval(module, env, v);
+                }
+            }
+            panic!("non-exhaustive case at runtime")
+        }
+    }
+}
+
+/// Enumerates all type-correct environments of a module's variables.
+fn environments(module: &Module) -> Vec<HashMap<String, Val>> {
+    let mut envs = vec![HashMap::new()];
+    for d in &module.vars {
+        let values: Vec<Val> = match &d.ty {
+            VarType::Boolean => vec![Val::B(false), Val::B(true)],
+            VarType::Range(lo, hi) => (*lo..=*hi).map(Val::I).collect(),
+            VarType::Enum(lits) => (0..lits.len() as i64).map(Val::I).collect(),
+        };
+        let mut next = Vec::with_capacity(envs.len() * values.len());
+        for env in &envs {
+            for v in &values {
+                let mut e = env.clone();
+                e.insert(d.name.clone(), *v);
+                next.push(e);
+            }
+        }
+        envs = next;
+    }
+    envs
+}
+
+/// Encodes a value into per-bit booleans for a declared variable.
+fn encode_bits(module: &Module, name: &str, v: Val) -> Vec<(String, bool)> {
+    let d = module.vars.iter().find(|d| d.name == name).expect("var");
+    match (&d.ty, v) {
+        (VarType::Boolean, Val::B(b)) => vec![(name.to_owned(), b)],
+        (VarType::Range(lo, hi), Val::I(i)) => {
+            let raw = (i - lo) as u64;
+            let span = (hi - lo + 1) as u64;
+            bits_of(name, raw, span)
+        }
+        (VarType::Enum(lits), Val::I(i)) => bits_of(name, i as u64, lits.len() as u64),
+        other => panic!("bad encode {other:?}"),
+    }
+}
+
+fn bits_of(name: &str, raw: u64, span: u64) -> Vec<(String, bool)> {
+    let mut width = 1;
+    while (1u64 << width) < span {
+        width += 1;
+    }
+    (0..width)
+        .map(|i| (format!("{name}.{i}"), (raw >> i) & 1 == 1))
+        .collect()
+}
+
+/// Checks one deck exhaustively.
+fn check_deck(src: &str) {
+    let module = parse_module(src).expect("parses");
+    let mut bdd = Bdd::new();
+    let model = compile(&mut bdd, src).expect("compiles");
+    let fsm = &model.fsm;
+    let bit_index: HashMap<&str, usize> = fsm
+        .state_bits()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.name.as_str(), i))
+        .collect();
+
+    for env in environments(&module) {
+        // Build the (current, expected-next) bit assignments.
+        let mut cur_bits: Vec<(String, bool)> = Vec::new();
+        for d in &module.vars {
+            cur_bits.extend(encode_bits(&module, &d.name, env[&d.name]));
+        }
+        // Expected next values for assigned state variables.
+        let mut next_bits: Vec<(String, bool)> = Vec::new();
+        for (name, expr) in &module.nexts {
+            let v = eval(&module, &env, expr);
+            next_bits.extend(encode_bits(&module, name, v));
+        }
+        // Restrict the transition relation by current and next bits; it
+        // must be satisfiable (deterministic machines: exactly the free
+        // input bits remain).
+        let mut t = fsm.trans();
+        for (name, val) in &cur_bits {
+            let idx = bit_index[name.as_str()];
+            t = bdd.restrict(t, fsm.state_bits()[idx].current, *val);
+        }
+        for (name, val) in &next_bits {
+            let idx = bit_index[name.as_str()];
+            t = bdd.restrict(t, fsm.state_bits()[idx].next, *val);
+        }
+        assert!(
+            !t.is_false(),
+            "interpreter successor rejected by compiled relation: env={env:?}"
+        );
+        // And flipping any single expected next bit must be rejected.
+        for k in 0..next_bits.len() {
+            let mut t2 = fsm.trans();
+            for (name, val) in &cur_bits {
+                let idx = bit_index[name.as_str()];
+                t2 = bdd.restrict(t2, fsm.state_bits()[idx].current, *val);
+            }
+            for (j, (name, val)) in next_bits.iter().enumerate() {
+                let idx = bit_index[name.as_str()];
+                let v = if j == k { !*val } else { *val };
+                t2 = bdd.restrict(t2, fsm.state_bits()[idx].next, v);
+            }
+            assert!(
+                t2.is_false(),
+                "compiled relation allows a wrong successor: env={env:?} bit={k}"
+            );
+        }
+        // Init agreement: evaluate init constraints on this env.
+        let mut expected_init = true;
+        for (name, expr) in &module.inits {
+            let v = eval(&module, &env, expr);
+            expected_init &= env[name] == v;
+        }
+        let mut i = fsm.init();
+        for (name, val) in &cur_bits {
+            let idx = bit_index[name.as_str()];
+            i = bdd.restrict(i, fsm.state_bits()[idx].current, *val);
+        }
+        assert_eq!(
+            !i.is_false(),
+            expected_init,
+            "init mismatch: env={env:?}"
+        );
+    }
+}
+
+#[test]
+fn counter_deck_matches_interpreter() {
+    check_deck(
+        r#"
+VAR count : 0..5;
+IVAR stall : boolean; reset : boolean;
+ASSIGN
+  init(count) := 0;
+  next(count) := case
+    reset : 0;
+    stall : count;
+    count < 5 : count + 1;
+    TRUE : 0;
+  esac;
+"#,
+    );
+}
+
+#[test]
+fn enum_and_define_deck_matches_interpreter() {
+    check_deck(
+        r#"
+VAR state : {idle, busy, done};
+    t : boolean;
+IVAR go : boolean;
+DEFINE working := state = busy;
+ASSIGN
+  init(state) := idle;
+  next(state) := case
+    state = idle & go : busy;
+    working : done;
+    state = done : idle;
+    TRUE : state;
+  esac;
+  init(t) := FALSE;
+  next(t) := t xor go;
+"#,
+    );
+}
+
+#[test]
+fn arithmetic_deck_matches_interpreter() {
+    check_deck(
+        r#"
+VAR p : 0..3;
+    n : -2..2;
+IVAR step : boolean;
+ASSIGN
+  init(p) := 3;
+  next(p) := case step : (p + 1) mod 4; TRUE : p; esac;
+  init(n) := 0;
+  next(n) := case
+    step & n < 2 : n + 1;
+    step : -2;
+    TRUE : n;
+  esac;
+"#,
+    );
+}
+
+#[test]
+fn pointer_pair_deck_matches_interpreter() {
+    check_deck(
+        r#"
+VAR rp : 0..3; wp : 0..3;
+IVAR rd : boolean; wr : boolean;
+DEFINE same := rp = wp;
+ASSIGN
+  init(rp) := 0;
+  init(wp) := 0;
+  next(rp) := case rd & !same : (rp + 1) mod 4; TRUE : rp; esac;
+  next(wp) := case wr : (wp + 1) mod 4; TRUE : wp; esac;
+"#,
+    );
+}

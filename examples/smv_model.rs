@@ -1,0 +1,83 @@
+//! Using the modeling language end to end: a deck with embedded SPEC,
+//! FAIRNESS and OBSERVED sections, checked and covered in a few lines.
+//!
+//! Run with `cargo run --example smv_model`.
+
+use covest::bdd::Bdd;
+use covest::coverage::{CoverageEstimator, CoverageOptions};
+use covest::mc::ModelChecker;
+use covest::smv::compile;
+
+const DECK: &str = r#"
+MODULE main
+-- A tiny bus arbiter: two requesters, round-robin tie break.
+VAR
+  grant : {none, g0, g1};
+  turn  : boolean;          -- whose turn on simultaneous request
+IVAR
+  req0 : boolean;
+  req1 : boolean;
+ASSIGN
+  init(grant) := none;
+  init(turn) := FALSE;
+  next(grant) := case
+    req0 & req1 & !turn : g0;
+    req0 & req1 &  turn : g1;
+    req0 : g0;
+    req1 : g1;
+    TRUE : none;
+  esac;
+  next(turn) := case
+    req0 & req1 & !turn : TRUE;   -- g0 served, g1 next
+    req0 & req1 &  turn : FALSE;
+    TRUE : turn;
+  esac;
+DEFINE
+  granted := grant = g0 | grant = g1;
+SPEC AG (req0 & !req1 -> AX grant = g0);
+SPEC AG (req1 & !req0 -> AX grant = g1);
+SPEC AG (!req0 & !req1 -> AX grant = none);
+SPEC AG (req0 & req1 -> AX granted);
+FAIRNESS !req0 | !req1;
+OBSERVED grant;
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut bdd = Bdd::new();
+    let model = compile(&mut bdd, DECK)?;
+
+    // Check every embedded SPEC.
+    let mut mc = ModelChecker::new(&model.fsm);
+    for fair in &model.fairness {
+        mc.add_fairness(&mut bdd, fair)?;
+    }
+    for spec in &model.specs {
+        let verdict = mc.check(&mut bdd, &spec.clone().into())?;
+        println!("SPEC {spec}\n  → {verdict}");
+    }
+
+    // Coverage for the deck's OBSERVED signals, using the deck's own
+    // SPECs and FAIRNESS constraints.
+    let estimator = CoverageEstimator::new(&model.fsm);
+    let options = CoverageOptions {
+        fairness: model.fairness.clone(),
+        ..Default::default()
+    };
+    for observed in &model.observed {
+        let analysis = estimator.analyze(&mut bdd, observed, &model.specs, &options)?;
+        println!(
+            "\ncoverage of `{observed}`: {:.2}% ({} / {} states)",
+            analysis.percent(),
+            analysis.covered_count,
+            analysis.space_count
+        );
+        for state in estimator.uncovered_states(&mut bdd, &analysis, 3) {
+            let rendered: Vec<String> = state
+                .iter()
+                .map(|(name, v)| format!("{name}={}", u8::from(*v)))
+                .collect();
+            println!("  hole: {}", rendered.join(" "));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Integration tests for the paper's Section 5 narratives, exercised
+//! through the umbrella crate: the bug discovery in the priority buffer
+//! and the staged hole closing in the queue and the pipeline.
+
+use covest::bdd::Bdd;
+use covest::circuits::{circular_queue, pipeline, priority_buffer};
+use covest::coverage::{CoverageEstimator, CoverageOptions};
+use covest::mc::{ModelChecker, Verdict};
+
+#[test]
+fn bug_discovery_end_to_end() {
+    // Verify suites on the buggy design; everything passes.
+    let mut bdd = Bdd::new();
+    let buggy = priority_buffer::build(&mut bdd, 4, true).expect("compiles");
+    let mut mc = ModelChecker::new(&buggy.fsm);
+    for p in priority_buffer::hi_suite(4)
+        .into_iter()
+        .chain(priority_buffer::lo_suite_initial(4))
+    {
+        assert!(mc.holds(&mut bdd, &p.into()).expect("checks"));
+    }
+    // The coverage hole points at the missing case; the new property
+    // fails with a counterexample trace.
+    let missing = priority_buffer::lo_missing_case();
+    let verdict = mc.check(&mut bdd, &missing.into()).expect("checks");
+    match verdict {
+        Verdict::Fails {
+            counterexample, ..
+        } => {
+            let trace = counterexample.expect("AG failure produces a trace");
+            // The trace ends in a state where low entries were dropped.
+            assert!(!trace.steps.is_empty());
+        }
+        Verdict::Holds => panic!("the buggy design must fail the missing case"),
+    }
+}
+
+#[test]
+fn queue_holes_shrink_monotonically() {
+    let mut bdd = Bdd::new();
+    let model = circular_queue::build(&mut bdd, 4).expect("compiles");
+    let est = CoverageEstimator::new(&model.fsm);
+    let opts = CoverageOptions::default();
+    let mut suite = circular_queue::wrap_suite_initial();
+    let mut last = est
+        .analyze(&mut bdd, "wrap", &suite, &opts)
+        .expect("analyzes")
+        .percent();
+    for extra in [
+        circular_queue::wrap_suite_additional(),
+        circular_queue::wrap_suite_final(),
+    ] {
+        suite.extend(extra);
+        let now = est
+            .analyze(&mut bdd, "wrap", &suite, &opts)
+            .expect("analyzes")
+            .percent();
+        assert!(now >= last, "coverage is monotone in the property set");
+        last = now;
+    }
+    assert_eq!(last, 100.0);
+}
+
+#[test]
+fn queue_uncovered_traces_show_stall_wraparound() {
+    let mut bdd = Bdd::new();
+    let model = circular_queue::build(&mut bdd, 4).expect("compiles");
+    let est = CoverageEstimator::new(&model.fsm);
+    let mut suite = circular_queue::wrap_suite_initial();
+    suite.extend(circular_queue::wrap_suite_additional());
+    let analysis = est
+        .analyze(&mut bdd, "wrap", &suite, &CoverageOptions::default())
+        .expect("analyzes");
+    let traces = est.traces_to_uncovered(&mut bdd, &analysis, 3);
+    assert!(!traces.is_empty());
+    for trace in &traces {
+        // The step before the uncovered state must assert stall while
+        // writing at the last slot — the paper's corner case.
+        let penultimate = &trace.steps[trace.steps.len() - 2];
+        let stall = penultimate
+            .state
+            .iter()
+            .find(|(n, _)| n == "stall")
+            .map(|(_, v)| *v)
+            .expect("stall bit");
+        assert!(stall, "the hole is reached through a stalled cycle");
+    }
+}
+
+#[test]
+fn pipeline_dont_cares_can_exclude_hold_states() {
+    // Section 4.2: declaring the hold phase as don't-care removes the
+    // hole from the coverage space entirely.
+    let mut bdd = Bdd::new();
+    let model = pipeline::build(&mut bdd, 4).expect("compiles");
+    let est = CoverageEstimator::new(&model.fsm);
+    let opts = CoverageOptions {
+        fairness: vec![pipeline::fairness()],
+        dont_cares: Some(covest::ctl::PropExpr::atom("processing")),
+        ..Default::default()
+    };
+    let a = est
+        .analyze(&mut bdd, "out", &pipeline::out_suite_initial(4), &opts)
+        .expect("analyzes");
+    let full_opts = CoverageOptions {
+        fairness: vec![pipeline::fairness()],
+        ..Default::default()
+    };
+    let without = est
+        .analyze(&mut bdd, "out", &pipeline::out_suite_initial(4), &full_opts)
+        .expect("analyzes");
+    // The don't-care region is excluded from the coverage space …
+    assert!(a.space_count < without.space_count);
+    // … and a 100%-covered suite stays at 100% on the reduced space.
+    let mut suite = pipeline::out_suite_initial(4);
+    suite.extend(pipeline::out_suite_hold());
+    let full = est
+        .analyze(&mut bdd, "out", &suite, &opts)
+        .expect("analyzes");
+    assert_eq!(full.percent(), 100.0);
+}
+
+#[test]
+fn fairness_constrains_the_coverage_space() {
+    // Section 4.3: with fairness, coverage is computed over states
+    // reachable along fair paths. On the pipeline every reachable state
+    // lies on some fair path, so the space is unchanged — but the sat
+    // sets of the eventuality properties do change, which shows up as
+    // properties failing without fairness.
+    let mut bdd = Bdd::new();
+    let model = pipeline::build(&mut bdd, 4).expect("compiles");
+    let est = CoverageEstimator::new(&model.fsm);
+    let with = est
+        .analyze(
+            &mut bdd,
+            "out",
+            &pipeline::out_suite_initial(4),
+            &CoverageOptions {
+                fairness: vec![pipeline::fairness()],
+                ..Default::default()
+            },
+        )
+        .expect("analyzes");
+    assert!(with.all_hold());
+    let without = est
+        .analyze(
+            &mut bdd,
+            "out",
+            &pipeline::out_suite_initial(4),
+            &CoverageOptions::default(),
+        )
+        .expect("analyzes");
+    assert!(!without.all_hold(), "eventualities need fairness");
+}

@@ -1,0 +1,99 @@
+//! Semantic properties of the observability transformation (Definition 5)
+//! checked against the model checker on random machines:
+//!
+//! - with `q'` interpreted as `q` (its default), `φ(f)` is equivalent to
+//!   `f` "with respect to validity of the verification" (the paper's
+//!   claim after Definition 5);
+//! - the transformation is idempotent on formulas not mentioning `q`.
+
+use covest::bdd::Bdd;
+use covest::ctl::{observability_transform, parse_formula, Formula};
+use covest::fsm::Stg;
+use covest::mc::ModelChecker;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_stg(rng: &mut StdRng) -> Stg {
+    let n = rng.gen_range(3..=6);
+    let mut stg = Stg::new("random");
+    stg.add_states(n);
+    for i in 0..n - 1 {
+        stg.add_edge(i, i + 1);
+    }
+    for _ in 0..rng.gen_range(1..=n) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        stg.add_edge(a, b);
+    }
+    stg.add_edge(n - 1, rng.gen_range(0..n));
+    stg.mark_initial(0);
+    for s in 0..n {
+        if rng.gen_bool(0.5) {
+            stg.label(s, "p");
+        }
+        if rng.gen_bool(0.5) {
+            stg.label(s, "q");
+        }
+    }
+    stg.label(rng.gen_range(0..n), "p");
+    stg.label(rng.gen_range(0..n), "q");
+    stg
+}
+
+fn random_formula(rng: &mut StdRng) -> Formula {
+    let atoms = ["p", "q", "!p", "!q", "(p & q)", "(p | q)", "TRUE"];
+    let mut a = || atoms[rng.gen_range(0..atoms.len())];
+    let templates: Vec<String> = vec![
+        format!("AG ({} -> AX {})", a(), a()),
+        format!("A[{} U {}]", a(), a()),
+        format!("AF {}", a()),
+        format!("AG {}", a()),
+        format!("AX {}", a()),
+        format!("AG ({} -> A[{} U {}])", a(), a(), a()),
+        format!("(AG {} & AF {})", a(), a()),
+    ];
+    parse_formula(&templates[rng.gen_range(0..templates.len())]).expect("in subset")
+}
+
+#[test]
+fn transformed_formula_is_validity_equivalent() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut checked = 0;
+    for _ in 0..200 {
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let formula = random_formula(&mut rng);
+        let transformed = observability_transform(&formula, "q");
+        let mut mc = ModelChecker::new(&fsm);
+        // With q' defaulting to q, both must agree on validity.
+        let original = mc
+            .holds(&mut bdd, &formula.clone().into())
+            .expect("checks");
+        let via_transform = mc.holds(&mut bdd, &transformed).expect("checks");
+        assert_eq!(
+            original, via_transform,
+            "validity must be preserved: {formula}"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 200);
+}
+
+#[test]
+fn transform_without_observed_signal_preserves_sat_sets() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..100 {
+        let mut bdd = Bdd::new();
+        let stg = random_stg(&mut rng);
+        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let formula = random_formula(&mut rng);
+        if formula.mentions("zz") {
+            continue;
+        }
+        let transformed = observability_transform(&formula, "zz");
+        let mut mc = ModelChecker::new(&fsm);
+        let s1 = mc.sat(&mut bdd, &formula.clone().into()).expect("sat");
+        let s2 = mc.sat(&mut bdd, &transformed).expect("sat");
+        assert_eq!(s1, s2, "no-op transform keeps the sat set: {formula}");
+    }
+}
