@@ -77,20 +77,14 @@ impl Bdd {
         let count = self.exact_rec(f, &levels, &mut memo);
         // exact_rec counts assignments over levels *below* the root of f;
         // scale by the levels above the root.
-        let above = levels
-            .iter()
-            .take_while(|&&l| l < self.level(f))
-            .count();
+        let above = levels.iter().take_while(|&&l| l < self.level(f)).count();
         let _ = total_levels;
         count << above
     }
 
     /// Counts assignments over the suffix of `levels` at or below `f`'s level.
     fn exact_rec(&self, f: Ref, levels: &[u32], memo: &mut HashMap<Ref, u128>) -> u128 {
-        let remaining = levels
-            .iter()
-            .skip_while(|&&l| l < self.level(f))
-            .count() as u32;
+        let remaining = levels.iter().skip_while(|&&l| l < self.level(f)).count() as u32;
         if f.is_false() {
             return 0;
         }

@@ -19,7 +19,11 @@
 //! - model counting ([`Bdd::sat_count_over`], [`Bdd::sat_count_exact`]) for
 //!   coverage percentages, plus cube/minterm enumeration for reporting
 //!   uncovered states;
-//! - mark-and-sweep garbage collection ([`Bdd::gc`]) and DOT export.
+//! - mark-and-sweep garbage collection ([`Bdd::gc`]) and DOT export;
+//! - dynamic variable reordering ([`Bdd::reduce_heap`]): Rudell-style
+//!   sifting over a level-organized unique table, with variable groups
+//!   ([`Bdd::group_vars`]) that keep each state bit's (current, next)
+//!   pair adjacent, and automatic triggering ([`ReorderConfig`]).
 //!
 //! # Example
 //!
@@ -43,8 +47,10 @@ mod dot;
 mod manager;
 mod node;
 mod quant;
+mod reorder;
 mod subst;
 
 pub use count::{Cubes, Minterms};
 pub use manager::Bdd;
 pub use node::{Ref, VarId};
+pub use reorder::{ReorderConfig, ReorderMode, ReorderStats};

@@ -31,13 +31,34 @@ use crate::node::{Node, Ref, VarId, TERMINAL_VAR};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Bdd {
-    nodes: Vec<Node>,
-    unique: HashMap<Node, Ref>,
-    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
-    var2level: Vec<u32>,
-    level2var: Vec<u32>,
+    pub(crate) nodes: Vec<Node>,
+    /// Level-organized unique table: `unique[var]` hash-conses the nodes
+    /// labelled `var`, keyed by their `(lo, hi)` cofactors. Keeping one
+    /// subtable per variable lets dynamic reordering move a whole level
+    /// without touching the rest of the table.
+    pub(crate) unique: Vec<HashMap<(Ref, Ref), Ref>>,
+    pub(crate) ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    pub(crate) var2level: Vec<u32>,
+    pub(crate) level2var: Vec<u32>,
     var_names: Vec<Option<String>>,
-    free: Vec<u32>,
+    pub(crate) free: Vec<u32>,
+    /// Variable groups kept adjacent by reordering (e.g. a state bit's
+    /// current/next pair); see [`Bdd::group_vars`].
+    pub(crate) groups: Vec<Vec<u32>>,
+    /// `var_group[var]` is the index into `groups`, if the variable is
+    /// grouped.
+    pub(crate) var_group: Vec<Option<u32>>,
+    pub(crate) reorder: crate::reorder::ReorderConfig,
+    /// Live-node count that triggers the next automatic reordering.
+    pub(crate) next_auto_threshold: usize,
+    /// Externally protected handles (see [`Bdd::protect`]): always treated
+    /// as additional roots by [`Bdd::gc`] and [`Bdd::reduce_heap`].
+    pub(crate) protected: Vec<Ref>,
+    // Manager-owned scratch buffers reused across quantification calls so
+    // `exists`/`forall`/`and_exists` do not allocate per invocation.
+    pub(crate) quant_memo: HashMap<Ref, Ref>,
+    pub(crate) pair_memo: HashMap<(Ref, Ref), Ref>,
+    pub(crate) mask_scratch: Vec<bool>,
 }
 
 impl Default for Bdd {
@@ -58,13 +79,46 @@ impl Bdd {
             // Slots 0 and 1 are the terminals; their node contents are
             // sentinels and never looked up through the unique table.
             nodes: vec![terminal, terminal],
-            unique: HashMap::new(),
+            unique: Vec::new(),
             ite_cache: HashMap::new(),
             var2level: Vec::new(),
             level2var: Vec::new(),
             var_names: Vec::new(),
             free: Vec::new(),
+            groups: Vec::new(),
+            var_group: Vec::new(),
+            reorder: crate::reorder::ReorderConfig::default(),
+            next_auto_threshold: crate::reorder::ReorderConfig::default().auto_threshold,
+            quant_memo: HashMap::new(),
+            pair_memo: HashMap::new(),
+            mask_scratch: Vec::new(),
+            protected: Vec::new(),
         }
+    }
+
+    /// Registers `r` as an external root: [`Bdd::gc`] and
+    /// [`Bdd::reduce_heap`] treat it as live in addition to their explicit
+    /// `roots` until a matching [`Bdd::unprotect`]. Protection is a
+    /// multiset — protecting a handle twice requires unprotecting it
+    /// twice. Use this when handles must survive a collection point whose
+    /// caller cannot name them (e.g. results accumulated across calls
+    /// that internally trigger automatic reordering).
+    pub fn protect(&mut self, r: Ref) {
+        if !r.is_const() {
+            self.protected.push(r);
+        }
+    }
+
+    /// Removes one protection entry for `r` (no-op if none exists).
+    pub fn unprotect(&mut self, r: Ref) {
+        if let Some(pos) = self.protected.iter().rposition(|&p| p == r) {
+            self.protected.swap_remove(pos);
+        }
+    }
+
+    /// The currently protected handles (with multiplicity).
+    pub fn protected(&self) -> &[Ref] {
+        &self.protected
     }
 
     /// Creates a fresh variable, ordered after all existing variables.
@@ -73,6 +127,8 @@ impl Bdd {
         self.var2level.push(id);
         self.level2var.push(id);
         self.var_names.push(None);
+        self.unique.push(HashMap::new());
+        self.var_group.push(None);
         VarId(id)
     }
 
@@ -172,10 +228,10 @@ impl Bdd {
                 && self.var2level[var as usize] < self.level(hi),
             "ordering violation in mk"
         );
-        let node = Node { var, lo, hi };
-        if let Some(&r) = self.unique.get(&node) {
+        if let Some(&r) = self.unique[var as usize].get(&(lo, hi)) {
             return r;
         }
+        let node = Node { var, lo, hi };
         let r = if let Some(slot) = self.free.pop() {
             self.nodes[slot as usize] = node;
             Ref(slot)
@@ -184,7 +240,7 @@ impl Bdd {
             self.nodes.push(node);
             Ref(slot)
         };
-        self.unique.insert(node, r);
+        self.unique[var as usize].insert((lo, hi), r);
         r
     }
 
@@ -390,6 +446,7 @@ impl Bdd {
         marked[0] = true;
         marked[1] = true;
         let mut stack: Vec<Ref> = roots.to_vec();
+        stack.extend_from_slice(&self.protected);
         while let Some(r) = stack.pop() {
             if marked[r.index()] {
                 continue;
@@ -404,7 +461,7 @@ impl Bdd {
         for (i, m) in marked.iter().enumerate().skip(2) {
             if !*m && !already_free.contains(&(i as u32)) {
                 let node = self.nodes[i];
-                self.unique.remove(&node);
+                self.unique[node.var as usize].remove(&(node.lo, node.hi));
                 self.free.push(i as u32);
                 freed += 1;
             }
@@ -417,6 +474,8 @@ impl Bdd {
     /// unrelated computations without invalidating any `Ref`).
     pub fn clear_caches(&mut self) {
         self.ite_cache.clear();
+        self.quant_memo.clear();
+        self.pair_memo.clear();
     }
 }
 

@@ -23,20 +23,34 @@ impl Bdd {
     /// assert_eq!(ex, fy);
     /// ```
     pub fn exists(&mut self, f: Ref, vars: &[VarId]) -> Ref {
-        let mask = self.quant_mask(vars);
-        let mut memo = HashMap::new();
-        self.quant_rec(f, &mask, true, &mut memo)
+        let mask = self.take_mask(vars);
+        let mut memo = std::mem::take(&mut self.quant_memo);
+        memo.clear();
+        let r = self.quant_rec(f, &mask, true, &mut memo);
+        self.quant_memo = memo;
+        self.mask_scratch = mask;
+        r
     }
 
     /// Universal quantification `∀ vars. f`.
     pub fn forall(&mut self, f: Ref, vars: &[VarId]) -> Ref {
-        let mask = self.quant_mask(vars);
-        let mut memo = HashMap::new();
-        self.quant_rec(f, &mask, false, &mut memo)
+        let mask = self.take_mask(vars);
+        let mut memo = std::mem::take(&mut self.quant_memo);
+        memo.clear();
+        let r = self.quant_rec(f, &mask, false, &mut memo);
+        self.quant_memo = memo;
+        self.mask_scratch = mask;
+        r
     }
 
-    fn quant_mask(&self, vars: &[VarId]) -> Vec<bool> {
-        let mut mask = vec![false; self.num_vars()];
+    /// Fills and returns the manager-owned variable mask (moved out so the
+    /// recursion can borrow `self` mutably); callers hand it back by
+    /// storing it into `mask_scratch`, preserving its capacity for the
+    /// next quantification instead of allocating per call.
+    fn take_mask(&mut self, vars: &[VarId]) -> Vec<bool> {
+        let mut mask = std::mem::take(&mut self.mask_scratch);
+        mask.clear();
+        mask.resize(self.num_vars(), false);
         for &v in vars {
             mask[v.index()] = true;
         }
@@ -78,9 +92,13 @@ impl Bdd {
     /// building the (often much larger) intermediate `f ∧ g`; this is the
     /// workhorse of symbolic image/preimage computation.
     pub fn and_exists(&mut self, f: Ref, g: Ref, vars: &[VarId]) -> Ref {
-        let mask = self.quant_mask(vars);
-        let mut memo = HashMap::new();
-        self.and_exists_rec(f, g, &mask, &mut memo)
+        let mask = self.take_mask(vars);
+        let mut memo = std::mem::take(&mut self.pair_memo);
+        memo.clear();
+        let r = self.and_exists_rec(f, g, &mask, &mut memo);
+        self.pair_memo = memo;
+        self.mask_scratch = mask;
+        r
     }
 
     fn and_exists_rec(
@@ -125,8 +143,11 @@ impl Bdd {
 
     /// Generalized cofactor by a literal: `f` with `var` fixed to `value`.
     pub fn restrict(&mut self, f: Ref, var: VarId, value: bool) -> Ref {
-        let mut memo = HashMap::new();
-        self.restrict_rec(f, var, value, &mut memo)
+        let mut memo = std::mem::take(&mut self.quant_memo);
+        memo.clear();
+        let r = self.restrict_rec(f, var, value, &mut memo);
+        self.quant_memo = memo;
+        r
     }
 
     fn restrict_rec(

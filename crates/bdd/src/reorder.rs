@@ -1,0 +1,751 @@
+//! Dynamic variable reordering: in-place adjacent-level swaps and
+//! Rudell-style sifting with variable groups.
+//!
+//! # Safety model
+//!
+//! [`Bdd::reduce_heap`] has the same contract as [`Bdd::gc`]: the `roots`
+//! pin what stays valid. It first collects everything unreachable from the
+//! roots, then sifts, freeing nodes the moment swaps orphan them (tracked
+//! with transient reference counts) so the table never balloons mid-sift.
+//! Handles reachable from the roots keep their slots — the swap primitive
+//! rewrites nodes *in place*, label and cofactors rebuilt for the new
+//! order — and therefore stay valid and denote the same functions.
+//! Handles *not* covered by the roots are invalidated, exactly as with
+//! `gc`.
+//!
+//! With empty `roots`, [`Bdd::reduce_heap`] falls back to the externally
+//! protected handles ([`Bdd::protect`]) as its live set; if nothing is
+//! protected either it is a no-op — sifting needs a live set to measure,
+//! and pinning everything would make improvement impossible by
+//! construction. [`Bdd::set_order`] with empty roots, by contrast, pins
+//! every allocated node (applying a permutation needs no metric), so all
+//! existing handles survive it.
+//!
+//! # Groups
+//!
+//! [`Bdd::group_vars`] declares a run of adjacent variables that must stay
+//! adjacent — the FSM layer groups each state bit's (current, next) pair,
+//! the standard requirement for transition-relation orders. Sifting moves
+//! a group as one block and never reorders within it.
+
+use crate::node::{Node, Ref, VarId};
+use crate::Bdd;
+
+/// When reordering runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReorderMode {
+    /// Never reorder; [`Bdd::reduce_heap`] is a no-op.
+    Off,
+    /// Reorder only on explicit [`Bdd::reduce_heap`] calls.
+    #[default]
+    Sift,
+    /// Additionally reorder automatically when the live-node count passes
+    /// the configured growth threshold (checked at the safe points where
+    /// higher layers call [`Bdd::maybe_reduce_heap`]).
+    Auto,
+}
+
+impl std::str::FromStr for ReorderMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(ReorderMode::Off),
+            "sift" => Ok(ReorderMode::Sift),
+            "auto" => Ok(ReorderMode::Auto),
+            other => Err(format!(
+                "unknown reorder mode `{other}` (expected off|sift|auto)"
+            )),
+        }
+    }
+}
+
+/// Configuration for dynamic reordering; set with
+/// [`Bdd::set_reorder_config`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReorderConfig {
+    /// When reordering runs.
+    pub mode: ReorderMode,
+    /// Live-node count that arms the first automatic reordering
+    /// (mode [`ReorderMode::Auto`] only).
+    pub auto_threshold: usize,
+    /// After an automatic reordering, the next trigger is the current
+    /// live-node count times this factor (at least `auto_threshold`).
+    pub auto_scale: f64,
+    /// A sift move aborts early once the live size exceeds the best size
+    /// seen for the block by this factor (Rudell's maxGrowth).
+    pub max_growth: f64,
+}
+
+impl Default for ReorderConfig {
+    fn default() -> Self {
+        ReorderConfig {
+            mode: ReorderMode::Sift,
+            auto_threshold: 4096,
+            auto_scale: 2.0,
+            max_growth: 1.2,
+        }
+    }
+}
+
+/// What a reordering accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReorderStats {
+    /// Live nodes (reachable from the roots) before sifting.
+    pub before: usize,
+    /// Live nodes after sifting.
+    pub after: usize,
+    /// Adjacent-level swaps performed.
+    pub swaps: usize,
+    /// Blocks (groups or single variables) sifted.
+    pub blocks_sifted: usize,
+}
+
+impl ReorderStats {
+    /// Fractional size reduction in `[0, 1]`.
+    pub fn reduction(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            1.0 - self.after as f64 / self.before as f64
+        }
+    }
+}
+
+/// Transient bookkeeping for one reordering: per-slot reference counts
+/// (parent edges plus root pins) driving eager reclamation of nodes the
+/// swaps orphan.
+struct ReorderCtx {
+    rc: Vec<u32>,
+    swaps: usize,
+}
+
+impl Bdd {
+    /// Declares that `vars` form a reordering group: they must currently
+    /// occupy adjacent levels, and sifting will move them as one block,
+    /// preserving their relative order. Typical use: a state bit's
+    /// (current, next) variable pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two variables are given, if any variable is
+    /// already grouped, or if the variables are not adjacent in the
+    /// current order.
+    pub fn group_vars(&mut self, vars: &[VarId]) {
+        assert!(
+            vars.len() >= 2,
+            "a reorder group needs at least two variables"
+        );
+        let mut levels: Vec<u32> = vars.iter().map(|&v| self.var2level[v.index()]).collect();
+        levels.sort_unstable();
+        assert!(
+            levels.windows(2).all(|w| w[1] == w[0] + 1),
+            "reorder group variables must occupy adjacent levels"
+        );
+        for &v in vars {
+            assert!(
+                self.var_group[v.index()].is_none(),
+                "variable {v} is already in a reorder group"
+            );
+        }
+        let gid = self.groups.len() as u32;
+        let mut members: Vec<u32> = vars.iter().map(|&v| v.0).collect();
+        members.sort_unstable_by_key(|&v| self.var2level[v as usize]);
+        for &v in &members {
+            self.var_group[v as usize] = Some(gid);
+        }
+        self.groups.push(members);
+    }
+
+    /// The reorder group containing `var`, in level order, if any.
+    pub fn group_of(&self, var: VarId) -> Option<Vec<VarId>> {
+        let gid = self.var_group[var.index()]?;
+        Some(
+            self.groups[gid as usize]
+                .iter()
+                .map(|&v| VarId(v))
+                .collect(),
+        )
+    }
+
+    /// The current reordering configuration.
+    pub fn reorder_config(&self) -> &ReorderConfig {
+        &self.reorder
+    }
+
+    /// Replaces the reordering configuration (and re-arms the automatic
+    /// trigger at the configured threshold).
+    pub fn set_reorder_config(&mut self, config: ReorderConfig) {
+        self.next_auto_threshold = config.auto_threshold;
+        self.reorder = config;
+    }
+
+    /// The complete current variable order, topmost level first.
+    pub fn current_order(&self) -> Vec<VarId> {
+        self.level2var.iter().map(|&v| VarId(v)).collect()
+    }
+
+    /// Sifts variables to shrink the BDDs reachable from `roots` plus the
+    /// externally protected handles ([`Bdd::protect`]).
+    ///
+    /// Same validity contract as [`Bdd::gc`]: unreachable nodes are
+    /// collected (before and during the sift), so any handle covered by
+    /// neither `roots` nor a protection becomes invalid. Rooted handles
+    /// keep their slots and their meanings. With empty `roots` the
+    /// protected handles alone are the live set; if nothing is protected
+    /// either, this is a no-op (sifting has no live set to measure).
+    ///
+    /// All persistent operation caches are invalidated.
+    pub fn reduce_heap(&mut self, roots: &[Ref]) -> ReorderStats {
+        if self.reorder.mode == ReorderMode::Off {
+            return ReorderStats::default();
+        }
+        if roots.is_empty() && self.protected.is_empty() {
+            return ReorderStats::default();
+        }
+        self.clear_caches();
+        let mut ctx = self.rooted_ctx(roots);
+        let before = self.live_nodes() - 2;
+        let blocks_sifted = self.sift_all(&mut ctx);
+        let after = self.live_nodes() - 2;
+        debug_assert!(self.check_reorder_invariants(&ctx));
+        ReorderStats {
+            before,
+            after,
+            swaps: ctx.swaps,
+            blocks_sifted,
+        }
+    }
+
+    /// Collects against `roots` ∪ protected and builds the refcount
+    /// context pinning that combined live set.
+    fn rooted_ctx(&mut self, roots: &[Ref]) -> ReorderCtx {
+        let mut pinned = roots.to_vec();
+        pinned.extend_from_slice(&self.protected);
+        self.gc(&pinned);
+        self.reorder_ctx(&pinned)
+    }
+
+    /// Automatic-reorder checkpoint: runs [`Bdd::reduce_heap`] if the
+    /// mode is [`ReorderMode::Auto`] and the live-node count has crossed
+    /// the current threshold. Higher layers call this at workflow
+    /// boundaries where they can enumerate the complete live root set —
+    /// the roots gate validity exactly as in [`Bdd::gc`].
+    pub fn maybe_reduce_heap(&mut self, roots: &[Ref]) -> Option<ReorderStats> {
+        if self.reorder.mode != ReorderMode::Auto || self.live_nodes() < self.next_auto_threshold {
+            return None;
+        }
+        let stats = self.reduce_heap(roots);
+        let rearm = (self.live_nodes() as f64 * self.reorder.auto_scale) as usize;
+        self.next_auto_threshold = rearm.max(self.reorder.auto_threshold);
+        Some(stats)
+    }
+
+    // ---- refcount bookkeeping -----------------------------------------
+
+    /// Live decision nodes (terminals excluded) — the metric sifting
+    /// minimizes. O(1): slots minus the free list.
+    fn live_size(&self) -> u64 {
+        (self.nodes.len() - self.free.len() - 2) as u64
+    }
+
+    /// Builds reference counts: one per parent edge in the table, plus one
+    /// pin per root occurrence (or a pin on every allocated slot when
+    /// `roots` is empty). Callers run [`Bdd::gc`] first when using
+    /// explicit roots, so the table holds exactly the reachable nodes.
+    fn reorder_ctx(&self, roots: &[Ref]) -> ReorderCtx {
+        let mut rc = vec![0u32; self.nodes.len()];
+        let free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        for slot in 2..self.nodes.len() as u32 {
+            if free.contains(&slot) {
+                continue;
+            }
+            if roots.is_empty() {
+                rc[slot as usize] += 1; // pin-all mode
+            }
+            let n = self.nodes[slot as usize];
+            for child in [n.lo, n.hi] {
+                if !child.is_const() {
+                    rc[child.index()] += 1;
+                }
+            }
+        }
+        for &r in roots {
+            if !r.is_const() {
+                rc[r.index()] += 1;
+            }
+        }
+        ReorderCtx { rc, swaps: 0 }
+    }
+
+    /// `rc -= 1`; a node that loses its last reference is reclaimed on the
+    /// spot — removed from the unique table, its slot recycled, its child
+    /// edges released (cascading).
+    fn dec_ref(&mut self, r: Ref, ctx: &mut ReorderCtx) {
+        if r.is_const() {
+            return;
+        }
+        debug_assert!(ctx.rc[r.index()] > 0, "refcount underflow in reorder");
+        ctx.rc[r.index()] -= 1;
+        if ctx.rc[r.index()] == 0 {
+            let n = self.nodes[r.index()];
+            self.unique[n.var as usize].remove(&(n.lo, n.hi));
+            self.free.push(r.0);
+            self.dec_ref(n.lo, ctx);
+            self.dec_ref(n.hi, ctx);
+        }
+    }
+
+    /// Hash-consed constructor used during swaps; returns the node with
+    /// one reference added for the caller's new edge.
+    fn reorder_mk(&mut self, var: u32, lo: Ref, hi: Ref, ctx: &mut ReorderCtx) -> Ref {
+        if lo == hi {
+            if !lo.is_const() {
+                ctx.rc[lo.index()] += 1;
+            }
+            return lo;
+        }
+        if let Some(&r) = self.unique[var as usize].get(&(lo, hi)) {
+            ctx.rc[r.index()] += 1;
+            return r;
+        }
+        let node = Node { var, lo, hi };
+        let r = if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            Ref(slot)
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(node);
+            ctx.rc.push(0);
+            Ref(slot)
+        };
+        ctx.rc[r.index()] = 1;
+        if !lo.is_const() {
+            ctx.rc[lo.index()] += 1;
+        }
+        if !hi.is_const() {
+            ctx.rc[hi.index()] += 1;
+        }
+        self.unique[var as usize].insert((lo, hi), r);
+        r
+    }
+
+    // ---- the swap primitive -------------------------------------------
+
+    /// Swaps the variables at `level` and `level + 1`, rewriting the
+    /// affected upper-level nodes in place so no handle is invalidated.
+    fn swap_levels(&mut self, level: u32, ctx: &mut ReorderCtx) {
+        let xv = self.level2var[level as usize];
+        let yv = self.level2var[level as usize + 1];
+        // Nodes labelled x that depend on y must be rewritten; the rest of
+        // x's level just sinks one level with no structural change.
+        let moved: Vec<Ref> = self.unique[xv as usize]
+            .values()
+            .copied()
+            .filter(|&r| {
+                let n = self.nodes[r.index()];
+                self.nodes[n.lo.index()].var == yv || self.nodes[n.hi.index()].var == yv
+            })
+            .collect();
+        for &r in &moved {
+            let n = self.nodes[r.index()];
+            self.unique[xv as usize].remove(&(n.lo, n.hi));
+        }
+        self.level2var.swap(level as usize, level as usize + 1);
+        self.var2level[xv as usize] = level + 1;
+        self.var2level[yv as usize] = level;
+        for &r in &moved {
+            let n = self.nodes[r.index()];
+            let (f00, f01) = if self.nodes[n.lo.index()].var == yv {
+                let c = self.nodes[n.lo.index()];
+                (c.lo, c.hi)
+            } else {
+                (n.lo, n.lo)
+            };
+            let (f10, f11) = if self.nodes[n.hi.index()].var == yv {
+                let c = self.nodes[n.hi.index()];
+                (c.lo, c.hi)
+            } else {
+                (n.hi, n.hi)
+            };
+            // Build the new cofactors first, then release the old ones, so
+            // shared grandchildren never transiently die.
+            let new_lo = self.reorder_mk(xv, f00, f10, ctx);
+            let new_hi = self.reorder_mk(xv, f01, f11, ctx);
+            debug_assert_ne!(new_lo, new_hi, "swap produced a redundant node");
+            self.dec_ref(n.lo, ctx);
+            self.dec_ref(n.hi, ctx);
+            self.nodes[r.index()] = Node {
+                var: yv,
+                lo: new_lo,
+                hi: new_hi,
+            };
+            let displaced = self.unique[yv as usize].insert((new_lo, new_hi), r);
+            debug_assert!(
+                displaced.is_none(),
+                "swap collided with an existing node at the lower level"
+            );
+        }
+        ctx.swaps += 1;
+    }
+
+    // ---- sifting ------------------------------------------------------
+
+    /// The current block structure: groups move as one block, ungrouped
+    /// variables as singletons; blocks are listed top level first.
+    fn current_blocks(&self) -> Vec<Vec<u32>> {
+        let mut blocks = Vec::new();
+        let mut level = 0usize;
+        while level < self.level2var.len() {
+            let var = self.level2var[level];
+            match self.var_group[var as usize] {
+                Some(gid) => {
+                    let members = self.groups[gid as usize].clone();
+                    debug_assert_eq!(members[0], var, "group must start at its topmost member");
+                    level += members.len();
+                    blocks.push(members);
+                }
+                None => {
+                    blocks.push(vec![var]);
+                    level += 1;
+                }
+            }
+        }
+        blocks
+    }
+
+    /// Swaps the adjacent blocks at positions `i` and `i + 1`, one
+    /// variable-level swap at a time.
+    fn swap_adjacent_blocks(&mut self, blocks: &mut [Vec<u32>], i: usize, ctx: &mut ReorderCtx) {
+        let a_len = blocks[i].len() as u32;
+        let b_len = blocks[i + 1].len() as u32;
+        let top = self.var2level[blocks[i][0] as usize];
+        // Bubble each variable of the lower block up past the upper block.
+        for k in 0..b_len {
+            for l in (top + k..top + k + a_len).rev() {
+                self.swap_levels(l, ctx);
+            }
+        }
+        blocks.swap(i, i + 1);
+    }
+
+    /// One sifting pass: every block, largest live level first, is moved
+    /// through the whole order and parked where the live size was minimal.
+    fn sift_all(&mut self, ctx: &mut ReorderCtx) -> usize {
+        let initial = self.current_blocks();
+        if initial.len() <= 1 {
+            return 0;
+        }
+        // Sift big levels first: they have the most to gain.
+        let mut order: Vec<u32> = initial.iter().map(|b| b[0]).collect();
+        order.sort_by_key(|&top| {
+            let block = &initial[initial.iter().position(|b| b[0] == top).unwrap()];
+            std::cmp::Reverse(
+                block
+                    .iter()
+                    .map(|&v| self.unique[v as usize].len())
+                    .sum::<usize>(),
+            )
+        });
+        let max_growth = self.reorder.max_growth.max(1.0);
+        for top_var in order {
+            let mut blocks = self.current_blocks();
+            let mut pos = blocks
+                .iter()
+                .position(|b| b[0] == top_var)
+                .expect("block still present");
+            let mut best = self.live_size();
+            let mut best_pos = pos;
+            // Down to the bottom…
+            while pos + 1 < blocks.len() {
+                self.swap_adjacent_blocks(&mut blocks, pos, ctx);
+                pos += 1;
+                let t = self.live_size();
+                if t < best {
+                    best = t;
+                    best_pos = pos;
+                }
+                if t as f64 > best as f64 * max_growth {
+                    break;
+                }
+            }
+            // …then up to the top…
+            while pos > 0 {
+                self.swap_adjacent_blocks(&mut blocks, pos - 1, ctx);
+                pos -= 1;
+                let t = self.live_size();
+                if t < best {
+                    best = t;
+                    best_pos = pos;
+                }
+                if t as f64 > best as f64 * max_growth && pos > best_pos {
+                    break;
+                }
+            }
+            // …and back to the best position seen.
+            while pos < best_pos {
+                self.swap_adjacent_blocks(&mut blocks, pos, ctx);
+                pos += 1;
+            }
+            while pos > best_pos {
+                self.swap_adjacent_blocks(&mut blocks, pos - 1, ctx);
+                pos -= 1;
+            }
+        }
+        initial.len()
+    }
+
+    // ---- debug invariants ---------------------------------------------
+
+    /// Exhaustive post-reorder consistency check (debug builds only).
+    fn check_reorder_invariants(&self, ctx: &ReorderCtx) -> bool {
+        // level maps are inverse bijections
+        for (var, &lvl) in self.var2level.iter().enumerate() {
+            assert_eq!(self.level2var[lvl as usize] as usize, var);
+        }
+        // groups are adjacent and in order
+        for group in &self.groups {
+            for w in group.windows(2) {
+                assert_eq!(
+                    self.var2level[w[1] as usize],
+                    self.var2level[w[0] as usize] + 1,
+                    "reorder separated a variable group"
+                );
+            }
+        }
+        // unique tables agree with node labels and respect the order, and
+        // together with the free list they partition the slots
+        let mut tabled = 0usize;
+        for (var, table) in self.unique.iter().enumerate() {
+            for (&(lo, hi), &r) in table {
+                let n = self.nodes[r.index()];
+                assert_eq!(n.var as usize, var);
+                assert_eq!((n.lo, n.hi), (lo, hi));
+                assert!(self.var2level[var] < self.level(lo));
+                assert!(self.var2level[var] < self.level(hi));
+                tabled += 1;
+            }
+        }
+        assert_eq!(
+            tabled,
+            self.nodes.len() - self.free.len() - 2,
+            "unique tables and free list must partition the slots"
+        );
+        // every internal edge is reflected in the refcounts
+        let free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        for slot in 2..self.nodes.len() as u32 {
+            if free.contains(&slot) {
+                continue;
+            }
+            let n = self.nodes[slot as usize];
+            for child in [n.lo, n.hi] {
+                if !child.is_const() {
+                    assert!(
+                        ctx.rc[child.index()] > 0,
+                        "live node has an uncounted child"
+                    );
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies an explicit variable order (levels top to bottom) by
+    /// swapping adjacent levels; mainly useful for tests and experiments.
+    /// Same validity contract as [`Bdd::reduce_heap`]: non-empty `roots`
+    /// collect everything else first; empty `roots` keep every handle
+    /// valid. Grouped variables must appear contiguously in `order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of all variables, or if it
+    /// tears a declared group apart or reverses a group's internal order.
+    pub fn set_order(&mut self, roots: &[Ref], order: &[VarId]) {
+        assert_eq!(
+            order.len(),
+            self.num_vars(),
+            "order must cover all variables"
+        );
+        let mut seen = vec![false; self.num_vars()];
+        for &v in order {
+            assert!(!seen[v.index()], "duplicate variable in order");
+            seen[v.index()] = true;
+        }
+        // Groups must appear contiguously *and* in their declared internal
+        // order — `groups[gid]` stays sorted by level, and block movement
+        // relies on that invariant in release builds too.
+        let mut position = vec![0usize; self.num_vars()];
+        for (pos, &v) in order.iter().enumerate() {
+            position[v.index()] = pos;
+        }
+        for group in &self.groups {
+            for w in group.windows(2) {
+                assert_eq!(
+                    position[w[1] as usize],
+                    position[w[0] as usize] + 1,
+                    "order must keep reorder group {:?} contiguous and in declared order",
+                    group
+                );
+            }
+        }
+        self.clear_caches();
+        let mut ctx = if roots.is_empty() {
+            // Pin-all: applying a permutation needs no size metric, so
+            // every existing handle can be kept valid.
+            self.reorder_ctx(&[])
+        } else {
+            self.rooted_ctx(roots)
+        };
+        // Selection sort by adjacent swaps: place each target level in turn.
+        for (target, &var) in order.iter().enumerate() {
+            let mut lvl = self.var2level[var.index()] as usize;
+            while lvl > target {
+                self.swap_levels(lvl as u32 - 1, &mut ctx);
+                lvl -= 1;
+            }
+        }
+        debug_assert!(self.check_reorder_invariants(&ctx));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the classic worst-case-order function
+    /// `(x0 ∧ x1) ∨ (x2 ∧ x3) ∨ (x4 ∧ x5)` with the pairs split across the
+    /// order: `x0 x2 x4 x1 x3 x5`.
+    fn split_pairs(bdd: &mut Bdd) -> (Vec<VarId>, Ref) {
+        let vars = bdd.new_vars(6);
+        // Interleave the order badly: evens first, odds after.
+        let bad: Vec<VarId> = [0, 2, 4, 1, 3, 5].iter().map(|&i| vars[i]).collect();
+        bdd.set_order(&[], &bad);
+        let mut f = Ref::FALSE;
+        for pair in vars.chunks(2) {
+            let a = bdd.var(pair[0]);
+            let b = bdd.var(pair[1]);
+            let c = bdd.and(a, b);
+            f = bdd.or(f, c);
+        }
+        (vars, f)
+    }
+
+    #[test]
+    fn swap_preserves_denotation_and_refs() {
+        let mut bdd = Bdd::new();
+        let (vars, f) = split_pairs(&mut bdd);
+        let before: Vec<bool> = (0..64u32)
+            .map(|bits| bdd.eval(f, &|v| bits >> v.index() & 1 == 1))
+            .collect();
+        let mut ctx = bdd.reorder_ctx(&[f]);
+        for level in [0, 2, 4, 1, 3, 0] {
+            bdd.swap_levels(level, &mut ctx);
+            let after: Vec<bool> = (0..64u32)
+                .map(|bits| bdd.eval(f, &|v| bits >> v.index() & 1 == 1))
+                .collect();
+            assert_eq!(before, after, "swap at level {level} changed the function");
+        }
+        let _ = vars;
+    }
+
+    #[test]
+    fn sifting_finds_the_linear_order() {
+        let mut bdd = Bdd::new();
+        let (_, f) = split_pairs(&mut bdd);
+        let before = bdd.node_count(f);
+        let stats = bdd.reduce_heap(&[f]);
+        let after = bdd.node_count(f);
+        assert_eq!(stats.before, before);
+        assert_eq!(stats.after, after);
+        // The pairs-split order needs ~2^(n/2) nodes; the sifted order is
+        // linear (2 nodes per conjunction pair plus sharing).
+        assert!(
+            after < before,
+            "sifting failed to shrink: {before} -> {after}"
+        );
+        assert_eq!(after, 6, "optimal order for 3 disjoint pairs is linear");
+    }
+
+    #[test]
+    fn reduce_heap_respects_off_mode() {
+        let mut bdd = Bdd::new();
+        let (_, f) = split_pairs(&mut bdd);
+        bdd.set_reorder_config(ReorderConfig {
+            mode: ReorderMode::Off,
+            ..Default::default()
+        });
+        let order_before = bdd.current_order();
+        let stats = bdd.reduce_heap(&[f]);
+        assert_eq!(stats, ReorderStats::default());
+        assert_eq!(bdd.current_order(), order_before);
+    }
+
+    #[test]
+    fn groups_stay_adjacent_through_sifting() {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(8);
+        for pair in vars.chunks(2) {
+            bdd.group_vars(pair);
+        }
+        // A function whose optimal order conflicts with the declared
+        // grouping, so sifting has real work to do.
+        let mut f = Ref::FALSE;
+        for i in 0..4 {
+            let a = bdd.var(vars[i]);
+            let b = bdd.var(vars[7 - i]);
+            let c = bdd.and(a, b);
+            f = bdd.or(f, c);
+        }
+        bdd.reduce_heap(&[f]);
+        for pair in vars.chunks(2) {
+            assert_eq!(
+                bdd.level_of(pair[1]),
+                bdd.level_of(pair[0]) + 1,
+                "group {pair:?} was separated"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_trigger_fires_and_rearms() {
+        let mut bdd = Bdd::new();
+        bdd.set_reorder_config(ReorderConfig {
+            mode: ReorderMode::Auto,
+            auto_threshold: 8,
+            ..Default::default()
+        });
+        let (_, f) = split_pairs(&mut bdd);
+        let stats = bdd.maybe_reduce_heap(&[f]).expect("threshold crossed");
+        assert!(stats.after <= stats.before);
+        // Far below the re-armed threshold now: no second fire.
+        assert!(bdd.maybe_reduce_heap(&[f]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous and in declared order")]
+    fn set_order_rejects_reversed_group() {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(4);
+        bdd.group_vars(&[vars[0], vars[1]]);
+        // Contiguous but internally reversed: must be rejected, otherwise
+        // `groups` and the level maps fall out of sync.
+        let order = vec![vars[2], vars[1], vars[0], vars[3]];
+        bdd.set_order(&[], &order);
+    }
+
+    #[test]
+    fn set_order_applies_permutation() {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(4);
+        let f = {
+            let a = bdd.var(vars[0]);
+            let b = bdd.var(vars[3]);
+            bdd.and(a, b)
+        };
+        let order: Vec<VarId> = [3, 1, 0, 2].iter().map(|&i| vars[i]).collect();
+        bdd.set_order(&[f], &order);
+        assert_eq!(bdd.current_order(), order);
+        assert!(bdd.eval(f, &|v| v == vars[0] || v == vars[3]));
+        assert!(!bdd.eval(f, &|v| v == vars[0]));
+    }
+}

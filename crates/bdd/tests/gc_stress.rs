@@ -74,6 +74,58 @@ fn gc_keeps_protected_functions_and_bounds_memory() {
 }
 
 #[test]
+fn gc_and_reorder_stress_keeps_protected_functions() {
+    // Same shape as the GC stress above, but every round also sifts: the
+    // protected working set must survive arbitrary interleavings of
+    // reordering (which moves and rewrites nodes in place) and collection
+    // (which frees the sift garbage).
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut bdd = Bdd::new();
+    let vars = bdd.new_vars(10);
+    let mut protected: Vec<(Ref, Vec<bool>)> = Vec::new();
+    let assignments: Vec<Vec<bool>> = (0..64)
+        .map(|i| (0..10).map(|b| (i >> b) & 1 == 1).collect())
+        .collect();
+    let fingerprint = |bdd: &Bdd, f: Ref| -> Vec<bool> {
+        assignments
+            .iter()
+            .map(|a| bdd.eval(f, &|v| a[v.index()]))
+            .collect()
+    };
+
+    let mut high_water = 0usize;
+    for round in 0..20 {
+        for _ in 0..10 {
+            let _ = random_function(&mut bdd, &vars, &mut rng);
+        }
+        let keep = random_function(&mut bdd, &vars, &mut rng);
+        let fp = fingerprint(&bdd, keep);
+        protected.push((keep, fp));
+        if protected.len() > 5 {
+            protected.remove(0);
+        }
+        let roots: Vec<Ref> = protected.iter().map(|(r, _)| *r).collect();
+        // Alternate the order of collection and sifting across rounds.
+        if round % 2 == 0 {
+            bdd.gc(&roots);
+            let stats = bdd.reduce_heap(&roots);
+            assert!(stats.after <= stats.before, "round {round}");
+        } else {
+            bdd.reduce_heap(&roots);
+            bdd.gc(&roots);
+        }
+        for (f, fp) in &protected {
+            assert_eq!(&fingerprint(&bdd, *f), fp, "round {round}");
+        }
+        high_water = high_water.max(bdd.table_size());
+    }
+    assert!(
+        high_water < 50_000,
+        "table grew to {high_water} slots despite GC + reordering"
+    );
+}
+
+#[test]
 fn gc_idempotent_and_canonical_after_collection() {
     let mut bdd = Bdd::new();
     let vars = bdd.new_vars(6);

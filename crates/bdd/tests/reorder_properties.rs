@@ -1,0 +1,279 @@
+//! Property-based tests for dynamic reordering: `reduce_heap` must
+//! preserve semantics (evaluation, canonicity, satisfying-assignment
+//! counts), never separate grouped variable pairs, and interoperate with
+//! garbage collection.
+
+use std::collections::HashMap;
+
+use covest_bdd::{Bdd, Ref, ReorderConfig, ReorderMode, VarId};
+use proptest::prelude::*;
+
+const NVARS: usize = 6;
+
+/// A tiny expression language used to generate random Boolean functions.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(bool),
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0..NVARS).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(bdd: &mut Bdd, vars: &[VarId], e: &Expr) -> Ref {
+    match e {
+        Expr::Const(c) => bdd.constant(*c),
+        Expr::Var(i) => bdd.var(vars[*i]),
+        Expr::Not(a) => {
+            let fa = build(bdd, vars, a);
+            bdd.not(fa)
+        }
+        Expr::And(a, b) => {
+            let fa = build(bdd, vars, a);
+            let fb = build(bdd, vars, b);
+            bdd.and(fa, fb)
+        }
+        Expr::Or(a, b) => {
+            let fa = build(bdd, vars, a);
+            let fb = build(bdd, vars, b);
+            bdd.or(fa, fb)
+        }
+        Expr::Xor(a, b) => {
+            let fa = build(bdd, vars, a);
+            let fb = build(bdd, vars, b);
+            bdd.xor(fa, fb)
+        }
+    }
+}
+
+fn truth_table(bdd: &Bdd, f: Ref) -> Vec<bool> {
+    (0..(1u32 << NVARS))
+        .map(|bits| bdd.eval(f, &|v| bits >> v.index() & 1 == 1))
+        .collect()
+}
+
+proptest! {
+    /// Sifting changes only the shape: evaluation, exact counts and the
+    /// float count all stay identical for every root.
+    #[test]
+    fn reduce_heap_preserves_semantics(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let f1 = build(&mut bdd, &vars, &e1);
+        let f2 = build(&mut bdd, &vars, &e2);
+        let tt1 = truth_table(&bdd, f1);
+        let tt2 = truth_table(&bdd, f2);
+        let count1 = bdd.sat_count_exact(f1, &vars);
+        let count2 = bdd.sat_count_exact(f2, &vars);
+        let float1 = bdd.sat_count_over(f1, &vars);
+
+        let stats = bdd.reduce_heap(&[f1, f2]);
+        prop_assert!(stats.after <= stats.before);
+
+        prop_assert_eq!(truth_table(&bdd, f1), tt1);
+        prop_assert_eq!(truth_table(&bdd, f2), tt2);
+        prop_assert_eq!(bdd.sat_count_exact(f1, &vars), count1);
+        prop_assert_eq!(bdd.sat_count_exact(f2, &vars), count2);
+        // Counting is a sum of dyadic rationals, so it is not just close
+        // but bit-identical under any order.
+        prop_assert_eq!(bdd.sat_count_over(f1, &vars).to_bits(), float1.to_bits());
+    }
+
+    /// Canonicity survives reordering: rebuilding a function after a sift
+    /// yields the same handle.
+    #[test]
+    fn canonicity_after_reorder(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        bdd.reduce_heap(&[f]);
+        let again = build(&mut bdd, &vars, &e);
+        prop_assert_eq!(f, again);
+    }
+
+    /// `reduce_heap` has gc's contract: unrooted garbage is reclaimed
+    /// while rooted handles survive with identical semantics. With empty
+    /// roots the protected registry is the live set; with nothing
+    /// protected either, the call is a no-op.
+    #[test]
+    fn reduce_heap_has_gc_contract(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let rooted = build(&mut bdd, &vars, &e1);
+        let tt = truth_table(&bdd, rooted);
+        let garbage = build(&mut bdd, &vars, &e2);
+        let live_with_garbage = bdd.live_nodes();
+        bdd.reduce_heap(&[rooted]);
+        prop_assert!(bdd.live_nodes() <= live_with_garbage);
+        prop_assert_eq!(truth_table(&bdd, rooted), tt.clone());
+
+        // Rootless call falls back to the protected registry.
+        let mut bdd2 = Bdd::new();
+        let vars2 = bdd2.new_vars(NVARS);
+        let f1 = build(&mut bdd2, &vars2, &e1);
+        let f2 = build(&mut bdd2, &vars2, &e2);
+        let tt2 = truth_table(&bdd2, f2);
+        let order_before = bdd2.current_order();
+        bdd2.reduce_heap(&[]); // nothing protected: must be a no-op
+        prop_assert_eq!(bdd2.current_order(), order_before);
+        bdd2.protect(f1);
+        bdd2.protect(f2);
+        bdd2.reduce_heap(&[]);
+        bdd2.unprotect(f1);
+        bdd2.unprotect(f2);
+        prop_assert_eq!(truth_table(&bdd2, f1), tt);
+        prop_assert_eq!(truth_table(&bdd2, f2), tt2);
+        let _ = garbage;
+    }
+
+    /// Quantification and substitution agree with a pre-reorder oracle
+    /// after sifting (the memo layers must not leak stale entries).
+    #[test]
+    fn operations_after_reorder_match_oracle(e in arb_expr(), idx in 0..NVARS) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let v = vars[idx];
+        let ex_before = bdd.exists(f, &[v]);
+        let tt = truth_table(&bdd, ex_before);
+        bdd.reduce_heap(&[f, ex_before]);
+        let ex_after = bdd.exists(f, &[v]);
+        prop_assert_eq!(ex_before, ex_after);
+        prop_assert_eq!(truth_table(&bdd, ex_after), tt);
+    }
+
+    /// Grouped pairs are never separated, whatever the function demands.
+    #[test]
+    fn grouped_pairs_stay_adjacent(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        for pair in vars.chunks(2) {
+            bdd.group_vars(pair);
+        }
+        let f = build(&mut bdd, &vars, &e);
+        bdd.reduce_heap(&[f]);
+        for pair in vars.chunks(2) {
+            prop_assert_eq!(
+                bdd.level_of(pair[1]),
+                bdd.level_of(pair[0]) + 1,
+                "pair {:?} separated", pair
+            );
+            prop_assert_eq!(bdd.group_of(pair[0]), Some(pair.to_vec()));
+        }
+    }
+
+    /// GC after reorder reclaims the sift garbage without disturbing the
+    /// roots; reorder after GC works on the compacted table.
+    #[test]
+    fn gc_and_reorder_interleave(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.new_vars(NVARS);
+        let keep = build(&mut bdd, &vars, &e1);
+        let tt = truth_table(&bdd, keep);
+        let _garbage = build(&mut bdd, &vars, &e2);
+
+        bdd.reduce_heap(&[keep]);
+        let freed = bdd.gc(&[keep]);
+        let live_after_gc = bdd.live_nodes();
+        prop_assert_eq!(truth_table(&bdd, keep), tt.clone());
+
+        let stats = bdd.reduce_heap(&[keep]);
+        prop_assert_eq!(stats.before + 2, live_after_gc,
+            "after gc, the live table is exactly the rooted set plus terminals");
+        bdd.gc(&[keep]);
+        prop_assert_eq!(truth_table(&bdd, keep), tt);
+        let _ = freed;
+    }
+}
+
+#[test]
+fn sat_counts_are_bit_identical_across_random_orders() {
+    // Deterministic spot-check on a function with an irregular count.
+    let mut bdd = Bdd::new();
+    let vars = bdd.new_vars(NVARS);
+    let mut f = Ref::FALSE;
+    for i in 0..NVARS {
+        let a = bdd.var(vars[i]);
+        let b = bdd.var(vars[(i * 2 + 1) % NVARS]);
+        let c = bdd.and(a, b);
+        f = bdd.or(f, c);
+    }
+    let count = bdd.sat_count_over(f, &vars);
+    for rotation in 1..NVARS {
+        let order: Vec<VarId> = (0..NVARS).map(|i| vars[(i + rotation) % NVARS]).collect();
+        bdd.set_order(&[f], &order);
+        assert_eq!(bdd.current_order(), order);
+        assert_eq!(bdd.sat_count_over(f, &vars).to_bits(), count.to_bits());
+    }
+}
+
+#[test]
+fn reorder_modes_gate_reduce_heap() {
+    let mut bdd = Bdd::new();
+    let vars = bdd.new_vars(4);
+    let badly_ordered = {
+        let a = bdd.var(vars[0]);
+        let b = bdd.var(vars[2]);
+        let c = bdd.and(a, b);
+        let d = bdd.var(vars[1]);
+        let e = bdd.var(vars[3]);
+        let g = bdd.and(d, e);
+        bdd.or(c, g)
+    };
+    bdd.set_reorder_config(ReorderConfig {
+        mode: ReorderMode::Off,
+        ..Default::default()
+    });
+    let order = bdd.current_order();
+    assert_eq!(bdd.reduce_heap(&[badly_ordered]).swaps, 0);
+    assert_eq!(bdd.current_order(), order);
+
+    bdd.set_reorder_config(ReorderConfig {
+        mode: ReorderMode::Sift,
+        ..Default::default()
+    });
+    let stats = bdd.reduce_heap(&[badly_ordered]);
+    assert!(stats.after <= stats.before);
+}
+
+#[test]
+fn minterm_enumeration_consistent_after_reorder() {
+    let mut bdd = Bdd::new();
+    let vars = bdd.new_vars(NVARS);
+    let f = {
+        let a = bdd.var(vars[0]);
+        let b = bdd.var(vars[3]);
+        let c = bdd.xor(a, b);
+        let d = bdd.var(vars[5]);
+        bdd.or(c, d)
+    };
+    let collect = |bdd: &Bdd| -> Vec<Vec<(VarId, bool)>> {
+        let mut v: Vec<_> = bdd.minterms_over(f, &vars).collect();
+        v.sort();
+        v
+    };
+    let before = collect(&bdd);
+    bdd.reduce_heap(&[f]);
+    assert_eq!(collect(&bdd), before);
+    let lookups: Vec<HashMap<VarId, bool>> =
+        before.iter().map(|m| m.iter().copied().collect()).collect();
+    for lookup in &lookups {
+        assert!(bdd.eval(f, &|v| lookup[&v]));
+    }
+}

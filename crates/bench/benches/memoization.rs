@@ -22,7 +22,8 @@ fn bench_memoization(c: &mut Criterion) {
             let mut bdd = Bdd::new();
             let model = pipeline::build(&mut bdd, 4).expect("compiles");
             let mut mc = ModelChecker::new(&model.fsm);
-            mc.add_fairness(&mut bdd, &pipeline::fairness()).expect("lowers");
+            mc.add_fairness(&mut bdd, &pipeline::fairness())
+                .expect("lowers");
             let mut cs = CoveredSets::with_checker(&mut bdd, mc, "out").expect("signal");
             // Verification warms the memo table …
             for p in &suite {
@@ -44,13 +45,15 @@ fn bench_memoization(c: &mut Criterion) {
             let model = pipeline::build(&mut bdd, 4).expect("compiles");
             // Verify with one checker …
             let mut mc = ModelChecker::new(&model.fsm);
-            mc.add_fairness(&mut bdd, &pipeline::fairness()).expect("lowers");
+            mc.add_fairness(&mut bdd, &pipeline::fairness())
+                .expect("lowers");
             for p in &suite {
                 assert!(mc.holds(&mut bdd, &p.clone().into()).expect("checks"));
             }
             // … then throw the memo table away and cover from scratch.
             let mut mc2 = ModelChecker::new(&model.fsm);
-            mc2.add_fairness(&mut bdd, &pipeline::fairness()).expect("lowers");
+            mc2.add_fairness(&mut bdd, &pipeline::fairness())
+                .expect("lowers");
             let mut cs = CoveredSets::with_checker(&mut bdd, mc2, "out").expect("signal");
             let mut acc = covest_bdd::Ref::FALSE;
             for p in &suite {

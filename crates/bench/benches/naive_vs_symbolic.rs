@@ -37,9 +37,7 @@ fn bench_chain(c: &mut Criterion) {
                 let mut bdd = Bdd::new();
                 let fsm = stg.compile(&mut bdd).expect("compiles");
                 let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
-                std::hint::black_box(
-                    cs.covered_from_init(&mut bdd, &prop).expect("covers"),
-                )
+                std::hint::black_box(cs.covered_from_init(&mut bdd, &prop).expect("covers"))
             })
         });
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
@@ -73,8 +71,7 @@ fn bench_queue(c: &mut Criterion) {
             b.iter(|| {
                 let mut bdd = Bdd::new();
                 let model = circular_queue::build(&mut bdd, depth).expect("compiles");
-                let mut cs =
-                    CoveredSets::new(&mut bdd, &model.fsm, "wrap").expect("wrap exists");
+                let mut cs = CoveredSets::new(&mut bdd, &model.fsm, "wrap").expect("wrap exists");
                 let mut acc = covest_bdd::Ref::FALSE;
                 for p in &suite {
                     let cset = cs.covered_from_init(&mut bdd, p).expect("covers");

@@ -1,0 +1,76 @@
+//! Fixed variable order versus dynamic sifting on the Table-2 circuits:
+//! wall-clock for the full verify-plus-coverage workload, and the sift
+//! itself in isolation. The companion binary `reorder_report` records the
+//! node-count deltas in `BENCH_reorder.json`.
+
+use covest_bdd::{Bdd, ReorderConfig, ReorderMode};
+use covest_bench::table2_workloads;
+use covest_core::CoverageEstimator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// The two circuits the reordering bench contrasts (the buffer has real
+/// slack for sifting; the queue's seed order is already close to good).
+const CIRCUITS: &[&str] = &["hi_cnt", "wrap"];
+
+fn run_workload_with_mode(signal: &str, mode: ReorderMode) {
+    let w = table2_workloads()
+        .into_iter()
+        .find(|w| w.signal == signal)
+        .expect("workload exists");
+    let mut bdd = Bdd::new();
+    bdd.set_reorder_config(ReorderConfig {
+        mode,
+        ..Default::default()
+    });
+    let model = (w.build)(&mut bdd);
+    if mode != ReorderMode::Off {
+        bdd.reduce_heap(&model.fsm.protected_refs());
+    }
+    let estimator = CoverageEstimator::new(&model.fsm);
+    let analysis = estimator
+        .analyze(&mut bdd, w.signal, &w.properties, &w.options)
+        .expect("workload analyzes");
+    std::hint::black_box(analysis.percent());
+}
+
+fn bench_fixed_vs_sift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reordering/workload");
+    for &signal in CIRCUITS {
+        group.bench_with_input(BenchmarkId::new("fixed", signal), &signal, |b, &signal| {
+            b.iter(|| run_workload_with_mode(signal, ReorderMode::Off))
+        });
+        group.bench_with_input(BenchmarkId::new("sift", signal), &signal, |b, &signal| {
+            b.iter(|| run_workload_with_mode(signal, ReorderMode::Sift))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sift_alone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reordering/reduce_heap");
+    for &signal in CIRCUITS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(signal),
+            &signal,
+            |b, &signal| {
+                b.iter(|| {
+                    let w = table2_workloads()
+                        .into_iter()
+                        .find(|w| w.signal == signal)
+                        .expect("workload exists");
+                    let mut bdd = Bdd::new();
+                    let model = (w.build)(&mut bdd);
+                    std::hint::black_box(bdd.reduce_heap(&model.fsm.protected_refs()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fixed_vs_sift, bench_sift_alone
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerates the SMV decks under `models/` from the circuit generators,
+//! so the CLI integration tests and the checked-in fixtures stay in sync
+//! with `covest-circuits`.
+//!
+//! Usage: `cargo run -p covest-circuits --bin gen-models [DIR]`
+//! (DIR defaults to `models/` relative to the workspace root).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use covest_circuits::{counter, pipeline, priority_buffer};
+use covest_ctl::Formula;
+
+fn with_specs(mut deck: String, specs: &[Formula]) -> String {
+    for spec in specs {
+        writeln!(deck, "SPEC {spec};").expect("write to string");
+    }
+    deck
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../models"));
+    std::fs::create_dir_all(&dir).expect("create models dir");
+
+    let counter_deck = with_specs(counter::deck(), &counter::increment_properties());
+
+    let capacity = 4;
+    let mut buffer_suite = priority_buffer::lo_suite_initial(capacity);
+    buffer_suite.push(priority_buffer::lo_missing_case());
+    buffer_suite.extend(priority_buffer::hi_suite(capacity));
+    let buffer_deck = with_specs(priority_buffer::deck(capacity, false), &buffer_suite);
+    let buggy_deck = with_specs(priority_buffer::deck(capacity, true), &buffer_suite);
+
+    let stages = 4;
+    let mut pipeline_suite = pipeline::out_suite_initial(stages);
+    pipeline_suite.extend(pipeline::out_suite_hold());
+    let pipeline_deck = with_specs(pipeline::deck(stages), &pipeline_suite);
+
+    for (name, deck) in [
+        ("counter.smv", &counter_deck),
+        ("priority_buffer.smv", &buffer_deck),
+        ("priority_buffer_buggy.smv", &buggy_deck),
+        ("pipeline.smv", &pipeline_deck),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, deck).expect("write deck");
+        println!("wrote {}", path.display());
+    }
+}

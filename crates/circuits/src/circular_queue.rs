@@ -173,10 +173,7 @@ mod tests {
             "AG (wp_wraps & !rp_wraps & !wrap -> AX wrap)",
         ] {
             let formula = parse_formula(p).expect(p);
-            assert!(
-                mc.holds(&mut bdd, &formula.into()).expect("checks"),
-                "{p}"
-            );
+            assert!(mc.holds(&mut bdd, &formula.into()).expect("checks"), "{p}");
         }
     }
 

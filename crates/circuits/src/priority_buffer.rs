@@ -247,10 +247,8 @@ mod tests {
         let inv = parse_formula("AG total <= 4").expect("subset");
         assert!(mc.holds(&mut bdd, &inv.into()).expect("checks"));
         // Storing two high entries from empty.
-        let p = parse_formula(
-            "AG (hi_cnt = 0 & lo_cnt = 0 & in_hi = 2 & !deq -> AX hi_cnt = 2)",
-        )
-        .expect("subset");
+        let p = parse_formula("AG (hi_cnt = 0 & lo_cnt = 0 & in_hi = 2 & !deq -> AX hi_cnt = 2)")
+            .expect("subset");
         assert!(mc.holds(&mut bdd, &p.into()).expect("checks"));
     }
 

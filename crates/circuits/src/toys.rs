@@ -97,12 +97,7 @@ mod tests {
     use covest_core::CoveredSets;
     use covest_ctl::parse_formula;
 
-    fn states_fn(
-        bdd: &mut Bdd,
-        stg: &Stg,
-        fsm: &covest_fsm::SymbolicFsm,
-        ids: &[usize],
-    ) -> Ref {
+    fn states_fn(bdd: &mut Bdd, stg: &Stg, fsm: &covest_fsm::SymbolicFsm, ids: &[usize]) -> Ref {
         let mut acc = Ref::FALSE;
         for &s in ids {
             let f = stg.state_fn(bdd, fsm, s);

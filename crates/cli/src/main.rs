@@ -4,6 +4,7 @@
 //! ```text
 //! covest check MODEL.smv [--coverage] [--observed SIGNAL]...
 //!                        [--traces N] [--strict] [--dot FILE]
+//!                        [--reorder off|sift|auto]
 //! ```
 //!
 //! - verifies every `SPEC` under the deck's `FAIRNESS` constraints;
@@ -12,11 +13,16 @@
 //! - with `--traces N`, prints shortest input sequences to up to `N`
 //!   uncovered states per signal;
 //! - `--strict` exits nonzero if any property fails;
-//! - `--dot FILE` dumps the reachable-state BDD in Graphviz format.
+//! - `--dot FILE` dumps the reachable-state BDD in Graphviz format;
+//! - `--reorder` controls dynamic variable reordering: `off` disables it,
+//!   `sift` runs one sifting pass right after the model compiles, and
+//!   `auto` instead re-sifts automatically whenever the node count
+//!   crosses the growth threshold during compilation, verification and
+//!   coverage estimation.
 
 use std::process::ExitCode;
 
-use covest_bdd::Bdd;
+use covest_bdd::{Bdd, ReorderConfig, ReorderMode};
 use covest_core::{CoverageEstimator, CoverageOptions, CoverageTable, ReportRow};
 use covest_mc::{ModelChecker, Verdict};
 
@@ -27,12 +33,17 @@ struct Args {
     traces: usize,
     strict: bool,
     dot: Option<String>,
+    reorder: ReorderMode,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: covest check MODEL.smv [--coverage] [--observed SIGNAL]... \
-         [--traces N] [--strict] [--dot FILE]"
+         [--traces N] [--strict] [--dot FILE] [--reorder off|sift|auto]\n\
+         \n\
+         --reorder off   keep the declaration variable order\n\
+         --reorder sift  sift once after compiling the model (default)\n\
+         --reorder auto  re-sift whenever the BDD grows past the threshold"
     );
     std::process::exit(2);
 }
@@ -50,11 +61,22 @@ fn parse_args() -> Args {
         traces: 0,
         strict: false,
         dot: None,
+        reorder: ReorderMode::Sift,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--coverage" => args.coverage = true,
             "--strict" => args.strict = true,
+            "--reorder" => match argv.next() {
+                Some(m) => match m.parse() {
+                    Ok(mode) => args.reorder = mode,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        usage()
+                    }
+                },
+                None => usage(),
+            },
             "--observed" => match argv.next() {
                 Some(s) => args.observed.push(s),
                 None => usage(),
@@ -99,6 +121,10 @@ fn main() -> ExitCode {
 fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     let src = std::fs::read_to_string(&args.model_path)?;
     let mut bdd = Bdd::new();
+    bdd.set_reorder_config(ReorderConfig {
+        mode: args.reorder,
+        ..Default::default()
+    });
     let model = covest_smv::compile(&mut bdd, &src)?;
     println!(
         "model `{}`: {} state bits, {} properties, {} fairness constraints",
@@ -107,6 +133,16 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
         model.specs.len(),
         model.fairness.len()
     );
+    // In auto mode the manager already sifts at its own checkpoints
+    // (including one at the end of compile), so the explicit startup pass
+    // belongs to sift mode only.
+    if args.reorder == ReorderMode::Sift {
+        let stats = bdd.reduce_heap(&model.fsm.protected_refs());
+        println!(
+            "reorder (sift): {} -> {} live nodes ({} swaps)",
+            stats.before, stats.after, stats.swaps
+        );
+    }
 
     // Verification.
     let mut all_passed = true;

@@ -37,10 +37,16 @@ fn strict_mode_fails_on_buggy_buffer() {
         .arg("--strict")
         .output()
         .expect("runs");
-    assert!(!out.status.success(), "the buggy deck must fail strict mode");
+    assert!(
+        !out.status.success(),
+        "the buggy deck must fail strict mode"
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("[FAIL]"), "{stdout}");
-    assert!(stdout.contains("counterexample") || stdout.contains("step 0"), "{stdout}");
+    assert!(
+        stdout.contains("counterexample") || stdout.contains("step 0"),
+        "{stdout}"
+    );
 }
 
 #[test]

@@ -86,6 +86,17 @@ impl<'m> CoveredSets<'m> {
         &self.observed
     }
 
+    /// Every BDD handle this engine holds (checker caches plus the
+    /// flipped signal interpretations); pass as roots to `Bdd::gc` /
+    /// `Bdd::reduce_heap` to keep the engine usable afterwards.
+    pub fn protected_refs(&self) -> Vec<Ref> {
+        let mut roots = self.mc.protected_refs();
+        for variant in &self.flip_variants {
+            variant.push_refs(&mut roots);
+        }
+        roots
+    }
+
     /// The underlying model checker.
     pub fn checker_mut(&mut self) -> &mut ModelChecker<'m> {
         &mut self.mc
@@ -183,22 +194,12 @@ impl<'m> CoveredSets<'m> {
     /// # Errors
     ///
     /// Returns [`CoverageError::Lower`] for unresolvable atoms.
-    pub fn covered(
-        &mut self,
-        bdd: &mut Bdd,
-        s0: Ref,
-        g: &Formula,
-    ) -> Result<Ref, CoverageError> {
+    pub fn covered(&mut self, bdd: &mut Bdd, s0: Ref, g: &Formula) -> Result<Ref, CoverageError> {
         let g = g.normalize();
         self.covered_rec(bdd, s0, &g)
     }
 
-    fn covered_rec(
-        &mut self,
-        bdd: &mut Bdd,
-        s0: Ref,
-        g: &Formula,
-    ) -> Result<Ref, CoverageError> {
+    fn covered_rec(&mut self, bdd: &mut Bdd, s0: Ref, g: &Formula) -> Result<Ref, CoverageError> {
         match g {
             Formula::Prop(b) => {
                 let d = self.depend(bdd, b)?;
@@ -238,11 +239,7 @@ impl<'m> CoveredSets<'m> {
     /// # Errors
     ///
     /// Returns [`CoverageError::Lower`] for unresolvable atoms.
-    pub fn covered_from_init(
-        &mut self,
-        bdd: &mut Bdd,
-        g: &Formula,
-    ) -> Result<Ref, CoverageError> {
+    pub fn covered_from_init(&mut self, bdd: &mut Bdd, g: &Formula) -> Result<Ref, CoverageError> {
         let init = self.mc.fsm().init();
         self.covered(bdd, init, g)
     }
@@ -265,12 +262,7 @@ impl<'m> CoveredSets<'m> {
         self.vacuous_rec(bdd, init, &g)
     }
 
-    fn vacuous_rec(
-        &mut self,
-        bdd: &mut Bdd,
-        s0: Ref,
-        g: &Formula,
-    ) -> Result<bool, CoverageError> {
+    fn vacuous_rec(&mut self, bdd: &mut Bdd, s0: Ref, g: &Formula) -> Result<bool, CoverageError> {
         match g {
             Formula::Prop(_) => Ok(false),
             Formula::Implies(b, f) => {
@@ -551,7 +543,10 @@ mod tests {
         // q but not p1 in this fixture, so `p1 & q` never holds.
         let vac = f("AG (p1 & q -> AX q)");
         assert!(cs.verify(&mut bdd, &vac).expect("verifies"));
-        assert!(cs.vacuous(&mut bdd, &vac).expect("checks"), "never triggers");
+        assert!(
+            cs.vacuous(&mut bdd, &vac).expect("checks"),
+            "never triggers"
+        );
         let cov = cs.covered_from_init(&mut bdd, &vac).expect("covers");
         assert!(cov.is_false(), "vacuous properties cover nothing");
         // A triggering implication is not vacuous.

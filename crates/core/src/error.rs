@@ -37,10 +37,16 @@ impl fmt::Display for CoverageError {
                 write!(f, "unknown observed signal `{s}`")
             }
             CoverageError::ObservedNotBoolean(s) => {
-                write!(f, "observed signal `{s}` is not boolean; observe its bits instead")
+                write!(
+                    f,
+                    "observed signal `{s}` is not boolean; observe its bits instead"
+                )
             }
             CoverageError::PropertyFails(p) => {
-                write!(f, "coverage is defined for verified properties, but `{p}` fails")
+                write!(
+                    f,
+                    "coverage is defined for verified properties, but `{p}` fails"
+                )
             }
             CoverageError::StateSpaceTooLarge { reachable, limit } => {
                 write!(

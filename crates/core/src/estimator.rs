@@ -148,6 +148,13 @@ impl<'m> CoverageEstimator<'m> {
 
     /// Runs the full analysis for `observed` over a property suite.
     ///
+    /// With [`covest_bdd::ReorderMode::Auto`] configured on the manager,
+    /// this method sifts at its phase boundaries, collecting everything
+    /// not reachable from this machine and its checker state. Handles the
+    /// caller holds on the same manager that are *not* part of this
+    /// machine (e.g. a second model) must be pinned with
+    /// [`covest_bdd::Bdd::protect`] across the call.
+    ///
     /// # Errors
     ///
     /// Returns [`CoverageError`] for unknown/non-boolean observed signals,
@@ -177,6 +184,13 @@ impl<'m> CoverageEstimator<'m> {
         }
         let verify_time = t0.elapsed();
         let verify_nodes = bdd.table_size();
+
+        // Safe point between the verification and coverage phases: in
+        // auto-reorder mode, sift against the complete live working set
+        // (`reduce_heap` has gc's validity contract, so the roots must
+        // cover every handle still in use — here that is the covered-set
+        // engine with all its memoized satisfaction sets).
+        bdd.maybe_reduce_heap(&cs.protected_refs());
 
         // Phase 2: covered sets + coverage space.
         let t1 = Instant::now();
@@ -208,6 +222,11 @@ impl<'m> CoverageEstimator<'m> {
         let covered = bdd.and(covered, space);
         let coverage_time = t1.elapsed();
         let coverage_nodes = bdd.table_size();
+
+        let mut roots = cs.protected_refs();
+        roots.extend([covered, space]);
+        roots.extend(property_results.iter().map(|p| p.covered));
+        bdd.maybe_reduce_heap(&roots);
 
         let vars = self.state_universe(bdd, covered, space);
         let covered_count = bdd.sat_count_over(covered, &vars);
@@ -243,12 +262,15 @@ impl<'m> CoverageEstimator<'m> {
         options: &CoverageOptions,
     ) -> Result<CoverageAnalysis, CoverageError> {
         assert!(!observed.is_empty(), "need at least one observed signal");
-        let mut analyses = Vec::with_capacity(observed.len());
-        for sig in observed {
-            analyses.push(self.analyze(bdd, sig, properties, options)?);
-        }
+        let suites: Vec<(&str, Vec<Formula>)> = observed
+            .iter()
+            .map(|&sig| (sig, properties.to_vec()))
+            .collect();
+        let mut analyses = self.analyze_signals(bdd, &suites, options)?;
+        // No reordering checkpoint runs between here and the counting
+        // below, so the returned handles are all still valid.
         let mut merged = analyses.pop().expect("nonempty");
-        for a in analyses {
+        for a in &analyses {
             merged.covered = bdd.or(merged.covered, a.covered);
             for (mine, theirs) in merged.properties.iter_mut().zip(&a.properties) {
                 mine.covered = bdd.or(mine.covered, theirs.covered);
@@ -273,10 +295,25 @@ impl<'m> CoverageEstimator<'m> {
         suites: &[(&str, Vec<Formula>)],
         options: &CoverageOptions,
     ) -> Result<Vec<CoverageAnalysis>, CoverageError> {
-        suites
-            .iter()
-            .map(|(sig, props)| self.analyze(bdd, sig, props, options))
-            .collect()
+        // As in analyze_union: completed analyses must survive the later
+        // calls' automatic-reorder collection points.
+        let mut protected_log: Vec<Ref> = Vec::new();
+        let result = (|| -> Result<Vec<CoverageAnalysis>, CoverageError> {
+            let mut analyses = Vec::with_capacity(suites.len());
+            for (sig, props) in suites {
+                let a = self.analyze(bdd, sig, props, options)?;
+                for r in analysis_refs(&a) {
+                    bdd.protect(r);
+                    protected_log.push(r);
+                }
+                analyses.push(a);
+            }
+            Ok(analyses)
+        })();
+        for &r in &protected_log {
+            bdd.unprotect(r);
+        }
+        result
     }
 
     /// Lists up to `limit` uncovered states as named bit assignments.
@@ -349,6 +386,14 @@ impl<'m> CoverageEstimator<'m> {
     }
 }
 
+/// The BDD handles a finished analysis owns (covered set, coverage space,
+/// per-property covered sets).
+fn analysis_refs(a: &CoverageAnalysis) -> Vec<Ref> {
+    let mut refs = vec![a.covered, a.space];
+    refs.extend(a.properties.iter().map(|p| p.covered));
+    refs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,11 +446,7 @@ mod tests {
         let est = CoverageEstimator::new(&fsm);
         // Add a property checking q persists: AG(q -> AX q) covers state 5
         // (successor of q states); plus one checking ¬q on the prefix.
-        let props = vec![
-            f("A[p1 U q]"),
-            f("AG (q -> AX q)"),
-            f("AG (p1 -> !q)"),
-        ];
+        let props = vec![f("A[p1 U q]"), f("AG (q -> AX q)"), f("AG (p1 -> !q)")];
         let analysis = est
             .analyze(&mut bdd, "q", &props, &CoverageOptions::default())
             .expect("analyzes");
@@ -419,12 +460,7 @@ mod tests {
         let (_, fsm) = figure2(&mut bdd);
         let est = CoverageEstimator::new(&fsm);
         let analysis = est
-            .analyze(
-                &mut bdd,
-                "q",
-                &[f("AG q")],
-                &CoverageOptions::default(),
-            )
+            .analyze(&mut bdd, "q", &[f("AG q")], &CoverageOptions::default())
             .expect("analyzes");
         assert!(!analysis.all_hold());
         assert_eq!(analysis.covered_count, 0.0);
@@ -490,15 +526,56 @@ mod tests {
         }
     }
 
+    /// Regression: `analyze_union`/`analyze_signals` hold handles from
+    /// earlier `analyze` calls across later ones; with aggressive
+    /// automatic reordering those later calls gc internally, and the
+    /// accumulated handles must be protected or the union silently
+    /// merges dangling refs.
+    #[test]
+    fn union_is_stable_under_aggressive_auto_reordering() {
+        use covest_bdd::{ReorderConfig, ReorderMode};
+
+        let run = |mode: ReorderMode| -> (f64, f64) {
+            let mut bdd = Bdd::new();
+            bdd.set_reorder_config(ReorderConfig {
+                mode,
+                auto_threshold: 8, // fire at every checkpoint
+                ..Default::default()
+            });
+            let (_, fsm) = figure2(&mut bdd);
+            let est = CoverageEstimator::new(&fsm);
+            let union = est
+                .analyze_union(
+                    &mut bdd,
+                    &["q", "p1"],
+                    &[f("A[p1 U q]")],
+                    &CoverageOptions::default(),
+                )
+                .expect("analyzes");
+            let signals = est
+                .analyze_signals(
+                    &mut bdd,
+                    &[("q", vec![f("A[p1 U q]")]), ("p1", vec![f("A[p1 U q]")])],
+                    &CoverageOptions::default(),
+                )
+                .expect("analyzes");
+            let first_again = signals[0].covered_count;
+            assert!(bdd.protected().is_empty(), "protections must unwind");
+            (union.covered_count, first_again)
+        };
+
+        let (union_off, first_off) = run(ReorderMode::Off);
+        let (union_auto, first_auto) = run(ReorderMode::Auto);
+        assert_eq!(union_off.to_bits(), union_auto.to_bits());
+        assert_eq!(first_off.to_bits(), first_auto.to_bits());
+    }
+
     #[test]
     fn multi_signal_analysis() {
         let mut bdd = Bdd::new();
         let (_, fsm) = figure2(&mut bdd);
         let est = CoverageEstimator::new(&fsm);
-        let suites = vec![
-            ("q", vec![f("A[p1 U q]")]),
-            ("p1", vec![f("A[p1 U q]")]),
-        ];
+        let suites = vec![("q", vec![f("A[p1 U q]")]), ("p1", vec![f("A[p1 U q]")])];
         let results = est
             .analyze_signals(&mut bdd, &suites, &CoverageOptions::default())
             .expect("analyzes");

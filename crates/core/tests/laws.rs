@@ -88,8 +88,7 @@ fn conjunction_covered_set_is_the_union() {
         let f = random_formula(&mut rng);
         let g = random_formula(&mut rng);
         let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
-        if !cs.verify(&mut bdd, &f).expect("checks") || !cs.verify(&mut bdd, &g).expect("checks")
-        {
+        if !cs.verify(&mut bdd, &f).expect("checks") || !cs.verify(&mut bdd, &g).expect("checks") {
             continue;
         }
         let cf = cs.covered_from_init(&mut bdd, &f).expect("covers");

@@ -194,8 +194,7 @@ impl PropExpr {
             PropExpr::Const(_) => false,
             PropExpr::Atom(s) => s.name == name,
             PropExpr::Cmp { lhs, rhs, .. } => {
-                lhs.name == name
-                    || matches!(rhs, CmpRhs::Sym(s) if s.name == name)
+                lhs.name == name || matches!(rhs, CmpRhs::Sym(s) if s.name == name)
             }
             PropExpr::Not(a) => a.mentions(name),
             PropExpr::And(a, b)
@@ -365,12 +364,8 @@ impl Formula {
                 Box::new(Formula::Prop(PropExpr::Const(true))),
                 Box::new(f.normalize()),
             ),
-            Formula::Au(f, g) => {
-                Formula::Au(Box::new(f.normalize()), Box::new(g.normalize()))
-            }
-            Formula::And(f, g) => {
-                Formula::And(Box::new(f.normalize()), Box::new(g.normalize()))
-            }
+            Formula::Au(f, g) => Formula::Au(Box::new(f.normalize()), Box::new(g.normalize())),
+            Formula::And(f, g) => Formula::And(Box::new(f.normalize()), Box::new(g.normalize())),
         }
     }
 
@@ -380,9 +375,7 @@ impl Formula {
             Formula::Prop(p) => p.mentions(name),
             Formula::Implies(b, f) => b.mentions(name) || f.mentions(name),
             Formula::Ax(f) | Formula::Ag(f) | Formula::Af(f) => f.mentions(name),
-            Formula::Au(f, g) | Formula::And(f, g) => {
-                f.mentions(name) || g.mentions(name)
-            }
+            Formula::Au(f, g) | Formula::And(f, g) => f.mentions(name) || g.mentions(name),
         }
     }
 
@@ -391,7 +384,7 @@ impl Formula {
         fn go(f: &Formula, out: &mut Vec<String>) {
             let push_all = |p: &PropExpr, out: &mut Vec<String>| {
                 for s in p.signals() {
-                    if !out.iter().any(|x| *x == s) {
+                    if !out.contains(&s) {
                         out.push(s);
                     }
                 }
@@ -452,7 +445,9 @@ mod tests {
     #[test]
     fn mentions_and_signals() {
         let f = Formula::ag(Formula::implies(
-            PropExpr::atom("stall").not().and(PropExpr::cmp_int("count", CmpOp::Lt, 5)),
+            PropExpr::atom("stall")
+                .not()
+                .and(PropExpr::cmp_int("count", CmpOp::Lt, 5)),
             Formula::ax(Formula::prop(PropExpr::cmp_int("count", CmpOp::Eq, 3))),
         ));
         assert!(f.mentions("count"));

@@ -397,10 +397,9 @@ impl Parser {
                             Some(Tok::Int(i)) => CmpRhs::Int(i),
                             Some(Tok::Ident(s)) => CmpRhs::Sym(SignalRef::new(s)),
                             _ => {
-                                return Err(
-                                    self.err("expected integer or identifier after comparison"
-                                        .to_owned())
-                                )
+                                return Err(self.err(
+                                    "expected integer or identifier after comparison".to_owned(),
+                                ))
                             }
                         };
                         Ok(Ast::Cmp(name, op, rhs))
@@ -474,8 +473,7 @@ pub fn classify(ast: &Ast) -> Result<Formula, SubsetError> {
             if !a.is_propositional() {
                 return Err(SubsetError {
                     construct: "f -> g".to_owned(),
-                    reason: "implication antecedent must be propositional in the subset"
-                        .to_owned(),
+                    reason: "implication antecedent must be propositional in the subset".to_owned(),
                 });
             }
             Ok(Formula::Implies(to_prop(a)?, Box::new(classify(b)?)))
@@ -487,8 +485,7 @@ pub fn classify(ast: &Ast) -> Result<Formula, SubsetError> {
         Ast::And(a, b) => Ok(Formula::And(Box::new(classify(a)?), Box::new(classify(b)?))),
         Ast::Or(_, _) => Err(SubsetError {
             construct: "f | g".to_owned(),
-            reason: "disjunction of temporal formulas is not in the acceptable subset"
-                .to_owned(),
+            reason: "disjunction of temporal formulas is not in the acceptable subset".to_owned(),
         }),
         Ast::Not(_) => Err(SubsetError {
             construct: "!f".to_owned(),
@@ -533,10 +530,8 @@ mod tests {
 
     #[test]
     fn parses_paper_intro_formula() {
-        let f = parse_formula(
-            "AG (!stall & !reset & count = 3 & count < 5 -> AX count = 4)",
-        )
-        .expect("acceptable");
+        let f = parse_formula("AG (!stall & !reset & count = 3 & count < 5 -> AX count = 4)")
+            .expect("acceptable");
         let s = f.to_string();
         assert!(s.starts_with("AG "));
         assert!(s.contains("count < 5"));

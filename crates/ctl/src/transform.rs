@@ -44,18 +44,14 @@ pub fn observability_transform(f: &Formula, q: &str) -> Ctl {
 fn transform(f: &Formula, q: &str) -> Ctl {
     match f {
         Formula::Prop(b) => Ctl::Prop(b.prime_signal(q)),
-        Formula::Implies(b, g) => Ctl::Implies(
-            Box::new(Ctl::Prop(b.clone())),
-            Box::new(transform(g, q)),
-        ),
+        Formula::Implies(b, g) => {
+            Ctl::Implies(Box::new(Ctl::Prop(b.clone())), Box::new(transform(g, q)))
+        }
         Formula::Ax(g) => Ctl::Ax(Box::new(transform(g, q))),
         Formula::Ag(g) => Ctl::Ag(Box::new(transform(g, q))),
         Formula::Af(_) => unreachable!("normalize() removes AF"),
         Formula::Au(g, h) => {
-            let left = Ctl::Au(
-                Box::new(transform(g, q)),
-                Box::new(Ctl::from(h.as_ref())),
-            );
+            let left = Ctl::Au(Box::new(transform(g, q)), Box::new(Ctl::from(h.as_ref())));
             let guard = Ctl::And(
                 Box::new(Ctl::from(g.as_ref())),
                 Box::new(Ctl::Not(Box::new(Ctl::from(h.as_ref())))),
@@ -96,14 +92,8 @@ mod tests {
 
     #[test]
     fn until_splits_into_two_conjuncts() {
-        assert_eq!(
-            t("A[q U p]", "q"),
-            "(A[q' U p] & A[(q & !(p)) U p])"
-        );
-        assert_eq!(
-            t("A[p U q]", "q"),
-            "(A[p U q] & A[(p & !(q)) U q'])"
-        );
+        assert_eq!(t("A[q U p]", "q"), "(A[q' U p] & A[(q & !(p)) U p])");
+        assert_eq!(t("A[p U q]", "q"), "(A[p U q] & A[(p & !(q)) U q'])");
     }
 
     #[test]

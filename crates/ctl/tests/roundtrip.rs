@@ -9,13 +9,24 @@ fn arb_prop() -> impl Strategy<Value = PropExpr> {
         Just(PropExpr::Const(true)),
         Just(PropExpr::Const(false)),
         "[a-z][a-z0-9_]{0,6}".prop_map(PropExpr::atom),
-        ("[a-z][a-z0-9_]{0,6}", -8i64..8, prop_oneof![
-            Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
-            Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge),
-        ])
+        (
+            "[a-z][a-z0-9_]{0,6}",
+            -8i64..8,
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge),
+            ]
+        )
             .prop_map(|(v, c, op)| PropExpr::cmp_int(v, op, c)),
-        ("[a-z][a-z0-9_]{0,6}", "[a-z][a-z0-9_]{0,6}")
-            .prop_map(|(a, b)| PropExpr::cmp_sym(a, CmpOp::Eq, b)),
+        ("[a-z][a-z0-9_]{0,6}", "[a-z][a-z0-9_]{0,6}").prop_map(|(a, b)| PropExpr::cmp_sym(
+            a,
+            CmpOp::Eq,
+            b
+        )),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
@@ -43,11 +54,16 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
 
 /// Keywords the grammar reserves; random identifiers may collide.
 fn mentions_keyword(f: &Formula) -> bool {
-    const KEYWORDS: &[&str] = &["a", "e", "u", "ax", "ag", "af", "ex", "eg", "ef", "true", "false"];
-    f.signals()
-        .iter()
-        .any(|s| KEYWORDS.contains(&s.to_lowercase().as_str()) && s.len() <= 2
-            || matches!(s.to_uppercase().as_str(), "AX" | "AG" | "AF" | "EX" | "EG" | "EF" | "A" | "E" | "U" | "TRUE" | "FALSE"))
+    const KEYWORDS: &[&str] = &[
+        "a", "e", "u", "ax", "ag", "af", "ex", "eg", "ef", "true", "false",
+    ];
+    f.signals().iter().any(|s| {
+        KEYWORDS.contains(&s.to_lowercase().as_str()) && s.len() <= 2
+            || matches!(
+                s.to_uppercase().as_str(),
+                "AX" | "AG" | "AF" | "EX" | "EG" | "EF" | "A" | "E" | "U" | "TRUE" | "FALSE"
+            )
+    })
 }
 
 /// Folds temporal nodes whose operands are all propositional into the

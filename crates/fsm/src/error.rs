@@ -34,13 +34,22 @@ impl fmt::Display for LowerError {
         match self {
             LowerError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
             LowerError::TypeMismatch { signal, expected } => {
-                write!(f, "signal `{signal}` used where a {expected} signal is required")
+                write!(
+                    f,
+                    "signal `{signal}` used where a {expected} signal is required"
+                )
             }
             LowerError::UnknownLiteral { lhs, name } => {
-                write!(f, "`{name}` is neither a signal nor an enumeration literal of `{lhs}`")
+                write!(
+                    f,
+                    "`{name}` is neither a signal nor an enumeration literal of `{lhs}`"
+                )
             }
             LowerError::IncompatibleEncodings(a, b) => {
-                write!(f, "signals `{a}` and `{b}` have incompatible numeric encodings")
+                write!(
+                    f,
+                    "signals `{a}` and `{b}` have incompatible numeric encodings"
+                )
             }
         }
     }

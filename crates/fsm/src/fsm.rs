@@ -110,14 +110,34 @@ impl SymbolicFsm {
         self.state_bits.len()
     }
 
+    /// Every BDD handle the machine owns: initial states, the transition
+    /// relation and its parts, and all signal functions.
+    ///
+    /// Pass these as roots to [`covest_bdd::Bdd::gc`] (where they gate
+    /// validity) and to [`covest_bdd::Bdd::reduce_heap`] /
+    /// [`covest_bdd::Bdd::maybe_reduce_heap`] (where they define the size
+    /// metric sifting minimizes).
+    pub fn protected_refs(&self) -> Vec<Ref> {
+        let mut roots = vec![self.init, self.trans];
+        roots.extend(self.trans_parts.iter().copied());
+        roots.extend(self.signals.refs());
+        roots
+    }
+
     /// Current→next renaming pairs.
     pub fn cur_to_next(&self) -> Vec<(VarId, VarId)> {
-        self.state_bits.iter().map(|b| (b.current, b.next)).collect()
+        self.state_bits
+            .iter()
+            .map(|b| (b.current, b.next))
+            .collect()
     }
 
     /// Next→current renaming pairs.
     pub fn next_to_cur(&self) -> Vec<(VarId, VarId)> {
-        self.state_bits.iter().map(|b| (b.next, b.current)).collect()
+        self.state_bits
+            .iter()
+            .map(|b| (b.next, b.current))
+            .collect()
     }
 
     /// All states reachable in **exactly one step** from `set`
@@ -258,11 +278,15 @@ impl FsmBuilder {
     }
 
     /// Declares a state bit, allocating its current/next variables
-    /// (interleaved). Also registers the bit as a boolean signal.
+    /// (interleaved). Also registers the bit as a boolean signal and
+    /// declares the pair as a reorder group, so dynamic reordering keeps
+    /// current and next adjacent — the invariant the transition-relation
+    /// encoding relies on.
     pub fn add_state_bit(&mut self, bdd: &mut Bdd, name: impl Into<String>) -> StateBit {
         let name = name.into();
         let current = bdd.new_named_var(name.clone());
         let next = bdd.new_named_var(format!("{name}'"));
+        bdd.group_vars(&[current, next]);
         let bit = StateBit {
             name: name.clone(),
             current,
@@ -365,9 +389,10 @@ impl FsmBuilder {
                 }
                 None => {
                     // Allowed only if some raw constraint mentions the bit.
-                    let mentioned = self.raw_constraints.iter().any(|&c| {
-                        bdd.support(c).contains(&bit.next)
-                    });
+                    let mentioned = self
+                        .raw_constraints
+                        .iter()
+                        .any(|&c| bdd.support(c).contains(&bit.next));
                     if !mentioned {
                         return Err(BuildFsmError::MissingNext(bit.name.clone()));
                     }

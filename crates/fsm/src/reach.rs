@@ -103,7 +103,7 @@ mod tests {
         let fsm = mod6_counter(&mut bdd);
         let rings = fsm.onion_rings(&mut bdd, fsm.init());
         assert_eq!(rings.len(), 6); // distances 0..5
-        // Pairwise disjoint and union equals reachable.
+                                    // Pairwise disjoint and union equals reachable.
         let mut union = Ref::FALSE;
         for (i, &ri) in rings.iter().enumerate() {
             for &rj in rings.iter().skip(i + 1) {

@@ -63,6 +63,19 @@ pub enum SignalValue {
     Num(NumericSignal),
 }
 
+impl SignalValue {
+    /// Appends every BDD handle this value holds to `out`. The single
+    /// source of truth for root enumeration over signal values — used by
+    /// all `protected_refs` implementations, so adding a variant (or a
+    /// handle to an existing one) updates every root set at once.
+    pub fn push_refs(&self, out: &mut Vec<Ref>) {
+        match self {
+            SignalValue::Bool(r) => out.push(*r),
+            SignalValue::Num(n) => out.extend(n.bits.iter().copied()),
+        }
+    }
+}
+
 /// A table of named signals with lowering of [`PropExpr`] to BDDs.
 #[derive(Debug, Clone, Default)]
 pub struct SignalTable {
@@ -102,6 +115,16 @@ impl SignalTable {
     /// Iterates over `(name, value)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &SignalValue)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Every BDD handle stored in the table (boolean signals and all bits
+    /// of numeric signals); used to pin signals across GC/reordering.
+    pub fn refs(&self) -> Vec<Ref> {
+        let mut out = Vec::new();
+        for value in self.entries.values() {
+            value.push_refs(&mut out);
+        }
+        out
     }
 
     /// Names of all signals, sorted.
@@ -251,7 +274,11 @@ impl SignalTable {
 fn cmp_const(bdd: &mut Bdd, sig: &NumericSignal, op: CmpOp, c: i64) -> Ref {
     let raw = c - sig.offset;
     let width = sig.bits.len();
-    let max_raw: i64 = if width >= 63 { i64::MAX } else { (1 << width) - 1 };
+    let max_raw: i64 = if width >= 63 {
+        i64::MAX
+    } else {
+        (1 << width) - 1
+    };
     // Handle out-of-range constants by the mathematical truth value.
     if raw < 0 {
         return match op {
@@ -310,8 +337,7 @@ fn lt_const(bdd: &mut Bdd, bits: &[Ref], c: u64) -> Ref {
     }
     // MSB-first ripple: lt = (bit < c_i) | (bit == c_i) & lt_rest
     let mut lt = Ref::FALSE;
-    for i in 0..bits.len() {
-        let bit = bits[i];
+    for (i, &bit) in bits.iter().enumerate() {
         let ci = (c >> i) & 1 == 1;
         if ci {
             // bit < 1 when bit = 0; otherwise equal here, defer to rest
@@ -330,9 +356,7 @@ fn lt_const(bdd: &mut Bdd, bits: &[Ref], c: u64) -> Ref {
 /// `value(a) op value(b)` bitwise (widths may differ; shorter padded).
 fn cmp_vars(bdd: &mut Bdd, a: &[Ref], op: CmpOp, b: &[Ref]) -> Ref {
     let width = a.len().max(b.len());
-    let bit = |bits: &[Ref], i: usize| -> Ref {
-        bits.get(i).copied().unwrap_or(Ref::FALSE)
-    };
+    let bit = |bits: &[Ref], i: usize| -> Ref { bits.get(i).copied().unwrap_or(Ref::FALSE) };
     match op {
         CmpOp::Eq | CmpOp::Ne => {
             let mut acc = Ref::TRUE;

@@ -74,7 +74,10 @@ impl Stg {
     ///
     /// Panics if either endpoint is not a state.
     pub fn add_edge(&mut self, from: usize, to: usize) {
-        assert!(from < self.num_states && to < self.num_states, "unknown state");
+        assert!(
+            from < self.num_states && to < self.num_states,
+            "unknown state"
+        );
         self.edges.push((from, to));
     }
 

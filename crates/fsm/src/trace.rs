@@ -176,11 +176,14 @@ fn cube_of(bdd: &mut Bdd, literals: &[(VarId, bool)]) -> Ref {
     cube
 }
 
+/// A partial assignment as `(variable, value)` pairs.
+type Assignment = Vec<(VarId, bool)>;
+
 fn split_choice(
     choice: &[(VarId, bool)],
     cur_vars: &[VarId],
     in_vars: &[VarId],
-) -> (Vec<(VarId, bool)>, Vec<(VarId, bool)>) {
+) -> (Assignment, Assignment) {
     let lookup: HashMap<VarId, bool> = choice.iter().copied().collect();
     let st = cur_vars
         .iter()
@@ -235,11 +238,7 @@ mod tests {
         b.build(bdd).expect("valid machine")
     }
 
-    fn simulate(
-        fsm: &SymbolicFsm,
-        bdd: &mut Bdd,
-        trace: &Trace,
-    ) -> bool {
+    fn simulate(fsm: &SymbolicFsm, bdd: &mut Bdd, trace: &Trace) -> bool {
         // Check every consecutive pair is a real transition.
         for w in trace.steps.windows(2) {
             let (a, b) = (&w[0], &w[1]);

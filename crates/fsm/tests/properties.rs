@@ -179,11 +179,8 @@ fn onion_rings_give_shortest_distances() {
         let fsm = stg.compile(&mut bdd).expect("compiles");
         let rings = fsm.onion_rings(&mut bdd, fsm.init());
         // Explicit BFS distances.
-        let mut dist: std::collections::HashMap<usize, usize> = stg
-            .initial_states()
-            .iter()
-            .map(|&s| (s, 0usize))
-            .collect();
+        let mut dist: std::collections::HashMap<usize, usize> =
+            stg.initial_states().iter().map(|&s| (s, 0usize)).collect();
         let mut frontier: Vec<usize> = stg.initial_states().to_vec();
         let mut d = 0usize;
         while !frontier.is_empty() {

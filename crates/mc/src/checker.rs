@@ -39,6 +39,22 @@ impl<'m> ModelChecker<'m> {
         self.fsm
     }
 
+    /// Every BDD handle the checker holds: the machine's refs plus
+    /// fairness sets, override interpretations, the fair-state cache, and
+    /// all memoized satisfaction sets. Pass these as roots to
+    /// `Bdd::gc` / `Bdd::reduce_heap` to keep the checker usable across
+    /// collection or reordering.
+    pub fn protected_refs(&self) -> Vec<Ref> {
+        let mut roots = self.fsm.protected_refs();
+        roots.extend(self.fairness.iter().copied());
+        for (_, value) in &self.overrides {
+            value.push_refs(&mut roots);
+        }
+        roots.extend(self.cache.values().copied());
+        roots.extend(self.fair_states);
+        roots
+    }
+
     /// Adds a fairness constraint: paths must satisfy `constraint`
     /// infinitely often (Section 4.3 of the paper). Invalidate-on-add:
     /// cached results are dropped.

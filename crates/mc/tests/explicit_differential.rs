@@ -254,7 +254,8 @@ fn symbolic_sat_sets_match_explicit_evaluation() {
         // formulas like AG TRUE; restrict both sides to real states.
         got.retain(|&s| s < stg.num_states());
         assert_eq!(
-            got, expect,
+            got,
+            expect,
             "case {case}: formula `{text}` on a {}-state graph",
             stg.num_states()
         );

@@ -473,15 +473,13 @@ pub fn compile_module(bdd: &mut Bdd, module: &Module) -> Result<CompiledModel, M
                 builder.add_signal(d.name.clone(), f);
             }
             VarType::Range(lo, _) => {
-                let bit_fns: Vec<Ref> =
-                    info.bits.iter().map(|b| b.current(bdd)).collect();
+                let bit_fns: Vec<Ref> = info.bits.iter().map(|b| b.current(bdd)).collect();
                 let mut sig = NumericSignal::unsigned(bit_fns);
                 sig.offset = *lo;
                 builder.add_numeric_signal(d.name.clone(), sig);
             }
             VarType::Enum(lits) => {
-                let bit_fns: Vec<Ref> =
-                    info.bits.iter().map(|b| b.current(bdd)).collect();
+                let bit_fns: Vec<Ref> = info.bits.iter().map(|b| b.current(bdd)).collect();
                 let mut sig = NumericSignal::unsigned(bit_fns);
                 for (i, l) in lits.iter().enumerate() {
                     sig.literals.insert(l.clone(), i as i64);
@@ -596,6 +594,14 @@ pub fn compile_module(bdd: &mut Bdd, module: &Module) -> Result<CompiledModel, M
             )));
         }
     }
+
+    // Model elaboration can balloon the table on a bad declaration order;
+    // give auto-reordering a safe point before the model is handed out.
+    // The checkpoint collects against this model's refs plus anything the
+    // caller registered with `Bdd::protect` — callers holding other
+    // handles on a shared manager (e.g. a previously compiled model) must
+    // protect them when compiling in auto-reorder mode.
+    bdd.maybe_reduce_heap(&fsm.protected_refs());
 
     Ok(CompiledModel {
         fsm,

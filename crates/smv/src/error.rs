@@ -37,7 +37,11 @@ impl fmt::Display for ModelError {
         if self.line == 0 {
             write!(f, "model error: {}", self.message)
         } else {
-            write!(f, "model error at {}:{}: {}", self.line, self.column, self.message)
+            write!(
+                f,
+                "model error at {}:{}: {}",
+                self.line, self.column, self.message
+            )
         }
     }
 }

@@ -201,11 +201,7 @@ fn error_cases() {
     .unwrap_err();
     assert!(e.message.contains("cyclic"), "{e}");
     // Bad SPEC (outside subset).
-    let e = compile(
-        &mut bdd,
-        "VAR b : boolean; ASSIGN next(b) := b; SPEC EF b;",
-    )
-    .unwrap_err();
+    let e = compile(&mut bdd, "VAR b : boolean; ASSIGN next(b) := b; SPEC EF b;").unwrap_err();
     assert!(e.message.contains("SPEC"), "{e}");
     // Temporal FAIRNESS.
     let e = compile(
@@ -253,4 +249,34 @@ DEFINE same := rp = wp;
     assert!(check(deck, "rp = wp"));
     assert!(check(deck, "AG (same & adv -> AX !same)"));
     assert!(!check(deck, "AG same"));
+}
+
+#[test]
+fn auto_reorder_during_compile_respects_protected_models() {
+    // Compile's auto-reorder checkpoint collects against the new model's
+    // refs plus the manager's protected registry. A caller keeping an
+    // earlier model alive on a shared manager pins it with `protect`.
+    use covest_bdd::{ReorderConfig, ReorderMode};
+
+    let deck =
+        "VAR c : 0..5;\nASSIGN init(c) := 0;\nnext(c) := case c < 5 : c + 1; TRUE : 0; esac;";
+    let mut bdd = Bdd::new();
+    bdd.set_reorder_config(ReorderConfig {
+        mode: ReorderMode::Auto,
+        auto_threshold: 8, // fire inside every compile
+        ..Default::default()
+    });
+    let a = compile(&mut bdd, deck).expect("first model compiles");
+    let reach_before = a.fsm.reachable_count(&mut bdd);
+    for r in a.fsm.protected_refs() {
+        bdd.protect(r);
+    }
+    let b = compile(&mut bdd, deck).expect("second model compiles");
+    for r in a.fsm.protected_refs() {
+        bdd.unprotect(r);
+    }
+    // Model `a`'s handles still denote the same machine.
+    assert!(a.fsm.is_total(&mut bdd));
+    assert_eq!(a.fsm.reachable_count(&mut bdd), reach_before);
+    assert_eq!(b.fsm.reachable_count(&mut bdd), reach_before);
 }

@@ -192,11 +192,7 @@ fn check_deck(src: &str) {
             let idx = bit_index[name.as_str()];
             i = bdd.restrict(i, fsm.state_bits()[idx].current, *val);
         }
-        assert_eq!(
-            !i.is_false(),
-            expected_init,
-            "init mismatch: env={env:?}"
-        );
+        assert_eq!(!i.is_false(), expected_init, "init mismatch: env={env:?}");
     }
 }
 

@@ -59,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Step 3: write the missing property; it FAILS on the design.
     let missing = priority_buffer::lo_missing_case();
-    let catching = estimator.analyze(&mut bdd, "lo_cnt", &[missing.clone()], &options)?;
+    let catching =
+        estimator.analyze(&mut bdd, "lo_cnt", std::slice::from_ref(&missing), &options)?;
     println!(
         "missing-case property `{}…`: holds = {}",
         &missing.to_string()[..60.min(missing.to_string().len())],

@@ -41,12 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Verify and estimate coverage of `count` in one call.
     let estimator = CoverageEstimator::new(&model.fsm);
-    let analysis = estimator.analyze(
-        &mut bdd,
-        "count",
-        &properties,
-        &CoverageOptions::default(),
-    )?;
+    let analysis =
+        estimator.analyze(&mut bdd, "count", &properties, &CoverageOptions::default())?;
 
     println!("properties verified: {}", analysis.all_hold());
     println!(

@@ -24,9 +24,7 @@ fn bug_discovery_end_to_end() {
     let missing = priority_buffer::lo_missing_case();
     let verdict = mc.check(&mut bdd, &missing.into()).expect("checks");
     match verdict {
-        Verdict::Fails {
-            counterexample, ..
-        } => {
+        Verdict::Fails { counterexample, .. } => {
             let trace = counterexample.expect("AG failure produces a trace");
             // The trace ends in a state where low entries were dropped.
             assert!(!trace.steps.is_empty());

@@ -66,9 +66,7 @@ fn transformed_formula_is_validity_equivalent() {
         let transformed = observability_transform(&formula, "q");
         let mut mc = ModelChecker::new(&fsm);
         // With q' defaulting to q, both must agree on validity.
-        let original = mc
-            .holds(&mut bdd, &formula.clone().into())
-            .expect("checks");
+        let original = mc.holds(&mut bdd, &formula.clone().into()).expect("checks");
         let via_transform = mc.holds(&mut bdd, &transformed).expect("checks");
         assert_eq!(
             original, via_transform,
