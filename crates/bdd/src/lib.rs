@@ -53,4 +53,5 @@ mod subst;
 pub use count::{Cubes, Minterms};
 pub use manager::Bdd;
 pub use node::{Ref, VarId};
+pub use quant::QuantSchedule;
 pub use reorder::{ReorderConfig, ReorderMode, ReorderStats};

@@ -1,25 +1,51 @@
 //! Substrate ablation: BDD-engine design choices called out in
-//! DESIGN.md. The fused relational product (`and_exists`) versus the
-//! two-step conjoin-then-quantify pipeline, and image computation on a
-//! real transition relation.
+//! DESIGN.md. Partitioned (clustered + early quantification) versus
+//! monolithic image computation, the fused relational product
+//! (`and_exists`) versus the two-step conjoin-then-quantify pipeline,
+//! and full reachability under both image methods.
 //! Run `cargo bench -p covest-bench --bench bdd_ops`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use covest_bdd::{Bdd, Ref, VarId};
+use covest_bdd::Bdd;
 use covest_circuits::circular_queue;
+use covest_fsm::{ImageConfig, ImageMethod, SymbolicFsm};
 
-/// Builds the queue model once per iteration and returns the pieces an
-/// image computation needs.
-fn queue_parts(depth: i64) -> (Bdd, Ref, Ref, Vec<VarId>, Vec<(VarId, VarId)>) {
+/// Builds the queue model configured for the given image method — via
+/// `compile_with`, so each arm pays only its own engine construction
+/// (the monolithic arm does no clustering work).
+fn queue_fsm(depth: i64, method: ImageMethod) -> (Bdd, SymbolicFsm) {
     let mut bdd = Bdd::new();
-    let model = circular_queue::build(&mut bdd, depth).expect("compiles");
-    let trans = model.fsm.trans();
-    let init = model.fsm.init();
-    let mut quantified = model.fsm.current_vars();
-    quantified.extend(model.fsm.input_vars());
-    let renames = model.fsm.next_to_cur();
-    (bdd, trans, init, quantified, renames)
+    let model = covest_smv::compile_with(
+        &mut bdd,
+        &circular_queue::deck(depth),
+        ImageConfig {
+            method,
+            ..Default::default()
+        },
+    )
+    .expect("compiles");
+    (bdd, model.fsm)
+}
+
+fn bench_image_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd/image");
+    for depth in [4i64, 16] {
+        for method in [ImageMethod::Monolithic, ImageMethod::Partitioned] {
+            group.bench_with_input(
+                BenchmarkId::new(method.to_string(), depth),
+                &depth,
+                |b, &depth| {
+                    b.iter(|| {
+                        let (mut bdd, fsm) = queue_fsm(depth, method);
+                        let img = fsm.image(&mut bdd, fsm.init());
+                        std::hint::black_box(fsm.preimage(&mut bdd, img))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
 }
 
 fn bench_relational_product(c: &mut Criterion) {
@@ -27,17 +53,23 @@ fn bench_relational_product(c: &mut Criterion) {
     for depth in [4i64, 16] {
         group.bench_with_input(BenchmarkId::new("fused", depth), &depth, |b, &depth| {
             b.iter(|| {
-                let (mut bdd, trans, init, quantified, renames) = queue_parts(depth);
-                let img = bdd.and_exists(trans, init, &quantified);
-                std::hint::black_box(bdd.rename(img, &renames))
+                let (mut bdd, fsm) = queue_fsm(depth, ImageMethod::Monolithic);
+                let trans = fsm.trans(&mut bdd);
+                let mut quantified = fsm.current_vars();
+                quantified.extend(fsm.input_vars());
+                let img = bdd.and_exists(trans, fsm.init(), &quantified);
+                std::hint::black_box(bdd.rename(img, &fsm.next_to_cur()))
             })
         });
         group.bench_with_input(BenchmarkId::new("two_step", depth), &depth, |b, &depth| {
             b.iter(|| {
-                let (mut bdd, trans, init, quantified, renames) = queue_parts(depth);
-                let conj = bdd.and(trans, init);
+                let (mut bdd, fsm) = queue_fsm(depth, ImageMethod::Monolithic);
+                let trans = fsm.trans(&mut bdd);
+                let mut quantified = fsm.current_vars();
+                quantified.extend(fsm.input_vars());
+                let conj = bdd.and(trans, fsm.init());
                 let img = bdd.exists(conj, &quantified);
-                std::hint::black_box(bdd.rename(img, &renames))
+                std::hint::black_box(bdd.rename(img, &fsm.next_to_cur()))
             })
         });
     }
@@ -47,13 +79,18 @@ fn bench_relational_product(c: &mut Criterion) {
 fn bench_reachability(c: &mut Criterion) {
     let mut group = c.benchmark_group("bdd/reachability");
     for depth in [4i64, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
-            b.iter(|| {
-                let mut bdd = Bdd::new();
-                let model = circular_queue::build(&mut bdd, depth).expect("compiles");
-                std::hint::black_box(model.fsm.reachable(&mut bdd))
-            })
-        });
+        for method in [ImageMethod::Monolithic, ImageMethod::Partitioned] {
+            group.bench_with_input(
+                BenchmarkId::new(method.to_string(), depth),
+                &depth,
+                |b, &depth| {
+                    b.iter(|| {
+                        let (mut bdd, fsm) = queue_fsm(depth, method);
+                        std::hint::black_box(fsm.reachable(&mut bdd))
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -77,7 +114,8 @@ fn bench_sat_count(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_relational_product,
+    targets = bench_image_methods,
+    bench_relational_product,
     bench_reachability,
     bench_sat_count
 }

@@ -1,0 +1,192 @@
+//! Cross-method parity: `image`, `preimage` and `preimage_univ` must be
+//! **bit-identical** between [`ImageMethod::Monolithic`] and
+//! [`ImageMethod::Partitioned`] on every bundled circuit and every
+//! `models/*.smv` deck — on a shared manager (where BDD canonicity makes
+//! semantic equality literal `Ref` equality) and end-to-end through
+//! coverage analysis under `--reorder auto`.
+
+use covest_bdd::{Bdd, Ref, ReorderConfig, ReorderMode};
+use covest_bench::table2_workloads;
+use covest_core::{CoverageEstimator, CoverageOptions};
+use covest_fsm::{ImageConfig, ImageMethod, SymbolicFsm};
+use covest_smv::CompiledModel;
+
+/// Every bundled circuit, by Table-2 workload (deduplicated by circuit).
+fn circuit_models(bdd: &mut Bdd) -> Vec<(String, CompiledModel)> {
+    let mut out: Vec<(String, CompiledModel)> = Vec::new();
+    for w in table2_workloads() {
+        if out.iter().any(|(name, _)| name == w.circuit) {
+            continue;
+        }
+        out.push((w.circuit.to_owned(), (w.build)(bdd)));
+    }
+    out
+}
+
+/// Every deck under `models/`.
+fn deck_sources() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../models");
+    let mut decks: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("models directory")
+        .filter_map(|e| {
+            let path = e.expect("dir entry").path();
+            if path.extension().is_some_and(|x| x == "smv") {
+                let name = path.file_name().unwrap().to_string_lossy().into_owned();
+                let src = std::fs::read_to_string(&path).expect("readable deck");
+                Some((name, src))
+            } else {
+                None
+            }
+        })
+        .collect();
+    decks.sort();
+    assert!(!decks.is_empty(), "no decks found under {}", dir.display());
+    decks
+}
+
+/// Asserts the three image operations agree between the machine's
+/// partitioned engine and a monolithic twin, over a ladder of state sets
+/// grown from the initial states.
+fn assert_image_parity(bdd: &mut Bdd, name: &str, fsm: &SymbolicFsm) {
+    assert_eq!(
+        fsm.image_config().method,
+        ImageMethod::Partitioned,
+        "{name}: partitioned must be the default"
+    );
+    let mut mono = fsm.clone();
+    mono.set_image_config(bdd, ImageConfig::monolithic());
+
+    // State sets: the BFS onion rings, their running union, and the
+    // complement of the reachable set (exercises sets far from `init`).
+    let mut sets = vec![fsm.init(), Ref::TRUE, Ref::FALSE];
+    let rings = fsm.onion_rings(bdd, fsm.init());
+    let mut union = Ref::FALSE;
+    for &r in &rings {
+        union = bdd.or(union, r);
+        sets.push(r);
+        sets.push(union);
+    }
+    sets.push(bdd.not(union));
+
+    for (i, &s) in sets.iter().enumerate() {
+        let img_p = fsm.image(bdd, s);
+        let img_m = mono.image(bdd, s);
+        assert_eq!(img_p, img_m, "{name}: image diverges on set {i}");
+        let pre_p = fsm.preimage(bdd, s);
+        let pre_m = mono.preimage(bdd, s);
+        assert_eq!(pre_p, pre_m, "{name}: preimage diverges on set {i}");
+        let unv_p = fsm.preimage_univ(bdd, s);
+        let unv_m = mono.preimage_univ(bdd, s);
+        assert_eq!(unv_p, unv_m, "{name}: preimage_univ diverges on set {i}");
+    }
+}
+
+#[test]
+fn circuits_image_ops_bit_identical() {
+    let mut bdd = Bdd::new();
+    for (name, model) in circuit_models(&mut bdd) {
+        assert_image_parity(&mut bdd, &name, &model.fsm);
+    }
+}
+
+#[test]
+fn decks_image_ops_bit_identical() {
+    for (name, src) in deck_sources() {
+        let mut bdd = Bdd::new();
+        let model = covest_smv::compile(&mut bdd, &src).expect("deck compiles");
+        assert_image_parity(&mut bdd, &name, &model.fsm);
+    }
+}
+
+/// Runs a full coverage analysis of `deck` with the given image method
+/// under aggressive automatic reordering, returning the per-signal
+/// coverage percentages.
+fn analyze_deck(src: &str, method: ImageMethod, reorder: ReorderMode) -> Vec<(String, f64)> {
+    let mut bdd = Bdd::new();
+    bdd.set_reorder_config(ReorderConfig {
+        mode: reorder,
+        auto_threshold: 256, // fire at essentially every checkpoint
+        ..Default::default()
+    });
+    let model = covest_smv::compile_with(
+        &mut bdd,
+        src,
+        ImageConfig {
+            method,
+            ..Default::default()
+        },
+    )
+    .expect("deck compiles");
+    let estimator = CoverageEstimator::new(&model.fsm);
+    let options = CoverageOptions {
+        fairness: model.fairness.clone(),
+        ..Default::default()
+    };
+    model
+        .observed
+        .iter()
+        .map(|sig| {
+            let a = estimator
+                .analyze(&mut bdd, sig, &model.specs, &options)
+                .expect("analyzes");
+            (sig.clone(), a.percent())
+        })
+        .collect()
+}
+
+#[test]
+fn decks_coverage_bit_identical_under_auto_reorder() {
+    for (name, src) in deck_sources() {
+        for reorder in [ReorderMode::Off, ReorderMode::Auto] {
+            let mono = analyze_deck(&src, ImageMethod::Monolithic, reorder);
+            let part = analyze_deck(&src, ImageMethod::Partitioned, reorder);
+            assert_eq!(mono.len(), part.len(), "{name}: signal sets differ");
+            for ((sig_m, pct_m), (sig_p, pct_p)) in mono.iter().zip(&part) {
+                assert_eq!(sig_m, sig_p);
+                assert_eq!(
+                    pct_m.to_bits(),
+                    pct_p.to_bits(),
+                    "{name}/{sig_m} ({reorder:?}): coverage diverges \
+                     (mono {pct_m} vs part {pct_p})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workloads_coverage_bit_identical_under_auto_reorder() {
+    for w in table2_workloads() {
+        let run = |method: ImageMethod| -> f64 {
+            let mut bdd = Bdd::new();
+            bdd.set_reorder_config(ReorderConfig {
+                mode: ReorderMode::Auto,
+                auto_threshold: 256,
+                ..Default::default()
+            });
+            let model = (w.build)(&mut bdd);
+            let mut fsm = model.fsm;
+            fsm.set_image_config(
+                &mut bdd,
+                ImageConfig {
+                    method,
+                    ..Default::default()
+                },
+            );
+            let estimator = CoverageEstimator::new(&fsm);
+            estimator
+                .analyze(&mut bdd, w.signal, &w.properties, &w.options)
+                .expect("workload analyzes")
+                .percent()
+        };
+        let mono = run(ImageMethod::Monolithic);
+        let part = run(ImageMethod::Partitioned);
+        assert_eq!(
+            mono.to_bits(),
+            part.to_bits(),
+            "{}/{}: coverage diverges under auto reorder (mono {mono} vs part {part})",
+            w.circuit,
+            w.signal
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! ```text
 //! covest check MODEL.smv [--coverage] [--observed SIGNAL]...
 //!                        [--traces N] [--strict] [--dot FILE]
-//!                        [--reorder off|sift|auto]
+//!                        [--reorder off|sift|auto] [--image mono|part]
 //! ```
 //!
 //! - verifies every `SPEC` under the deck's `FAIRNESS` constraints;
@@ -18,13 +18,18 @@
 //!   `sift` runs one sifting pass right after the model compiles, and
 //!   `auto` instead re-sifts automatically whenever the node count
 //!   crosses the growth threshold during compilation, verification and
-//!   coverage estimation.
+//!   coverage estimation;
+//! - `--image` selects how images/preimages are computed: `part`
+//!   (default) sweeps the clustered transition relation with early
+//!   quantification and never builds the monolithic relation, `mono`
+//!   conjoins the full relation and uses the two-operand product.
 
 use std::process::ExitCode;
 
 use covest_bdd::{Bdd, ReorderConfig, ReorderMode};
 use covest_core::{CoverageEstimator, CoverageOptions, CoverageTable, ReportRow};
 use covest_mc::{ModelChecker, Verdict};
+use covest_smv::{ImageConfig, ImageMethod};
 
 struct Args {
     model_path: String,
@@ -34,16 +39,21 @@ struct Args {
     strict: bool,
     dot: Option<String>,
     reorder: ReorderMode,
+    image: ImageMethod,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: covest check MODEL.smv [--coverage] [--observed SIGNAL]... \
-         [--traces N] [--strict] [--dot FILE] [--reorder off|sift|auto]\n\
+         [--traces N] [--strict] [--dot FILE] [--reorder off|sift|auto] \
+         [--image mono|part]\n\
          \n\
          --reorder off   keep the declaration variable order\n\
          --reorder sift  sift once after compiling the model (default)\n\
-         --reorder auto  re-sift whenever the BDD grows past the threshold"
+         --reorder auto  re-sift whenever the BDD grows past the threshold\n\
+         --image part    clustered transition relation with early\n\
+         \u{20}               quantification; the monolith is never built (default)\n\
+         --image mono    monolithic transition relation"
     );
     std::process::exit(2);
 }
@@ -62,6 +72,7 @@ fn parse_args() -> Args {
         strict: false,
         dot: None,
         reorder: ReorderMode::Sift,
+        image: ImageMethod::Partitioned,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -70,6 +81,16 @@ fn parse_args() -> Args {
             "--reorder" => match argv.next() {
                 Some(m) => match m.parse() {
                     Ok(mode) => args.reorder = mode,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        usage()
+                    }
+                },
+                None => usage(),
+            },
+            "--image" => match argv.next() {
+                Some(m) => match m.parse() {
+                    Ok(method) => args.image = method,
                     Err(e) => {
                         eprintln!("error: {e}");
                         usage()
@@ -125,13 +146,27 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
         mode: args.reorder,
         ..Default::default()
     });
-    let model = covest_smv::compile(&mut bdd, &src)?;
+    let image = ImageConfig {
+        method: args.image,
+        ..Default::default()
+    };
+    let model = covest_smv::compile_with(&mut bdd, &src, image)?;
+    // In mono mode nothing was clustered — the engine holds the raw
+    // parts and the fixpoints run on the lazy monolith.
+    let partition = match args.image {
+        ImageMethod::Partitioned => {
+            format!("{} clusters", model.fsm.image_engine().clusters().len())
+        }
+        ImageMethod::Monolithic => format!("{} parts", model.fsm.trans_parts().len()),
+    };
     println!(
-        "model `{}`: {} state bits, {} properties, {} fairness constraints",
+        "model `{}`: {} state bits, {} properties, {} fairness constraints, \
+         image method `{}` ({partition})",
         args.model_path,
         model.fsm.num_state_bits(),
         model.specs.len(),
-        model.fairness.len()
+        model.fairness.len(),
+        args.image,
     );
     // In auto mode the manager already sifts at its own checkpoints
     // (including one at the end of compile), so the explicit startup pass

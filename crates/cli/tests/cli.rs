@@ -80,6 +80,44 @@ fn pipeline_deck_uses_embedded_fairness() {
 }
 
 #[test]
+fn image_methods_agree_on_coverage() {
+    let run = |method: &str| -> String {
+        let out = covest()
+            .arg("check")
+            .arg(repo_root().join("models/counter.smv"))
+            .arg("--coverage")
+            .arg("--image")
+            .arg(method)
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "--image {method} run fails");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let mono = run("mono");
+    let part = run("part");
+    assert!(mono.contains("image method `mono`"), "{mono}");
+    assert!(part.contains("image method `part`"), "{part}");
+    for stdout in [&mono, &part] {
+        assert_eq!(stdout.matches("[PASS]").count(), 5, "{stdout}");
+        assert!(stdout.contains("83.33"), "{stdout}");
+    }
+}
+
+#[test]
+fn bad_image_method_is_rejected() {
+    let out = covest()
+        .arg("check")
+        .arg(repo_root().join("models/counter.smv"))
+        .arg("--image")
+        .arg("hybrid")
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown image method"), "{stderr}");
+}
+
+#[test]
 fn usage_on_bad_arguments() {
     let out = covest().arg("frobnicate").output().expect("runs");
     assert!(!out.status.success());

@@ -148,6 +148,14 @@ impl<'m> CoverageEstimator<'m> {
 
     /// Runs the full analysis for `observed` over a property suite.
     ///
+    /// Every reachability and CTL fixpoint underneath runs on the
+    /// machine's image engine, so the default partitioned method (and
+    /// any [`covest_fsm::ImageConfig`] installed with
+    /// [`covest_fsm::SymbolicFsm::set_image_config`]) applies to the
+    /// whole analysis; the transition-relation clusters are part of the
+    /// machine's protected refs and survive every GC/reorder checkpoint
+    /// below.
+    ///
     /// With [`covest_bdd::ReorderMode::Auto`] configured on the manager,
     /// this method sifts at its phase boundaries, collecting everything
     /// not reachable from this machine and its checker state. Handles the

@@ -10,6 +10,7 @@
 use covest_bdd::{Bdd, Ref, VarId};
 
 use crate::error::BuildFsmError;
+use crate::image::{ImageConfig, ImageEngine};
 use crate::signal::{SignalTable, SignalValue};
 
 /// A state bit with its current- and next-state BDD variables.
@@ -43,7 +44,7 @@ pub struct SymbolicFsm {
     pub(crate) input_bits: Vec<InputBit>,
     pub(crate) init: Ref,
     pub(crate) trans_parts: Vec<Ref>,
-    pub(crate) trans: Ref,
+    pub(crate) engine: ImageEngine,
     pub(crate) signals: SignalTable,
 }
 
@@ -83,14 +84,45 @@ impl SymbolicFsm {
         self.init
     }
 
-    /// The monolithic transition relation over (current, input, next).
-    pub fn trans(&self) -> Ref {
-        self.trans
+    /// The monolithic transition relation over (current, input, next),
+    /// conjoined lazily on first request and cached. The fixpoint
+    /// machinery never calls this in partitioned mode — only explicit
+    /// monolith consumers (e.g. differential tests, `--image mono`) pay
+    /// for it.
+    pub fn trans(&self, bdd: &mut Bdd) -> Ref {
+        self.engine.monolithic_trans(bdd)
     }
 
-    /// The conjunctive partition of the transition relation.
+    /// The conjunctive partition of the transition relation, one part per
+    /// state bit plus any raw constraints, as emitted by the builder.
     pub fn trans_parts(&self) -> &[Ref] {
         &self.trans_parts
+    }
+
+    /// The image engine computing every image/preimage for this machine.
+    pub fn image_engine(&self) -> &ImageEngine {
+        &self.engine
+    }
+
+    /// The image configuration in use.
+    pub fn image_config(&self) -> ImageConfig {
+        self.engine.config()
+    }
+
+    /// Rebuilds the image engine with a new configuration (method and/or
+    /// cluster threshold). Reclustering happens immediately; the
+    /// monolithic relation stays lazy. Any cached monolith is dropped —
+    /// the parts may have changed since it was conjoined, so it is
+    /// recomputed on next demand rather than risked stale.
+    pub fn set_image_config(&mut self, bdd: &mut Bdd, config: ImageConfig) {
+        self.engine = ImageEngine::build(
+            bdd,
+            &self.trans_parts,
+            &self.current_vars(),
+            &self.input_vars(),
+            &self.next_vars(),
+            config,
+        );
     }
 
     /// The machine's signal table (the paper's signal set `P`).
@@ -111,15 +143,17 @@ impl SymbolicFsm {
     }
 
     /// Every BDD handle the machine owns: initial states, the transition
-    /// relation and its parts, and all signal functions.
+    /// parts, the image engine's clusters (plus the cached monolith, if
+    /// one was ever requested), and all signal functions.
     ///
     /// Pass these as roots to [`covest_bdd::Bdd::gc`] (where they gate
     /// validity) and to [`covest_bdd::Bdd::reduce_heap`] /
     /// [`covest_bdd::Bdd::maybe_reduce_heap`] (where they define the size
     /// metric sifting minimizes).
     pub fn protected_refs(&self) -> Vec<Ref> {
-        let mut roots = vec![self.init, self.trans];
+        let mut roots = vec![self.init];
         roots.extend(self.trans_parts.iter().copied());
+        self.engine.push_refs(&mut roots);
         roots.extend(self.signals.refs());
         roots
     }
@@ -143,9 +177,7 @@ impl SymbolicFsm {
     /// All states reachable in **exactly one step** from `set`
     /// (the paper's `forward(S0)`), as a BDD over current variables.
     pub fn image(&self, bdd: &mut Bdd, set: Ref) -> Ref {
-        let mut quantified = self.current_vars();
-        quantified.extend(self.input_vars());
-        let img_next = bdd.and_exists(self.trans, set, &quantified);
+        let img_next = self.engine.forward(bdd, set);
         bdd.rename(img_next, &self.next_to_cur())
     }
 
@@ -153,9 +185,7 @@ impl SymbolicFsm {
     /// (existential preimage, the `EX` operation).
     pub fn preimage(&self, bdd: &mut Bdd, set: Ref) -> Ref {
         let set_next = bdd.rename(set, &self.cur_to_next());
-        let mut quantified = self.next_vars();
-        quantified.extend(self.input_vars());
-        bdd.and_exists(self.trans, set_next, &quantified)
+        self.engine.backward(bdd, set_next)
     }
 
     /// All states whose **every** successor (under every input) lies in
@@ -170,7 +200,9 @@ impl SymbolicFsm {
     /// combination has at least one successor. CTL semantics (and the
     /// paper's path-based definitions) assume totality.
     pub fn is_total(&self, bdd: &mut Bdd) -> bool {
-        let some_succ = bdd.exists(self.trans, &self.next_vars());
+        // ∃next. T, without building T: sweep the clusters eliminating
+        // next variables early, keeping current and input variables free.
+        let some_succ = self.engine.backward_with_inputs(bdd, Ref::TRUE);
         some_succ.is_true()
     }
 
@@ -178,11 +210,21 @@ impl SymbolicFsm {
     /// (current, input) variables, e.g. to model an environment assumption.
     /// Returns a machine whose transition relation is `T ∧ c`.
     ///
+    /// The constraint joins the conjunctive partition and the image
+    /// engine (clusters and quantification schedules) is rebuilt, so the
+    /// constrained machine's partitioned and monolithic paths stay
+    /// consistent.
+    ///
     /// Note: the result may not be total; check [`SymbolicFsm::is_total`].
     pub fn constrain(&self, bdd: &mut Bdd, constraint: Ref) -> SymbolicFsm {
         let mut out = self.clone();
-        out.trans = bdd.and(self.trans, constraint);
         out.trans_parts.push(constraint);
+        out.set_image_config(bdd, self.engine.config());
+        // An already-built monolith extends by one conjunction instead of
+        // being re-conjoined from scratch on next demand.
+        if let Some(t) = self.engine.cached_mono() {
+            out.engine.seed_mono(bdd.and(t, constraint));
+        }
         out
     }
 
@@ -260,6 +302,7 @@ pub struct FsmBuilder {
     frees: Vec<bool>,
     raw_constraints: Vec<Ref>,
     signals: SignalTable,
+    image_config: ImageConfig,
 }
 
 impl FsmBuilder {
@@ -274,7 +317,20 @@ impl FsmBuilder {
             frees: Vec::new(),
             raw_constraints: Vec::new(),
             signals: SignalTable::new(),
+            image_config: ImageConfig::default(),
         }
+    }
+
+    /// Selects the image configuration for the built machine (default:
+    /// partitioned).
+    pub fn with_image_config(mut self, config: ImageConfig) -> Self {
+        self.image_config = config;
+        self
+    }
+
+    /// Sets the image configuration in place.
+    pub fn set_image_config(&mut self, config: ImageConfig) {
+        self.image_config = config;
     }
 
     /// Declares a state bit, allocating its current/next variables
@@ -400,14 +456,28 @@ impl FsmBuilder {
             }
         }
         parts.extend(self.raw_constraints.iter().copied());
-        let trans = bdd.and_many(parts.iter().copied());
+        // No monolithic conjunction here: the machine's transition
+        // relation lives as clusters in the image engine, and the
+        // monolith is built lazily only if someone asks for it.
+        let engine = ImageEngine::build(
+            bdd,
+            &parts,
+            &self
+                .state_bits
+                .iter()
+                .map(|b| b.current)
+                .collect::<Vec<_>>(),
+            &self.input_bits.iter().map(|b| b.var).collect::<Vec<_>>(),
+            &self.state_bits.iter().map(|b| b.next).collect::<Vec<_>>(),
+            self.image_config,
+        );
         let fsm = SymbolicFsm {
             name: self.name,
             state_bits: self.state_bits,
             input_bits: self.input_bits,
             init: self.init,
             trans_parts: parts,
-            trans,
+            engine,
             signals: self.signals,
         };
         if !fsm.is_total(bdd) {

@@ -1,0 +1,422 @@
+//! Partitioned image computation: clustered transition relations with
+//! early quantification.
+//!
+//! Every fixpoint in the workspace — `reachable(S0)`, the EX/EU/EG
+//! fixpoints behind observability, the covered-set traversals — reduces
+//! to image/preimage computation. Building the transition relation `T`
+//! as one monolithic BDD is the dominant memory spike, so the default
+//! engine keeps `T` as a *conjunctive partition* instead: the per-bit
+//! parts are greedily merged into size-bounded clusters, and each
+//! image/preimage is computed as a schedule-driven conjoin-and-quantify
+//! (Burch–Clarke–Long early quantification) that eliminates every
+//! variable at the earliest cluster where its support ends. The
+//! monolithic path survives behind [`ImageMethod::Monolithic`] for A/B
+//! comparison and is built lazily, only when actually requested.
+
+use std::cell::Cell;
+use std::collections::BTreeSet;
+
+use covest_bdd::{Bdd, QuantSchedule, Ref, VarId};
+
+/// How images and preimages are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ImageMethod {
+    /// Conjoin all transition parts into one BDD and use the two-operand
+    /// fused relational product. Simple, but the monolith is usually the
+    /// largest BDD in the system.
+    Monolithic,
+    /// Keep the transition relation as size-bounded clusters and sweep
+    /// them with an early-quantification schedule (the default).
+    #[default]
+    Partitioned,
+}
+
+impl std::str::FromStr for ImageMethod {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mono" | "monolithic" => Ok(ImageMethod::Monolithic),
+            "part" | "partitioned" => Ok(ImageMethod::Partitioned),
+            other => Err(format!(
+                "unknown image method `{other}` (expected `mono` or `part`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ImageMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageMethod::Monolithic => write!(f, "mono"),
+            ImageMethod::Partitioned => write!(f, "part"),
+        }
+    }
+}
+
+/// Configuration for [`ImageEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageConfig {
+    /// Image computation method.
+    pub method: ImageMethod,
+    /// Maximum node count of a merged cluster: a transition part is
+    /// folded into an existing cluster only while the conjunction stays
+    /// at or below this bound. Small thresholds keep peak memory low;
+    /// large ones converge on the monolith.
+    pub cluster_threshold: usize,
+}
+
+impl Default for ImageConfig {
+    fn default() -> Self {
+        ImageConfig {
+            method: ImageMethod::default(),
+            cluster_threshold: 500,
+        }
+    }
+}
+
+impl ImageConfig {
+    /// The monolithic configuration (clustering threshold is unused).
+    pub fn monolithic() -> Self {
+        ImageConfig {
+            method: ImageMethod::Monolithic,
+            ..Default::default()
+        }
+    }
+}
+
+/// The image computation engine owned by a
+/// [`SymbolicFsm`](crate::SymbolicFsm).
+///
+/// Holds the clustered transition relation, the three early-quantification
+/// schedules (forward image, backward preimage, and backward keeping
+/// inputs — the trace-replay variant), and a lazily built monolithic `T`
+/// for [`ImageMethod::Monolithic`].
+///
+/// # Roots / GC contract
+///
+/// The clusters (and the cached monolith, once built) are BDD handles:
+/// they must be passed as roots to [`Bdd::gc`] / [`Bdd::reduce_heap`] or
+/// they dangle. [`ImageEngine::push_refs`] appends them to a root list;
+/// `SymbolicFsm::protected_refs` includes them automatically. The
+/// schedules hold only variable ids and survive collection and
+/// reordering untouched.
+#[derive(Debug, Clone)]
+pub struct ImageEngine {
+    config: ImageConfig,
+    clusters: Vec<Ref>,
+    /// Current-state + input variables (forward quantification set).
+    fwd_vars: Vec<VarId>,
+    /// Next-state + input variables (backward quantification set).
+    bwd_vars: Vec<VarId>,
+    /// Next-state variables only (backward, inputs kept).
+    next_vars: Vec<VarId>,
+    fwd: QuantSchedule,
+    bwd: QuantSchedule,
+    bwd_keep_inputs: QuantSchedule,
+    /// Lazily conjoined monolithic transition relation.
+    mono: Cell<Option<Ref>>,
+}
+
+impl ImageEngine {
+    /// Builds an engine over the conjunctive partition `parts`.
+    ///
+    /// In partitioned mode, clusters are formed by greedy affinity
+    /// merging: each part joins the existing cluster sharing the most
+    /// support variables, unless the merged BDD would exceed
+    /// `config.cluster_threshold` nodes, in which case it starts a new
+    /// cluster. In monolithic mode the parts are kept as-is (no merge
+    /// work): only the lazy full conjunction is ever formed.
+    pub fn build(
+        bdd: &mut Bdd,
+        parts: &[Ref],
+        current_vars: &[VarId],
+        input_vars: &[VarId],
+        next_vars: &[VarId],
+        config: ImageConfig,
+    ) -> ImageEngine {
+        let clusters = match config.method {
+            ImageMethod::Partitioned => cluster_parts(bdd, parts, config.cluster_threshold),
+            ImageMethod::Monolithic => parts.iter().copied().filter(|p| !p.is_true()).collect(),
+        };
+        let mut fwd_vars = current_vars.to_vec();
+        fwd_vars.extend_from_slice(input_vars);
+        let mut bwd_vars = next_vars.to_vec();
+        bwd_vars.extend_from_slice(input_vars);
+        // The monolithic path quantifies over the lazy full conjunction
+        // and never replays a schedule, so build them (sharing one
+        // support computation) only when partitioning.
+        let (fwd, bwd, bwd_keep_inputs) = match config.method {
+            ImageMethod::Partitioned => {
+                let mut schedules =
+                    bdd.quant_schedule_many(&clusters, &[&fwd_vars, &bwd_vars, next_vars]);
+                let bwd_keep_inputs = schedules.pop().expect("three lists in");
+                let bwd = schedules.pop().expect("three lists in");
+                let fwd = schedules.pop().expect("three lists in");
+                (fwd, bwd, bwd_keep_inputs)
+            }
+            ImageMethod::Monolithic => Default::default(),
+        };
+        ImageEngine {
+            config,
+            clusters,
+            fwd_vars,
+            bwd_vars,
+            next_vars: next_vars.to_vec(),
+            fwd,
+            bwd,
+            bwd_keep_inputs,
+            mono: Cell::new(None),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> ImageConfig {
+        self.config
+    }
+
+    /// The image method in use.
+    pub fn method(&self) -> ImageMethod {
+        self.config.method
+    }
+
+    /// The transition-relation clusters, in sweep order.
+    pub fn clusters(&self) -> &[Ref] {
+        &self.clusters
+    }
+
+    /// The monolithic transition relation, conjoined (and cached) on
+    /// first request. Partitioned-mode callers never pay for this.
+    pub fn monolithic_trans(&self, bdd: &mut Bdd) -> Ref {
+        if let Some(t) = self.mono.get() {
+            return t;
+        }
+        let t = bdd.and_many(self.clusters.iter().copied());
+        self.mono.set(Some(t));
+        t
+    }
+
+    /// Seeds the monolith cache (used by `constrain` to extend an
+    /// already-built monolith instead of re-conjoining all clusters).
+    pub(crate) fn seed_mono(&self, trans: Ref) {
+        self.mono.set(Some(trans));
+    }
+
+    /// The cached monolith, if it has been built.
+    pub(crate) fn cached_mono(&self) -> Option<Ref> {
+        self.mono.get()
+    }
+
+    /// `∃ current, inputs. T ∧ set` — the forward image of a state set
+    /// (over current variables), as a BDD over **next** variables.
+    pub fn forward(&self, bdd: &mut Bdd, set: Ref) -> Ref {
+        match self.config.method {
+            ImageMethod::Monolithic => {
+                let t = self.monolithic_trans(bdd);
+                bdd.and_exists(t, set, &self.fwd_vars)
+            }
+            ImageMethod::Partitioned => bdd.and_exists_schedule(set, &self.clusters, &self.fwd),
+        }
+    }
+
+    /// `∃ next, inputs. T ∧ set_next` — the existential preimage of a
+    /// state set already renamed to **next** variables, as a BDD over
+    /// current variables.
+    pub fn backward(&self, bdd: &mut Bdd, set_next: Ref) -> Ref {
+        match self.config.method {
+            ImageMethod::Monolithic => {
+                let t = self.monolithic_trans(bdd);
+                bdd.and_exists(t, set_next, &self.bwd_vars)
+            }
+            ImageMethod::Partitioned => {
+                bdd.and_exists_schedule(set_next, &self.clusters, &self.bwd)
+            }
+        }
+    }
+
+    /// `∃ next. T ∧ set_next` — like [`ImageEngine::backward`] but keeping
+    /// the input variables free: the result relates each predecessor
+    /// state to the inputs justifying the transition. This is what trace
+    /// replay needs, and it never forces the monolith to exist.
+    pub fn backward_with_inputs(&self, bdd: &mut Bdd, set_next: Ref) -> Ref {
+        match self.config.method {
+            ImageMethod::Monolithic => {
+                let t = self.monolithic_trans(bdd);
+                bdd.and_exists(t, set_next, &self.next_vars)
+            }
+            ImageMethod::Partitioned => {
+                bdd.and_exists_schedule(set_next, &self.clusters, &self.bwd_keep_inputs)
+            }
+        }
+    }
+
+    /// Appends every BDD handle the engine owns (clusters and the cached
+    /// monolith) to `roots`.
+    pub fn push_refs(&self, roots: &mut Vec<Ref>) {
+        roots.extend(self.clusters.iter().copied());
+        if let Some(t) = self.mono.get() {
+            roots.push(t);
+        }
+    }
+}
+
+/// Greedy affinity clustering: each part merges into the existing
+/// cluster with the largest shared support (falling back to the most
+/// recent cluster when no support overlaps), unless the merged BDD would
+/// exceed `threshold` nodes — then it starts a new cluster.
+fn cluster_parts(bdd: &mut Bdd, parts: &[Ref], threshold: usize) -> Vec<Ref> {
+    let mut clusters: Vec<Ref> = Vec::new();
+    let mut supports: Vec<BTreeSet<VarId>> = Vec::new();
+    for &p in parts {
+        if p.is_true() {
+            continue;
+        }
+        let psup: BTreeSet<VarId> = bdd.support(p).into_iter().collect();
+        let best = supports
+            .iter()
+            .enumerate()
+            .map(|(i, csup)| (csup.intersection(&psup).count(), i))
+            .filter(|&(shared, _)| shared > 0)
+            .max_by_key(|&(shared, i)| (shared, std::cmp::Reverse(i)))
+            .map(|(_, i)| i)
+            .or(if clusters.is_empty() {
+                None
+            } else {
+                Some(clusters.len() - 1)
+            });
+        if let Some(i) = best {
+            let merged = bdd.and(clusters[i], p);
+            if bdd.node_count(merged) <= threshold {
+                clusters[i] = merged;
+                supports[i].extend(psup);
+                continue;
+            }
+        }
+        clusters.push(p);
+        supports.push(psup);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three-bit shifter: b0' = inp, b1' = b0, b2' = b1. Each part's
+    /// support is disjoint enough to exercise the schedule.
+    fn shifter_parts(bdd: &mut Bdd) -> (Vec<Ref>, Vec<VarId>, Vec<VarId>, Vec<VarId>) {
+        let mut cur = Vec::new();
+        let mut next = Vec::new();
+        for i in 0..3 {
+            cur.push(bdd.new_named_var(format!("b{i}")));
+            next.push(bdd.new_named_var(format!("b{i}'")));
+        }
+        let inp = vec![bdd.new_named_var("inp")];
+        let mut parts = Vec::new();
+        let srcs = [inp[0], cur[0], cur[1]];
+        for (i, &src) in srcs.iter().enumerate() {
+            let nv = bdd.var(next[i]);
+            let sv = bdd.var(src);
+            parts.push(bdd.iff(nv, sv));
+        }
+        (parts, cur, inp, next)
+    }
+
+    fn engines(
+        bdd: &mut Bdd,
+        threshold: usize,
+    ) -> (ImageEngine, ImageEngine, Vec<VarId>, Vec<VarId>) {
+        let (parts, cur, inp, next) = shifter_parts(bdd);
+        let part = ImageEngine::build(
+            bdd,
+            &parts,
+            &cur,
+            &inp,
+            &next,
+            ImageConfig {
+                method: ImageMethod::Partitioned,
+                cluster_threshold: threshold,
+            },
+        );
+        let mono = ImageEngine::build(bdd, &parts, &cur, &inp, &next, ImageConfig::monolithic());
+        (part, mono, cur, next)
+    }
+
+    #[test]
+    fn forward_and_backward_match_monolithic() {
+        for threshold in [1, 4, 64, 10_000] {
+            let mut bdd = Bdd::new();
+            let (part, mono, cur, next) = engines(&mut bdd, threshold);
+            // A handful of state sets over current vars.
+            let c0 = bdd.var(cur[0]);
+            let c1 = bdd.var(cur[1]);
+            let c2 = bdd.var(cur[2]);
+            let s1 = bdd.and(c0, c1);
+            let s2 = bdd.or(s1, c2);
+            let s3 = bdd.not(s2);
+            for set in [Ref::TRUE, Ref::FALSE, c0, s1, s2, s3] {
+                assert_eq!(
+                    part.forward(&mut bdd, set),
+                    mono.forward(&mut bdd, set),
+                    "forward diverges at threshold {threshold}"
+                );
+            }
+            // Preimage operands live over next vars.
+            let n0 = bdd.var(next[0]);
+            let n2 = bdd.var(next[2]);
+            let t1 = bdd.xor(n0, n2);
+            for set_next in [Ref::TRUE, n0, t1] {
+                assert_eq!(
+                    part.backward(&mut bdd, set_next),
+                    mono.backward(&mut bdd, set_next),
+                    "backward diverges at threshold {threshold}"
+                );
+                assert_eq!(
+                    part.backward_with_inputs(&mut bdd, set_next),
+                    mono.backward_with_inputs(&mut bdd, set_next),
+                    "backward_with_inputs diverges at threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_bounds_cluster_count() {
+        let mut bdd = Bdd::new();
+        let (part_tiny, ..) = engines(&mut bdd, 1);
+        // Threshold 1 cannot merge anything: one cluster per part.
+        assert_eq!(part_tiny.clusters().len(), 3);
+        let mut bdd2 = Bdd::new();
+        let (part_big, ..) = engines(&mut bdd2, 10_000);
+        // A huge threshold merges every affine part.
+        assert!(part_big.clusters().len() < 3);
+    }
+
+    #[test]
+    fn monolith_is_lazy_and_cached() {
+        let mut bdd = Bdd::new();
+        let (part, ..) = engines(&mut bdd, 4);
+        assert!(part.cached_mono().is_none());
+        let t1 = part.monolithic_trans(&mut bdd);
+        let t2 = part.monolithic_trans(&mut bdd);
+        assert_eq!(t1, t2);
+        assert_eq!(part.cached_mono(), Some(t1));
+        let mut roots = Vec::new();
+        part.push_refs(&mut roots);
+        assert!(roots.contains(&t1));
+    }
+
+    #[test]
+    fn method_parses_round_trip() {
+        for (s, m) in [
+            ("mono", ImageMethod::Monolithic),
+            ("monolithic", ImageMethod::Monolithic),
+            ("part", ImageMethod::Partitioned),
+            ("partitioned", ImageMethod::Partitioned),
+        ] {
+            assert_eq!(s.parse::<ImageMethod>().unwrap(), m);
+        }
+        assert!("hybrid".parse::<ImageMethod>().is_err());
+        assert_eq!(ImageMethod::Partitioned.to_string(), "part");
+    }
+}

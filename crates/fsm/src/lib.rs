@@ -7,6 +7,11 @@
 //! - [`SymbolicFsm`] / [`FsmBuilder`]: Mealy machines over BDD variables,
 //!   with image/preimage, `forward`, reachability fixpoints and onion
 //!   rings;
+//! - [`ImageEngine`]: partitioned image computation — the transition
+//!   relation kept as size-bounded clusters swept with an
+//!   early-quantification schedule ([`ImageMethod::Partitioned`], the
+//!   default), with the monolithic relation available lazily behind
+//!   [`ImageMethod::Monolithic`] for A/B comparison;
 //! - [`SignalTable`]: named boolean and numeric signals with lowering of
 //!   [`covest_ctl::PropExpr`] atoms (including integer comparisons) to
 //!   BDDs, plus interpretation *overrides* — the hook used by `depend(b)`,
@@ -39,6 +44,7 @@
 
 mod error;
 mod fsm;
+mod image;
 mod reach;
 mod signal;
 mod stg;
@@ -46,6 +52,7 @@ mod trace;
 
 pub use error::{BuildFsmError, LowerError};
 pub use fsm::{FsmBuilder, InputBit, StateBit, SymbolicFsm};
+pub use image::{ImageConfig, ImageEngine, ImageMethod};
 pub use signal::{NumericSignal, SignalTable, SignalValue};
 pub use stg::Stg;
 pub use trace::{Trace, TraceStep};

@@ -102,16 +102,17 @@ impl SymbolicFsm {
         let mut rev_states = vec![state_cube];
         let mut rev_inputs: Vec<Vec<(VarId, bool)>> = Vec::new();
         for ring in rings[..k].iter().rev() {
-            // predecessors of `state_cube` within `ring`, with inputs:
-            // T ∧ next(state) restricted to ring.
+            // Predecessors of `state_cube` within `ring`, with the inputs
+            // justifying the transition: ∃next. T ∧ next(state), computed
+            // through the image engine so replay never forces the
+            // monolithic T to exist, then restricted to the ring.
             let state_next = bdd.rename(state_cube, &self.cur_to_next());
-            let step = bdd.and(self.trans, state_next);
-            let step = bdd.and(step, *ring);
+            let preds = self.engine.backward_with_inputs(bdd, state_next);
+            let step = bdd.and(preds, *ring);
             // Choose one (state, input) pair.
             let mut pick_vars = cur_vars.clone();
             pick_vars.extend(in_vars.iter().copied());
-            let choice = bdd
-                .exists(step, &self.next_vars())
+            let choice = step
                 .pick_or(bdd, &pick_vars)
                 .expect("ring guarantees a predecessor");
             let (st, inp) = split_choice(&choice, &cur_vars, &in_vars);
@@ -242,7 +243,7 @@ mod tests {
         // Check every consecutive pair is a real transition.
         for w in trace.steps.windows(2) {
             let (a, b) = (&w[0], &w[1]);
-            let mut t = fsm.trans();
+            let mut t = fsm.trans(bdd);
             for (name, val) in &a.state {
                 let bit = fsm
                     .state_bits()

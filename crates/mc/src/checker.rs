@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use covest_bdd::{Bdd, Ref};
 use covest_ctl::{Ctl, PropExpr, SignalRef};
-use covest_fsm::{LowerError, SignalValue, SymbolicFsm};
+use covest_fsm::{ImageMethod, LowerError, SignalValue, SymbolicFsm};
 
 use crate::verdict::Verdict;
 
@@ -39,7 +39,14 @@ impl<'m> ModelChecker<'m> {
         self.fsm
     }
 
-    /// Every BDD handle the checker holds: the machine's refs plus
+    /// The image method every EX/EU/EG fixpoint of this checker runs on
+    /// (inherited from the machine's image engine).
+    pub fn image_method(&self) -> ImageMethod {
+        self.fsm.image_config().method
+    }
+
+    /// Every BDD handle the checker holds: the machine's refs (including
+    /// the transition-relation clusters and any cached monolith) plus
     /// fairness sets, override interpretations, the fair-state cache, and
     /// all memoized satisfaction sets. Pass these as roots to
     /// `Bdd::gc` / `Bdd::reduce_heap` to keep the checker usable across

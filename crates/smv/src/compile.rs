@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use covest_bdd::{Bdd, Ref};
-use covest_fsm::{FsmBuilder, NumericSignal, StateBit, SymbolicFsm};
+use covest_fsm::{FsmBuilder, ImageConfig, NumericSignal, StateBit, SymbolicFsm};
 
 use crate::ast::{BinOp, Expr, Module, VarDecl, VarType};
 use crate::error::ModelError;
@@ -346,7 +346,8 @@ pub struct CompiledModel {
     pub observed: Vec<String>,
 }
 
-/// Compiles a parsed module on the given manager.
+/// Compiles a parsed module on the given manager with the default
+/// (partitioned) image configuration.
 ///
 /// # Errors
 ///
@@ -354,6 +355,26 @@ pub struct CompiledModel {
 /// overflows, unknown names, missing `next()` assignments, or SPEC /
 /// FAIRNESS bodies that fail to parse.
 pub fn compile_module(bdd: &mut Bdd, module: &Module) -> Result<CompiledModel, ModelError> {
+    compile_module_with(bdd, module, ImageConfig::default())
+}
+
+/// Compiles a parsed module with an explicit image configuration.
+///
+/// The compiler emits one transition part per state bit (plus one per
+/// validity invariant on free input encodings) and never conjoins them
+/// into a monolithic relation itself — the machine's [`ImageEngine`]
+/// (see [`covest_fsm::ImageEngine`]) clusters the parts and builds the
+/// monolith lazily only when [`covest_fsm::ImageMethod::Monolithic`] is
+/// in use.
+///
+/// # Errors
+///
+/// See [`compile_module`].
+pub fn compile_module_with(
+    bdd: &mut Bdd,
+    module: &Module,
+    image: ImageConfig,
+) -> Result<CompiledModel, ModelError> {
     // Duplicate checks + literal table.
     let mut literals: HashMap<String, i64> = HashMap::new();
     let mut seen: HashMap<&str, ()> = HashMap::new();
@@ -379,7 +400,7 @@ pub fn compile_module(bdd: &mut Bdd, module: &Module) -> Result<CompiledModel, M
         }
     }
 
-    let mut builder = FsmBuilder::new("main");
+    let mut builder = FsmBuilder::new("main").with_image_config(image);
     let mut vars: HashMap<String, VarInfo> = HashMap::new();
     for d in &module.vars {
         let (offset, span) = match &d.ty {

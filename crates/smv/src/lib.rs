@@ -52,14 +52,19 @@ mod lex;
 mod parse;
 
 pub use ast::{BinOp, Expr, Module, VarDecl, VarType};
-pub use compile::{compile_module, CompiledModel};
+pub use compile::{compile_module, compile_module_with, CompiledModel};
 pub use error::ModelError;
 pub use lex::{lex, TokKind, Token};
 pub use parse::parse_module;
 
+// Re-exported so downstream consumers (e.g. the CLI) can pick the image
+// method without depending on covest-fsm directly.
+pub use covest_fsm::{ImageConfig, ImageMethod};
+
 use covest_bdd::Bdd;
 
-/// Parses and compiles a model deck in one step.
+/// Parses and compiles a model deck in one step with the default
+/// (partitioned) image configuration.
 ///
 /// # Errors
 ///
@@ -67,4 +72,18 @@ use covest_bdd::Bdd;
 pub fn compile(bdd: &mut Bdd, src: &str) -> Result<CompiledModel, ModelError> {
     let module = parse_module(src)?;
     compile_module(bdd, &module)
+}
+
+/// Parses and compiles a model deck with an explicit image configuration.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with(
+    bdd: &mut Bdd,
+    src: &str,
+    image: ImageConfig,
+) -> Result<CompiledModel, ModelError> {
+    let module = parse_module(src)?;
+    compile_module_with(bdd, &module, image)
 }

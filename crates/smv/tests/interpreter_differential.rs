@@ -151,7 +151,7 @@ fn check_deck(src: &str) {
         // Restrict the transition relation by current and next bits; it
         // must be satisfiable (deterministic machines: exactly the free
         // input bits remain).
-        let mut t = fsm.trans();
+        let mut t = fsm.trans(&mut bdd);
         for (name, val) in &cur_bits {
             let idx = bit_index[name.as_str()];
             t = bdd.restrict(t, fsm.state_bits()[idx].current, *val);
@@ -166,7 +166,7 @@ fn check_deck(src: &str) {
         );
         // And flipping any single expected next bit must be rejected.
         for k in 0..next_bits.len() {
-            let mut t2 = fsm.trans();
+            let mut t2 = fsm.trans(&mut bdd);
             for (name, val) in &cur_bits {
                 let idx = bit_index[name.as_str()];
                 t2 = bdd.restrict(t2, fsm.state_bits()[idx].current, *val);
