@@ -2,10 +2,10 @@
 
 use std::collections::HashMap;
 
+use crate::manager::Inner;
 use crate::node::{Ref, VarId};
-use crate::Bdd;
 
-impl Bdd {
+impl Inner {
     /// Fraction of assignments (over all variables) satisfying `f`,
     /// in `[0, 1]`. Independent of how many variables exist because each
     /// skipped level halves both branches equally.
@@ -145,6 +145,7 @@ impl Bdd {
     /// Iterates over the satisfying *cubes* of `f`: partial assignments
     /// labelling each root-to-`TRUE` path. Variables absent from a cube
     /// are unconstrained.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by in-crate tests
     pub fn cubes(&self, f: Ref) -> Cubes<'_> {
         Cubes {
             bdd: self,
@@ -163,6 +164,7 @@ impl Bdd {
     ///
     /// In debug builds, panics if the support of `f` is not contained in
     /// `vars`.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by in-crate tests
     pub fn minterms_over<'a>(&'a self, f: Ref, vars: &'a [VarId]) -> Minterms<'a> {
         debug_assert!(
             {
@@ -187,10 +189,10 @@ impl Bdd {
     }
 }
 
-/// Iterator over satisfying cubes; see [`Bdd::cubes`].
+/// Iterator over satisfying cubes; see [`Inner::cubes`].
 #[derive(Debug)]
 pub struct Cubes<'a> {
-    bdd: &'a Bdd,
+    bdd: &'a Inner,
     stack: Vec<(Ref, Vec<(VarId, bool)>)>,
 }
 
@@ -222,10 +224,10 @@ impl Iterator for Cubes<'_> {
     }
 }
 
-/// Iterator over full minterms; see [`Bdd::minterms_over`].
+/// Iterator over full minterms; see [`Inner::minterms_over`].
 #[derive(Debug)]
 pub struct Minterms<'a> {
-    bdd: &'a Bdd,
+    bdd: &'a Inner,
     /// Universe ordered by level.
     vars: Vec<VarId>,
     /// Universe in caller order, used for the output layout.
@@ -283,7 +285,7 @@ mod tests {
 
     #[test]
     fn density_of_single_var_is_half() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let x = b.new_var();
         let fx = b.var(x);
         assert_eq!(b.density(fx), 0.5);
@@ -293,7 +295,7 @@ mod tests {
 
     #[test]
     fn sat_count_over_universe() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(4);
         let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
         let f = b.and(lits[0], lits[1]);
@@ -306,7 +308,7 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..20 {
-            let mut b = Bdd::new();
+            let mut b = Inner::new();
             let vars = b.new_vars(6);
             let mut f = Ref::FALSE;
             for _ in 0..6 {
@@ -334,7 +336,7 @@ mod tests {
 
     #[test]
     fn pick_minterm_satisfies() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(3);
         let l0 = b.nvar(vars[0]);
         let l2 = b.var(vars[2]);
@@ -347,7 +349,7 @@ mod tests {
 
     #[test]
     fn cubes_cover_function() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(3);
         let l0 = b.var(vars[0]);
         let l1 = b.var(vars[1]);
@@ -369,7 +371,7 @@ mod tests {
 
     #[test]
     fn minterms_enumerate_exact_count() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(4);
         let l0 = b.var(vars[0]);
         let l3 = b.nvar(vars[3]);
@@ -384,7 +386,7 @@ mod tests {
 
     #[test]
     fn minterms_of_true_enumerate_universe() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(3);
         assert_eq!(b.minterms_over(Ref::TRUE, &vars).count(), 8);
         assert_eq!(b.minterms_over(Ref::FALSE, &vars).count(), 0);

@@ -3,14 +3,14 @@
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
+use crate::manager::Inner;
 use crate::node::{Ref, VarId};
-use crate::Bdd;
 
-impl Bdd {
+impl Inner {
     /// Renders the graph of `roots` in Graphviz DOT format.
     ///
     /// Solid edges are `hi` (variable true), dashed edges are `lo`.
-    /// Named variables (see [`Bdd::set_var_name`]) are used as labels.
+    /// Named variables (see [`Inner::set_var_name`]) are used as labels.
     pub fn to_dot(&self, roots: &[(&str, Ref)]) -> String {
         let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
         out.push_str("  node [shape=circle];\n");
@@ -67,7 +67,7 @@ mod tests {
 
     #[test]
     fn dot_contains_all_nodes_and_edges() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let x = b.new_named_var("x");
         let y = b.new_var();
         let fx = b.var(x);
@@ -85,7 +85,7 @@ mod tests {
 
     #[test]
     fn dot_of_constant() {
-        let b = Bdd::new();
+        let b = Inner::new();
         let dot = b.to_dot(&[("t", Ref::TRUE)]);
         assert!(dot.contains("root_t -> f1"));
     }

@@ -1,36 +1,36 @@
-//! The BDD manager: node store, unique table and core operations.
+//! The internal BDD engine: node store, unique table, external-root
+//! table and core operations.
+//!
+//! [`Inner`] is the crate-private substrate behind the public
+//! [`crate::BddManager`] / [`crate::Func`] handle API. It works in terms
+//! of raw [`Ref`] indices; nothing outside this crate ever sees a `Ref`.
 
 use std::collections::HashMap;
 
 use crate::node::{Node, Ref, VarId, TERMINAL_VAR};
 
-/// A manager for reduced ordered binary decision diagrams (ROBDDs).
+/// One slot of the external-root table: a pinned node handle plus the
+/// number of live [`crate::Func`] clones pointing at it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExtSlot {
+    pub(crate) r: Ref,
+    pub(crate) rc: u32,
+}
+
+/// The BDD engine state shared behind a [`crate::BddManager`].
 ///
-/// All nodes live in a single arena owned by the manager; functions are
-/// denoted by [`Ref`] handles. Nodes are hash-consed through a unique
-/// table, so structural equality of `Ref`s coincides with semantic
-/// equality of the Boolean functions they denote.
+/// All nodes live in a single arena; functions are denoted by [`Ref`]
+/// handles. Nodes are hash-consed through a unique table, so structural
+/// equality of `Ref`s coincides with semantic equality of the Boolean
+/// functions they denote.
 ///
-/// The manager is the substrate for every symbolic computation in the
-/// `covest` workspace (transition relations, reachability, model checking
-/// and the coverage-estimation fixpoints of the DAC'99 algorithm).
-///
-/// # Examples
-///
-/// ```
-/// use covest_bdd::Bdd;
-///
-/// let mut bdd = Bdd::new();
-/// let x = bdd.new_var();
-/// let y = bdd.new_var();
-/// let fx = bdd.var(x);
-/// let fy = bdd.var(y);
-/// let conj = bdd.and(fx, fy);
-/// let conj2 = bdd.and(fy, fx);
-/// assert_eq!(conj, conj2); // canonicity
-/// ```
+/// External ownership is tracked by the *root table* (`ext`): every live
+/// [`crate::Func`] owns one reference count on one slot. Garbage
+/// collection and dynamic reordering treat the root table as the complete
+/// external live set — there is no caller-supplied roots parameter on the
+/// public API.
 #[derive(Debug, Clone)]
-pub struct Bdd {
+pub(crate) struct Inner {
     pub(crate) nodes: Vec<Node>,
     /// Level-organized unique table: `unique[var]` hash-conses the nodes
     /// labelled `var`, keyed by their `(lo, hi)` cofactors. Keeping one
@@ -43,7 +43,7 @@ pub struct Bdd {
     var_names: Vec<Option<String>>,
     pub(crate) free: Vec<u32>,
     /// Variable groups kept adjacent by reordering (e.g. a state bit's
-    /// current/next pair); see [`Bdd::group_vars`].
+    /// current/next pair); see [`Inner::group_vars`].
     pub(crate) groups: Vec<Vec<u32>>,
     /// `var_group[var]` is the index into `groups`, if the variable is
     /// grouped.
@@ -51,9 +51,11 @@ pub struct Bdd {
     pub(crate) reorder: crate::reorder::ReorderConfig,
     /// Live-node count that triggers the next automatic reordering.
     pub(crate) next_auto_threshold: usize,
-    /// Externally protected handles (see [`Bdd::protect`]): always treated
-    /// as additional roots by [`Bdd::gc`] and [`Bdd::reduce_heap`].
-    pub(crate) protected: Vec<Ref>,
+    /// External-root table: slab of `(Ref, refcount)` slots owned by
+    /// [`crate::Func`] handles. Slot allocation/release is O(1) via the
+    /// free list, regardless of how many roots are live.
+    pub(crate) ext: Vec<ExtSlot>,
+    pub(crate) ext_free: Vec<u32>,
     // Manager-owned scratch buffers reused across quantification calls so
     // `exists`/`forall`/`and_exists` do not allocate per invocation.
     pub(crate) quant_memo: HashMap<Ref, Ref>,
@@ -61,21 +63,21 @@ pub struct Bdd {
     pub(crate) mask_scratch: Vec<bool>,
 }
 
-impl Default for Bdd {
+impl Default for Inner {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Bdd {
-    /// Creates an empty manager with no variables.
+impl Inner {
+    /// Creates an empty engine with no variables.
     pub fn new() -> Self {
         let terminal = Node {
             var: TERMINAL_VAR,
             lo: Ref::FALSE,
             hi: Ref::TRUE,
         };
-        Bdd {
+        Inner {
             // Slots 0 and 1 are the terminals; their node contents are
             // sentinels and never looked up through the unique table.
             nodes: vec![terminal, terminal],
@@ -89,37 +91,72 @@ impl Bdd {
             var_group: Vec::new(),
             reorder: crate::reorder::ReorderConfig::default(),
             next_auto_threshold: crate::reorder::ReorderConfig::default().auto_threshold,
+            ext: Vec::new(),
+            ext_free: Vec::new(),
             quant_memo: HashMap::new(),
             pair_memo: HashMap::new(),
             mask_scratch: Vec::new(),
-            protected: Vec::new(),
         }
     }
 
-    /// Registers `r` as an external root: [`Bdd::gc`] and
-    /// [`Bdd::reduce_heap`] treat it as live in addition to their explicit
-    /// `roots` until a matching [`Bdd::unprotect`]. Protection is a
-    /// multiset — protecting a handle twice requires unprotecting it
-    /// twice. Use this when handles must survive a collection point whose
-    /// caller cannot name them (e.g. results accumulated across calls
-    /// that internally trigger automatic reordering).
-    pub fn protect(&mut self, r: Ref) {
-        if !r.is_const() {
-            self.protected.push(r);
+    // ---- external-root table ------------------------------------------
+
+    /// Registers `r` in the root table with refcount 1 and returns its
+    /// slot. O(1): reuses a free slot or appends.
+    pub(crate) fn ext_alloc(&mut self, r: Ref) -> u32 {
+        debug_assert!(!r.is_const(), "terminals are never rooted");
+        match self.ext_free.pop() {
+            Some(slot) => {
+                self.ext[slot as usize] = ExtSlot { r, rc: 1 };
+                slot
+            }
+            None => {
+                let slot = self.ext.len() as u32;
+                self.ext.push(ExtSlot { r, rc: 1 });
+                slot
+            }
         }
     }
 
-    /// Removes one protection entry for `r` (no-op if none exists).
-    pub fn unprotect(&mut self, r: Ref) {
-        if let Some(pos) = self.protected.iter().rposition(|&p| p == r) {
-            self.protected.swap_remove(pos);
+    /// Adds one reference to a root slot (a [`crate::Func`] clone).
+    pub(crate) fn ext_inc(&mut self, slot: u32) {
+        self.ext[slot as usize].rc += 1;
+    }
+
+    /// Drops one reference from a root slot; the slot is recycled when the
+    /// count reaches zero. O(1) — no scan over the live roots.
+    pub(crate) fn ext_dec(&mut self, slot: u32) {
+        let s = &mut self.ext[slot as usize];
+        debug_assert!(s.rc > 0, "root table refcount underflow");
+        s.rc -= 1;
+        if s.rc == 0 {
+            self.ext_free.push(slot);
         }
     }
 
-    /// The currently protected handles (with multiplicity).
-    pub fn protected(&self) -> &[Ref] {
-        &self.protected
+    /// The node a root slot pins.
+    pub(crate) fn ext_ref(&self, slot: u32) -> Ref {
+        debug_assert!(self.ext[slot as usize].rc > 0, "read of a dead root slot");
+        self.ext[slot as usize].r
     }
+
+    /// Number of live root-table slots (distinct pinned handles; clones of
+    /// one handle share a slot).
+    pub(crate) fn ext_live(&self) -> usize {
+        self.ext.len() - self.ext_free.len()
+    }
+
+    /// Appends every externally rooted `Ref` (one per live slot) to `out`.
+    pub(crate) fn ext_roots_into(&self, out: &mut Vec<Ref>) {
+        out.extend(
+            self.ext
+                .iter()
+                .filter(|s| s.rc > 0 && !s.r.is_const())
+                .map(|s| s.r),
+        );
+    }
+
+    // ---- variables ----------------------------------------------------
 
     /// Creates a fresh variable, ordered after all existing variables.
     pub fn new_var(&mut self) -> VarId {
@@ -155,7 +192,7 @@ impl Bdd {
         self.var_names[var.index()].as_deref()
     }
 
-    /// Number of variables created on this manager.
+    /// Number of variables created on this engine.
     pub fn num_vars(&self) -> usize {
         self.var2level.len()
     }
@@ -255,6 +292,7 @@ impl Bdd {
     }
 
     /// A literal: `var` if `positive`, `!var` otherwise.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by in-crate tests
     pub fn literal(&mut self, var: VarId, positive: bool) -> Ref {
         if positive {
             self.var(var)
@@ -264,6 +302,7 @@ impl Bdd {
     }
 
     /// The constant function for `value`.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by in-crate tests
     pub fn constant(&self, value: bool) -> Ref {
         if value {
             Ref::TRUE
@@ -275,7 +314,7 @@ impl Bdd {
     /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
     ///
     /// This is the single primitive from which all binary connectives are
-    /// derived; results are memoized in the manager-wide cache.
+    /// derived; results are memoized in the engine-wide cache.
     pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
         // Terminal cases.
         if f.is_true() {
@@ -385,6 +424,7 @@ impl Bdd {
     }
 
     /// Evaluates `f` under a total assignment.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by in-crate tests
     pub fn eval(&self, f: Ref, assignment: &dyn Fn(VarId) -> bool) -> bool {
         let mut cur = f;
         while !cur.is_const() {
@@ -434,19 +474,21 @@ impl Bdd {
         vars.into_iter().map(VarId).collect()
     }
 
-    /// Garbage-collects every node not reachable from `roots`.
+    /// Garbage-collects every node not reachable from the external-root
+    /// table or the `extra` refs (internal pins used by tests and the
+    /// reordering machinery).
     ///
-    /// All operation caches are dropped and dead slots are recycled.
-    /// Any `Ref` not transitively protected by `roots` becomes invalid;
-    /// the caller is responsible for keeping only protected handles.
+    /// All operation and scratch caches are dropped — including the
+    /// manager-owned `quant_memo`/`pair_memo`, whose cached `Ref`s would
+    /// otherwise dangle into recycled slots — and dead slots are recycled.
     ///
     /// Returns the number of freed node slots.
-    pub fn gc(&mut self, roots: &[Ref]) -> usize {
+    pub fn gc(&mut self, extra: &[Ref]) -> usize {
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
         marked[1] = true;
-        let mut stack: Vec<Ref> = roots.to_vec();
-        stack.extend_from_slice(&self.protected);
+        let mut stack: Vec<Ref> = extra.to_vec();
+        self.ext_roots_into(&mut stack);
         while let Some(r) = stack.pop() {
             if marked[r.index()] {
                 continue;
@@ -466,12 +508,13 @@ impl Bdd {
                 freed += 1;
             }
         }
-        self.ite_cache.clear();
+        self.clear_caches();
         freed
     }
 
-    /// Drops all memoization caches (useful to bound memory between
-    /// unrelated computations without invalidating any `Ref`).
+    /// Drops all memoization caches, including the quantification scratch
+    /// maps — after a reorder shuffles levels (or a collection recycles
+    /// slots), a stale memoized `Ref` must never be observable.
     pub fn clear_caches(&mut self) {
         self.ite_cache.clear();
         self.quant_memo.clear();
@@ -483,8 +526,8 @@ impl Bdd {
 mod tests {
     use super::*;
 
-    fn setup() -> (Bdd, Ref, Ref, Ref) {
-        let mut b = Bdd::new();
+    fn setup() -> (Inner, Ref, Ref, Ref) {
+        let mut b = Inner::new();
         let x = b.new_var();
         let y = b.new_var();
         let z = b.new_var();
@@ -494,14 +537,14 @@ mod tests {
 
     #[test]
     fn constants() {
-        let b = Bdd::new();
+        let b = Inner::new();
         assert!(b.constant(true).is_true());
         assert!(b.constant(false).is_false());
     }
 
     #[test]
     fn var_and_negation_are_distinct() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let x = b.new_var();
         let fx = b.var(x);
         let nfx = b.not(fx);
@@ -572,7 +615,7 @@ mod tests {
 
     #[test]
     fn node_count_of_conjunction_chain() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(8);
         let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
         let f = b.and_many(lits);
@@ -589,7 +632,7 @@ mod tests {
 
     #[test]
     fn gc_frees_dead_nodes_and_keeps_roots() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(6);
         let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
         let keep = b.and(lits[0], lits[1]);
@@ -607,7 +650,7 @@ mod tests {
 
     #[test]
     fn gc_then_alloc_reuses_slots() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(4);
         let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
         let dead = b.and_many(lits.clone());
@@ -621,15 +664,64 @@ mod tests {
     }
 
     #[test]
+    fn gc_treats_root_table_as_live() {
+        let mut b = Inner::new();
+        let vars = b.new_vars(4);
+        let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
+        let keep = b.and(lits[0], lits[1]);
+        let slot = b.ext_alloc(keep);
+        let _dead = b.and(lits[2], lits[3]);
+        b.gc(&[]);
+        assert!(b.eval(keep, &|v| v.index() < 2));
+        // Releasing the slot makes the node collectable.
+        b.ext_dec(slot);
+        b.gc(&[]);
+        assert_eq!(b.live_nodes(), 2, "only terminals survive");
+    }
+
+    #[test]
+    fn ext_slots_are_recycled_in_o1() {
+        let mut b = Inner::new();
+        let x = b.new_var();
+        let fx = b.var(x);
+        let s0 = b.ext_alloc(fx);
+        let s1 = b.ext_alloc(fx);
+        assert_ne!(s0, s1, "clones of distinct handles get distinct slots");
+        b.ext_inc(s0);
+        b.ext_dec(s0);
+        assert_eq!(b.ext_live(), 2);
+        b.ext_dec(s0);
+        assert_eq!(b.ext_live(), 1);
+        // The freed slot is reused by the next registration.
+        let s2 = b.ext_alloc(fx);
+        assert_eq!(s2, s0);
+    }
+
+    #[test]
+    fn gc_clears_quantification_scratch() {
+        let mut b = Inner::new();
+        let vars = b.new_vars(3);
+        let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
+        let f = b.and(lits[0], lits[1]);
+        let _e = b.exists(f, &[vars[0]]);
+        let _ae = b.and_exists(f, lits[2], &[vars[1]]);
+        assert!(!b.quant_memo.is_empty() || !b.pair_memo.is_empty());
+        b.gc(&[f]);
+        assert!(b.quant_memo.is_empty() && b.pair_memo.is_empty());
+        b.clear_caches();
+        assert!(b.ite_cache.is_empty());
+    }
+
+    #[test]
     fn and_many_or_many_empty() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         assert!(b.and_many([]).is_true());
         assert!(b.or_many([]).is_false());
     }
 
     #[test]
     fn named_vars() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let v = b.new_named_var("clk");
         assert_eq!(b.var_name(v), Some("clk"));
         let w = b.new_var();

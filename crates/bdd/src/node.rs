@@ -4,7 +4,7 @@ use std::fmt;
 
 /// Identifier of a BDD variable.
 ///
-/// Variables are created by [`crate::Bdd::new_var`] and are identified by a
+/// Variables are created by [`crate::BddManager::new_var`] and are identified by a
 /// dense index. The *order* in which variables appear along BDD paths is a
 /// separate notion (the variable's *level*); the manager maintains the
 /// `var -> level` map so that variable identity is stable even if the order
@@ -13,9 +13,9 @@ use std::fmt;
 /// # Examples
 ///
 /// ```
-/// use covest_bdd::Bdd;
-/// let mut bdd = Bdd::new();
-/// let x = bdd.new_var();
+/// use covest_bdd::BddManager;
+/// let mgr = BddManager::new();
+/// let x = mgr.new_var();
 /// assert_eq!(x.index(), 0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -42,16 +42,18 @@ impl fmt::Display for VarId {
     }
 }
 
-/// A reference to a BDD node owned by a [`crate::Bdd`] manager.
+/// A crate-private reference to a BDD node.
 ///
 /// `Ref`s are plain indices: they are `Copy`, cheap to store, and only
-/// meaningful together with the manager that produced them. The two
+/// meaningful together with the engine that produced them. The two
 /// constants [`Ref::FALSE`] and [`Ref::TRUE`] refer to the terminal nodes
-/// and are valid for every manager.
+/// and are valid for every engine.
 ///
-/// Because the manager hash-conses nodes, two `Ref`s obtained from the same
-/// manager are equal **iff** they denote the same Boolean function
-/// (canonicity).
+/// `Ref` is **not** part of the public API: external code holds rooted
+/// [`crate::Func`] handles instead, whose validity across GC/reordering
+/// is guaranteed by the manager's external-root table. Because the engine
+/// hash-conses nodes, two `Ref`s obtained from the same engine are equal
+/// **iff** they denote the same Boolean function (canonicity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ref(pub(crate) u32);
 

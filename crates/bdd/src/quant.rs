@@ -4,16 +4,16 @@
 
 use std::collections::HashMap;
 
+use crate::manager::Inner;
 use crate::node::{Ref, VarId};
-use crate::Bdd;
 
 /// An early-quantification schedule for a fixed operand sequence
 /// (Burch–Clarke–Long): each quantified variable is eliminated at the
 /// *last* operand whose support contains it — i.e. the earliest point in
 /// the left-to-right conjunction where its support ends.
 ///
-/// Build once with [`Bdd::quant_schedule`] and replay with
-/// [`Bdd::and_exists_schedule`]; the schedule depends only on the
+/// Build once with [`crate::BddManager::quant_schedule`] and replay with
+/// [`crate::BddManager::and_exists_schedule`]; the schedule depends only on the
 /// operands' supports, so it stays valid across garbage collection and
 /// dynamic reordering as long as the operand `Ref`s themselves do.
 #[derive(Debug, Clone, Default)]
@@ -38,21 +38,18 @@ impl QuantSchedule {
     }
 }
 
-impl Bdd {
+impl Inner {
     /// Existential quantification `∃ vars. f`.
     ///
     /// # Examples
     ///
     /// ```
-    /// use covest_bdd::Bdd;
-    /// let mut b = Bdd::new();
-    /// let x = b.new_var();
-    /// let y = b.new_var();
-    /// let fx = b.var(x);
-    /// let fy = b.var(y);
-    /// let f = b.and(fx, fy);
-    /// let ex = b.exists(f, &[x]);
-    /// assert_eq!(ex, fy);
+    /// use covest_bdd::BddManager;
+    /// let mgr = BddManager::new();
+    /// let x = mgr.new_var();
+    /// let y = mgr.new_var();
+    /// let f = mgr.var(x).and(&mgr.var(y));
+    /// assert_eq!(f.exists(&[x]), mgr.var(y));
     /// ```
     pub fn exists(&mut self, f: Ref, vars: &[VarId]) -> Ref {
         let mask = self.take_mask(vars);
@@ -176,6 +173,7 @@ impl Bdd {
     /// Builds the early-quantification schedule for eliminating `vars`
     /// from the conjunction of `operands` (in the given order): each
     /// variable is assigned to the last operand whose support contains it.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by in-crate tests
     pub fn quant_schedule(&self, operands: &[Ref], vars: &[VarId]) -> QuantSchedule {
         self.quant_schedule_many(operands, &[vars]).pop().unwrap()
     }
@@ -211,7 +209,7 @@ impl Bdd {
     }
 
     /// Schedule-driven relational product `∃ vars. (seed ∧ ⋀ operands)`,
-    /// where `schedule` was built by [`Bdd::quant_schedule`] over the same
+    /// where `schedule` was built by [`crate::BddManager::quant_schedule`] over the same
     /// `operands` and `vars`.
     ///
     /// The conjunction is folded left to right and each variable is
@@ -258,8 +256,9 @@ impl Bdd {
     ///
     /// Convenience wrapper building the schedule on the fly; callers with
     /// a fixed operand sequence (e.g. a clustered transition relation)
-    /// should build the schedule once with [`Bdd::quant_schedule`] and
-    /// replay it with [`Bdd::and_exists_schedule`].
+    /// should build the schedule once with [`crate::BddManager::quant_schedule`] and
+    /// replay it with [`crate::BddManager::and_exists_schedule`].
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by in-crate tests
     pub fn and_exists_multi(&mut self, operands: &[Ref], vars: &[VarId]) -> Ref {
         let schedule = self.quant_schedule(operands, vars);
         self.and_exists_schedule(Ref::TRUE, operands, &schedule)
@@ -324,7 +323,7 @@ mod tests {
 
     #[test]
     fn exists_removes_var_from_support() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let x = b.new_var();
         let y = b.new_var();
         let fx = b.var(x);
@@ -338,7 +337,7 @@ mod tests {
 
     #[test]
     fn exists_forall_duality() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(4);
         let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
         let c0 = b.and(lits[0], lits[1]);
@@ -354,7 +353,7 @@ mod tests {
 
     #[test]
     fn and_exists_matches_two_step() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(6);
         let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
         let t0 = b.iff(lits[0], lits[3]);
@@ -372,7 +371,7 @@ mod tests {
 
     #[test]
     fn and_exists_multi_matches_monolithic() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(8);
         let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
         // Three "clusters" with staggered supports plus a state set.
@@ -396,7 +395,7 @@ mod tests {
 
     #[test]
     fn schedule_eliminates_at_last_occurrence() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(6);
         let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
         let t0 = b.and(lits[0], lits[1]);
@@ -410,7 +409,7 @@ mod tests {
 
     #[test]
     fn schedule_replay_matches_monolithic_with_seed() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(6);
         let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
         let t0 = b.iff(lits[3], lits[0]);
@@ -432,14 +431,14 @@ mod tests {
 
     #[test]
     fn and_exists_multi_empty_operands() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let x = b.new_var();
         assert!(b.and_exists_multi(&[], &[x]).is_true());
     }
 
     #[test]
     fn restrict_is_shannon_cofactor() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let x = b.new_var();
         let y = b.new_var();
         let fx = b.var(x);
@@ -451,7 +450,7 @@ mod tests {
 
     #[test]
     fn restrict_cube_applies_all_literals() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let vars = b.new_vars(3);
         let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
         let c = b.and(lits[0], lits[1]);
@@ -462,7 +461,7 @@ mod tests {
 
     #[test]
     fn quantifying_absent_var_is_identity() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let x = b.new_var();
         let y = b.new_var();
         let fx = b.var(x);

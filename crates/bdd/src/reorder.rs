@@ -3,45 +3,47 @@
 //!
 //! # Safety model
 //!
-//! [`Bdd::reduce_heap`] has the same contract as [`Bdd::gc`]: the `roots`
-//! pin what stays valid. It first collects everything unreachable from the
-//! roots, then sifts, freeing nodes the moment swaps orphan them (tracked
-//! with transient reference counts) so the table never balloons mid-sift.
-//! Handles reachable from the roots keep their slots — the swap primitive
+//! The live set of [`crate::BddManager::reduce_heap`] is the manager's
+//! external-root table: every [`crate::Func`] handle owns a root slot, so
+//! the table is the complete set of externally reachable functions by
+//! construction. Reordering first collects everything unreachable from
+//! the roots, then sifts, freeing nodes the moment swaps orphan them
+//! (tracked with transient reference counts) so the table never balloons
+//! mid-sift. Rooted handles keep their slots — the swap primitive
 //! rewrites nodes *in place*, label and cofactors rebuilt for the new
-//! order — and therefore stay valid and denote the same functions.
-//! Handles *not* covered by the roots are invalidated, exactly as with
-//! `gc`.
+//! order — and therefore every `Func` stays valid and denotes the same
+//! function across any number of reorderings.
 //!
-//! With empty `roots`, [`Bdd::reduce_heap`] falls back to the externally
-//! protected handles ([`Bdd::protect`]) as its live set; if nothing is
-//! protected either it is a no-op — sifting needs a live set to measure,
-//! and pinning everything would make improvement impossible by
-//! construction. [`Bdd::set_order`] with empty roots, by contrast, pins
-//! every allocated node (applying a permutation needs no metric), so all
-//! existing handles survive it.
+//! With no live roots, sifting is a no-op (it needs a live set to
+//! measure). [`crate::BddManager::set_order`], by contrast, pins every
+//! allocated node (applying a permutation needs no metric).
+//!
+//! Internally the entry points take an `extra` pin list on top of the
+//! root table; it is used by in-crate tests and is always empty on the
+//! public paths.
 //!
 //! # Groups
 //!
-//! [`Bdd::group_vars`] declares a run of adjacent variables that must stay
-//! adjacent — the FSM layer groups each state bit's (current, next) pair,
-//! the standard requirement for transition-relation orders. Sifting moves
-//! a group as one block and never reorders within it.
+//! [`crate::BddManager::group_vars`] declares a run of adjacent variables
+//! that must stay adjacent — the FSM layer groups each state bit's
+//! (current, next) pair, the standard requirement for transition-relation
+//! orders. Sifting moves a group as one block and never reorders within
+//! it.
 
+use crate::manager::Inner;
 use crate::node::{Node, Ref, VarId};
-use crate::Bdd;
 
 /// When reordering runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReorderMode {
-    /// Never reorder; [`Bdd::reduce_heap`] is a no-op.
+    /// Never reorder; [`crate::BddManager::reduce_heap`] is a no-op.
     Off,
-    /// Reorder only on explicit [`Bdd::reduce_heap`] calls.
+    /// Reorder only on explicit [`crate::BddManager::reduce_heap`] calls.
     #[default]
     Sift,
     /// Additionally reorder automatically when the live-node count passes
     /// the configured growth threshold (checked at the safe points where
-    /// higher layers call [`Bdd::maybe_reduce_heap`]).
+    /// higher layers call [`crate::BddManager::maybe_reduce_heap`]).
     Auto,
 }
 
@@ -61,7 +63,7 @@ impl std::str::FromStr for ReorderMode {
 }
 
 /// Configuration for dynamic reordering; set with
-/// [`Bdd::set_reorder_config`].
+/// [`crate::BddManager::set_reorder_config`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReorderConfig {
     /// When reordering runs.
@@ -120,7 +122,7 @@ struct ReorderCtx {
     swaps: usize,
 }
 
-impl Bdd {
+impl Inner {
     /// Declares that `vars` form a reordering group: they must currently
     /// occupy adjacent levels, and sifting will move them as one block,
     /// preserving their relative order. Typical use: a state bit's
@@ -185,26 +187,25 @@ impl Bdd {
         self.level2var.iter().map(|&v| VarId(v)).collect()
     }
 
-    /// Sifts variables to shrink the BDDs reachable from `roots` plus the
-    /// externally protected handles ([`Bdd::protect`]).
+    /// Sifts variables to shrink the BDDs reachable from the external-root
+    /// table plus the `extra` pins (in-crate tests only; empty on the
+    /// public path).
     ///
-    /// Same validity contract as [`Bdd::gc`]: unreachable nodes are
-    /// collected (before and during the sift), so any handle covered by
-    /// neither `roots` nor a protection becomes invalid. Rooted handles
-    /// keep their slots and their meanings. With empty `roots` the
-    /// protected handles alone are the live set; if nothing is protected
-    /// either, this is a no-op (sifting has no live set to measure).
+    /// Everything unreachable from that live set is collected before and
+    /// during the sift. Rooted handles keep their slots and their
+    /// meanings. With no live roots at all this is a no-op (sifting has
+    /// no live set to measure).
     ///
     /// All persistent operation caches are invalidated.
-    pub fn reduce_heap(&mut self, roots: &[Ref]) -> ReorderStats {
+    pub fn reduce_heap(&mut self, extra: &[Ref]) -> ReorderStats {
         if self.reorder.mode == ReorderMode::Off {
             return ReorderStats::default();
         }
-        if roots.is_empty() && self.protected.is_empty() {
+        if extra.is_empty() && self.ext_live() == 0 {
             return ReorderStats::default();
         }
         self.clear_caches();
-        let mut ctx = self.rooted_ctx(roots);
+        let mut ctx = self.rooted_ctx(extra);
         let before = self.live_nodes() - 2;
         let blocks_sifted = self.sift_all(&mut ctx);
         let after = self.live_nodes() - 2;
@@ -217,25 +218,24 @@ impl Bdd {
         }
     }
 
-    /// Collects against `roots` ∪ protected and builds the refcount
+    /// Collects against `extra` ∪ root table and builds the refcount
     /// context pinning that combined live set.
-    fn rooted_ctx(&mut self, roots: &[Ref]) -> ReorderCtx {
-        let mut pinned = roots.to_vec();
-        pinned.extend_from_slice(&self.protected);
-        self.gc(&pinned);
+    fn rooted_ctx(&mut self, extra: &[Ref]) -> ReorderCtx {
+        let mut pinned = extra.to_vec();
+        self.ext_roots_into(&mut pinned);
+        self.gc(extra);
         self.reorder_ctx(&pinned)
     }
 
-    /// Automatic-reorder checkpoint: runs [`Bdd::reduce_heap`] if the
+    /// Automatic-reorder checkpoint: runs [`Inner::reduce_heap`] if the
     /// mode is [`ReorderMode::Auto`] and the live-node count has crossed
-    /// the current threshold. Higher layers call this at workflow
-    /// boundaries where they can enumerate the complete live root set —
-    /// the roots gate validity exactly as in [`Bdd::gc`].
-    pub fn maybe_reduce_heap(&mut self, roots: &[Ref]) -> Option<ReorderStats> {
+    /// the current threshold. Because every live handle is in the root
+    /// table, this is safe to call at any point.
+    pub fn maybe_reduce_heap(&mut self, extra: &[Ref]) -> Option<ReorderStats> {
         if self.reorder.mode != ReorderMode::Auto || self.live_nodes() < self.next_auto_threshold {
             return None;
         }
-        let stats = self.reduce_heap(roots);
+        let stats = self.reduce_heap(extra);
         let rearm = (self.live_nodes() as f64 * self.reorder.auto_scale) as usize;
         self.next_auto_threshold = rearm.max(self.reorder.auto_threshold);
         Some(stats)
@@ -251,7 +251,7 @@ impl Bdd {
 
     /// Builds reference counts: one per parent edge in the table, plus one
     /// pin per root occurrence (or a pin on every allocated slot when
-    /// `roots` is empty). Callers run [`Bdd::gc`] first when using
+    /// `roots` is empty). Callers run [`Inner::gc`] first when using
     /// explicit roots, so the table holds exactly the reachable nodes.
     fn reorder_ctx(&self, roots: &[Ref]) -> ReorderCtx {
         let mut rc = vec![0u32; self.nodes.len()];
@@ -552,9 +552,10 @@ impl Bdd {
 
     /// Applies an explicit variable order (levels top to bottom) by
     /// swapping adjacent levels; mainly useful for tests and experiments.
-    /// Same validity contract as [`Bdd::reduce_heap`]: non-empty `roots`
-    /// collect everything else first; empty `roots` keep every handle
-    /// valid. Grouped variables must appear contiguously in `order`.
+    /// Empty `roots` (the public path) pins every allocated node so every
+    /// handle stays valid; non-empty `roots` (in-crate tests) collect
+    /// everything unreachable from them and the root table first.
+    /// Grouped variables must appear contiguously in `order`.
     ///
     /// # Panics
     ///
@@ -615,7 +616,7 @@ mod tests {
     /// Builds the classic worst-case-order function
     /// `(x0 ∧ x1) ∨ (x2 ∧ x3) ∨ (x4 ∧ x5)` with the pairs split across the
     /// order: `x0 x2 x4 x1 x3 x5`.
-    fn split_pairs(bdd: &mut Bdd) -> (Vec<VarId>, Ref) {
+    fn split_pairs(bdd: &mut Inner) -> (Vec<VarId>, Ref) {
         let vars = bdd.new_vars(6);
         // Interleave the order badly: evens first, odds after.
         let bad: Vec<VarId> = [0, 2, 4, 1, 3, 5].iter().map(|&i| vars[i]).collect();
@@ -632,7 +633,7 @@ mod tests {
 
     #[test]
     fn swap_preserves_denotation_and_refs() {
-        let mut bdd = Bdd::new();
+        let mut bdd = Inner::new();
         let (vars, f) = split_pairs(&mut bdd);
         let before: Vec<bool> = (0..64u32)
             .map(|bits| bdd.eval(f, &|v| bits >> v.index() & 1 == 1))
@@ -650,7 +651,7 @@ mod tests {
 
     #[test]
     fn sifting_finds_the_linear_order() {
-        let mut bdd = Bdd::new();
+        let mut bdd = Inner::new();
         let (_, f) = split_pairs(&mut bdd);
         let before = bdd.node_count(f);
         let stats = bdd.reduce_heap(&[f]);
@@ -668,7 +669,7 @@ mod tests {
 
     #[test]
     fn reduce_heap_respects_off_mode() {
-        let mut bdd = Bdd::new();
+        let mut bdd = Inner::new();
         let (_, f) = split_pairs(&mut bdd);
         bdd.set_reorder_config(ReorderConfig {
             mode: ReorderMode::Off,
@@ -682,7 +683,7 @@ mod tests {
 
     #[test]
     fn groups_stay_adjacent_through_sifting() {
-        let mut bdd = Bdd::new();
+        let mut bdd = Inner::new();
         let vars = bdd.new_vars(8);
         for pair in vars.chunks(2) {
             bdd.group_vars(pair);
@@ -708,7 +709,7 @@ mod tests {
 
     #[test]
     fn auto_trigger_fires_and_rearms() {
-        let mut bdd = Bdd::new();
+        let mut bdd = Inner::new();
         bdd.set_reorder_config(ReorderConfig {
             mode: ReorderMode::Auto,
             auto_threshold: 8,
@@ -724,7 +725,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "contiguous and in declared order")]
     fn set_order_rejects_reversed_group() {
-        let mut bdd = Bdd::new();
+        let mut bdd = Inner::new();
         let vars = bdd.new_vars(4);
         bdd.group_vars(&[vars[0], vars[1]]);
         // Contiguous but internally reversed: must be rejected, otherwise
@@ -735,7 +736,7 @@ mod tests {
 
     #[test]
     fn set_order_applies_permutation() {
-        let mut bdd = Bdd::new();
+        let mut bdd = Inner::new();
         let vars = bdd.new_vars(4);
         let f = {
             let a = bdd.var(vars[0]);

@@ -2,24 +2,22 @@
 
 use std::collections::HashMap;
 
+use crate::manager::Inner;
 use crate::node::{Ref, VarId};
-use crate::Bdd;
 
-impl Bdd {
+impl Inner {
     /// Functional composition: `f` with `var` replaced by the function `g`.
     ///
     /// # Examples
     ///
     /// ```
-    /// use covest_bdd::Bdd;
-    /// let mut b = Bdd::new();
-    /// let x = b.new_var();
-    /// let y = b.new_var();
-    /// let fx = b.var(x);
-    /// let fy = b.var(y);
-    /// let ny = b.not(fy);
+    /// use covest_bdd::BddManager;
+    /// let mgr = BddManager::new();
+    /// let x = mgr.new_var();
+    /// let y = mgr.new_var();
+    /// let ny = mgr.var(y).not();
     /// // x composed with ¬y is ¬y
-    /// assert_eq!(b.compose(fx, x, ny), ny);
+    /// assert_eq!(mgr.var(x).compose(x, &ny), ny);
     /// ```
     pub fn compose(&mut self, f: Ref, var: VarId, g: Ref) -> Ref {
         let map: HashMap<u32, Ref> = [(var.0, g)].into_iter().collect();
@@ -31,7 +29,7 @@ impl Bdd {
     /// replaced by the associated function, all at once.
     ///
     /// Simultaneity matters: `vector_compose(f, {x ↦ y, y ↦ x})` swaps the
-    /// two variables, whereas two sequential [`Bdd::compose`] calls would
+    /// two variables, whereas two sequential [`Inner::compose`] calls would
     /// collapse them.
     pub fn vector_compose(&mut self, f: Ref, map: &[(VarId, Ref)]) -> Ref {
         let map: HashMap<u32, Ref> = map.iter().map(|&(v, g)| (v.0, g)).collect();
@@ -101,7 +99,7 @@ mod tests {
 
     #[test]
     fn compose_with_constant_is_restrict() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let x = b.new_var();
         let y = b.new_var();
         let fx = b.var(x);
@@ -115,7 +113,7 @@ mod tests {
 
     #[test]
     fn vector_compose_is_simultaneous() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let x = b.new_var();
         let y = b.new_var();
         let fx = b.var(x);
@@ -133,7 +131,7 @@ mod tests {
 
     #[test]
     fn rename_moves_support() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let x = b.new_var();
         let y = b.new_var();
         let z = b.new_var();
@@ -147,7 +145,7 @@ mod tests {
 
     #[test]
     fn swap_is_involution() {
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let x = b.new_var();
         let y = b.new_var();
         let z = b.new_var();
@@ -165,7 +163,7 @@ mod tests {
     fn rename_against_reversed_order() {
         // Renaming to a variable *above* the source in the order must
         // still produce a canonical result.
-        let mut b = Bdd::new();
+        let mut b = Inner::new();
         let a = b.new_var(); // level 0
         let c = b.new_var(); // level 1
         let fc = b.var(c);

@@ -1,71 +1,68 @@
 //! Garbage-collection stress: interleave heavy BDD construction with
-//! collections and verify that protected functions survive intact and
+//! rootless collections and verify that live handles survive intact and
 //! that the table stops growing.
+//!
+//! Under the RAII API the "protected working set" is simply the set of
+//! `Func` values still in scope — there is no roots list to maintain.
 
-use covest_bdd::{Bdd, Ref, VarId};
+use covest_bdd::{BddManager, Func, VarId};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-fn random_function(bdd: &mut Bdd, vars: &[VarId], rng: &mut StdRng) -> Ref {
-    let mut f = Ref::FALSE;
+fn random_function(mgr: &BddManager, vars: &[VarId], rng: &mut StdRng) -> Func {
+    let mut f = mgr.constant(false);
     for _ in 0..rng.gen_range(2..8) {
-        let mut cube = Ref::TRUE;
+        let mut cube = mgr.constant(true);
         for &v in vars {
             match rng.gen_range(0..3) {
-                0 => {
-                    let l = bdd.var(v);
-                    cube = bdd.and(cube, l);
-                }
-                1 => {
-                    let l = bdd.nvar(v);
-                    cube = bdd.and(cube, l);
-                }
+                0 => cube = cube.and(&mgr.var(v)),
+                1 => cube = cube.and(&mgr.nvar(v)),
                 _ => {}
             }
         }
-        f = bdd.or(f, cube);
+        f = f.or(&cube);
     }
     f
 }
 
+fn fingerprint(f: &Func, assignments: &[Vec<bool>]) -> Vec<bool> {
+    assignments
+        .iter()
+        .map(|a| f.eval(&|v| a[v.index()]))
+        .collect()
+}
+
 #[test]
-fn gc_keeps_protected_functions_and_bounds_memory() {
+fn gc_keeps_live_handles_and_bounds_memory() {
     let mut rng = StdRng::seed_from_u64(0xDEAD);
-    let mut bdd = Bdd::new();
-    let vars = bdd.new_vars(10);
-    // Protected working set with truth-table fingerprints.
-    let mut protected: Vec<(Ref, Vec<bool>)> = Vec::new();
+    let mgr = BddManager::new();
+    let vars = mgr.new_vars(10);
+    // Live working set with truth-table fingerprints; everything else
+    // becomes garbage the moment its handle drops.
+    let mut kept: Vec<(Func, Vec<bool>)> = Vec::new();
     let assignments: Vec<Vec<bool>> = (0..64)
         .map(|i| (0..10).map(|b| (i >> b) & 1 == 1).collect())
         .collect();
-    let fingerprint = |bdd: &Bdd, f: Ref| -> Vec<bool> {
-        assignments
-            .iter()
-            .map(|a| bdd.eval(f, &|v| a[v.index()]))
-            .collect()
-    };
 
     let mut high_water = 0usize;
     for round in 0..30 {
         // Allocate garbage plus one keeper.
         for _ in 0..20 {
-            let _ = random_function(&mut bdd, &vars, &mut rng);
+            let _ = random_function(&mgr, &vars, &mut rng);
         }
-        let keep = random_function(&mut bdd, &vars, &mut rng);
-        let fp = fingerprint(&bdd, keep);
-        protected.push((keep, fp));
-        if protected.len() > 5 {
-            protected.remove(0);
+        let keep = random_function(&mgr, &vars, &mut rng);
+        let fp = fingerprint(&keep, &assignments);
+        kept.push((keep, fp));
+        if kept.len() > 5 {
+            kept.remove(0); // dropping the handle releases its root
         }
-        let roots: Vec<Ref> = protected.iter().map(|(r, _)| *r).collect();
-        let freed = bdd.gc(&roots);
-        let _ = freed;
-        // Every protected function still evaluates identically.
-        for (f, fp) in &protected {
-            assert_eq!(&fingerprint(&bdd, *f), fp, "round {round}");
+        mgr.gc();
+        // Every live function still evaluates identically.
+        for (f, fp) in &kept {
+            assert_eq!(&fingerprint(f, &assignments), fp, "round {round}");
         }
-        high_water = high_water.max(bdd.table_size());
+        high_water = high_water.max(mgr.table_size());
     }
-    // The table must not have grown without bound: with ≤ 5 protected
+    // The table must not have grown without bound: with ≤ 5 live
     // functions of ≤ 8 cubes over 10 vars, a few thousand slots suffice.
     assert!(
         high_water < 50_000,
@@ -74,50 +71,43 @@ fn gc_keeps_protected_functions_and_bounds_memory() {
 }
 
 #[test]
-fn gc_and_reorder_stress_keeps_protected_functions() {
+fn gc_and_reorder_stress_keeps_live_handles() {
     // Same shape as the GC stress above, but every round also sifts: the
-    // protected working set must survive arbitrary interleavings of
-    // reordering (which moves and rewrites nodes in place) and collection
-    // (which frees the sift garbage).
+    // live working set must survive arbitrary interleavings of reordering
+    // (which moves and rewrites nodes in place) and collection (which
+    // frees the sift garbage).
     let mut rng = StdRng::seed_from_u64(0xBEEF);
-    let mut bdd = Bdd::new();
-    let vars = bdd.new_vars(10);
-    let mut protected: Vec<(Ref, Vec<bool>)> = Vec::new();
+    let mgr = BddManager::new();
+    let vars = mgr.new_vars(10);
+    let mut kept: Vec<(Func, Vec<bool>)> = Vec::new();
     let assignments: Vec<Vec<bool>> = (0..64)
         .map(|i| (0..10).map(|b| (i >> b) & 1 == 1).collect())
         .collect();
-    let fingerprint = |bdd: &Bdd, f: Ref| -> Vec<bool> {
-        assignments
-            .iter()
-            .map(|a| bdd.eval(f, &|v| a[v.index()]))
-            .collect()
-    };
 
     let mut high_water = 0usize;
     for round in 0..20 {
         for _ in 0..10 {
-            let _ = random_function(&mut bdd, &vars, &mut rng);
+            let _ = random_function(&mgr, &vars, &mut rng);
         }
-        let keep = random_function(&mut bdd, &vars, &mut rng);
-        let fp = fingerprint(&bdd, keep);
-        protected.push((keep, fp));
-        if protected.len() > 5 {
-            protected.remove(0);
+        let keep = random_function(&mgr, &vars, &mut rng);
+        let fp = fingerprint(&keep, &assignments);
+        kept.push((keep, fp));
+        if kept.len() > 5 {
+            kept.remove(0);
         }
-        let roots: Vec<Ref> = protected.iter().map(|(r, _)| *r).collect();
         // Alternate the order of collection and sifting across rounds.
         if round % 2 == 0 {
-            bdd.gc(&roots);
-            let stats = bdd.reduce_heap(&roots);
+            mgr.gc();
+            let stats = mgr.reduce_heap();
             assert!(stats.after <= stats.before, "round {round}");
         } else {
-            bdd.reduce_heap(&roots);
-            bdd.gc(&roots);
+            mgr.reduce_heap();
+            mgr.gc();
         }
-        for (f, fp) in &protected {
-            assert_eq!(&fingerprint(&bdd, *f), fp, "round {round}");
+        for (f, fp) in &kept {
+            assert_eq!(&fingerprint(f, &assignments), fp, "round {round}");
         }
-        high_water = high_water.max(bdd.table_size());
+        high_water = high_water.max(mgr.table_size());
     }
     assert!(
         high_water < 50_000,
@@ -127,25 +117,24 @@ fn gc_and_reorder_stress_keeps_protected_functions() {
 
 #[test]
 fn gc_idempotent_and_canonical_after_collection() {
-    let mut bdd = Bdd::new();
-    let vars = bdd.new_vars(6);
-    let lits: Vec<Ref> = vars.iter().map(|&v| bdd.var(v)).collect();
-    let keep = {
-        let a = bdd.and(lits[0], lits[1]);
-        let b = bdd.xor(lits[2], lits[3]);
-        bdd.or(a, b)
-    };
-    let _garbage = bdd.and_many(lits.clone());
-    let freed1 = bdd.gc(&[keep]);
-    let freed2 = bdd.gc(&[keep]);
+    let mgr = BddManager::new();
+    let vars = mgr.new_vars(6);
+    let lits: Vec<Func> = vars.iter().map(|&v| mgr.var(v)).collect();
+    let keep = lits[0].and(&lits[1]).or(&lits[2].xor(&lits[3]));
+    {
+        let _garbage = mgr.and_many(&lits);
+    }
+    drop(lits);
+    let freed1 = mgr.gc();
+    let freed2 = mgr.gc();
     assert!(freed1 > 0);
     assert_eq!(freed2, 0, "second collection finds nothing");
-    // Rebuilding an equal function yields the identical Ref (canonicity
+    // Rebuilding an equal function yields an equal handle (canonicity
     // across collections).
     let again = {
-        let a = bdd.and(lits[0], lits[1]);
-        let b = bdd.xor(lits[2], lits[3]);
-        bdd.or(a, b)
+        let a = mgr.var(vars[0]).and(&mgr.var(vars[1]));
+        let b = mgr.var(vars[2]).xor(&mgr.var(vars[3]));
+        a.or(&b)
     };
     assert_eq!(again, keep);
 }

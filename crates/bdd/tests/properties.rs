@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use covest_bdd::{Bdd, Ref, VarId};
+use covest_bdd::{BddManager, Func, VarId};
 use proptest::prelude::*;
 
 const NVARS: usize = 5;
@@ -41,35 +41,15 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     })
 }
 
-fn build(bdd: &mut Bdd, vars: &[VarId], e: &Expr) -> Ref {
+fn build(mgr: &BddManager, vars: &[VarId], e: &Expr) -> Func {
     match e {
-        Expr::Const(c) => bdd.constant(*c),
-        Expr::Var(i) => bdd.var(vars[*i]),
-        Expr::Not(a) => {
-            let fa = build(bdd, vars, a);
-            bdd.not(fa)
-        }
-        Expr::And(a, b) => {
-            let fa = build(bdd, vars, a);
-            let fb = build(bdd, vars, b);
-            bdd.and(fa, fb)
-        }
-        Expr::Or(a, b) => {
-            let fa = build(bdd, vars, a);
-            let fb = build(bdd, vars, b);
-            bdd.or(fa, fb)
-        }
-        Expr::Xor(a, b) => {
-            let fa = build(bdd, vars, a);
-            let fb = build(bdd, vars, b);
-            bdd.xor(fa, fb)
-        }
-        Expr::Ite(a, b, c) => {
-            let fa = build(bdd, vars, a);
-            let fb = build(bdd, vars, b);
-            let fc = build(bdd, vars, c);
-            bdd.ite(fa, fb, fc)
-        }
+        Expr::Const(c) => mgr.constant(*c),
+        Expr::Var(i) => mgr.var(vars[*i]),
+        Expr::Not(a) => build(mgr, vars, a).not(),
+        Expr::And(a, b) => build(mgr, vars, a).and(&build(mgr, vars, b)),
+        Expr::Or(a, b) => build(mgr, vars, a).or(&build(mgr, vars, b)),
+        Expr::Xor(a, b) => build(mgr, vars, a).xor(&build(mgr, vars, b)),
+        Expr::Ite(a, b, c) => build(mgr, vars, a).ite(&build(mgr, vars, b), &build(mgr, vars, c)),
     }
 }
 
@@ -99,23 +79,23 @@ proptest! {
     /// The BDD agrees with direct expression evaluation on every input.
     #[test]
     fn bdd_matches_truth_table(e in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f = build(&mgr, &vars, &e);
         for a in assignments() {
             let expect = eval_expr(&e, &a);
-            let got = bdd.eval(f, &|v| a[v.index()]);
+            let got = f.eval(&|v| a[v.index()]);
             prop_assert_eq!(expect, got, "assignment {:?}", a);
         }
     }
 
-    /// Canonicity: semantically equal functions get identical Refs.
+    /// Canonicity: semantically equal functions get equal handles.
     #[test]
     fn canonicity(e1 in arb_expr(), e2 in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let f1 = build(&mut bdd, &vars, &e1);
-        let f2 = build(&mut bdd, &vars, &e2);
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f1 = build(&mgr, &vars, &e1);
+        let f2 = build(&mgr, &vars, &e2);
         let semantically_equal = assignments()
             .all(|a| eval_expr(&e1, &a) == eval_expr(&e2, &a));
         prop_assert_eq!(semantically_equal, f1 == f2);
@@ -124,23 +104,23 @@ proptest! {
     /// Exact model count matches the truth-table count.
     #[test]
     fn sat_count_matches_truth_table(e in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f = build(&mgr, &vars, &e);
         let expect = assignments().filter(|a| eval_expr(&e, a)).count() as u128;
-        prop_assert_eq!(bdd.sat_count_exact(f, &vars), expect);
-        let float = bdd.sat_count_over(f, &vars);
+        prop_assert_eq!(f.sat_count_exact(&vars), expect);
+        let float = f.sat_count_over(&vars);
         prop_assert!((float - expect as f64).abs() < 1e-9);
     }
 
     /// Minterm enumeration yields exactly the satisfying assignments.
     #[test]
     fn minterms_match_truth_table(e in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
-        let mut got: Vec<Vec<bool>> = bdd
-            .minterms_over(f, &vars)
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f = build(&mgr, &vars, &e);
+        let mut got: Vec<Vec<bool>> = f
+            .minterms_over(&vars)
             .map(|m| {
                 let lookup: HashMap<VarId, bool> = m.into_iter().collect();
                 vars.iter().map(|v| lookup[v]).collect()
@@ -157,85 +137,77 @@ proptest! {
     /// ∃x.f is the disjunction of cofactors; ∀x.f the conjunction.
     #[test]
     fn quantification_is_cofactor_combination(e in arb_expr(), idx in 0..NVARS) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f = build(&mgr, &vars, &e);
         let v = vars[idx];
-        let f0 = bdd.restrict(f, v, false);
-        let f1 = bdd.restrict(f, v, true);
-        let ex = bdd.exists(f, &[v]);
-        let ex_expect = bdd.or(f0, f1);
-        prop_assert_eq!(ex, ex_expect);
-        let fa = bdd.forall(f, &[v]);
-        let fa_expect = bdd.and(f0, f1);
-        prop_assert_eq!(fa, fa_expect);
+        let f0 = f.restrict(v, false);
+        let f1 = f.restrict(v, true);
+        prop_assert_eq!(f.exists(&[v]), f0.or(&f1));
+        prop_assert_eq!(f.forall(&[v]), f0.and(&f1));
     }
 
     /// Fused and_exists equals conjunction followed by quantification.
     #[test]
     fn and_exists_equals_two_step(e1 in arb_expr(), e2 in arb_expr(), mask in 0u32..(1 << NVARS)) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e1);
-        let g = build(&mut bdd, &vars, &e2);
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f = build(&mgr, &vars, &e1);
+        let g = build(&mgr, &vars, &e2);
         let qs: Vec<VarId> = vars
             .iter()
             .enumerate()
             .filter(|(i, _)| mask & (1 << i) != 0)
             .map(|(_, &v)| v)
             .collect();
-        let fused = bdd.and_exists(f, g, &qs);
-        let conj = bdd.and(f, g);
-        let two_step = bdd.exists(conj, &qs);
+        let fused = f.and_exists(&g, &qs);
+        let two_step = f.and(&g).exists(&qs);
         prop_assert_eq!(fused, two_step);
     }
 
     /// Renaming to fresh variables then back is the identity.
     #[test]
     fn rename_roundtrip(e in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let fresh = bdd.new_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let fresh = mgr.new_vars(NVARS);
+        let f = build(&mgr, &vars, &e);
         let forward: Vec<(VarId, VarId)> =
             vars.iter().copied().zip(fresh.iter().copied()).collect();
         let backward: Vec<(VarId, VarId)> =
             fresh.iter().copied().zip(vars.iter().copied()).collect();
-        let there = bdd.rename(f, &forward);
-        let back = bdd.rename(there, &backward);
+        let back = f.rename(&forward).rename(&backward);
         prop_assert_eq!(back, f);
     }
 
-    /// GC with the function as root preserves it and rebuilding anything
-    /// still produces canonical results.
+    /// GC (rootless: live handles pin themselves) preserves the function
+    /// and rebuilding anything still produces canonical results.
     #[test]
-    fn gc_preserves_roots(e in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
-        bdd.gc(&[f]);
-        let f2 = build(&mut bdd, &vars, &e);
-        prop_assert_eq!(f, f2);
+    fn gc_preserves_live_handles(e in arb_expr()) {
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f = build(&mgr, &vars, &e);
+        mgr.gc();
+        let f2 = build(&mgr, &vars, &e);
+        prop_assert_eq!(&f2, &f);
         for a in assignments().take(8) {
-            prop_assert_eq!(bdd.eval(f, &|v| a[v.index()]), eval_expr(&e, &a));
+            prop_assert_eq!(f.eval(&|v| a[v.index()]), eval_expr(&e, &a));
         }
     }
 
     /// Cube enumeration rebuilds the original function.
     #[test]
     fn cubes_rebuild_function(e in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
-        let cubes: Vec<_> = bdd.cubes(f).collect();
-        let mut rebuilt = Ref::FALSE;
-        for cube in cubes {
-            let mut c = Ref::TRUE;
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f = build(&mgr, &vars, &e);
+        let mut rebuilt = mgr.constant(false);
+        for cube in f.cubes() {
+            let mut c = mgr.constant(true);
             for (v, val) in cube {
-                let lit = bdd.literal(v, val);
-                c = bdd.and(c, lit);
+                c = c.and(&mgr.literal(v, val));
             }
-            rebuilt = bdd.or(rebuilt, c);
+            rebuilt = rebuilt.or(&c);
         }
         prop_assert_eq!(rebuilt, f);
     }

@@ -1,11 +1,12 @@
 //! Property-based tests for dynamic reordering: `reduce_heap` must
 //! preserve semantics (evaluation, canonicity, satisfying-assignment
 //! counts), never separate grouped variable pairs, and interoperate with
-//! garbage collection.
+//! garbage collection — all through the rootless RAII API, where the live
+//! set is exactly the `Func` handles still in scope.
 
 use std::collections::HashMap;
 
-use covest_bdd::{Bdd, Ref, ReorderConfig, ReorderMode, VarId};
+use covest_bdd::{BddManager, Func, ReorderConfig, ReorderMode, VarId};
 use proptest::prelude::*;
 
 const NVARS: usize = 6;
@@ -36,168 +37,156 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     })
 }
 
-fn build(bdd: &mut Bdd, vars: &[VarId], e: &Expr) -> Ref {
+fn build(mgr: &BddManager, vars: &[VarId], e: &Expr) -> Func {
     match e {
-        Expr::Const(c) => bdd.constant(*c),
-        Expr::Var(i) => bdd.var(vars[*i]),
-        Expr::Not(a) => {
-            let fa = build(bdd, vars, a);
-            bdd.not(fa)
-        }
-        Expr::And(a, b) => {
-            let fa = build(bdd, vars, a);
-            let fb = build(bdd, vars, b);
-            bdd.and(fa, fb)
-        }
-        Expr::Or(a, b) => {
-            let fa = build(bdd, vars, a);
-            let fb = build(bdd, vars, b);
-            bdd.or(fa, fb)
-        }
-        Expr::Xor(a, b) => {
-            let fa = build(bdd, vars, a);
-            let fb = build(bdd, vars, b);
-            bdd.xor(fa, fb)
-        }
+        Expr::Const(c) => mgr.constant(*c),
+        Expr::Var(i) => mgr.var(vars[*i]),
+        Expr::Not(a) => build(mgr, vars, a).not(),
+        Expr::And(a, b) => build(mgr, vars, a).and(&build(mgr, vars, b)),
+        Expr::Or(a, b) => build(mgr, vars, a).or(&build(mgr, vars, b)),
+        Expr::Xor(a, b) => build(mgr, vars, a).xor(&build(mgr, vars, b)),
     }
 }
 
-fn truth_table(bdd: &Bdd, f: Ref) -> Vec<bool> {
+fn truth_table(f: &Func) -> Vec<bool> {
     (0..(1u32 << NVARS))
-        .map(|bits| bdd.eval(f, &|v| bits >> v.index() & 1 == 1))
+        .map(|bits| f.eval(&|v| bits >> v.index() & 1 == 1))
         .collect()
 }
 
 proptest! {
     /// Sifting changes only the shape: evaluation, exact counts and the
-    /// float count all stay identical for every root.
+    /// float count all stay identical for every live handle.
     #[test]
     fn reduce_heap_preserves_semantics(e1 in arb_expr(), e2 in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let f1 = build(&mut bdd, &vars, &e1);
-        let f2 = build(&mut bdd, &vars, &e2);
-        let tt1 = truth_table(&bdd, f1);
-        let tt2 = truth_table(&bdd, f2);
-        let count1 = bdd.sat_count_exact(f1, &vars);
-        let count2 = bdd.sat_count_exact(f2, &vars);
-        let float1 = bdd.sat_count_over(f1, &vars);
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f1 = build(&mgr, &vars, &e1);
+        let f2 = build(&mgr, &vars, &e2);
+        let tt1 = truth_table(&f1);
+        let tt2 = truth_table(&f2);
+        let count1 = f1.sat_count_exact(&vars);
+        let count2 = f2.sat_count_exact(&vars);
+        let float1 = f1.sat_count_over(&vars);
 
-        let stats = bdd.reduce_heap(&[f1, f2]);
+        let stats = mgr.reduce_heap();
         prop_assert!(stats.after <= stats.before);
 
-        prop_assert_eq!(truth_table(&bdd, f1), tt1);
-        prop_assert_eq!(truth_table(&bdd, f2), tt2);
-        prop_assert_eq!(bdd.sat_count_exact(f1, &vars), count1);
-        prop_assert_eq!(bdd.sat_count_exact(f2, &vars), count2);
+        prop_assert_eq!(truth_table(&f1), tt1);
+        prop_assert_eq!(truth_table(&f2), tt2);
+        prop_assert_eq!(f1.sat_count_exact(&vars), count1);
+        prop_assert_eq!(f2.sat_count_exact(&vars), count2);
         // Counting is a sum of dyadic rationals, so it is not just close
         // but bit-identical under any order.
-        prop_assert_eq!(bdd.sat_count_over(f1, &vars).to_bits(), float1.to_bits());
+        prop_assert_eq!(f1.sat_count_over(&vars).to_bits(), float1.to_bits());
     }
 
     /// Canonicity survives reordering: rebuilding a function after a sift
-    /// yields the same handle.
+    /// yields an equal handle.
     #[test]
     fn canonicity_after_reorder(e in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
-        bdd.reduce_heap(&[f]);
-        let again = build(&mut bdd, &vars, &e);
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f = build(&mgr, &vars, &e);
+        mgr.reduce_heap();
+        let again = build(&mgr, &vars, &e);
         prop_assert_eq!(f, again);
     }
 
-    /// `reduce_heap` has gc's contract: unrooted garbage is reclaimed
-    /// while rooted handles survive with identical semantics. With empty
-    /// roots the protected registry is the live set; with nothing
-    /// protected either, the call is a no-op.
+    /// `reduce_heap` collects like gc: dropped garbage is reclaimed while
+    /// live handles survive with identical semantics; with no live handle
+    /// at all, the call is a no-op.
     #[test]
-    fn reduce_heap_has_gc_contract(e1 in arb_expr(), e2 in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let rooted = build(&mut bdd, &vars, &e1);
-        let tt = truth_table(&bdd, rooted);
-        let garbage = build(&mut bdd, &vars, &e2);
-        let live_with_garbage = bdd.live_nodes();
-        bdd.reduce_heap(&[rooted]);
-        prop_assert!(bdd.live_nodes() <= live_with_garbage);
-        prop_assert_eq!(truth_table(&bdd, rooted), tt.clone());
+    fn reduce_heap_collects_dropped_garbage(e1 in arb_expr(), e2 in arb_expr()) {
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let rooted = build(&mgr, &vars, &e1);
+        let tt = truth_table(&rooted);
+        let live_with_garbage = {
+            let _garbage = build(&mgr, &vars, &e2);
+            mgr.live_nodes()
+        };
+        mgr.reduce_heap();
+        prop_assert!(mgr.live_nodes() <= live_with_garbage);
+        prop_assert_eq!(truth_table(&rooted), tt.clone());
 
-        // Rootless call falls back to the protected registry.
-        let mut bdd2 = Bdd::new();
-        let vars2 = bdd2.new_vars(NVARS);
-        let f1 = build(&mut bdd2, &vars2, &e1);
-        let f2 = build(&mut bdd2, &vars2, &e2);
-        let tt2 = truth_table(&bdd2, f2);
-        let order_before = bdd2.current_order();
-        bdd2.reduce_heap(&[]); // nothing protected: must be a no-op
-        prop_assert_eq!(bdd2.current_order(), order_before);
-        bdd2.protect(f1);
-        bdd2.protect(f2);
-        bdd2.reduce_heap(&[]);
-        bdd2.unprotect(f1);
-        bdd2.unprotect(f2);
-        prop_assert_eq!(truth_table(&bdd2, f1), tt);
-        prop_assert_eq!(truth_table(&bdd2, f2), tt2);
-        let _ = garbage;
+        // With no handle in scope, sifting has no live set: no-op.
+        let mgr2 = BddManager::new();
+        let vars2 = mgr2.new_vars(NVARS);
+        {
+            let _f1 = build(&mgr2, &vars2, &e1);
+        }
+        let order_before = mgr2.current_order();
+        mgr2.reduce_heap();
+        prop_assert_eq!(mgr2.current_order(), order_before);
+
+        // Handles in scope are the live set — no registration needed.
+        let f1 = build(&mgr2, &vars2, &e1);
+        let f2 = build(&mgr2, &vars2, &e2);
+        let tt2 = truth_table(&f2);
+        mgr2.reduce_heap();
+        prop_assert_eq!(truth_table(&f1), tt);
+        prop_assert_eq!(truth_table(&f2), tt2);
     }
 
     /// Quantification and substitution agree with a pre-reorder oracle
     /// after sifting (the memo layers must not leak stale entries).
     #[test]
     fn operations_after_reorder_match_oracle(e in arb_expr(), idx in 0..NVARS) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f = build(&mgr, &vars, &e);
         let v = vars[idx];
-        let ex_before = bdd.exists(f, &[v]);
-        let tt = truth_table(&bdd, ex_before);
-        bdd.reduce_heap(&[f, ex_before]);
-        let ex_after = bdd.exists(f, &[v]);
-        prop_assert_eq!(ex_before, ex_after);
-        prop_assert_eq!(truth_table(&bdd, ex_after), tt);
+        let ex_before = f.exists(&[v]);
+        let tt = truth_table(&ex_before);
+        mgr.reduce_heap();
+        let ex_after = f.exists(&[v]);
+        prop_assert_eq!(&ex_before, &ex_after);
+        prop_assert_eq!(truth_table(&ex_after), tt);
     }
 
     /// Grouped pairs are never separated, whatever the function demands.
     #[test]
     fn grouped_pairs_stay_adjacent(e in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
         for pair in vars.chunks(2) {
-            bdd.group_vars(pair);
+            mgr.group_vars(pair);
         }
-        let f = build(&mut bdd, &vars, &e);
-        bdd.reduce_heap(&[f]);
+        let _f = build(&mgr, &vars, &e);
+        mgr.reduce_heap();
         for pair in vars.chunks(2) {
             prop_assert_eq!(
-                bdd.level_of(pair[1]),
-                bdd.level_of(pair[0]) + 1,
+                mgr.level_of(pair[1]),
+                mgr.level_of(pair[0]) + 1,
                 "pair {:?} separated", pair
             );
-            prop_assert_eq!(bdd.group_of(pair[0]), Some(pair.to_vec()));
+            prop_assert_eq!(mgr.group_of(pair[0]), Some(pair.to_vec()));
         }
     }
 
-    /// GC after reorder reclaims the sift garbage without disturbing the
-    /// roots; reorder after GC works on the compacted table.
+    /// GC after reorder reclaims the sift garbage without disturbing live
+    /// handles; reorder after GC works on the compacted table.
     #[test]
     fn gc_and_reorder_interleave(e1 in arb_expr(), e2 in arb_expr()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.new_vars(NVARS);
-        let keep = build(&mut bdd, &vars, &e1);
-        let tt = truth_table(&bdd, keep);
-        let _garbage = build(&mut bdd, &vars, &e2);
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let keep = build(&mgr, &vars, &e1);
+        let tt = truth_table(&keep);
+        {
+            let _garbage = build(&mgr, &vars, &e2);
+        }
 
-        bdd.reduce_heap(&[keep]);
-        let freed = bdd.gc(&[keep]);
-        let live_after_gc = bdd.live_nodes();
-        prop_assert_eq!(truth_table(&bdd, keep), tt.clone());
+        mgr.reduce_heap();
+        let freed = mgr.gc();
+        let live_after_gc = mgr.live_nodes();
+        prop_assert_eq!(truth_table(&keep), tt.clone());
 
-        let stats = bdd.reduce_heap(&[keep]);
+        let stats = mgr.reduce_heap();
         prop_assert_eq!(stats.before + 2, live_after_gc,
             "after gc, the live table is exactly the rooted set plus terminals");
-        bdd.gc(&[keep]);
-        prop_assert_eq!(truth_table(&bdd, keep), tt);
+        mgr.gc();
+        prop_assert_eq!(truth_table(&keep), tt);
         let _ = freed;
     }
 }
@@ -205,75 +194,68 @@ proptest! {
 #[test]
 fn sat_counts_are_bit_identical_across_random_orders() {
     // Deterministic spot-check on a function with an irregular count.
-    let mut bdd = Bdd::new();
-    let vars = bdd.new_vars(NVARS);
-    let mut f = Ref::FALSE;
+    let mgr = BddManager::new();
+    let vars = mgr.new_vars(NVARS);
+    let mut f = mgr.constant(false);
     for i in 0..NVARS {
-        let a = bdd.var(vars[i]);
-        let b = bdd.var(vars[(i * 2 + 1) % NVARS]);
-        let c = bdd.and(a, b);
-        f = bdd.or(f, c);
+        let a = mgr.var(vars[i]);
+        let b = mgr.var(vars[(i * 2 + 1) % NVARS]);
+        f = f.or(&a.and(&b));
     }
-    let count = bdd.sat_count_over(f, &vars);
+    let count = f.sat_count_over(&vars);
     for rotation in 1..NVARS {
         let order: Vec<VarId> = (0..NVARS).map(|i| vars[(i + rotation) % NVARS]).collect();
-        bdd.set_order(&[f], &order);
-        assert_eq!(bdd.current_order(), order);
-        assert_eq!(bdd.sat_count_over(f, &vars).to_bits(), count.to_bits());
+        mgr.set_order(&order);
+        assert_eq!(mgr.current_order(), order);
+        assert_eq!(f.sat_count_over(&vars).to_bits(), count.to_bits());
     }
 }
 
 #[test]
 fn reorder_modes_gate_reduce_heap() {
-    let mut bdd = Bdd::new();
-    let vars = bdd.new_vars(4);
+    let mgr = BddManager::new();
+    let vars = mgr.new_vars(4);
     let badly_ordered = {
-        let a = bdd.var(vars[0]);
-        let b = bdd.var(vars[2]);
-        let c = bdd.and(a, b);
-        let d = bdd.var(vars[1]);
-        let e = bdd.var(vars[3]);
-        let g = bdd.and(d, e);
-        bdd.or(c, g)
+        let c = mgr.var(vars[0]).and(&mgr.var(vars[2]));
+        let g = mgr.var(vars[1]).and(&mgr.var(vars[3]));
+        c.or(&g)
     };
-    bdd.set_reorder_config(ReorderConfig {
+    mgr.set_reorder_config(ReorderConfig {
         mode: ReorderMode::Off,
         ..Default::default()
     });
-    let order = bdd.current_order();
-    assert_eq!(bdd.reduce_heap(&[badly_ordered]).swaps, 0);
-    assert_eq!(bdd.current_order(), order);
+    let order = mgr.current_order();
+    assert_eq!(mgr.reduce_heap().swaps, 0);
+    assert_eq!(mgr.current_order(), order);
 
-    bdd.set_reorder_config(ReorderConfig {
+    mgr.set_reorder_config(ReorderConfig {
         mode: ReorderMode::Sift,
         ..Default::default()
     });
-    let stats = bdd.reduce_heap(&[badly_ordered]);
+    let stats = mgr.reduce_heap();
     assert!(stats.after <= stats.before);
+    let _ = badly_ordered;
 }
 
 #[test]
 fn minterm_enumeration_consistent_after_reorder() {
-    let mut bdd = Bdd::new();
-    let vars = bdd.new_vars(NVARS);
+    let mgr = BddManager::new();
+    let vars = mgr.new_vars(NVARS);
     let f = {
-        let a = bdd.var(vars[0]);
-        let b = bdd.var(vars[3]);
-        let c = bdd.xor(a, b);
-        let d = bdd.var(vars[5]);
-        bdd.or(c, d)
+        let c = mgr.var(vars[0]).xor(&mgr.var(vars[3]));
+        c.or(&mgr.var(vars[5]))
     };
-    let collect = |bdd: &Bdd| -> Vec<Vec<(VarId, bool)>> {
-        let mut v: Vec<_> = bdd.minterms_over(f, &vars).collect();
+    let collect = |f: &Func| -> Vec<Vec<(VarId, bool)>> {
+        let mut v: Vec<_> = f.minterms_over(&vars).collect();
         v.sort();
         v
     };
-    let before = collect(&bdd);
-    bdd.reduce_heap(&[f]);
-    assert_eq!(collect(&bdd), before);
+    let before = collect(&f);
+    mgr.reduce_heap();
+    assert_eq!(collect(&f), before);
     let lookups: Vec<HashMap<VarId, bool>> =
         before.iter().map(|m| m.iter().copied().collect()).collect();
     for lookup in &lookups {
-        assert!(bdd.eval(f, &|v| lookup[&v]));
+        assert!(f.eval(&|v| lookup[&v]));
     }
 }

@@ -7,17 +7,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_circuits::circular_queue;
 use covest_fsm::{ImageConfig, ImageMethod, SymbolicFsm};
 
 /// Builds the queue model configured for the given image method — via
 /// `compile_with`, so each arm pays only its own engine construction
 /// (the monolithic arm does no clustering work).
-fn queue_fsm(depth: i64, method: ImageMethod) -> (Bdd, SymbolicFsm) {
-    let mut bdd = Bdd::new();
+fn queue_fsm(depth: i64, method: ImageMethod) -> (BddManager, SymbolicFsm) {
+    let bdd = BddManager::new();
     let model = covest_smv::compile_with(
-        &mut bdd,
+        &bdd,
         &circular_queue::deck(depth),
         ImageConfig {
             method,
@@ -37,9 +37,9 @@ fn bench_image_methods(c: &mut Criterion) {
                 &depth,
                 |b, &depth| {
                     b.iter(|| {
-                        let (mut bdd, fsm) = queue_fsm(depth, method);
-                        let img = fsm.image(&mut bdd, fsm.init());
-                        std::hint::black_box(fsm.preimage(&mut bdd, img))
+                        let (_bdd, fsm) = queue_fsm(depth, method);
+                        let img = fsm.image(fsm.init());
+                        std::hint::black_box(fsm.preimage(&img))
                     })
                 },
             );
@@ -53,23 +53,23 @@ fn bench_relational_product(c: &mut Criterion) {
     for depth in [4i64, 16] {
         group.bench_with_input(BenchmarkId::new("fused", depth), &depth, |b, &depth| {
             b.iter(|| {
-                let (mut bdd, fsm) = queue_fsm(depth, ImageMethod::Monolithic);
-                let trans = fsm.trans(&mut bdd);
+                let (_bdd, fsm) = queue_fsm(depth, ImageMethod::Monolithic);
+                let trans = fsm.trans();
                 let mut quantified = fsm.current_vars();
                 quantified.extend(fsm.input_vars());
-                let img = bdd.and_exists(trans, fsm.init(), &quantified);
-                std::hint::black_box(bdd.rename(img, &fsm.next_to_cur()))
+                let img = trans.and_exists(fsm.init(), &quantified);
+                std::hint::black_box(img.rename(&fsm.next_to_cur()))
             })
         });
         group.bench_with_input(BenchmarkId::new("two_step", depth), &depth, |b, &depth| {
             b.iter(|| {
-                let (mut bdd, fsm) = queue_fsm(depth, ImageMethod::Monolithic);
-                let trans = fsm.trans(&mut bdd);
+                let (_bdd, fsm) = queue_fsm(depth, ImageMethod::Monolithic);
+                let trans = fsm.trans();
                 let mut quantified = fsm.current_vars();
                 quantified.extend(fsm.input_vars());
-                let conj = bdd.and(trans, fsm.init());
-                let img = bdd.exists(conj, &quantified);
-                std::hint::black_box(bdd.rename(img, &fsm.next_to_cur()))
+                let conj = trans.and(fsm.init());
+                let img = conj.exists(&quantified);
+                std::hint::black_box(img.rename(&fsm.next_to_cur()))
             })
         });
     }
@@ -85,8 +85,8 @@ fn bench_reachability(c: &mut Criterion) {
                 &depth,
                 |b, &depth| {
                     b.iter(|| {
-                        let (mut bdd, fsm) = queue_fsm(depth, method);
-                        std::hint::black_box(fsm.reachable(&mut bdd))
+                        let (_bdd, fsm) = queue_fsm(depth, method);
+                        std::hint::black_box(fsm.reachable())
                     })
                 },
             );
@@ -98,13 +98,13 @@ fn bench_reachability(c: &mut Criterion) {
 fn bench_sat_count(c: &mut Criterion) {
     let mut group = c.benchmark_group("bdd/sat_count");
     group.bench_function("float_vs_exact", |b| {
-        let mut bdd = Bdd::new();
-        let model = circular_queue::build(&mut bdd, 16).expect("compiles");
-        let reach = model.fsm.reachable(&mut bdd);
+        let bdd = BddManager::new();
+        let model = circular_queue::build(&bdd, 16).expect("compiles");
+        let reach = model.fsm.reachable();
         let vars = model.fsm.current_vars();
         b.iter(|| {
-            let f = bdd.sat_count_over(reach, &vars);
-            let e = bdd.sat_count_exact(reach, &vars);
+            let f = reach.sat_count_over(&vars);
+            let e = reach.sat_count_exact(&vars);
             std::hint::black_box((f, e))
         })
     });

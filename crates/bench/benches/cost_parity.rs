@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_bench::table2_workloads;
 use covest_core::CoveredSets;
 use covest_mc::ModelChecker;
@@ -18,15 +18,15 @@ fn bench_cost_parity(c: &mut Criterion) {
         let verify_label = format!("verify/{}/{}", w.circuit, w.signal);
         group.bench_function(&verify_label, |b| {
             b.iter(|| {
-                let mut bdd = Bdd::new();
-                let model = (w.build)(&mut bdd);
+                let bdd = BddManager::new();
+                let model = (w.build)(&bdd);
                 let mut mc = ModelChecker::new(&model.fsm);
                 for fair in &w.options.fairness {
-                    mc.add_fairness(&mut bdd, fair).expect("lowers");
+                    mc.add_fairness(fair).expect("lowers");
                 }
                 let mut all = true;
                 for p in &w.properties {
-                    all &= mc.holds(&mut bdd, &p.clone().into()).expect("checks");
+                    all &= mc.holds(&p.clone().into()).expect("checks");
                 }
                 std::hint::black_box(all)
             })
@@ -34,22 +34,21 @@ fn bench_cost_parity(c: &mut Criterion) {
         let coverage_label = format!("coverage/{}/{}", w.circuit, w.signal);
         group.bench_function(&coverage_label, |b| {
             b.iter(|| {
-                let mut bdd = Bdd::new();
-                let model = (w.build)(&mut bdd);
+                let bdd = BddManager::new();
+                let model = (w.build)(&bdd);
                 let mut mc = ModelChecker::new(&model.fsm);
                 for fair in &w.options.fairness {
-                    mc.add_fairness(&mut bdd, fair).expect("lowers");
+                    mc.add_fairness(fair).expect("lowers");
                 }
-                let mut cs =
-                    CoveredSets::with_checker(&mut bdd, mc, w.signal).expect("signal exists");
+                let mut cs = CoveredSets::with_checker(mc, w.signal).expect("signal exists");
                 // Coverage phase: covered sets + the reachability fixpoint
                 // the paper calls out as the extra cost.
-                let mut covered = covest_bdd::Ref::FALSE;
+                let mut covered = bdd.constant(false);
                 for p in &w.properties {
-                    let c = cs.covered_from_init(&mut bdd, p).expect("covers");
-                    covered = bdd.or(covered, c);
+                    let c = cs.covered_from_init(p).expect("covers");
+                    covered = covered.or(&c);
                 }
-                let reach = model.fsm.reachable(&mut bdd);
+                let reach = model.fsm.reachable();
                 let space = reach;
                 std::hint::black_box((covered, space))
             })

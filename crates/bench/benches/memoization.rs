@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_circuits::pipeline;
 use covest_core::CoveredSets;
 use covest_mc::ModelChecker;
@@ -19,21 +19,20 @@ fn bench_memoization(c: &mut Criterion) {
 
     group.bench_function("verify_then_cover_shared_cache", |b| {
         b.iter(|| {
-            let mut bdd = Bdd::new();
-            let model = pipeline::build(&mut bdd, 4).expect("compiles");
+            let bdd = BddManager::new();
+            let model = pipeline::build(&bdd, 4).expect("compiles");
             let mut mc = ModelChecker::new(&model.fsm);
-            mc.add_fairness(&mut bdd, &pipeline::fairness())
-                .expect("lowers");
-            let mut cs = CoveredSets::with_checker(&mut bdd, mc, "out").expect("signal");
+            mc.add_fairness(&pipeline::fairness()).expect("lowers");
+            let mut cs = CoveredSets::with_checker(mc, "out").expect("signal");
             // Verification warms the memo table …
             for p in &suite {
-                assert!(cs.verify(&mut bdd, p).expect("checks"));
+                assert!(cs.verify(p).expect("checks"));
             }
             // … which coverage estimation then reuses.
-            let mut acc = covest_bdd::Ref::FALSE;
+            let mut acc = bdd.constant(false);
             for p in &suite {
-                let cset = cs.covered_from_init(&mut bdd, p).expect("covers");
-                acc = bdd.or(acc, cset);
+                let cset = cs.covered_from_init(p).expect("covers");
+                acc = acc.or(&cset);
             }
             std::hint::black_box(acc)
         })
@@ -41,24 +40,22 @@ fn bench_memoization(c: &mut Criterion) {
 
     group.bench_function("verify_then_cover_cold_cache", |b| {
         b.iter(|| {
-            let mut bdd = Bdd::new();
-            let model = pipeline::build(&mut bdd, 4).expect("compiles");
+            let bdd = BddManager::new();
+            let model = pipeline::build(&bdd, 4).expect("compiles");
             // Verify with one checker …
             let mut mc = ModelChecker::new(&model.fsm);
-            mc.add_fairness(&mut bdd, &pipeline::fairness())
-                .expect("lowers");
+            mc.add_fairness(&pipeline::fairness()).expect("lowers");
             for p in &suite {
-                assert!(mc.holds(&mut bdd, &p.clone().into()).expect("checks"));
+                assert!(mc.holds(&p.clone().into()).expect("checks"));
             }
             // … then throw the memo table away and cover from scratch.
             let mut mc2 = ModelChecker::new(&model.fsm);
-            mc2.add_fairness(&mut bdd, &pipeline::fairness())
-                .expect("lowers");
-            let mut cs = CoveredSets::with_checker(&mut bdd, mc2, "out").expect("signal");
-            let mut acc = covest_bdd::Ref::FALSE;
+            mc2.add_fairness(&pipeline::fairness()).expect("lowers");
+            let mut cs = CoveredSets::with_checker(mc2, "out").expect("signal");
+            let mut acc = bdd.constant(false);
             for p in &suite {
-                let cset = cs.covered_from_init(&mut bdd, p).expect("covers");
-                acc = bdd.or(acc, cset);
+                let cset = cs.covered_from_init(p).expect("covers");
+                acc = acc.or(&cset);
             }
             std::hint::black_box(acc)
         })

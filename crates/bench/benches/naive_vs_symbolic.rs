@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_circuits::circular_queue;
 use covest_core::{reference_covered_set, CoveredSets, ReferenceMode};
 use covest_ctl::{parse_formula, Formula};
@@ -34,19 +34,18 @@ fn bench_chain(c: &mut Criterion) {
         let (stg, prop) = chain(n);
         group.bench_with_input(BenchmarkId::new("symbolic", n), &n, |b, _| {
             b.iter(|| {
-                let mut bdd = Bdd::new();
-                let fsm = stg.compile(&mut bdd).expect("compiles");
-                let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
-                std::hint::black_box(cs.covered_from_init(&mut bdd, &prop).expect("covers"))
+                let bdd = BddManager::new();
+                let fsm = stg.compile(&bdd).expect("compiles");
+                let mut cs = CoveredSets::new(&fsm, "q").expect("q exists");
+                std::hint::black_box(cs.covered_from_init(&prop).expect("covers"))
             })
         });
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
             b.iter(|| {
-                let mut bdd = Bdd::new();
-                let fsm = stg.compile(&mut bdd).expect("compiles");
+                let bdd = BddManager::new();
+                let fsm = stg.compile(&bdd).expect("compiles");
                 std::hint::black_box(
                     reference_covered_set(
-                        &mut bdd,
                         &fsm,
                         "q",
                         &prop,
@@ -69,25 +68,24 @@ fn bench_queue(c: &mut Criterion) {
         let suite = circular_queue::wrap_suite_initial();
         group.bench_with_input(BenchmarkId::new("symbolic", depth), &depth, |b, &depth| {
             b.iter(|| {
-                let mut bdd = Bdd::new();
-                let model = circular_queue::build(&mut bdd, depth).expect("compiles");
-                let mut cs = CoveredSets::new(&mut bdd, &model.fsm, "wrap").expect("wrap exists");
-                let mut acc = covest_bdd::Ref::FALSE;
+                let bdd = BddManager::new();
+                let model = circular_queue::build(&bdd, depth).expect("compiles");
+                let mut cs = CoveredSets::new(&model.fsm, "wrap").expect("wrap exists");
+                let mut acc = bdd.constant(false);
                 for p in &suite {
-                    let cset = cs.covered_from_init(&mut bdd, p).expect("covers");
-                    acc = bdd.or(acc, cset);
+                    let cset = cs.covered_from_init(p).expect("covers");
+                    acc = acc.or(&cset);
                 }
                 std::hint::black_box(acc)
             })
         });
         group.bench_with_input(BenchmarkId::new("naive", depth), &depth, |b, &depth| {
             b.iter(|| {
-                let mut bdd = Bdd::new();
-                let model = circular_queue::build(&mut bdd, depth).expect("compiles");
-                let mut acc = covest_bdd::Ref::FALSE;
+                let bdd = BddManager::new();
+                let model = circular_queue::build(&bdd, depth).expect("compiles");
+                let mut acc = bdd.constant(false);
                 for p in &suite {
                     let cset = reference_covered_set(
-                        &mut bdd,
                         &model.fsm,
                         "wrap",
                         p,
@@ -96,7 +94,7 @@ fn bench_queue(c: &mut Criterion) {
                         1 << 20,
                     )
                     .expect("reference runs");
-                    acc = bdd.or(acc, cset);
+                    acc = acc.or(&cset);
                 }
                 std::hint::black_box(acc)
             })

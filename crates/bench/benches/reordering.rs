@@ -3,7 +3,7 @@
 //! itself in isolation. The companion binary `reorder_report` records the
 //! node-count deltas in `BENCH_reorder.json`.
 
-use covest_bdd::{Bdd, ReorderConfig, ReorderMode};
+use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
 use covest_bench::table2_workloads;
 use covest_core::CoverageEstimator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -17,18 +17,18 @@ fn run_workload_with_mode(signal: &str, mode: ReorderMode) {
         .into_iter()
         .find(|w| w.signal == signal)
         .expect("workload exists");
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     bdd.set_reorder_config(ReorderConfig {
         mode,
         ..Default::default()
     });
-    let model = (w.build)(&mut bdd);
+    let model = (w.build)(&bdd);
     if mode != ReorderMode::Off {
-        bdd.reduce_heap(&model.fsm.protected_refs());
+        bdd.reduce_heap();
     }
     let estimator = CoverageEstimator::new(&model.fsm);
     let analysis = estimator
-        .analyze(&mut bdd, w.signal, &w.properties, &w.options)
+        .analyze(w.signal, &w.properties, &w.options)
         .expect("workload analyzes");
     std::hint::black_box(analysis.percent());
 }
@@ -58,9 +58,11 @@ fn bench_sift_alone(c: &mut Criterion) {
                         .into_iter()
                         .find(|w| w.signal == signal)
                         .expect("workload exists");
-                    let mut bdd = Bdd::new();
-                    let model = (w.build)(&mut bdd);
-                    std::hint::black_box(bdd.reduce_heap(&model.fsm.protected_refs()))
+                    let bdd = BddManager::new();
+                    // Keep the model alive: its handles are the live set
+                    // sifting measures.
+                    let _model = (w.build)(&bdd);
+                    std::hint::black_box(bdd.reduce_heap())
                 })
             },
         );

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_circuits::{circular_queue, pipeline, priority_buffer};
 use covest_core::{CoverageEstimator, CoverageOptions};
 
@@ -18,11 +18,11 @@ fn bench_queue_depth(c: &mut Criterion) {
             suite.extend(circular_queue::wrap_suite_additional());
             suite.extend(circular_queue::wrap_suite_final());
             b.iter(|| {
-                let mut bdd = Bdd::new();
-                let model = circular_queue::build(&mut bdd, depth).expect("compiles");
+                let bdd = BddManager::new();
+                let model = circular_queue::build(&bdd, depth).expect("compiles");
                 let est = CoverageEstimator::new(&model.fsm);
                 let a = est
-                    .analyze(&mut bdd, "wrap", &suite, &CoverageOptions::default())
+                    .analyze("wrap", &suite, &CoverageOptions::default())
                     .expect("analyzes");
                 std::hint::black_box(a.percent())
             })
@@ -40,12 +40,11 @@ fn bench_buffer_capacity(c: &mut Criterion) {
             |b, &capacity| {
                 let suite = priority_buffer::hi_suite(capacity);
                 b.iter(|| {
-                    let mut bdd = Bdd::new();
-                    let model =
-                        priority_buffer::build(&mut bdd, capacity, false).expect("compiles");
+                    let bdd = BddManager::new();
+                    let model = priority_buffer::build(&bdd, capacity, false).expect("compiles");
                     let est = CoverageEstimator::new(&model.fsm);
                     let a = est
-                        .analyze(&mut bdd, "hi_cnt", &suite, &CoverageOptions::default())
+                        .analyze("hi_cnt", &suite, &CoverageOptions::default())
                         .expect("analyzes");
                     std::hint::black_box(a.percent())
                 })
@@ -69,12 +68,10 @@ fn bench_pipeline_stages(c: &mut Criterion) {
                     ..Default::default()
                 };
                 b.iter(|| {
-                    let mut bdd = Bdd::new();
-                    let model = pipeline::build(&mut bdd, stages).expect("compiles");
+                    let bdd = BddManager::new();
+                    let model = pipeline::build(&bdd, stages).expect("compiles");
                     let est = CoverageEstimator::new(&model.fsm);
-                    let a = est
-                        .analyze(&mut bdd, "out", &suite, &opts)
-                        .expect("analyzes");
+                    let a = est.analyze("out", &suite, &opts).expect("analyzes");
                     std::hint::black_box(a.percent())
                 })
             },

@@ -4,16 +4,16 @@
 //!
 //! Run with `cargo run -p covest-bench --bin figures`.
 
-use covest_bdd::{Bdd, Ref};
+use covest_bdd::{BddManager, Func};
 use covest_circuits::toys;
 use covest_core::{reference_covered_set, CoveredSets, ReferenceMode, DEFAULT_STATE_LIMIT};
 use covest_ctl::parse_formula;
 use covest_fsm::{Stg, SymbolicFsm};
 
-fn decode_states(bdd: &Bdd, stg: &Stg, fsm: &SymbolicFsm, set: Ref) -> Vec<usize> {
+fn decode_states(stg: &Stg, fsm: &SymbolicFsm, set: &Func) -> Vec<usize> {
     let vars = fsm.current_vars();
-    let mut ids: Vec<usize> = bdd
-        .minterms_over(set, &vars)
+    let mut ids: Vec<usize> = set
+        .minterms_over(&vars)
         .map(|m| stg.decode_state(&m, fsm))
         .collect();
     ids.sort_unstable();
@@ -23,27 +23,26 @@ fn decode_states(bdd: &Bdd, stg: &Stg, fsm: &SymbolicFsm, set: Ref) -> Vec<usize
 
 fn main() {
     // ---- Figure 1 -------------------------------------------------------
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     let stg = toys::figure1();
-    let fsm = stg.compile(&mut bdd).expect("compiles");
+    let fsm = stg.compile(&bdd).expect("compiles");
     let prop = parse_formula("AG (p1 -> AX AX q)").expect("subset");
-    let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
-    assert!(cs.verify(&mut bdd, &prop).expect("verifies"));
-    let covered = cs.covered_from_init(&mut bdd, &prop).expect("covered");
+    let mut cs = CoveredSets::new(&fsm, "q").expect("q exists");
+    assert!(cs.verify(&prop).expect("verifies"));
+    let covered = cs.covered_from_init(&prop).expect("covered");
     println!("Figure 1: covered states for AG (p1 -> AX AX q)");
     println!("  q-labelled states : {:?}", stg.labelled_states("q"));
     println!(
         "  covered states    : {:?}  (paper: only the states the property demands)",
-        decode_states(&bdd, &stg, &fsm, covered)
+        decode_states(&stg, &fsm, &covered)
     );
 
     // ---- Figure 2 -------------------------------------------------------
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     let stg = toys::figure2();
-    let fsm = stg.compile(&mut bdd).expect("compiles");
+    let fsm = stg.compile(&bdd).expect("compiles");
     let prop = parse_formula("A[p1 U q]").expect("subset");
     let raw = reference_covered_set(
-        &mut bdd,
         &fsm,
         "q",
         &prop,
@@ -52,38 +51,34 @@ fn main() {
         DEFAULT_STATE_LIMIT,
     )
     .expect("reference runs");
-    let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
-    let covered = cs.covered_from_init(&mut bdd, &prop).expect("covered");
+    let mut cs = CoveredSets::new(&fsm, "q").expect("q exists");
+    let covered = cs.covered_from_init(&prop).expect("covered");
     println!("\nFigure 2: covered states for A[p1 U q]");
     println!(
         "  raw Definition 3  : {:?}  (paper: zero — the unintuitive case)",
-        decode_states(&bdd, &stg, &fsm, raw)
+        decode_states(&stg, &fsm, &raw)
     );
     println!(
         "  transformed       : {:?}  (paper: the first q state)",
-        decode_states(&bdd, &stg, &fsm, covered)
+        decode_states(&stg, &fsm, &covered)
     );
 
     // ---- Figure 3 -------------------------------------------------------
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     let stg = toys::figure3();
-    let fsm = stg.compile(&mut bdd).expect("compiles");
-    let mut cs = CoveredSets::new(&mut bdd, &fsm, "f2").expect("f2 exists");
+    let fsm = stg.compile(&bdd).expect("compiles");
+    let mut cs = CoveredSets::new(&fsm, "f2").expect("f2 exists");
     let f1 = parse_formula("f1").expect("subset");
     let f2 = parse_formula("f2").expect("subset");
-    let trav = cs
-        .traverse(&mut bdd, fsm.init(), &f1, &f2)
-        .expect("traverse");
-    let first = cs
-        .firstreached(&mut bdd, fsm.init(), &f2)
-        .expect("firstreached");
+    let trav = cs.traverse(fsm.init(), &f1, &f2).expect("traverse");
+    let first = cs.firstreached(fsm.init(), &f2).expect("firstreached");
     println!("\nFigure 3: state labelling for A[f1 U f2]");
     println!(
         "  traverse(S0,f1,f2)     : {:?}  (f1-prefix states)",
-        decode_states(&bdd, &stg, &fsm, trav)
+        decode_states(&stg, &fsm, &trav)
     );
     println!(
         "  firstreached(S0,f2)    : {:?}  (first f2 state per path)",
-        decode_states(&bdd, &stg, &fsm, first)
+        decode_states(&stg, &fsm, &first)
     );
 }

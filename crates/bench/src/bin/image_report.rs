@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_bench::{table2_workloads, Workload};
 use covest_core::CoverageEstimator;
 use covest_fsm::{ImageConfig, ImageMethod};
@@ -47,38 +47,35 @@ impl Row {
 /// size at a high-water mark, not cumulative allocation. Wall time
 /// covers engine build, sweep and the full coverage analysis.
 fn measure(w: &Workload, method: ImageMethod) -> Measurement {
-    let mut bdd = Bdd::new();
-    let model = (w.build)(&mut bdd);
+    let bdd = BddManager::new();
+    let model = (w.build)(&bdd);
     let mut fsm = model.fsm;
-    // Drop compile garbage (identical for both arms) before the window.
-    bdd.gc(&fsm.protected_refs());
+    // Drop compile garbage (identical for both arms) before the window;
+    // the machine's owned handles are the live set.
+    bdd.gc();
 
     let start = Instant::now();
     let mut peak_live = bdd.live_nodes();
-    fsm.set_image_config(
-        &mut bdd,
-        ImageConfig {
-            method,
-            ..Default::default()
-        },
-    );
+    fsm.set_image_config(ImageConfig {
+        method,
+        ..Default::default()
+    });
     peak_live = peak_live.max(bdd.live_nodes());
     let clusters = fsm.image_engine().clusters().len();
     // The default-config clusters from the build above (common to both
     // arms) and any rejected trial merges are garbage now.
-    bdd.gc(&fsm.protected_refs());
-    let mut reached = fsm.init();
-    let mut frontier = fsm.init();
+    bdd.gc();
+    let mut reached = fsm.init().clone();
+    let mut frontier = fsm.init().clone();
     loop {
-        let img = fsm.image(&mut bdd, frontier);
+        let img = fsm.image(&frontier);
         peak_live = peak_live.max(bdd.live_nodes());
-        let fresh = bdd.diff(img, reached);
+        let fresh = img.diff(&reached);
         let done = fresh.is_false();
-        reached = bdd.or(reached, fresh);
+        reached = reached.or(&fresh);
         frontier = fresh;
-        let mut roots = fsm.protected_refs();
-        roots.extend([reached, frontier]);
-        bdd.gc(&roots);
+        // `reached`/`frontier` pin themselves; everything else is swept.
+        bdd.gc();
         if done {
             break;
         }
@@ -86,7 +83,7 @@ fn measure(w: &Workload, method: ImageMethod) -> Measurement {
 
     let estimator = CoverageEstimator::new(&fsm);
     let analysis = estimator
-        .analyze(&mut bdd, w.signal, &w.properties, &w.options)
+        .analyze(w.signal, &w.properties, &w.options)
         .expect("workload analyzes");
     let millis = start.elapsed().as_secs_f64() * 1e3;
 

@@ -5,7 +5,7 @@
 //! The binaries (`table2`, `figures`) and the criterion benches all pull
 //! from here so the workloads stay identical across harnesses.
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_circuits::{circular_queue, counter, pipeline, priority_buffer};
 use covest_core::{CoverageAnalysis, CoverageEstimator, CoverageOptions};
 use covest_ctl::Formula;
@@ -24,22 +24,22 @@ pub struct Workload {
     /// Expected coverage percentage from the paper, for the report.
     pub paper_percent: f64,
     /// Builder for the circuit model.
-    pub build: fn(&mut Bdd) -> CompiledModel,
+    pub build: fn(&BddManager) -> CompiledModel,
 }
 
-fn build_buffer(bdd: &mut Bdd) -> CompiledModel {
+fn build_buffer(bdd: &BddManager) -> CompiledModel {
     priority_buffer::build(bdd, 4, false).expect("compiles")
 }
 
-fn build_queue(bdd: &mut Bdd) -> CompiledModel {
+fn build_queue(bdd: &BddManager) -> CompiledModel {
     circular_queue::build(bdd, 4).expect("compiles")
 }
 
-fn build_pipeline(bdd: &mut Bdd) -> CompiledModel {
+fn build_pipeline(bdd: &BddManager) -> CompiledModel {
     pipeline::build(bdd, 4).expect("compiles")
 }
 
-fn build_counter(bdd: &mut Bdd) -> CompiledModel {
+fn build_counter(bdd: &BddManager) -> CompiledModel {
     counter::build(bdd).expect("compiles")
 }
 
@@ -117,11 +117,11 @@ pub fn table2_workloads() -> Vec<Workload> {
 
 /// Runs one workload end to end on a fresh manager.
 pub fn run_workload(w: &Workload) -> CoverageAnalysis {
-    let mut bdd = Bdd::new();
-    let model = (w.build)(&mut bdd);
+    let bdd = BddManager::new();
+    let model = (w.build)(&bdd);
     let estimator = CoverageEstimator::new(&model.fsm);
     estimator
-        .analyze(&mut bdd, w.signal, &w.properties, &w.options)
+        .analyze(w.signal, &w.properties, &w.options)
         .expect("workload analyzes")
 }
 

@@ -5,14 +5,14 @@
 //! semantic equality literal `Ref` equality) and end-to-end through
 //! coverage analysis under `--reorder auto`.
 
-use covest_bdd::{Bdd, Ref, ReorderConfig, ReorderMode};
+use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
 use covest_bench::table2_workloads;
 use covest_core::{CoverageEstimator, CoverageOptions};
 use covest_fsm::{ImageConfig, ImageMethod, SymbolicFsm};
 use covest_smv::CompiledModel;
 
 /// Every bundled circuit, by Table-2 workload (deduplicated by circuit).
-fn circuit_models(bdd: &mut Bdd) -> Vec<(String, CompiledModel)> {
+fn circuit_models(bdd: &BddManager) -> Vec<(String, CompiledModel)> {
     let mut out: Vec<(String, CompiledModel)> = Vec::new();
     for w in table2_workloads() {
         if out.iter().any(|(name, _)| name == w.circuit) {
@@ -47,54 +47,54 @@ fn deck_sources() -> Vec<(String, String)> {
 /// Asserts the three image operations agree between the machine's
 /// partitioned engine and a monolithic twin, over a ladder of state sets
 /// grown from the initial states.
-fn assert_image_parity(bdd: &mut Bdd, name: &str, fsm: &SymbolicFsm) {
+fn assert_image_parity(bdd: &BddManager, name: &str, fsm: &SymbolicFsm) {
     assert_eq!(
         fsm.image_config().method,
         ImageMethod::Partitioned,
         "{name}: partitioned must be the default"
     );
     let mut mono = fsm.clone();
-    mono.set_image_config(bdd, ImageConfig::monolithic());
+    mono.set_image_config(ImageConfig::monolithic());
 
     // State sets: the BFS onion rings, their running union, and the
     // complement of the reachable set (exercises sets far from `init`).
-    let mut sets = vec![fsm.init(), Ref::TRUE, Ref::FALSE];
-    let rings = fsm.onion_rings(bdd, fsm.init());
-    let mut union = Ref::FALSE;
-    for &r in &rings {
-        union = bdd.or(union, r);
-        sets.push(r);
-        sets.push(union);
+    let mut sets = vec![fsm.init().clone(), bdd.constant(true), bdd.constant(false)];
+    let rings = fsm.onion_rings(fsm.init());
+    let mut union = bdd.constant(false);
+    for r in &rings {
+        union = union.or(r);
+        sets.push(r.clone());
+        sets.push(union.clone());
     }
-    sets.push(bdd.not(union));
+    sets.push(union.not());
 
-    for (i, &s) in sets.iter().enumerate() {
-        let img_p = fsm.image(bdd, s);
-        let img_m = mono.image(bdd, s);
+    for (i, s) in sets.iter().enumerate() {
+        let img_p = fsm.image(s);
+        let img_m = mono.image(s);
         assert_eq!(img_p, img_m, "{name}: image diverges on set {i}");
-        let pre_p = fsm.preimage(bdd, s);
-        let pre_m = mono.preimage(bdd, s);
+        let pre_p = fsm.preimage(s);
+        let pre_m = mono.preimage(s);
         assert_eq!(pre_p, pre_m, "{name}: preimage diverges on set {i}");
-        let unv_p = fsm.preimage_univ(bdd, s);
-        let unv_m = mono.preimage_univ(bdd, s);
+        let unv_p = fsm.preimage_univ(s);
+        let unv_m = mono.preimage_univ(s);
         assert_eq!(unv_p, unv_m, "{name}: preimage_univ diverges on set {i}");
     }
 }
 
 #[test]
 fn circuits_image_ops_bit_identical() {
-    let mut bdd = Bdd::new();
-    for (name, model) in circuit_models(&mut bdd) {
-        assert_image_parity(&mut bdd, &name, &model.fsm);
+    let bdd = BddManager::new();
+    for (name, model) in circuit_models(&bdd) {
+        assert_image_parity(&bdd, &name, &model.fsm);
     }
 }
 
 #[test]
 fn decks_image_ops_bit_identical() {
     for (name, src) in deck_sources() {
-        let mut bdd = Bdd::new();
-        let model = covest_smv::compile(&mut bdd, &src).expect("deck compiles");
-        assert_image_parity(&mut bdd, &name, &model.fsm);
+        let bdd = BddManager::new();
+        let model = covest_smv::compile(&bdd, &src).expect("deck compiles");
+        assert_image_parity(&bdd, &name, &model.fsm);
     }
 }
 
@@ -102,14 +102,14 @@ fn decks_image_ops_bit_identical() {
 /// under aggressive automatic reordering, returning the per-signal
 /// coverage percentages.
 fn analyze_deck(src: &str, method: ImageMethod, reorder: ReorderMode) -> Vec<(String, f64)> {
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     bdd.set_reorder_config(ReorderConfig {
         mode: reorder,
         auto_threshold: 256, // fire at essentially every checkpoint
         ..Default::default()
     });
     let model = covest_smv::compile_with(
-        &mut bdd,
+        &bdd,
         src,
         ImageConfig {
             method,
@@ -127,7 +127,7 @@ fn analyze_deck(src: &str, method: ImageMethod, reorder: ReorderMode) -> Vec<(St
         .iter()
         .map(|sig| {
             let a = estimator
-                .analyze(&mut bdd, sig, &model.specs, &options)
+                .analyze(sig, &model.specs, &options)
                 .expect("analyzes");
             (sig.clone(), a.percent())
         })
@@ -137,6 +137,7 @@ fn analyze_deck(src: &str, method: ImageMethod, reorder: ReorderMode) -> Vec<(St
 #[test]
 fn decks_coverage_bit_identical_under_auto_reorder() {
     for (name, src) in deck_sources() {
+        let mut per_mode = Vec::new();
         for reorder in [ReorderMode::Off, ReorderMode::Auto] {
             let mono = analyze_deck(&src, ImageMethod::Monolithic, reorder);
             let part = analyze_deck(&src, ImageMethod::Partitioned, reorder);
@@ -150,7 +151,59 @@ fn decks_coverage_bit_identical_under_auto_reorder() {
                      (mono {pct_m} vs part {pct_p})"
                 );
             }
+            per_mode.push(part);
         }
+        // Off vs Auto must also agree bit for bit: reordering (with its
+        // rootless collections) is a pure representation change.
+        for ((sig_off, pct_off), (sig_auto, pct_auto)) in per_mode[0].iter().zip(&per_mode[1]) {
+            assert_eq!(sig_off, sig_auto);
+            assert_eq!(
+                pct_off.to_bits(),
+                pct_auto.to_bits(),
+                "{name}/{sig_off}: coverage diverges across reorder modes \
+                 (off {pct_off} vs auto {pct_auto})"
+            );
+        }
+    }
+}
+
+/// Golden coverage percentages for the Table-2 workloads, pinned at
+/// 1e-4 precision (the exact values the pre-handle-API implementation
+/// produced, as recorded in `BENCH_reorder.json`/`BENCH_image.json`).
+/// Guards the API redesign — and any future one — against semantic
+/// drift in the analyses themselves.
+#[test]
+fn workloads_match_golden_coverage_percentages() {
+    let golden: &[(&str, u64)] = &[
+        ("hi_cnt", 1_000_000),
+        ("lo_cnt", 935_484),
+        ("wrap", 560_000),
+        ("full", 1_000_000),
+        ("empty", 1_000_000),
+        ("out", 651_042),
+        ("count", 833_333),
+    ];
+    for w in table2_workloads() {
+        let expect = golden
+            .iter()
+            .find(|(sig, _)| *sig == w.signal)
+            .unwrap_or_else(|| panic!("no golden value for {}", w.signal))
+            .1;
+        let bdd = BddManager::new();
+        let model = (w.build)(&bdd);
+        let estimator = CoverageEstimator::new(&model.fsm);
+        let analysis = estimator
+            .analyze(w.signal, &w.properties, &w.options)
+            .expect("workload analyzes");
+        let scaled = (analysis.percent() * 10_000.0).round() as u64;
+        assert_eq!(
+            scaled,
+            expect,
+            "{}/{}: coverage drifted from the golden value ({}%)",
+            w.circuit,
+            w.signal,
+            analysis.percent()
+        );
     }
 }
 
@@ -158,24 +211,21 @@ fn decks_coverage_bit_identical_under_auto_reorder() {
 fn workloads_coverage_bit_identical_under_auto_reorder() {
     for w in table2_workloads() {
         let run = |method: ImageMethod| -> f64 {
-            let mut bdd = Bdd::new();
+            let bdd = BddManager::new();
             bdd.set_reorder_config(ReorderConfig {
                 mode: ReorderMode::Auto,
                 auto_threshold: 256,
                 ..Default::default()
             });
-            let model = (w.build)(&mut bdd);
+            let model = (w.build)(&bdd);
             let mut fsm = model.fsm;
-            fsm.set_image_config(
-                &mut bdd,
-                ImageConfig {
-                    method,
-                    ..Default::default()
-                },
-            );
+            fsm.set_image_config(ImageConfig {
+                method,
+                ..Default::default()
+            });
             let estimator = CoverageEstimator::new(&fsm);
             estimator
-                .analyze(&mut bdd, w.signal, &w.properties, &w.options)
+                .analyze(w.signal, &w.properties, &w.options)
                 .expect("workload analyzes")
                 .percent()
         };

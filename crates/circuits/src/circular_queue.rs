@@ -15,7 +15,7 @@
 //! [`wrap_suite_initial`], [`wrap_suite_additional`] and
 //! [`wrap_suite_final`] reproduce the three stages.
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_ctl::{parse_formula, Formula};
 use covest_smv::{compile, CompiledModel, ModelError};
 
@@ -82,7 +82,7 @@ OBSERVED wrap, full, empty;
 /// # Errors
 ///
 /// Propagates [`ModelError`] (the generated decks always compile).
-pub fn build(bdd: &mut Bdd, depth: i64) -> Result<CompiledModel, ModelError> {
+pub fn build(bdd: &BddManager, depth: i64) -> Result<CompiledModel, ModelError> {
     compile(bdd, &deck(depth))
 }
 
@@ -163,8 +163,8 @@ mod tests {
 
     #[test]
     fn queue_semantics_sane() {
-        let mut bdd = Bdd::new();
-        let model = build(&mut bdd, 4).expect("compiles");
+        let bdd = BddManager::new();
+        let model = build(&bdd, 4).expect("compiles");
         let mut mc = ModelChecker::new(&model.fsm);
         for p in [
             "AG (reset -> AX empty)",
@@ -173,14 +173,14 @@ mod tests {
             "AG (wp_wraps & !rp_wraps & !wrap -> AX wrap)",
         ] {
             let formula = parse_formula(p).expect(p);
-            assert!(mc.holds(&mut bdd, &formula.into()).expect("checks"), "{p}");
+            assert!(mc.holds(&formula.into()).expect("checks"), "{p}");
         }
     }
 
     #[test]
     fn wrap_suites_verify() {
-        let mut bdd = Bdd::new();
-        let model = build(&mut bdd, 4).expect("compiles");
+        let bdd = BddManager::new();
+        let model = build(&bdd, 4).expect("compiles");
         let mut mc = ModelChecker::new(&model.fsm);
         for p in wrap_suite_initial()
             .into_iter()
@@ -188,18 +188,18 @@ mod tests {
             .chain(wrap_suite_final())
         {
             let text = p.to_string();
-            assert!(mc.holds(&mut bdd, &p.into()).expect("checks"), "{text}");
+            assert!(mc.holds(&p.into()).expect("checks"), "{text}");
         }
     }
 
     #[test]
     fn full_empty_suites_verify() {
-        let mut bdd = Bdd::new();
-        let model = build(&mut bdd, 4).expect("compiles");
+        let bdd = BddManager::new();
+        let model = build(&bdd, 4).expect("compiles");
         let mut mc = ModelChecker::new(&model.fsm);
         for p in full_suite().into_iter().chain(empty_suite()) {
             let text = p.to_string();
-            assert!(mc.holds(&mut bdd, &p.into()).expect("checks"), "{text}");
+            assert!(mc.holds(&p.into()).expect("checks"), "{text}");
         }
     }
 }

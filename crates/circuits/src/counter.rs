@@ -9,7 +9,7 @@
 //! pins the counter's value in the *successors* of states satisfying the
 //! antecedent, so it cannot claim 100% coverage by itself.
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_ctl::{parse_formula, Formula};
 use covest_smv::{compile, CompiledModel, ModelError};
 
@@ -38,7 +38,7 @@ OBSERVED count;
 /// # Errors
 ///
 /// Propagates [`ModelError`] (the bundled deck always compiles).
-pub fn build(bdd: &mut Bdd) -> Result<CompiledModel, ModelError> {
+pub fn build(bdd: &BddManager) -> Result<CompiledModel, ModelError> {
     compile(bdd, &deck())
 }
 
@@ -82,25 +82,24 @@ mod tests {
 
     #[test]
     fn counter_counts_modulo_5() {
-        let mut bdd = Bdd::new();
-        let model = build(&mut bdd).expect("compiles");
+        let bdd = BddManager::new();
+        let model = build(&bdd).expect("compiles");
         let mut mc = ModelChecker::new(&model.fsm);
         for p in increment_properties() {
-            assert!(mc.holds(&mut bdd, &p.into()).expect("checks"));
+            assert!(mc.holds(&p.into()).expect("checks"));
         }
         for p in completing_properties() {
-            assert!(mc.holds(&mut bdd, &p.into()).expect("checks"));
+            assert!(mc.holds(&p.into()).expect("checks"));
         }
     }
 
     #[test]
     fn increment_properties_alone_are_incomplete() {
-        let mut bdd = Bdd::new();
-        let model = build(&mut bdd).expect("compiles");
+        let bdd = BddManager::new();
+        let model = build(&bdd).expect("compiles");
         let est = CoverageEstimator::new(&model.fsm);
         let a = est
             .analyze(
-                &mut bdd,
                 "count",
                 &increment_properties(),
                 &CoverageOptions::default(),
@@ -116,13 +115,13 @@ mod tests {
 
     #[test]
     fn completed_suite_reaches_full_coverage() {
-        let mut bdd = Bdd::new();
-        let model = build(&mut bdd).expect("compiles");
+        let bdd = BddManager::new();
+        let model = build(&bdd).expect("compiles");
         let est = CoverageEstimator::new(&model.fsm);
         let mut props = increment_properties();
         props.extend(completing_properties());
         let a = est
-            .analyze(&mut bdd, "count", &props, &CoverageOptions::default())
+            .analyze("count", &props, &CoverageOptions::default())
             .expect("analyzes");
         assert!(a.all_hold());
         assert_eq!(a.percent(), 100.0);

@@ -20,7 +20,7 @@
 //! it. Eventuality properties use the Until operator in nested form, as
 //! the paper highlights, and need the `!stall` fairness constraint.
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_ctl::{parse_formula, Formula, PropExpr};
 use covest_smv::{compile, CompiledModel, ModelError};
 
@@ -80,7 +80,7 @@ OBSERVED out;
 /// # Errors
 ///
 /// Propagates [`ModelError`] (the generated decks always compile).
-pub fn build(bdd: &mut Bdd, stages: usize) -> Result<CompiledModel, ModelError> {
+pub fn build(bdd: &BddManager, stages: usize) -> Result<CompiledModel, ModelError> {
     compile(bdd, &deck(stages))
 }
 
@@ -142,39 +142,39 @@ mod tests {
 
     #[test]
     fn pipeline_semantics_sane() {
-        let mut bdd = Bdd::new();
-        let model = build(&mut bdd, 4).expect("compiles");
+        let bdd = BddManager::new();
+        let model = build(&bdd, 4).expect("compiles");
         assert_eq!(model.fairness.len(), 1);
         let mut mc = ModelChecker::new(&model.fsm);
         for fair in &model.fairness {
-            mc.add_fairness(&mut bdd, fair).expect("lowers");
+            mc.add_fairness(fair).expect("lowers");
         }
         for p in ["AG (adv & d4 -> AX out)", "AG (adv -> AX hold = 2)"] {
             let formula = parse_formula(p).expect(p);
-            assert!(mc.holds(&mut bdd, &formula.into()).expect("checks"), "{p}");
+            assert!(mc.holds(&formula.into()).expect("checks"), "{p}");
         }
     }
 
     #[test]
     fn suites_verify_under_fairness() {
-        let mut bdd = Bdd::new();
-        let model = build(&mut bdd, 4).expect("compiles");
+        let bdd = BddManager::new();
+        let model = build(&bdd, 4).expect("compiles");
         let mut mc = ModelChecker::new(&model.fsm);
-        mc.add_fairness(&mut bdd, &fairness()).expect("lowers");
+        mc.add_fairness(&fairness()).expect("lowers");
         for p in out_suite_initial(4).into_iter().chain(out_suite_hold()) {
             let text = p.to_string();
-            assert!(mc.holds(&mut bdd, &p.into()).expect("checks"), "{text}");
+            assert!(mc.holds(&p.into()).expect("checks"), "{text}");
         }
     }
 
     #[test]
     fn eventuality_fails_without_fairness() {
-        let mut bdd = Bdd::new();
-        let model = build(&mut bdd, 4).expect("compiles");
+        let bdd = BddManager::new();
+        let model = build(&bdd, 4).expect("compiles");
         let mut mc = ModelChecker::new(&model.fsm);
         let p = parse_formula("AG (d1 -> AF out)").expect("subset");
         assert!(
-            !mc.holds(&mut bdd, &p.into()).expect("checks"),
+            !mc.holds(&p.into()).expect("checks"),
             "an always-stalled path defeats the eventuality without fairness"
         );
     }

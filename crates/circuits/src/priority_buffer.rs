@@ -15,7 +15,7 @@
 //! reproduce the story with [`deck`]'s `bug` flag: the buggy variant
 //! drops low-priority entries arriving at an empty buffer.
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_ctl::{parse_formula, Formula};
 use covest_smv::{compile, CompiledModel, ModelError};
 
@@ -89,7 +89,7 @@ OBSERVED hi_cnt, lo_cnt;
 /// # Errors
 ///
 /// Propagates [`ModelError`] (the generated decks always compile).
-pub fn build(bdd: &mut Bdd, capacity: i64, bug: bool) -> Result<CompiledModel, ModelError> {
+pub fn build(bdd: &BddManager, capacity: i64, bug: bool) -> Result<CompiledModel, ModelError> {
     compile(bdd, &deck(capacity, bug))
 }
 
@@ -240,34 +240,32 @@ mod tests {
 
     #[test]
     fn buffer_semantics_sane() {
-        let mut bdd = Bdd::new();
-        let model = build(&mut bdd, 4, false).expect("compiles");
+        let bdd = BddManager::new();
+        let model = build(&bdd, 4, false).expect("compiles");
         let mut mc = ModelChecker::new(&model.fsm);
         // Occupancy never exceeds capacity.
         let inv = parse_formula("AG total <= 4").expect("subset");
-        assert!(mc.holds(&mut bdd, &inv.into()).expect("checks"));
+        assert!(mc.holds(&inv.into()).expect("checks"));
         // Storing two high entries from empty.
         let p = parse_formula("AG (hi_cnt = 0 & lo_cnt = 0 & in_hi = 2 & !deq -> AX hi_cnt = 2)")
             .expect("subset");
-        assert!(mc.holds(&mut bdd, &p.into()).expect("checks"));
+        assert!(mc.holds(&p.into()).expect("checks"));
     }
 
     #[test]
     fn bug_drops_low_entries_into_empty_buffer() {
-        let mut bdd = Bdd::new();
-        let model = build(&mut bdd, 4, true).expect("compiles");
+        let bdd = BddManager::new();
+        let model = build(&bdd, 4, true).expect("compiles");
         let mut mc = ModelChecker::new(&model.fsm);
         let missing = lo_missing_case();
         assert!(
-            !mc.holds(&mut bdd, &missing.into()).expect("checks"),
+            !mc.holds(&missing.into()).expect("checks"),
             "the missing-case property must fail on the buggy design"
         );
         // But on the fixed design it holds.
-        let mut bdd2 = Bdd::new();
-        let fixed = build(&mut bdd2, 4, false).expect("compiles");
+        let bdd2 = BddManager::new();
+        let fixed = build(&bdd2, 4, false).expect("compiles");
         let mut mc2 = ModelChecker::new(&fixed.fsm);
-        assert!(mc2
-            .holds(&mut bdd2, &lo_missing_case().into())
-            .expect("checks"));
+        assert!(mc2.holds(&lo_missing_case().into()).expect("checks"));
     }
 }

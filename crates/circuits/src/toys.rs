@@ -93,62 +93,62 @@ pub const FIGURE3_FIRSTREACHED: &[usize] = &[3, 5, 7];
 #[cfg(test)]
 mod tests {
     use super::*;
-    use covest_bdd::{Bdd, Ref};
+    use covest_bdd::{BddManager, Func};
     use covest_core::CoveredSets;
     use covest_ctl::parse_formula;
 
-    fn states_fn(bdd: &mut Bdd, stg: &Stg, fsm: &covest_fsm::SymbolicFsm, ids: &[usize]) -> Ref {
-        let mut acc = Ref::FALSE;
+    fn states_fn(
+        bdd: &BddManager,
+        stg: &Stg,
+        fsm: &covest_fsm::SymbolicFsm,
+        ids: &[usize],
+    ) -> Func {
+        let mut acc = bdd.constant(false);
         for &s in ids {
-            let f = stg.state_fn(bdd, fsm, s);
-            acc = bdd.or(acc, f);
+            acc = acc.or(&stg.state_fn(fsm, s));
         }
         acc
     }
 
     #[test]
     fn figure1_covered_states() {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = figure1();
-        let fsm = stg.compile(&mut bdd).expect("compiles");
-        let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
+        let fsm = stg.compile(&bdd).expect("compiles");
+        let mut cs = CoveredSets::new(&fsm, "q").expect("q exists");
         let prop = parse_formula("AG (p1 -> AX AX q)").expect("subset");
-        assert!(cs.verify(&mut bdd, &prop).expect("verifies"));
-        let covered = cs.covered_from_init(&mut bdd, &prop).expect("covered");
-        let expect = states_fn(&mut bdd, &stg, &fsm, FIGURE1_COVERED);
+        assert!(cs.verify(&prop).expect("verifies"));
+        let covered = cs.covered_from_init(&prop).expect("covered");
+        let expect = states_fn(&bdd, &stg, &fsm, FIGURE1_COVERED);
         assert_eq!(covered, expect);
     }
 
     #[test]
     fn figure2_covered_states() {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = figure2();
-        let fsm = stg.compile(&mut bdd).expect("compiles");
-        let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
+        let fsm = stg.compile(&bdd).expect("compiles");
+        let mut cs = CoveredSets::new(&fsm, "q").expect("q exists");
         let prop = parse_formula("A[p1 U q]").expect("subset");
-        assert!(cs.verify(&mut bdd, &prop).expect("verifies"));
-        let covered = cs.covered_from_init(&mut bdd, &prop).expect("covered");
-        let expect = states_fn(&mut bdd, &stg, &fsm, FIGURE2_COVERED);
+        assert!(cs.verify(&prop).expect("verifies"));
+        let covered = cs.covered_from_init(&prop).expect("covered");
+        let expect = states_fn(&bdd, &stg, &fsm, FIGURE2_COVERED);
         assert_eq!(covered, expect);
     }
 
     #[test]
     fn figure3_traverse_and_firstreached() {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = figure3();
-        let fsm = stg.compile(&mut bdd).expect("compiles");
-        let mut cs = CoveredSets::new(&mut bdd, &fsm, "f2").expect("f2 exists");
+        let fsm = stg.compile(&bdd).expect("compiles");
+        let mut cs = CoveredSets::new(&fsm, "f2").expect("f2 exists");
         let f1 = parse_formula("f1").expect("subset");
         let f2 = parse_formula("f2").expect("subset");
-        let trav = cs
-            .traverse(&mut bdd, fsm.init(), &f1, &f2)
-            .expect("traverse");
-        let expect_t = states_fn(&mut bdd, &stg, &fsm, FIGURE3_TRAVERSE);
+        let trav = cs.traverse(fsm.init(), &f1, &f2).expect("traverse");
+        let expect_t = states_fn(&bdd, &stg, &fsm, FIGURE3_TRAVERSE);
         assert_eq!(trav, expect_t);
-        let first = cs
-            .firstreached(&mut bdd, fsm.init(), &f2)
-            .expect("firstreached");
-        let expect_f = states_fn(&mut bdd, &stg, &fsm, FIGURE3_FIRSTREACHED);
+        let first = cs.firstreached(fsm.init(), &f2).expect("firstreached");
+        let expect_f = states_fn(&bdd, &stg, &fsm, FIGURE3_FIRSTREACHED);
         assert_eq!(first, expect_f);
     }
 }

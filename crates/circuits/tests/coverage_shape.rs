@@ -3,18 +3,17 @@
 //! Table 2 and its narrative (exact values differ because the circuits
 //! are rebuilt from prose descriptions of proprietary designs).
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_circuits::{circular_queue, counter, pipeline, priority_buffer};
 use covest_core::{CoverageEstimator, CoverageOptions};
 
 #[test]
 fn priority_buffer_hi_is_fully_covered() {
-    let mut bdd = Bdd::new();
-    let model = priority_buffer::build(&mut bdd, 4, false).expect("compiles");
+    let bdd = BddManager::new();
+    let model = priority_buffer::build(&bdd, 4, false).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     let a = est
         .analyze(
-            &mut bdd,
             "hi_cnt",
             &priority_buffer::hi_suite(4),
             &CoverageOptions::default(),
@@ -26,12 +25,11 @@ fn priority_buffer_hi_is_fully_covered() {
 
 #[test]
 fn priority_buffer_lo_has_the_missing_case_hole() {
-    let mut bdd = Bdd::new();
-    let model = priority_buffer::build(&mut bdd, 4, false).expect("compiles");
+    let bdd = BddManager::new();
+    let model = priority_buffer::build(&bdd, 4, false).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     let initial = est
         .analyze(
-            &mut bdd,
             "lo_cnt",
             &priority_buffer::lo_suite_initial(4),
             &CoverageOptions::default(),
@@ -47,7 +45,7 @@ fn priority_buffer_lo_has_the_missing_case_hole() {
     let mut props = priority_buffer::lo_suite_initial(4);
     props.push(priority_buffer::lo_missing_case());
     let full = est
-        .analyze(&mut bdd, "lo_cnt", &props, &CoverageOptions::default())
+        .analyze("lo_cnt", &props, &CoverageOptions::default())
         .expect("analyzes");
     assert!(full.all_hold());
     assert_eq!(full.percent(), 100.0);
@@ -57,13 +55,12 @@ fn priority_buffer_lo_has_the_missing_case_hole() {
 fn priority_buffer_bug_discovery_story() {
     // The paper's punchline: the hole-closing property *fails* on the
     // real design, revealing a bug that had escaped model checking.
-    let mut bdd = Bdd::new();
-    let buggy = priority_buffer::build(&mut bdd, 4, true).expect("compiles");
+    let bdd = BddManager::new();
+    let buggy = priority_buffer::build(&bdd, 4, true).expect("compiles");
     let est = CoverageEstimator::new(&buggy.fsm);
     // The initial suite passes on the buggy design (the bug escaped).
     let initial = est
         .analyze(
-            &mut bdd,
             "lo_cnt",
             &priority_buffer::lo_suite_initial(4),
             &CoverageOptions::default(),
@@ -74,7 +71,7 @@ fn priority_buffer_bug_discovery_story() {
     // The new property fails, catching the bug.
     let mut props = vec![priority_buffer::lo_missing_case()];
     let catching = est
-        .analyze(&mut bdd, "lo_cnt", &props, &CoverageOptions::default())
+        .analyze("lo_cnt", &props, &CoverageOptions::default())
         .expect("analyzes");
     assert!(!catching.all_hold(), "the added property catches the bug");
     props.clear();
@@ -82,13 +79,13 @@ fn priority_buffer_bug_discovery_story() {
 
 #[test]
 fn circular_queue_wrap_stages() {
-    let mut bdd = Bdd::new();
-    let model = circular_queue::build(&mut bdd, 4).expect("compiles");
+    let bdd = BddManager::new();
+    let model = circular_queue::build(&bdd, 4).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     let opts = CoverageOptions::default();
 
     let s1 = circular_queue::wrap_suite_initial();
-    let a1 = est.analyze(&mut bdd, "wrap", &s1, &opts).expect("analyzes");
+    let a1 = est.analyze("wrap", &s1, &opts).expect("analyzes");
     assert!(a1.all_hold());
     assert!(
         a1.percent() > 40.0 && a1.percent() < 75.0,
@@ -98,7 +95,7 @@ fn circular_queue_wrap_stages() {
 
     let mut s2 = s1.clone();
     s2.extend(circular_queue::wrap_suite_additional());
-    let a2 = est.analyze(&mut bdd, "wrap", &s2, &opts).expect("analyzes");
+    let a2 = est.analyze("wrap", &s2, &opts).expect("analyzes");
     assert!(a2.all_hold());
     assert!(
         a2.percent() > a1.percent() && a2.percent() < 100.0,
@@ -108,7 +105,7 @@ fn circular_queue_wrap_stages() {
 
     let mut s3 = s2.clone();
     s3.extend(circular_queue::wrap_suite_final());
-    let a3 = est.analyze(&mut bdd, "wrap", &s3, &opts).expect("analyzes");
+    let a3 = est.analyze("wrap", &s3, &opts).expect("analyzes");
     assert!(a3.all_hold());
     assert_eq!(
         a3.percent(),
@@ -121,15 +118,15 @@ fn circular_queue_wrap_stages() {
 fn circular_queue_stall_hole_is_the_last_one() {
     // The uncovered states after the +3 stage are exactly the
     // missed-wrap states the paper's trace inspection identified.
-    let mut bdd = Bdd::new();
-    let model = circular_queue::build(&mut bdd, 4).expect("compiles");
+    let bdd = BddManager::new();
+    let model = circular_queue::build(&bdd, 4).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     let mut suite = circular_queue::wrap_suite_initial();
     suite.extend(circular_queue::wrap_suite_additional());
     let a = est
-        .analyze(&mut bdd, "wrap", &suite, &CoverageOptions::default())
+        .analyze("wrap", &suite, &CoverageOptions::default())
         .expect("analyzes");
-    let holes = est.uncovered_states(&mut bdd, &a, 1000);
+    let holes = est.uncovered_states(&a, 1000);
     assert!(!holes.is_empty());
     for state in holes {
         let missed = state
@@ -146,15 +143,15 @@ fn circular_queue_stall_hole_is_the_last_one() {
 
 #[test]
 fn circular_queue_full_empty_complete() {
-    let mut bdd = Bdd::new();
-    let model = circular_queue::build(&mut bdd, 4).expect("compiles");
+    let bdd = BddManager::new();
+    let model = circular_queue::build(&bdd, 4).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     for (sig, suite) in [
         ("full", circular_queue::full_suite()),
         ("empty", circular_queue::empty_suite()),
     ] {
         let a = est
-            .analyze(&mut bdd, sig, &suite, &CoverageOptions::default())
+            .analyze(sig, &suite, &CoverageOptions::default())
             .expect("analyzes");
         assert!(a.all_hold());
         assert_eq!(a.percent(), 100.0, "paper: {sig} 100% with 2 properties");
@@ -164,15 +161,15 @@ fn circular_queue_full_empty_complete() {
 
 #[test]
 fn pipeline_out_stages() {
-    let mut bdd = Bdd::new();
-    let model = pipeline::build(&mut bdd, 4).expect("compiles");
+    let bdd = BddManager::new();
+    let model = pipeline::build(&bdd, 4).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     let opts = CoverageOptions {
         fairness: vec![pipeline::fairness()],
         ..Default::default()
     };
     let initial = est
-        .analyze(&mut bdd, "out", &pipeline::out_suite_initial(4), &opts)
+        .analyze("out", &pipeline::out_suite_initial(4), &opts)
         .expect("analyzes");
     assert!(initial.all_hold());
     assert_eq!(initial.properties.len(), 8, "paper: 8 properties");
@@ -183,9 +180,7 @@ fn pipeline_out_stages() {
     );
     let mut props = pipeline::out_suite_initial(4);
     props.extend(pipeline::out_suite_hold());
-    let full = est
-        .analyze(&mut bdd, "out", &props, &opts)
-        .expect("analyzes");
+    let full = est.analyze("out", &props, &opts).expect("analyzes");
     assert!(full.all_hold());
     assert_eq!(
         full.percent(),
@@ -196,28 +191,27 @@ fn pipeline_out_stages() {
 
 #[test]
 fn pipeline_holes_are_hold_or_stall_states() {
-    let mut bdd = Bdd::new();
-    let model = pipeline::build(&mut bdd, 4).expect("compiles");
+    let bdd = BddManager::new();
+    let model = pipeline::build(&bdd, 4).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     let opts = CoverageOptions {
         fairness: vec![pipeline::fairness()],
         ..Default::default()
     };
     let a = est
-        .analyze(&mut bdd, "out", &pipeline::out_suite_initial(4), &opts)
+        .analyze("out", &pipeline::out_suite_initial(4), &opts)
         .expect("analyzes");
-    let traces = est.traces_to_uncovered(&mut bdd, &a, 5);
+    let traces = est.traces_to_uncovered(&a, 5);
     assert!(!traces.is_empty(), "traces guide the user to the holes");
 }
 
 #[test]
 fn counter_motivating_example() {
-    let mut bdd = Bdd::new();
-    let model = counter::build(&mut bdd).expect("compiles");
+    let bdd = BddManager::new();
+    let model = counter::build(&bdd).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     let initial = est
         .analyze(
-            &mut bdd,
             "count",
             &counter::increment_properties(),
             &CoverageOptions::default(),
@@ -231,7 +225,7 @@ fn counter_motivating_example() {
     let mut props = counter::increment_properties();
     props.extend(counter::completing_properties());
     let full = est
-        .analyze(&mut bdd, "count", &props, &CoverageOptions::default())
+        .analyze("count", &props, &CoverageOptions::default())
         .expect("analyzes");
     assert!(full.all_hold());
     assert_eq!(full.percent(), 100.0);

@@ -26,7 +26,7 @@
 
 use std::process::ExitCode;
 
-use covest_bdd::{Bdd, ReorderConfig, ReorderMode};
+use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
 use covest_core::{CoverageEstimator, CoverageOptions, CoverageTable, ReportRow};
 use covest_mc::{ModelChecker, Verdict};
 use covest_smv::{ImageConfig, ImageMethod};
@@ -141,7 +141,7 @@ fn main() -> ExitCode {
 
 fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     let src = std::fs::read_to_string(&args.model_path)?;
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     bdd.set_reorder_config(ReorderConfig {
         mode: args.reorder,
         ..Default::default()
@@ -150,7 +150,7 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
         method: args.image,
         ..Default::default()
     };
-    let model = covest_smv::compile_with(&mut bdd, &src, image)?;
+    let model = covest_smv::compile_with(&bdd, &src, image)?;
     // In mono mode nothing was clustered — the engine holds the raw
     // parts and the fixpoints run on the lazy monolith.
     let partition = match args.image {
@@ -172,7 +172,7 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     // (including one at the end of compile), so the explicit startup pass
     // belongs to sift mode only.
     if args.reorder == ReorderMode::Sift {
-        let stats = bdd.reduce_heap(&model.fsm.protected_refs());
+        let stats = bdd.reduce_heap();
         println!(
             "reorder (sift): {} -> {} live nodes ({} swaps)",
             stats.before, stats.after, stats.swaps
@@ -183,10 +183,10 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     let mut all_passed = true;
     let mut mc = ModelChecker::new(&model.fsm);
     for fair in &model.fairness {
-        mc.add_fairness(&mut bdd, fair)?;
+        mc.add_fairness(fair)?;
     }
     for spec in &model.specs {
-        let verdict = mc.check(&mut bdd, &spec.clone().into())?;
+        let verdict = mc.check(&spec.clone().into())?;
         let mark = if verdict.holds() { "PASS" } else { "FAIL" };
         println!("[{mark}] SPEC {spec}");
         if let Verdict::Fails {
@@ -216,21 +216,21 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
         };
         let mut table = CoverageTable::new();
         for signal in &signals {
-            let analysis = estimator.analyze(&mut bdd, signal, &model.specs, &options)?;
+            let analysis = estimator.analyze(signal, &model.specs, &options)?;
             table.push(ReportRow::from_analysis(&args.model_path, &analysis));
             for vac in analysis.vacuous_properties() {
                 println!("warning: SPEC {vac} passes vacuously (an implication never triggers)");
             }
             if analysis.percent() < 100.0 {
                 println!("\nuncovered states for `{signal}`:");
-                for state in estimator.uncovered_states(&mut bdd, &analysis, 10) {
+                for state in estimator.uncovered_states(&analysis, 10) {
                     let rendered: Vec<String> = state
                         .iter()
                         .map(|(name, v)| format!("{name}={}", u8::from(*v)))
                         .collect();
                     println!("  {}", rendered.join(" "));
                 }
-                for trace in estimator.traces_to_uncovered(&mut bdd, &analysis, args.traces) {
+                for trace in estimator.traces_to_uncovered(&analysis, args.traces) {
                     println!("trace to uncovered state:\n{trace}");
                 }
             }
@@ -239,8 +239,8 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     }
 
     if let Some(path) = &args.dot {
-        let reach = model.fsm.reachable(&mut bdd);
-        std::fs::write(path, bdd.to_dot(&[("reachable", reach)]))?;
+        let reach = model.fsm.reachable();
+        std::fs::write(path, bdd.to_dot(&[("reachable", &reach)]))?;
         println!("wrote {path}");
     }
 

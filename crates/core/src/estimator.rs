@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use covest_bdd::{Bdd, Ref, VarId};
+use covest_bdd::{Func, VarId};
 use covest_ctl::{Formula, PropExpr};
 use covest_fsm::{SymbolicFsm, Trace};
 use covest_mc::ModelChecker;
@@ -29,10 +29,16 @@ pub struct PropertyResult {
     /// there). Usually a specification bug.
     pub vacuous: bool,
     /// Covered set contributed by this property (empty if it fails).
-    pub covered: Ref,
+    /// An owned handle: the set stays valid for as long as the result is
+    /// held, across any GC or reordering.
+    pub covered: Func,
 }
 
 /// The result of a coverage analysis for one observed signal.
+///
+/// The state sets are owned [`Func`] handles, so a finished analysis can
+/// be held across further analyses on the same manager — automatic
+/// reordering checkpoints inside those later runs cannot invalidate it.
 #[derive(Debug, Clone)]
 pub struct CoverageAnalysis {
     /// Observed signal name.
@@ -40,9 +46,9 @@ pub struct CoverageAnalysis {
     /// Per-property results, in input order.
     pub properties: Vec<PropertyResult>,
     /// Union of covered sets (intersected with the coverage space).
-    pub covered: Ref,
+    pub covered: Func,
     /// The coverage space: reachable (fair) states minus don't-cares.
-    pub space: Ref,
+    pub space: Func,
     /// Number of states in `covered`.
     pub covered_count: f64,
     /// Number of states in `space`.
@@ -70,8 +76,8 @@ impl CoverageAnalysis {
     }
 
     /// The uncovered portion of the coverage space.
-    pub fn uncovered(&self, bdd: &mut Bdd) -> Ref {
-        bdd.diff(self.space, self.covered)
+    pub fn uncovered(&self) -> Func {
+        self.space.diff(&self.covered)
     }
 
     /// `true` if every property in the suite holds.
@@ -111,7 +117,7 @@ pub struct CoverageOptions {
 /// # Examples
 ///
 /// ```
-/// use covest_bdd::Bdd;
+/// use covest_bdd::BddManager;
 /// use covest_fsm::Stg;
 /// use covest_core::{CoverageEstimator, CoverageOptions};
 /// use covest_ctl::parse_formula;
@@ -125,12 +131,11 @@ pub struct CoverageOptions {
 /// stg.label(1, "p1");
 /// stg.label(2, "p1");
 /// stg.label(3, "q");
-/// let mut bdd = Bdd::new();
-/// let fsm = stg.compile(&mut bdd)?;
+/// let mgr = BddManager::new();
+/// let fsm = stg.compile(&mgr)?;
 /// let estimator = CoverageEstimator::new(&fsm);
 /// let props = vec![parse_formula("A[p1 U q]").unwrap()];
-/// let analysis = estimator.analyze(
-///     &mut bdd, "q", &props, &CoverageOptions::default())?;
+/// let analysis = estimator.analyze("q", &props, &CoverageOptions::default())?;
 /// assert!(analysis.all_hold());
 /// assert_eq!(analysis.percent(), 25.0); // only the first q-state covered
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -152,16 +157,14 @@ impl<'m> CoverageEstimator<'m> {
     /// machine's image engine, so the default partitioned method (and
     /// any [`covest_fsm::ImageConfig`] installed with
     /// [`covest_fsm::SymbolicFsm::set_image_config`]) applies to the
-    /// whole analysis; the transition-relation clusters are part of the
-    /// machine's protected refs and survive every GC/reorder checkpoint
-    /// below.
+    /// whole analysis.
     ///
     /// With [`covest_bdd::ReorderMode::Auto`] configured on the manager,
-    /// this method sifts at its phase boundaries, collecting everything
-    /// not reachable from this machine and its checker state. Handles the
-    /// caller holds on the same manager that are *not* part of this
-    /// machine (e.g. a second model) must be pinned with
-    /// [`covest_bdd::Bdd::protect`] across the call.
+    /// this method sifts at its phase boundaries via the zero-argument
+    /// [`covest_bdd::BddManager::maybe_reduce_heap`]. Every live handle —
+    /// this machine, its checker state, and anything else the caller
+    /// holds on the same manager — survives automatically; there is no
+    /// root set to enumerate and nothing to protect.
     ///
     /// # Errors
     ///
@@ -169,49 +172,48 @@ impl<'m> CoverageEstimator<'m> {
     /// lowering failures, or (in strict mode) failing properties.
     pub fn analyze(
         &self,
-        bdd: &mut Bdd,
         observed: &str,
         properties: &[Formula],
         options: &CoverageOptions,
     ) -> Result<CoverageAnalysis, CoverageError> {
+        let mgr = self.fsm.manager().clone();
         let mut mc = ModelChecker::new(self.fsm);
         for fair in &options.fairness {
-            mc.add_fairness(bdd, fair)?;
+            mc.add_fairness(fair)?;
         }
-        let mut cs = CoveredSets::with_checker(bdd, mc, observed)?;
+        let mut cs = CoveredSets::with_checker(mc, observed)?;
 
         // Phase 1: verification.
         let t0 = Instant::now();
         let mut verdicts = Vec::with_capacity(properties.len());
         for p in properties {
-            let holds = cs.verify(bdd, p)?;
+            let holds = cs.verify(p)?;
             if options.strict && !holds {
                 return Err(CoverageError::PropertyFails(p.to_string()));
             }
             verdicts.push(holds);
         }
         let verify_time = t0.elapsed();
-        let verify_nodes = bdd.table_size();
+        let verify_nodes = mgr.table_size();
 
         // Safe point between the verification and coverage phases: in
-        // auto-reorder mode, sift against the complete live working set
-        // (`reduce_heap` has gc's validity contract, so the roots must
-        // cover every handle still in use — here that is the covered-set
-        // engine with all its memoized satisfaction sets).
-        bdd.maybe_reduce_heap(&cs.protected_refs());
+        // auto-reorder mode, sift against the live working set — which is
+        // exactly the handles still alive (the machine, the covered-set
+        // engine with its memoized satisfaction sets, and the caller's).
+        mgr.maybe_reduce_heap();
 
         // Phase 2: covered sets + coverage space.
         let t1 = Instant::now();
         let mut property_results = Vec::with_capacity(properties.len());
-        let mut covered = Ref::FALSE;
+        let mut covered = mgr.constant(false);
         for (p, &holds) in properties.iter().zip(&verdicts) {
             let c = if holds {
-                cs.covered_from_init(bdd, p)?
+                cs.covered_from_init(p)?
             } else {
-                Ref::FALSE
+                mgr.constant(false)
             };
-            let vacuous = holds && cs.vacuous(bdd, p)?;
-            covered = bdd.or(covered, c);
+            let vacuous = holds && cs.vacuous(p)?;
+            covered = covered.or(&c);
             property_results.push(PropertyResult {
                 formula: p.clone(),
                 holds,
@@ -220,25 +222,22 @@ impl<'m> CoverageEstimator<'m> {
             });
         }
 
-        let reach = self.fsm.reachable(bdd);
-        let fair = cs.checker_mut().fair_states(bdd);
-        let mut space = bdd.and(reach, fair);
+        let reach = self.fsm.reachable();
+        let fair = cs.checker_mut().fair_states();
+        let mut space = reach.and(&fair);
         if let Some(dc) = &options.dont_cares {
-            let dcf = self.fsm.signals().lower(bdd, dc)?;
-            space = bdd.diff(space, dcf);
+            let dcf = self.fsm.signals().lower(&mgr, dc)?;
+            space = space.diff(&dcf);
         }
-        let covered = bdd.and(covered, space);
+        let covered = covered.and(&space);
         let coverage_time = t1.elapsed();
-        let coverage_nodes = bdd.table_size();
+        let coverage_nodes = mgr.table_size();
 
-        let mut roots = cs.protected_refs();
-        roots.extend([covered, space]);
-        roots.extend(property_results.iter().map(|p| p.covered));
-        bdd.maybe_reduce_heap(&roots);
+        mgr.maybe_reduce_heap();
 
-        let vars = self.state_universe(bdd, covered, space);
-        let covered_count = bdd.sat_count_over(covered, &vars);
-        let space_count = bdd.sat_count_over(space, &vars);
+        let vars = self.state_universe(&covered, &space);
+        let covered_count = covered.sat_count_over(&vars);
+        let space_count = space.sat_count_over(&vars);
 
         Ok(CoverageAnalysis {
             observed: observed.to_owned(),
@@ -264,7 +263,6 @@ impl<'m> CoverageEstimator<'m> {
     /// See [`CoverageEstimator::analyze`].
     pub fn analyze_union(
         &self,
-        bdd: &mut Bdd,
         observed: &[&str],
         properties: &[Formula],
         options: &CoverageOptions,
@@ -274,19 +272,19 @@ impl<'m> CoverageEstimator<'m> {
             .iter()
             .map(|&sig| (sig, properties.to_vec()))
             .collect();
-        let mut analyses = self.analyze_signals(bdd, &suites, options)?;
-        // No reordering checkpoint runs between here and the counting
-        // below, so the returned handles are all still valid.
+        let mut analyses = self.analyze_signals(&suites, options)?;
+        // The analyses hold their sets as owned handles, so merging after
+        // any number of intervening reorder checkpoints is sound.
         let mut merged = analyses.pop().expect("nonempty");
         for a in &analyses {
-            merged.covered = bdd.or(merged.covered, a.covered);
+            merged.covered = merged.covered.or(&a.covered);
             for (mine, theirs) in merged.properties.iter_mut().zip(&a.properties) {
-                mine.covered = bdd.or(mine.covered, theirs.covered);
+                mine.covered = mine.covered.or(&theirs.covered);
                 mine.holds &= theirs.holds;
             }
         }
-        let vars = self.state_universe(bdd, merged.covered, merged.space);
-        merged.covered_count = bdd.sat_count_over(merged.covered, &vars);
+        let vars = self.state_universe(&merged.covered, &merged.space);
+        merged.covered_count = merged.covered.sat_count_over(&vars);
         merged.observed = observed.join("+");
         Ok(merged)
     }
@@ -294,46 +292,35 @@ impl<'m> CoverageEstimator<'m> {
     /// Analyzes several observed signals over their own property suites
     /// and returns the per-signal analyses in input order.
     ///
+    /// Completed analyses survive the later calls' automatic-reorder
+    /// collection points by ownership alone — the old protect/unprotect
+    /// bracketing around this loop is gone with the roots contract.
+    ///
     /// # Errors
     ///
     /// See [`CoverageEstimator::analyze`].
     pub fn analyze_signals(
         &self,
-        bdd: &mut Bdd,
         suites: &[(&str, Vec<Formula>)],
         options: &CoverageOptions,
     ) -> Result<Vec<CoverageAnalysis>, CoverageError> {
-        // As in analyze_union: completed analyses must survive the later
-        // calls' automatic-reorder collection points.
-        let mut protected_log: Vec<Ref> = Vec::new();
-        let result = (|| -> Result<Vec<CoverageAnalysis>, CoverageError> {
-            let mut analyses = Vec::with_capacity(suites.len());
-            for (sig, props) in suites {
-                let a = self.analyze(bdd, sig, props, options)?;
-                for r in analysis_refs(&a) {
-                    bdd.protect(r);
-                    protected_log.push(r);
-                }
-                analyses.push(a);
-            }
-            Ok(analyses)
-        })();
-        for &r in &protected_log {
-            bdd.unprotect(r);
+        let mut analyses = Vec::with_capacity(suites.len());
+        for (sig, props) in suites {
+            analyses.push(self.analyze(sig, props, options)?);
         }
-        result
+        Ok(analyses)
     }
 
     /// Lists up to `limit` uncovered states as named bit assignments.
     pub fn uncovered_states(
         &self,
-        bdd: &mut Bdd,
         analysis: &CoverageAnalysis,
         limit: usize,
     ) -> Vec<Vec<(String, bool)>> {
-        let uncovered = analysis.uncovered(bdd);
+        let uncovered = analysis.uncovered();
         let vars = self.fsm.current_vars();
-        bdd.minterms_over(uncovered, &vars)
+        uncovered
+            .minterms_over(&vars)
             .take(limit)
             .map(|m| {
                 m.into_iter()
@@ -345,24 +332,18 @@ impl<'m> CoverageEstimator<'m> {
 
     /// Generates shortest traces from the initial states to up to `limit`
     /// uncovered states (Section 3's aid for strengthening properties).
-    pub fn traces_to_uncovered(
-        &self,
-        bdd: &mut Bdd,
-        analysis: &CoverageAnalysis,
-        limit: usize,
-    ) -> Vec<Trace> {
-        let uncovered = analysis.uncovered(bdd);
+    pub fn traces_to_uncovered(&self, analysis: &CoverageAnalysis, limit: usize) -> Vec<Trace> {
+        let uncovered = analysis.uncovered();
         let vars = self.fsm.current_vars();
-        let targets: Vec<Vec<(VarId, bool)>> =
-            bdd.minterms_over(uncovered, &vars).take(limit).collect();
+        let mgr = self.fsm.manager();
+        let targets: Vec<Vec<(VarId, bool)>> = uncovered.minterms_over(&vars).take(limit).collect();
         let mut traces = Vec::new();
         for t in targets {
-            let mut cube = Ref::TRUE;
+            let mut cube = mgr.constant(true);
             for (v, val) in t {
-                let lit = bdd.literal(v, val);
-                cube = bdd.and(cube, lit);
+                cube = cube.and(&mgr.literal(v, val));
             }
-            if let Some(trace) = self.fsm.trace_to(bdd, cube) {
+            if let Some(trace) = self.fsm.trace_to(&cube) {
                 traces.push(trace);
             }
         }
@@ -378,15 +359,15 @@ impl<'m> CoverageEstimator<'m> {
             .unwrap_or("?")
     }
 
-    fn state_universe(&self, bdd: &Bdd, covered: Ref, space: Ref) -> Vec<VarId> {
+    fn state_universe(&self, covered: &Func, space: &Func) -> Vec<VarId> {
         // Counting universe: the state bits. Signals over inputs can leak
         // input variables into covered sets; guard against that in debug.
         let vars = self.fsm.current_vars();
         debug_assert!(
             {
                 let set: std::collections::HashSet<VarId> = vars.iter().copied().collect();
-                bdd.support(covered).iter().all(|v| set.contains(v))
-                    && bdd.support(space).iter().all(|v| set.contains(v))
+                covered.support().iter().all(|v| set.contains(v))
+                    && space.support().iter().all(|v| set.contains(v))
             },
             "covered/space must be state predicates"
         );
@@ -394,17 +375,10 @@ impl<'m> CoverageEstimator<'m> {
     }
 }
 
-/// The BDD handles a finished analysis owns (covered set, coverage space,
-/// per-property covered sets).
-fn analysis_refs(a: &CoverageAnalysis) -> Vec<Ref> {
-    let mut refs = vec![a.covered, a.space];
-    refs.extend(a.properties.iter().map(|p| p.covered));
-    refs
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use covest_bdd::BddManager;
     use covest_ctl::parse_formula;
     use covest_fsm::Stg;
 
@@ -412,7 +386,7 @@ mod tests {
         parse_formula(s).expect(s)
     }
 
-    fn figure2(bdd: &mut Bdd) -> (Stg, SymbolicFsm) {
+    fn figure2(mgr: &BddManager) -> (Stg, SymbolicFsm) {
         let mut stg = Stg::new("figure2");
         stg.add_states(6);
         stg.add_path(&[0, 1, 2, 3, 4, 5]);
@@ -423,40 +397,35 @@ mod tests {
         }
         stg.label(4, "q");
         stg.label(5, "q");
-        (stg.clone(), stg.compile(bdd).expect("compiles"))
+        (stg.clone(), stg.compile(mgr).expect("compiles"))
     }
 
     #[test]
     fn analysis_reports_percent_and_holes() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = figure2(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = figure2(&mgr);
         let est = CoverageEstimator::new(&fsm);
         let analysis = est
-            .analyze(
-                &mut bdd,
-                "q",
-                &[f("A[p1 U q]")],
-                &CoverageOptions::default(),
-            )
+            .analyze("q", &[f("A[p1 U q]")], &CoverageOptions::default())
             .expect("analyzes");
         assert!(analysis.all_hold());
         assert_eq!(analysis.space_count, 6.0);
         assert_eq!(analysis.covered_count, 1.0);
         assert!((analysis.percent() - 100.0 / 6.0).abs() < 1e-9);
-        let holes = est.uncovered_states(&mut bdd, &analysis, 10);
+        let holes = est.uncovered_states(&analysis, 10);
         assert_eq!(holes.len(), 5);
     }
 
     #[test]
     fn additional_property_closes_holes() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = figure2(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = figure2(&mgr);
         let est = CoverageEstimator::new(&fsm);
         // Add a property checking q persists: AG(q -> AX q) covers state 5
         // (successor of q states); plus one checking ¬q on the prefix.
         let props = vec![f("A[p1 U q]"), f("AG (q -> AX q)"), f("AG (p1 -> !q)")];
         let analysis = est
-            .analyze(&mut bdd, "q", &props, &CoverageOptions::default())
+            .analyze("q", &props, &CoverageOptions::default())
             .expect("analyzes");
         assert!(analysis.all_hold());
         assert_eq!(analysis.percent(), 100.0);
@@ -464,11 +433,11 @@ mod tests {
 
     #[test]
     fn failing_property_contributes_nothing_by_default() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = figure2(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = figure2(&mgr);
         let est = CoverageEstimator::new(&fsm);
         let analysis = est
-            .analyze(&mut bdd, "q", &[f("AG q")], &CoverageOptions::default())
+            .analyze("q", &[f("AG q")], &CoverageOptions::default())
             .expect("analyzes");
         assert!(!analysis.all_hold());
         assert_eq!(analysis.covered_count, 0.0);
@@ -476,12 +445,11 @@ mod tests {
 
     #[test]
     fn strict_mode_rejects_failing_properties() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = figure2(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = figure2(&mgr);
         let est = CoverageEstimator::new(&fsm);
         let err = est
             .analyze(
-                &mut bdd,
                 "q",
                 &[f("AG q")],
                 &CoverageOptions {
@@ -495,13 +463,12 @@ mod tests {
 
     #[test]
     fn dont_cares_shrink_the_space() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = figure2(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = figure2(&mgr);
         let est = CoverageEstimator::new(&fsm);
         // Declare the p1-prefix as don't-care for q.
         let analysis = est
             .analyze(
-                &mut bdd,
                 "q",
                 &[f("A[p1 U q]"), f("AG (q -> AX q)")],
                 &CoverageOptions {
@@ -516,59 +483,47 @@ mod tests {
 
     #[test]
     fn traces_lead_to_uncovered_states() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = figure2(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = figure2(&mgr);
         let est = CoverageEstimator::new(&fsm);
         let analysis = est
-            .analyze(
-                &mut bdd,
-                "q",
-                &[f("A[p1 U q]")],
-                &CoverageOptions::default(),
-            )
+            .analyze("q", &[f("A[p1 U q]")], &CoverageOptions::default())
             .expect("analyzes");
-        let traces = est.traces_to_uncovered(&mut bdd, &analysis, 3);
+        let traces = est.traces_to_uncovered(&analysis, 3);
         assert_eq!(traces.len(), 3);
         for t in &traces {
             assert!(!t.steps.is_empty());
         }
     }
 
-    /// Regression: `analyze_union`/`analyze_signals` hold handles from
+    /// Regression: `analyze_union`/`analyze_signals` hold results from
     /// earlier `analyze` calls across later ones; with aggressive
-    /// automatic reordering those later calls gc internally, and the
-    /// accumulated handles must be protected or the union silently
-    /// merges dangling refs.
+    /// automatic reordering those later calls collect internally, and the
+    /// accumulated sets must survive. Under the RAII API this holds by
+    /// ownership — the old explicit protect/unprotect bracketing is gone.
     #[test]
     fn union_is_stable_under_aggressive_auto_reordering() {
         use covest_bdd::{ReorderConfig, ReorderMode};
 
         let run = |mode: ReorderMode| -> (f64, f64) {
-            let mut bdd = Bdd::new();
-            bdd.set_reorder_config(ReorderConfig {
+            let mgr = BddManager::new();
+            mgr.set_reorder_config(ReorderConfig {
                 mode,
                 auto_threshold: 8, // fire at every checkpoint
                 ..Default::default()
             });
-            let (_, fsm) = figure2(&mut bdd);
+            let (_, fsm) = figure2(&mgr);
             let est = CoverageEstimator::new(&fsm);
             let union = est
-                .analyze_union(
-                    &mut bdd,
-                    &["q", "p1"],
-                    &[f("A[p1 U q]")],
-                    &CoverageOptions::default(),
-                )
+                .analyze_union(&["q", "p1"], &[f("A[p1 U q]")], &CoverageOptions::default())
                 .expect("analyzes");
             let signals = est
                 .analyze_signals(
-                    &mut bdd,
                     &[("q", vec![f("A[p1 U q]")]), ("p1", vec![f("A[p1 U q]")])],
                     &CoverageOptions::default(),
                 )
                 .expect("analyzes");
             let first_again = signals[0].covered_count;
-            assert!(bdd.protected().is_empty(), "protections must unwind");
             (union.covered_count, first_again)
         };
 
@@ -580,12 +535,12 @@ mod tests {
 
     #[test]
     fn multi_signal_analysis() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = figure2(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = figure2(&mgr);
         let est = CoverageEstimator::new(&fsm);
         let suites = vec![("q", vec![f("A[p1 U q]")]), ("p1", vec![f("A[p1 U q]")])];
         let results = est
-            .analyze_signals(&mut bdd, &suites, &CoverageOptions::default())
+            .analyze_signals(&suites, &CoverageOptions::default())
             .expect("analyzes");
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].covered_count, 1.0); // first q state

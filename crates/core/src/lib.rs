@@ -25,7 +25,7 @@
 //! # Example
 //!
 //! ```
-//! use covest_bdd::Bdd;
+//! use covest_bdd::BddManager;
 //! use covest_fsm::Stg;
 //! use covest_core::{CoverageEstimator, CoverageOptions};
 //! use covest_ctl::parse_formula;
@@ -38,12 +38,12 @@
 //! stg.mark_initial(0);
 //! for s in 0..3 { stg.label(s, "p1"); }
 //! stg.label(3, "q");
-//! let mut bdd = Bdd::new();
-//! let fsm = stg.compile(&mut bdd)?;
+//! let mgr = BddManager::new();
+//! let fsm = stg.compile(&mgr)?;
 //!
 //! let est = CoverageEstimator::new(&fsm);
 //! let props = vec![parse_formula("A[p1 U q]").unwrap()];
-//! let a = est.analyze(&mut bdd, "q", &props, &CoverageOptions::default())?;
+//! let a = est.analyze("q", &props, &CoverageOptions::default())?;
 //! // Exactly the first q-state is covered: 1 of 4 reachable states.
 //! assert_eq!(a.percent(), 25.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())

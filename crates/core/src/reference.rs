@@ -15,7 +15,7 @@
 //!   and
 //! - the baseline of the `naive_vs_symbolic` ablation benchmark.
 
-use covest_bdd::{Bdd, Ref, VarId};
+use covest_bdd::{Func, VarId};
 use covest_ctl::{observability_transform, Ctl, Formula, SignalRef};
 use covest_fsm::{SignalValue, SymbolicFsm};
 use covest_mc::ModelChecker;
@@ -53,14 +53,14 @@ pub enum ReferenceMode {
 ///   `limit` (use the symbolic algorithm instead);
 /// - [`CoverageError::Lower`] for unresolvable atoms.
 pub fn reference_covered_set(
-    bdd: &mut Bdd,
     fsm: &SymbolicFsm,
     observed: &str,
     formula: &Formula,
     mode: ReferenceMode,
-    fairness: &[Ref],
+    fairness: &[Func],
     limit: usize,
-) -> Result<Ref, CoverageError> {
+) -> Result<Func, CoverageError> {
+    let mgr = fsm.manager().clone();
     let observed_value = fsm
         .signals()
         .get(observed)
@@ -69,11 +69,11 @@ pub fn reference_covered_set(
 
     // The property must hold on the original machine.
     let mut mc = ModelChecker::new(fsm);
-    for &c in fairness {
-        mc.add_fairness_set(c);
+    for c in fairness {
+        mc.add_fairness_set(c.clone());
     }
     let ctl: Ctl = formula.into();
-    if !mc.holds(bdd, &ctl)? {
+    if !mc.holds(&ctl)? {
         return Err(CoverageError::PropertyFails(formula.to_string()));
     }
 
@@ -83,9 +83,9 @@ pub fn reference_covered_set(
     };
 
     // Enumerate reachable states.
-    let reach = fsm.reachable(bdd);
+    let reach = fsm.reachable();
     let cur = fsm.current_vars();
-    let states: Vec<Vec<(VarId, bool)>> = bdd.minterms_over(reach, &cur).collect();
+    let states: Vec<Vec<(VarId, bool)>> = reach.minterms_over(&cur).collect();
     if states.len() > limit {
         return Err(CoverageError::StateSpaceTooLarge {
             reachable: states.len(),
@@ -93,23 +93,22 @@ pub fn reference_covered_set(
         });
     }
 
-    let mut covered = Ref::FALSE;
+    let mut covered = mgr.constant(false);
     for assignment in &states {
         // Characteristic function of this single state.
-        let mut cube = Ref::TRUE;
+        let mut cube = mgr.constant(true);
         for &(v, val) in assignment {
-            let lit = bdd.literal(v, val);
-            cube = bdd.and(cube, lit);
+            cube = cube.and(&mgr.literal(v, val));
         }
         // Dual interpretations: flip the observed signal on this state.
         // Boolean signals have one flip; numeric signals have one per bit
         // (the paper's multi-signal union semantics applied to the bits).
         let duals: Vec<SignalValue> = match &observed_value {
-            SignalValue::Bool(r) => vec![SignalValue::Bool(bdd.xor(*r, cube))],
+            SignalValue::Bool(r) => vec![SignalValue::Bool(r.xor(&cube))],
             SignalValue::Num(sig) => (0..sig.bits.len())
                 .map(|i| {
                     let mut flipped = sig.clone();
-                    flipped.bits[i] = bdd.xor(sig.bits[i], cube);
+                    flipped.bits[i] = sig.bits[i].xor(&cube);
                     SignalValue::Num(flipped)
                 })
                 .collect(),
@@ -120,12 +119,12 @@ pub fn reference_covered_set(
         };
         for dual in duals {
             let mut dual_mc = ModelChecker::new(fsm);
-            for &c in fairness {
-                dual_mc.add_fairness_set(c);
+            for c in fairness {
+                dual_mc.add_fairness_set(c.clone());
             }
             dual_mc.set_overrides(vec![(pattern.clone(), dual)]);
-            if !dual_mc.holds(bdd, &check_formula)? {
-                covered = bdd.or(covered, cube);
+            if !dual_mc.holds(&check_formula)? {
+                covered = covered.or(&cube);
                 break;
             }
         }
@@ -136,6 +135,7 @@ pub fn reference_covered_set(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use covest_bdd::BddManager;
     use covest_ctl::parse_formula;
     use covest_fsm::Stg;
 
@@ -146,7 +146,7 @@ mod tests {
     /// Figure 2's chain. As drawn in the paper, `p1` also holds in the
     /// first `q` state — that is precisely why the raw Definition 3
     /// yields zero coverage for `A[p1 U q]`.
-    fn figure2(bdd: &mut Bdd) -> (Stg, SymbolicFsm) {
+    fn figure2(mgr: &BddManager) -> (Stg, SymbolicFsm) {
         let mut stg = Stg::new("figure2");
         stg.add_states(6);
         stg.add_path(&[0, 1, 2, 3, 4, 5]);
@@ -157,17 +157,16 @@ mod tests {
         }
         stg.label(4, "q");
         stg.label(5, "q");
-        (stg.clone(), stg.compile(bdd).expect("compiles"))
+        (stg.clone(), stg.compile(mgr).expect("compiles"))
     }
 
     #[test]
     fn raw_until_coverage_is_zero_as_paper_observes() {
         // Section 2.1: "the coverage for this property will be zero" when
         // Definition 3 is applied without the transformation.
-        let mut bdd = Bdd::new();
-        let (_, fsm) = figure2(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = figure2(&mgr);
         let covered = reference_covered_set(
-            &mut bdd,
             &fsm,
             "q",
             &f("A[p1 U q]"),
@@ -181,10 +180,9 @@ mod tests {
 
     #[test]
     fn transformed_until_covers_first_q_state() {
-        let mut bdd = Bdd::new();
-        let (stg, fsm) = figure2(&mut bdd);
+        let mgr = BddManager::new();
+        let (stg, fsm) = figure2(&mgr);
         let covered = reference_covered_set(
-            &mut bdd,
             &fsm,
             "q",
             &f("A[p1 U q]"),
@@ -193,16 +191,15 @@ mod tests {
             DEFAULT_STATE_LIMIT,
         )
         .expect("runs");
-        let s4 = stg.state_fn(&mut bdd, &fsm, 4);
+        let s4 = stg.state_fn(&fsm, 4);
         assert_eq!(covered, s4);
     }
 
     #[test]
     fn unverified_property_is_rejected() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = figure2(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = figure2(&mgr);
         let err = reference_covered_set(
-            &mut bdd,
             &fsm,
             "q",
             &f("AG q"),
@@ -216,18 +213,10 @@ mod tests {
 
     #[test]
     fn state_limit_enforced() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = figure2(&mut bdd);
-        let err = reference_covered_set(
-            &mut bdd,
-            &fsm,
-            "q",
-            &f("A[p1 U q]"),
-            ReferenceMode::Raw,
-            &[],
-            3,
-        )
-        .unwrap_err();
+        let mgr = BddManager::new();
+        let (_, fsm) = figure2(&mgr);
+        let err = reference_covered_set(&fsm, "q", &f("A[p1 U q]"), ReferenceMode::Raw, &[], 3)
+            .unwrap_err();
         assert!(matches!(err, CoverageError::StateSpaceTooLarge { .. }));
     }
 }

@@ -6,7 +6,7 @@
 //! properties from the acceptable ACTL subset; whenever a property holds,
 //! both implementations must agree on the covered set, state for state.
 
-use covest_bdd::{Bdd, Ref};
+use covest_bdd::{BddManager, Func};
 use covest_core::{
     reference_covered_set, CoverageError, CoveredSets, ReferenceMode, DEFAULT_STATE_LIMIT,
 };
@@ -78,16 +78,15 @@ fn random_formula(rng: &mut StdRng) -> Formula {
 }
 
 fn symbolic_covered(
-    bdd: &mut Bdd,
     fsm: &SymbolicFsm,
     observed: &str,
     f: &Formula,
-) -> Result<Option<Ref>, CoverageError> {
-    let mut cs = CoveredSets::new(bdd, fsm, observed)?;
-    if !cs.verify(bdd, f)? {
+) -> Result<Option<Func>, CoverageError> {
+    let mut cs = CoveredSets::new(fsm, observed)?;
+    if !cs.verify(f)? {
         return Ok(None);
     }
-    Ok(Some(cs.covered_from_init(bdd, f)?))
+    Ok(Some(cs.covered_from_init(f)?))
 }
 
 #[test]
@@ -97,19 +96,18 @@ fn symbolic_algorithm_matches_definition3_of_transformed_formula() {
     let mut attempts = 0usize;
     while verified_cases < 120 && attempts < 3000 {
         attempts += 1;
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let formula = random_formula(&mut rng);
         let observed = if rng.gen_bool(0.7) { "q" } else { "p" };
 
-        let symbolic = match symbolic_covered(&mut bdd, &fsm, observed, &formula) {
+        let symbolic = match symbolic_covered(&fsm, observed, &formula) {
             Ok(Some(c)) => c,
             Ok(None) => continue, // property fails: coverage undefined
             Err(e) => panic!("symbolic failed: {e}"),
         };
         let reference = reference_covered_set(
-            &mut bdd,
             &fsm,
             observed,
             &formula,
@@ -141,12 +139,11 @@ fn raw_definition3_is_a_subset_of_reachable() {
     let mut attempts = 0usize;
     while checked < 40 && attempts < 1200 {
         attempts += 1;
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let formula = random_formula(&mut rng);
         let raw = match reference_covered_set(
-            &mut bdd,
             &fsm,
             "q",
             &formula,
@@ -158,8 +155,8 @@ fn raw_definition3_is_a_subset_of_reachable() {
             Err(CoverageError::PropertyFails(_)) => continue,
             Err(e) => panic!("reference failed: {e}"),
         };
-        let reach = fsm.reachable(&mut bdd);
-        assert!(bdd.leq(raw, reach), "raw covered ⊆ reachable");
+        let reach = fsm.reachable();
+        assert!(raw.leq(&reach), "raw covered ⊆ reachable");
         checked += 1;
     }
     assert!(checked >= 40, "only {checked} cases in {attempts} attempts");
@@ -172,17 +169,17 @@ fn covered_set_is_within_reachable_states() {
     let mut attempts = 0usize;
     while checked < 60 && attempts < 1500 {
         attempts += 1;
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let formula = random_formula(&mut rng);
-        let covered = match symbolic_covered(&mut bdd, &fsm, "q", &formula) {
+        let covered = match symbolic_covered(&fsm, "q", &formula) {
             Ok(Some(c)) => c,
             Ok(None) => continue,
             Err(e) => panic!("symbolic failed: {e}"),
         };
-        let reach = fsm.reachable(&mut bdd);
-        assert!(bdd.leq(covered, reach), "covered ⊆ reachable\n{formula}");
+        let reach = fsm.reachable();
+        assert!(covered.leq(&reach), "covered ⊆ reachable\n{formula}");
         checked += 1;
     }
     assert!(checked >= 60, "only {checked} cases in {attempts} attempts");
@@ -195,15 +192,15 @@ fn properties_not_mentioning_observed_signal_cover_nothing() {
     let mut attempts = 0usize;
     while checked < 30 && attempts < 1000 {
         attempts += 1;
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let formula = random_formula(&mut rng);
         if formula.mentions("r") {
             continue;
         }
         // Observe r: the property never constrains it.
-        let covered = match symbolic_covered(&mut bdd, &fsm, "r", &formula) {
+        let covered = match symbolic_covered(&fsm, "r", &formula) {
             Ok(Some(c)) => c,
             Ok(None) => continue,
             Err(e) => panic!("symbolic failed: {e}"),

@@ -2,7 +2,7 @@
 //! machines: properties the paper states or that follow directly from
 //! the definitions.
 
-use covest_bdd::{Bdd, Ref};
+use covest_bdd::BddManager;
 use covest_core::{CoverageEstimator, CoverageOptions, CoveredSets};
 use covest_ctl::{parse_formula, Formula};
 use covest_fsm::Stg;
@@ -54,22 +54,22 @@ fn random_formula(rng: &mut StdRng) -> Formula {
 fn verified_cases(
     seed: u64,
     k: usize,
-    mut check: impl FnMut(&mut Bdd, &Stg, &covest_fsm::SymbolicFsm, &Formula),
+    mut check: impl FnMut(&BddManager, &Stg, &covest_fsm::SymbolicFsm, &Formula),
 ) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut done = 0;
     let mut attempts = 0;
     while done < k && attempts < 50 * k {
         attempts += 1;
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let formula = random_formula(&mut rng);
-        let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
-        if !cs.verify(&mut bdd, &formula).expect("checks") {
+        let mut cs = CoveredSets::new(&fsm, "q").expect("q exists");
+        if !cs.verify(&formula).expect("checks") {
             continue;
         }
-        check(&mut bdd, &stg, &fsm, &formula);
+        check(&bdd, &stg, &fsm, &formula);
         done += 1;
     }
     assert!(done >= k, "only {done} verified cases");
@@ -82,21 +82,20 @@ fn conjunction_covered_set_is_the_union() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut done = 0;
     while done < 30 {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let f = random_formula(&mut rng);
         let g = random_formula(&mut rng);
-        let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
-        if !cs.verify(&mut bdd, &f).expect("checks") || !cs.verify(&mut bdd, &g).expect("checks") {
+        let mut cs = CoveredSets::new(&fsm, "q").expect("q exists");
+        if !cs.verify(&f).expect("checks") || !cs.verify(&g).expect("checks") {
             continue;
         }
-        let cf = cs.covered_from_init(&mut bdd, &f).expect("covers");
-        let cg = cs.covered_from_init(&mut bdd, &g).expect("covers");
+        let cf = cs.covered_from_init(&f).expect("covers");
+        let cg = cs.covered_from_init(&g).expect("covers");
         let conj = f.clone().and(g.clone());
-        let cfg = cs.covered_from_init(&mut bdd, &conj).expect("covers");
-        let union = bdd.or(cf, cg);
-        assert_eq!(cfg, union, "f={f} g={g}");
+        let cfg = cs.covered_from_init(&conj).expect("covers");
+        assert_eq!(cfg, cf.or(&cg), "f={f} g={g}");
         done += 1;
     }
 }
@@ -106,15 +105,15 @@ fn coverage_is_monotone_in_the_property_set() {
     let mut rng = StdRng::seed_from_u64(2);
     let mut done = 0;
     while done < 20 {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let props: Vec<Formula> = (0..4).map(|_| random_formula(&mut rng)).collect();
         let est = CoverageEstimator::new(&fsm);
-        let mut last = Ref::FALSE;
+        let mut last = bdd.constant(false);
         let mut ok = true;
         for k in 1..=props.len() {
-            let a = match est.analyze(&mut bdd, "q", &props[..k], &CoverageOptions::default()) {
+            let a = match est.analyze("q", &props[..k], &CoverageOptions::default()) {
                 Ok(a) => a,
                 Err(_) => {
                     ok = false;
@@ -122,10 +121,10 @@ fn coverage_is_monotone_in_the_property_set() {
                 }
             };
             assert!(
-                bdd.leq(last, a.covered),
+                last.leq(&a.covered),
                 "covered set grows with more properties"
             );
-            last = a.covered;
+            last = a.covered.clone();
         }
         if ok {
             done += 1;
@@ -137,15 +136,15 @@ fn coverage_is_monotone_in_the_property_set() {
 fn covered_is_always_within_the_space() {
     let mut rng = StdRng::seed_from_u64(3);
     for _ in 0..40 {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let props: Vec<Formula> = (0..3).map(|_| random_formula(&mut rng)).collect();
         let est = CoverageEstimator::new(&fsm);
         let a = est
-            .analyze(&mut bdd, "q", &props, &CoverageOptions::default())
+            .analyze("q", &props, &CoverageOptions::default())
             .expect("analyzes");
-        assert!(bdd.leq(a.covered, a.space));
+        assert!(a.covered.leq(&a.space));
         assert!(a.covered_count <= a.space_count);
         let pct = a.percent();
         assert!((0.0..=100.0).contains(&pct));
@@ -157,20 +156,19 @@ fn union_analysis_covers_at_least_each_signal() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut done = 0;
     while done < 20 {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let props = vec![random_formula(&mut rng), random_formula(&mut rng)];
         let est = CoverageEstimator::new(&fsm);
         let opts = CoverageOptions::default();
         let (ap, aq, aunion) = (
-            est.analyze(&mut bdd, "p", &props, &opts).expect("analyzes"),
-            est.analyze(&mut bdd, "q", &props, &opts).expect("analyzes"),
-            est.analyze_union(&mut bdd, &["p", "q"], &props, &opts)
+            est.analyze("p", &props, &opts).expect("analyzes"),
+            est.analyze("q", &props, &opts).expect("analyzes"),
+            est.analyze_union(&["p", "q"], &props, &opts)
                 .expect("analyzes"),
         );
-        let manual = bdd.or(ap.covered, aq.covered);
-        assert_eq!(aunion.covered, manual);
+        assert_eq!(aunion.covered, ap.covered.or(&aq.covered));
         assert!(aunion.covered_count >= ap.covered_count.max(aq.covered_count));
         done += 1;
     }
@@ -180,12 +178,12 @@ fn union_analysis_covers_at_least_each_signal() {
 fn covered_states_of_ax_live_one_step_ahead() {
     // C(S0, AX f) = C(forward(S0), f): every covered state of an AX
     // property is an image of the start states.
-    verified_cases(5, 25, |bdd, _stg, fsm, formula| {
+    verified_cases(5, 25, |_bdd, _stg, fsm, formula| {
         if let Formula::Ax(_) = formula {
-            let mut cs = CoveredSets::new(bdd, fsm, "q").expect("q exists");
-            let covered = cs.covered_from_init(bdd, formula).expect("covers");
-            let img = fsm.image(bdd, fsm.init());
-            assert!(bdd.leq(covered, img), "{formula}");
+            let mut cs = CoveredSets::new(fsm, "q").expect("q exists");
+            let covered = cs.covered_from_init(formula).expect("covers");
+            let img = fsm.image(fsm.init());
+            assert!(covered.leq(&img), "{formula}");
         }
     });
 }

@@ -6,8 +6,14 @@
 //! variables, the transition relation `T_M` is a BDD over
 //! (current, input, next), and the signal set `P` is a [`SignalTable`]
 //! mapping names to functions of the current state (and inputs).
+//!
+//! Every BDD the machine stores — the initial states, the transition
+//! parts, the image engine's clusters, the signal functions — is an owned
+//! [`Func`] handle, so the machine pins its own state across garbage
+//! collection and dynamic reordering. No root enumeration exists anymore;
+//! there is nothing to enumerate.
 
-use covest_bdd::{Bdd, Ref, VarId};
+use covest_bdd::{BddManager, Func, VarId};
 
 use crate::error::BuildFsmError;
 use crate::image::{ImageConfig, ImageEngine};
@@ -36,14 +42,16 @@ pub struct InputBit {
 /// A symbolic finite state machine (Mealy machine).
 ///
 /// Construct with [`FsmBuilder`]; query and traverse with the methods here
-/// and in the reachability/trace modules.
+/// and in the reachability/trace modules. The machine carries its
+/// [`BddManager`] handle, so traversal methods need no manager argument.
 #[derive(Debug, Clone)]
 pub struct SymbolicFsm {
     pub(crate) name: String,
+    pub(crate) mgr: BddManager,
     pub(crate) state_bits: Vec<StateBit>,
     pub(crate) input_bits: Vec<InputBit>,
-    pub(crate) init: Ref,
-    pub(crate) trans_parts: Vec<Ref>,
+    pub(crate) init: Func,
+    pub(crate) trans_parts: Vec<Func>,
     pub(crate) engine: ImageEngine,
     pub(crate) signals: SignalTable,
 }
@@ -52,6 +60,11 @@ impl SymbolicFsm {
     /// The machine's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The manager the machine's BDDs live on.
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
     }
 
     /// The declared state bits, in declaration order.
@@ -80,8 +93,8 @@ impl SymbolicFsm {
     }
 
     /// The set of initial states `S_I` (a BDD over current variables).
-    pub fn init(&self) -> Ref {
-        self.init
+    pub fn init(&self) -> &Func {
+        &self.init
     }
 
     /// The monolithic transition relation over (current, input, next),
@@ -89,13 +102,13 @@ impl SymbolicFsm {
     /// machinery never calls this in partitioned mode — only explicit
     /// monolith consumers (e.g. differential tests, `--image mono`) pay
     /// for it.
-    pub fn trans(&self, bdd: &mut Bdd) -> Ref {
-        self.engine.monolithic_trans(bdd)
+    pub fn trans(&self) -> Func {
+        self.engine.monolithic_trans()
     }
 
     /// The conjunctive partition of the transition relation, one part per
     /// state bit plus any raw constraints, as emitted by the builder.
-    pub fn trans_parts(&self) -> &[Ref] {
+    pub fn trans_parts(&self) -> &[Func] {
         &self.trans_parts
     }
 
@@ -114,9 +127,9 @@ impl SymbolicFsm {
     /// monolithic relation stays lazy. Any cached monolith is dropped —
     /// the parts may have changed since it was conjoined, so it is
     /// recomputed on next demand rather than risked stale.
-    pub fn set_image_config(&mut self, bdd: &mut Bdd, config: ImageConfig) {
+    pub fn set_image_config(&mut self, config: ImageConfig) {
         self.engine = ImageEngine::build(
-            bdd,
+            &self.mgr,
             &self.trans_parts,
             &self.current_vars(),
             &self.input_vars(),
@@ -142,22 +155,6 @@ impl SymbolicFsm {
         self.state_bits.len()
     }
 
-    /// Every BDD handle the machine owns: initial states, the transition
-    /// parts, the image engine's clusters (plus the cached monolith, if
-    /// one was ever requested), and all signal functions.
-    ///
-    /// Pass these as roots to [`covest_bdd::Bdd::gc`] (where they gate
-    /// validity) and to [`covest_bdd::Bdd::reduce_heap`] /
-    /// [`covest_bdd::Bdd::maybe_reduce_heap`] (where they define the size
-    /// metric sifting minimizes).
-    pub fn protected_refs(&self) -> Vec<Ref> {
-        let mut roots = vec![self.init];
-        roots.extend(self.trans_parts.iter().copied());
-        self.engine.push_refs(&mut roots);
-        roots.extend(self.signals.refs());
-        roots
-    }
-
     /// Current→next renaming pairs.
     pub fn cur_to_next(&self) -> Vec<(VarId, VarId)> {
         self.state_bits
@@ -176,34 +173,32 @@ impl SymbolicFsm {
 
     /// All states reachable in **exactly one step** from `set`
     /// (the paper's `forward(S0)`), as a BDD over current variables.
-    pub fn image(&self, bdd: &mut Bdd, set: Ref) -> Ref {
-        let img_next = self.engine.forward(bdd, set);
-        bdd.rename(img_next, &self.next_to_cur())
+    pub fn image(&self, set: &Func) -> Func {
+        self.engine.forward(set).rename(&self.next_to_cur())
     }
 
     /// All states with **some** successor in `set` under **some** input
     /// (existential preimage, the `EX` operation).
-    pub fn preimage(&self, bdd: &mut Bdd, set: Ref) -> Ref {
-        let set_next = bdd.rename(set, &self.cur_to_next());
-        self.engine.backward(bdd, set_next)
+    pub fn preimage(&self, set: &Func) -> Func {
+        let set_next = set.rename(&self.cur_to_next());
+        self.engine.backward(&set_next)
     }
 
     /// All states whose **every** successor (under every input) lies in
     /// `set` (universal preimage, the `AX` operation).
-    pub fn preimage_univ(&self, bdd: &mut Bdd, set: Ref) -> Ref {
-        let nset = bdd.not(set);
-        let some_bad = self.preimage(bdd, nset);
-        bdd.not(some_bad)
+    pub fn preimage_univ(&self, set: &Func) -> Func {
+        self.preimage(&set.not()).not()
     }
 
     /// Checks that the transition relation is *total*: every state/input
     /// combination has at least one successor. CTL semantics (and the
     /// paper's path-based definitions) assume totality.
-    pub fn is_total(&self, bdd: &mut Bdd) -> bool {
+    pub fn is_total(&self) -> bool {
         // ∃next. T, without building T: sweep the clusters eliminating
         // next variables early, keeping current and input variables free.
-        let some_succ = self.engine.backward_with_inputs(bdd, Ref::TRUE);
-        some_succ.is_true()
+        self.engine
+            .backward_with_inputs(&self.mgr.constant(true))
+            .is_true()
     }
 
     /// Restricts the machine's inputs with an additional constraint over
@@ -216,30 +211,29 @@ impl SymbolicFsm {
     /// consistent.
     ///
     /// Note: the result may not be total; check [`SymbolicFsm::is_total`].
-    pub fn constrain(&self, bdd: &mut Bdd, constraint: Ref) -> SymbolicFsm {
+    pub fn constrain(&self, constraint: &Func) -> SymbolicFsm {
         let mut out = self.clone();
-        out.trans_parts.push(constraint);
-        out.set_image_config(bdd, self.engine.config());
+        out.trans_parts.push(constraint.clone());
+        out.set_image_config(self.engine.config());
         // An already-built monolith extends by one conjunction instead of
         // being re-conjoined from scratch on next demand.
         if let Some(t) = self.engine.cached_mono() {
-            out.engine.seed_mono(bdd.and(t, constraint));
+            out.engine.seed_mono(t.and(constraint));
         }
         out
     }
 
     /// The characteristic function of a single state given as bit values
     /// (missing bits default to `false`).
-    pub fn state_cube(&self, bdd: &mut Bdd, assignment: &[(&str, bool)]) -> Ref {
-        let mut cube = Ref::TRUE;
+    pub fn state_cube(&self, assignment: &[(&str, bool)]) -> Func {
+        let mut cube = self.mgr.constant(true);
         for bit in &self.state_bits {
             let value = assignment
                 .iter()
                 .find(|(n, _)| *n == bit.name)
                 .map(|(_, v)| *v)
                 .unwrap_or(false);
-            let lit = bdd.literal(bit.current, value);
-            cube = bdd.and(cube, lit);
+            cube = cube.and(&self.mgr.literal(bit.current, value));
         }
         cube
     }
@@ -252,15 +246,15 @@ impl SymbolicFsm {
     ///
     /// Panics if `q` is not a boolean signal of this machine (the paper's
     /// duality is defined for boolean observed signals).
-    pub fn dual(&self, bdd: &mut Bdd, q: &str, states: Ref) -> SymbolicFsm {
+    pub fn dual(&self, q: &str, states: &Func) -> SymbolicFsm {
         let current = match self.signals.get(q) {
-            Some(SignalValue::Bool(r)) => *r,
+            Some(SignalValue::Bool(r)) => r.clone(),
             Some(SignalValue::Num(_)) => {
                 panic!("dual FSM requires a boolean observed signal, `{q}` is numeric")
             }
             None => panic!("unknown observed signal `{q}`"),
         };
-        let flipped = bdd.xor(current, states);
+        let flipped = current.xor(states);
         let mut out = self.clone();
         out.signals.insert_bool(q, flipped);
         out
@@ -277,48 +271,52 @@ impl SymbolicFsm {
 /// # Examples
 ///
 /// ```
-/// use covest_bdd::Bdd;
+/// use covest_bdd::BddManager;
 /// use covest_fsm::FsmBuilder;
 ///
-/// let mut bdd = Bdd::new();
-/// let mut b = FsmBuilder::new("toggler");
-/// let t = b.add_state_bit(&mut bdd, "t");
-/// let fl = bdd.var(t.current);
-/// let next = bdd.not(fl);
-/// b.set_next(&mut bdd, "t", next);
-/// let init = bdd.nvar(t.current);
-/// b.set_init(init);
-/// let fsm = b.build(&mut bdd)?;
-/// assert!(fsm.is_total(&mut bdd));
+/// let mgr = BddManager::new();
+/// let mut b = FsmBuilder::new(&mgr, "toggler");
+/// let t = b.add_state_bit("t");
+/// b.set_next("t", mgr.var(t.current).not());
+/// b.set_init(mgr.nvar(t.current));
+/// let fsm = b.build()?;
+/// assert!(fsm.is_total());
 /// # Ok::<(), covest_fsm::BuildFsmError>(())
 /// ```
 #[derive(Debug)]
 pub struct FsmBuilder {
     name: String,
+    mgr: BddManager,
     state_bits: Vec<StateBit>,
     input_bits: Vec<InputBit>,
-    init: Ref,
-    nexts: Vec<Option<Ref>>,
+    init: Func,
+    nexts: Vec<Option<Func>>,
     frees: Vec<bool>,
-    raw_constraints: Vec<Ref>,
+    raw_constraints: Vec<Func>,
     signals: SignalTable,
     image_config: ImageConfig,
 }
 
 impl FsmBuilder {
-    /// Creates a builder for a machine called `name`.
-    pub fn new(name: impl Into<String>) -> Self {
+    /// Creates a builder for a machine called `name` on `mgr`.
+    pub fn new(mgr: &BddManager, name: impl Into<String>) -> Self {
         FsmBuilder {
             name: name.into(),
+            mgr: mgr.clone(),
             state_bits: Vec::new(),
             input_bits: Vec::new(),
-            init: Ref::TRUE,
+            init: mgr.constant(true),
             nexts: Vec::new(),
             frees: Vec::new(),
             raw_constraints: Vec::new(),
             signals: SignalTable::new(),
             image_config: ImageConfig::default(),
         }
+    }
+
+    /// The manager the machine is being built on.
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
     }
 
     /// Selects the image configuration for the built machine (default:
@@ -338,11 +336,11 @@ impl FsmBuilder {
     /// declares the pair as a reorder group, so dynamic reordering keeps
     /// current and next adjacent — the invariant the transition-relation
     /// encoding relies on.
-    pub fn add_state_bit(&mut self, bdd: &mut Bdd, name: impl Into<String>) -> StateBit {
+    pub fn add_state_bit(&mut self, name: impl Into<String>) -> StateBit {
         let name = name.into();
-        let current = bdd.new_named_var(name.clone());
-        let next = bdd.new_named_var(format!("{name}'"));
-        bdd.group_vars(&[current, next]);
+        let current = self.mgr.new_named_var(name.clone());
+        let next = self.mgr.new_named_var(format!("{name}'"));
+        self.mgr.group_vars(&[current, next]);
         let bit = StateBit {
             name: name.clone(),
             current,
@@ -351,7 +349,7 @@ impl FsmBuilder {
         self.state_bits.push(bit.clone());
         self.nexts.push(None);
         self.frees.push(false);
-        let f = bdd.var(current);
+        let f = self.mgr.var(current);
         self.signals.insert_bool(name, f);
         bit
     }
@@ -362,22 +360,22 @@ impl FsmBuilder {
     /// properties that mention inputs (like the paper's counter formula,
     /// whose antecedent tests `stall` and `reset`) well-defined: the
     /// input valuation is part of the state.
-    pub fn add_free_bit(&mut self, bdd: &mut Bdd, name: impl Into<String>) -> StateBit {
-        let bit = self.add_state_bit(bdd, name);
+    pub fn add_free_bit(&mut self, name: impl Into<String>) -> StateBit {
+        let bit = self.add_state_bit(name);
         *self.frees.last_mut().expect("just pushed") = true;
         bit
     }
 
     /// Declares an input bit and registers it as a boolean signal.
-    pub fn add_input_bit(&mut self, bdd: &mut Bdd, name: impl Into<String>) -> InputBit {
+    pub fn add_input_bit(&mut self, name: impl Into<String>) -> InputBit {
         let name = name.into();
-        let var = bdd.new_named_var(name.clone());
+        let var = self.mgr.new_named_var(name.clone());
         let bit = InputBit {
             name: name.clone(),
             var,
         };
         self.input_bits.push(bit.clone());
-        let f = bdd.var(var);
+        let f = self.mgr.var(var);
         self.signals.insert_bool(name, f);
         bit
     }
@@ -389,7 +387,7 @@ impl FsmBuilder {
     /// # Panics
     ///
     /// Panics if `name` is not a declared state bit.
-    pub fn set_next(&mut self, _bdd: &mut Bdd, name: &str, delta: Ref) {
+    pub fn set_next(&mut self, name: &str, delta: Func) {
         let idx = self
             .state_bits
             .iter()
@@ -401,17 +399,17 @@ impl FsmBuilder {
     /// Adds a raw relational constraint over (current, input, next)
     /// variables, conjoined into the transition relation. Use this for
     /// nondeterministic transitions (e.g. explicit state graphs).
-    pub fn add_trans_constraint(&mut self, constraint: Ref) {
+    pub fn add_trans_constraint(&mut self, constraint: Func) {
         self.raw_constraints.push(constraint);
     }
 
     /// Sets the initial-state predicate (over current variables).
-    pub fn set_init(&mut self, init: Ref) {
+    pub fn set_init(&mut self, init: Func) {
         self.init = init;
     }
 
     /// Registers a named boolean signal (a function of current/input vars).
-    pub fn add_signal(&mut self, name: impl Into<String>, f: Ref) {
+    pub fn add_signal(&mut self, name: impl Into<String>, f: Func) {
         self.signals.insert_bool(name, f);
     }
 
@@ -432,35 +430,34 @@ impl FsmBuilder {
     /// next-state function nor any raw constraint mentioning its next
     /// variable, and [`BuildFsmError::NotTotal`] if the resulting relation
     /// has a state/input combination with no successor.
-    pub fn build(self, bdd: &mut Bdd) -> Result<SymbolicFsm, BuildFsmError> {
+    pub fn build(self) -> Result<SymbolicFsm, BuildFsmError> {
         let mut parts = Vec::new();
         for (idx, bit) in self.state_bits.iter().enumerate() {
             if self.frees[idx] {
                 continue; // free bit: next value unconstrained
             }
-            match self.nexts[idx] {
+            match &self.nexts[idx] {
                 Some(delta) => {
-                    let nv = bdd.var(bit.next);
-                    parts.push(bdd.iff(nv, delta));
+                    parts.push(self.mgr.var(bit.next).iff(delta));
                 }
                 None => {
                     // Allowed only if some raw constraint mentions the bit.
                     let mentioned = self
                         .raw_constraints
                         .iter()
-                        .any(|&c| bdd.support(c).contains(&bit.next));
+                        .any(|c| c.support().contains(&bit.next));
                     if !mentioned {
                         return Err(BuildFsmError::MissingNext(bit.name.clone()));
                     }
                 }
             }
         }
-        parts.extend(self.raw_constraints.iter().copied());
+        parts.extend(self.raw_constraints.iter().cloned());
         // No monolithic conjunction here: the machine's transition
         // relation lives as clusters in the image engine, and the
         // monolith is built lazily only if someone asks for it.
         let engine = ImageEngine::build(
-            bdd,
+            &self.mgr,
             &parts,
             &self
                 .state_bits
@@ -473,6 +470,7 @@ impl FsmBuilder {
         );
         let fsm = SymbolicFsm {
             name: self.name,
+            mgr: self.mgr,
             state_bits: self.state_bits,
             input_bits: self.input_bits,
             init: self.init,
@@ -480,7 +478,7 @@ impl FsmBuilder {
             engine,
             signals: self.signals,
         };
-        if !fsm.is_total(bdd) {
+        if !fsm.is_total() {
             return Err(BuildFsmError::NotTotal);
         }
         Ok(fsm)
@@ -492,151 +490,126 @@ mod tests {
     use super::*;
 
     /// A 2-bit counter that increments each step unless `stall` is high.
-    pub(crate) fn counter2(bdd: &mut Bdd) -> SymbolicFsm {
-        let mut b = FsmBuilder::new("counter2");
-        let b0 = b.add_state_bit(bdd, "b0");
-        let b1 = b.add_state_bit(bdd, "b1");
-        let stall = b.add_input_bit(bdd, "stall");
-        let f0 = bdd.var(b0.current);
-        let f1 = bdd.var(b1.current);
-        let fs = bdd.var(stall.var);
+    pub(crate) fn counter2(mgr: &BddManager) -> SymbolicFsm {
+        let mut b = FsmBuilder::new(mgr, "counter2");
+        let b0 = b.add_state_bit("b0");
+        let b1 = b.add_state_bit("b1");
+        let stall = b.add_input_bit("stall");
+        let f0 = mgr.var(b0.current);
+        let f1 = mgr.var(b1.current);
+        let fs = mgr.var(stall.var);
         // next b0 = stall ? b0 : !b0
-        let n0 = {
-            let nf0 = bdd.not(f0);
-            bdd.ite(fs, f0, nf0)
-        };
+        let n0 = fs.ite(&f0, &f0.not());
         // next b1 = stall ? b1 : b1 ^ b0
-        let n1 = {
-            let x = bdd.xor(f1, f0);
-            bdd.ite(fs, f1, x)
-        };
-        b.set_next(bdd, "b0", n0);
-        b.set_next(bdd, "b1", n1);
-        let i0 = bdd.nvar(b0.current);
-        let i1 = bdd.nvar(b1.current);
-        let init = bdd.and(i0, i1);
-        b.set_init(init);
-        b.build(bdd).expect("valid machine")
+        let n1 = fs.ite(&f1, &f1.xor(&f0));
+        b.set_next("b0", n0);
+        b.set_next("b1", n1);
+        b.set_init(mgr.nvar(b0.current).and(&mgr.nvar(b1.current)));
+        b.build().expect("valid machine")
     }
 
     #[test]
     fn builder_interleaves_variables() {
-        let mut bdd = Bdd::new();
-        let fsm = counter2(&mut bdd);
+        let mgr = BddManager::new();
+        let fsm = counter2(&mgr);
         let cur = fsm.current_vars();
         let next = fsm.next_vars();
-        assert_eq!(bdd.level_of(cur[0]) + 1, bdd.level_of(next[0]));
-        assert_eq!(bdd.level_of(cur[1]) + 1, bdd.level_of(next[1]));
+        assert_eq!(mgr.level_of(cur[0]) + 1, mgr.level_of(next[0]));
+        assert_eq!(mgr.level_of(cur[1]) + 1, mgr.level_of(next[1]));
     }
 
     #[test]
     fn image_steps_the_counter() {
-        let mut bdd = Bdd::new();
-        let fsm = counter2(&mut bdd);
+        let mgr = BddManager::new();
+        let fsm = counter2(&mgr);
         // From state 00, one step reaches {00 (stall), 01}.
-        let s00 = fsm.state_cube(&mut bdd, &[("b0", false), ("b1", false)]);
-        let img = fsm.image(&mut bdd, s00);
-        let s01 = fsm.state_cube(&mut bdd, &[("b0", true), ("b1", false)]);
-        let expect = bdd.or(s00, s01);
-        assert_eq!(img, expect);
+        let s00 = fsm.state_cube(&[("b0", false), ("b1", false)]);
+        let img = fsm.image(&s00);
+        let s01 = fsm.state_cube(&[("b0", true), ("b1", false)]);
+        assert_eq!(img, s00.or(&s01));
     }
 
     #[test]
     fn preimage_inverts_image() {
-        let mut bdd = Bdd::new();
-        let fsm = counter2(&mut bdd);
-        let s01 = fsm.state_cube(&mut bdd, &[("b0", true), ("b1", false)]);
-        let pre = fsm.preimage(&mut bdd, s01);
+        let mgr = BddManager::new();
+        let fsm = counter2(&mgr);
+        let s01 = fsm.state_cube(&[("b0", true), ("b1", false)]);
+        let pre = fsm.preimage(&s01);
         // Predecessors of 01: 00 (increment) and 01 itself (stall).
-        let s00 = fsm.state_cube(&mut bdd, &[("b0", false), ("b1", false)]);
-        let expect = bdd.or(s00, s01);
-        assert_eq!(pre, expect);
+        let s00 = fsm.state_cube(&[("b0", false), ("b1", false)]);
+        assert_eq!(pre, s00.or(&s01));
     }
 
     #[test]
     fn preimage_univ_requires_all_inputs() {
-        let mut bdd = Bdd::new();
-        let fsm = counter2(&mut bdd);
-        let s01 = fsm.state_cube(&mut bdd, &[("b0", true), ("b1", false)]);
+        let mgr = BddManager::new();
+        let fsm = counter2(&mgr);
+        let s01 = fsm.state_cube(&[("b0", true), ("b1", false)]);
         // No state goes to 01 under *both* stall values except none
         // (00 stays at 00 when stalled; 01 moves to 10 when not stalled).
-        let pre_univ = fsm.preimage_univ(&mut bdd, s01);
+        let pre_univ = fsm.preimage_univ(&s01);
         assert!(pre_univ.is_false());
         // Universal preimage of {00, 01}: 00 (either stays or increments).
-        let s00 = fsm.state_cube(&mut bdd, &[("b0", false), ("b1", false)]);
-        let set = bdd.or(s00, s01);
-        let pre_univ2 = fsm.preimage_univ(&mut bdd, set);
-        assert_eq!(pre_univ2, s00);
+        let s00 = fsm.state_cube(&[("b0", false), ("b1", false)]);
+        let set = s00.or(&s01);
+        assert_eq!(fsm.preimage_univ(&set), s00);
     }
 
     #[test]
     fn totality_detected() {
-        let mut bdd = Bdd::new();
-        let fsm = counter2(&mut bdd);
-        assert!(fsm.is_total(&mut bdd));
+        let mgr = BddManager::new();
+        let fsm = counter2(&mgr);
+        assert!(fsm.is_total());
         // Constrain away all transitions out of state 11 → not total.
-        let f0 = {
-            let b = &fsm.state_bits()[0];
-            bdd.var(b.current)
-        };
-        let f1 = {
-            let b = &fsm.state_bits()[1];
-            bdd.var(b.current)
-        };
-        let in11 = bdd.and(f0, f1);
-        let not11 = bdd.not(in11);
-        let constrained = fsm.constrain(&mut bdd, not11);
-        assert!(!constrained.is_total(&mut bdd));
+        let f0 = mgr.var(fsm.state_bits()[0].current);
+        let f1 = mgr.var(fsm.state_bits()[1].current);
+        let not11 = f0.and(&f1).not();
+        let constrained = fsm.constrain(&not11);
+        assert!(!constrained.is_total());
     }
 
     #[test]
     fn dual_flips_signal_on_one_state() {
-        let mut bdd = Bdd::new();
-        let fsm = counter2(&mut bdd);
-        let s00 = fsm.state_cube(&mut bdd, &[("b0", false), ("b1", false)]);
-        let dual = fsm.dual(&mut bdd, "b0", s00);
+        let mgr = BddManager::new();
+        let fsm = counter2(&mgr);
+        let s00 = fsm.state_cube(&[("b0", false), ("b1", false)]);
+        let dual = fsm.dual("b0", &s00);
         let orig = match fsm.signals().get("b0") {
-            Some(SignalValue::Bool(r)) => *r,
+            Some(SignalValue::Bool(r)) => r.clone(),
             _ => unreachable!(),
         };
         let flipped = match dual.signals().get("b0") {
-            Some(SignalValue::Bool(r)) => *r,
+            Some(SignalValue::Bool(r)) => r.clone(),
             _ => unreachable!(),
         };
         assert_ne!(orig, flipped);
         // They agree outside s00 and disagree on it.
-        let diff = bdd.xor(orig, flipped);
-        assert_eq!(diff, s00);
+        assert_eq!(orig.xor(&flipped), s00);
     }
 
     #[test]
     fn missing_next_is_an_error() {
-        let mut bdd = Bdd::new();
-        let mut b = FsmBuilder::new("broken");
-        b.add_state_bit(&mut bdd, "x");
-        let err = b.build(&mut bdd).unwrap_err();
+        let mgr = BddManager::new();
+        let mut b = FsmBuilder::new(&mgr, "broken");
+        b.add_state_bit("x");
+        let err = b.build().unwrap_err();
         assert!(matches!(err, BuildFsmError::MissingNext(_)));
     }
 
     #[test]
     fn raw_constraints_allow_nondeterminism() {
-        let mut bdd = Bdd::new();
-        let mut b = FsmBuilder::new("nondet");
-        let x = b.add_state_bit(&mut bdd, "x");
-        let pick = b.add_input_bit(&mut bdd, "pick");
+        let mgr = BddManager::new();
+        let mut b = FsmBuilder::new(&mgr, "nondet");
+        let x = b.add_state_bit("x");
+        let pick = b.add_input_bit("pick");
         // x' = x xor pick: from any state both successors are possible.
-        let constraint = {
-            let nv = bdd.var(x.next);
-            let fx = bdd.var(x.current);
-            let fp = bdd.var(pick.var);
-            let xp = bdd.xor(fx, fp);
-            bdd.iff(nv, xp)
-        };
+        let constraint = mgr
+            .var(x.next)
+            .iff(&mgr.var(x.current).xor(&mgr.var(pick.var)));
         b.add_trans_constraint(constraint);
-        b.set_init(Ref::TRUE);
-        let fsm = b.build(&mut bdd).expect("total");
-        let s0 = fsm.state_cube(&mut bdd, &[("x", false)]);
-        let img = fsm.image(&mut bdd, s0);
-        assert!(img.is_true());
+        b.set_init(mgr.constant(true));
+        let fsm = b.build().expect("total");
+        let s0 = fsm.state_cube(&[("x", false)]);
+        assert!(fsm.image(&s0).is_true());
     }
 }

@@ -12,11 +12,15 @@
 //! variable at the earliest cluster where its support ends. The
 //! monolithic path survives behind [`ImageMethod::Monolithic`] for A/B
 //! comparison and is built lazily, only when actually requested.
+//!
+//! The clusters and the cached monolith are owned [`Func`] handles, so
+//! the engine's transition relation pins itself across garbage collection
+//! and reordering — no root enumeration is needed or possible.
 
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 
-use covest_bdd::{Bdd, QuantSchedule, Ref, VarId};
+use covest_bdd::{BddManager, Func, QuantSchedule, VarId};
 
 /// How images and preimages are computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -88,23 +92,17 @@ impl ImageConfig {
 /// The image computation engine owned by a
 /// [`SymbolicFsm`](crate::SymbolicFsm).
 ///
-/// Holds the clustered transition relation, the three early-quantification
-/// schedules (forward image, backward preimage, and backward keeping
-/// inputs — the trace-replay variant), and a lazily built monolithic `T`
-/// for [`ImageMethod::Monolithic`].
-///
-/// # Roots / GC contract
-///
-/// The clusters (and the cached monolith, once built) are BDD handles:
-/// they must be passed as roots to [`Bdd::gc`] / [`Bdd::reduce_heap`] or
-/// they dangle. [`ImageEngine::push_refs`] appends them to a root list;
-/// `SymbolicFsm::protected_refs` includes them automatically. The
-/// schedules hold only variable ids and survive collection and
-/// reordering untouched.
+/// Holds a manager handle, the clustered transition relation, the three
+/// early-quantification schedules (forward image, backward preimage, and
+/// backward keeping inputs — the trace-replay variant), and a lazily
+/// built monolithic `T` for [`ImageMethod::Monolithic`]. All BDD state is
+/// owned [`Func`] handles: the engine keeps itself alive across
+/// collection and reordering, and the schedules hold only variable ids.
 #[derive(Debug, Clone)]
 pub struct ImageEngine {
     config: ImageConfig,
-    clusters: Vec<Ref>,
+    mgr: BddManager,
+    clusters: Vec<Func>,
     /// Current-state + input variables (forward quantification set).
     fwd_vars: Vec<VarId>,
     /// Next-state + input variables (backward quantification set).
@@ -115,7 +113,7 @@ pub struct ImageEngine {
     bwd: QuantSchedule,
     bwd_keep_inputs: QuantSchedule,
     /// Lazily conjoined monolithic transition relation.
-    mono: Cell<Option<Ref>>,
+    mono: RefCell<Option<Func>>,
 }
 
 impl ImageEngine {
@@ -128,16 +126,16 @@ impl ImageEngine {
     /// cluster. In monolithic mode the parts are kept as-is (no merge
     /// work): only the lazy full conjunction is ever formed.
     pub fn build(
-        bdd: &mut Bdd,
-        parts: &[Ref],
+        mgr: &BddManager,
+        parts: &[Func],
         current_vars: &[VarId],
         input_vars: &[VarId],
         next_vars: &[VarId],
         config: ImageConfig,
     ) -> ImageEngine {
         let clusters = match config.method {
-            ImageMethod::Partitioned => cluster_parts(bdd, parts, config.cluster_threshold),
-            ImageMethod::Monolithic => parts.iter().copied().filter(|p| !p.is_true()).collect(),
+            ImageMethod::Partitioned => cluster_parts(parts, config.cluster_threshold),
+            ImageMethod::Monolithic => parts.iter().filter(|p| !p.is_true()).cloned().collect(),
         };
         let mut fwd_vars = current_vars.to_vec();
         fwd_vars.extend_from_slice(input_vars);
@@ -149,7 +147,7 @@ impl ImageEngine {
         let (fwd, bwd, bwd_keep_inputs) = match config.method {
             ImageMethod::Partitioned => {
                 let mut schedules =
-                    bdd.quant_schedule_many(&clusters, &[&fwd_vars, &bwd_vars, next_vars]);
+                    mgr.quant_schedule_many(&clusters, &[&fwd_vars, &bwd_vars, next_vars]);
                 let bwd_keep_inputs = schedules.pop().expect("three lists in");
                 let bwd = schedules.pop().expect("three lists in");
                 let fwd = schedules.pop().expect("three lists in");
@@ -159,6 +157,7 @@ impl ImageEngine {
         };
         ImageEngine {
             config,
+            mgr: mgr.clone(),
             clusters,
             fwd_vars,
             bwd_vars,
@@ -166,7 +165,7 @@ impl ImageEngine {
             fwd,
             bwd,
             bwd_keep_inputs,
-            mono: Cell::new(None),
+            mono: RefCell::new(None),
         }
     }
 
@@ -181,55 +180,52 @@ impl ImageEngine {
     }
 
     /// The transition-relation clusters, in sweep order.
-    pub fn clusters(&self) -> &[Ref] {
+    pub fn clusters(&self) -> &[Func] {
         &self.clusters
     }
 
     /// The monolithic transition relation, conjoined (and cached) on
     /// first request. Partitioned-mode callers never pay for this.
-    pub fn monolithic_trans(&self, bdd: &mut Bdd) -> Ref {
-        if let Some(t) = self.mono.get() {
-            return t;
+    pub fn monolithic_trans(&self) -> Func {
+        if let Some(t) = self.mono.borrow().as_ref() {
+            return t.clone();
         }
-        let t = bdd.and_many(self.clusters.iter().copied());
-        self.mono.set(Some(t));
+        let t = self.mgr.and_many(&self.clusters);
+        *self.mono.borrow_mut() = Some(t.clone());
         t
     }
 
     /// Seeds the monolith cache (used by `constrain` to extend an
     /// already-built monolith instead of re-conjoining all clusters).
-    pub(crate) fn seed_mono(&self, trans: Ref) {
-        self.mono.set(Some(trans));
+    pub(crate) fn seed_mono(&self, trans: Func) {
+        *self.mono.borrow_mut() = Some(trans);
     }
 
     /// The cached monolith, if it has been built.
-    pub(crate) fn cached_mono(&self) -> Option<Ref> {
-        self.mono.get()
+    pub(crate) fn cached_mono(&self) -> Option<Func> {
+        self.mono.borrow().clone()
     }
 
     /// `∃ current, inputs. T ∧ set` — the forward image of a state set
     /// (over current variables), as a BDD over **next** variables.
-    pub fn forward(&self, bdd: &mut Bdd, set: Ref) -> Ref {
+    pub fn forward(&self, set: &Func) -> Func {
         match self.config.method {
-            ImageMethod::Monolithic => {
-                let t = self.monolithic_trans(bdd);
-                bdd.and_exists(t, set, &self.fwd_vars)
+            ImageMethod::Monolithic => self.monolithic_trans().and_exists(set, &self.fwd_vars),
+            ImageMethod::Partitioned => {
+                self.mgr.and_exists_schedule(set, &self.clusters, &self.fwd)
             }
-            ImageMethod::Partitioned => bdd.and_exists_schedule(set, &self.clusters, &self.fwd),
         }
     }
 
     /// `∃ next, inputs. T ∧ set_next` — the existential preimage of a
     /// state set already renamed to **next** variables, as a BDD over
     /// current variables.
-    pub fn backward(&self, bdd: &mut Bdd, set_next: Ref) -> Ref {
+    pub fn backward(&self, set_next: &Func) -> Func {
         match self.config.method {
-            ImageMethod::Monolithic => {
-                let t = self.monolithic_trans(bdd);
-                bdd.and_exists(t, set_next, &self.bwd_vars)
-            }
+            ImageMethod::Monolithic => self.monolithic_trans().and_exists(set_next, &self.bwd_vars),
             ImageMethod::Partitioned => {
-                bdd.and_exists_schedule(set_next, &self.clusters, &self.bwd)
+                self.mgr
+                    .and_exists_schedule(set_next, &self.clusters, &self.bwd)
             }
         }
     }
@@ -238,24 +234,15 @@ impl ImageEngine {
     /// the input variables free: the result relates each predecessor
     /// state to the inputs justifying the transition. This is what trace
     /// replay needs, and it never forces the monolith to exist.
-    pub fn backward_with_inputs(&self, bdd: &mut Bdd, set_next: Ref) -> Ref {
+    pub fn backward_with_inputs(&self, set_next: &Func) -> Func {
         match self.config.method {
-            ImageMethod::Monolithic => {
-                let t = self.monolithic_trans(bdd);
-                bdd.and_exists(t, set_next, &self.next_vars)
-            }
+            ImageMethod::Monolithic => self
+                .monolithic_trans()
+                .and_exists(set_next, &self.next_vars),
             ImageMethod::Partitioned => {
-                bdd.and_exists_schedule(set_next, &self.clusters, &self.bwd_keep_inputs)
+                self.mgr
+                    .and_exists_schedule(set_next, &self.clusters, &self.bwd_keep_inputs)
             }
-        }
-    }
-
-    /// Appends every BDD handle the engine owns (clusters and the cached
-    /// monolith) to `roots`.
-    pub fn push_refs(&self, roots: &mut Vec<Ref>) {
-        roots.extend(self.clusters.iter().copied());
-        if let Some(t) = self.mono.get() {
-            roots.push(t);
         }
     }
 }
@@ -264,14 +251,14 @@ impl ImageEngine {
 /// cluster with the largest shared support (falling back to the most
 /// recent cluster when no support overlaps), unless the merged BDD would
 /// exceed `threshold` nodes — then it starts a new cluster.
-fn cluster_parts(bdd: &mut Bdd, parts: &[Ref], threshold: usize) -> Vec<Ref> {
-    let mut clusters: Vec<Ref> = Vec::new();
+fn cluster_parts(parts: &[Func], threshold: usize) -> Vec<Func> {
+    let mut clusters: Vec<Func> = Vec::new();
     let mut supports: Vec<BTreeSet<VarId>> = Vec::new();
-    for &p in parts {
+    for p in parts {
         if p.is_true() {
             continue;
         }
-        let psup: BTreeSet<VarId> = bdd.support(p).into_iter().collect();
+        let psup: BTreeSet<VarId> = p.support().into_iter().collect();
         let best = supports
             .iter()
             .enumerate()
@@ -285,14 +272,14 @@ fn cluster_parts(bdd: &mut Bdd, parts: &[Ref], threshold: usize) -> Vec<Ref> {
                 Some(clusters.len() - 1)
             });
         if let Some(i) = best {
-            let merged = bdd.and(clusters[i], p);
-            if bdd.node_count(merged) <= threshold {
+            let merged = clusters[i].and(p);
+            if merged.node_count() <= threshold {
                 clusters[i] = merged;
                 supports[i].extend(psup);
                 continue;
             }
         }
-        clusters.push(p);
+        clusters.push(p.clone());
         supports.push(psup);
     }
     clusters
@@ -304,31 +291,29 @@ mod tests {
 
     /// Three-bit shifter: b0' = inp, b1' = b0, b2' = b1. Each part's
     /// support is disjoint enough to exercise the schedule.
-    fn shifter_parts(bdd: &mut Bdd) -> (Vec<Ref>, Vec<VarId>, Vec<VarId>, Vec<VarId>) {
+    fn shifter_parts(mgr: &BddManager) -> (Vec<Func>, Vec<VarId>, Vec<VarId>, Vec<VarId>) {
         let mut cur = Vec::new();
         let mut next = Vec::new();
         for i in 0..3 {
-            cur.push(bdd.new_named_var(format!("b{i}")));
-            next.push(bdd.new_named_var(format!("b{i}'")));
+            cur.push(mgr.new_named_var(format!("b{i}")));
+            next.push(mgr.new_named_var(format!("b{i}'")));
         }
-        let inp = vec![bdd.new_named_var("inp")];
+        let inp = vec![mgr.new_named_var("inp")];
         let mut parts = Vec::new();
         let srcs = [inp[0], cur[0], cur[1]];
         for (i, &src) in srcs.iter().enumerate() {
-            let nv = bdd.var(next[i]);
-            let sv = bdd.var(src);
-            parts.push(bdd.iff(nv, sv));
+            parts.push(mgr.var(next[i]).iff(&mgr.var(src)));
         }
         (parts, cur, inp, next)
     }
 
     fn engines(
-        bdd: &mut Bdd,
+        mgr: &BddManager,
         threshold: usize,
     ) -> (ImageEngine, ImageEngine, Vec<VarId>, Vec<VarId>) {
-        let (parts, cur, inp, next) = shifter_parts(bdd);
+        let (parts, cur, inp, next) = shifter_parts(mgr);
         let part = ImageEngine::build(
-            bdd,
+            mgr,
             &parts,
             &cur,
             &inp,
@@ -338,42 +323,42 @@ mod tests {
                 cluster_threshold: threshold,
             },
         );
-        let mono = ImageEngine::build(bdd, &parts, &cur, &inp, &next, ImageConfig::monolithic());
+        let mono = ImageEngine::build(mgr, &parts, &cur, &inp, &next, ImageConfig::monolithic());
         (part, mono, cur, next)
     }
 
     #[test]
     fn forward_and_backward_match_monolithic() {
         for threshold in [1, 4, 64, 10_000] {
-            let mut bdd = Bdd::new();
-            let (part, mono, cur, next) = engines(&mut bdd, threshold);
+            let mgr = BddManager::new();
+            let (part, mono, cur, next) = engines(&mgr, threshold);
             // A handful of state sets over current vars.
-            let c0 = bdd.var(cur[0]);
-            let c1 = bdd.var(cur[1]);
-            let c2 = bdd.var(cur[2]);
-            let s1 = bdd.and(c0, c1);
-            let s2 = bdd.or(s1, c2);
-            let s3 = bdd.not(s2);
-            for set in [Ref::TRUE, Ref::FALSE, c0, s1, s2, s3] {
+            let c0 = mgr.var(cur[0]);
+            let c1 = mgr.var(cur[1]);
+            let c2 = mgr.var(cur[2]);
+            let s1 = c0.and(&c1);
+            let s2 = s1.or(&c2);
+            let s3 = s2.not();
+            for set in [mgr.constant(true), mgr.constant(false), c0, s1, s2, s3] {
                 assert_eq!(
-                    part.forward(&mut bdd, set),
-                    mono.forward(&mut bdd, set),
+                    part.forward(&set),
+                    mono.forward(&set),
                     "forward diverges at threshold {threshold}"
                 );
             }
             // Preimage operands live over next vars.
-            let n0 = bdd.var(next[0]);
-            let n2 = bdd.var(next[2]);
-            let t1 = bdd.xor(n0, n2);
-            for set_next in [Ref::TRUE, n0, t1] {
+            let n0 = mgr.var(next[0]);
+            let n2 = mgr.var(next[2]);
+            let t1 = n0.xor(&n2);
+            for set_next in [mgr.constant(true), n0.clone(), t1] {
                 assert_eq!(
-                    part.backward(&mut bdd, set_next),
-                    mono.backward(&mut bdd, set_next),
+                    part.backward(&set_next),
+                    mono.backward(&set_next),
                     "backward diverges at threshold {threshold}"
                 );
                 assert_eq!(
-                    part.backward_with_inputs(&mut bdd, set_next),
-                    mono.backward_with_inputs(&mut bdd, set_next),
+                    part.backward_with_inputs(&set_next),
+                    mono.backward_with_inputs(&set_next),
                     "backward_with_inputs diverges at threshold {threshold}"
                 );
             }
@@ -382,28 +367,29 @@ mod tests {
 
     #[test]
     fn threshold_bounds_cluster_count() {
-        let mut bdd = Bdd::new();
-        let (part_tiny, ..) = engines(&mut bdd, 1);
+        let mgr = BddManager::new();
+        let (part_tiny, ..) = engines(&mgr, 1);
         // Threshold 1 cannot merge anything: one cluster per part.
         assert_eq!(part_tiny.clusters().len(), 3);
-        let mut bdd2 = Bdd::new();
-        let (part_big, ..) = engines(&mut bdd2, 10_000);
+        let mgr2 = BddManager::new();
+        let (part_big, ..) = engines(&mgr2, 10_000);
         // A huge threshold merges every affine part.
         assert!(part_big.clusters().len() < 3);
     }
 
     #[test]
     fn monolith_is_lazy_and_cached() {
-        let mut bdd = Bdd::new();
-        let (part, ..) = engines(&mut bdd, 4);
+        let mgr = BddManager::new();
+        let (part, ..) = engines(&mgr, 4);
         assert!(part.cached_mono().is_none());
-        let t1 = part.monolithic_trans(&mut bdd);
-        let t2 = part.monolithic_trans(&mut bdd);
+        let t1 = part.monolithic_trans();
+        let t2 = part.monolithic_trans();
         assert_eq!(t1, t2);
-        assert_eq!(part.cached_mono(), Some(t1));
-        let mut roots = Vec::new();
-        part.push_refs(&mut roots);
-        assert!(roots.contains(&t1));
+        assert_eq!(part.cached_mono(), Some(t1.clone()));
+        // The cached monolith is an owned handle: it survives a rootless
+        // collection without any explicit protection.
+        mgr.gc();
+        assert_eq!(part.monolithic_trans(), t1);
     }
 
     #[test]

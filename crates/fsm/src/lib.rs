@@ -22,10 +22,14 @@
 //! - [`Stg`]: explicit state-transition graphs (the paper's Figures 1–3)
 //!   compiled to symbolic machines.
 //!
+//! Every machine stores owned [`covest_bdd::Func`] handles, so models pin
+//! their own BDD state across garbage collection and dynamic reordering —
+//! there is no roots contract to maintain.
+//!
 //! # Example
 //!
 //! ```
-//! use covest_bdd::Bdd;
+//! use covest_bdd::BddManager;
 //! use covest_fsm::Stg;
 //!
 //! // Figure 2's chain of p1-states ending in a q-state.
@@ -34,10 +38,10 @@
 //! stg.add_path(&[0, 1, 2, 3]);
 //! stg.mark_initial(0);
 //! stg.label(3, "q");
-//! let mut bdd = Bdd::new();
-//! let fsm = stg.compile(&mut bdd)?;
-//! let target = stg.state_fn(&mut bdd, &fsm, 3);
-//! let trace = fsm.trace_to(&mut bdd, target).expect("reachable");
+//! let mgr = BddManager::new();
+//! let fsm = stg.compile(&mgr)?;
+//! let target = stg.state_fn(&fsm, 3);
+//! let trace = fsm.trace_to(&target).expect("reachable");
 //! assert_eq!(trace.len(), 3);
 //! # Ok::<(), covest_fsm::BuildFsmError>(())
 //! ```

@@ -1,55 +1,53 @@
 //! Reachability analysis: fixpoints and breadth-first onion rings.
 
-use covest_bdd::{Bdd, Ref};
+use covest_bdd::Func;
 
 use crate::fsm::SymbolicFsm;
 
 impl SymbolicFsm {
     /// All states reachable from `from` in any number of steps, including
     /// `from` itself (the paper's `reachable(S0)`).
-    pub fn reachable_from(&self, bdd: &mut Bdd, from: Ref) -> Ref {
-        let mut reached = from;
-        let mut frontier = from;
+    pub fn reachable_from(&self, from: &Func) -> Func {
+        let mut reached = from.clone();
+        let mut frontier = from.clone();
         loop {
-            let img = self.image(bdd, frontier);
-            let fresh = bdd.diff(img, reached);
+            let img = self.image(&frontier);
+            let fresh = img.diff(&reached);
             if fresh.is_false() {
                 return reached;
             }
-            reached = bdd.or(reached, fresh);
+            reached = reached.or(&fresh);
             frontier = fresh;
         }
     }
 
     /// All states reachable from the initial states.
-    pub fn reachable(&self, bdd: &mut Bdd) -> Ref {
-        self.reachable_from(bdd, self.init)
+    pub fn reachable(&self) -> Func {
+        self.reachable_from(&self.init)
     }
 
     /// Breadth-first *onion rings* from `from`: `rings[0] = from`, and
     /// `rings[k]` holds the states first reached at distance `k`.
     /// The union of all rings is [`SymbolicFsm::reachable_from`].
-    pub fn onion_rings(&self, bdd: &mut Bdd, from: Ref) -> Vec<Ref> {
-        let mut rings = vec![from];
-        let mut reached = from;
-        let mut frontier = from;
+    pub fn onion_rings(&self, from: &Func) -> Vec<Func> {
+        let mut rings = vec![from.clone()];
+        let mut reached = from.clone();
+        let mut frontier = from.clone();
         loop {
-            let img = self.image(bdd, frontier);
-            let fresh = bdd.diff(img, reached);
+            let img = self.image(&frontier);
+            let fresh = img.diff(&reached);
             if fresh.is_false() {
                 return rings;
             }
-            rings.push(fresh);
-            reached = bdd.or(reached, fresh);
+            rings.push(fresh.clone());
+            reached = reached.or(&fresh);
             frontier = fresh;
         }
     }
 
     /// Number of reachable states (the denominator of Definition 4).
-    pub fn reachable_count(&self, bdd: &mut Bdd) -> f64 {
-        let r = self.reachable(bdd);
-        let vars = self.current_vars();
-        bdd.sat_count_over(r, &vars)
+    pub fn reachable_count(&self) -> f64 {
+        self.reachable().sat_count_over(&self.current_vars())
     }
 }
 
@@ -57,81 +55,70 @@ impl SymbolicFsm {
 mod tests {
     use super::*;
     use crate::fsm::FsmBuilder;
+    use covest_bdd::BddManager;
 
     /// A 3-bit counter with no inputs that increments and wraps at 6
     /// (states 6 and 7 unreachable from 0).
-    fn mod6_counter(bdd: &mut Bdd) -> SymbolicFsm {
-        let mut b = FsmBuilder::new("mod6");
-        let bits: Vec<_> = (0..3)
-            .map(|i| b.add_state_bit(bdd, format!("c{i}")))
-            .collect();
-        let f: Vec<Ref> = bits.iter().map(|s| bdd.var(s.current)).collect();
+    fn mod6_counter(mgr: &BddManager) -> SymbolicFsm {
+        let mut b = FsmBuilder::new(mgr, "mod6");
+        let bits: Vec<_> = (0..3).map(|i| b.add_state_bit(format!("c{i}"))).collect();
+        let f: Vec<Func> = bits.iter().map(|s| mgr.var(s.current)).collect();
         // value == 5 detector
-        let n1 = bdd.not(f[1]);
-        let is5 = {
-            let a = bdd.and(f[0], n1);
-            bdd.and(a, f[2])
-        };
+        let is5 = f[0].and(&f[1].not()).and(&f[2]);
         // incremented value
-        let inc0 = bdd.not(f[0]);
-        let inc1 = bdd.xor(f[1], f[0]);
-        let carry01 = bdd.and(f[0], f[1]);
-        let inc2 = bdd.xor(f[2], carry01);
+        let inc0 = f[0].not();
+        let inc1 = f[1].xor(&f[0]);
+        let inc2 = f[2].xor(&f[0].and(&f[1]));
         // next = is5 ? 0 : inc
-        let n0 = bdd.ite(is5, Ref::FALSE, inc0);
-        let n1b = bdd.ite(is5, Ref::FALSE, inc1);
-        let n2 = bdd.ite(is5, Ref::FALSE, inc2);
-        b.set_next(bdd, "c0", n0);
-        b.set_next(bdd, "c1", n1b);
-        b.set_next(bdd, "c2", n2);
-        let zeros: Vec<Ref> = bits.iter().map(|s| bdd.nvar(s.current)).collect();
-        let init = bdd.and_many(zeros);
-        b.set_init(init);
-        b.build(bdd).expect("valid")
+        let zero = mgr.constant(false);
+        b.set_next("c0", is5.ite(&zero, &inc0));
+        b.set_next("c1", is5.ite(&zero, &inc1));
+        b.set_next("c2", is5.ite(&zero, &inc2));
+        let zeros: Vec<Func> = bits.iter().map(|s| mgr.nvar(s.current)).collect();
+        b.set_init(mgr.and_many(&zeros));
+        b.build().expect("valid")
     }
 
     #[test]
     fn reachable_excludes_unreachable_codes() {
-        let mut bdd = Bdd::new();
-        let fsm = mod6_counter(&mut bdd);
-        assert_eq!(fsm.reachable_count(&mut bdd), 6.0);
+        let mgr = BddManager::new();
+        let fsm = mod6_counter(&mgr);
+        assert_eq!(fsm.reachable_count(), 6.0);
     }
 
     #[test]
     fn rings_partition_reachable() {
-        let mut bdd = Bdd::new();
-        let fsm = mod6_counter(&mut bdd);
-        let rings = fsm.onion_rings(&mut bdd, fsm.init());
+        let mgr = BddManager::new();
+        let fsm = mod6_counter(&mgr);
+        let rings = fsm.onion_rings(fsm.init());
         assert_eq!(rings.len(), 6); // distances 0..5
                                     // Pairwise disjoint and union equals reachable.
-        let mut union = Ref::FALSE;
-        for (i, &ri) in rings.iter().enumerate() {
-            for &rj in rings.iter().skip(i + 1) {
-                assert!(bdd.and(ri, rj).is_false());
+        let mut union = mgr.constant(false);
+        for (i, ri) in rings.iter().enumerate() {
+            for rj in rings.iter().skip(i + 1) {
+                assert!(ri.and(rj).is_false());
             }
-            union = bdd.or(union, ri);
+            union = union.or(ri);
         }
-        let reach = fsm.reachable(&mut bdd);
-        assert_eq!(union, reach);
+        assert_eq!(union, fsm.reachable());
     }
 
     #[test]
     fn reachable_from_subset() {
-        let mut bdd = Bdd::new();
-        let fsm = mod6_counter(&mut bdd);
+        let mgr = BddManager::new();
+        let fsm = mod6_counter(&mgr);
         // Starting at value 4 we can still reach all six states (wraps).
-        let s4 = fsm.state_cube(&mut bdd, &[("c2", true)]);
-        let r = fsm.reachable_from(&mut bdd, s4);
-        let vars = fsm.current_vars();
-        assert_eq!(bdd.sat_count_over(r, &vars), 6.0);
+        let s4 = fsm.state_cube(&[("c2", true)]);
+        let r = fsm.reachable_from(&s4);
+        assert_eq!(r.sat_count_over(&fsm.current_vars()), 6.0);
     }
 
     #[test]
     fn reachable_is_fixpoint() {
-        let mut bdd = Bdd::new();
-        let fsm = mod6_counter(&mut bdd);
-        let r = fsm.reachable(&mut bdd);
-        let img = fsm.image(&mut bdd, r);
-        assert!(bdd.leq(img, r));
+        let mgr = BddManager::new();
+        let fsm = mod6_counter(&mgr);
+        let r = fsm.reachable();
+        assert!(fsm.image(&r).leq(&r));
+        let _ = mgr;
     }
 }

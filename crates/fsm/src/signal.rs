@@ -13,10 +13,14 @@
 //!
 //! All three are expressed through the `overrides` parameter of
 //! [`SignalTable::lower_with`].
+//!
+//! Signal functions are owned [`Func`] handles: storing a table keeps its
+//! functions rooted across garbage collection and dynamic reordering, so
+//! there is no separate root enumeration to maintain.
 
 use std::collections::HashMap;
 
-use covest_bdd::{Bdd, Ref};
+use covest_bdd::{BddManager, Func};
 use covest_ctl::{CmpOp, CmpRhs, PropExpr, SignalRef};
 
 use crate::error::LowerError;
@@ -26,7 +30,7 @@ use crate::error::LowerError;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NumericSignal {
     /// Bit functions, least significant first.
-    pub bits: Vec<Ref>,
+    pub bits: Vec<Func>,
     /// Value represented = binary(bits) + offset.
     pub offset: i64,
     /// Enumeration literals naming particular values (e.g. `idle ↦ 0`).
@@ -35,7 +39,7 @@ pub struct NumericSignal {
 
 impl NumericSignal {
     /// A plain unsigned signal with the given bit functions (LSB first).
-    pub fn unsigned(bits: Vec<Ref>) -> Self {
+    pub fn unsigned(bits: Vec<Func>) -> Self {
         NumericSignal {
             bits,
             offset: 0,
@@ -57,23 +61,11 @@ impl NumericSignal {
 /// The semantic value of a signal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SignalValue {
-    /// A boolean signal: a single BDD over state/input variables.
-    Bool(Ref),
+    /// A boolean signal: a single owned BDD handle over state/input
+    /// variables.
+    Bool(Func),
     /// A multi-bit numeric signal.
     Num(NumericSignal),
-}
-
-impl SignalValue {
-    /// Appends every BDD handle this value holds to `out`. The single
-    /// source of truth for root enumeration over signal values — used by
-    /// all `protected_refs` implementations, so adding a variant (or a
-    /// handle to an existing one) updates every root set at once.
-    pub fn push_refs(&self, out: &mut Vec<Ref>) {
-        match self {
-            SignalValue::Bool(r) => out.push(*r),
-            SignalValue::Num(n) => out.extend(n.bits.iter().copied()),
-        }
-    }
 }
 
 /// A table of named signals with lowering of [`PropExpr`] to BDDs.
@@ -89,7 +81,7 @@ impl SignalTable {
     }
 
     /// Registers a boolean signal. Returns the previous value, if any.
-    pub fn insert_bool(&mut self, name: impl Into<String>, f: Ref) -> Option<SignalValue> {
+    pub fn insert_bool(&mut self, name: impl Into<String>, f: Func) -> Option<SignalValue> {
         self.entries.insert(name.into(), SignalValue::Bool(f))
     }
 
@@ -117,16 +109,6 @@ impl SignalTable {
         self.entries.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Every BDD handle stored in the table (boolean signals and all bits
-    /// of numeric signals); used to pin signals across GC/reordering.
-    pub fn refs(&self) -> Vec<Ref> {
-        let mut out = Vec::new();
-        for value in self.entries.values() {
-            value.push_refs(&mut out);
-        }
-        out
-    }
-
     /// Names of all signals, sorted.
     pub fn names(&self) -> Vec<&str> {
         let mut v: Vec<&str> = self.entries.keys().map(String::as_str).collect();
@@ -139,7 +121,7 @@ impl SignalTable {
     /// # Errors
     ///
     /// See [`LowerError`].
-    pub fn lower(&self, bdd: &mut Bdd, e: &PropExpr) -> Result<Ref, LowerError> {
+    pub fn lower(&self, bdd: &BddManager, e: &PropExpr) -> Result<Func, LowerError> {
         self.lower_with(bdd, e, &[])
     }
 
@@ -155,10 +137,10 @@ impl SignalTable {
     /// See [`LowerError`].
     pub fn lower_with(
         &self,
-        bdd: &mut Bdd,
+        bdd: &BddManager,
         e: &PropExpr,
         overrides: &[(SignalRef, SignalValue)],
-    ) -> Result<Ref, LowerError> {
+    ) -> Result<Func, LowerError> {
         match e {
             PropExpr::Const(c) => Ok(bdd.constant(*c)),
             PropExpr::Atom(s) => match self.resolve(s, overrides)? {
@@ -169,29 +151,26 @@ impl SignalTable {
                 }),
             },
             PropExpr::Cmp { lhs, op, rhs } => self.lower_cmp(bdd, lhs, *op, rhs, overrides),
-            PropExpr::Not(a) => {
-                let fa = self.lower_with(bdd, a, overrides)?;
-                Ok(bdd.not(fa))
-            }
+            PropExpr::Not(a) => Ok(self.lower_with(bdd, a, overrides)?.not()),
             PropExpr::And(a, b) => {
                 let fa = self.lower_with(bdd, a, overrides)?;
                 let fb = self.lower_with(bdd, b, overrides)?;
-                Ok(bdd.and(fa, fb))
+                Ok(fa.and(&fb))
             }
             PropExpr::Or(a, b) => {
                 let fa = self.lower_with(bdd, a, overrides)?;
                 let fb = self.lower_with(bdd, b, overrides)?;
-                Ok(bdd.or(fa, fb))
+                Ok(fa.or(&fb))
             }
             PropExpr::Implies(a, b) => {
                 let fa = self.lower_with(bdd, a, overrides)?;
                 let fb = self.lower_with(bdd, b, overrides)?;
-                Ok(bdd.implies(fa, fb))
+                Ok(fa.implies(&fb))
             }
             PropExpr::Iff(a, b) => {
                 let fa = self.lower_with(bdd, a, overrides)?;
                 let fb = self.lower_with(bdd, b, overrides)?;
-                Ok(bdd.iff(fa, fb))
+                Ok(fa.iff(&fb))
             }
         }
     }
@@ -213,12 +192,12 @@ impl SignalTable {
 
     fn lower_cmp(
         &self,
-        bdd: &mut Bdd,
+        bdd: &BddManager,
         lhs: &SignalRef,
         op: CmpOp,
         rhs: &CmpRhs,
         overrides: &[(SignalRef, SignalValue)],
-    ) -> Result<Ref, LowerError> {
+    ) -> Result<Func, LowerError> {
         let lv = self.resolve(lhs, overrides)?;
         let lnum = match lv {
             SignalValue::Num(n) => n,
@@ -271,7 +250,7 @@ impl SignalTable {
 }
 
 /// Builds the BDD for `sig op constant`.
-fn cmp_const(bdd: &mut Bdd, sig: &NumericSignal, op: CmpOp, c: i64) -> Ref {
+fn cmp_const(bdd: &BddManager, sig: &NumericSignal, op: CmpOp, c: i64) -> Func {
     let raw = c - sig.offset;
     let width = sig.bits.len();
     let max_raw: i64 = if width >= 63 {
@@ -282,110 +261,97 @@ fn cmp_const(bdd: &mut Bdd, sig: &NumericSignal, op: CmpOp, c: i64) -> Ref {
     // Handle out-of-range constants by the mathematical truth value.
     if raw < 0 {
         return match op {
-            CmpOp::Eq => Ref::FALSE,
-            CmpOp::Ne => Ref::TRUE,
-            CmpOp::Lt | CmpOp::Le => Ref::FALSE,
-            CmpOp::Gt | CmpOp::Ge => Ref::TRUE,
+            CmpOp::Eq => bdd.constant(false),
+            CmpOp::Ne => bdd.constant(true),
+            CmpOp::Lt | CmpOp::Le => bdd.constant(false),
+            CmpOp::Gt | CmpOp::Ge => bdd.constant(true),
         };
     }
     if raw > max_raw {
         return match op {
-            CmpOp::Eq => Ref::FALSE,
-            CmpOp::Ne => Ref::TRUE,
-            CmpOp::Lt | CmpOp::Le => Ref::TRUE,
-            CmpOp::Gt | CmpOp::Ge => Ref::FALSE,
+            CmpOp::Eq => bdd.constant(false),
+            CmpOp::Ne => bdd.constant(true),
+            CmpOp::Lt | CmpOp::Le => bdd.constant(true),
+            CmpOp::Gt | CmpOp::Ge => bdd.constant(false),
         };
     }
     let raw = raw as u64;
     match op {
         CmpOp::Eq => eq_const(bdd, &sig.bits, raw),
-        CmpOp::Ne => {
-            let e = eq_const(bdd, &sig.bits, raw);
-            bdd.not(e)
-        }
+        CmpOp::Ne => eq_const(bdd, &sig.bits, raw).not(),
         CmpOp::Lt => lt_const(bdd, &sig.bits, raw),
         CmpOp::Le => lt_const(bdd, &sig.bits, raw + 1),
-        CmpOp::Ge => {
-            let l = lt_const(bdd, &sig.bits, raw);
-            bdd.not(l)
-        }
-        CmpOp::Gt => {
-            let l = lt_const(bdd, &sig.bits, raw + 1);
-            bdd.not(l)
-        }
+        CmpOp::Ge => lt_const(bdd, &sig.bits, raw).not(),
+        CmpOp::Gt => lt_const(bdd, &sig.bits, raw + 1).not(),
     }
 }
 
-fn eq_const(bdd: &mut Bdd, bits: &[Ref], c: u64) -> Ref {
-    let mut acc = Ref::TRUE;
-    for (i, &bit) in bits.iter().enumerate() {
+fn eq_const(bdd: &BddManager, bits: &[Func], c: u64) -> Func {
+    let mut acc = bdd.constant(true);
+    for (i, bit) in bits.iter().enumerate() {
         let want = (c >> i) & 1 == 1;
-        let term = if want { bit } else { bdd.not(bit) };
-        acc = bdd.and(acc, term);
+        let term = if want { bit.clone() } else { bit.not() };
+        acc = acc.and(&term);
     }
     acc
 }
 
 /// `value(bits) < c` for an unsigned constant `c` (which may be `2^width`).
-fn lt_const(bdd: &mut Bdd, bits: &[Ref], c: u64) -> Ref {
+fn lt_const(bdd: &BddManager, bits: &[Func], c: u64) -> Func {
     let width = bits.len() as u32;
     if c == 0 {
-        return Ref::FALSE;
+        return bdd.constant(false);
     }
     if width < 64 && c >= (1u64 << width) {
-        return Ref::TRUE;
+        return bdd.constant(true);
     }
-    // MSB-first ripple: lt = (bit < c_i) | (bit == c_i) & lt_rest
-    let mut lt = Ref::FALSE;
-    for (i, &bit) in bits.iter().enumerate() {
+    // LSB-first ripple: lt = (bit < c_i) | (bit == c_i) & lt_rest
+    let mut lt = bdd.constant(false);
+    for (i, bit) in bits.iter().enumerate() {
         let ci = (c >> i) & 1 == 1;
         if ci {
             // bit < 1 when bit = 0; otherwise equal here, defer to rest
-            let nb = bdd.not(bit);
-            let keep = bdd.and(bit, lt);
-            lt = bdd.or(nb, keep);
+            lt = bit.not().or(&bit.and(&lt));
         } else {
             // bit < 0 impossible; equal when bit = 0
-            let nb = bdd.not(bit);
-            lt = bdd.and(nb, lt);
+            lt = bit.not().and(&lt);
         }
     }
     lt
 }
 
 /// `value(a) op value(b)` bitwise (widths may differ; shorter padded).
-fn cmp_vars(bdd: &mut Bdd, a: &[Ref], op: CmpOp, b: &[Ref]) -> Ref {
+fn cmp_vars(bdd: &BddManager, a: &[Func], op: CmpOp, b: &[Func]) -> Func {
     let width = a.len().max(b.len());
-    let bit = |bits: &[Ref], i: usize| -> Ref { bits.get(i).copied().unwrap_or(Ref::FALSE) };
+    let bit = |bits: &[Func], i: usize| -> Func {
+        bits.get(i).cloned().unwrap_or_else(|| bdd.constant(false))
+    };
     match op {
         CmpOp::Eq | CmpOp::Ne => {
-            let mut acc = Ref::TRUE;
+            let mut acc = bdd.constant(true);
             for i in 0..width {
                 let (ai, bi) = (bit(a, i), bit(b, i));
-                let e = bdd.iff(ai, bi);
-                acc = bdd.and(acc, e);
+                acc = acc.and(&ai.iff(&bi));
             }
             if op == CmpOp::Eq {
                 acc
             } else {
-                bdd.not(acc)
+                acc.not()
             }
         }
         CmpOp::Lt | CmpOp::Ge => {
             // LSB-first ripple: lt_i = (a_i < b_i) | (a_i == b_i) & lt_{i-1}
-            let mut lt = Ref::FALSE;
+            let mut lt = bdd.constant(false);
             for i in 0..width {
                 let (ai, bi) = (bit(a, i), bit(b, i));
-                let na = bdd.not(ai);
-                let strictly = bdd.and(na, bi);
-                let eq = bdd.iff(ai, bi);
-                let keep = bdd.and(eq, lt);
-                lt = bdd.or(strictly, keep);
+                let strictly = ai.not().and(&bi);
+                let keep = ai.iff(&bi).and(&lt);
+                lt = strictly.or(&keep);
             }
             if op == CmpOp::Lt {
                 lt
             } else {
-                bdd.not(lt)
+                lt.not()
             }
         }
         CmpOp::Gt | CmpOp::Le => {
@@ -393,7 +359,7 @@ fn cmp_vars(bdd: &mut Bdd, a: &[Ref], op: CmpOp, b: &[Ref]) -> Ref {
             if op == CmpOp::Gt {
                 gt
             } else {
-                bdd.not(gt)
+                gt.not()
             }
         }
     }
@@ -402,55 +368,51 @@ fn cmp_vars(bdd: &mut Bdd, a: &[Ref], op: CmpOp, b: &[Ref]) -> Ref {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use covest_bdd::VarId;
     use covest_ctl::PropExpr;
 
     /// Builds a table with a boolean `p`, and a 3-bit counter `count`
     /// (range 0..7) made of raw variables.
-    fn table(bdd: &mut Bdd) -> (SignalTable, Vec<covest_bdd::VarId>) {
+    fn table(bdd: &BddManager) -> (SignalTable, Vec<VarId>) {
         let p = bdd.new_named_var("p");
         let bits: Vec<_> = (0..3).map(|i| bdd.new_named_var(format!("c{i}"))).collect();
         let mut t = SignalTable::new();
-        let fp = bdd.var(p);
-        t.insert_bool("p", fp);
-        let bit_fns: Vec<Ref> = bits.iter().map(|&v| bdd.var(v)).collect();
+        t.insert_bool("p", bdd.var(p));
+        let bit_fns: Vec<Func> = bits.iter().map(|&v| bdd.var(v)).collect();
         t.insert_num("count", NumericSignal::unsigned(bit_fns));
         let mut all = vec![p];
         all.extend(bits);
         (t, all)
     }
 
-    fn count_assignments(bdd: &Bdd, f: Ref, vars: &[covest_bdd::VarId]) -> u128 {
-        bdd.sat_count_exact(f, vars)
-    }
-
     #[test]
     fn lower_atom_and_connectives() {
-        let mut bdd = Bdd::new();
-        let (t, _vars) = table(&mut bdd);
+        let bdd = BddManager::new();
+        let (t, _vars) = table(&bdd);
         let e = PropExpr::atom("p").not().or(PropExpr::atom("p"));
-        let f = t.lower(&mut bdd, &e).expect("lowers");
+        let f = t.lower(&bdd, &e).expect("lowers");
         assert!(f.is_true());
     }
 
     #[test]
     fn lower_eq_and_ne() {
-        let mut bdd = Bdd::new();
-        let (t, vars) = table(&mut bdd);
+        let bdd = BddManager::new();
+        let (t, vars) = table(&bdd);
         let f = t
-            .lower(&mut bdd, &PropExpr::cmp_int("count", CmpOp::Eq, 5))
+            .lower(&bdd, &PropExpr::cmp_int("count", CmpOp::Eq, 5))
             .expect("lowers");
         // p free (2) * 1 assignment of count bits
-        assert_eq!(count_assignments(&bdd, f, &vars), 2);
+        assert_eq!(f.sat_count_exact(&vars), 2);
         let g = t
-            .lower(&mut bdd, &PropExpr::cmp_int("count", CmpOp::Ne, 5))
+            .lower(&bdd, &PropExpr::cmp_int("count", CmpOp::Ne, 5))
             .expect("lowers");
-        assert_eq!(count_assignments(&bdd, g, &vars), 14);
+        assert_eq!(g.sat_count_exact(&vars), 14);
     }
 
     #[test]
     fn lower_orderings_match_semantics() {
-        let mut bdd = Bdd::new();
-        let (t, vars) = table(&mut bdd);
+        let bdd = BddManager::new();
+        let (t, vars) = table(&bdd);
         for c in 0..=7i64 {
             for (op, expect) in [
                 (CmpOp::Lt, (0..8).filter(|v| *v < c).count()),
@@ -459,10 +421,10 @@ mod tests {
                 (CmpOp::Ge, (0..8).filter(|v| *v >= c).count()),
             ] {
                 let f = t
-                    .lower(&mut bdd, &PropExpr::cmp_int("count", op, c))
+                    .lower(&bdd, &PropExpr::cmp_int("count", op, c))
                     .expect("lowers");
                 assert_eq!(
-                    count_assignments(&bdd, f, &vars),
+                    f.sat_count_exact(&vars),
                     2 * expect as u128,
                     "count {op:?} {c}"
                 );
@@ -472,73 +434,73 @@ mod tests {
 
     #[test]
     fn out_of_range_constants() {
-        let mut bdd = Bdd::new();
-        let (t, _) = table(&mut bdd);
+        let bdd = BddManager::new();
+        let (t, _) = table(&bdd);
         let f = t
-            .lower(&mut bdd, &PropExpr::cmp_int("count", CmpOp::Lt, 100))
+            .lower(&bdd, &PropExpr::cmp_int("count", CmpOp::Lt, 100))
             .expect("lowers");
         assert!(f.is_true());
         let g = t
-            .lower(&mut bdd, &PropExpr::cmp_int("count", CmpOp::Eq, -1))
+            .lower(&bdd, &PropExpr::cmp_int("count", CmpOp::Eq, -1))
             .expect("lowers");
         assert!(g.is_false());
         let h = t
-            .lower(&mut bdd, &PropExpr::cmp_int("count", CmpOp::Ge, -1))
+            .lower(&bdd, &PropExpr::cmp_int("count", CmpOp::Ge, -1))
             .expect("lowers");
         assert!(h.is_true());
     }
 
     #[test]
     fn var_var_comparisons() {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let a_vars = bdd.new_vars(2);
         let b_vars = bdd.new_vars(2);
-        let a_bits: Vec<Ref> = a_vars.iter().map(|&v| bdd.var(v)).collect();
-        let b_bits: Vec<Ref> = b_vars.iter().map(|&v| bdd.var(v)).collect();
+        let a_bits: Vec<Func> = a_vars.iter().map(|&v| bdd.var(v)).collect();
+        let b_bits: Vec<Func> = b_vars.iter().map(|&v| bdd.var(v)).collect();
         let mut t = SignalTable::new();
         t.insert_num("a", NumericSignal::unsigned(a_bits));
         t.insert_num("b", NumericSignal::unsigned(b_bits));
-        let vars: Vec<_> = (0..4).map(covest_bdd::VarId::from_index).collect();
+        let vars: Vec<_> = (0..4).map(VarId::from_index).collect();
         // a = b has 4 solutions out of 16; a < b has 6.
         let eq = t
-            .lower(&mut bdd, &PropExpr::cmp_sym("a", CmpOp::Eq, "b"))
+            .lower(&bdd, &PropExpr::cmp_sym("a", CmpOp::Eq, "b"))
             .expect("lowers");
-        assert_eq!(bdd.sat_count_exact(eq, &vars), 4);
+        assert_eq!(eq.sat_count_exact(&vars), 4);
         let lt = t
-            .lower(&mut bdd, &PropExpr::cmp_sym("a", CmpOp::Lt, "b"))
+            .lower(&bdd, &PropExpr::cmp_sym("a", CmpOp::Lt, "b"))
             .expect("lowers");
-        assert_eq!(bdd.sat_count_exact(lt, &vars), 6);
+        assert_eq!(lt.sat_count_exact(&vars), 6);
         let le = t
-            .lower(&mut bdd, &PropExpr::cmp_sym("a", CmpOp::Le, "b"))
+            .lower(&bdd, &PropExpr::cmp_sym("a", CmpOp::Le, "b"))
             .expect("lowers");
-        assert_eq!(bdd.sat_count_exact(le, &vars), 10);
+        assert_eq!(le.sat_count_exact(&vars), 10);
     }
 
     #[test]
     fn enum_literals_resolve() {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let bit = bdd.new_var();
         let fbit = bdd.var(bit);
         let mut t = SignalTable::new();
-        let mut sig = NumericSignal::unsigned(vec![fbit]);
+        let mut sig = NumericSignal::unsigned(vec![fbit.clone()]);
         sig.literals.insert("idle".to_owned(), 0);
         sig.literals.insert("busy".to_owned(), 1);
         t.insert_num("state", sig);
         let f = t
-            .lower(&mut bdd, &PropExpr::cmp_sym("state", CmpOp::Eq, "busy"))
+            .lower(&bdd, &PropExpr::cmp_sym("state", CmpOp::Eq, "busy"))
             .expect("lowers");
         assert_eq!(f, fbit);
         let e = t
-            .lower(&mut bdd, &PropExpr::cmp_sym("state", CmpOp::Eq, "bogus"))
+            .lower(&bdd, &PropExpr::cmp_sym("state", CmpOp::Eq, "bogus"))
             .unwrap_err();
         assert!(matches!(e, LowerError::UnknownLiteral { .. }));
     }
 
     #[test]
     fn offsets_shift_constants() {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let vars2 = bdd.new_vars(2);
-        let bits: Vec<Ref> = vars2.iter().map(|&v| bdd.var(v)).collect();
+        let bits: Vec<Func> = vars2.iter().map(|&v| bdd.var(v)).collect();
         let mut t = SignalTable::new();
         t.insert_num(
             "x",
@@ -548,39 +510,39 @@ mod tests {
                 literals: HashMap::new(),
             },
         );
-        let vars: Vec<_> = (0..2).map(covest_bdd::VarId::from_index).collect();
+        let vars: Vec<_> = (0..2).map(VarId::from_index).collect();
         // x ranges over 10..13; x <= 11 has 2 solutions.
         let f = t
-            .lower(&mut bdd, &PropExpr::cmp_int("x", CmpOp::Le, 11))
+            .lower(&bdd, &PropExpr::cmp_int("x", CmpOp::Le, 11))
             .expect("lowers");
-        assert_eq!(bdd.sat_count_exact(f, &vars), 2);
+        assert_eq!(f.sat_count_exact(&vars), 2);
     }
 
     #[test]
     fn overrides_replace_interpretation() {
-        let mut bdd = Bdd::new();
-        let (t, _) = table(&mut bdd);
+        let bdd = BddManager::new();
+        let (t, _) = table(&bdd);
         let q = PropExpr::atom("p");
-        let normal = t.lower(&mut bdd, &q).expect("lowers");
-        let flipped = bdd.not(normal);
+        let normal = t.lower(&bdd, &q).expect("lowers");
+        let flipped = normal.not();
         let via_override = t
             .lower_with(
-                &mut bdd,
+                &bdd,
                 &q,
-                &[(SignalRef::new("p"), SignalValue::Bool(flipped))],
+                &[(SignalRef::new("p"), SignalValue::Bool(flipped.clone()))],
             )
             .expect("lowers");
         assert_eq!(via_override, flipped);
         // Primed occurrences default to the unprimed meaning...
         let primed_expr = PropExpr::Atom(SignalRef::primed("p"));
-        let primed_default = t.lower(&mut bdd, &primed_expr).expect("lowers");
+        let primed_default = t.lower(&bdd, &primed_expr).expect("lowers");
         assert_eq!(primed_default, normal);
         // ...but can be overridden independently.
         let primed_override = t
             .lower_with(
-                &mut bdd,
+                &bdd,
                 &primed_expr,
-                &[(SignalRef::primed("p"), SignalValue::Bool(flipped))],
+                &[(SignalRef::primed("p"), SignalValue::Bool(flipped.clone()))],
             )
             .expect("lowers");
         assert_eq!(primed_override, flipped);
@@ -588,18 +550,18 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        let mut bdd = Bdd::new();
-        let (t, _) = table(&mut bdd);
+        let bdd = BddManager::new();
+        let (t, _) = table(&bdd);
         assert!(matches!(
-            t.lower(&mut bdd, &PropExpr::atom("nope")).unwrap_err(),
+            t.lower(&bdd, &PropExpr::atom("nope")).unwrap_err(),
             LowerError::UnknownSignal(_)
         ));
         assert!(matches!(
-            t.lower(&mut bdd, &PropExpr::atom("count")).unwrap_err(),
+            t.lower(&bdd, &PropExpr::atom("count")).unwrap_err(),
             LowerError::TypeMismatch { .. }
         ));
         assert!(matches!(
-            t.lower(&mut bdd, &PropExpr::cmp_int("p", CmpOp::Eq, 1))
+            t.lower(&bdd, &PropExpr::cmp_int("p", CmpOp::Eq, 1))
                 .unwrap_err(),
             LowerError::TypeMismatch { .. }
         ));

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 
-use covest_bdd::{Bdd, Ref, VarId};
+use covest_bdd::{BddManager, Func, VarId};
 
 use crate::error::BuildFsmError;
 use crate::fsm::{FsmBuilder, SymbolicFsm};
@@ -23,7 +23,7 @@ use crate::fsm::{FsmBuilder, SymbolicFsm};
 /// # Examples
 ///
 /// ```
-/// use covest_bdd::Bdd;
+/// use covest_bdd::BddManager;
 /// use covest_fsm::Stg;
 ///
 /// // Two states flip-flopping; signal `q` holds in state 1.
@@ -33,8 +33,8 @@ use crate::fsm::{FsmBuilder, SymbolicFsm};
 /// stg.add_edge(1, 0);
 /// stg.mark_initial(0);
 /// stg.label(1, "q");
-/// let mut bdd = Bdd::new();
-/// let fsm = stg.compile(&mut bdd)?;
+/// let mgr = BddManager::new();
+/// let fsm = stg.compile(&mgr)?;
 /// assert_eq!(fsm.num_state_bits(), 1);
 /// # Ok::<(), covest_fsm::BuildFsmError>(())
 /// ```
@@ -140,7 +140,7 @@ impl Stg {
     /// # Errors
     ///
     /// Propagates [`BuildFsmError`] from the underlying builder.
-    pub fn compile(&self, bdd: &mut Bdd) -> Result<SymbolicFsm, BuildFsmError> {
+    pub fn compile(&self, mgr: &BddManager) -> Result<SymbolicFsm, BuildFsmError> {
         assert!(self.num_states > 0, "graph must have at least one state");
         let nbits = bits_for(self.num_states);
         let maxdeg = (0..self.num_states)
@@ -149,12 +149,12 @@ impl Stg {
             .unwrap_or(1);
         let cbits = bits_for(maxdeg);
 
-        let mut b = FsmBuilder::new(self.name.clone());
+        let mut b = FsmBuilder::new(mgr, self.name.clone());
         let state_bits: Vec<_> = (0..nbits)
-            .map(|i| b.add_state_bit(bdd, format!("s{i}")))
+            .map(|i| b.add_state_bit(format!("s{i}")))
             .collect();
         let choice_bits: Vec<_> = (0..cbits)
-            .map(|i| b.add_input_bit(bdd, format!("choice{i}")))
+            .map(|i| b.add_input_bit(format!("choice{i}")))
             .collect();
 
         let cur_vars: Vec<VarId> = state_bits.iter().map(|s| s.current).collect();
@@ -162,54 +162,47 @@ impl Stg {
         let choice_vars: Vec<VarId> = choice_bits.iter().map(|c| c.var).collect();
 
         // T = ∨_s ∨_j (cur=s ∧ choice≡j (mod deg) ∧ next=succ_j(s))
-        let mut trans = Ref::FALSE;
+        let mut trans = mgr.constant(false);
         for s in 0..self.num_states {
             let succ = self.successors(s);
-            let cur = encode(bdd, &cur_vars, s);
+            let cur = encode(mgr, &cur_vars, s);
             for j in 0..(1usize << cbits).max(1) {
                 let target = succ[j % succ.len()];
-                let choice = encode(bdd, &choice_vars, j);
-                let next = encode(bdd, &next_vars, target);
-                let t1 = bdd.and(cur, choice);
-                let t = bdd.and(t1, next);
-                trans = bdd.or(trans, t);
+                let choice = encode(mgr, &choice_vars, j);
+                let next = encode(mgr, &next_vars, target);
+                trans = trans.or(&cur.and(&choice).and(&next));
             }
         }
         // Invalid binary codes (beyond num_states) self-loop so the
         // relation stays total; they are unreachable from valid states.
         for s in self.num_states..(1usize << nbits) {
-            let cur = encode(bdd, &cur_vars, s);
-            let next = encode(bdd, &next_vars, s);
-            let t = bdd.and(cur, next);
-            trans = bdd.or(trans, t);
+            let cur = encode(mgr, &cur_vars, s);
+            let next = encode(mgr, &next_vars, s);
+            trans = trans.or(&cur.and(&next));
         }
         b.add_trans_constraint(trans);
 
-        let mut init = Ref::FALSE;
+        let mut init = mgr.constant(false);
         for &s in &self.initial {
-            let e = encode(bdd, &cur_vars, s);
-            init = bdd.or(init, e);
+            init = init.or(&encode(mgr, &cur_vars, s));
         }
         b.set_init(init);
 
         for (name, states) in &self.labels {
-            let mut f = Ref::FALSE;
+            let mut f = mgr.constant(false);
             for &s in states {
-                let e = encode(bdd, &cur_vars, s);
-                f = bdd.or(f, e);
+                f = f.or(&encode(mgr, &cur_vars, s));
             }
             b.add_signal(name.clone(), f);
         }
 
-        // Signal exposing the raw code of each state, useful for tests.
-        b.build(bdd)
+        b.build()
     }
 
     /// The characteristic BDD of state `id` on a machine compiled from
     /// this graph.
-    pub fn state_fn(&self, bdd: &mut Bdd, fsm: &SymbolicFsm, id: usize) -> Ref {
-        let cur: Vec<VarId> = fsm.current_vars();
-        encode(bdd, &cur, id)
+    pub fn state_fn(&self, fsm: &SymbolicFsm, id: usize) -> Func {
+        encode(fsm.manager(), &fsm.current_vars(), id)
     }
 
     /// Decodes a current-state minterm of a compiled machine back to the
@@ -238,12 +231,11 @@ fn bits_for(n: usize) -> usize {
     }
 }
 
-fn encode(bdd: &mut Bdd, vars: &[VarId], value: usize) -> Ref {
-    let mut cube = Ref::TRUE;
+fn encode(mgr: &BddManager, vars: &[VarId], value: usize) -> Func {
+    let mut cube = mgr.constant(true);
     for (i, &v) in vars.iter().enumerate() {
         let bit = (value >> i) & 1 == 1;
-        let lit = bdd.literal(v, bit);
-        cube = bdd.and(cube, lit);
+        cube = cube.and(&mgr.literal(v, bit));
     }
     cube
 }
@@ -267,28 +259,26 @@ mod tests {
 
     #[test]
     fn compile_chain_reaches_all_states() {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         let stg = chain();
-        let fsm = stg.compile(&mut bdd).expect("compiles");
-        assert!(fsm.is_total(&mut bdd));
-        let vars = fsm.current_vars();
-        let r = fsm.reachable(&mut bdd);
-        assert_eq!(bdd.sat_count_over(r, &vars), 4.0);
+        let fsm = stg.compile(&mgr).expect("compiles");
+        assert!(fsm.is_total());
+        let r = fsm.reachable();
+        assert_eq!(r.sat_count_over(&fsm.current_vars()), 4.0);
     }
 
     #[test]
     fn sink_states_get_self_loops() {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         let stg = chain();
-        let fsm = stg.compile(&mut bdd).expect("compiles");
-        let s3 = stg.state_fn(&mut bdd, &fsm, 3);
-        let img = fsm.image(&mut bdd, s3);
-        assert_eq!(img, s3);
+        let fsm = stg.compile(&mgr).expect("compiles");
+        let s3 = stg.state_fn(&fsm, 3);
+        assert_eq!(fsm.image(&s3), s3);
     }
 
     #[test]
     fn branching_uses_choice_inputs() {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         let mut stg = Stg::new("branch");
         stg.add_states(3);
         stg.add_edge(0, 1);
@@ -296,26 +286,25 @@ mod tests {
         stg.add_edge(1, 0);
         stg.add_edge(2, 0);
         stg.mark_initial(0);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&mgr).expect("compiles");
         assert_eq!(fsm.input_bits().len(), 1);
-        let s0 = stg.state_fn(&mut bdd, &fsm, 0);
-        let img = fsm.image(&mut bdd, s0);
-        let s1 = stg.state_fn(&mut bdd, &fsm, 1);
-        let s2 = stg.state_fn(&mut bdd, &fsm, 2);
-        let expect = bdd.or(s1, s2);
-        assert_eq!(img, expect);
+        let s0 = stg.state_fn(&fsm, 0);
+        let img = fsm.image(&s0);
+        let s1 = stg.state_fn(&fsm, 1);
+        let s2 = stg.state_fn(&fsm, 2);
+        assert_eq!(img, s1.or(&s2));
     }
 
     #[test]
     fn labels_become_signals() {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         let stg = chain();
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&mgr).expect("compiles");
         let q = match fsm.signals().get("q") {
-            Some(crate::signal::SignalValue::Bool(r)) => *r,
+            Some(crate::signal::SignalValue::Bool(r)) => r.clone(),
             other => panic!("bad signal {other:?}"),
         };
-        let s3 = stg.state_fn(&mut bdd, &fsm, 3);
+        let s3 = stg.state_fn(&fsm, 3);
         assert_eq!(q, s3);
         assert_eq!(stg.labelled_states("q"), vec![3]);
         assert_eq!(stg.signal_names(), vec!["p1", "q"]);
@@ -323,7 +312,7 @@ mod tests {
 
     #[test]
     fn unreachable_island_detected() {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         let mut stg = Stg::new("island");
         stg.add_states(4);
         stg.add_edge(0, 1);
@@ -331,20 +320,19 @@ mod tests {
         stg.add_edge(2, 3); // island
         stg.add_edge(3, 2);
         stg.mark_initial(0);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
-        let vars = fsm.current_vars();
-        let r = fsm.reachable(&mut bdd);
-        assert_eq!(bdd.sat_count_over(r, &vars), 2.0);
+        let fsm = stg.compile(&mgr).expect("compiles");
+        let r = fsm.reachable();
+        assert_eq!(r.sat_count_over(&fsm.current_vars()), 2.0);
     }
 
     #[test]
     fn decode_roundtrip() {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         let stg = chain();
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&mgr).expect("compiles");
         for id in 0..4 {
-            let f = stg.state_fn(&mut bdd, &fsm, id);
-            let m = bdd.pick_minterm(f, &fsm.current_vars()).expect("state");
+            let f = stg.state_fn(&fsm, id);
+            let m = f.pick_minterm(&fsm.current_vars()).expect("state");
             assert_eq!(stg.decode_state(&m, &fsm), id);
         }
     }

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use covest_bdd::{Bdd, Ref, VarId};
+use covest_bdd::{BddManager, Func, VarId};
 
 use crate::fsm::SymbolicFsm;
 
@@ -63,30 +63,31 @@ impl std::fmt::Display for Trace {
 impl SymbolicFsm {
     /// Finds a shortest trace from the initial states to any state in
     /// `target`, or `None` if `target` is unreachable.
-    pub fn trace_to(&self, bdd: &mut Bdd, target: Ref) -> Option<Trace> {
-        self.trace_from_to(bdd, self.init, target)
+    pub fn trace_to(&self, target: &Func) -> Option<Trace> {
+        let init = self.init().clone();
+        self.trace_from_to(&init, target)
     }
 
     /// Finds a shortest trace from a state in `from` to a state in
     /// `target`.
-    pub fn trace_from_to(&self, bdd: &mut Bdd, from: Ref, target: Ref) -> Option<Trace> {
+    pub fn trace_from_to(&self, from: &Func, target: &Func) -> Option<Trace> {
         // Forward BFS until the target is hit.
-        let mut rings = vec![from];
-        let mut reached = from;
+        let mut rings = vec![from.clone()];
+        let mut reached = from.clone();
         let mut hit_ring = None;
-        if !bdd.and(from, target).is_false() {
+        if !from.and(target).is_false() {
             hit_ring = Some(0);
         }
         while hit_ring.is_none() {
-            let frontier = *rings.last().expect("nonempty");
-            let img = self.image(bdd, frontier);
-            let fresh = bdd.diff(img, reached);
+            let frontier = rings.last().expect("nonempty").clone();
+            let img = self.image(&frontier);
+            let fresh = img.diff(&reached);
             if fresh.is_false() {
                 return None; // target unreachable
             }
-            reached = bdd.or(reached, fresh);
-            rings.push(fresh);
-            if !bdd.and(fresh, target).is_false() {
+            reached = reached.or(&fresh);
+            rings.push(fresh.clone());
+            if !fresh.and(target).is_false() {
                 hit_ring = Some(rings.len() - 1);
             }
         }
@@ -95,29 +96,30 @@ impl SymbolicFsm {
         // Pick the final state, then walk backwards through the rings,
         // at each step choosing a predecessor and an input justifying
         // the transition.
+        let mgr = self.manager().clone();
         let cur_vars = self.current_vars();
         let in_vars = self.input_vars();
-        let hit = bdd.and(rings[k], target);
-        let mut state_cube = self.minterm_to_cube(bdd, hit, &cur_vars);
-        let mut rev_states = vec![state_cube];
+        let hit = rings[k].and(target);
+        let mut state_cube = minterm_to_cube(&mgr, &hit, &cur_vars);
+        let mut rev_states = vec![state_cube.clone()];
         let mut rev_inputs: Vec<Vec<(VarId, bool)>> = Vec::new();
         for ring in rings[..k].iter().rev() {
             // Predecessors of `state_cube` within `ring`, with the inputs
             // justifying the transition: ∃next. T ∧ next(state), computed
             // through the image engine so replay never forces the
             // monolithic T to exist, then restricted to the ring.
-            let state_next = bdd.rename(state_cube, &self.cur_to_next());
-            let preds = self.engine.backward_with_inputs(bdd, state_next);
-            let step = bdd.and(preds, *ring);
+            let state_next = state_cube.rename(&self.cur_to_next());
+            let preds = self.engine.backward_with_inputs(&state_next);
+            let step = preds.and(ring);
             // Choose one (state, input) pair.
             let mut pick_vars = cur_vars.clone();
             pick_vars.extend(in_vars.iter().copied());
             let choice = step
-                .pick_or(bdd, &pick_vars)
+                .pick_minterm(&pick_vars)
                 .expect("ring guarantees a predecessor");
             let (st, inp) = split_choice(&choice, &cur_vars, &in_vars);
-            state_cube = cube_of(bdd, &st);
-            rev_states.push(state_cube);
+            state_cube = cube_of(&mgr, &st);
+            rev_states.push(state_cube.clone());
             rev_inputs.push(inp);
         }
 
@@ -125,10 +127,8 @@ impl SymbolicFsm {
         rev_states.reverse();
         rev_inputs.reverse();
         let mut steps = Vec::with_capacity(rev_states.len());
-        for (i, &scube) in rev_states.iter().enumerate() {
-            let sm = bdd
-                .pick_minterm(scube, &cur_vars)
-                .expect("state cube nonempty");
+        for (i, scube) in rev_states.iter().enumerate() {
+            let sm = scube.pick_minterm(&cur_vars).expect("state cube nonempty");
             let state = sm
                 .iter()
                 .map(|&(v, val)| (self.bit_name(v).to_owned(), val))
@@ -144,11 +144,6 @@ impl SymbolicFsm {
             steps.push(TraceStep { state, inputs });
         }
         Some(Trace { steps })
-    }
-
-    fn minterm_to_cube(&self, bdd: &mut Bdd, set: Ref, vars: &[VarId]) -> Ref {
-        let m = bdd.pick_minterm(set, vars).expect("nonempty set");
-        cube_of(bdd, &m)
     }
 
     fn bit_name(&self, v: VarId) -> &str {
@@ -168,11 +163,15 @@ impl SymbolicFsm {
     }
 }
 
-fn cube_of(bdd: &mut Bdd, literals: &[(VarId, bool)]) -> Ref {
-    let mut cube = Ref::TRUE;
+fn minterm_to_cube(mgr: &BddManager, set: &Func, vars: &[VarId]) -> Func {
+    let m = set.pick_minterm(vars).expect("nonempty set");
+    cube_of(mgr, &m)
+}
+
+fn cube_of(mgr: &BddManager, literals: &[(VarId, bool)]) -> Func {
+    let mut cube = mgr.constant(true);
     for &(v, val) in literals {
-        let lit = bdd.literal(v, val);
-        cube = bdd.and(cube, lit);
+        cube = cube.and(&mgr.literal(v, val));
     }
     cube
 }
@@ -197,60 +196,38 @@ fn split_choice(
     (st, inp)
 }
 
-/// Extension trait making `Ref::pick_or` readable above.
-trait PickExt {
-    fn pick_or(self, bdd: &Bdd, vars: &[VarId]) -> Option<Vec<(VarId, bool)>>;
-}
-
-impl PickExt for Ref {
-    fn pick_or(self, bdd: &Bdd, vars: &[VarId]) -> Option<Vec<(VarId, bool)>> {
-        bdd.pick_minterm(self, vars)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fsm::FsmBuilder;
 
     /// Counter with stall input (see fsm.rs tests).
-    fn counter2(bdd: &mut Bdd) -> SymbolicFsm {
-        let mut b = FsmBuilder::new("counter2");
-        let b0 = b.add_state_bit(bdd, "b0");
-        let b1 = b.add_state_bit(bdd, "b1");
-        let stall = b.add_input_bit(bdd, "stall");
-        let f0 = bdd.var(b0.current);
-        let f1 = bdd.var(b1.current);
-        let fs = bdd.var(stall.var);
-        let n0 = {
-            let nf0 = bdd.not(f0);
-            bdd.ite(fs, f0, nf0)
-        };
-        let n1 = {
-            let x = bdd.xor(f1, f0);
-            bdd.ite(fs, f1, x)
-        };
-        b.set_next(bdd, "b0", n0);
-        b.set_next(bdd, "b1", n1);
-        let i0 = bdd.nvar(b0.current);
-        let i1 = bdd.nvar(b1.current);
-        let init = bdd.and(i0, i1);
-        b.set_init(init);
-        b.build(bdd).expect("valid machine")
+    fn counter2(mgr: &BddManager) -> SymbolicFsm {
+        let mut b = FsmBuilder::new(mgr, "counter2");
+        let b0 = b.add_state_bit("b0");
+        let b1 = b.add_state_bit("b1");
+        let stall = b.add_input_bit("stall");
+        let f0 = mgr.var(b0.current);
+        let f1 = mgr.var(b1.current);
+        let fs = mgr.var(stall.var);
+        b.set_next("b0", fs.ite(&f0, &f0.not()));
+        b.set_next("b1", fs.ite(&f1, &f1.xor(&f0)));
+        b.set_init(mgr.nvar(b0.current).and(&mgr.nvar(b1.current)));
+        b.build().expect("valid machine")
     }
 
-    fn simulate(fsm: &SymbolicFsm, bdd: &mut Bdd, trace: &Trace) -> bool {
+    fn simulate(fsm: &SymbolicFsm, trace: &Trace) -> bool {
         // Check every consecutive pair is a real transition.
         for w in trace.steps.windows(2) {
             let (a, b) = (&w[0], &w[1]);
-            let mut t = fsm.trans(bdd);
+            let mut t = fsm.trans();
             for (name, val) in &a.state {
                 let bit = fsm
                     .state_bits()
                     .iter()
                     .find(|s| &s.name == name)
                     .expect("bit");
-                t = bdd.restrict(t, bit.current, *val);
+                t = t.restrict(bit.current, *val);
             }
             for (name, val) in &a.inputs {
                 let bit = fsm
@@ -258,7 +235,7 @@ mod tests {
                     .iter()
                     .find(|s| &s.name == name)
                     .expect("input");
-                t = bdd.restrict(t, bit.var, *val);
+                t = t.restrict(bit.var, *val);
             }
             for (name, val) in &b.state {
                 let bit = fsm
@@ -266,7 +243,7 @@ mod tests {
                     .iter()
                     .find(|s| &s.name == name)
                     .expect("bit");
-                t = bdd.restrict(t, bit.next, *val);
+                t = t.restrict(bit.next, *val);
             }
             if t.is_false() {
                 return false;
@@ -277,12 +254,12 @@ mod tests {
 
     #[test]
     fn trace_reaches_target_via_valid_transitions() {
-        let mut bdd = Bdd::new();
-        let fsm = counter2(&mut bdd);
-        let target = fsm.state_cube(&mut bdd, &[("b0", true), ("b1", true)]);
-        let trace = fsm.trace_to(&mut bdd, target).expect("reachable");
+        let mgr = BddManager::new();
+        let fsm = counter2(&mgr);
+        let target = fsm.state_cube(&[("b0", true), ("b1", true)]);
+        let trace = fsm.trace_to(&target).expect("reachable");
         assert_eq!(trace.len(), 3); // shortest: 00 → 01 → 10 → 11
-        assert!(simulate(&fsm, &mut bdd, &trace));
+        assert!(simulate(&fsm, &trace));
         let last = trace.steps.last().expect("nonempty");
         assert_eq!(
             last.state,
@@ -292,26 +269,26 @@ mod tests {
 
     #[test]
     fn trace_to_initial_state_is_trivial() {
-        let mut bdd = Bdd::new();
-        let fsm = counter2(&mut bdd);
-        let trace = fsm.trace_to(&mut bdd, fsm.init()).expect("trivial");
+        let mgr = BddManager::new();
+        let fsm = counter2(&mgr);
+        let trace = fsm.trace_to(fsm.init()).expect("trivial");
         assert!(trace.is_empty());
         assert_eq!(trace.len(), 0);
     }
 
     #[test]
     fn unreachable_target_yields_none() {
-        let mut bdd = Bdd::new();
-        let fsm = counter2(&mut bdd);
-        assert!(fsm.trace_to(&mut bdd, Ref::FALSE).is_none());
+        let mgr = BddManager::new();
+        let fsm = counter2(&mgr);
+        assert!(fsm.trace_to(&mgr.constant(false)).is_none());
     }
 
     #[test]
     fn trace_display_mentions_inputs() {
-        let mut bdd = Bdd::new();
-        let fsm = counter2(&mut bdd);
-        let target = fsm.state_cube(&mut bdd, &[("b0", true)]);
-        let trace = fsm.trace_to(&mut bdd, target).expect("reachable");
+        let mgr = BddManager::new();
+        let fsm = counter2(&mgr);
+        let target = fsm.state_cube(&[("b0", true)]);
+        let trace = fsm.trace_to(&target).expect("reachable");
         let s = trace.to_string();
         assert!(s.contains("step 0"));
         assert!(s.contains("stall"), "{s}");

@@ -4,7 +4,7 @@
 
 use std::collections::HashSet;
 
-use covest_bdd::{Bdd, Ref};
+use covest_bdd::{BddManager, Func};
 use covest_fsm::Stg;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -45,13 +45,13 @@ fn explicit_reachable(stg: &Stg) -> HashSet<usize> {
 fn symbolic_reachability_matches_explicit_bfs() {
     let mut rng = StdRng::seed_from_u64(11);
     for _ in 0..60 {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
-        let reach = fsm.reachable(&mut bdd);
+        let fsm = stg.compile(&mgr).expect("compiles");
+        let reach = fsm.reachable();
         let vars = fsm.current_vars();
-        let mut got: Vec<usize> = bdd
-            .minterms_over(reach, &vars)
+        let mut got: Vec<usize> = reach
+            .minterms_over(&vars)
             .map(|m| stg.decode_state(&m, &fsm))
             .collect();
         got.sort_unstable();
@@ -67,26 +67,25 @@ fn image_preimage_adjunction() {
     // S ∩ preimage(T) ≠ ∅  ⇔  image(S) ∩ T ≠ ∅ (on random state sets).
     let mut rng = StdRng::seed_from_u64(12);
     for _ in 0..40 {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&mgr).expect("compiles");
         let n = stg.num_states();
-        let pick_set = |bdd: &mut Bdd, rng: &mut StdRng| -> Ref {
-            let mut acc = Ref::FALSE;
+        let pick_set = |mgr: &BddManager, rng: &mut StdRng| -> Func {
+            let mut acc = mgr.constant(false);
             for s in 0..n {
                 if rng.gen_bool(0.4) {
-                    let f = stg.state_fn(bdd, &fsm, s);
-                    acc = bdd.or(acc, f);
+                    acc = acc.or(&stg.state_fn(&fsm, s));
                 }
             }
             acc
         };
-        let s = pick_set(&mut bdd, &mut rng);
-        let t = pick_set(&mut bdd, &mut rng);
-        let pre_t = fsm.preimage(&mut bdd, t);
-        let img_s = fsm.image(&mut bdd, s);
-        let lhs = !bdd.and(s, pre_t).is_false();
-        let rhs = !bdd.and(img_s, t).is_false();
+        let s = pick_set(&mgr, &mut rng);
+        let t = pick_set(&mgr, &mut rng);
+        let pre_t = fsm.preimage(&t);
+        let img_s = fsm.image(&s);
+        let lhs = !s.and(&pre_t).is_false();
+        let rhs = !img_s.and(&t).is_false();
         assert_eq!(lhs, rhs);
     }
 }
@@ -95,27 +94,23 @@ fn image_preimage_adjunction() {
 fn universal_preimage_is_dual_of_existential() {
     let mut rng = StdRng::seed_from_u64(13);
     for _ in 0..40 {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&mgr).expect("compiles");
         let n = stg.num_states();
-        let mut set = Ref::FALSE;
+        let mut set = mgr.constant(false);
         for s in 0..n {
             if rng.gen_bool(0.5) {
-                let f = stg.state_fn(&mut bdd, &fsm, s);
-                set = bdd.or(set, f);
+                set = set.or(&stg.state_fn(&fsm, s));
             }
         }
-        let nset = bdd.not(set);
-        let univ = fsm.preimage_univ(&mut bdd, set);
-        let ex_n = fsm.preimage(&mut bdd, nset);
-        let dual = bdd.not(ex_n);
+        let univ = fsm.preimage_univ(&set);
+        let dual = fsm.preimage(&set.not()).not();
         assert_eq!(univ, dual);
         // Universal ⊆ existential wherever the relation is total and the
         // set is nonempty on the successor side.
-        let ex = fsm.preimage(&mut bdd, set);
-        let within = bdd.implies(univ, ex);
-        assert!(within.is_true(), "total relations: AX ⊆ EX");
+        let ex = fsm.preimage(&set);
+        assert!(univ.leq(&ex), "total relations: AX ⊆ EX");
     }
 }
 
@@ -123,14 +118,14 @@ fn universal_preimage_is_dual_of_existential() {
 fn traces_always_follow_real_edges() {
     let mut rng = StdRng::seed_from_u64(14);
     for _ in 0..40 {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&mgr).expect("compiles");
         let n = stg.num_states();
         let target_id = rng.gen_range(0..n);
-        let target = stg.state_fn(&mut bdd, &fsm, target_id);
+        let target = stg.state_fn(&fsm, target_id);
         let reachable = explicit_reachable(&stg);
-        match fsm.trace_to(&mut bdd, target) {
+        match fsm.trace_to(&target) {
             Some(trace) => {
                 assert!(reachable.contains(&target_id));
                 // Decode the state sequence and check edges.
@@ -174,10 +169,10 @@ fn traces_always_follow_real_edges() {
 fn onion_rings_give_shortest_distances() {
     let mut rng = StdRng::seed_from_u64(15);
     for _ in 0..30 {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
-        let rings = fsm.onion_rings(&mut bdd, fsm.init());
+        let fsm = stg.compile(&mgr).expect("compiles");
+        let rings = fsm.onion_rings(fsm.init());
         // Explicit BFS distances.
         let mut dist: std::collections::HashMap<usize, usize> =
             stg.initial_states().iter().map(|&s| (s, 0usize)).collect();
@@ -196,9 +191,9 @@ fn onion_rings_give_shortest_distances() {
             }
             frontier = next;
         }
-        for (k, &ring) in rings.iter().enumerate() {
+        for (k, ring) in rings.iter().enumerate() {
             let vars = fsm.current_vars();
-            for m in bdd.minterms_over(ring, &vars) {
+            for m in ring.minterms_over(&vars) {
                 let id = stg.decode_state(&m, &fsm);
                 assert_eq!(dist[&id], k, "state {id} in ring {k}");
             }

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use covest_bdd::{Bdd, Ref};
+use covest_bdd::Func;
 use covest_ctl::{Ctl, PropExpr, SignalRef};
 use covest_fsm::{ImageMethod, LowerError, SignalValue, SymbolicFsm};
 
@@ -13,13 +13,17 @@ use crate::verdict::Verdict;
 /// The checker borrows the machine and owns a memo table of satisfying
 /// state sets keyed by sub-formula; re-checking related properties (and
 /// running coverage estimation afterwards) reuses the cached fixpoints.
+///
+/// Every cached state set is an owned [`Func`], so the checker's memo
+/// table (like the machine itself) survives garbage collection and
+/// dynamic reordering without any root bookkeeping.
 #[derive(Debug)]
 pub struct ModelChecker<'m> {
     fsm: &'m SymbolicFsm,
-    fairness: Vec<Ref>,
+    fairness: Vec<Func>,
     overrides: Vec<(SignalRef, SignalValue)>,
-    cache: HashMap<Ctl, Ref>,
-    fair_states: Option<Ref>,
+    cache: HashMap<Ctl, Func>,
+    fair_states: Option<Func>,
 }
 
 impl<'m> ModelChecker<'m> {
@@ -45,23 +49,6 @@ impl<'m> ModelChecker<'m> {
         self.fsm.image_config().method
     }
 
-    /// Every BDD handle the checker holds: the machine's refs (including
-    /// the transition-relation clusters and any cached monolith) plus
-    /// fairness sets, override interpretations, the fair-state cache, and
-    /// all memoized satisfaction sets. Pass these as roots to
-    /// `Bdd::gc` / `Bdd::reduce_heap` to keep the checker usable across
-    /// collection or reordering.
-    pub fn protected_refs(&self) -> Vec<Ref> {
-        let mut roots = self.fsm.protected_refs();
-        roots.extend(self.fairness.iter().copied());
-        for (_, value) in &self.overrides {
-            value.push_refs(&mut roots);
-        }
-        roots.extend(self.cache.values().copied());
-        roots.extend(self.fair_states);
-        roots
-    }
-
     /// Adds a fairness constraint: paths must satisfy `constraint`
     /// infinitely often (Section 4.3 of the paper). Invalidate-on-add:
     /// cached results are dropped.
@@ -69,8 +56,8 @@ impl<'m> ModelChecker<'m> {
     /// # Errors
     ///
     /// Returns [`LowerError`] if the constraint mentions unknown signals.
-    pub fn add_fairness(&mut self, bdd: &mut Bdd, constraint: &PropExpr) -> Result<(), LowerError> {
-        let f = self.fsm.signals().lower(bdd, constraint)?;
+    pub fn add_fairness(&mut self, constraint: &PropExpr) -> Result<(), LowerError> {
+        let f = self.fsm.signals().lower(self.fsm.manager(), constraint)?;
         self.fairness.push(f);
         self.cache.clear();
         self.fair_states = None;
@@ -78,7 +65,7 @@ impl<'m> ModelChecker<'m> {
     }
 
     /// Adds a raw (already lowered) fairness constraint.
-    pub fn add_fairness_set(&mut self, states: Ref) {
+    pub fn add_fairness_set(&mut self, states: Func) {
         self.fairness.push(states);
         self.cache.clear();
         self.fair_states = None;
@@ -94,22 +81,23 @@ impl<'m> ModelChecker<'m> {
     }
 
     /// The fairness constraints currently installed.
-    pub fn fairness(&self) -> &[Ref] {
+    pub fn fairness(&self) -> &[Func] {
         &self.fairness
     }
 
     /// States from which some fair path starts (`EG_fair TRUE`). With no
     /// constraints this is the whole state space.
-    pub fn fair_states(&mut self, bdd: &mut Bdd) -> Ref {
-        if let Some(f) = self.fair_states {
-            return f;
+    pub fn fair_states(&mut self) -> Func {
+        if let Some(f) = &self.fair_states {
+            return f.clone();
         }
         let f = if self.fairness.is_empty() {
-            Ref::TRUE
+            self.fsm.manager().constant(true)
         } else {
-            self.eg_fair(bdd, Ref::TRUE)
+            let t = self.fsm.manager().constant(true);
+            self.eg_fair(&t)
         };
-        self.fair_states = Some(f);
+        self.fair_states = Some(f.clone());
         f
     }
 
@@ -119,107 +107,87 @@ impl<'m> ModelChecker<'m> {
     ///
     /// Returns [`LowerError`] if a propositional atom cannot be resolved
     /// against the machine's signals.
-    pub fn sat(&mut self, bdd: &mut Bdd, f: &Ctl) -> Result<Ref, LowerError> {
-        if let Some(&r) = self.cache.get(f) {
-            return Ok(r);
+    pub fn sat(&mut self, f: &Ctl) -> Result<Func, LowerError> {
+        if let Some(r) = self.cache.get(f) {
+            return Ok(r.clone());
         }
         let result = match f {
-            Ctl::Prop(p) => self.fsm.signals().lower_with(bdd, p, &self.overrides)?,
-            Ctl::Not(a) => {
-                let sa = self.sat(bdd, a)?;
-                bdd.not(sa)
+            Ctl::Prop(p) => {
+                self.fsm
+                    .signals()
+                    .lower_with(self.fsm.manager(), p, &self.overrides)?
             }
-            Ctl::And(a, b) => {
-                let sa = self.sat(bdd, a)?;
-                let sb = self.sat(bdd, b)?;
-                bdd.and(sa, sb)
-            }
-            Ctl::Or(a, b) => {
-                let sa = self.sat(bdd, a)?;
-                let sb = self.sat(bdd, b)?;
-                bdd.or(sa, sb)
-            }
-            Ctl::Implies(a, b) => {
-                let sa = self.sat(bdd, a)?;
-                let sb = self.sat(bdd, b)?;
-                bdd.implies(sa, sb)
-            }
+            Ctl::Not(a) => self.sat(a)?.not(),
+            Ctl::And(a, b) => self.sat(a)?.and(&self.sat(b)?),
+            Ctl::Or(a, b) => self.sat(a)?.or(&self.sat(b)?),
+            Ctl::Implies(a, b) => self.sat(a)?.implies(&self.sat(b)?),
             Ctl::Ex(a) => {
-                let sa = self.sat(bdd, a)?;
-                self.ex_fair(bdd, sa)
+                let sa = self.sat(a)?;
+                self.ex_fair(&sa)
             }
             Ctl::Ax(a) => {
                 // AX p = ¬EX ¬p (over fair paths).
-                let sa = self.sat(bdd, a)?;
-                let nsa = bdd.not(sa);
-                let e = self.ex_fair(bdd, nsa);
-                bdd.not(e)
+                let nsa = self.sat(a)?.not();
+                self.ex_fair(&nsa).not()
             }
             Ctl::Ef(a) => {
-                let sa = self.sat(bdd, a)?;
-                self.eu_fair(bdd, Ref::TRUE, sa)
+                let sa = self.sat(a)?;
+                let t = self.fsm.manager().constant(true);
+                self.eu_fair(&t, &sa)
             }
             Ctl::Ag(a) => {
                 // AG p = ¬EF ¬p.
-                let sa = self.sat(bdd, a)?;
-                let nsa = bdd.not(sa);
-                let e = self.eu_fair(bdd, Ref::TRUE, nsa);
-                bdd.not(e)
+                let nsa = self.sat(a)?.not();
+                let t = self.fsm.manager().constant(true);
+                self.eu_fair(&t, &nsa).not()
             }
             Ctl::Eg(a) => {
-                let sa = self.sat(bdd, a)?;
-                self.eg_fair(bdd, sa)
+                let sa = self.sat(a)?;
+                self.eg_fair(&sa)
             }
             Ctl::Af(a) => {
                 // AF p = ¬EG ¬p.
-                let sa = self.sat(bdd, a)?;
-                let nsa = bdd.not(sa);
-                let e = self.eg_fair(bdd, nsa);
-                bdd.not(e)
+                let nsa = self.sat(a)?.not();
+                self.eg_fair(&nsa).not()
             }
             Ctl::Eu(a, b) => {
-                let sa = self.sat(bdd, a)?;
-                let sb = self.sat(bdd, b)?;
-                self.eu_fair(bdd, sa, sb)
+                let sa = self.sat(a)?;
+                let sb = self.sat(b)?;
+                self.eu_fair(&sa, &sb)
             }
             Ctl::Au(a, b) => {
                 // A[p U q] = ¬(E[¬q U ¬p∧¬q] ∨ EG ¬q).
-                let sa = self.sat(bdd, a)?;
-                let sb = self.sat(bdd, b)?;
-                let nq = bdd.not(sb);
-                let np = bdd.not(sa);
-                let npq = bdd.and(np, nq);
-                let escape = self.eu_fair(bdd, nq, npq);
-                let stuck = self.eg_fair(bdd, nq);
-                let bad = bdd.or(escape, stuck);
-                bdd.not(bad)
+                let sa = self.sat(a)?;
+                let sb = self.sat(b)?;
+                let nq = sb.not();
+                let npq = sa.not().and(&nq);
+                let escape = self.eu_fair(&nq, &npq);
+                let stuck = self.eg_fair(&nq);
+                escape.or(&stuck).not()
             }
         };
-        self.cache.insert(f.clone(), result);
+        self.cache.insert(f.clone(), result.clone());
         Ok(result)
     }
 
     /// `EX p` over fair paths: `EX (p ∧ fair)`.
-    fn ex_fair(&mut self, bdd: &mut Bdd, p: Ref) -> Ref {
-        let fair = self.fair_states(bdd);
-        let pf = bdd.and(p, fair);
-        self.fsm.preimage(bdd, pf)
+    fn ex_fair(&mut self, p: &Func) -> Func {
+        let fair = self.fair_states();
+        self.fsm.preimage(&p.and(&fair))
     }
 
     /// `E[p U q]` over fair paths: `E[p U (q ∧ fair)]`.
-    fn eu_fair(&mut self, bdd: &mut Bdd, p: Ref, q: Ref) -> Ref {
-        let fair = self.fair_states(bdd);
-        let goal = bdd.and(q, fair);
-        self.eu_raw(bdd, p, goal)
+    fn eu_fair(&mut self, p: &Func, q: &Func) -> Func {
+        let fair = self.fair_states();
+        self.eu_raw(p, &q.and(&fair))
     }
 
     /// Plain least-fixpoint `E[p U q]`.
-    fn eu_raw(&self, bdd: &mut Bdd, p: Ref, q: Ref) -> Ref {
-        let mut z = q;
+    fn eu_raw(&self, p: &Func, q: &Func) -> Func {
+        let mut z = q.clone();
         loop {
-            let pre = self.fsm.preimage(bdd, z);
-            let step = bdd.and(p, pre);
-            let next = bdd.or(z, step);
+            let pre = self.fsm.preimage(&z);
+            let next = z.or(&p.and(&pre));
             if next == z {
                 return z;
             }
@@ -228,20 +196,20 @@ impl<'m> ModelChecker<'m> {
     }
 
     /// `EG p` under the installed fairness constraints (Emerson–Lei).
-    fn eg_fair(&mut self, bdd: &mut Bdd, p: Ref) -> Ref {
+    fn eg_fair(&mut self, p: &Func) -> Func {
         if self.fairness.is_empty() {
-            return self.eg_raw(bdd, p);
+            return self.eg_raw(p);
         }
         // νZ. p ∧ ⋀_c EX E[p U (Z ∧ c)]
         let constraints = self.fairness.clone();
-        let mut z = Ref::TRUE;
+        let mut z = self.fsm.manager().constant(true);
         loop {
-            let mut next = p;
-            for &c in &constraints {
-                let zc = bdd.and(z, c);
-                let reach = self.eu_raw(bdd, p, zc);
-                let pre = self.fsm.preimage(bdd, reach);
-                next = bdd.and(next, pre);
+            let mut next = p.clone();
+            for c in &constraints {
+                let zc = z.and(c);
+                let reach = self.eu_raw(p, &zc);
+                let pre = self.fsm.preimage(&reach);
+                next = next.and(&pre);
             }
             if next == z {
                 return z;
@@ -251,11 +219,11 @@ impl<'m> ModelChecker<'m> {
     }
 
     /// Plain greatest-fixpoint `EG p`.
-    fn eg_raw(&self, bdd: &mut Bdd, p: Ref) -> Ref {
-        let mut z = p;
+    fn eg_raw(&self, p: &Func) -> Func {
+        let mut z = p.clone();
         loop {
-            let pre = self.fsm.preimage(bdd, z);
-            let next = bdd.and(z, pre);
+            let pre = self.fsm.preimage(&z);
+            let next = z.and(&pre);
             if next == z {
                 return z;
             }
@@ -269,11 +237,11 @@ impl<'m> ModelChecker<'m> {
     /// # Errors
     ///
     /// See [`ModelChecker::sat`].
-    pub fn holds(&mut self, bdd: &mut Bdd, f: &Ctl) -> Result<bool, LowerError> {
-        let sat = self.sat(bdd, f)?;
-        let fair = self.fair_states(bdd);
-        let init_fair = bdd.and(self.fsm.init(), fair);
-        Ok(bdd.leq(init_fair, sat))
+    pub fn holds(&mut self, f: &Ctl) -> Result<bool, LowerError> {
+        let sat = self.sat(f)?;
+        let fair = self.fair_states();
+        let init_fair = self.fsm.init().and(&fair);
+        Ok(init_fair.leq(&sat))
     }
 
     /// Full check with verdict and counterexample construction.
@@ -286,16 +254,16 @@ impl<'m> ModelChecker<'m> {
     /// # Errors
     ///
     /// See [`ModelChecker::sat`].
-    pub fn check(&mut self, bdd: &mut Bdd, f: &Ctl) -> Result<Verdict, LowerError> {
-        let sat = self.sat(bdd, f)?;
-        let fair = self.fair_states(bdd);
-        let init_fair = bdd.and(self.fsm.init(), fair);
-        let bad = bdd.diff(init_fair, sat);
+    pub fn check(&mut self, f: &Ctl) -> Result<Verdict, LowerError> {
+        let sat = self.sat(f)?;
+        let fair = self.fair_states();
+        let init_fair = self.fsm.init().and(&fair);
+        let bad = init_fair.diff(&sat);
         if bad.is_false() {
             return Ok(Verdict::Holds);
         }
         let cur = self.fsm.current_vars();
-        let pick = bdd.pick_minterm(bad, &cur).expect("bad is nonempty");
+        let pick = bad.pick_minterm(&cur).expect("bad is nonempty");
         let bad_initial: Vec<(String, bool)> = self
             .fsm
             .state_bits()
@@ -303,7 +271,7 @@ impl<'m> ModelChecker<'m> {
             .zip(pick.iter())
             .map(|(b, &(_, v))| (b.name.clone(), v))
             .collect();
-        let counterexample = self.counterexample(bdd, f)?;
+        let counterexample = self.counterexample(f)?;
         Ok(Verdict::Fails {
             bad_initial,
             counterexample,
@@ -311,43 +279,37 @@ impl<'m> ModelChecker<'m> {
     }
 
     /// Attempts to build a trace witnessing the failure of `f`.
-    fn counterexample(&mut self, bdd: &mut Bdd, f: &Ctl) -> Result<Option<Trace0>, LowerError> {
+    fn counterexample(&mut self, f: &Ctl) -> Result<Option<Trace0>, LowerError> {
         match f {
             Ctl::Ag(inner) => {
                 // Shortest path from the initial states to a reachable
                 // violation of the body.
-                let si = self.sat(bdd, inner)?;
-                let viol = bdd.not(si);
-                let fair = self.fair_states(bdd);
-                let viol_fair = bdd.and(viol, fair);
-                Ok(self.fsm.trace_to(bdd, viol_fair))
+                let viol = self.sat(inner)?.not();
+                let fair = self.fair_states();
+                let viol_fair = viol.and(&fair);
+                Ok(self.fsm.trace_to(&viol_fair))
             }
             Ctl::And(a, b) => {
-                if !self.holds(bdd, a)? {
-                    self.counterexample(bdd, a)
+                if !self.holds(a)? {
+                    self.counterexample(a)
                 } else {
-                    self.counterexample(bdd, b)
+                    self.counterexample(b)
                 }
             }
             Ctl::Implies(a, b) => {
                 // Failing initial state satisfies `a` but not `b`; if `b`
                 // is itself traceable, recurse from the restricted start.
-                let sa = self.sat(bdd, a)?;
-                let init_a = {
-                    let i = self.fsm.init();
-                    bdd.and(i, sa)
-                };
-                self.counterexample_from(bdd, init_a, b)
+                let sa = self.sat(a)?;
+                let init_a = self.fsm.init().and(&sa);
+                self.counterexample_from(&init_a, b)
             }
             Ctl::Ax(inner) => {
                 // One step to a successor violating the body.
-                let si = self.sat(bdd, inner)?;
-                let viol = bdd.not(si);
-                let fair = self.fair_states(bdd);
-                let viol_fair = bdd.and(viol, fair);
-                let img = self.fsm.image(bdd, self.fsm.init());
-                let target = bdd.and(img, viol_fair);
-                Ok(self.fsm.trace_to(bdd, target))
+                let viol = self.sat(inner)?.not();
+                let fair = self.fair_states();
+                let img = self.fsm.image(self.fsm.init());
+                let target = img.and(&viol.and(&fair));
+                Ok(self.fsm.trace_to(&target))
             }
             _ => Ok(None),
         }
@@ -356,41 +318,32 @@ impl<'m> ModelChecker<'m> {
     /// Like [`ModelChecker::counterexample`] but starting from `from`
     /// instead of the initial states (used to thread implication
     /// antecedent restrictions).
-    fn counterexample_from(
-        &mut self,
-        bdd: &mut Bdd,
-        from: Ref,
-        f: &Ctl,
-    ) -> Result<Option<Trace0>, LowerError> {
+    fn counterexample_from(&mut self, from: &Func, f: &Ctl) -> Result<Option<Trace0>, LowerError> {
         match f {
             Ctl::Ag(inner) => {
-                let si = self.sat(bdd, inner)?;
-                let viol = bdd.not(si);
-                let reach = self.fsm.reachable_from(bdd, from);
-                let target = bdd.and(reach, viol);
-                Ok(self.fsm.trace_from_to(bdd, from, target))
+                let viol = self.sat(inner)?.not();
+                let reach = self.fsm.reachable_from(from);
+                Ok(self.fsm.trace_from_to(from, &reach.and(&viol)))
             }
             Ctl::Ax(inner) => {
-                let si = self.sat(bdd, inner)?;
-                let viol = bdd.not(si);
-                let img = self.fsm.image(bdd, from);
-                let target = bdd.and(img, viol);
-                Ok(self.fsm.trace_from_to(bdd, from, target))
+                let viol = self.sat(inner)?.not();
+                let img = self.fsm.image(from);
+                Ok(self.fsm.trace_from_to(from, &img.and(&viol)))
             }
             _ => {
                 // Fall back: the failing start state itself.
-                let sf = self.sat(bdd, f)?;
-                let bad = bdd.diff(from, sf);
+                let sf = self.sat(f)?;
+                let bad = from.diff(&sf);
                 if bad.is_false() {
                     return Ok(None);
                 }
-                Ok(self.fsm.trace_from_to(bdd, bad, bad))
+                Ok(self.fsm.trace_from_to(&bad, &bad))
             }
         }
     }
 
-    /// Clears the memo cache (e.g. after mutating the shared manager with
-    /// unrelated work, to bound memory).
+    /// Clears the memo cache (e.g. after unrelated work on the shared
+    /// manager, to bound memory).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
@@ -401,6 +354,7 @@ type Trace0 = covest_fsm::Trace;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use covest_bdd::BddManager;
     use covest_ctl::parse_formula;
     use covest_fsm::Stg;
 
@@ -409,7 +363,7 @@ mod tests {
     }
 
     /// 0 → 1 → 2 → 0 ring; q on state 2, p on states 0 and 1.
-    fn ring3(bdd: &mut Bdd) -> (Stg, SymbolicFsm) {
+    fn ring3(mgr: &BddManager) -> (Stg, SymbolicFsm) {
         let mut stg = Stg::new("ring3");
         stg.add_states(3);
         stg.add_edge(0, 1);
@@ -419,36 +373,36 @@ mod tests {
         stg.label(2, "q");
         stg.label(0, "p");
         stg.label(1, "p");
-        let fsm = stg.compile(bdd).expect("compiles");
+        let fsm = stg.compile(mgr).expect("compiles");
         (stg, fsm)
     }
 
     #[test]
     fn propositional_and_ax() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = ring3(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = ring3(&mgr);
         let mut mc = ModelChecker::new(&fsm);
-        assert!(mc.holds(&mut bdd, &parse("p")).unwrap());
-        assert!(!mc.holds(&mut bdd, &parse("q")).unwrap());
-        assert!(mc.holds(&mut bdd, &parse("AX p")).unwrap());
-        assert!(mc.holds(&mut bdd, &parse("AX AX q")).unwrap());
-        assert!(!mc.holds(&mut bdd, &parse("AX q")).unwrap());
+        assert!(mc.holds(&parse("p")).unwrap());
+        assert!(!mc.holds(&parse("q")).unwrap());
+        assert!(mc.holds(&parse("AX p")).unwrap());
+        assert!(mc.holds(&parse("AX AX q")).unwrap());
+        assert!(!mc.holds(&parse("AX q")).unwrap());
     }
 
     #[test]
     fn ag_au_af() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = ring3(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = ring3(&mgr);
         let mut mc = ModelChecker::new(&fsm);
-        assert!(mc.holds(&mut bdd, &parse("AG (q -> AX p)")).unwrap());
-        assert!(mc.holds(&mut bdd, &parse("A[p U q]")).unwrap());
-        assert!(mc.holds(&mut bdd, &parse("AF q")).unwrap());
-        assert!(!mc.holds(&mut bdd, &parse("AG p")).unwrap());
+        assert!(mc.holds(&parse("AG (q -> AX p)")).unwrap());
+        assert!(mc.holds(&parse("A[p U q]")).unwrap());
+        assert!(mc.holds(&parse("AF q")).unwrap());
+        assert!(!mc.holds(&parse("AG p")).unwrap());
     }
 
     #[test]
     fn au_requires_eventual_goal() {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         // 0 → 0 self-loop with p: A[p U q] must fail (q never comes).
         // State 1 (unreachable) defines the q signal.
         let mut stg = Stg::new("loop");
@@ -457,30 +411,30 @@ mod tests {
         stg.mark_initial(0);
         stg.label(0, "p");
         stg.label(1, "q");
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&mgr).expect("compiles");
         let mut mc = ModelChecker::new(&fsm);
-        assert!(!mc.holds(&mut bdd, &parse("A[p U q]")).unwrap());
-        assert!(mc.holds(&mut bdd, &parse("AG p")).unwrap());
+        assert!(!mc.holds(&parse("A[p U q]")).unwrap());
+        assert!(mc.holds(&parse("AG p")).unwrap());
     }
 
     #[test]
     fn general_ctl_negation_and_e_ops() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = ring3(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = ring3(&mgr);
         let mut mc = ModelChecker::new(&fsm);
         // EF q holds; EG p fails on the ring (q-state always reached).
         let efq = Ctl::Ef(Box::new(Ctl::prop(PropExpr::atom("q"))));
-        assert!(mc.holds(&mut bdd, &efq).unwrap());
+        assert!(mc.holds(&efq).unwrap());
         let egp = Ctl::Eg(Box::new(Ctl::prop(PropExpr::atom("p"))));
-        assert!(!mc.holds(&mut bdd, &egp).unwrap());
+        assert!(!mc.holds(&egp).unwrap());
         // ¬EG p is AF ¬p.
         let not_egp = Ctl::Not(Box::new(egp));
-        assert!(mc.holds(&mut bdd, &not_egp).unwrap());
+        assert!(mc.holds(&not_egp).unwrap());
     }
 
     #[test]
     fn fairness_restricts_paths() {
-        let mut bdd = Bdd::new();
+        let mgr = BddManager::new();
         // Two branches from 0: loop at 1 (no q), loop at 2 (q).
         let mut stg = Stg::new("branch");
         stg.add_states(3);
@@ -491,28 +445,26 @@ mod tests {
         stg.mark_initial(0);
         stg.label(2, "q");
         stg.label(2, "fair_here");
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&mgr).expect("compiles");
         // Without fairness, AF q fails (path through 1 never sees q).
         let mut mc = ModelChecker::new(&fsm);
-        assert!(!mc.holds(&mut bdd, &parse("AF q")).unwrap());
+        assert!(!mc.holds(&parse("AF q")).unwrap());
         // With fairness "infinitely often fair_here", only the 2-branch
         // is a fair path, so AF q holds.
         let mut mc2 = ModelChecker::new(&fsm);
-        mc2.add_fairness(&mut bdd, &PropExpr::atom("fair_here"))
-            .unwrap();
-        assert!(mc2.holds(&mut bdd, &parse("AF q")).unwrap());
+        mc2.add_fairness(&PropExpr::atom("fair_here")).unwrap();
+        assert!(mc2.holds(&parse("AF q")).unwrap());
         // fair states exclude the 1-loop.
-        let fair = mc2.fair_states(&mut bdd);
-        let vars = fsm.current_vars();
-        assert_eq!(bdd.sat_count_over(fair, &vars), 2.0); // states 0 and 2
+        let fair = mc2.fair_states();
+        assert_eq!(fair.sat_count_over(&fsm.current_vars()), 2.0); // states 0 and 2
     }
 
     #[test]
     fn verdict_includes_counterexample_for_ag() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = ring3(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = ring3(&mgr);
         let mut mc = ModelChecker::new(&fsm);
-        let v = mc.check(&mut bdd, &parse("AG p")).unwrap();
+        let v = mc.check(&parse("AG p")).unwrap();
         match v {
             Verdict::Fails {
                 counterexample: Some(t),
@@ -523,30 +475,30 @@ mod tests {
             }
             other => panic!("expected failure with trace, got {other:?}"),
         }
-        let v2 = mc.check(&mut bdd, &parse("AG (p | q)")).unwrap();
+        let v2 = mc.check(&parse("AG (p | q)")).unwrap();
         assert!(v2.holds());
     }
 
     #[test]
     fn memoization_reuses_results() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = ring3(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = ring3(&mgr);
         let mut mc = ModelChecker::new(&fsm);
         let f = parse("AG (p -> AX AX q)");
-        let s1 = mc.sat(&mut bdd, &f).unwrap();
-        let nodes_before = bdd.live_nodes();
-        let s2 = mc.sat(&mut bdd, &f).unwrap();
+        let s1 = mc.sat(&f).unwrap();
+        let nodes_before = mgr.live_nodes();
+        let s2 = mc.sat(&f).unwrap();
         assert_eq!(s1, s2);
-        assert_eq!(bdd.live_nodes(), nodes_before);
+        assert_eq!(mgr.live_nodes(), nodes_before);
     }
 
     #[test]
     fn counterexample_for_implication_and_ax() {
-        let mut bdd = Bdd::new();
-        let (_, fsm) = ring3(&mut bdd);
+        let mgr = BddManager::new();
+        let (_, fsm) = ring3(&mgr);
         let mut mc = ModelChecker::new(&fsm);
         // AX q fails: the one-step counterexample lands on a ¬q state.
-        let v = mc.check(&mut bdd, &parse("AX q")).unwrap();
+        let v = mc.check(&parse("AX q")).unwrap();
         match v {
             Verdict::Fails {
                 counterexample: Some(t),
@@ -555,7 +507,7 @@ mod tests {
             other => panic!("expected traced failure, got {other:?}"),
         }
         // p -> AG q fails; the trace starts at a p-state.
-        let v = mc.check(&mut bdd, &parse("p -> AG q")).unwrap();
+        let v = mc.check(&parse("p -> AG q")).unwrap();
         match v {
             Verdict::Fails {
                 counterexample: Some(t),
@@ -567,12 +519,12 @@ mod tests {
 
     #[test]
     fn overrides_flip_interpretation() {
-        let mut bdd = Bdd::new();
-        let (stg, fsm) = ring3(&mut bdd);
+        let mgr = BddManager::new();
+        let (stg, fsm) = ring3(&mgr);
         let mut mc = ModelChecker::new(&fsm);
         // Override q to be true in state 0 instead of state 2.
-        let s0 = stg.state_fn(&mut bdd, &fsm, 0);
+        let s0 = stg.state_fn(&fsm, 0);
         mc.set_overrides(vec![(SignalRef::new("q"), SignalValue::Bool(s0))]);
-        assert!(mc.holds(&mut bdd, &parse("q")).unwrap());
+        assert!(mc.holds(&parse("q")).unwrap());
     }
 }

@@ -20,7 +20,7 @@
 //! # Example
 //!
 //! ```
-//! use covest_bdd::Bdd;
+//! use covest_bdd::BddManager;
 //! use covest_fsm::Stg;
 //! use covest_mc::ModelChecker;
 //! use covest_ctl::parse_formula;
@@ -31,15 +31,15 @@
 //! stg.add_edge(1, 0);
 //! stg.mark_initial(0);
 //! stg.label(1, "q");
-//! let mut bdd = Bdd::new();
-//! let fsm = stg.compile(&mut bdd)?;
+//! let mgr = BddManager::new();
+//! let fsm = stg.compile(&mgr)?;
 //! let mut mc = ModelChecker::new(&fsm);
 //! let f = parse_formula("AG AX q").unwrap();
 //! // q holds only on odd steps, so AG AX q fails (AX q is false in odd
 //! // states, which are reachable).
-//! assert!(!mc.holds(&mut bdd, &f.into()).unwrap());
+//! assert!(!mc.holds(&f.into()).unwrap());
 //! let g = parse_formula("AX q").unwrap();
-//! assert!(mc.holds(&mut bdd, &g.into()).unwrap());
+//! assert!(mc.holds(&g.into()).unwrap());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

@@ -5,7 +5,7 @@
 
 use std::collections::HashSet;
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_ctl::{parse_ast, Ast, CmpRhs};
 use covest_fsm::Stg;
 use covest_mc::ModelChecker;
@@ -232,21 +232,21 @@ fn to_ctl(ast: &Ast) -> covest_ctl::Ctl {
 fn symbolic_sat_sets_match_explicit_evaluation() {
     let mut rng = StdRng::seed_from_u64(0xBEEF);
     for case in 0..250 {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let (stg, succ) = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let text = random_formula_text(&mut rng);
         let ast = parse_ast(&text).expect("parses");
         let labels = |name: &str, s: usize| stg.labelled_states(name).contains(&s);
         let expect = eval_explicit(&ast, &succ, &labels);
         let ctl = to_ctl(&ast);
         let mut mc = ModelChecker::new(&fsm);
-        let sat = mc.sat(&mut bdd, &ctl).expect("sat");
+        let sat = mc.sat(&ctl).expect("sat");
         // Compare on the *valid* state codes only (invalid binary codes
         // self-loop and are unreachable; their satisfaction is irrelevant).
         let vars = fsm.current_vars();
-        let mut got: HashSet<usize> = bdd
-            .minterms_over(sat, &vars)
+        let mut got: HashSet<usize> = sat
+            .minterms_over(&vars)
             .map(|m| stg.decode_state(&m, &fsm))
             .filter(|&s| s < stg.num_states())
             .collect();

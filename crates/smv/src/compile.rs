@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use covest_bdd::{Bdd, Ref};
+use covest_bdd::{BddManager, Func};
 use covest_fsm::{FsmBuilder, ImageConfig, NumericSignal, StateBit, SymbolicFsm};
 
 use crate::ast::{BinOp, Expr, Module, VarDecl, VarType};
@@ -20,10 +20,10 @@ use crate::error::ModelError;
 /// A compiled value: boolean function or integer value partition.
 #[derive(Debug, Clone)]
 enum Value {
-    Bool(Ref),
+    Bool(Func),
     /// Pairs `(value, condition)`; conditions are pairwise disjoint and
     /// cover `TRUE` (a total partition).
-    Int(Vec<(i64, Ref)>),
+    Int(Vec<(i64, Func)>),
 }
 
 /// Per-variable compile-time info.
@@ -45,7 +45,7 @@ enum BitHandle {
 }
 
 impl BitHandle {
-    fn current(&self, bdd: &mut Bdd) -> Ref {
+    fn current(&self, bdd: &BddManager) -> Func {
         match self {
             BitHandle::State(s) => bdd.var(s.current),
         }
@@ -70,7 +70,7 @@ struct Compiler<'a> {
     /// States whose variable encodings are all valid; impossible
     /// conditions outside this set are ignored by range and
     /// exhaustiveness checks.
-    valid: Ref,
+    valid: Func,
 }
 
 impl<'a> Compiler<'a> {
@@ -82,13 +82,13 @@ impl<'a> Compiler<'a> {
             .map(|(_, e)| e)
     }
 
-    fn eval(&mut self, bdd: &mut Bdd, e: &Expr) -> Result<Value, ModelError> {
+    fn eval(&mut self, bdd: &BddManager, e: &Expr) -> Result<Value, ModelError> {
         match e {
             Expr::Bool(b) => Ok(Value::Bool(bdd.constant(*b))),
-            Expr::Int(v) => Ok(Value::Int(vec![(*v, Ref::TRUE)])),
+            Expr::Int(v) => Ok(Value::Int(vec![(*v, bdd.constant(true))])),
             Expr::Name(n) => self.eval_name(bdd, n),
             Expr::Not(a) => match self.eval(bdd, a)? {
-                Value::Bool(r) => Ok(Value::Bool(bdd.not(r))),
+                Value::Bool(r) => Ok(Value::Bool(r.not())),
                 Value::Int(_) => Err(ModelError::nowhere(format!(
                     "`!` applied to integer expression `{a}`"
                 ))),
@@ -98,19 +98,19 @@ impl<'a> Compiler<'a> {
         }
     }
 
-    fn eval_name(&mut self, bdd: &mut Bdd, n: &str) -> Result<Value, ModelError> {
+    fn eval_name(&mut self, bdd: &BddManager, n: &str) -> Result<Value, ModelError> {
         if let Some(info) = self.vars.get(n).cloned() {
             return Ok(match info.decl.ty {
                 VarType::Boolean => Value::Bool(info.bits[0].current(bdd)),
                 VarType::Range(..) | VarType::Enum(_) => {
                     let mut pairs = Vec::with_capacity(info.span as usize);
                     for raw in 0..info.span {
-                        let mut cond = Ref::TRUE;
+                        let mut cond = bdd.constant(true);
                         for (i, bit) in info.bits.iter().enumerate() {
                             let b = bit.current(bdd);
                             let want = (raw >> i) & 1 == 1;
-                            let lit = if want { b } else { bdd.not(b) };
-                            cond = bdd.and(cond, lit);
+                            let lit = if want { b } else { b.not() };
+                            cond = cond.and(&lit);
                         }
                         pairs.push((raw + info.offset, cond));
                     }
@@ -135,14 +135,14 @@ impl<'a> Compiler<'a> {
             return Ok(v);
         }
         if let Some(&v) = self.literals.get(n) {
-            return Ok(Value::Int(vec![(v, Ref::TRUE)]));
+            return Ok(Value::Int(vec![(v, bdd.constant(true))]));
         }
         Err(ModelError::nowhere(format!("unknown name `{n}`")))
     }
 
     fn eval_bin(
         &mut self,
-        bdd: &mut Bdd,
+        bdd: &BddManager,
         op: BinOp,
         a: &Expr,
         b: &Expr,
@@ -160,23 +160,23 @@ impl<'a> Compiler<'a> {
                     }
                 };
                 Ok(Value::Bool(match op {
-                    BinOp::And => bdd.and(ra, rb),
-                    BinOp::Or => bdd.or(ra, rb),
-                    BinOp::Implies => bdd.implies(ra, rb),
-                    BinOp::Iff => bdd.iff(ra, rb),
-                    BinOp::Xor => bdd.xor(ra, rb),
+                    BinOp::And => ra.and(&rb),
+                    BinOp::Or => ra.or(&rb),
+                    BinOp::Implies => ra.implies(&rb),
+                    BinOp::Iff => ra.iff(&rb),
+                    BinOp::Xor => ra.xor(&rb),
                     _ => unreachable!(),
                 }))
             }
             BinOp::Eq | BinOp::Ne => match (va, vb) {
                 // Equality works on both kinds.
                 (Value::Bool(x), Value::Bool(y)) => {
-                    let e = bdd.iff(x, y);
-                    Ok(Value::Bool(if op == BinOp::Eq { e } else { bdd.not(e) }))
+                    let e = x.iff(&y);
+                    Ok(Value::Bool(if op == BinOp::Eq { e } else { e.not() }))
                 }
                 (Value::Int(pa), Value::Int(pb)) => {
                     let r = int_cmp(bdd, &pa, &pb, |x, y| x == y);
-                    Ok(Value::Bool(if op == BinOp::Eq { r } else { bdd.not(r) }))
+                    Ok(Value::Bool(if op == BinOp::Eq { r } else { r.not() }))
                 }
                 _ => Err(ModelError::nowhere(format!(
                     "type mismatch in comparison `{a} {op} {b}`"
@@ -220,11 +220,11 @@ impl<'a> Compiler<'a> {
         }
     }
 
-    fn eval_case(&mut self, bdd: &mut Bdd, arms: &[(Expr, Expr)]) -> Result<Value, ModelError> {
+    fn eval_case(&mut self, bdd: &BddManager, arms: &[(Expr, Expr)]) -> Result<Value, ModelError> {
         // Evaluate guards first; arm i fires when its guard holds and no
         // earlier guard does.
         let mut fire = Vec::with_capacity(arms.len());
-        let mut taken = Ref::FALSE;
+        let mut taken = bdd.constant(false);
         for (g, _) in arms {
             let gv = match self.eval(bdd, g)? {
                 Value::Bool(r) => r,
@@ -234,11 +234,10 @@ impl<'a> Compiler<'a> {
                     )))
                 }
             };
-            let nt = bdd.not(taken);
-            fire.push(bdd.and(gv, nt));
-            taken = bdd.or(taken, gv);
+            fire.push(gv.and(&taken.not()));
+            taken = taken.or(&gv);
         }
-        let covered_all = bdd.implies(self.valid, taken);
+        let covered_all = self.valid.implies(&taken);
         if !covered_all.is_true() {
             return Err(ModelError::nowhere(
                 "case expression is not exhaustive (add a `TRUE :` arm)",
@@ -248,8 +247,8 @@ impl<'a> Compiler<'a> {
         let first = self.eval(bdd, &arms[0].1)?;
         match first {
             Value::Bool(_) => {
-                let mut acc = Ref::FALSE;
-                for ((_, e), &cond) in arms.iter().zip(&fire) {
+                let mut acc = bdd.constant(false);
+                for ((_, e), cond) in arms.iter().zip(&fire) {
                     let v = match self.eval(bdd, e)? {
                         Value::Bool(r) => r,
                         Value::Int(_) => {
@@ -258,14 +257,13 @@ impl<'a> Compiler<'a> {
                             ))
                         }
                     };
-                    let both = bdd.and(cond, v);
-                    acc = bdd.or(acc, both);
+                    acc = acc.or(&cond.and(&v));
                 }
                 Ok(Value::Bool(acc))
             }
             Value::Int(_) => {
-                let mut merged: HashMap<i64, Ref> = HashMap::new();
-                for ((_, e), &cond) in arms.iter().zip(&fire) {
+                let mut merged: HashMap<i64, Func> = HashMap::new();
+                for ((_, e), cond) in arms.iter().zip(&fire) {
                     let pairs = match self.eval(bdd, e)? {
                         Value::Int(p) => p,
                         Value::Bool(_) => {
@@ -275,14 +273,21 @@ impl<'a> Compiler<'a> {
                         }
                     };
                     for (v, c) in pairs {
-                        let both = bdd.and(cond, c);
+                        let both = cond.and(&c);
                         if !both.is_false() {
-                            let entry = merged.entry(v).or_insert(Ref::FALSE);
-                            *entry = bdd.or(*entry, both);
+                            match merged.entry(v) {
+                                std::collections::hash_map::Entry::Occupied(mut e) => {
+                                    let u = e.get().or(&both);
+                                    e.insert(u);
+                                }
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    e.insert(both);
+                                }
+                            }
                         }
                     }
                 }
-                let mut out: Vec<(i64, Ref)> = merged.into_iter().collect();
+                let mut out: Vec<(i64, Func)> = merged.into_iter().collect();
                 out.sort_by_key(|(v, _)| *v);
                 Ok(Value::Int(out))
             }
@@ -292,17 +297,16 @@ impl<'a> Compiler<'a> {
 
 /// Pointwise comparison of two partitions.
 fn int_cmp(
-    bdd: &mut Bdd,
-    pa: &[(i64, Ref)],
-    pb: &[(i64, Ref)],
+    bdd: &BddManager,
+    pa: &[(i64, Func)],
+    pb: &[(i64, Func)],
     rel: impl Fn(i64, i64) -> bool,
-) -> Ref {
-    let mut acc = Ref::FALSE;
-    for &(va, ca) in pa {
-        for &(vb, cb) in pb {
-            if rel(va, vb) {
-                let both = bdd.and(ca, cb);
-                acc = bdd.or(acc, both);
+) -> Func {
+    let mut acc = bdd.constant(false);
+    for (va, ca) in pa {
+        for (vb, cb) in pb {
+            if rel(*va, *vb) {
+                acc = acc.or(&ca.and(cb));
             }
         }
     }
@@ -311,24 +315,31 @@ fn int_cmp(
 
 /// Pointwise arithmetic on two partitions.
 fn int_arith(
-    bdd: &mut Bdd,
-    pa: &[(i64, Ref)],
-    pb: &[(i64, Ref)],
+    _bdd: &BddManager,
+    pa: &[(i64, Func)],
+    pb: &[(i64, Func)],
     f: impl Fn(i64, i64) -> Result<i64, ModelError>,
-) -> Result<Vec<(i64, Ref)>, ModelError> {
-    let mut merged: HashMap<i64, Ref> = HashMap::new();
-    for &(va, ca) in pa {
-        for &(vb, cb) in pb {
-            let both = bdd.and(ca, cb);
+) -> Result<Vec<(i64, Func)>, ModelError> {
+    let mut merged: HashMap<i64, Func> = HashMap::new();
+    for (va, ca) in pa {
+        for (vb, cb) in pb {
+            let both = ca.and(cb);
             if both.is_false() {
                 continue;
             }
-            let v = f(va, vb)?;
-            let entry = merged.entry(v).or_insert(Ref::FALSE);
-            *entry = bdd.or(*entry, both);
+            let v = f(*va, *vb)?;
+            match merged.entry(v) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let u = e.get().or(&both);
+                    e.insert(u);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(both);
+                }
+            }
         }
     }
-    let mut out: Vec<(i64, Ref)> = merged.into_iter().collect();
+    let mut out: Vec<(i64, Func)> = merged.into_iter().collect();
     out.sort_by_key(|(v, _)| *v);
     Ok(out)
 }
@@ -354,7 +365,7 @@ pub struct CompiledModel {
 /// Returns [`ModelError`] for type errors, non-exhaustive cases, range
 /// overflows, unknown names, missing `next()` assignments, or SPEC /
 /// FAIRNESS bodies that fail to parse.
-pub fn compile_module(bdd: &mut Bdd, module: &Module) -> Result<CompiledModel, ModelError> {
+pub fn compile_module(bdd: &BddManager, module: &Module) -> Result<CompiledModel, ModelError> {
     compile_module_with(bdd, module, ImageConfig::default())
 }
 
@@ -362,7 +373,7 @@ pub fn compile_module(bdd: &mut Bdd, module: &Module) -> Result<CompiledModel, M
 ///
 /// The compiler emits one transition part per state bit (plus one per
 /// validity invariant on free input encodings) and never conjoins them
-/// into a monolithic relation itself — the machine's [`ImageEngine`]
+/// into a monolithic relation itself — the machine's image engine
 /// (see [`covest_fsm::ImageEngine`]) clusters the parts and builds the
 /// monolith lazily only when [`covest_fsm::ImageMethod::Monolithic`] is
 /// in use.
@@ -371,7 +382,7 @@ pub fn compile_module(bdd: &mut Bdd, module: &Module) -> Result<CompiledModel, M
 ///
 /// See [`compile_module`].
 pub fn compile_module_with(
-    bdd: &mut Bdd,
+    bdd: &BddManager,
     module: &Module,
     image: ImageConfig,
 ) -> Result<CompiledModel, ModelError> {
@@ -400,7 +411,7 @@ pub fn compile_module_with(
         }
     }
 
-    let mut builder = FsmBuilder::new("main").with_image_config(image);
+    let mut builder = FsmBuilder::new(bdd, "main").with_image_config(image);
     let mut vars: HashMap<String, VarInfo> = HashMap::new();
     for d in &module.vars {
         let (offset, span) = match &d.ty {
@@ -423,10 +434,10 @@ pub fn compile_module_with(
                 // Inputs compile to *free* state bits (unconstrained next
                 // value), matching original SMV: the input valuation is
                 // part of the state, so properties may mention inputs.
-                let sb = builder.add_free_bit(bdd, bit_name);
+                let sb = builder.add_free_bit(bit_name);
                 bits.push(BitHandle::State(sb));
             } else {
-                let sb = builder.add_state_bit(bdd, bit_name);
+                let sb = builder.add_state_bit(bit_name);
                 bits.push(BitHandle::State(sb));
             }
         }
@@ -446,33 +457,30 @@ pub fn compile_module_with(
     // whose next value is otherwise unconstrained — also forbid them in
     // the next-state rank of the transition relation. State variables
     // with exact next-value assignments cannot produce invalid codes.
-    let mut invalid_codes = Ref::FALSE;
+    let mut invalid_codes = bdd.constant(false);
     for d in &module.vars {
         let info = vars[&d.name].clone();
         let code_count = 1i64 << info.bits.len();
-        let mut invalid_cur = Ref::FALSE;
-        let mut invalid_next = Ref::FALSE;
+        let mut invalid_cur = bdd.constant(false);
+        let mut invalid_next = bdd.constant(false);
         for raw in info.span..code_count {
-            let mut cond_cur = Ref::TRUE;
-            let mut cond_next = Ref::TRUE;
+            let mut cond_cur = bdd.constant(true);
+            let mut cond_next = bdd.constant(true);
             for (i, bit) in info.bits.iter().enumerate() {
                 let BitHandle::State(sb) = bit;
                 let want = (raw >> i) & 1 == 1;
-                let bc = bdd.literal(sb.current, want);
-                cond_cur = bdd.and(cond_cur, bc);
-                let bn = bdd.literal(sb.next, want);
-                cond_next = bdd.and(cond_next, bn);
+                cond_cur = cond_cur.and(&bdd.literal(sb.current, want));
+                cond_next = cond_next.and(&bdd.literal(sb.next, want));
             }
-            invalid_cur = bdd.or(invalid_cur, cond_cur);
-            invalid_next = bdd.or(invalid_next, cond_next);
+            invalid_cur = invalid_cur.or(&cond_cur);
+            invalid_next = invalid_next.or(&cond_next);
         }
-        invalid_codes = bdd.or(invalid_codes, invalid_cur);
+        invalid_codes = invalid_codes.or(&invalid_cur);
         if d.input && !invalid_next.is_false() {
-            let valid_next = bdd.not(invalid_next);
-            builder.add_trans_constraint(valid_next);
+            builder.add_trans_constraint(invalid_next.not());
         }
     }
-    let valid = bdd.not(invalid_codes);
+    let valid = invalid_codes.not();
 
     let mut compiler = Compiler {
         module,
@@ -480,7 +488,7 @@ pub fn compile_module_with(
         literals,
         define_cache: HashMap::new(),
         define_stack: Vec::new(),
-        valid,
+        valid: valid.clone(),
     };
 
     // Register signals for properties: numeric signals for int vars,
@@ -494,13 +502,13 @@ pub fn compile_module_with(
                 builder.add_signal(d.name.clone(), f);
             }
             VarType::Range(lo, _) => {
-                let bit_fns: Vec<Ref> = info.bits.iter().map(|b| b.current(bdd)).collect();
+                let bit_fns: Vec<Func> = info.bits.iter().map(|b| b.current(bdd)).collect();
                 let mut sig = NumericSignal::unsigned(bit_fns);
                 sig.offset = *lo;
                 builder.add_numeric_signal(d.name.clone(), sig);
             }
             VarType::Enum(lits) => {
-                let bit_fns: Vec<Ref> = info.bits.iter().map(|b| b.current(bdd)).collect();
+                let bit_fns: Vec<Func> = info.bits.iter().map(|b| b.current(bdd)).collect();
                 let mut sig = NumericSignal::unsigned(bit_fns);
                 for (i, l) in lits.iter().enumerate() {
                     sig.literals.insert(l.clone(), i as i64);
@@ -525,7 +533,7 @@ pub fn compile_module_with(
         }
         let v = compiler.eval(bdd, expr)?;
         let constraint = assign_constraint(bdd, &mut compiler, name, &info, &v, false)?;
-        init = bdd.and(init, constraint);
+        init = init.and(&constraint);
     }
     builder.set_init(init);
 
@@ -565,12 +573,12 @@ pub fn compile_module_with(
                 let min = pairs.iter().map(|(v, _)| *v).min().unwrap_or(0);
                 let max = pairs.iter().map(|(v, _)| *v).max().unwrap_or(0);
                 let width = bits_needed(max - min + 1);
-                let mut bit_fns = vec![Ref::FALSE; width];
-                for &(v, c) in &pairs {
+                let mut bit_fns = vec![bdd.constant(false); width];
+                for (v, c) in &pairs {
                     let raw = v - min;
                     for (i, bit) in bit_fns.iter_mut().enumerate() {
                         if (raw >> i) & 1 == 1 {
-                            *bit = bdd.or(*bit, c);
+                            *bit = bit.or(c);
                         }
                     }
                 }
@@ -583,7 +591,7 @@ pub fn compile_module_with(
     }
 
     let fsm = builder
-        .build(bdd)
+        .build()
         .map_err(|e| ModelError::nowhere(e.to_string()))?;
 
     // Parse SPEC and FAIRNESS bodies.
@@ -618,11 +626,10 @@ pub fn compile_module_with(
 
     // Model elaboration can balloon the table on a bad declaration order;
     // give auto-reordering a safe point before the model is handed out.
-    // The checkpoint collects against this model's refs plus anything the
-    // caller registered with `Bdd::protect` — callers holding other
-    // handles on a shared manager (e.g. a previously compiled model) must
-    // protect them when compiling in auto-reorder mode.
-    bdd.maybe_reduce_heap(&fsm.protected_refs());
+    // The checkpoint's live set is the root table, so this model — and
+    // any other handle the caller holds on a shared manager — survives
+    // without registration.
+    bdd.maybe_reduce_heap();
 
     Ok(CompiledModel {
         fsm,
@@ -635,18 +642,15 @@ pub fn compile_module_with(
 /// Builds the predicate `var == value` (for init) or installs next-state
 /// bit functions (for next); shared range checking.
 fn assign_constraint(
-    bdd: &mut Bdd,
+    bdd: &BddManager,
     _compiler: &mut Compiler<'_>,
     name: &str,
     info: &VarInfo,
     v: &Value,
     _next: bool,
-) -> Result<Ref, ModelError> {
+) -> Result<Func, ModelError> {
     match (&info.decl.ty, v) {
-        (VarType::Boolean, Value::Bool(r)) => {
-            let cur = info.bits[0].current(bdd);
-            Ok(bdd.iff(cur, *r))
-        }
+        (VarType::Boolean, Value::Bool(r)) => Ok(info.bits[0].current(bdd).iff(r)),
         (VarType::Boolean, Value::Int(_)) => Err(ModelError::nowhere(format!(
             "integer assigned to boolean `{name}`"
         ))),
@@ -654,19 +658,18 @@ fn assign_constraint(
             "boolean assigned to integer `{name}`"
         ))),
         (_, Value::Int(pairs)) => {
-            check_range(bdd, _compiler.valid, name, info, pairs)?;
-            let mut acc = Ref::FALSE;
-            for &(val, cond) in pairs {
+            check_range(&_compiler.valid, name, info, pairs)?;
+            let mut acc = bdd.constant(false);
+            for (val, cond) in pairs {
                 let raw = val - info.offset;
-                let mut eq = Ref::TRUE;
+                let mut eq = bdd.constant(true);
                 for (i, bit) in info.bits.iter().enumerate() {
                     let b = bit.current(bdd);
                     let want = (raw >> i) & 1 == 1;
-                    let lit = if want { b } else { bdd.not(b) };
-                    eq = bdd.and(eq, lit);
+                    let lit = if want { b } else { b.not() };
+                    eq = eq.and(&lit);
                 }
-                let both = bdd.and(cond, eq);
-                acc = bdd.or(acc, both);
+                acc = acc.or(&cond.and(&eq));
             }
             Ok(acc)
         }
@@ -674,7 +677,7 @@ fn assign_constraint(
 }
 
 fn set_next_bits(
-    bdd: &mut Bdd,
+    bdd: &BddManager,
     builder: &mut FsmBuilder,
     _compiler: &mut Compiler<'_>,
     name: &str,
@@ -683,7 +686,7 @@ fn set_next_bits(
 ) -> Result<(), ModelError> {
     match (&info.decl.ty, v) {
         (VarType::Boolean, Value::Bool(r)) => {
-            builder.set_next(bdd, name, *r);
+            builder.set_next(name, r.clone());
             Ok(())
         }
         (VarType::Boolean, Value::Int(_)) => Err(ModelError::nowhere(format!(
@@ -693,19 +696,19 @@ fn set_next_bits(
             "boolean assigned to integer `{name}`"
         ))),
         (_, Value::Int(pairs)) => {
-            check_range(bdd, _compiler.valid, name, info, pairs)?;
+            check_range(&_compiler.valid, name, info, pairs)?;
             let width = info.bits.len();
-            let mut bit_fns = vec![Ref::FALSE; width];
-            for &(val, cond) in pairs {
+            let mut bit_fns = vec![bdd.constant(false); width];
+            for (val, cond) in pairs {
                 let raw = val - info.offset;
                 for (i, bit) in bit_fns.iter_mut().enumerate() {
                     if (raw >> i) & 1 == 1 {
-                        *bit = bdd.or(*bit, cond);
+                        *bit = bit.or(cond);
                     }
                 }
             }
             for (i, f) in bit_fns.into_iter().enumerate() {
-                builder.set_next(bdd, &format!("{name}.{i}"), f);
+                builder.set_next(&format!("{name}.{i}"), f);
             }
             Ok(())
         }
@@ -713,14 +716,14 @@ fn set_next_bits(
 }
 
 fn check_range(
-    bdd: &mut Bdd,
-    valid: Ref,
+    valid: &Func,
     name: &str,
     info: &VarInfo,
-    pairs: &[(i64, Ref)],
+    pairs: &[(i64, Func)],
 ) -> Result<(), ModelError> {
-    for &(val, cond) in pairs {
-        let possible = bdd.and(cond, valid);
+    for (val, cond) in pairs {
+        let val = *val;
+        let possible = cond.and(valid);
         if (val < info.offset || val >= info.offset + info.span) && !possible.is_false() {
             return Err(ModelError::nowhere(format!(
                 "assignment to `{name}` can produce out-of-range value {val} \

@@ -21,7 +21,7 @@
 //! # Example
 //!
 //! ```
-//! use covest_bdd::Bdd;
+//! use covest_bdd::BddManager;
 //! use covest_smv::compile;
 //!
 //! let deck = r#"
@@ -38,10 +38,10 @@
 //! SPEC AG (!stall & count < 4 -> AX count = count);
 //! OBSERVED count;
 //! "#;
-//! let mut bdd = Bdd::new();
-//! let model = compile(&mut bdd, deck)?;
+//! let mgr = BddManager::new();
+//! let model = compile(&mgr, deck)?;
 //! assert_eq!(model.specs.len(), 1);
-//! assert!(model.fsm.is_total(&mut bdd));
+//! assert!(model.fsm.is_total());
 //! # Ok::<(), covest_smv::ModelError>(())
 //! ```
 
@@ -61,7 +61,7 @@ pub use parse::parse_module;
 // method without depending on covest-fsm directly.
 pub use covest_fsm::{ImageConfig, ImageMethod};
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 
 /// Parses and compiles a model deck in one step with the default
 /// (partitioned) image configuration.
@@ -69,7 +69,7 @@ use covest_bdd::Bdd;
 /// # Errors
 ///
 /// Returns [`ModelError`] for lexical, syntactic, type, or range errors.
-pub fn compile(bdd: &mut Bdd, src: &str) -> Result<CompiledModel, ModelError> {
+pub fn compile(bdd: &BddManager, src: &str) -> Result<CompiledModel, ModelError> {
     let module = parse_module(src)?;
     compile_module(bdd, &module)
 }
@@ -80,7 +80,7 @@ pub fn compile(bdd: &mut Bdd, src: &str) -> Result<CompiledModel, ModelError> {
 ///
 /// See [`compile`].
 pub fn compile_with(
-    bdd: &mut Bdd,
+    bdd: &BddManager,
     src: &str,
     image: ImageConfig,
 ) -> Result<CompiledModel, ModelError> {

@@ -1,20 +1,20 @@
 //! End-to-end tests of the deck compiler: semantics of the compiled
 //! machine are checked via reachability and model checking.
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_ctl::parse_formula;
 use covest_mc::ModelChecker;
 use covest_smv::compile;
 
 fn check(deck: &str, spec: &str) -> bool {
-    let mut bdd = Bdd::new();
-    let model = compile(&mut bdd, deck).expect("compiles");
+    let bdd = BddManager::new();
+    let model = compile(&bdd, deck).expect("compiles");
     let mut mc = ModelChecker::new(&model.fsm);
     for fair in &model.fairness {
-        mc.add_fairness(&mut bdd, fair).expect("fairness lowers");
+        mc.add_fairness(fair).expect("fairness lowers");
     }
     let f = parse_formula(spec).expect(spec);
-    mc.holds(&mut bdd, &f.into()).expect("checks")
+    mc.holds(&f.into()).expect("checks")
 }
 
 const COUNTER: &str = r#"
@@ -41,15 +41,15 @@ fn counter_increments_and_wraps() {
 
 #[test]
 fn reachable_counts_respect_ranges() {
-    let mut bdd = Bdd::new();
-    let model = compile(&mut bdd, COUNTER).expect("compiles");
+    let bdd = BddManager::new();
+    let model = compile(&bdd, COUNTER).expect("compiles");
     // 5 values of count reachable; 3 bits allocated → codes 5..7 excluded.
     // The stall input is a free state bit (SMV-style), so the model has
     // 4 variables and each count value pairs with both stall values.
     let vars = model.fsm.current_vars();
     assert_eq!(vars.len(), 4);
-    let r = model.fsm.reachable(&mut bdd);
-    assert_eq!(bdd.sat_count_over(r, &vars), 10.0);
+    let r = model.fsm.reachable();
+    assert_eq!(r.sat_count_over(&vars), 10.0);
 }
 
 #[test]
@@ -150,80 +150,68 @@ SPEC AG (b -> AX !b);
 SPEC AX b;
 OBSERVED b;
 "#;
-    let mut bdd = Bdd::new();
-    let model = compile(&mut bdd, deck).expect("compiles");
+    let bdd = BddManager::new();
+    let model = compile(&bdd, deck).expect("compiles");
     assert_eq!(model.specs.len(), 2);
     assert_eq!(model.observed, vec!["b".to_owned()]);
     let mut mc = ModelChecker::new(&model.fsm);
     for s in &model.specs {
-        assert!(mc.holds(&mut bdd, &s.clone().into()).expect("checks"));
+        assert!(mc.holds(&s.clone().into()).expect("checks"));
     }
 }
 
 #[test]
 fn error_cases() {
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     // Out-of-range assignment.
-    let e = compile(
-        &mut bdd,
-        "VAR c : 0..3; ASSIGN init(c) := 0; next(c) := c + 1;",
-    )
-    .unwrap_err();
+    let e = compile(&bdd, "VAR c : 0..3; ASSIGN init(c) := 0; next(c) := c + 1;").unwrap_err();
     assert!(e.message.contains("out-of-range"), "{e}");
     // Missing next().
-    let e = compile(&mut bdd, "VAR c : 0..3; ASSIGN init(c) := 0;").unwrap_err();
+    let e = compile(&bdd, "VAR c : 0..3; ASSIGN init(c) := 0;").unwrap_err();
     assert!(e.message.contains("no next()"), "{e}");
     // Non-exhaustive case.
     let e = compile(
-        &mut bdd,
+        &bdd,
         "VAR b : boolean; ASSIGN next(b) := case b : FALSE; esac;",
     )
     .unwrap_err();
     assert!(e.message.contains("exhaustive"), "{e}");
     // Type errors.
-    let e = compile(&mut bdd, "VAR b : boolean; ASSIGN next(b) := b + 1;").unwrap_err();
+    let e = compile(&bdd, "VAR b : boolean; ASSIGN next(b) := b + 1;").unwrap_err();
     assert!(e.message.contains("arithmetic"), "{e}");
     // Unknown name.
-    let e = compile(&mut bdd, "VAR b : boolean; ASSIGN next(b) := nope;").unwrap_err();
+    let e = compile(&bdd, "VAR b : boolean; ASSIGN next(b) := nope;").unwrap_err();
     assert!(e.message.contains("unknown name"), "{e}");
     // Assigning an input.
     let e = compile(
-        &mut bdd,
+        &bdd,
         "VAR b : boolean; IVAR i : boolean; ASSIGN next(b) := b; next(i) := b;",
     )
     .unwrap_err();
     assert!(e.message.contains("input"), "{e}");
     // Cyclic DEFINE.
     let e = compile(
-        &mut bdd,
+        &bdd,
         "VAR b : boolean; ASSIGN next(b) := d1; DEFINE d1 := d2; DEFINE d2 := d1;",
     )
     .unwrap_err();
     assert!(e.message.contains("cyclic"), "{e}");
     // Bad SPEC (outside subset).
-    let e = compile(&mut bdd, "VAR b : boolean; ASSIGN next(b) := b; SPEC EF b;").unwrap_err();
+    let e = compile(&bdd, "VAR b : boolean; ASSIGN next(b) := b; SPEC EF b;").unwrap_err();
     assert!(e.message.contains("SPEC"), "{e}");
     // Temporal FAIRNESS.
-    let e = compile(
-        &mut bdd,
-        "VAR b : boolean; ASSIGN next(b) := b; FAIRNESS AX b;",
-    )
-    .unwrap_err();
+    let e = compile(&bdd, "VAR b : boolean; ASSIGN next(b) := b; FAIRNESS AX b;").unwrap_err();
     assert!(e.message.contains("propositional"), "{e}");
     // Unknown OBSERVED.
-    let e = compile(
-        &mut bdd,
-        "VAR b : boolean; ASSIGN next(b) := b; OBSERVED zz;",
-    )
-    .unwrap_err();
+    let e = compile(&bdd, "VAR b : boolean; ASSIGN next(b) := b; OBSERVED zz;").unwrap_err();
     assert!(e.message.contains("OBSERVED"), "{e}");
 }
 
 #[test]
 fn enum_literal_conflicts_rejected() {
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     let e = compile(
-        &mut bdd,
+        &bdd,
         "VAR a : {x, y}; b : {y, x};\nASSIGN next(a) := a; next(b) := b;",
     )
     .unwrap_err();
@@ -252,31 +240,25 @@ DEFINE same := rp = wp;
 }
 
 #[test]
-fn auto_reorder_during_compile_respects_protected_models() {
-    // Compile's auto-reorder checkpoint collects against the new model's
-    // refs plus the manager's protected registry. A caller keeping an
-    // earlier model alive on a shared manager pins it with `protect`.
+fn auto_reorder_during_compile_keeps_earlier_models_alive() {
+    // Compile's auto-reorder checkpoint collects against the root table.
+    // A caller keeping an earlier model alive on a shared manager needs
+    // no registration at all: the model's owned handles are its pins.
     use covest_bdd::{ReorderConfig, ReorderMode};
 
     let deck =
         "VAR c : 0..5;\nASSIGN init(c) := 0;\nnext(c) := case c < 5 : c + 1; TRUE : 0; esac;";
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     bdd.set_reorder_config(ReorderConfig {
         mode: ReorderMode::Auto,
         auto_threshold: 8, // fire inside every compile
         ..Default::default()
     });
-    let a = compile(&mut bdd, deck).expect("first model compiles");
-    let reach_before = a.fsm.reachable_count(&mut bdd);
-    for r in a.fsm.protected_refs() {
-        bdd.protect(r);
-    }
-    let b = compile(&mut bdd, deck).expect("second model compiles");
-    for r in a.fsm.protected_refs() {
-        bdd.unprotect(r);
-    }
+    let a = compile(&bdd, deck).expect("first model compiles");
+    let reach_before = a.fsm.reachable_count();
+    let b = compile(&bdd, deck).expect("second model compiles");
     // Model `a`'s handles still denote the same machine.
-    assert!(a.fsm.is_total(&mut bdd));
-    assert_eq!(a.fsm.reachable_count(&mut bdd), reach_before);
-    assert_eq!(b.fsm.reachable_count(&mut bdd), reach_before);
+    assert!(a.fsm.is_total());
+    assert_eq!(a.fsm.reachable_count(), reach_before);
+    assert_eq!(b.fsm.reachable_count(), reach_before);
 }

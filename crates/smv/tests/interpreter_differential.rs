@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use covest_bdd::Bdd;
+use covest_bdd::BddManager;
 use covest_smv::{compile, parse_module, BinOp, Expr, Module, VarType};
 
 /// A concrete value.
@@ -126,8 +126,8 @@ fn bits_of(name: &str, raw: u64, span: u64) -> Vec<(String, bool)> {
 /// Checks one deck exhaustively.
 fn check_deck(src: &str) {
     let module = parse_module(src).expect("parses");
-    let mut bdd = Bdd::new();
-    let model = compile(&mut bdd, src).expect("compiles");
+    let bdd = BddManager::new();
+    let model = compile(&bdd, src).expect("compiles");
     let fsm = &model.fsm;
     let bit_index: HashMap<&str, usize> = fsm
         .state_bits()
@@ -151,14 +151,14 @@ fn check_deck(src: &str) {
         // Restrict the transition relation by current and next bits; it
         // must be satisfiable (deterministic machines: exactly the free
         // input bits remain).
-        let mut t = fsm.trans(&mut bdd);
+        let mut t = fsm.trans();
         for (name, val) in &cur_bits {
             let idx = bit_index[name.as_str()];
-            t = bdd.restrict(t, fsm.state_bits()[idx].current, *val);
+            t = t.restrict(fsm.state_bits()[idx].current, *val);
         }
         for (name, val) in &next_bits {
             let idx = bit_index[name.as_str()];
-            t = bdd.restrict(t, fsm.state_bits()[idx].next, *val);
+            t = t.restrict(fsm.state_bits()[idx].next, *val);
         }
         assert!(
             !t.is_false(),
@@ -166,15 +166,15 @@ fn check_deck(src: &str) {
         );
         // And flipping any single expected next bit must be rejected.
         for k in 0..next_bits.len() {
-            let mut t2 = fsm.trans(&mut bdd);
+            let mut t2 = fsm.trans();
             for (name, val) in &cur_bits {
                 let idx = bit_index[name.as_str()];
-                t2 = bdd.restrict(t2, fsm.state_bits()[idx].current, *val);
+                t2 = t2.restrict(fsm.state_bits()[idx].current, *val);
             }
             for (j, (name, val)) in next_bits.iter().enumerate() {
                 let idx = bit_index[name.as_str()];
                 let v = if j == k { !*val } else { *val };
-                t2 = bdd.restrict(t2, fsm.state_bits()[idx].next, v);
+                t2 = t2.restrict(fsm.state_bits()[idx].next, v);
             }
             assert!(
                 t2.is_false(),
@@ -187,10 +187,10 @@ fn check_deck(src: &str) {
             let v = eval(&module, &env, expr);
             expected_init &= env[name] == v;
         }
-        let mut i = fsm.init();
+        let mut i = fsm.init().clone();
         for (name, val) in &cur_bits {
             let idx = bit_index[name.as_str()];
-            i = bdd.restrict(i, fsm.state_bits()[idx].current, *val);
+            i = i.restrict(fsm.state_bits()[idx].current, *val);
         }
         assert_eq!(!i.is_false(), expected_init, "init mismatch: env={env:?}");
     }

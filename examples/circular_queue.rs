@@ -7,15 +7,15 @@
 //!
 //! Run with `cargo run --example circular_queue`.
 
-use covest::bdd::Bdd;
+use covest::bdd::BddManager;
 use covest::circuits::circular_queue;
 use covest::coverage::{CoverageEstimator, CoverageOptions};
 
 const DEPTH: i64 = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut bdd = Bdd::new();
-    let model = circular_queue::build(&mut bdd, DEPTH)?;
+    let bdd = BddManager::new();
+    let model = circular_queue::build(&bdd, DEPTH)?;
     let estimator = CoverageEstimator::new(&model.fsm);
     let options = CoverageOptions::default();
 
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("full", circular_queue::full_suite()),
         ("empty", circular_queue::empty_suite()),
     ] {
-        let a = estimator.analyze(&mut bdd, signal, &suite, &options)?;
+        let a = estimator.analyze(signal, &suite, &options)?;
         println!(
             "{signal}: {} properties → {:.2}% coverage",
             a.properties.len(),
@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // wrap: staged hole closing.
     let mut suite = circular_queue::wrap_suite_initial();
-    let a = estimator.analyze(&mut bdd, "wrap", &suite, &options)?;
+    let a = estimator.analyze("wrap", &suite, &options)?;
     println!(
         "\nwrap, initial suite: {} properties → {:.2}%",
         suite.len(),
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     suite.extend(circular_queue::wrap_suite_additional());
-    let a = estimator.analyze(&mut bdd, "wrap", &suite, &options)?;
+    let a = estimator.analyze("wrap", &suite, &options)?;
     println!(
         "wrap, +3 properties: {} properties → {:.2}% (still not 100%)",
         suite.len(),
@@ -51,13 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Trace the remaining holes — the paper's methodology step.
     println!("\ntraces to the remaining uncovered states:");
-    for trace in estimator.traces_to_uncovered(&mut bdd, &a, 2) {
+    for trace in estimator.traces_to_uncovered(&a, 2) {
         println!("{trace}");
     }
     println!("  → every hole has `stall` asserted while wp wraps around.\n");
 
     suite.extend(circular_queue::wrap_suite_final());
-    let a = estimator.analyze(&mut bdd, "wrap", &suite, &options)?;
+    let a = estimator.analyze("wrap", &suite, &options)?;
     println!(
         "wrap, +stall-wraparound property: {} properties → {:.2}%",
         suite.len(),

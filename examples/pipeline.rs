@@ -9,15 +9,15 @@
 //!
 //! Run with `cargo run --example pipeline`.
 
-use covest::bdd::Bdd;
+use covest::bdd::BddManager;
 use covest::circuits::pipeline;
 use covest::coverage::{CoverageEstimator, CoverageOptions};
 
 const STAGES: usize = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut bdd = Bdd::new();
-    let model = pipeline::build(&mut bdd, STAGES)?;
+    let bdd = BddManager::new();
+    let model = pipeline::build(&bdd, STAGES)?;
     let estimator = CoverageEstimator::new(&model.fsm);
     // Fairness: stalls cannot be asserted forever (Section 4.3).
     let options = CoverageOptions {
@@ -25,12 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
 
-    let initial = estimator.analyze(
-        &mut bdd,
-        "out",
-        &pipeline::out_suite_initial(STAGES),
-        &options,
-    )?;
+    let initial = estimator.analyze("out", &pipeline::out_suite_initial(STAGES), &options)?;
     println!(
         "out, initial suite: {} properties (incl. nested Until), all hold: {}",
         initial.properties.len(),
@@ -39,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("coverage: {:.2}%\n", initial.percent());
 
     println!("sample uncovered states:");
-    for state in estimator.uncovered_states(&mut bdd, &initial, 4) {
+    for state in estimator.uncovered_states(&initial, 4) {
         let rendered: Vec<String> = state
             .iter()
             .map(|(name, v)| format!("{name}={}", u8::from(*v)))
@@ -50,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut suite = pipeline::out_suite_initial(STAGES);
     suite.extend(pipeline::out_suite_hold());
-    let full = estimator.analyze(&mut bdd, "out", &suite, &options)?;
+    let full = estimator.analyze("out", &suite, &options)?;
     println!(
         "out, +retention properties: {} properties → {:.2}%",
         full.properties.len(),
@@ -60,7 +55,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show that fairness is load-bearing: without it the eventuality
     // properties fail on the always-stalled path.
     let unfair = estimator.analyze(
-        &mut bdd,
         "out",
         &pipeline::out_suite_initial(STAGES),
         &CoverageOptions::default(),

@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --example priority_buffer`.
 
-use covest::bdd::Bdd;
+use covest::bdd::BddManager;
 use covest::circuits::priority_buffer;
 use covest::coverage::{CoverageEstimator, CoverageOptions};
 
@@ -14,17 +14,12 @@ const CAPACITY: i64 = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Step 1: verify the original suites on the real (buggy) RTL.
-    let mut bdd = Bdd::new();
-    let buggy = priority_buffer::build(&mut bdd, CAPACITY, true)?;
+    let bdd = BddManager::new();
+    let buggy = priority_buffer::build(&bdd, CAPACITY, true)?;
     let estimator = CoverageEstimator::new(&buggy.fsm);
     let options = CoverageOptions::default();
 
-    let hi = estimator.analyze(
-        &mut bdd,
-        "hi_cnt",
-        &priority_buffer::hi_suite(CAPACITY),
-        &options,
-    )?;
+    let hi = estimator.analyze("hi_cnt", &priority_buffer::hi_suite(CAPACITY), &options)?;
     println!(
         "hi_cnt: {} properties, all hold: {}, coverage {:.2}%",
         hi.properties.len(),
@@ -33,7 +28,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let lo = estimator.analyze(
-        &mut bdd,
         "lo_cnt",
         &priority_buffer::lo_suite_initial(CAPACITY),
         &options,
@@ -48,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Step 2: inspect the coverage hole.
     println!("uncovered lo_cnt states (the estimator's hint):");
-    for state in estimator.uncovered_states(&mut bdd, &lo, 4) {
+    for state in estimator.uncovered_states(&lo, 4) {
         let rendered: Vec<String> = state
             .iter()
             .map(|(name, v)| format!("{name}={}", u8::from(*v)))
@@ -59,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Step 3: write the missing property; it FAILS on the design.
     let missing = priority_buffer::lo_missing_case();
-    let catching =
-        estimator.analyze(&mut bdd, "lo_cnt", std::slice::from_ref(&missing), &options)?;
+    let catching = estimator.analyze("lo_cnt", std::slice::from_ref(&missing), &options)?;
     println!(
         "missing-case property `{}…`: holds = {}",
         &missing.to_string()[..60.min(missing.to_string().len())],
@@ -69,12 +62,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  → BUG FOUND: low-priority entries into an empty buffer are dropped.\n");
 
     // ---- Step 4: fix the design; everything passes at 100% coverage.
-    let mut bdd2 = Bdd::new();
-    let fixed = priority_buffer::build(&mut bdd2, CAPACITY, false)?;
+    let bdd2 = BddManager::new();
+    let fixed = priority_buffer::build(&bdd2, CAPACITY, false)?;
     let estimator2 = CoverageEstimator::new(&fixed.fsm);
     let mut suite = priority_buffer::lo_suite_initial(CAPACITY);
     suite.push(priority_buffer::lo_missing_case());
-    let final_analysis = estimator2.analyze(&mut bdd2, "lo_cnt", &suite, &options)?;
+    let final_analysis = estimator2.analyze("lo_cnt", &suite, &options)?;
     println!(
         "fixed design: all hold = {}, lo_cnt coverage {:.2}%",
         final_analysis.all_hold(),

@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use covest::bdd::Bdd;
+use covest::bdd::BddManager;
 use covest::coverage::{CoverageEstimator, CoverageOptions};
 use covest::ctl::parse_formula;
 use covest::smv::compile;
@@ -27,8 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TRUE : 0;
       esac;
     "#;
-    let mut bdd = Bdd::new();
-    let model = compile(&mut bdd, deck)?;
+    let bdd = BddManager::new();
+    let model = compile(&bdd, deck)?;
 
     // 2. Write the properties of the paper's introduction.
     let mut properties = Vec::new();
@@ -41,8 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Verify and estimate coverage of `count` in one call.
     let estimator = CoverageEstimator::new(&model.fsm);
-    let analysis =
-        estimator.analyze(&mut bdd, "count", &properties, &CoverageOptions::default())?;
+    let analysis = estimator.analyze("count", &properties, &CoverageOptions::default())?;
 
     println!("properties verified: {}", analysis.all_hold());
     println!(
@@ -54,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Inspect the holes: which reachable states are never checked?
     println!("\nuncovered states (count, stall, reset bits):");
-    for state in estimator.uncovered_states(&mut bdd, &analysis, 5) {
+    for state in estimator.uncovered_states(&analysis, 5) {
         let rendered: Vec<String> = state
             .iter()
             .map(|(name, v)| format!("{name}={}", u8::from(*v)))
@@ -64,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. And get a concrete input sequence leading to one of them.
     if let Some(trace) = estimator
-        .traces_to_uncovered(&mut bdd, &analysis, 1)
+        .traces_to_uncovered(&analysis, 1)
         .into_iter()
         .next()
     {

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example smv_model`.
 
-use covest::bdd::Bdd;
+use covest::bdd::BddManager;
 use covest::coverage::{CoverageEstimator, CoverageOptions};
 use covest::mc::ModelChecker;
 use covest::smv::compile;
@@ -43,16 +43,16 @@ OBSERVED grant;
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut bdd = Bdd::new();
-    let model = compile(&mut bdd, DECK)?;
+    let bdd = BddManager::new();
+    let model = compile(&bdd, DECK)?;
 
     // Check every embedded SPEC.
     let mut mc = ModelChecker::new(&model.fsm);
     for fair in &model.fairness {
-        mc.add_fairness(&mut bdd, fair)?;
+        mc.add_fairness(fair)?;
     }
     for spec in &model.specs {
-        let verdict = mc.check(&mut bdd, &spec.clone().into())?;
+        let verdict = mc.check(&spec.clone().into())?;
         println!("SPEC {spec}\n  → {verdict}");
     }
 
@@ -64,14 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     for observed in &model.observed {
-        let analysis = estimator.analyze(&mut bdd, observed, &model.specs, &options)?;
+        let analysis = estimator.analyze(observed, &model.specs, &options)?;
         println!(
             "\ncoverage of `{observed}`: {:.2}% ({} / {} states)",
             analysis.percent(),
             analysis.covered_count,
             analysis.space_count
         );
-        for state in estimator.uncovered_states(&mut bdd, &analysis, 3) {
+        for state in estimator.uncovered_states(&analysis, 3) {
             let rendered: Vec<String> = state
                 .iter()
                 .map(|(name, v)| format!("{name}={}", u8::from(*v)))

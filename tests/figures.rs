@@ -1,7 +1,7 @@
 //! Integration reproduction of the paper's Figures 1–3 through the
 //! umbrella crate's public API.
 
-use covest::bdd::{Bdd, Ref};
+use covest::bdd::BddManager;
 use covest::circuits::toys;
 use covest::coverage::{
     reference_covered_set, CoverageEstimator, CoverageOptions, CoveredSets, ReferenceMode,
@@ -11,31 +11,29 @@ use covest::ctl::parse_formula;
 
 #[test]
 fn figure1_exactly_the_demanded_states_are_covered() {
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     let stg = toys::figure1();
-    let fsm = stg.compile(&mut bdd).expect("compiles");
-    let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
+    let fsm = stg.compile(&bdd).expect("compiles");
+    let mut cs = CoveredSets::new(&fsm, "q").expect("q exists");
     let prop = parse_formula("AG (p1 -> AX AX q)").expect("subset");
-    assert!(cs.verify(&mut bdd, &prop).expect("verifies"));
-    let covered = cs.covered_from_init(&mut bdd, &prop).expect("covered");
-    let mut expect = Ref::FALSE;
+    assert!(cs.verify(&prop).expect("verifies"));
+    let covered = cs.covered_from_init(&prop).expect("covered");
+    let mut expect = bdd.constant(false);
     for &s in toys::FIGURE1_COVERED {
-        let f = stg.state_fn(&mut bdd, &fsm, s);
-        expect = bdd.or(expect, f);
+        expect = expect.or(&stg.state_fn(&fsm, s));
     }
     assert_eq!(covered, expect);
 }
 
 #[test]
 fn figure2_raw_zero_transformed_first_q() {
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     let stg = toys::figure2();
-    let fsm = stg.compile(&mut bdd).expect("compiles");
+    let fsm = stg.compile(&bdd).expect("compiles");
     let prop = parse_formula("A[p1 U q]").expect("subset");
 
     // Raw Definition 3: zero coverage, as Section 2.1 observes.
     let raw = reference_covered_set(
-        &mut bdd,
         &fsm,
         "q",
         &prop,
@@ -47,55 +45,48 @@ fn figure2_raw_zero_transformed_first_q() {
     assert!(raw.is_false(), "raw coverage of A[p1 U q] is zero");
 
     // The symbolic algorithm (≡ transformed Definition 3): first q-state.
-    let mut cs = CoveredSets::new(&mut bdd, &fsm, "q").expect("q exists");
-    let covered = cs.covered_from_init(&mut bdd, &prop).expect("covered");
-    let mut expect = Ref::FALSE;
+    let mut cs = CoveredSets::new(&fsm, "q").expect("q exists");
+    let covered = cs.covered_from_init(&prop).expect("covered");
+    let mut expect = bdd.constant(false);
     for &s in toys::FIGURE2_COVERED {
-        let f = stg.state_fn(&mut bdd, &fsm, s);
-        expect = bdd.or(expect, f);
+        expect = expect.or(&stg.state_fn(&fsm, s));
     }
     assert_eq!(covered, expect);
 }
 
 #[test]
 fn figure3_traverse_and_firstreached_labelling() {
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     let stg = toys::figure3();
-    let fsm = stg.compile(&mut bdd).expect("compiles");
-    let mut cs = CoveredSets::new(&mut bdd, &fsm, "f2").expect("f2 exists");
+    let fsm = stg.compile(&bdd).expect("compiles");
+    let mut cs = CoveredSets::new(&fsm, "f2").expect("f2 exists");
     let f1 = parse_formula("f1").expect("subset");
     let f2 = parse_formula("f2").expect("subset");
 
-    let trav = cs
-        .traverse(&mut bdd, fsm.init(), &f1, &f2)
-        .expect("traverse");
-    let mut expect = Ref::FALSE;
+    let trav = cs.traverse(fsm.init(), &f1, &f2).expect("traverse");
+    let mut expect = bdd.constant(false);
     for &s in toys::FIGURE3_TRAVERSE {
-        let f = stg.state_fn(&mut bdd, &fsm, s);
-        expect = bdd.or(expect, f);
+        expect = expect.or(&stg.state_fn(&fsm, s));
     }
     assert_eq!(trav, expect, "traverse marks the f1-prefix");
 
-    let first = cs
-        .firstreached(&mut bdd, fsm.init(), &f2)
-        .expect("firstreached");
-    let mut expect = Ref::FALSE;
+    let first = cs.firstreached(fsm.init(), &f2).expect("firstreached");
+    let mut expect = bdd.constant(false);
     for &s in toys::FIGURE3_FIRSTREACHED {
-        let f = stg.state_fn(&mut bdd, &fsm, s);
-        expect = bdd.or(expect, f);
+        expect = expect.or(&stg.state_fn(&fsm, s));
     }
     assert_eq!(first, expect, "firstreached marks the first f2 states");
 }
 
 #[test]
 fn figure2_percentages_through_the_estimator() {
-    let mut bdd = Bdd::new();
+    let bdd = BddManager::new();
     let stg = toys::figure2();
-    let fsm = stg.compile(&mut bdd).expect("compiles");
+    let fsm = stg.compile(&bdd).expect("compiles");
     let est = CoverageEstimator::new(&fsm);
     let prop = parse_formula("A[p1 U q]").expect("subset");
     let analysis = est
-        .analyze(&mut bdd, "q", &[prop], &CoverageOptions::default())
+        .analyze("q", &[prop], &CoverageOptions::default())
         .expect("analyzes");
     // 1 covered state of 6 reachable.
     assert_eq!(analysis.space_count, 6.0);

@@ -2,7 +2,7 @@
 //! through the umbrella crate: the bug discovery in the priority buffer
 //! and the staged hole closing in the queue and the pipeline.
 
-use covest::bdd::Bdd;
+use covest::bdd::BddManager;
 use covest::circuits::{circular_queue, pipeline, priority_buffer};
 use covest::coverage::{CoverageEstimator, CoverageOptions};
 use covest::mc::{ModelChecker, Verdict};
@@ -10,19 +10,19 @@ use covest::mc::{ModelChecker, Verdict};
 #[test]
 fn bug_discovery_end_to_end() {
     // Verify suites on the buggy design; everything passes.
-    let mut bdd = Bdd::new();
-    let buggy = priority_buffer::build(&mut bdd, 4, true).expect("compiles");
+    let bdd = BddManager::new();
+    let buggy = priority_buffer::build(&bdd, 4, true).expect("compiles");
     let mut mc = ModelChecker::new(&buggy.fsm);
     for p in priority_buffer::hi_suite(4)
         .into_iter()
         .chain(priority_buffer::lo_suite_initial(4))
     {
-        assert!(mc.holds(&mut bdd, &p.into()).expect("checks"));
+        assert!(mc.holds(&p.into()).expect("checks"));
     }
     // The coverage hole points at the missing case; the new property
     // fails with a counterexample trace.
     let missing = priority_buffer::lo_missing_case();
-    let verdict = mc.check(&mut bdd, &missing.into()).expect("checks");
+    let verdict = mc.check(&missing.into()).expect("checks");
     match verdict {
         Verdict::Fails { counterexample, .. } => {
             let trace = counterexample.expect("AG failure produces a trace");
@@ -35,13 +35,13 @@ fn bug_discovery_end_to_end() {
 
 #[test]
 fn queue_holes_shrink_monotonically() {
-    let mut bdd = Bdd::new();
-    let model = circular_queue::build(&mut bdd, 4).expect("compiles");
+    let bdd = BddManager::new();
+    let model = circular_queue::build(&bdd, 4).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     let opts = CoverageOptions::default();
     let mut suite = circular_queue::wrap_suite_initial();
     let mut last = est
-        .analyze(&mut bdd, "wrap", &suite, &opts)
+        .analyze("wrap", &suite, &opts)
         .expect("analyzes")
         .percent();
     for extra in [
@@ -50,7 +50,7 @@ fn queue_holes_shrink_monotonically() {
     ] {
         suite.extend(extra);
         let now = est
-            .analyze(&mut bdd, "wrap", &suite, &opts)
+            .analyze("wrap", &suite, &opts)
             .expect("analyzes")
             .percent();
         assert!(now >= last, "coverage is monotone in the property set");
@@ -61,15 +61,15 @@ fn queue_holes_shrink_monotonically() {
 
 #[test]
 fn queue_uncovered_traces_show_stall_wraparound() {
-    let mut bdd = Bdd::new();
-    let model = circular_queue::build(&mut bdd, 4).expect("compiles");
+    let bdd = BddManager::new();
+    let model = circular_queue::build(&bdd, 4).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     let mut suite = circular_queue::wrap_suite_initial();
     suite.extend(circular_queue::wrap_suite_additional());
     let analysis = est
-        .analyze(&mut bdd, "wrap", &suite, &CoverageOptions::default())
+        .analyze("wrap", &suite, &CoverageOptions::default())
         .expect("analyzes");
-    let traces = est.traces_to_uncovered(&mut bdd, &analysis, 3);
+    let traces = est.traces_to_uncovered(&analysis, 3);
     assert!(!traces.is_empty());
     for trace in &traces {
         // The step before the uncovered state must assert stall while
@@ -89,8 +89,8 @@ fn queue_uncovered_traces_show_stall_wraparound() {
 fn pipeline_dont_cares_can_exclude_hold_states() {
     // Section 4.2: declaring the hold phase as don't-care removes the
     // hole from the coverage space entirely.
-    let mut bdd = Bdd::new();
-    let model = pipeline::build(&mut bdd, 4).expect("compiles");
+    let bdd = BddManager::new();
+    let model = pipeline::build(&bdd, 4).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     let opts = CoverageOptions {
         fairness: vec![pipeline::fairness()],
@@ -98,23 +98,21 @@ fn pipeline_dont_cares_can_exclude_hold_states() {
         ..Default::default()
     };
     let a = est
-        .analyze(&mut bdd, "out", &pipeline::out_suite_initial(4), &opts)
+        .analyze("out", &pipeline::out_suite_initial(4), &opts)
         .expect("analyzes");
     let full_opts = CoverageOptions {
         fairness: vec![pipeline::fairness()],
         ..Default::default()
     };
     let without = est
-        .analyze(&mut bdd, "out", &pipeline::out_suite_initial(4), &full_opts)
+        .analyze("out", &pipeline::out_suite_initial(4), &full_opts)
         .expect("analyzes");
     // The don't-care region is excluded from the coverage space …
     assert!(a.space_count < without.space_count);
     // … and a 100%-covered suite stays at 100% on the reduced space.
     let mut suite = pipeline::out_suite_initial(4);
     suite.extend(pipeline::out_suite_hold());
-    let full = est
-        .analyze(&mut bdd, "out", &suite, &opts)
-        .expect("analyzes");
+    let full = est.analyze("out", &suite, &opts).expect("analyzes");
     assert_eq!(full.percent(), 100.0);
 }
 
@@ -125,12 +123,11 @@ fn fairness_constrains_the_coverage_space() {
     // lies on some fair path, so the space is unchanged — but the sat
     // sets of the eventuality properties do change, which shows up as
     // properties failing without fairness.
-    let mut bdd = Bdd::new();
-    let model = pipeline::build(&mut bdd, 4).expect("compiles");
+    let bdd = BddManager::new();
+    let model = pipeline::build(&bdd, 4).expect("compiles");
     let est = CoverageEstimator::new(&model.fsm);
     let with = est
         .analyze(
-            &mut bdd,
             "out",
             &pipeline::out_suite_initial(4),
             &CoverageOptions {
@@ -142,7 +139,6 @@ fn fairness_constrains_the_coverage_space() {
     assert!(with.all_hold());
     let without = est
         .analyze(
-            &mut bdd,
             "out",
             &pipeline::out_suite_initial(4),
             &CoverageOptions::default(),

@@ -6,7 +6,7 @@
 //!   claim after Definition 5);
 //! - the transformation is idempotent on formulas not mentioning `q`.
 
-use covest::bdd::Bdd;
+use covest::bdd::BddManager;
 use covest::ctl::{observability_transform, parse_formula, Formula};
 use covest::fsm::Stg;
 use covest::mc::ModelChecker;
@@ -59,15 +59,15 @@ fn transformed_formula_is_validity_equivalent() {
     let mut rng = StdRng::seed_from_u64(2024);
     let mut checked = 0;
     for _ in 0..200 {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let formula = random_formula(&mut rng);
         let transformed = observability_transform(&formula, "q");
         let mut mc = ModelChecker::new(&fsm);
         // With q' defaulting to q, both must agree on validity.
-        let original = mc.holds(&mut bdd, &formula.clone().into()).expect("checks");
-        let via_transform = mc.holds(&mut bdd, &transformed).expect("checks");
+        let original = mc.holds(&formula.clone().into()).expect("checks");
+        let via_transform = mc.holds(&transformed).expect("checks");
         assert_eq!(
             original, via_transform,
             "validity must be preserved: {formula}"
@@ -81,17 +81,17 @@ fn transformed_formula_is_validity_equivalent() {
 fn transform_without_observed_signal_preserves_sat_sets() {
     let mut rng = StdRng::seed_from_u64(77);
     for _ in 0..100 {
-        let mut bdd = Bdd::new();
+        let bdd = BddManager::new();
         let stg = random_stg(&mut rng);
-        let fsm = stg.compile(&mut bdd).expect("compiles");
+        let fsm = stg.compile(&bdd).expect("compiles");
         let formula = random_formula(&mut rng);
         if formula.mentions("zz") {
             continue;
         }
         let transformed = observability_transform(&formula, "zz");
         let mut mc = ModelChecker::new(&fsm);
-        let s1 = mc.sat(&mut bdd, &formula.clone().into()).expect("sat");
-        let s2 = mc.sat(&mut bdd, &transformed).expect("sat");
+        let s1 = mc.sat(&formula.clone().into()).expect("sat");
+        let s2 = mc.sat(&transformed).expect("sat");
         assert_eq!(s1, s2, "no-op transform keeps the sat set: {formula}");
     }
 }
