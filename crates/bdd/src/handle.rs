@@ -526,15 +526,33 @@ impl Func {
         self.binop(other, |i, a, b| i.and_exists(a, b, vars))
     }
 
-    /// Generalized cofactor by a literal: `self` with `var` fixed to
-    /// `value`.
-    pub fn restrict(&self, var: VarId, value: bool) -> Func {
-        self.unop(|i, a| i.restrict(a, var, value))
+    /// Shannon cofactor by a literal: `self` with `var` fixed to `value`.
+    pub fn cofactor(&self, var: VarId, value: bool) -> Func {
+        self.unop(|i, a| i.cofactor(a, var, value))
     }
 
-    /// Restricts by a partial assignment given as literals.
-    pub fn restrict_cube(&self, literals: &[(VarId, bool)]) -> Func {
-        self.unop(|i, a| i.restrict_cube(a, literals))
+    /// Cofactors by a partial assignment given as literals.
+    pub fn cofactor_cube(&self, literals: &[(VarId, bool)]) -> Func {
+        self.unop(|i, a| i.cofactor_cube(a, literals))
+    }
+
+    // ---- don't-care simplification ------------------------------------
+
+    /// Coudert–Madre generalized cofactor: simplifies `self` modulo the
+    /// care set, with `self.constrain(c) & c == self & c`. Off the care
+    /// set the result is unconstrained; it may grow the BDD and pull
+    /// `care`'s variables into the support. `constrain(f, true) == f`.
+    pub fn constrain(&self, care: &Func) -> Func {
+        self.binop(care, |i, a, b| i.constrain(a, b))
+    }
+
+    /// Coudert–Madre `restrict` (sibling substitution), size-safe:
+    /// simplifies `self` modulo the care set without leaving `self`'s
+    /// support or growing the BDD — if the recursion would grow it,
+    /// `self` is returned unchanged. Same identity as
+    /// [`Func::constrain`]: `self.restrict(c) & c == self & c`.
+    pub fn restrict(&self, care: &Func) -> Func {
+        self.binop(care, |i, a, b| i.restrict(a, b))
     }
 
     /// Functional composition: `self` with `var` replaced by `g`.

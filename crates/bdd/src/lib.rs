@@ -25,6 +25,10 @@
 //!   relational product ([`Func::and_exists`]) and schedule-driven
 //!   multi-operand products ([`BddManager::and_exists_schedule`]) used
 //!   for partitioned image computation;
+//! - don't-care simplification ([`Func::constrain`], [`Func::restrict`]):
+//!   the Coudert–Madre generalized cofactors, memoized across calls, used
+//!   to shrink iterates and transition clusters modulo a care set (e.g.
+//!   the reachable states) with zero effect on results inside it;
 //! - substitution and renaming ([`Func::compose`],
 //!   [`Func::vector_compose`], [`Func::rename`], [`Func::swap_vars`])
 //!   for next-state/current-state moves and the paper's *dual FSM*
@@ -65,6 +69,7 @@ mod manager;
 mod node;
 mod quant;
 mod reorder;
+mod simplify;
 mod subst;
 
 pub use handle::{BddManager, Cubes, Func, Minterms};

@@ -61,6 +61,12 @@ pub(crate) struct Inner {
     pub(crate) quant_memo: HashMap<Ref, Ref>,
     pub(crate) pair_memo: HashMap<(Ref, Ref), Ref>,
     pub(crate) mask_scratch: Vec<bool>,
+    // Persistent memo tables for the Coudert–Madre simplification
+    // operators (see `simplify.rs`). Keyed by `(f, care)`, valid only for
+    // the current variable order and node slots, hence dropped by
+    // `clear_caches` like every other memo.
+    pub(crate) constrain_memo: HashMap<(Ref, Ref), Ref>,
+    pub(crate) restrict_memo: HashMap<(Ref, Ref), Ref>,
 }
 
 impl Default for Inner {
@@ -96,6 +102,8 @@ impl Inner {
             quant_memo: HashMap::new(),
             pair_memo: HashMap::new(),
             mask_scratch: Vec::new(),
+            constrain_memo: HashMap::new(),
+            restrict_memo: HashMap::new(),
         }
     }
 
@@ -513,12 +521,17 @@ impl Inner {
     }
 
     /// Drops all memoization caches, including the quantification scratch
-    /// maps — after a reorder shuffles levels (or a collection recycles
-    /// slots), a stale memoized `Ref` must never be observable.
+    /// maps and the simplification memos — after a reorder shuffles levels
+    /// (or a collection recycles slots), a stale memoized `Ref` must never
+    /// be observable. `constrain`/`restrict` results additionally *depend*
+    /// on the variable order, so surviving a reorder would be wrong even
+    /// without slot recycling.
     pub fn clear_caches(&mut self) {
         self.ite_cache.clear();
         self.quant_memo.clear();
         self.pair_memo.clear();
+        self.constrain_memo.clear();
+        self.restrict_memo.clear();
     }
 }
 
@@ -705,9 +718,13 @@ mod tests {
         let f = b.and(lits[0], lits[1]);
         let _e = b.exists(f, &[vars[0]]);
         let _ae = b.and_exists(f, lits[2], &[vars[1]]);
+        let _co = b.constrain(f, lits[2]);
+        let _re = b.restrict(f, lits[2]);
         assert!(!b.quant_memo.is_empty() || !b.pair_memo.is_empty());
+        assert!(!b.constrain_memo.is_empty() && !b.restrict_memo.is_empty());
         b.gc(&[f]);
         assert!(b.quant_memo.is_empty() && b.pair_memo.is_empty());
+        assert!(b.constrain_memo.is_empty() && b.restrict_memo.is_empty());
         b.clear_caches();
         assert!(b.ite_cache.is_empty());
     }

@@ -264,16 +264,19 @@ impl Inner {
         self.and_exists_schedule(Ref::TRUE, operands, &schedule)
     }
 
-    /// Generalized cofactor by a literal: `f` with `var` fixed to `value`.
-    pub fn restrict(&mut self, f: Ref, var: VarId, value: bool) -> Ref {
+    /// Shannon cofactor by a literal: `f` with `var` fixed to `value`.
+    ///
+    /// (The care-set generalized cofactors live in `simplify.rs` as
+    /// [`Inner::constrain`] and [`Inner::restrict`].)
+    pub fn cofactor(&mut self, f: Ref, var: VarId, value: bool) -> Ref {
         let mut memo = std::mem::take(&mut self.quant_memo);
         memo.clear();
-        let r = self.restrict_rec(f, var, value, &mut memo);
+        let r = self.cofactor_rec(f, var, value, &mut memo);
         self.quant_memo = memo;
         r
     }
 
-    fn restrict_rec(
+    fn cofactor_rec(
         &mut self,
         f: Ref,
         var: VarId,
@@ -299,19 +302,19 @@ impl Inner {
                 n.lo
             }
         } else {
-            let lo = self.restrict_rec(n.lo, var, value, memo);
-            let hi = self.restrict_rec(n.hi, var, value, memo);
+            let lo = self.cofactor_rec(n.lo, var, value, memo);
+            let hi = self.cofactor_rec(n.hi, var, value, memo);
             self.mk(n.var, lo, hi)
         };
         memo.insert(f, r);
         r
     }
 
-    /// Restricts `f` by a partial assignment given as literals.
-    pub fn restrict_cube(&mut self, f: Ref, literals: &[(VarId, bool)]) -> Ref {
+    /// Cofactors `f` by a partial assignment given as literals.
+    pub fn cofactor_cube(&mut self, f: Ref, literals: &[(VarId, bool)]) -> Ref {
         let mut cur = f;
         for &(v, val) in literals {
-            cur = self.restrict(cur, v, val);
+            cur = self.cofactor(cur, v, val);
         }
         cur
     }
@@ -437,25 +440,25 @@ mod tests {
     }
 
     #[test]
-    fn restrict_is_shannon_cofactor() {
+    fn cofactor_is_shannon_cofactor() {
         let mut b = Inner::new();
         let x = b.new_var();
         let y = b.new_var();
         let fx = b.var(x);
         let fy = b.var(y);
         let f = b.ite(fx, fy, Ref::FALSE);
-        assert_eq!(b.restrict(f, x, true), fy);
-        assert_eq!(b.restrict(f, x, false), Ref::FALSE);
+        assert_eq!(b.cofactor(f, x, true), fy);
+        assert_eq!(b.cofactor(f, x, false), Ref::FALSE);
     }
 
     #[test]
-    fn restrict_cube_applies_all_literals() {
+    fn cofactor_cube_applies_all_literals() {
         let mut b = Inner::new();
         let vars = b.new_vars(3);
         let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
         let c = b.and(lits[0], lits[1]);
         let f = b.or(c, lits[2]);
-        let g = b.restrict_cube(f, &[(vars[0], true), (vars[2], false)]);
+        let g = b.cofactor_cube(f, &[(vars[0], true), (vars[2], false)]);
         assert_eq!(g, lits[1]);
     }
 

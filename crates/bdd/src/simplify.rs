@@ -1,0 +1,316 @@
+//! Don't-care simplification: the Coudert–Madre generalized cofactors
+//! `constrain` and `restrict`.
+//!
+//! Both operations *simplify `f` modulo a care set `c`*: the result
+//! agrees with `f` everywhere `c` holds and is unconstrained elsewhere,
+//! so the identity
+//!
+//! ```text
+//! simplify(f, c) ∧ c  ≡  f ∧ c
+//! ```
+//!
+//! holds for either operation. That freedom is what makes unreachable
+//! states (or any other don't-care region) free to exploit: a fixpoint
+//! iterate, a BFS frontier, or a transition cluster can be replaced by
+//! its simplified form wherever downstream consumers only observe the
+//! result inside the care region.
+//!
+//! - [`Inner::constrain`] is the classic generalized cofactor `f↓c`: at a
+//!   node where one care branch is empty it *jumps* into the live branch.
+//!   It enjoys the strong image property
+//!   `image(f ∧ c) = image(constrain(f, c))` but, because the jump
+//!   substitutes subgraphs of `c` into the result, it can pull variables
+//!   of `c` into the support and **grow** the BDD.
+//! - [`Inner::restrict`] is the sibling-substitution variant: when the
+//!   care set's top variable sits above `f`'s it is existentially
+//!   quantified out of `c` instead of being branched on, so the support
+//!   of the result stays within `f`'s support. On top of that, the
+//!   implementation is *size-safe* the way CUDD's `Cudd_bddRestrict` is:
+//!   if the recursion still produced a bigger BDD than `f`, plain `f` is
+//!   returned — `restrict` never grows anything.
+//!
+//! Results are memoized in manager-owned `(f, c)`-keyed tables that
+//! persist across calls — a reachability care set is applied to every
+//! fixpoint iterate, so hits across top-level calls are the common case.
+//! Both operations depend on the variable order, and the cached `Ref`s
+//! dangle once slots are recycled, so the tables are dropped by
+//! [`Inner::clear_caches`] — i.e. on every gc, reordering, and explicit
+//! cache clear (the same contract as `quant_memo`/`pair_memo`).
+
+use std::collections::HashMap;
+
+use crate::manager::Inner;
+use crate::node::Ref;
+
+/// Flood guard for the persistent memo tables. Call sites like the
+/// frontier-simplified BFS key their entries by a care set that changes
+/// every iteration, so those entries can never hit again; without a
+/// bound the tables would grow for the life of the process (gc/reorder
+/// are the only other things that clear them, and a long analysis may
+/// never trigger either). Clearing past this bound keeps the
+/// high-value common case — a fixed reachable care set hit by every
+/// fixpoint iterate — while bounding worst-case growth to a few
+/// megabytes per table.
+const SIMPLIFY_MEMO_CAP: usize = 1 << 18;
+
+impl Inner {
+    /// Coudert–Madre generalized cofactor (`constrain`, also written
+    /// `f↓c`): agrees with `f` on `c`; off `c`, takes the value of `f` at
+    /// the "nearest" care point under the current variable order.
+    ///
+    /// Satisfies `constrain(f, c) ∧ c = f ∧ c` and `constrain(f, true) =
+    /// f`. `constrain(f, false)` is conventionally `false`. May grow the
+    /// BDD and pull `c`'s variables into the support; use
+    /// [`Inner::restrict`] when size-safety matters more than the image
+    /// property.
+    pub fn constrain(&mut self, f: Ref, c: Ref) -> Ref {
+        if c.is_true() {
+            return f;
+        }
+        if c.is_false() {
+            return Ref::FALSE;
+        }
+        if f.is_const() {
+            return f;
+        }
+        let mut memo = std::mem::take(&mut self.constrain_memo);
+        if memo.len() > SIMPLIFY_MEMO_CAP {
+            memo.clear();
+        }
+        let r = self.constrain_rec(f, c, &mut memo);
+        self.constrain_memo = memo;
+        r
+    }
+
+    fn constrain_rec(&mut self, f: Ref, c: Ref, memo: &mut HashMap<(Ref, Ref), Ref>) -> Ref {
+        if c.is_true() || f.is_const() {
+            return f;
+        }
+        if f == c {
+            return Ref::TRUE;
+        }
+        if let Some(&r) = memo.get(&(f, c)) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(c));
+        let var = self.var_at_level(top);
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (c0, c1) = self.cofactors_at(c, top);
+        let r = if c0.is_false() {
+            // No care point below var=0: jump into the var=1 branch.
+            self.constrain_rec(f1, c1, memo)
+        } else if c1.is_false() {
+            self.constrain_rec(f0, c0, memo)
+        } else {
+            let lo = self.constrain_rec(f0, c0, memo);
+            let hi = self.constrain_rec(f1, c1, memo);
+            self.mk(var.0, lo, hi)
+        };
+        memo.insert((f, c), r);
+        r
+    }
+
+    /// Coudert–Madre `restrict` (sibling substitution), size-safe:
+    /// simplifies `f` modulo the care set `c` without ever leaving `f`'s
+    /// support or growing the BDD.
+    ///
+    /// Satisfies `restrict(f, c) ∧ c = f ∧ c`, `restrict(f, true) = f`,
+    /// `support(restrict(f, c)) ⊆ support(f)`, and
+    /// `node_count(restrict(f, c)) ≤ node_count(f)` (if the recursion
+    /// produces something bigger, `f` itself is returned). An empty care
+    /// set carries no information; `restrict(f, false) = f`.
+    pub fn restrict(&mut self, f: Ref, c: Ref) -> Ref {
+        if c.is_const() || f.is_const() {
+            return f;
+        }
+        let mut memo = std::mem::take(&mut self.restrict_memo);
+        if memo.len() > SIMPLIFY_MEMO_CAP {
+            memo.clear();
+        }
+        let r = self.restrict_rec(f, c, &mut memo);
+        self.restrict_memo = memo;
+        if r == f {
+            return f;
+        }
+        // The size guard that makes restrict safe to sprinkle anywhere:
+        // never hand back a bigger BDD than the input.
+        if self.node_count(r) > self.node_count(f) {
+            // Overwrite the memo with the guarded answer — `f` is itself
+            // a valid restriction (it agrees with `f` on `c`, trivially,
+            // within `f`'s support and size), and the `r == f` fast path
+            // above then makes repeated calls O(1) instead of paying the
+            // two node-count traversals again.
+            self.restrict_memo.insert((f, c), f);
+            f
+        } else {
+            r
+        }
+    }
+
+    fn restrict_rec(&mut self, f: Ref, c: Ref, memo: &mut HashMap<(Ref, Ref), Ref>) -> Ref {
+        if c.is_true() || f.is_const() {
+            return f;
+        }
+        if f == c {
+            return Ref::TRUE;
+        }
+        if let Some(&r) = memo.get(&(f, c)) {
+            return r;
+        }
+        let flevel = self.level(f);
+        let clevel = self.level(c);
+        let r = if clevel < flevel {
+            // c branches on a variable f never mentions: drop it from the
+            // care set (∃var. c) instead of branching — this is what keeps
+            // the result's support inside f's.
+            let (c0, c1) = self.children(c);
+            let cq = self.or(c0, c1);
+            self.restrict_rec(f, cq, memo)
+        } else {
+            let var = self.node(f).var;
+            let (f0, f1) = self.cofactors_at(f, flevel);
+            let (c0, c1) = self.cofactors_at(c, flevel);
+            if c0.is_false() {
+                // var=0 is entirely don't-care: substitute the sibling.
+                self.restrict_rec(f1, c1, memo)
+            } else if c1.is_false() {
+                self.restrict_rec(f0, c0, memo)
+            } else {
+                let lo = self.restrict_rec(f0, c0, memo);
+                let hi = self.restrict_rec(f1, c1, memo);
+                self.mk(var, lo, hi)
+            }
+        };
+        memo.insert((f, c), r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::VarId;
+
+    fn eval_all(b: &Inner, f: Ref, nvars: usize) -> Vec<bool> {
+        (0..1u32 << nvars)
+            .map(|bits| b.eval(f, &|v: VarId| bits >> v.index() & 1 == 1))
+            .collect()
+    }
+
+    /// A small fixture: f = (x0 ∧ x1) ∨ x2, c = x0 ⊕ x2.
+    fn fixture() -> (Inner, Vec<VarId>, Ref, Ref) {
+        let mut b = Inner::new();
+        let vars = b.new_vars(3);
+        let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
+        let conj = b.and(lits[0], lits[1]);
+        let f = b.or(conj, lits[2]);
+        let c = b.xor(lits[0], lits[2]);
+        (b, vars, f, c)
+    }
+
+    #[test]
+    fn constrain_agrees_on_care_set() {
+        let (mut b, _, f, c) = fixture();
+        let g = b.constrain(f, c);
+        let gc = b.and(g, c);
+        let fc = b.and(f, c);
+        assert_eq!(gc, fc);
+    }
+
+    #[test]
+    fn restrict_agrees_on_care_set() {
+        let (mut b, _, f, c) = fixture();
+        let g = b.restrict(f, c);
+        let gc = b.and(g, c);
+        let fc = b.and(f, c);
+        assert_eq!(gc, fc);
+    }
+
+    #[test]
+    fn trivial_care_sets() {
+        let (mut b, _, f, _) = fixture();
+        assert_eq!(b.constrain(f, Ref::TRUE), f);
+        assert_eq!(b.restrict(f, Ref::TRUE), f);
+        assert_eq!(b.constrain(f, Ref::FALSE), Ref::FALSE);
+        assert_eq!(b.restrict(f, Ref::FALSE), f);
+        assert_eq!(b.constrain(f, f), Ref::TRUE);
+        // The false-care convention applies to constant f too.
+        assert_eq!(b.constrain(Ref::TRUE, Ref::FALSE), Ref::FALSE);
+        assert_eq!(b.restrict(Ref::TRUE, Ref::FALSE), Ref::TRUE);
+    }
+
+    #[test]
+    fn constrain_is_exact_on_single_care_point() {
+        // With c a full minterm, constrain collapses f to the constant
+        // f takes at that point.
+        let (mut b, vars, f, _) = fixture();
+        for bits in 0..1u32 << 3 {
+            let cube: Vec<Ref> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| b.literal(v, bits >> i & 1 == 1))
+                .collect();
+            let c = b.and_many(cube);
+            let g = b.constrain(f, c);
+            let expect = b.eval(f, &|v: VarId| bits >> v.index() & 1 == 1);
+            assert!(g.is_const());
+            assert_eq!(g.is_true(), expect, "care point {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn restrict_stays_in_support_and_never_grows() {
+        let (mut b, vars, f, _) = fixture();
+        // A care set dragging in an extra variable x3.
+        let x3 = b.new_var();
+        let l3 = b.var(x3);
+        let nf2 = b.nvar(vars[2]);
+        let c = b.and(l3, nf2);
+        let g = b.restrict(f, c);
+        let sup = b.support(g);
+        assert!(
+            sup.iter().all(|v| b.support(f).contains(v)),
+            "restrict leaked care-set variables into the support"
+        );
+        assert!(b.node_count(g) <= b.node_count(f));
+        // The identity still holds.
+        let gc = b.and(g, c);
+        let fc = b.and(f, c);
+        assert_eq!(gc, fc);
+    }
+
+    #[test]
+    fn memo_tables_persist_across_calls_and_clear() {
+        let (mut b, _, f, c) = fixture();
+        let g1 = b.constrain(f, c);
+        let r1 = b.restrict(f, c);
+        assert!(!b.constrain_memo.is_empty());
+        assert!(!b.restrict_memo.is_empty());
+        // Hits across top-level calls return identical results.
+        assert_eq!(b.constrain(f, c), g1);
+        assert_eq!(b.restrict(f, c), r1);
+        b.clear_caches();
+        assert!(b.constrain_memo.is_empty() && b.restrict_memo.is_empty());
+        // Recomputation from a cold cache agrees.
+        assert_eq!(b.constrain(f, c), g1);
+        assert_eq!(b.restrict(f, c), r1);
+    }
+
+    #[test]
+    fn simplified_functions_match_oracle_on_care_points() {
+        let (mut b, _, f, c) = fixture();
+        let truth_f = eval_all(&b, f, 3);
+        let truth_c = eval_all(&b, c, 3);
+        let g = b.constrain(f, c);
+        let r = b.restrict(f, c);
+        for (i, (&tf, &tc)) in truth_f.iter().zip(&truth_c).enumerate() {
+            if !tc {
+                continue;
+            }
+            let bits = i as u32;
+            let assign = |v: VarId| bits >> v.index() & 1 == 1;
+            assert_eq!(b.eval(g, &assign), tf, "constrain differs at {bits:03b}");
+            assert_eq!(b.eval(r, &assign), tf, "restrict differs at {bits:03b}");
+        }
+    }
+}

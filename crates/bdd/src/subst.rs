@@ -98,7 +98,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn compose_with_constant_is_restrict() {
+    fn compose_with_constant_is_cofactor() {
         let mut b = Inner::new();
         let x = b.new_var();
         let y = b.new_var();
@@ -106,8 +106,8 @@ mod tests {
         let fy = b.var(y);
         let f = b.and(fx, fy);
         let via_compose = b.compose(f, x, Ref::TRUE);
-        let via_restrict = b.restrict(f, x, true);
-        assert_eq!(via_compose, via_restrict);
+        let via_cofactor = b.cofactor(f, x, true);
+        assert_eq!(via_compose, via_cofactor);
         assert_eq!(via_compose, fy);
     }
 

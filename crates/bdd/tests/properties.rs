@@ -141,8 +141,8 @@ proptest! {
         let vars = mgr.new_vars(NVARS);
         let f = build(&mgr, &vars, &e);
         let v = vars[idx];
-        let f0 = f.restrict(v, false);
-        let f1 = f.restrict(v, true);
+        let f0 = f.cofactor(v, false);
+        let f1 = f.cofactor(v, true);
         prop_assert_eq!(f.exists(&[v]), f0.or(&f1));
         prop_assert_eq!(f.forall(&[v]), f0.and(&f1));
     }

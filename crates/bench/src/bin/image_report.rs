@@ -12,7 +12,7 @@ use std::time::Instant;
 use covest_bdd::BddManager;
 use covest_bench::{table2_workloads, Workload};
 use covest_core::CoverageEstimator;
-use covest_fsm::{ImageConfig, ImageMethod};
+use covest_fsm::{ImageConfig, ImageMethod, SimplifyConfig};
 
 struct Measurement {
     peak_live: usize,
@@ -56,8 +56,12 @@ fn measure(w: &Workload, method: ImageMethod) -> Measurement {
 
     let start = Instant::now();
     let mut peak_live = bdd.live_nodes();
+    // Measure the image method in isolation: don't-care simplification
+    // (on by default) has its own report, and its care-simplified
+    // cluster copies would otherwise skew both arms' live counts.
     fsm.set_image_config(ImageConfig {
         method,
+        simplify: SimplifyConfig::Off,
         ..Default::default()
     });
     peak_live = peak_live.max(bdd.live_nodes());

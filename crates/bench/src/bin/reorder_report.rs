@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
 use covest_bench::{table2_workloads, Workload};
 use covest_core::CoverageEstimator;
+use covest_fsm::{ImageConfig, SimplifyConfig};
 
 struct Row {
     circuit: String,
@@ -39,11 +40,20 @@ fn measure(w: &Workload, mode: ReorderMode) -> (usize, f64, usize) {
         ..Default::default()
     });
     let model = (w.build)(&bdd);
+    let mut fsm = model.fsm;
+    // This report measures reordering in isolation: pin don't-care
+    // simplification off so the default mode's care-simplified cluster
+    // copies don't leak into the live-node counts (simplification has
+    // its own report, `simplify_report`).
+    fsm.set_image_config(ImageConfig {
+        simplify: SimplifyConfig::Off,
+        ..fsm.image_config()
+    });
     let mut swaps = 0;
     if mode != ReorderMode::Off {
         swaps += bdd.reduce_heap().swaps;
     }
-    let estimator = CoverageEstimator::new(&model.fsm);
+    let estimator = CoverageEstimator::new(&fsm);
     let analysis = estimator
         .analyze(w.signal, &w.properties, &w.options)
         .expect("workload analyzes");

@@ -1,0 +1,232 @@
+//! Measures what don't-care simplification buys on the Table-2
+//! circuits: peak live BDD node counts and wall time for `--simplify
+//! off` versus `restrict` versus `constrain` (on the default partitioned
+//! image engine), with the coverage results cross-checked bit for bit
+//! (the CI gate fails on any drift).
+//!
+//! Writes `BENCH_simplify.json` at the workspace root (or the path given
+//! as the first argument).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use covest_bdd::BddManager;
+use covest_bench::{table2_workloads, Workload};
+use covest_core::CoverageEstimator;
+use covest_fsm::{ImageConfig, SimplifyConfig};
+
+struct Measurement {
+    peak_live: usize,
+    millis: f64,
+    percent: f64,
+}
+
+struct Row {
+    circuit: String,
+    signal: String,
+    off: Measurement,
+    restrict: Measurement,
+    constrain: Measurement,
+}
+
+impl Row {
+    fn reduction(&self) -> f64 {
+        if self.off.peak_live == 0 {
+            0.0
+        } else {
+            1.0 - self.restrict.peak_live as f64 / self.off.peak_live as f64
+        }
+    }
+}
+
+/// Runs one workload with the given simplification mode. Peak live
+/// nodes are sampled through the phases the simplification targets,
+/// with a garbage collection after every fixpoint step so each sample
+/// is a true working-set high-water mark, not cumulative allocation:
+///
+/// 1. reachability (frontier-simplified per mode) and care installation
+///    (cluster simplification — its duplicated simplified clusters are
+///    an honest cost the simplified arms carry from here on);
+/// 2. a forward re-sweep on the care-installed engine;
+/// 3. an `AG`-shaped backward sweep — `EF(viol)` for a violation-style
+///    set (the complement of a prefix of the onion rings, exactly the
+///    junk-heavy full-space shape `¬p` takes in `AG p = ¬EF ¬p`), with
+///    each preimage operand simplified modulo the reachable states the
+///    way the model checker's fixpoints do it.
+///
+/// Wall time additionally covers the full coverage analysis (whose
+/// fixpoints run iterate-simplified under the installed care set).
+fn measure(w: &Workload, simplify: SimplifyConfig) -> Measurement {
+    let bdd = BddManager::new();
+    let model = (w.build)(&bdd);
+    let mut fsm = model.fsm;
+    fsm.set_image_config(ImageConfig {
+        simplify,
+        ..Default::default()
+    });
+    // Drop compile garbage (identical for all arms) before the window.
+    bdd.gc();
+
+    let start = Instant::now();
+    let mut peak_live = bdd.live_nodes();
+    // Phase 1: reachability (mode-gated frontier simplification inside)
+    // and care installation (mode-gated cluster simplification).
+    let reach = fsm.install_reachable_care();
+    bdd.gc();
+    peak_live = peak_live.max(bdd.live_nodes());
+
+    // Phase 2: forward re-sweep on the care-installed engine, gc per
+    // step, the frontier discipline mirroring `reach.rs`.
+    let mut reached = fsm.init().clone();
+    let mut frontier = fsm.init().clone();
+    loop {
+        let img = fsm.image(&frontier);
+        peak_live = peak_live.max(bdd.live_nodes());
+        let fresh = img.diff(&reached);
+        let done = fresh.is_false();
+        frontier = simplify.apply(&fresh, &reached.not());
+        reached = reached.or(&fresh);
+        bdd.gc();
+        peak_live = peak_live.max(bdd.live_nodes());
+        if done {
+            break;
+        }
+    }
+    assert_eq!(reached, reach, "re-sweep must reproduce the reachable set");
+
+    // Phase 3: AG-shaped backward sweep with iterate simplification.
+    let rings = fsm.onion_rings(fsm.init());
+    let mut prefix = bdd.constant(false);
+    for r in rings.iter().take(rings.len() / 2 + 1) {
+        prefix = prefix.or(r);
+    }
+    let viol = prefix.not();
+    drop((rings, prefix));
+    bdd.gc();
+    let mut z = viol;
+    loop {
+        let zs = simplify.apply(&z, &reach);
+        let pre = fsm.preimage(&zs);
+        peak_live = peak_live.max(bdd.live_nodes());
+        let next = z.or(&pre);
+        let done = next == z;
+        z = next;
+        drop((pre, zs));
+        bdd.gc();
+        peak_live = peak_live.max(bdd.live_nodes());
+        if done {
+            break;
+        }
+    }
+    drop(z);
+
+    // Phase 4: the full analysis (verification + coverage).
+    let estimator = CoverageEstimator::new(&fsm);
+    let analysis = estimator
+        .analyze(w.signal, &w.properties, &w.options)
+        .expect("workload analyzes");
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    bdd.gc();
+    peak_live = peak_live.max(bdd.live_nodes());
+
+    Measurement {
+        peak_live,
+        millis,
+        percent: analysis.percent(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simplify.json").to_owned()
+    });
+    let mut rows = Vec::new();
+    for w in table2_workloads() {
+        let off = measure(&w, SimplifyConfig::Off);
+        let restrict = measure(&w, SimplifyConfig::Restrict);
+        let constrain = measure(&w, SimplifyConfig::Constrain);
+        for (mode, m) in [("restrict", &restrict), ("constrain", &constrain)] {
+            assert_eq!(
+                off.percent.to_bits(),
+                m.percent.to_bits(),
+                "{}/{}: coverage must be bit-identical across simplify modes \
+                 (off {} vs {mode} {})",
+                w.circuit,
+                w.signal,
+                off.percent,
+                m.percent
+            );
+        }
+        rows.push(Row {
+            circuit: w.circuit.to_owned(),
+            signal: w.signal.to_owned(),
+            off,
+            restrict,
+            constrain,
+        });
+    }
+
+    // Acceptance gate: on the priority-buffer circuit (where only ~7% of
+    // the state space is reachable, so the don't-care region has real
+    // mass), restriction must strictly beat the unsimplified run on peak
+    // live nodes.
+    let mut gated = 0usize;
+    for r in rows
+        .iter()
+        .filter(|r| r.circuit.contains("priority buffer"))
+    {
+        assert!(
+            r.restrict.peak_live < r.off.peak_live,
+            "{}/{}: restrict peak ({}) must stay below the \
+             unsimplified peak ({})",
+            r.circuit,
+            r.signal,
+            r.restrict.peak_live,
+            r.off.peak_live
+        );
+        gated += 1;
+    }
+    assert!(
+        gated > 0,
+        "no priority-buffer rows found — the acceptance gate would pass vacuously \
+         (did the workload's circuit label change?)"
+    );
+
+    let mut json = String::from("{\n  \"description\": \"Peak live BDD nodes through reachability, care installation, a care-installed forward re-sweep and an AG-shaped backward sweep with iterate simplification, GC after every fixpoint step (true working-set high-water marks, not cumulative allocation), plus wall time of all that and the full coverage analysis, for --simplify off vs restrict vs constrain on the partitioned image engine; coverage percentages are asserted bit-identical across all three modes.\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"circuit\": {:?}, \"signal\": {:?}, \"off_peak_live\": {}, \"restrict_peak_live\": {}, \"constrain_peak_live\": {}, \"restrict_peak_reduction\": {:.4}, \"off_ms\": {:.2}, \"restrict_ms\": {:.2}, \"constrain_ms\": {:.2}, \"coverage_percent\": {:.4}}}",
+            r.circuit,
+            r.signal,
+            r.off.peak_live,
+            r.restrict.peak_live,
+            r.constrain.peak_live,
+            r.reduction(),
+            r.off.millis,
+            r.restrict.millis,
+            r.constrain.millis,
+            r.off.percent
+        );
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write report");
+
+    println!(
+        "{:<34} {:<8} {:>9} {:>9} {:>10} {:>7}",
+        "circuit", "signal", "off peak", "restrict", "constrain", "gain"
+    );
+    for r in &rows {
+        println!(
+            "{:<34} {:<8} {:>9} {:>9} {:>10} {:>6.1}%",
+            r.circuit,
+            r.signal,
+            r.off.peak_live,
+            r.restrict.peak_live,
+            r.constrain.peak_live,
+            100.0 * r.reduction()
+        );
+    }
+    println!("wrote {out_path}");
+}

@@ -2,13 +2,19 @@
 //! **bit-identical** between [`ImageMethod::Monolithic`] and
 //! [`ImageMethod::Partitioned`] on every bundled circuit and every
 //! `models/*.smv` deck — on a shared manager (where BDD canonicity makes
-//! semantic equality literal `Ref` equality) and end-to-end through
-//! coverage analysis under `--reorder auto`.
+//! semantic equality literal `Ref` equality), with and without an
+//! installed reachable care set — and end-to-end through coverage
+//! analysis: coverage percentages, per-property verdicts and the
+//! uncovered state sets must be bit-identical across the full
+//! `--simplify off|restrict|constrain` × `--image mono|part` ×
+//! `--reorder off|auto` cross-product. Don't-care simplification (like
+//! partitioning and reordering before it) is a pure representation
+//! change; any observable drift is a bug.
 
 use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
 use covest_bench::table2_workloads;
-use covest_core::{CoverageEstimator, CoverageOptions};
-use covest_fsm::{ImageConfig, ImageMethod, SymbolicFsm};
+use covest_core::{CoverageAnalysis, CoverageEstimator, CoverageOptions};
+use covest_fsm::{ImageConfig, ImageMethod, SimplifyConfig, SymbolicFsm};
 use covest_smv::CompiledModel;
 
 /// Every bundled circuit, by Table-2 workload (deduplicated by circuit).
@@ -79,6 +85,30 @@ fn assert_image_parity(bdd: &BddManager, name: &str, fsm: &SymbolicFsm) {
         let unv_m = mono.preimage_univ(s);
         assert_eq!(unv_p, unv_m, "{name}: preimage_univ diverges on set {i}");
     }
+
+    // Install the reachable care set (simplified transition clusters,
+    // re-derived schedules) and re-check against the care-free monolithic
+    // twin: the simplified relation must be invisible for every argument,
+    // inside the care set (where it is actually consulted) and outside
+    // (where the containment guard must route around it).
+    let _reach = fsm.install_reachable_care();
+    for (i, s) in sets.iter().enumerate() {
+        assert_eq!(
+            fsm.image(s),
+            mono.image(s),
+            "{name}: image diverges under installed care on set {i}"
+        );
+        assert_eq!(
+            fsm.preimage(s),
+            mono.preimage(s),
+            "{name}: preimage diverges under installed care on set {i}"
+        );
+        assert_eq!(
+            fsm.preimage_univ(s),
+            mono.preimage_univ(s),
+            "{name}: preimage_univ diverges under installed care on set {i}"
+        );
+    }
 }
 
 #[test]
@@ -98,10 +128,56 @@ fn decks_image_ops_bit_identical() {
     }
 }
 
-/// Runs a full coverage analysis of `deck` with the given image method
-/// under aggressive automatic reordering, returning the per-signal
-/// coverage percentages.
-fn analyze_deck(src: &str, method: ImageMethod, reorder: ReorderMode) -> Vec<(String, f64)> {
+/// Everything the paper-facing analysis reports, in a form comparable
+/// across managers (and variable orders): the coverage percentage's bit
+/// pattern, the per-property verdicts, and the uncovered state set as
+/// sorted named minterms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SignalOutcome {
+    signal: String,
+    percent_bits: u64,
+    holds: Vec<bool>,
+    uncovered: Vec<Vec<(String, bool)>>,
+}
+
+fn outcome_of(estimator: &CoverageEstimator, analysis: &CoverageAnalysis) -> SignalOutcome {
+    let mut uncovered = estimator.uncovered_states(analysis, usize::MAX);
+    // Minterm enumeration order follows the (possibly resifted) variable
+    // order; sort for a representation-independent comparison.
+    uncovered.sort();
+    SignalOutcome {
+        signal: analysis.observed.clone(),
+        percent_bits: analysis.percent().to_bits(),
+        holds: analysis.properties.iter().map(|p| p.holds).collect(),
+        uncovered,
+    }
+}
+
+/// The full simplify × image × reorder configuration matrix.
+fn config_matrix() -> Vec<(ReorderMode, ImageMethod, SimplifyConfig)> {
+    let mut out = Vec::new();
+    for reorder in [ReorderMode::Off, ReorderMode::Auto] {
+        for image in [ImageMethod::Monolithic, ImageMethod::Partitioned] {
+            for simplify in [
+                SimplifyConfig::Off,
+                SimplifyConfig::Restrict,
+                SimplifyConfig::Constrain,
+            ] {
+                out.push((reorder, image, simplify));
+            }
+        }
+    }
+    out
+}
+
+/// Runs a full coverage analysis of `deck` under one configuration,
+/// returning the per-signal outcomes.
+fn analyze_deck(
+    src: &str,
+    method: ImageMethod,
+    reorder: ReorderMode,
+    simplify: SimplifyConfig,
+) -> Vec<SignalOutcome> {
     let bdd = BddManager::new();
     bdd.set_reorder_config(ReorderConfig {
         mode: reorder,
@@ -113,6 +189,7 @@ fn analyze_deck(src: &str, method: ImageMethod, reorder: ReorderMode) -> Vec<(St
         src,
         ImageConfig {
             method,
+            simplify,
             ..Default::default()
         },
     )
@@ -129,40 +206,25 @@ fn analyze_deck(src: &str, method: ImageMethod, reorder: ReorderMode) -> Vec<(St
             let a = estimator
                 .analyze(sig, &model.specs, &options)
                 .expect("analyzes");
-            (sig.clone(), a.percent())
+            outcome_of(&estimator, &a)
         })
         .collect()
 }
 
 #[test]
-fn decks_coverage_bit_identical_under_auto_reorder() {
+fn decks_outcomes_bit_identical_across_simplify_image_reorder() {
     for (name, src) in deck_sources() {
-        let mut per_mode = Vec::new();
-        for reorder in [ReorderMode::Off, ReorderMode::Auto] {
-            let mono = analyze_deck(&src, ImageMethod::Monolithic, reorder);
-            let part = analyze_deck(&src, ImageMethod::Partitioned, reorder);
-            assert_eq!(mono.len(), part.len(), "{name}: signal sets differ");
-            for ((sig_m, pct_m), (sig_p, pct_p)) in mono.iter().zip(&part) {
-                assert_eq!(sig_m, sig_p);
-                assert_eq!(
-                    pct_m.to_bits(),
-                    pct_p.to_bits(),
-                    "{name}/{sig_m} ({reorder:?}): coverage diverges \
-                     (mono {pct_m} vs part {pct_p})"
-                );
+        let mut baseline: Option<Vec<SignalOutcome>> = None;
+        for (reorder, image, simplify) in config_matrix() {
+            let got = analyze_deck(&src, image, reorder, simplify);
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) => assert_eq!(
+                    &got, want,
+                    "{name}: outcomes diverge at reorder={reorder:?} \
+                     image={image} simplify={simplify}"
+                ),
             }
-            per_mode.push(part);
-        }
-        // Off vs Auto must also agree bit for bit: reordering (with its
-        // rootless collections) is a pure representation change.
-        for ((sig_off, pct_off), (sig_auto, pct_auto)) in per_mode[0].iter().zip(&per_mode[1]) {
-            assert_eq!(sig_off, sig_auto);
-            assert_eq!(
-                pct_off.to_bits(),
-                pct_auto.to_bits(),
-                "{name}/{sig_off}: coverage diverges across reorder modes \
-                 (off {pct_off} vs auto {pct_auto})"
-            );
         }
     }
 }
@@ -208,12 +270,15 @@ fn workloads_match_golden_coverage_percentages() {
 }
 
 #[test]
-fn workloads_coverage_bit_identical_under_auto_reorder() {
+fn workloads_outcomes_bit_identical_across_simplify_image_reorder() {
     for w in table2_workloads() {
-        let run = |method: ImageMethod| -> f64 {
+        let run = |method: ImageMethod,
+                   reorder: ReorderMode,
+                   simplify: SimplifyConfig|
+         -> SignalOutcome {
             let bdd = BddManager::new();
             bdd.set_reorder_config(ReorderConfig {
-                mode: ReorderMode::Auto,
+                mode: reorder,
                 auto_threshold: 256,
                 ..Default::default()
             });
@@ -221,22 +286,27 @@ fn workloads_coverage_bit_identical_under_auto_reorder() {
             let mut fsm = model.fsm;
             fsm.set_image_config(ImageConfig {
                 method,
+                simplify,
                 ..Default::default()
             });
             let estimator = CoverageEstimator::new(&fsm);
-            estimator
+            let analysis = estimator
                 .analyze(w.signal, &w.properties, &w.options)
-                .expect("workload analyzes")
-                .percent()
+                .expect("workload analyzes");
+            outcome_of(&estimator, &analysis)
         };
-        let mono = run(ImageMethod::Monolithic);
-        let part = run(ImageMethod::Partitioned);
-        assert_eq!(
-            mono.to_bits(),
-            part.to_bits(),
-            "{}/{}: coverage diverges under auto reorder (mono {mono} vs part {part})",
-            w.circuit,
-            w.signal
-        );
+        let mut baseline: Option<SignalOutcome> = None;
+        for (reorder, image, simplify) in config_matrix() {
+            let got = run(image, reorder, simplify);
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) => assert_eq!(
+                    &got, want,
+                    "{}/{}: outcomes diverge at reorder={reorder:?} \
+                     image={image} simplify={simplify}",
+                    w.circuit, w.signal
+                ),
+            }
+        }
     }
 }

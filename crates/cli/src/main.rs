@@ -5,6 +5,7 @@
 //! covest check MODEL.smv [--coverage] [--observed SIGNAL]...
 //!                        [--traces N] [--strict] [--dot FILE]
 //!                        [--reorder off|sift|auto] [--image mono|part]
+//!                        [--simplify off|restrict|constrain]
 //! ```
 //!
 //! - verifies every `SPEC` under the deck's `FAIRNESS` constraints;
@@ -22,14 +23,20 @@
 //! - `--image` selects how images/preimages are computed: `part`
 //!   (default) sweeps the clustered transition relation with early
 //!   quantification and never builds the monolithic relation, `mono`
-//!   conjoins the full relation and uses the two-operand product.
+//!   conjoins the full relation and uses the two-operand product;
+//! - `--simplify` selects the don't-care simplification discipline:
+//!   `restrict` (default) shrinks BFS frontiers, fixpoint iterates and —
+//!   once the reachable states are known — the transition clusters with
+//!   the size-safe Coudert–Madre restrict, `constrain` uses the stronger
+//!   generalized cofactor (which may grow BDDs), `off` disables
+//!   simplification. All three produce bit-identical results.
 
 use std::process::ExitCode;
 
 use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
 use covest_core::{CoverageEstimator, CoverageOptions, CoverageTable, ReportRow};
 use covest_mc::{ModelChecker, Verdict};
-use covest_smv::{ImageConfig, ImageMethod};
+use covest_smv::{ImageConfig, ImageMethod, SimplifyConfig};
 
 struct Args {
     model_path: String,
@@ -40,20 +47,25 @@ struct Args {
     dot: Option<String>,
     reorder: ReorderMode,
     image: ImageMethod,
+    simplify: SimplifyConfig,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: covest check MODEL.smv [--coverage] [--observed SIGNAL]... \
          [--traces N] [--strict] [--dot FILE] [--reorder off|sift|auto] \
-         [--image mono|part]\n\
+         [--image mono|part] [--simplify off|restrict|constrain]\n\
          \n\
          --reorder off   keep the declaration variable order\n\
          --reorder sift  sift once after compiling the model (default)\n\
          --reorder auto  re-sift whenever the BDD grows past the threshold\n\
          --image part    clustered transition relation with early\n\
          \u{20}               quantification; the monolith is never built (default)\n\
-         --image mono    monolithic transition relation"
+         --image mono    monolithic transition relation\n\
+         --simplify restrict   size-safe don't-care simplification of\n\
+         \u{20}                    frontiers, iterates and clusters (default)\n\
+         --simplify constrain  stronger generalized-cofactor simplification\n\
+         --simplify off        no don't-care simplification"
     );
     std::process::exit(2);
 }
@@ -73,6 +85,7 @@ fn parse_args() -> Args {
         dot: None,
         reorder: ReorderMode::Sift,
         image: ImageMethod::Partitioned,
+        simplify: SimplifyConfig::Restrict,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -91,6 +104,16 @@ fn parse_args() -> Args {
             "--image" => match argv.next() {
                 Some(m) => match m.parse() {
                     Ok(method) => args.image = method,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        usage()
+                    }
+                },
+                None => usage(),
+            },
+            "--simplify" => match argv.next() {
+                Some(m) => match m.parse() {
+                    Ok(mode) => args.simplify = mode,
                     Err(e) => {
                         eprintln!("error: {e}");
                         usage()
@@ -148,6 +171,7 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     });
     let image = ImageConfig {
         method: args.image,
+        simplify: args.simplify,
         ..Default::default()
     };
     let model = covest_smv::compile_with(&bdd, &src, image)?;
@@ -161,12 +185,13 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     };
     println!(
         "model `{}`: {} state bits, {} properties, {} fairness constraints, \
-         image method `{}` ({partition})",
+         image method `{}` ({partition}), simplify `{}`",
         args.model_path,
         model.fsm.num_state_bits(),
         model.specs.len(),
         model.fairness.len(),
         args.image,
+        args.simplify,
     );
     // In auto mode the manager already sifts at its own checkpoints
     // (including one at the end of compile), so the explicit startup pass
@@ -184,6 +209,13 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     let mut mc = ModelChecker::new(&model.fsm);
     for fair in &model.fairness {
         mc.add_fairness(fair)?;
+    }
+    // With simplification on, pay for reachability up front: the
+    // reachable set becomes the care boundary for the verification
+    // fixpoints (and the estimator recomputes/reinstalls it per run).
+    if args.simplify != SimplifyConfig::Off {
+        let reach = model.fsm.install_reachable_care();
+        mc.set_care(reach);
     }
     for spec in &model.specs {
         let verdict = mc.check(&spec.clone().into())?;

@@ -104,6 +104,42 @@ fn image_methods_agree_on_coverage() {
 }
 
 #[test]
+fn simplify_modes_agree_on_coverage() {
+    let run = |mode: &str| -> String {
+        let out = covest()
+            .arg("check")
+            .arg(repo_root().join("models/counter.smv"))
+            .arg("--coverage")
+            .arg("--simplify")
+            .arg(mode)
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "--simplify {mode} run fails");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    for mode in ["off", "restrict", "constrain"] {
+        let stdout = run(mode);
+        assert!(stdout.contains(&format!("simplify `{mode}`")), "{stdout}");
+        assert_eq!(stdout.matches("[PASS]").count(), 5, "{stdout}");
+        assert!(stdout.contains("83.33"), "{stdout}");
+    }
+}
+
+#[test]
+fn bad_simplify_mode_is_rejected() {
+    let out = covest()
+        .arg("check")
+        .arg(repo_root().join("models/counter.smv"))
+        .arg("--simplify")
+        .arg("maybe")
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown simplify mode"), "{stderr}");
+}
+
+#[test]
 fn bad_image_method_is_rejected() {
     let out = covest()
         .arg("check")

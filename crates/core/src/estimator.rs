@@ -177,10 +177,19 @@ impl<'m> CoverageEstimator<'m> {
         options: &CoverageOptions,
     ) -> Result<CoverageAnalysis, CoverageError> {
         let mgr = self.fsm.manager().clone();
+        // Reachability comes first: the reachable set is both the
+        // coverage-space denominator (phase 2) and the don't-care
+        // boundary. Per the configured [`covest_fsm::SimplifyConfig`]
+        // it is installed as the image engine's care set (transition
+        // clusters simplified, forward schedules re-derived) and as the
+        // checker's iterate-simplification boundary, so verification and
+        // coverage both fixpoint over don't-care-simplified BDDs.
+        let reach = self.fsm.install_reachable_care();
         let mut mc = ModelChecker::new(self.fsm);
         for fair in &options.fairness {
             mc.add_fairness(fair)?;
         }
+        mc.set_care(reach.clone());
         let mut cs = CoveredSets::with_checker(mc, observed)?;
 
         // Phase 1: verification.
@@ -222,7 +231,6 @@ impl<'m> CoverageEstimator<'m> {
             });
         }
 
-        let reach = self.fsm.reachable();
         let fair = cs.checker_mut().fair_states();
         let mut space = reach.and(&fair);
         if let Some(dc) = &options.dont_cares {

@@ -122,11 +122,13 @@ impl SymbolicFsm {
         self.engine.config()
     }
 
-    /// Rebuilds the image engine with a new configuration (method and/or
-    /// cluster threshold). Reclustering happens immediately; the
-    /// monolithic relation stays lazy. Any cached monolith is dropped —
-    /// the parts may have changed since it was conjoined, so it is
-    /// recomputed on next demand rather than risked stale.
+    /// Rebuilds the image engine with a new configuration (method,
+    /// cluster threshold and/or simplification mode). Reclustering
+    /// happens immediately; the monolithic relation stays lazy. Any
+    /// cached monolith — and any installed care-simplified relation —
+    /// is dropped: both are derived from the parts, which may have
+    /// changed, so they are recomputed on demand rather than risked
+    /// stale.
     pub fn set_image_config(&mut self, config: ImageConfig) {
         self.engine = ImageEngine::build(
             &self.mgr,
@@ -208,7 +210,11 @@ impl SymbolicFsm {
     /// The constraint joins the conjunctive partition and the image
     /// engine (clusters and quantification schedules) is rebuilt, so the
     /// constrained machine's partitioned and monolithic paths stay
-    /// consistent.
+    /// consistent. Any care-simplified relation installed on the source
+    /// engine is **not** carried over: it was derived from the old
+    /// transition relation (and the old machine's reachable set), so the
+    /// constrained machine starts with no care state — re-derive one
+    /// with [`SymbolicFsm::install_reachable_care`] if wanted.
     ///
     /// Note: the result may not be total; check [`SymbolicFsm::is_total`].
     pub fn constrain(&self, constraint: &Func) -> SymbolicFsm {
@@ -566,6 +572,77 @@ mod tests {
         let not11 = f0.and(&f1).not();
         let constrained = fsm.constrain(&not11);
         assert!(!constrained.is_total());
+    }
+
+    /// Regression for the stale-derived-state class: a machine with an
+    /// installed care-simplified relation (and a cached monolith) is
+    /// `constrain`ed; the rebuilt engine must carry neither the old care
+    /// state nor a monolith missing the constraint, and the constrained
+    /// machine's analyses must match a from-scratch build bit for bit.
+    #[test]
+    fn constrain_drops_care_state_and_stays_consistent() {
+        use crate::image::SimplifyConfig;
+
+        let mgr = BddManager::new();
+        // A modulo-3 counter: 00 → 01 → 10 → 00, state 11 unreachable, so
+        // the reachable care set is nontrivial.
+        let fsm = {
+            let mut b = FsmBuilder::new(&mgr, "mod3");
+            let b0 = b.add_state_bit("b0");
+            let b1 = b.add_state_bit("b1");
+            let f0 = mgr.var(b0.current);
+            let f1 = mgr.var(b1.current);
+            let is2 = f1.and(&f0.not());
+            let zero = mgr.constant(false);
+            b.set_next("b0", is2.ite(&zero, &f0.not()));
+            b.set_next("b1", is2.ite(&zero, &f1.xor(&f0)));
+            b.set_init(mgr.nvar(b0.current).and(&mgr.nvar(b1.current)));
+            b.build().expect("valid machine")
+        };
+        // Force both derived artifacts to exist.
+        let _t = fsm.trans();
+        let reach = fsm.install_reachable_care();
+        assert!(fsm.image_engine().care_set().is_some());
+
+        // Cut all transitions out of state 01, shrinking the reachable set.
+        let f0 = mgr.var(fsm.state_bits()[0].current);
+        let f1 = mgr.var(fsm.state_bits()[1].current);
+        let cut = f0.and(&f1.not()).not();
+        assert!(
+            fsm.image_engine().cached_reach().is_some(),
+            "reachable() must land in the engine cache"
+        );
+        let constrained = fsm.constrain(&cut);
+        assert!(
+            constrained.image_engine().care_set().is_none(),
+            "constrain must not inherit a care set derived from the old relation"
+        );
+        assert!(
+            constrained.image_engine().cached_reach().is_none(),
+            "constrain must not inherit the old machine's reachable set"
+        );
+        // The extended monolith really carries the constraint.
+        let fresh_t = mgr.and_many(constrained.trans_parts());
+        assert_eq!(constrained.trans(), fresh_t);
+
+        // Reinstalling care on the constrained machine leaves every image
+        // exact (compared against a simplification-free twin).
+        let new_reach = constrained.install_reachable_care();
+        assert!(new_reach.leq(&reach));
+        let mut off = constrained.clone();
+        off.set_image_config(ImageConfig {
+            simplify: SimplifyConfig::Off,
+            ..constrained.image_config()
+        });
+        for set in [
+            constrained.init().clone(),
+            new_reach.clone(),
+            new_reach.not(),
+            mgr.constant(true),
+        ] {
+            assert_eq!(constrained.image(&set), off.image(&set));
+            assert_eq!(constrained.preimage(&set), off.preimage(&set));
+        }
     }
 
     #[test]

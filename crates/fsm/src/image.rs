@@ -58,6 +58,62 @@ impl std::fmt::Display for ImageMethod {
     }
 }
 
+/// How (and whether) BDDs are simplified against don't-care sets —
+/// unreachable states above all. Every mode is observationally
+/// equivalent: coverage percentages, verdicts and uncovered-state sets
+/// are bit-identical across them (the parity suite asserts it); only
+/// intermediate BDD sizes differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimplifyConfig {
+    /// No simplification anywhere.
+    Off,
+    /// Coudert–Madre `restrict` (sibling substitution): size-safe — a
+    /// simplified BDD is never bigger than the original (the default).
+    #[default]
+    Restrict,
+    /// Coudert–Madre `constrain` (generalized cofactor): stronger
+    /// simplification that can, however, grow BDDs and pull care-set
+    /// variables into supports.
+    Constrain,
+}
+
+impl SimplifyConfig {
+    /// Simplifies `f` modulo `care` per the mode. The identity
+    /// `apply(f, c) & c == f & c` holds for every mode.
+    pub fn apply(&self, f: &Func, care: &Func) -> Func {
+        match self {
+            SimplifyConfig::Off => f.clone(),
+            SimplifyConfig::Restrict => f.restrict(care),
+            SimplifyConfig::Constrain => f.constrain(care),
+        }
+    }
+}
+
+impl std::str::FromStr for SimplifyConfig {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(SimplifyConfig::Off),
+            "restrict" => Ok(SimplifyConfig::Restrict),
+            "constrain" => Ok(SimplifyConfig::Constrain),
+            other => Err(format!(
+                "unknown simplify mode `{other}` (expected off|restrict|constrain)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SimplifyConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimplifyConfig::Off => write!(f, "off"),
+            SimplifyConfig::Restrict => write!(f, "restrict"),
+            SimplifyConfig::Constrain => write!(f, "constrain"),
+        }
+    }
+}
+
 /// Configuration for [`ImageEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ImageConfig {
@@ -68,6 +124,11 @@ pub struct ImageConfig {
     /// at or below this bound. Small thresholds keep peak memory low;
     /// large ones converge on the monolith.
     pub cluster_threshold: usize,
+    /// Don't-care simplification mode used by the fixpoint machinery:
+    /// BFS frontiers, model-checker iterates, and — once a reachable
+    /// care set is installed via [`ImageEngine::install_care`] — the
+    /// transition clusters themselves.
+    pub simplify: SimplifyConfig,
 }
 
 impl Default for ImageConfig {
@@ -75,6 +136,7 @@ impl Default for ImageConfig {
         ImageConfig {
             method: ImageMethod::default(),
             cluster_threshold: 500,
+            simplify: SimplifyConfig::default(),
         }
     }
 }
@@ -114,6 +176,34 @@ pub struct ImageEngine {
     bwd_keep_inputs: QuantSchedule,
     /// Lazily conjoined monolithic transition relation.
     mono: RefCell<Option<Func>>,
+    /// Care-simplified transition relation, installed once a reachable
+    /// care set is known (see [`ImageEngine::install_care`]).
+    care: RefCell<Option<CareState>>,
+    /// Cached reachable-from-init set (computed by
+    /// [`crate::SymbolicFsm::reachable`]). Like `mono` and `care`, it is
+    /// derived from the transition relation and therefore shares the
+    /// engine's lifecycle: rebuilding the engine (`set_image_config`,
+    /// `constrain`) drops it.
+    reach: RefCell<Option<Func>>,
+}
+
+/// The simplified transition relation derived from a care set: the
+/// clusters simplified modulo the care states (over current variables)
+/// and the forward quantification schedule re-derived for their — now
+/// smaller — supports. A variable simplified out of every cluster lands
+/// in the schedule's pre-quantification list, so it is still eliminated.
+#[derive(Debug, Clone)]
+struct CareState {
+    /// The care set (over current-state variables) the clusters were
+    /// simplified against — forward images route through this state only
+    /// for argument sets contained in it, which is exactly the region
+    /// where the simplification is invisible.
+    care: Func,
+    /// Simplified clusters (partitioned method) or the simplified
+    /// monolith as a single element (monolithic method).
+    clusters: Vec<Func>,
+    /// Forward schedule over the simplified clusters (partitioned only).
+    fwd: QuantSchedule,
 }
 
 impl ImageEngine {
@@ -166,6 +256,8 @@ impl ImageEngine {
             bwd,
             bwd_keep_inputs,
             mono: RefCell::new(None),
+            care: RefCell::new(None),
+            reach: RefCell::new(None),
         }
     }
 
@@ -206,9 +298,89 @@ impl ImageEngine {
         self.mono.borrow().clone()
     }
 
+    /// The cached reachable-from-init set, if it has been computed.
+    pub(crate) fn cached_reach(&self) -> Option<Func> {
+        self.reach.borrow().clone()
+    }
+
+    /// Caches the reachable-from-init set.
+    pub(crate) fn cache_reach(&self, reach: Func) {
+        *self.reach.borrow_mut() = Some(reach);
+    }
+
+    /// Installs `care` (a set over current-state variables — in practice
+    /// the reachable states) as the engine's don't-care region: every
+    /// transition cluster is simplified modulo it and the forward
+    /// quantification schedule is re-derived for the shrunken supports.
+    ///
+    /// Forward images consult the simplified relation only when the
+    /// argument set is contained in `care` — precisely the region where
+    /// `simplify(T, c) ∧ S = T ∧ S` makes the substitution invisible —
+    /// so [`ImageEngine::forward`] (and everything above it) stays exact
+    /// for **every** argument, in or out of the care set. Backward images
+    /// always use the unsimplified clusters: a preimage is a function of
+    /// the *current* variables and would only be trustworthy inside the
+    /// care region.
+    ///
+    /// With [`SimplifyConfig::Off`] (or a trivial care set) any installed
+    /// state is cleared instead. Rebuilding the engine
+    /// ([`crate::SymbolicFsm::set_image_config`], `constrain`) drops the
+    /// installed state with it — it is derived data, never carried over.
+    pub fn install_care(&self, care: &Func, simplify: SimplifyConfig) {
+        if simplify == SimplifyConfig::Off || care.is_const() {
+            *self.care.borrow_mut() = None;
+            return;
+        }
+        let (clusters, fwd) = match self.config.method {
+            ImageMethod::Partitioned => {
+                let clusters: Vec<Func> = self
+                    .clusters
+                    .iter()
+                    .map(|t| simplify.apply(t, care))
+                    .collect();
+                let fwd = self.mgr.quant_schedule(&clusters, &self.fwd_vars);
+                (clusters, fwd)
+            }
+            ImageMethod::Monolithic => (
+                vec![simplify.apply(&self.monolithic_trans(), care)],
+                QuantSchedule::default(),
+            ),
+        };
+        *self.care.borrow_mut() = Some(CareState {
+            care: care.clone(),
+            clusters,
+            fwd,
+        });
+    }
+
+    /// The installed care set, if any.
+    pub fn care_set(&self) -> Option<Func> {
+        self.care.borrow().as_ref().map(|cs| cs.care.clone())
+    }
+
+    /// Forward image through the care-simplified relation, if one is
+    /// installed and provably applicable (`set ⊆ care`).
+    fn forward_care(&self, set: &Func) -> Option<Func> {
+        let guard = self.care.borrow();
+        let cs = guard.as_ref()?;
+        if !set.leq(&cs.care) {
+            return None;
+        }
+        Some(match self.config.method {
+            ImageMethod::Partitioned => self.mgr.and_exists_schedule(set, &cs.clusters, &cs.fwd),
+            ImageMethod::Monolithic => cs.clusters[0].and_exists(set, &self.fwd_vars),
+        })
+    }
+
     /// `∃ current, inputs. T ∧ set` — the forward image of a state set
     /// (over current variables), as a BDD over **next** variables.
+    ///
+    /// Exact for every argument set regardless of the installed care
+    /// state (see [`ImageEngine::install_care`]).
     pub fn forward(&self, set: &Func) -> Func {
+        if let Some(img) = self.forward_care(set) {
+            return img;
+        }
         match self.config.method {
             ImageMethod::Monolithic => self.monolithic_trans().and_exists(set, &self.fwd_vars),
             ImageMethod::Partitioned => {
@@ -321,6 +493,7 @@ mod tests {
             ImageConfig {
                 method: ImageMethod::Partitioned,
                 cluster_threshold: threshold,
+                ..Default::default()
             },
         );
         let mono = ImageEngine::build(mgr, &parts, &cur, &inp, &next, ImageConfig::monolithic());
@@ -390,6 +563,56 @@ mod tests {
         // collection without any explicit protection.
         mgr.gc();
         assert_eq!(part.monolithic_trans(), t1);
+    }
+
+    #[test]
+    fn care_install_keeps_forward_exact() {
+        for simplify in [SimplifyConfig::Restrict, SimplifyConfig::Constrain] {
+            let mgr = BddManager::new();
+            let (part, mono, cur, _next) = engines(&mgr, 4);
+            let c0 = mgr.var(cur[0]);
+            let c1 = mgr.var(cur[1]);
+            // A nontrivial care set and argument sets inside and outside it.
+            let care = c0.or(&c1);
+            part.install_care(&care, simplify);
+            assert_eq!(part.care_set(), Some(care.clone()));
+            let inside = c0.and(&c1);
+            let outside = care.not();
+            let straddling = mgr.constant(true);
+            for set in [inside, outside, straddling, care.clone()] {
+                assert_eq!(
+                    part.forward(&set),
+                    mono.forward(&set),
+                    "forward diverges under {simplify} care"
+                );
+            }
+            // Off clears the installed state.
+            part.install_care(&care, SimplifyConfig::Off);
+            assert!(part.care_set().is_none());
+        }
+    }
+
+    #[test]
+    fn care_install_on_monolithic_engine() {
+        let mgr = BddManager::new();
+        let (part, mono, cur, _next) = engines(&mgr, 4);
+        let care = mgr.var(cur[0]).or(&mgr.var(cur[2]));
+        mono.install_care(&care, SimplifyConfig::Constrain);
+        let sub = mgr.var(cur[0]);
+        assert_eq!(mono.forward(&sub), part.forward(&sub));
+    }
+
+    #[test]
+    fn simplify_parses_round_trip() {
+        for (s, m) in [
+            ("off", SimplifyConfig::Off),
+            ("restrict", SimplifyConfig::Restrict),
+            ("constrain", SimplifyConfig::Constrain),
+        ] {
+            assert_eq!(s.parse::<SimplifyConfig>().unwrap(), m);
+            assert_eq!(m.to_string(), s);
+        }
+        assert!("licorice".parse::<SimplifyConfig>().is_err());
     }
 
     #[test]

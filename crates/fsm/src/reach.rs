@@ -1,4 +1,14 @@
 //! Reachability analysis: fixpoints and breadth-first onion rings.
+//!
+//! The BFS loops run *frontier-simplified*: the set handed to the next
+//! image computation is the new layer simplified modulo the complement
+//! of the already-visited states (per the machine's
+//! [`crate::SimplifyConfig`]). Any set `F` with `fresh ⊆ F ⊆ reached`
+//! yields the same next layer — extra already-visited states contribute
+//! only already-visited successors — and simplifying `fresh` against
+//! `¬visited` produces exactly such an `F`, usually a much smaller BDD.
+//! The reached sets and rings themselves are untouched, so every result
+//! is bit-identical across simplification modes.
 
 use covest_bdd::Func;
 
@@ -8,6 +18,7 @@ impl SymbolicFsm {
     /// All states reachable from `from` in any number of steps, including
     /// `from` itself (the paper's `reachable(S0)`).
     pub fn reachable_from(&self, from: &Func) -> Func {
+        let simplify = self.image_config().simplify;
         let mut reached = from.clone();
         let mut frontier = from.clone();
         loop {
@@ -16,20 +27,55 @@ impl SymbolicFsm {
             if fresh.is_false() {
                 return reached;
             }
+            // Care = ¬visited (before absorbing the new layer): the
+            // simplified frontier agrees with `fresh` on the unvisited
+            // region and is free to absorb visited states elsewhere.
+            frontier = simplify.apply(&fresh, &reached.not());
             reached = reached.or(&fresh);
-            frontier = fresh;
         }
     }
 
     /// All states reachable from the initial states.
+    ///
+    /// Cached on the image engine after the first computation (the
+    /// initial states never change post-build, and the cache shares the
+    /// engine's lifecycle — rebuilding via
+    /// [`crate::SymbolicFsm::set_image_config`] or
+    /// [`crate::SymbolicFsm::constrain`] drops it), so the per-signal
+    /// analyses of a multi-signal run pay for the BFS once.
     pub fn reachable(&self) -> Func {
-        self.reachable_from(&self.init)
+        if let Some(r) = self.engine.cached_reach() {
+            return r;
+        }
+        let r = self.reachable_from(&self.init);
+        self.engine.cache_reach(r.clone());
+        r
+    }
+
+    /// Computes the reachable states and installs them as the image
+    /// engine's care set (per the configured [`crate::SimplifyConfig`]),
+    /// so subsequent forward fixpoints sweep don't-care-simplified
+    /// transition clusters. Returns the reachable set.
+    ///
+    /// A no-op installation under [`crate::SimplifyConfig::Off`]; also a
+    /// no-op when the engine already carries this exact care set
+    /// (canonicity makes that a cheap handle comparison), so repeated
+    /// calls — e.g. one per observed signal in a multi-signal analysis —
+    /// don't re-simplify the clusters or re-derive the schedules.
+    pub fn install_reachable_care(&self) -> Func {
+        let reach = self.reachable();
+        if self.engine.care_set().as_ref() != Some(&reach) {
+            self.engine
+                .install_care(&reach, self.image_config().simplify);
+        }
+        reach
     }
 
     /// Breadth-first *onion rings* from `from`: `rings[0] = from`, and
     /// `rings[k]` holds the states first reached at distance `k`.
     /// The union of all rings is [`SymbolicFsm::reachable_from`].
     pub fn onion_rings(&self, from: &Func) -> Vec<Func> {
+        let simplify = self.image_config().simplify;
         let mut rings = vec![from.clone()];
         let mut reached = from.clone();
         let mut frontier = from.clone();
@@ -40,8 +86,8 @@ impl SymbolicFsm {
                 return rings;
             }
             rings.push(fresh.clone());
+            frontier = simplify.apply(&fresh, &reached.not());
             reached = reached.or(&fresh);
-            frontier = fresh;
         }
     }
 

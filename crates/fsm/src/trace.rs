@@ -227,7 +227,7 @@ mod tests {
                     .iter()
                     .find(|s| &s.name == name)
                     .expect("bit");
-                t = t.restrict(bit.current, *val);
+                t = t.cofactor(bit.current, *val);
             }
             for (name, val) in &a.inputs {
                 let bit = fsm
@@ -235,7 +235,7 @@ mod tests {
                     .iter()
                     .find(|s| &s.name == name)
                     .expect("input");
-                t = t.restrict(bit.var, *val);
+                t = t.cofactor(bit.var, *val);
             }
             for (name, val) in &b.state {
                 let bit = fsm
@@ -243,7 +243,7 @@ mod tests {
                     .iter()
                     .find(|s| &s.name == name)
                     .expect("bit");
-                t = t.restrict(bit.next, *val);
+                t = t.cofactor(bit.next, *val);
             }
             if t.is_false() {
                 return false;

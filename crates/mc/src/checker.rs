@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use covest_bdd::Func;
 use covest_ctl::{Ctl, PropExpr, SignalRef};
-use covest_fsm::{ImageMethod, LowerError, SignalValue, SymbolicFsm};
+use covest_fsm::{ImageMethod, LowerError, SignalValue, SimplifyConfig, SymbolicFsm};
 
 use crate::verdict::Verdict;
 
@@ -17,6 +17,21 @@ use crate::verdict::Verdict;
 /// Every cached state set is an owned [`Func`], so the checker's memo
 /// table (like the machine itself) survives garbage collection and
 /// dynamic reordering without any root bookkeeping.
+///
+/// # Don't-care simplification
+///
+/// With a care set installed ([`ModelChecker::set_care`], normally the
+/// reachable states), every preimage *operand* inside the EX/EU/EG and
+/// fair-states fixpoints is simplified modulo the care set first. This
+/// is sound because successors of care states are care states (the
+/// reachable set is closed under the transition relation), so a preimage
+/// evaluated at a care state only inspects the operand at care states —
+/// where the simplified iterate agrees with the original. Cached
+/// satisfaction sets are therefore exact **on the care set** and
+/// unconstrained off it; every observable answer ([`ModelChecker::holds`],
+/// [`ModelChecker::check`], coverage sets intersected with the coverage
+/// space) is bit-identical to the simplification-free run, because all of
+/// them evaluate the cached sets only inside the care region.
 #[derive(Debug)]
 pub struct ModelChecker<'m> {
     fsm: &'m SymbolicFsm,
@@ -24,6 +39,10 @@ pub struct ModelChecker<'m> {
     overrides: Vec<(SignalRef, SignalValue)>,
     cache: HashMap<Ctl, Func>,
     fair_states: Option<Func>,
+    /// Care set for iterate simplification (with the active mode), if
+    /// installed. The mode is read from the machine's image
+    /// configuration at install time.
+    care: Option<(Func, SimplifyConfig)>,
 }
 
 impl<'m> ModelChecker<'m> {
@@ -35,6 +54,51 @@ impl<'m> ModelChecker<'m> {
             overrides: Vec::new(),
             cache: HashMap::new(),
             fair_states: None,
+            care: None,
+        }
+    }
+
+    /// Installs `care` (normally the machine's reachable states) as the
+    /// don't-care boundary for fixpoint iterate simplification, using the
+    /// mode from the machine's [`covest_fsm::ImageConfig`]. A
+    /// [`SimplifyConfig::Off`] mode (or a constant care set) uninstalls
+    /// instead. Cached results are dropped either way: sets computed
+    /// under a different care discipline are exact on a different
+    /// region.
+    ///
+    /// # Care-set contract
+    ///
+    /// `care` must be **closed under the transition relation**
+    /// (successors of care states are care states) — the soundness of
+    /// simplifying preimage operands rests on it. The reachable states
+    /// satisfy it by definition; an arbitrary state set does not, and
+    /// would silently corrupt verdicts. Debug builds assert closure.
+    pub fn set_care(&mut self, care: Func) {
+        let mode = self.fsm.image_config().simplify;
+        self.care = if mode == SimplifyConfig::Off || care.is_const() {
+            None
+        } else {
+            debug_assert!(
+                self.fsm.image(&care).leq(&care),
+                "care set must be closed under successors (use reachable states)"
+            );
+            Some((care, mode))
+        };
+        self.cache.clear();
+        self.fair_states = None;
+    }
+
+    /// The installed care set, if any.
+    pub fn care(&self) -> Option<&Func> {
+        self.care.as_ref().map(|(c, _)| c)
+    }
+
+    /// Simplifies a fixpoint iterate modulo the installed care set (a
+    /// clone when none is installed).
+    fn shrink(&self, f: &Func) -> Func {
+        match &self.care {
+            Some((care, mode)) => mode.apply(f, care),
+            None => f.clone(),
         }
     }
 
@@ -173,7 +237,7 @@ impl<'m> ModelChecker<'m> {
     /// `EX p` over fair paths: `EX (p ∧ fair)`.
     fn ex_fair(&mut self, p: &Func) -> Func {
         let fair = self.fair_states();
-        self.fsm.preimage(&p.and(&fair))
+        self.fsm.preimage(&self.shrink(&p.and(&fair)))
     }
 
     /// `E[p U q]` over fair paths: `E[p U (q ∧ fair)]`.
@@ -183,10 +247,14 @@ impl<'m> ModelChecker<'m> {
     }
 
     /// Plain least-fixpoint `E[p U q]`.
+    ///
+    /// Each preimage operand is simplified modulo the care set: the
+    /// iterates (and the result) then agree with the unsimplified run on
+    /// the care states, which is all any observable consumer reads.
     fn eu_raw(&self, p: &Func, q: &Func) -> Func {
         let mut z = q.clone();
         loop {
-            let pre = self.fsm.preimage(&z);
+            let pre = self.fsm.preimage(&self.shrink(&z));
             let next = z.or(&p.and(&pre));
             if next == z {
                 return z;
@@ -204,11 +272,19 @@ impl<'m> ModelChecker<'m> {
         let constraints = self.fairness.clone();
         let mut z = self.fsm.manager().constant(true);
         loop {
-            let mut next = p.clone();
+            // Seed with z ∧ p rather than p: unsimplified, the iterates
+            // form a decreasing chain anyway (z ∧ F(z) = F(z)), but with
+            // care-simplified preimage operands the off-care part of
+            // F(z) is free to oscillate between iterations — without the
+            // explicit intersection the `next == z` test might never
+            // hold. Forcing next ⊆ z restores guaranteed termination
+            // and leaves the on-care value (all anyone observes)
+            // unchanged.
+            let mut next = z.and(p);
             for c in &constraints {
                 let zc = z.and(c);
                 let reach = self.eu_raw(p, &zc);
-                let pre = self.fsm.preimage(&reach);
+                let pre = self.fsm.preimage(&self.shrink(&reach));
                 next = next.and(&pre);
             }
             if next == z {
@@ -222,7 +298,7 @@ impl<'m> ModelChecker<'m> {
     fn eg_raw(&self, p: &Func) -> Func {
         let mut z = p.clone();
         loop {
-            let pre = self.fsm.preimage(&z);
+            let pre = self.fsm.preimage(&self.shrink(&z));
             let next = z.and(&pre);
             if next == z {
                 return z;
@@ -342,10 +418,16 @@ impl<'m> ModelChecker<'m> {
         }
     }
 
-    /// Clears the memo cache (e.g. after unrelated work on the shared
-    /// manager, to bound memory).
+    /// Clears every cached state set: the per-formula memo table **and**
+    /// the cached fair-states set (e.g. after unrelated work on the
+    /// shared manager, to bound memory). Historically `fair_states`
+    /// survived this call; with care-dependent simplification in the
+    /// fixpoints, a cached set outliving "clear everything cached" is a
+    /// staleness hazard, so it is dropped too. The installed care set
+    /// itself is configuration, not cache, and stays.
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+        self.fair_states = None;
     }
 }
 
@@ -514,6 +596,83 @@ mod tests {
                 ..
             } => assert!(!t.steps.is_empty()),
             other => panic!("expected traced failure, got {other:?}"),
+        }
+    }
+
+    /// Regression: `clear_cache` used to leave the cached `fair_states`
+    /// set alive. The cached set owns a root slot, so dropping it is
+    /// directly observable through the manager's root count.
+    #[test]
+    fn clear_cache_drops_fair_states() {
+        let mgr = BddManager::new();
+        let mut stg = Stg::new("branch");
+        stg.add_states(3);
+        stg.add_edge(0, 1);
+        stg.add_edge(0, 2);
+        stg.add_edge(1, 1);
+        stg.add_edge(2, 2);
+        stg.mark_initial(0);
+        stg.label(2, "q");
+        let fsm = stg.compile(&mgr).expect("compiles");
+        let mut mc = ModelChecker::new(&fsm);
+        mc.add_fairness(&PropExpr::atom("q")).unwrap();
+        let baseline = mgr.live_roots();
+        let fair = mc.fair_states();
+        assert!(
+            !fair.is_const(),
+            "fixture needs a nontrivial fair set for the root count to move"
+        );
+        drop(fair);
+        assert_eq!(mgr.live_roots(), baseline + 1, "the cached set remains");
+        mc.clear_cache();
+        assert_eq!(mgr.live_roots(), baseline, "clear_cache must drop it");
+    }
+
+    /// With a care set installed, every cached satisfaction set must
+    /// agree with the care-free run on the care states, and verdicts
+    /// must be identical outright.
+    #[test]
+    fn care_simplified_fixpoints_agree_on_care_states() {
+        use covest_fsm::{ImageConfig, SimplifyConfig};
+
+        let formulas = [
+            "AG (q -> AX p)",
+            "A[p U q]",
+            "AF q",
+            "AG p",
+            "AX AX q",
+            "p -> AG (q -> AX p)",
+        ];
+        for mode in [SimplifyConfig::Restrict, SimplifyConfig::Constrain] {
+            let mgr = BddManager::new();
+            let (_, mut fsm) = ring3(&mgr);
+            fsm.set_image_config(ImageConfig {
+                simplify: mode,
+                ..fsm.image_config()
+            });
+            // ring3 compiles 3 states onto 2 bits: state 11 is unreachable,
+            // so the care set is nontrivial.
+            let reach = fsm.install_reachable_care();
+            assert!(!reach.is_const());
+            let mut plain = ModelChecker::new(&fsm);
+            let mut cared = ModelChecker::new(&fsm);
+            cared.set_care(reach.clone());
+            assert!(cared.care().is_some());
+            for f in formulas {
+                let ctl = parse(f);
+                let sp = plain.sat(&ctl).unwrap();
+                let sc = cared.sat(&ctl).unwrap();
+                assert_eq!(
+                    sp.and(&reach),
+                    sc.and(&reach),
+                    "{f}: satisfaction sets diverge on the care states ({mode})"
+                );
+                assert_eq!(
+                    plain.holds(&ctl).unwrap(),
+                    cared.holds(&ctl).unwrap(),
+                    "{f}: verdicts diverge ({mode})"
+                );
+            }
         }
     }
 

@@ -59,7 +59,7 @@ pub use parse::parse_module;
 
 // Re-exported so downstream consumers (e.g. the CLI) can pick the image
 // method without depending on covest-fsm directly.
-pub use covest_fsm::{ImageConfig, ImageMethod};
+pub use covest_fsm::{ImageConfig, ImageMethod, SimplifyConfig};
 
 use covest_bdd::BddManager;
 

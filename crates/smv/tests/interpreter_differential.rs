@@ -154,11 +154,11 @@ fn check_deck(src: &str) {
         let mut t = fsm.trans();
         for (name, val) in &cur_bits {
             let idx = bit_index[name.as_str()];
-            t = t.restrict(fsm.state_bits()[idx].current, *val);
+            t = t.cofactor(fsm.state_bits()[idx].current, *val);
         }
         for (name, val) in &next_bits {
             let idx = bit_index[name.as_str()];
-            t = t.restrict(fsm.state_bits()[idx].next, *val);
+            t = t.cofactor(fsm.state_bits()[idx].next, *val);
         }
         assert!(
             !t.is_false(),
@@ -169,12 +169,12 @@ fn check_deck(src: &str) {
             let mut t2 = fsm.trans();
             for (name, val) in &cur_bits {
                 let idx = bit_index[name.as_str()];
-                t2 = t2.restrict(fsm.state_bits()[idx].current, *val);
+                t2 = t2.cofactor(fsm.state_bits()[idx].current, *val);
             }
             for (j, (name, val)) in next_bits.iter().enumerate() {
                 let idx = bit_index[name.as_str()];
                 let v = if j == k { !*val } else { *val };
-                t2 = t2.restrict(fsm.state_bits()[idx].next, v);
+                t2 = t2.cofactor(fsm.state_bits()[idx].next, v);
             }
             assert!(
                 t2.is_false(),
@@ -190,7 +190,7 @@ fn check_deck(src: &str) {
         let mut i = fsm.init().clone();
         for (name, val) in &cur_bits {
             let idx = bit_index[name.as_str()];
-            i = i.restrict(fsm.state_bits()[idx].current, *val);
+            i = i.cofactor(fsm.state_bits()[idx].current, *val);
         }
         assert_eq!(!i.is_false(), expected_init, "init mismatch: env={env:?}");
     }
