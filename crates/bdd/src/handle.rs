@@ -205,6 +205,19 @@ impl BddManager {
         Func::wrap(&self.inner, &mut inner, r)
     }
 
+    /// Runs a closure under a shared borrow of the engine. Crate-internal
+    /// escape hatch for sibling modules (serialization, DOT export) that
+    /// need read access to raw engine state.
+    pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&Inner) -> R) -> R {
+        f(&self.inner.borrow())
+    }
+
+    /// Resolves a slice of handles to raw refs, checking ownership.
+    /// Crate-internal: raw refs are only valid until the next collection.
+    pub(crate) fn raw_refs(&self, fs: &[&Func]) -> Vec<Ref> {
+        self.raw_operands(fs.iter().copied())
+    }
+
     /// Resolves a sequence of handles to raw refs, checking ownership.
     fn raw_operands<'a, I: IntoIterator<Item = &'a Func>>(&self, fs: I) -> Vec<Ref> {
         let inner = self.inner.borrow();

@@ -36,6 +36,11 @@
 //! - model counting ([`Func::sat_count_over`], [`Func::sat_count_exact`])
 //!   for coverage percentages, plus cube/minterm enumeration for
 //!   reporting uncovered states;
+//! - name-keyed serialization ([`Func::export_bdd`],
+//!   [`BddManager::import_bdd`]): a compact levelized node-dump format
+//!   ([`BddDump`]) that moves functions between managers — the bridge the
+//!   parallel coverage engine uses to hand precomputed sets to worker
+//!   threads, since managers are deliberately not `Send`;
 //! - rootless mark-and-sweep garbage collection and DOT export;
 //! - dynamic variable reordering ([`BddManager::reduce_heap`]):
 //!   Rudell-style sifting over the level-organized unique table, with
@@ -69,6 +74,7 @@ mod manager;
 mod node;
 mod quant;
 mod reorder;
+mod serde;
 mod simplify;
 mod subst;
 
@@ -76,3 +82,4 @@ pub use handle::{BddManager, Cubes, Func, Minterms};
 pub use node::VarId;
 pub use quant::QuantSchedule;
 pub use reorder::{ReorderConfig, ReorderMode, ReorderStats};
+pub use serde::{BddDump, SerdeError};

@@ -1,0 +1,199 @@
+//! Property-based tests for the name-keyed BDD export/import layer.
+//!
+//! The contract under test is *semantic round-trip identity keyed by
+//! variable name*: a function exported with [`Func::export_bdd`] and
+//! imported with [`BddManager::import_bdd`] into another manager must
+//! agree with the original on **every** assignment (matching variables
+//! by name, never by index or level) and have the same satisfying-
+//! assignment count — even when the target manager created its
+//! variables in a *permuted* order, and even when forced `gc()` /
+//! `reduce_heap()` calls land mid-sequence on either side. These are
+//! exactly the conditions of the parallel coverage engine, where worker
+//! managers compile decks independently and sift on their own schedule.
+
+use covest_bdd::{BddDump, BddManager, Func, VarId};
+use proptest::prelude::*;
+
+const NVARS: usize = 5;
+
+/// A tiny expression language used to generate random Boolean functions.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(bool),
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0..NVARS).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(4, 40, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// A permutation of `0..NVARS` derived from a free index vector.
+fn arb_perm() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..NVARS, NVARS..NVARS + 1).prop_map(|picks| {
+        let mut pool: Vec<usize> = (0..NVARS).collect();
+        picks
+            .into_iter()
+            .map(|p| pool.remove(p % pool.len()))
+            .collect()
+    })
+}
+
+fn var_name(i: usize) -> String {
+    format!("n{i}")
+}
+
+/// Fresh manager with `NVARS` named variables created in `perm` order.
+fn manager_with_order(perm: &[usize]) -> BddManager {
+    let mgr = BddManager::new();
+    for &i in perm {
+        mgr.new_named_var(var_name(i));
+    }
+    mgr
+}
+
+fn build(mgr: &BddManager, e: &Expr) -> Func {
+    match e {
+        Expr::Const(c) => mgr.constant(*c),
+        Expr::Var(i) => mgr.var(mgr.var_by_name(&var_name(*i)).expect("named var")),
+        Expr::Not(a) => build(mgr, a).not(),
+        Expr::And(a, b) => build(mgr, a).and(&build(mgr, b)),
+        Expr::Or(a, b) => build(mgr, a).or(&build(mgr, b)),
+        Expr::Xor(a, b) => build(mgr, a).xor(&build(mgr, b)),
+    }
+}
+
+/// Truth table indexed by *name*: bit `i` of the assignment drives the
+/// variable named `n{i}`, wherever it lives in the manager.
+fn truth_table(mgr: &BddManager, f: &Func) -> Vec<bool> {
+    (0..1u32 << NVARS)
+        .map(|bits| {
+            f.eval(&|v: VarId| {
+                let name = mgr.var_name(v).expect("all vars named");
+                let idx: usize = name[1..].parse().expect("n<i> name");
+                bits >> idx & 1 == 1
+            })
+        })
+        .collect()
+}
+
+fn universe(mgr: &BddManager) -> Vec<VarId> {
+    (0..NVARS)
+        .map(|i| mgr.var_by_name(&var_name(i)).expect("named var"))
+        .collect()
+}
+
+proptest! {
+
+    /// Export → import into a manager with a permuted variable order:
+    /// same truth table by name, same sat count.
+    #[test]
+    fn round_trip_into_permuted_order(fe in arb_expr(), perm in arb_perm()) {
+        let src = manager_with_order(&(0..NVARS).collect::<Vec<_>>());
+        let f = build(&src, &fe);
+        let dump = f.export_bdd().expect("export");
+
+        let dst = manager_with_order(&perm);
+        let g = dst.import_bdd(&dump).expect("import");
+        prop_assert_eq!(truth_table(&src, &f), truth_table(&dst, &g));
+        prop_assert_eq!(
+            f.sat_count_exact(&universe(&src)),
+            g.sat_count_exact(&universe(&dst))
+        );
+    }
+
+    /// Round trip with forced mid-sequence collections and reorderings on
+    /// both managers: export, mutate the source (gc + sift), import,
+    /// mutate the target (sift + gc), re-import from a re-export of the
+    /// imported copy, and require all three truth tables to agree.
+    #[test]
+    fn round_trip_survives_gc_and_reorder_on_both_sides(
+        fe in arb_expr(),
+        ge in arb_expr(),
+        perm in arb_perm(),
+    ) {
+        let src = manager_with_order(&(0..NVARS).collect::<Vec<_>>());
+        let f = build(&src, &fe);
+        let truth = truth_table(&src, &f);
+        let dump = f.export_bdd().expect("export");
+
+        // The dump must be independent of the source manager's fate:
+        // throw garbage at it, collect, and sift (shuffling every level).
+        let junk = build(&src, &ge).xor(&f);
+        drop(junk);
+        src.gc();
+        src.reduce_heap();
+        prop_assert_eq!(&truth_table(&src, &f), &truth, "source handle broken");
+
+        let dst = manager_with_order(&perm);
+        // Pre-existing work on the target, so import lands mid-life.
+        let resident = build(&dst, &ge);
+        let g = dst.import_bdd(&dump).expect("import");
+        prop_assert_eq!(&truth_table(&dst, &g), &truth);
+
+        // Reorder + collect on the target; the imported handle must pin
+        // itself like any native Func.
+        dst.reduce_heap();
+        dst.gc();
+        prop_assert_eq!(&truth_table(&dst, &g), &truth, "imported handle broken");
+        prop_assert_eq!(&truth_table(&dst, &resident), &truth_table(&dst, &resident));
+
+        // Second hop: re-export from the (reordered) target and import
+        // back into the source — whose order also changed since export.
+        let dump2 = g.export_bdd().expect("re-export");
+        let h = src.import_bdd(&dump2).expect("re-import");
+        prop_assert_eq!(&truth_table(&src, &h), &truth);
+        // Canonicity: on the shared source manager, the round-tripped
+        // function is literally the original handle's function.
+        prop_assert_eq!(&h, &f);
+    }
+
+    /// Multi-root export/import preserves each root and their relations.
+    #[test]
+    fn multi_root_round_trip(fe in arb_expr(), ge in arb_expr(), perm in arb_perm()) {
+        let src = manager_with_order(&(0..NVARS).collect::<Vec<_>>());
+        let f = build(&src, &fe);
+        let g = build(&src, &ge);
+        let conj = f.and(&g);
+        let dump = src.export_bdds(&[&f, &g, &conj]).expect("export");
+        prop_assert_eq!(dump.num_roots(), 3);
+
+        let dst = manager_with_order(&perm);
+        let out = dst.import_bdds(&dump).expect("import");
+        prop_assert_eq!(&truth_table(&dst, &out[0]), &truth_table(&src, &f));
+        prop_assert_eq!(&truth_table(&dst, &out[1]), &truth_table(&src, &g));
+        // The conjunction relation survives the transfer (canonicity on
+        // the target makes this literal handle equality).
+        prop_assert_eq!(&out[2], &out[0].and(&out[1]));
+    }
+
+    /// The text rendering is a faithful encoding: parse(to_text(d)) == d,
+    /// and importing the parsed dump matches importing the original.
+    #[test]
+    fn text_encoding_round_trips(fe in arb_expr(), perm in arb_perm()) {
+        let src = manager_with_order(&(0..NVARS).collect::<Vec<_>>());
+        let f = build(&src, &fe);
+        let dump = f.export_bdd().expect("export");
+        let parsed = BddDump::from_text(&dump.to_text()).expect("parse");
+        prop_assert_eq!(&parsed, &dump);
+
+        let dst = manager_with_order(&perm);
+        let a = dst.import_bdd(&dump).expect("import");
+        let b = dst.import_bdd(&parsed).expect("import parsed");
+        prop_assert_eq!(&a, &b);
+    }
+}

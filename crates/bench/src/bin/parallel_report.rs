@@ -1,0 +1,193 @@
+//! Measures what the parallel coverage engine buys on the bundled
+//! circuits and `models/*.smv` decks: wall-clock of the sequential
+//! estimator (one manager per deck, signals in series) versus the
+//! signal-sharded worker pool (`covest-par`) running the whole fleet —
+//! every deck × every observed signal — under one thread budget, with
+//! every deterministic result (coverage percentages, verdicts,
+//! uncovered-state sets) cross-checked bit for bit. Parity is asserted
+//! unconditionally; the speedup gate (parallel ≥ sequential) applies
+//! only when at least two cores are visible, since a single-core runner
+//! can only lose to thread overhead.
+//!
+//! Writes `BENCH_parallel.json` at the workspace root (or the path
+//! given as the first argument).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use covest_bdd::BddManager;
+use covest_par::{run_batch, run_sequential, BatchReport, DeckJob, ParConfig};
+
+/// Every bundled circuit (generated deck + Table-2 suite) plus every
+/// checked-in `models/*.smv` deck.
+fn fleet() -> Vec<DeckJob> {
+    use covest_circuits::{circular_queue, counter, pipeline, priority_buffer};
+
+    let with_specs = |mut deck: String, specs: &[covest_ctl::Formula]| -> String {
+        for spec in specs {
+            writeln!(deck, "SPEC {spec};").expect("write to string");
+        }
+        deck
+    };
+
+    let mut queue_suite = circular_queue::wrap_suite_initial();
+    queue_suite.extend(circular_queue::full_suite());
+    queue_suite.extend(circular_queue::empty_suite());
+    let mut buffer_suite = priority_buffer::lo_suite_initial(4);
+    buffer_suite.push(priority_buffer::lo_missing_case());
+    buffer_suite.extend(priority_buffer::hi_suite(4));
+    let mut pipeline_suite = pipeline::out_suite_initial(4);
+    pipeline_suite.extend(pipeline::out_suite_hold());
+
+    let mut decks = vec![
+        DeckJob::new(
+            "circuit:circular_queue",
+            with_specs(circular_queue::deck(4), &queue_suite),
+        ),
+        DeckJob::new(
+            "circuit:priority_buffer",
+            with_specs(priority_buffer::deck(4, false), &buffer_suite),
+        ),
+        DeckJob::new(
+            "circuit:counter",
+            with_specs(counter::deck(), &counter::increment_properties()),
+        ),
+        DeckJob::new(
+            "circuit:pipeline",
+            with_specs(pipeline::deck(4), &pipeline_suite),
+        ),
+    ];
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../models");
+    let mut model_decks: Vec<DeckJob> = std::fs::read_dir(&dir)
+        .expect("models directory")
+        .filter_map(|e| {
+            let path = e.expect("dir entry").path();
+            if path.extension().is_some_and(|x| x == "smv") {
+                let name = format!("models/{}", path.file_name().unwrap().to_string_lossy());
+                Some(DeckJob::new(
+                    name,
+                    std::fs::read_to_string(&path).expect("readable deck"),
+                ))
+            } else {
+                None
+            }
+        })
+        .collect();
+    model_decks.sort_by(|a, b| a.name.cmp(&b.name));
+    decks.extend(model_decks);
+    decks
+}
+
+/// Asserts the parallel report agrees with the sequential baseline on
+/// every deterministic result (the acceptance contract; node counts and
+/// timings legitimately differ between per-task and shared managers).
+fn assert_parity(seq: &BatchReport, par: &BatchReport) {
+    assert_eq!(seq.decks.len(), par.decks.len(), "deck count drifted");
+    for (sd, pd) in seq.decks.iter().zip(&par.decks) {
+        assert_eq!(sd.name, pd.name, "deck order drifted");
+        assert_eq!(sd.verdicts, pd.verdicts, "{}: verdicts drifted", sd.name);
+        for (so, po) in sd.signals.iter().zip(&pd.signals) {
+            assert_eq!(
+                so.row.percent.to_bits(),
+                po.row.percent.to_bits(),
+                "{}/{}: coverage must be bit-identical (seq {} vs par {})",
+                sd.name,
+                so.signal,
+                so.row.percent,
+                po.row.percent
+            );
+            assert_eq!(
+                so.row.uncovered_sample, po.row.uncovered_sample,
+                "{}/{}: uncovered sample drifted",
+                sd.name, so.signal
+            );
+            let probe = BddManager::new();
+            let s = probe.import_bdd(&so.uncovered).expect("seq dump imports");
+            let p = probe.import_bdd(&po.uncovered).expect("par dump imports");
+            assert_eq!(s, p, "{}/{}: uncovered set drifted", sd.name, so.signal);
+        }
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json").to_owned()
+    });
+    let decks = fleet();
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let jobs = cores.min(4);
+    let config = ParConfig {
+        jobs,
+        ..Default::default()
+    };
+
+    let t0 = Instant::now();
+    let seq = run_sequential(&decks, &config).expect("sequential baseline runs");
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let par = run_batch(&decks, &config).expect("parallel batch runs");
+    let par_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    assert_parity(&seq, &par);
+    let speedup = seq_ms / par_ms;
+    let tasks = par.outcomes().count();
+
+    // Acceptance gate: with real parallelism available, the pool must
+    // not lose to the sequential baseline on the whole-fleet wall clock
+    // (it pays per-task recompiles, but spreads them over the cores).
+    if cores >= 2 {
+        assert!(
+            speedup >= 1.0,
+            "parallel fleet run ({par_ms:.1} ms on {jobs} jobs) must not be slower than \
+             sequential ({seq_ms:.1} ms) with {cores} cores visible"
+        );
+    }
+
+    let mut json = String::from(
+        "{\n  \"description\": \"Whole-fleet wall-clock: the sequential estimator \
+         (one manager per deck, signals in series) vs the covest-par worker pool \
+         (per-task managers, planner-exported reachable sets, one thread budget \
+         across all decks x signals). Coverage percentages, verdicts, uncovered \
+         samples and uncovered sets are asserted bit-identical before timing is \
+         even reported; the speedup gate applies when >= 2 cores are visible.\",\n",
+    );
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"decks\": {},", decks.len());
+    let _ = writeln!(json, "  \"signal_tasks\": {tasks},");
+    let _ = writeln!(json, "  \"sequential_ms\": {seq_ms:.2},");
+    let _ = writeln!(json, "  \"parallel_ms\": {par_ms:.2},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    json.push_str("  \"rows\": [\n");
+    let all: Vec<_> = par.outcomes().collect();
+    for (i, o) in all.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"deck\": {}, \"signal\": {}, \"percent\": {}, \"holds\": {}}}",
+            covest_core::json_string(&o.deck),
+            covest_core::json_string(&o.signal),
+            o.row.percent,
+            o.row.all_hold()
+        );
+        json.push_str(if i + 1 == all.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write report");
+
+    println!(
+        "{} decks, {} signal tasks: sequential {:.1} ms, parallel {:.1} ms \
+         ({} jobs, {} cores) -> {:.2}x",
+        decks.len(),
+        tasks,
+        seq_ms,
+        par_ms,
+        jobs,
+        cores,
+        speedup
+    );
+    println!("wrote {out_path}");
+}

@@ -1,60 +1,102 @@
-//! `covest` — check an SMV-dialect model deck and estimate property
-//! coverage, reproducing the workflow of the DAC'99 paper.
+//! `covest` — check SMV-dialect model decks and estimate property
+//! coverage, reproducing (and parallelizing) the workflow of the DAC'99
+//! paper.
 //!
 //! ```text
 //! covest check MODEL.smv [--coverage] [--observed SIGNAL]...
 //!                        [--traces N] [--strict] [--dot FILE]
 //!                        [--reorder off|sift|auto] [--image mono|part]
 //!                        [--simplify off|restrict|constrain]
+//!                        [--jobs N] [--json FILE]
+//! covest batch JOBLIST   [--strict] [--reorder ...] [--image ...]
+//!                        [--simplify ...] [--jobs N] [--json FILE]
 //! ```
 //!
-//! - verifies every `SPEC` under the deck's `FAIRNESS` constraints;
-//! - with `--coverage`, estimates coverage for each `OBSERVED` signal
-//!   (or the `--observed` overrides) and lists uncovered states;
-//! - with `--traces N`, prints shortest input sequences to up to `N`
-//!   uncovered states per signal;
+//! `check` verifies every `SPEC` under the deck's `FAIRNESS` constraints
+//! and, with `--coverage`, estimates coverage for each `OBSERVED` signal
+//! (or the `--observed` overrides) and lists uncovered states:
+//!
+//! - `--traces N` prints shortest input sequences to up to `N` uncovered
+//!   states per signal;
 //! - `--strict` exits nonzero if any property fails;
 //! - `--dot FILE` dumps the reachable-state BDD in Graphviz format;
-//! - `--reorder` controls dynamic variable reordering: `off` disables it,
-//!   `sift` runs one sifting pass right after the model compiles, and
-//!   `auto` instead re-sifts automatically whenever the node count
-//!   crosses the growth threshold during compilation, verification and
-//!   coverage estimation;
-//! - `--image` selects how images/preimages are computed: `part`
-//!   (default) sweeps the clustered transition relation with early
-//!   quantification and never builds the monolithic relation, `mono`
-//!   conjoins the full relation and uses the two-operand product;
-//! - `--simplify` selects the don't-care simplification discipline:
-//!   `restrict` (default) shrinks BFS frontiers, fixpoint iterates and —
-//!   once the reachable states are known — the transition clusters with
-//!   the size-safe Coudert–Madre restrict, `constrain` uses the stronger
-//!   generalized cofactor (which may grow BDDs), `off` disables
-//!   simplification. All three produce bit-identical results.
+//! - `--reorder`, `--image`, `--simplify` select the engine modes (all
+//!   combinations produce bit-identical results; see `README.md`);
+//! - `--jobs N` analyzes the observed signals **in parallel** on `N`
+//!   worker threads (`0` = one per core), each with its own BDD manager;
+//!   coverage percentages, verdicts and uncovered states are
+//!   bit-identical to the sequential run (node counts and timings in the
+//!   table legitimately differ — per-worker managers vs one shared one);
+//! - `--json FILE` additionally writes the coverage table — rows plus
+//!   per-property verdicts and the canonical uncovered-state sample — as
+//!   machine-readable JSON.
+//!
+//! `batch` runs a *fleet* of decks: `JOBLIST` names one deck per line
+//! (`PATH [SIGNAL ...]`, `#` comments; relative paths resolve against
+//! the joblist's directory), and all decks × signals drain through one
+//! worker pool under the `--jobs` thread budget. Batch output contains
+//! no timings or node counts, so two runs with different `--jobs` are
+//! byte-identical.
 
 use std::process::ExitCode;
 
 use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
 use covest_core::{CoverageEstimator, CoverageOptions, CoverageTable, ReportRow};
 use covest_mc::{ModelChecker, Verdict};
+use covest_par::{run_batch, DeckJob, ParConfig};
 use covest_smv::{ImageConfig, ImageMethod, SimplifyConfig};
 
-struct Args {
+/// Flags shared by `check` and `batch`.
+struct EngineArgs {
+    reorder: ReorderMode,
+    image: ImageMethod,
+    simplify: SimplifyConfig,
+    jobs: usize,
+    json: Option<String>,
+}
+
+impl Default for EngineArgs {
+    fn default() -> Self {
+        EngineArgs {
+            reorder: ReorderMode::Sift,
+            image: ImageMethod::Partitioned,
+            simplify: SimplifyConfig::Restrict,
+            jobs: 1,
+            json: None,
+        }
+    }
+}
+
+struct CheckArgs {
     model_path: String,
     coverage: bool,
     observed: Vec<String>,
     traces: usize,
     strict: bool,
     dot: Option<String>,
-    reorder: ReorderMode,
-    image: ImageMethod,
-    simplify: SimplifyConfig,
+    engine: EngineArgs,
+}
+
+struct BatchArgs {
+    joblist: String,
+    strict: bool,
+    engine: EngineArgs,
+}
+
+enum Cmd {
+    Check(CheckArgs),
+    Batch(BatchArgs),
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: covest check MODEL.smv [--coverage] [--observed SIGNAL]... \
          [--traces N] [--strict] [--dot FILE] [--reorder off|sift|auto] \
-         [--image mono|part] [--simplify off|restrict|constrain]\n\
+         [--image mono|part] [--simplify off|restrict|constrain] \
+         [--jobs N] [--json FILE]\n\
+         \u{20}      covest batch JOBLIST [--strict] [--reorder off|sift|auto] \
+         [--image mono|part] [--simplify off|restrict|constrain] \
+         [--jobs N] [--json FILE]\n\
          \n\
          --reorder off   keep the declaration variable order\n\
          --reorder sift  sift once after compiling the model (default)\n\
@@ -65,91 +107,136 @@ fn usage() -> ! {
          --simplify restrict   size-safe don't-care simplification of\n\
          \u{20}                    frontiers, iterates and clusters (default)\n\
          --simplify constrain  stronger generalized-cofactor simplification\n\
-         --simplify off        no don't-care simplification"
+         --simplify off        no don't-care simplification\n\
+         --jobs N        analyze observed signals on N worker threads\n\
+         \u{20}               (0 = one per core; default 1 = sequential)\n\
+         --json FILE     write the coverage table (rows, verdicts,\n\
+         \u{20}               uncovered sample) as JSON\n\
+         \n\
+         JOBLIST lines: PATH [SIGNAL ...]   (# comments; relative paths\n\
+         resolve against the joblist's directory)"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
-    let mut argv = std::env::args().skip(1);
-    match argv.next().as_deref() {
-        Some("check") => {}
-        _ => usage(),
-    }
-    let mut args = Args {
-        model_path: String::new(),
-        coverage: false,
-        observed: Vec::new(),
-        traces: 0,
-        strict: false,
-        dot: None,
-        reorder: ReorderMode::Sift,
-        image: ImageMethod::Partitioned,
-        simplify: SimplifyConfig::Restrict,
-    };
-    while let Some(a) = argv.next() {
-        match a.as_str() {
-            "--coverage" => args.coverage = true,
-            "--strict" => args.strict = true,
-            "--reorder" => match argv.next() {
-                Some(m) => match m.parse() {
-                    Ok(mode) => args.reorder = mode,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        usage()
-                    }
-                },
-                None => usage(),
-            },
-            "--image" => match argv.next() {
-                Some(m) => match m.parse() {
-                    Ok(method) => args.image = method,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        usage()
-                    }
-                },
-                None => usage(),
-            },
-            "--simplify" => match argv.next() {
-                Some(m) => match m.parse() {
-                    Ok(mode) => args.simplify = mode,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        usage()
-                    }
-                },
-                None => usage(),
-            },
-            "--observed" => match argv.next() {
-                Some(s) => args.observed.push(s),
-                None => usage(),
-            },
-            "--traces" => match argv.next().and_then(|n| n.parse().ok()) {
-                Some(n) => args.traces = n,
-                None => usage(),
-            },
-            "--dot" => match argv.next() {
-                Some(p) => args.dot = Some(p),
-                None => usage(),
-            },
-            _ if args.model_path.is_empty() && !a.starts_with('-') => {
-                args.model_path = a;
+/// Parses a flag shared by both subcommands; returns `false` if the flag
+/// is not an engine flag.
+fn parse_engine_flag(
+    engine: &mut EngineArgs,
+    flag: &str,
+    argv: &mut impl Iterator<Item = String>,
+) -> bool {
+    fn parsed<T: std::str::FromStr>(value: Option<String>) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match value.map(|v| v.parse::<T>()) {
+            Some(Ok(v)) => v,
+            Some(Err(e)) => {
+                eprintln!("error: {e}");
+                usage()
             }
-            _ => usage(),
+            None => usage(),
         }
     }
-    if args.model_path.is_empty() {
-        usage();
+    match flag {
+        "--reorder" => engine.reorder = parsed(argv.next()),
+        "--image" => engine.image = parsed(argv.next()),
+        "--simplify" => engine.simplify = parsed(argv.next()),
+        "--jobs" => match argv.next().and_then(|n| n.parse().ok()) {
+            Some(n) => engine.jobs = n,
+            None => {
+                eprintln!("error: --jobs expects a thread count (0 = one per core)");
+                usage()
+            }
+        },
+        "--json" => match argv.next() {
+            Some(p) => engine.json = Some(p),
+            None => usage(),
+        },
+        _ => return false,
     }
-    args
+    true
+}
+
+fn parse_args() -> Cmd {
+    let mut argv = std::env::args().skip(1);
+    match argv.next().as_deref() {
+        Some("check") => {
+            let mut args = CheckArgs {
+                model_path: String::new(),
+                coverage: false,
+                observed: Vec::new(),
+                traces: 0,
+                strict: false,
+                dot: None,
+                engine: EngineArgs::default(),
+            };
+            while let Some(a) = argv.next() {
+                if parse_engine_flag(&mut args.engine, a.as_str(), &mut argv) {
+                    continue;
+                }
+                match a.as_str() {
+                    "--coverage" => args.coverage = true,
+                    "--strict" => args.strict = true,
+                    "--observed" => match argv.next() {
+                        Some(s) => args.observed.push(s),
+                        None => usage(),
+                    },
+                    "--traces" => match argv.next().and_then(|n| n.parse().ok()) {
+                        Some(n) => args.traces = n,
+                        None => usage(),
+                    },
+                    "--dot" => match argv.next() {
+                        Some(p) => args.dot = Some(p),
+                        None => usage(),
+                    },
+                    _ if args.model_path.is_empty() && !a.starts_with('-') => {
+                        args.model_path = a;
+                    }
+                    _ => usage(),
+                }
+            }
+            if args.model_path.is_empty() {
+                usage();
+            }
+            Cmd::Check(args)
+        }
+        Some("batch") => {
+            let mut args = BatchArgs {
+                joblist: String::new(),
+                strict: false,
+                engine: EngineArgs::default(),
+            };
+            while let Some(a) = argv.next() {
+                if parse_engine_flag(&mut args.engine, a.as_str(), &mut argv) {
+                    continue;
+                }
+                match a.as_str() {
+                    "--strict" => args.strict = true,
+                    _ if args.joblist.is_empty() && !a.starts_with('-') => {
+                        args.joblist = a;
+                    }
+                    _ => usage(),
+                }
+            }
+            if args.joblist.is_empty() {
+                usage();
+            }
+            Cmd::Batch(args)
+        }
+        _ => usage(),
+    }
 }
 
 fn main() -> ExitCode {
-    let args = parse_args();
-    match run(&args) {
+    let (result, strict) = match parse_args() {
+        Cmd::Check(args) => (run_check(&args), args.strict),
+        Cmd::Batch(args) => (run_batch_cmd(&args), args.strict),
+    };
+    match result {
         Ok(all_passed) => {
-            if args.strict && !all_passed {
+            if strict && !all_passed {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
@@ -162,22 +249,69 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
+/// Prints the per-signal coverage block exactly as the sequential path
+/// always did: vacuity warnings, then — below 100% — the canonical
+/// uncovered-state listing. Shared by the sequential and `--jobs` paths,
+/// so their output is byte-identical by construction.
+fn print_signal_block(row: &ReportRow) {
+    for v in &row.verdicts {
+        if v.vacuous {
+            println!(
+                "warning: SPEC {} passes vacuously (an implication never triggers)",
+                v.formula
+            );
+        }
+    }
+    if row.percent < 100.0 {
+        println!("\nuncovered states for `{}`:", row.signal);
+        for state in &row.uncovered_sample {
+            println!("  {}", ReportRow::render_state(state));
+        }
+    }
+}
+
+/// How many uncovered states each report samples. One constant feeds
+/// both the sequential path and the worker pool's `uncovered_limit`:
+/// the `--jobs` byte-parity contract depends on the two paths agreeing.
+const UNCOVERED_SAMPLE_LIMIT: usize = 10;
+
+fn par_config(engine: &EngineArgs) -> ParConfig {
+    ParConfig {
+        jobs: engine.jobs,
+        image: ImageConfig {
+            method: engine.image,
+            simplify: engine.simplify,
+            ..Default::default()
+        },
+        reorder: engine.reorder,
+        uncovered_limit: UNCOVERED_SAMPLE_LIMIT,
+    }
+}
+
+fn write_json(engine: &EngineArgs, table: &CoverageTable) -> Result<(), std::io::Error> {
+    if let Some(path) = &engine.json {
+        std::fs::write(path, table.to_json())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
     let src = std::fs::read_to_string(&args.model_path)?;
     let bdd = BddManager::new();
     bdd.set_reorder_config(ReorderConfig {
-        mode: args.reorder,
+        mode: args.engine.reorder,
         ..Default::default()
     });
     let image = ImageConfig {
-        method: args.image,
-        simplify: args.simplify,
+        method: args.engine.image,
+        simplify: args.engine.simplify,
         ..Default::default()
     };
     let model = covest_smv::compile_with(&bdd, &src, image)?;
     // In mono mode nothing was clustered — the engine holds the raw
     // parts and the fixpoints run on the lazy monolith.
-    let partition = match args.image {
+    let partition = match args.engine.image {
         ImageMethod::Partitioned => {
             format!("{} clusters", model.fsm.image_engine().clusters().len())
         }
@@ -190,18 +324,24 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
         model.fsm.num_state_bits(),
         model.specs.len(),
         model.fairness.len(),
-        args.image,
-        args.simplify,
+        args.engine.image,
+        args.engine.simplify,
     );
     // In auto mode the manager already sifts at its own checkpoints
     // (including one at the end of compile), so the explicit startup pass
     // belongs to sift mode only.
-    if args.reorder == ReorderMode::Sift {
+    if args.engine.reorder == ReorderMode::Sift {
         let stats = bdd.reduce_heap();
         println!(
             "reorder (sift): {} -> {} live nodes ({} swaps)",
             stats.before, stats.after, stats.swaps
         );
+    }
+
+    // The JSON report is the coverage table; without --coverage there is
+    // no table and the flag would silently write nothing.
+    if args.engine.json.is_some() && !args.coverage {
+        eprintln!("warning: --json has no effect without --coverage");
     }
 
     // Verification.
@@ -213,7 +353,7 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     // With simplification on, pay for reachability up front: the
     // reachable set becomes the care boundary for the verification
     // fixpoints (and the estimator recomputes/reinstalls it per run).
-    if args.simplify != SimplifyConfig::Off {
+    if args.engine.simplify != SimplifyConfig::Off {
         let reach = model.fsm.install_reachable_care();
         mc.set_care(reach);
     }
@@ -231,7 +371,10 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
         all_passed &= verdict.holds();
     }
 
-    // Coverage.
+    // Coverage: sequentially on this manager, or signal-sharded across
+    // the worker pool with `--jobs N` — same output either way (the
+    // table's node counts and timings honestly reflect per-worker
+    // managers in the parallel case).
     if args.coverage {
         let signals: Vec<String> = if args.observed.is_empty() {
             model.observed.clone()
@@ -242,32 +385,47 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
             eprintln!("warning: no OBSERVED signals; use --observed");
         }
         let estimator = CoverageEstimator::new(&model.fsm);
-        let options = CoverageOptions {
-            fairness: model.fairness.clone(),
-            ..Default::default()
-        };
         let mut table = CoverageTable::new();
-        for signal in &signals {
-            let analysis = estimator.analyze(signal, &model.specs, &options)?;
-            table.push(ReportRow::from_analysis(&args.model_path, &analysis));
-            for vac in analysis.vacuous_properties() {
-                println!("warning: SPEC {vac} passes vacuously (an implication never triggers)");
+        if args.engine.jobs == 1 || signals.len() <= 1 {
+            let options = CoverageOptions {
+                fairness: model.fairness.clone(),
+                ..Default::default()
+            };
+            for signal in &signals {
+                let analysis = estimator.analyze(signal, &model.specs, &options)?;
+                let sample = estimator.uncovered_states(&analysis, UNCOVERED_SAMPLE_LIMIT);
+                let row = ReportRow::from_analysis(&args.model_path, &analysis)
+                    .with_uncovered_sample(sample);
+                print_signal_block(&row);
+                if row.percent < 100.0 {
+                    for trace in estimator.traces_to_uncovered(&analysis, args.traces) {
+                        println!("trace to uncovered state:\n{trace}");
+                    }
+                }
+                table.push(row);
             }
-            if analysis.percent() < 100.0 {
-                println!("\nuncovered states for `{signal}`:");
-                for state in estimator.uncovered_states(&analysis, 10) {
-                    let rendered: Vec<String> = state
-                        .iter()
-                        .map(|(name, v)| format!("{name}={}", u8::from(*v)))
-                        .collect();
-                    println!("  {}", rendered.join(" "));
+        } else {
+            let jobs = vec![DeckJob {
+                name: args.model_path.clone(),
+                source: src.clone(),
+                observed: args.observed.clone(),
+            }];
+            let report = run_batch(&jobs, &par_config(&args.engine))?;
+            for outcome in report.outcomes() {
+                print_signal_block(&outcome.row);
+                if outcome.row.percent < 100.0 && args.traces > 0 {
+                    // The worker exported its uncovered set name-keyed;
+                    // import it here and replay traces on this manager.
+                    let uncovered = bdd.import_bdd(&outcome.uncovered)?;
+                    for trace in estimator.traces_to_states(&uncovered, args.traces) {
+                        println!("trace to uncovered state:\n{trace}");
+                    }
                 }
-                for trace in estimator.traces_to_uncovered(&analysis, args.traces) {
-                    println!("trace to uncovered state:\n{trace}");
-                }
+                table.push(outcome.row.clone());
             }
         }
         println!("\n{table}");
+        write_json(&args.engine, &table)?;
     }
 
     if let Some(path) = &args.dot {
@@ -277,4 +435,97 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     }
 
     Ok(all_passed)
+}
+
+/// Parses a joblist: one deck per line — `PATH [SIGNAL ...]` — with `#`
+/// comments; relative paths resolve against the joblist's directory.
+fn parse_joblist(path: &str) -> Result<Vec<DeckJob>, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let base = std::path::Path::new(path)
+        .parent()
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_default();
+    let mut jobs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let deck = fields.next().expect("nonempty line has a first field");
+        let deck_path = {
+            let p = std::path::Path::new(deck);
+            if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                base.join(p)
+            }
+        };
+        let source = std::fs::read_to_string(&deck_path).map_err(|e| {
+            format!(
+                "{path}:{}: cannot read deck `{}`: {e}",
+                lineno + 1,
+                deck_path.display()
+            )
+        })?;
+        jobs.push(DeckJob {
+            name: deck.to_owned(),
+            source,
+            observed: fields.map(str::to_owned).collect(),
+        });
+    }
+    if jobs.is_empty() {
+        return Err(format!("joblist `{path}` lists no decks").into());
+    }
+    Ok(jobs)
+}
+
+fn run_batch_cmd(args: &BatchArgs) -> Result<bool, Box<dyn std::error::Error>> {
+    let jobs = parse_joblist(&args.joblist)?;
+    let config = par_config(&args.engine);
+    let report = run_batch(&jobs, &config)?;
+
+    // Every line below is deterministic (no timings, no node counts, no
+    // thread counts), so batch output is byte-identical across `--jobs`.
+    println!(
+        "batch: {} decks, {} signal analyses",
+        report.decks.len(),
+        report.outcomes().count(),
+    );
+    let mut held = 0usize;
+    let mut total = 0usize;
+    for deck in &report.decks {
+        println!("deck {}: {} properties", deck.name, deck.num_properties);
+        for v in &deck.verdicts {
+            let mark = if v.holds { "PASS" } else { "FAIL" };
+            println!("  [{mark}] SPEC {}", v.formula);
+            held += usize::from(v.holds);
+            total += 1;
+        }
+        for outcome in &deck.signals {
+            let row = &outcome.row;
+            for v in &row.verdicts {
+                if v.vacuous {
+                    println!(
+                        "  warning: SPEC {} passes vacuously for `{}`",
+                        v.formula, row.signal
+                    );
+                }
+            }
+            println!(
+                "  signal {}: {:.2}% covered ({} of {} states)",
+                row.signal, row.percent, row.covered_states, row.space_states
+            );
+            for state in row.uncovered_sample.iter().take(5) {
+                println!("    uncovered: {}", ReportRow::render_state(state));
+            }
+        }
+    }
+    println!(
+        "batch: {held}/{total} properties hold across {} decks, {} signals analyzed",
+        report.decks.len(),
+        report.outcomes().count(),
+    );
+    write_json(&args.engine, &report.table())?;
+    Ok(report.all_hold())
 }

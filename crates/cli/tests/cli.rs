@@ -153,6 +153,201 @@ fn bad_image_method_is_rejected() {
     assert!(stderr.contains("unknown image method"), "{stderr}");
 }
 
+/// Runs `covest check` on a deck and returns stdout.
+fn check_stdout(deck: &str, extra: &[&str]) -> String {
+    let out = covest()
+        .arg("check")
+        .arg(repo_root().join(deck))
+        .args(extra)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{deck} {extra:?} run fails");
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// `--jobs N` must not change a single observable byte outside the
+/// table's node-count/time columns: verification lines, vacuity
+/// warnings, uncovered-state listings and the table's circuit / signal /
+/// #prop / %COV columns are all byte-identical to the sequential run.
+#[test]
+fn parallel_check_output_matches_sequential() {
+    let seq = check_stdout("models/priority_buffer.smv", &["--coverage"]);
+    let par = check_stdout("models/priority_buffer.smv", &["--coverage", "--jobs", "4"]);
+
+    // Everything except table header/rows (the only lines with " - ").
+    let stable = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| !l.contains(" - "))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(stable(&seq), stable(&par), "non-table output must match");
+
+    // Table rows: columns up to %COV (the 7th token from the right
+    // starts the node/time columns) must match row by row.
+    let row_keys = |s: &str| -> Vec<Vec<String>> {
+        s.lines()
+            .filter(|l| l.contains("ms"))
+            .map(|l| {
+                let tokens: Vec<&str> = l.split_whitespace().collect();
+                assert!(tokens.len() >= 7, "unexpected table row: {l}");
+                tokens[..tokens.len() - 6]
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect()
+            })
+            .collect()
+    };
+    let (seq_rows, par_rows) = (row_keys(&seq), row_keys(&par));
+    assert_eq!(seq_rows.len(), 2, "two signals expected:\n{seq}");
+    assert_eq!(seq_rows, par_rows, "identity columns must match");
+}
+
+#[test]
+fn check_json_reports_rows_and_verdicts() {
+    let json_path = std::env::temp_dir().join("covest-check-test.json");
+    let _ = std::fs::remove_file(&json_path);
+    let stdout = check_stdout(
+        "models/counter.smv",
+        &["--coverage", "--json", json_path.to_str().unwrap()],
+    );
+    assert!(stdout.contains("wrote "), "{stdout}");
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    assert!(json.contains("\"signal\": \"count\""), "{json}");
+    assert!(json.contains("\"percent\": 83.33333333333333"), "{json}");
+    assert!(json.contains("\"formula\": \"AG ("), "{json}");
+    assert!(json.contains("\"holds\": true"), "{json}");
+    assert!(json.contains("\"uncovered\": [\""), "{json}");
+    let _ = std::fs::remove_file(&json_path);
+}
+
+/// Writes a joblist over every bundled deck (relative paths, exercising
+/// joblist-directory resolution) and returns its path.
+fn write_joblist(name: &str) -> std::path::PathBuf {
+    let dir = repo_root().join("models");
+    let joblist = std::env::temp_dir().join(name);
+    let lines: String = [
+        "# every bundled deck, by absolute path",
+        "counter.smv",
+        "pipeline.smv",
+        "priority_buffer.smv",
+        "priority_buffer_buggy.smv",
+    ]
+    .iter()
+    .map(|l| {
+        if l.starts_with('#') {
+            format!("{l}\n")
+        } else {
+            format!("{}\n", dir.join(l).display())
+        }
+    })
+    .collect();
+    std::fs::write(&joblist, lines).expect("write joblist");
+    joblist
+}
+
+/// `covest batch` output carries no timings or node counts, so two runs
+/// with different thread budgets must be byte-identical — and the JSON
+/// must be identical outside the `_ms` fields.
+#[test]
+fn batch_is_byte_identical_across_job_counts() {
+    let joblist = write_joblist("covest-batch-parity.txt");
+    let run = |jobs: &str, json: &std::path::Path| -> String {
+        let out = covest()
+            .arg("batch")
+            .arg(&joblist)
+            .args(["--jobs", jobs, "--json", json.to_str().unwrap()])
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "batch --jobs {jobs} fails");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let json1 = std::env::temp_dir().join("covest-batch-1.json");
+    let json4 = std::env::temp_dir().join("covest-batch-4.json");
+    let out1 = run("1", &json1);
+    let out4 = run("4", &json4);
+    // Stdout: identical except the `wrote <path>` trailer.
+    let body = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| !l.starts_with("wrote "))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(
+        body(&out1),
+        body(&out4),
+        "batch stdout must not depend on --jobs"
+    );
+    assert!(out4.contains("batch: 4 decks, 6 signal analyses"), "{out4}");
+    assert!(out4.contains("83.33% covered"), "{out4}");
+    assert!(out4.contains("[FAIL]"), "the buggy deck must fail:\n{out4}");
+    assert!(out4.contains("uncovered: "), "{out4}");
+
+    // JSON: identical outside the timing fields.
+    let scrub = |p: &std::path::Path| -> String {
+        let mut s = std::fs::read_to_string(p).expect("json written");
+        for key in ["\"verify_ms\": ", "\"coverage_ms\": "] {
+            while let Some(at) = s.find(key) {
+                let start = at + key.len();
+                let end = start
+                    + s[start..]
+                        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+                        .unwrap();
+                s.replace_range(at..end, "");
+            }
+        }
+        s
+    };
+    assert_eq!(
+        scrub(&json1),
+        scrub(&json4),
+        "batch JSON must not depend on --jobs"
+    );
+    for p in [joblist, json1, json4] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn batch_strict_fails_when_any_deck_fails() {
+    let joblist = write_joblist("covest-batch-strict.txt");
+    let out = covest()
+        .arg("batch")
+        .arg(&joblist)
+        .args(["--strict", "--jobs", "2"])
+        .output()
+        .expect("runs");
+    assert!(
+        !out.status.success(),
+        "the buggy deck must fail strict batch mode"
+    );
+    let _ = std::fs::remove_file(joblist);
+}
+
+#[test]
+fn batch_rejects_missing_deck() {
+    let joblist = std::env::temp_dir().join("covest-batch-missing.txt");
+    std::fs::write(&joblist, "does-not-exist.smv\n").expect("write joblist");
+    let out = covest().arg("batch").arg(&joblist).output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read deck"), "{stderr}");
+    let _ = std::fs::remove_file(joblist);
+}
+
+#[test]
+fn bad_jobs_value_is_rejected() {
+    let out = covest()
+        .arg("check")
+        .arg(repo_root().join("models/counter.smv"))
+        .args(["--jobs", "many"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--jobs expects a thread count"), "{stderr}");
+}
+
 #[test]
 fn usage_on_bad_arguments() {
     let out = covest().arg("frobnicate").output().expect("runs");

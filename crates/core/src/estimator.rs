@@ -319,17 +319,62 @@ impl<'m> CoverageEstimator<'m> {
         Ok(analyses)
     }
 
-    /// Lists up to `limit` uncovered states as named bit assignments.
-    pub fn uncovered_states(
-        &self,
-        analysis: &CoverageAnalysis,
-        limit: usize,
-    ) -> Vec<Vec<(String, bool)>> {
-        let uncovered = analysis.uncovered();
+    /// Samples up to `limit` states of `set` as *canonical* minterms:
+    /// the lexicographically smallest assignments with respect to the
+    /// machine's state-bit **declaration order** (false before true),
+    /// extracted by a cofactor walk and returned in ascending order.
+    ///
+    /// The sample is a pure function of the state set and the
+    /// declaration order — independent of the manager's variable order,
+    /// reordering history, or which manager the set was computed on — so
+    /// sequential and parallel runs print byte-identical reports.
+    fn canonical_minterms(&self, set: &Func, limit: usize) -> Vec<Vec<(VarId, bool)>> {
         let vars = self.fsm.current_vars();
-        uncovered
-            .minterms_over(&vars)
-            .take(limit)
+        let mgr = self.fsm.manager();
+        // When the caller wants the whole set, lazy enumeration plus a
+        // sort beats the one-BDD-diff-per-state walk below (which would
+        // be quadratic in the set size) and yields the same canonical
+        // declaration-order listing.
+        if limit as f64 >= set.sat_count_over(&vars) {
+            let mut all: Vec<Vec<(VarId, bool)>> = set.minterms_over(&vars).collect();
+            all.sort_by(|a, b| {
+                let key = |m: &[(VarId, bool)]| m.iter().map(|&(_, v)| v).collect::<Vec<_>>();
+                key(a).cmp(&key(b))
+            });
+            return all;
+        }
+        let mut rest = set.clone();
+        let mut out = Vec::new();
+        while out.len() < limit && !rest.is_false() {
+            let mut cube_f = mgr.constant(true);
+            let mut cube = Vec::with_capacity(vars.len());
+            let mut cur = rest.clone();
+            for &v in &vars {
+                let lo = cur.cofactor(v, false);
+                let (val, next) = if lo.is_false() {
+                    (true, cur.cofactor(v, true))
+                } else {
+                    (false, lo)
+                };
+                cube.push((v, val));
+                cube_f = cube_f.and(&mgr.literal(v, val));
+                cur = next;
+            }
+            rest = rest.diff(&cube_f);
+            out.push(cube);
+        }
+        out
+    }
+
+    /// Lists up to `limit` states of an arbitrary state set (over current
+    /// variables) as named bit assignments, in the canonical
+    /// declaration-order lexicographic order (see
+    /// [`CoverageEstimator::uncovered_states`] for the determinism
+    /// contract). This is the entry point the parallel front-end uses
+    /// after importing an uncovered set from a worker.
+    pub fn sample_states(&self, set: &Func, limit: usize) -> Vec<Vec<(String, bool)>> {
+        self.canonical_minterms(set, limit)
+            .into_iter()
             .map(|m| {
                 m.into_iter()
                     .map(|(v, val)| (self.bit_name(v).to_owned(), val))
@@ -338,15 +383,28 @@ impl<'m> CoverageEstimator<'m> {
             .collect()
     }
 
-    /// Generates shortest traces from the initial states to up to `limit`
-    /// uncovered states (Section 3's aid for strengthening properties).
-    pub fn traces_to_uncovered(&self, analysis: &CoverageAnalysis, limit: usize) -> Vec<Trace> {
-        let uncovered = analysis.uncovered();
-        let vars = self.fsm.current_vars();
+    /// Lists up to `limit` uncovered states as named bit assignments.
+    ///
+    /// The sample is deterministic: states come out sorted by their bit
+    /// values in declaration order (false < true), regardless of the
+    /// current variable order or any reordering history — so two runs
+    /// that agree on the uncovered *set* (e.g. a sequential and a
+    /// parallel analysis) produce diff-identical listings.
+    pub fn uncovered_states(
+        &self,
+        analysis: &CoverageAnalysis,
+        limit: usize,
+    ) -> Vec<Vec<(String, bool)>> {
+        self.sample_states(&analysis.uncovered(), limit)
+    }
+
+    /// Generates shortest traces from the initial states to up to
+    /// `limit` states of `set`, targeting the same canonical state
+    /// sample as [`CoverageEstimator::sample_states`].
+    pub fn traces_to_states(&self, set: &Func, limit: usize) -> Vec<Trace> {
         let mgr = self.fsm.manager();
-        let targets: Vec<Vec<(VarId, bool)>> = uncovered.minterms_over(&vars).take(limit).collect();
         let mut traces = Vec::new();
-        for t in targets {
+        for t in self.canonical_minterms(set, limit) {
             let mut cube = mgr.constant(true);
             for (v, val) in t {
                 cube = cube.and(&mgr.literal(v, val));
@@ -356,6 +414,12 @@ impl<'m> CoverageEstimator<'m> {
             }
         }
         traces
+    }
+
+    /// Generates shortest traces from the initial states to up to `limit`
+    /// uncovered states (Section 3's aid for strengthening properties).
+    pub fn traces_to_uncovered(&self, analysis: &CoverageAnalysis, limit: usize) -> Vec<Trace> {
+        self.traces_to_states(&analysis.uncovered(), limit)
     }
 
     fn bit_name(&self, v: VarId) -> &str {
@@ -539,6 +603,43 @@ mod tests {
         let (union_auto, first_auto) = run(ReorderMode::Auto);
         assert_eq!(union_off.to_bits(), union_auto.to_bits());
         assert_eq!(first_off.to_bits(), first_auto.to_bits());
+    }
+
+    /// The uncovered-state sample must be canonical: sorted by bit
+    /// values in declaration order and invariant under reordering
+    /// history — the property that makes sequential and parallel runs
+    /// print diff-identical reports.
+    #[test]
+    fn uncovered_states_are_canonical_across_reorder_histories() {
+        use covest_bdd::{ReorderConfig, ReorderMode};
+
+        let run = |mode: ReorderMode| -> Vec<Vec<(String, bool)>> {
+            let mgr = BddManager::new();
+            mgr.set_reorder_config(ReorderConfig {
+                mode,
+                auto_threshold: 8,
+                ..Default::default()
+            });
+            let (_, fsm) = figure2(&mgr);
+            let est = CoverageEstimator::new(&fsm);
+            let analysis = est
+                .analyze("q", &[f("A[p1 U q]")], &CoverageOptions::default())
+                .expect("analyzes");
+            est.uncovered_states(&analysis, 10)
+        };
+
+        let off = run(ReorderMode::Off);
+        assert_eq!(off.len(), 5);
+        // Sorted ascending by declaration-order bit values (false < true).
+        let keys: Vec<Vec<bool>> = off
+            .iter()
+            .map(|s| s.iter().map(|&(_, v)| v).collect())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "sample must come out sorted");
+        // Identical under a different (aggressive) reordering history.
+        assert_eq!(off, run(ReorderMode::Auto));
     }
 
     #[test]

@@ -59,4 +59,4 @@ pub use covered::CoveredSets;
 pub use error::CoverageError;
 pub use estimator::{CoverageAnalysis, CoverageEstimator, CoverageOptions, PropertyResult};
 pub use reference::{reference_covered_set, ReferenceMode, DEFAULT_STATE_LIMIT};
-pub use report::{CoverageTable, ReportRow};
+pub use report::{json_string, CoverageTable, PropertyVerdict, ReportRow};

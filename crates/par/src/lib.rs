@@ -1,0 +1,66 @@
+//! # covest-par
+//!
+//! The parallel coverage engine: run the DAC'99 estimator's per-signal
+//! analyses **concurrently**, across one deck or a whole fleet of decks,
+//! under a single thread budget — with results bit-identical to the
+//! sequential estimator.
+//!
+//! The paper's workflow (Table 2 / Section 4) runs one coverage analysis
+//! per observed signal, and each analysis is independent once the model
+//! is compiled. The sequential pipeline nevertheless runs them one after
+//! another inside a single [`covest_bdd::BddManager`] — which is an
+//! `Rc<RefCell<…>>` handle and deliberately not `Send`, so the engine
+//! cannot simply share it across threads. This crate supplies the three
+//! pieces that turn signal independence into wall-clock speedup:
+//!
+//! - **[`WorkPlan`]** — decompose decks × observed signals into
+//!   per-signal tasks. The planner compiles each deck once (failing
+//!   fast on bad decks), computes its reachable states, and exports
+//!   them through the name-keyed BDD serialization layer
+//!   ([`covest_bdd::BddDump`]) so no worker re-runs the reachability
+//!   BFS.
+//! - **The worker pool** ([`WorkPlan::run`]) — `jobs` OS threads drain
+//!   one atomic task queue. Each task owns a *private* manager:
+//!   recompile the deck, import the planner's reachable set (correct
+//!   under the worker's own variable order — the dump is keyed by
+//!   variable name), seed it with
+//!   [`covest_fsm::SymbolicFsm::seed_reachable`], and run the standard
+//!   [`covest_core::CoverageEstimator`] for one signal.
+//! - **Deterministic merge** ([`BatchReport`]) — results are assembled
+//!   by task index: decks in input order, signals in declaration order,
+//!   byte-identical reports regardless of scheduling or `jobs`.
+//!
+//! [`run_batch`] is the one-call front door (`covest check --jobs N`,
+//! `covest batch`); [`run_sequential`] is the pre-parallel baseline the
+//! bench and parity suites compare against. The contract — enforced by
+//! `tests/parity.rs` across the full image × simplify × reorder mode
+//! cross — is that parallelism is *pure mechanism*: coverage
+//! percentages, per-property verdicts and uncovered-state sets are
+//! bit-identical to the sequential estimator's; only node counts and
+//! timings (per-task managers vs one shared manager) may differ.
+//!
+//! # Example
+//!
+//! ```
+//! use covest_par::{run_batch, DeckJob, ParConfig};
+//!
+//! let deck = r#"
+//! MODULE main
+//! VAR b : boolean;
+//! ASSIGN init(b) := FALSE; next(b) := !b;
+//! SPEC AG (b -> AX !b);
+//! OBSERVED b;
+//! "#;
+//! let jobs = vec![DeckJob::new("toggler", deck)];
+//! let report = run_batch(&jobs, &ParConfig { jobs: 2, ..Default::default() })?;
+//! assert!(report.all_hold());
+//! // The property covers the b-state but not the !b-state: 1 of 2.
+//! assert_eq!(report.decks[0].signals[0].row.percent, 50.0);
+//! # Ok::<(), covest_par::ParError>(())
+//! ```
+
+mod plan;
+mod pool;
+
+pub use plan::{DeckJob, ParConfig, WorkPlan};
+pub use pool::{run_batch, run_sequential, BatchReport, DeckReport, ParError, SignalOutcome};

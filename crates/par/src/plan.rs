@@ -1,0 +1,220 @@
+//! Work planning: decompose decks × observed signals into independent
+//! per-signal coverage tasks, per the paper's workflow.
+//!
+//! The DAC'99 estimator runs one analysis *per observed signal*
+//! (Table 2 has one row per signal), and once the model is compiled the
+//! analyses are independent. The planner makes that decomposition
+//! explicit: it compiles each deck once (validating it early, on the
+//! calling thread), computes the deck's reachable states, exports them
+//! as a name-keyed [`covest_bdd::BddDump`], and emits one task per
+//! `(deck, signal)` pair — in declaration order, which is also the
+//! order results are reassembled in, whatever order workers finish.
+
+use covest_bdd::{BddDump, BddManager, ReorderConfig, ReorderMode};
+use covest_smv::ImageConfig;
+
+use crate::pool::ParError;
+
+/// One deck in a batch: a name (shown in reports), the SMV source text,
+/// and an optional observed-signal override.
+#[derive(Debug, Clone)]
+pub struct DeckJob {
+    /// Display name (typically the deck's path).
+    pub name: String,
+    /// SMV source text.
+    pub source: String,
+    /// Signals to analyze; empty means the deck's `OBSERVED` list.
+    pub observed: Vec<String>,
+}
+
+impl DeckJob {
+    /// A deck job analyzing the deck's own `OBSERVED` signals.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        DeckJob {
+            name: name.into(),
+            source: source.into(),
+            observed: Vec::new(),
+        }
+    }
+}
+
+/// Configuration for planning and running a parallel coverage batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ParConfig {
+    /// Thread budget for the worker pool (`0` = one worker per available
+    /// core). The budget is shared by *all* tasks of a batch — many decks
+    /// × many signals drain through one queue.
+    pub jobs: usize,
+    /// Image configuration for every compile (method, cluster threshold,
+    /// simplification mode) — planner and workers alike.
+    pub image: ImageConfig,
+    /// Dynamic-reordering mode for every manager. [`ReorderMode::Sift`]
+    /// mirrors the CLI default: one sifting pass right after compile.
+    pub reorder: ReorderMode,
+    /// How many uncovered states to sample per signal (the canonical
+    /// declaration-order sample; see
+    /// [`covest_core::CoverageEstimator::uncovered_states`]).
+    pub uncovered_limit: usize,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            jobs: 1,
+            image: ImageConfig::default(),
+            reorder: ReorderMode::Sift,
+            uncovered_limit: 10,
+        }
+    }
+}
+
+impl ParConfig {
+    /// The effective worker count: `jobs`, or the number of available
+    /// cores when `jobs == 0`, never less than one.
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// A validated, planner-compiled deck: everything a worker needs to run
+/// one of its signals on a private manager. Plain `Send + Sync` data.
+#[derive(Debug, Clone)]
+pub(crate) struct PlannedDeck {
+    pub name: String,
+    pub source: String,
+    pub num_properties: usize,
+    /// The planner-computed reachable set, exported name-keyed so every
+    /// worker imports it instead of re-running the reachability BFS.
+    pub reach: BddDump,
+}
+
+/// What one queue entry asks a worker to do.
+#[derive(Debug, Clone)]
+pub(crate) enum TaskKind {
+    /// Verify the suite and estimate coverage for one observed signal.
+    Coverage { signal: String },
+    /// Verify the suite only (decks with no observed signals).
+    VerifyOnly,
+}
+
+/// One unit of queue work: a deck index plus what to do with it.
+#[derive(Debug, Clone)]
+pub(crate) struct Task {
+    pub deck: usize,
+    pub kind: TaskKind,
+}
+
+/// Plans a single deck: compile (validating early, on the calling
+/// thread), compute and export the reachable states, and decide the
+/// deck's task kinds — one per observed signal in declaration order, or
+/// a single verification-only task when the deck observes nothing.
+///
+/// The planner deliberately skips the explicit startup sifting pass of
+/// [`ReorderMode::Sift`]: its managers only exist to validate the deck
+/// and export the (purely semantic) reachable set, and the workers sift
+/// their own managers.
+pub(crate) fn plan_deck(
+    job: &DeckJob,
+    config: &ParConfig,
+) -> Result<(PlannedDeck, Vec<TaskKind>), ParError> {
+    let plan_err = |message: String| ParError::Plan {
+        deck: job.name.clone(),
+        message,
+    };
+    let bdd = BddManager::new();
+    bdd.set_reorder_config(ReorderConfig {
+        mode: config.reorder,
+        ..Default::default()
+    });
+    let model = covest_smv::compile_with(&bdd, &job.source, config.image)
+        .map_err(|e| plan_err(e.to_string()))?;
+    let signals = if job.observed.is_empty() {
+        model.observed.clone()
+    } else {
+        job.observed.clone()
+    };
+    let reach = model
+        .fsm
+        .reachable()
+        .export_bdd()
+        .map_err(|e| plan_err(format!("cannot export reachable set: {e}")))?;
+    let kinds = if signals.is_empty() {
+        vec![TaskKind::VerifyOnly]
+    } else {
+        signals
+            .into_iter()
+            .map(|signal| TaskKind::Coverage { signal })
+            .collect()
+    };
+    Ok((
+        PlannedDeck {
+            name: job.name.clone(),
+            source: job.source.clone(),
+            num_properties: model.specs.len(),
+            reach,
+        },
+        kinds,
+    ))
+}
+
+/// The decomposition of a batch into per-signal tasks.
+///
+/// Built by [`WorkPlan::plan`]; executed by [`WorkPlan::run`]. The plan
+/// is immutable, `Send + Sync`, and carries no BDD handles — only
+/// sources, names and [`BddDump`]s — so the worker pool can share it by
+/// reference across threads. ([`crate::run_batch`] skips this two-phase
+/// shape and *pipelines* planning with execution; build a `WorkPlan`
+/// when the same plan is run more than once.)
+#[derive(Debug)]
+pub struct WorkPlan {
+    pub(crate) decks: Vec<PlannedDeck>,
+    pub(crate) tasks: Vec<Task>,
+}
+
+impl WorkPlan {
+    /// Compiles and validates every deck (on the calling thread),
+    /// computes and exports each deck's reachable states, and lays out
+    /// one task per `(deck, observed signal)` — or a verification-only
+    /// task for decks without signals.
+    ///
+    /// # Errors
+    ///
+    /// [`ParError::Plan`] if a deck fails to compile or its reachable
+    /// set cannot be exported.
+    pub fn plan(jobs: &[DeckJob], config: &ParConfig) -> Result<WorkPlan, ParError> {
+        let mut decks = Vec::with_capacity(jobs.len());
+        let mut tasks = Vec::new();
+        for (deck_idx, job) in jobs.iter().enumerate() {
+            let (deck, kinds) = plan_deck(job, config)?;
+            tasks.extend(kinds.into_iter().map(|kind| Task {
+                deck: deck_idx,
+                kind,
+            }));
+            decks.push(deck);
+        }
+        Ok(WorkPlan { decks, tasks })
+    }
+
+    /// Number of decks in the plan.
+    pub fn num_decks(&self) -> usize {
+        self.decks.len()
+    }
+
+    /// Total number of queue tasks (coverage + verification-only).
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of per-signal coverage tasks.
+    pub fn num_coverage_tasks(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| matches!(t.kind, TaskKind::Coverage { .. }))
+            .count()
+    }
+}

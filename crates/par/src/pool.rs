@@ -1,0 +1,481 @@
+//! The signal-sharded worker pool and the deterministic result merge.
+//!
+//! A [`covest_bdd::BddManager`] is an `Rc<RefCell<…>>` handle and
+//! deliberately **not** `Send`: sharing one node arena across threads
+//! would put a lock on every `ite`. The pool therefore shards by
+//! *signal*: each queue task gets a private manager, recompiles its deck
+//! on it, imports the planner's serialized reachable set (skipping the
+//! per-task reachability BFS), and runs the standard sequential
+//! estimator for its one signal. Tasks are drained from a single atomic
+//! queue by `config.jobs` OS threads — many decks × many signals share
+//! one thread budget — and results are reassembled **by task index**, so
+//! the report order (and every byte of it) is independent of scheduling.
+//!
+//! One manager per *task* (not per worker) is a deliberate determinism
+//! choice: a worker that happened to run two signals of one deck on a
+//! shared manager would report different node counts than one that
+//! didn't, making output depend on scheduling. With per-task managers
+//! every task is a pure function of (deck source, signal, config), so
+//! `--jobs 1` and `--jobs 64` produce byte-identical reports.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use covest_bdd::{BddDump, BddManager, ReorderConfig, ReorderMode};
+use covest_core::{CoverageEstimator, CoverageOptions, CoverageTable, PropertyVerdict, ReportRow};
+use covest_mc::ModelChecker;
+
+use crate::plan::{DeckJob, ParConfig, PlannedDeck, TaskKind, WorkPlan};
+
+/// Errors from planning or running a parallel batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParError {
+    /// A deck failed to compile (or export) during planning.
+    Plan {
+        /// Deck display name.
+        deck: String,
+        /// Underlying error message.
+        message: String,
+    },
+    /// A worker task failed. When several tasks fail, the one with the
+    /// lowest task index is reported — deterministically, regardless of
+    /// completion order.
+    Task {
+        /// Deck display name.
+        deck: String,
+        /// Observed signal, if the task was a coverage task.
+        signal: Option<String>,
+        /// Underlying error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParError::Plan { deck, message } => write!(f, "planning `{deck}`: {message}"),
+            ParError::Task {
+                deck,
+                signal: Some(signal),
+                message,
+            } => write!(f, "analyzing `{deck}` signal `{signal}`: {message}"),
+            ParError::Task {
+                deck,
+                signal: None,
+                message,
+            } => write!(f, "verifying `{deck}`: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+/// The outcome of one per-signal coverage task.
+#[derive(Debug, Clone)]
+pub struct SignalOutcome {
+    /// Deck display name.
+    pub deck: String,
+    /// Observed signal.
+    pub signal: String,
+    /// The Table-2 row: percentage, counts, verdicts, the canonical
+    /// uncovered-state sample, node counts and timings.
+    pub row: ReportRow,
+    /// The uncovered-state set, exported name-keyed — importable into
+    /// any manager (e.g. the front-end's, for trace generation, or a
+    /// parity harness's, for semantic comparison).
+    pub uncovered: BddDump,
+}
+
+/// All results for one deck, in signal declaration order.
+#[derive(Debug, Clone)]
+pub struct DeckReport {
+    /// Deck display name.
+    pub name: String,
+    /// Number of properties in the deck's suite.
+    pub num_properties: usize,
+    /// Per-property verdicts (suite order). For coverage decks these are
+    /// taken from the first signal's analysis — every signal of a deck
+    /// verifies the same suite and necessarily reaches the same verdicts.
+    pub verdicts: Vec<PropertyVerdict>,
+    /// Per-signal outcomes, in declaration order.
+    pub signals: Vec<SignalOutcome>,
+}
+
+impl DeckReport {
+    /// `true` if every property of the deck holds.
+    pub fn all_hold(&self) -> bool {
+        self.verdicts.iter().all(|v| v.holds)
+    }
+}
+
+/// The deterministic merge of a whole batch: decks in input order,
+/// signals in declaration order — independent of worker scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Per-deck reports, in batch input order.
+    pub decks: Vec<DeckReport>,
+}
+
+impl BatchReport {
+    /// `true` if every property of every deck holds.
+    pub fn all_hold(&self) -> bool {
+        self.decks.iter().all(DeckReport::all_hold)
+    }
+
+    /// All signal outcomes flattened, in deterministic report order.
+    pub fn outcomes(&self) -> impl Iterator<Item = &SignalOutcome> {
+        self.decks.iter().flat_map(|d| d.signals.iter())
+    }
+
+    /// The batch as a Table-2-style [`CoverageTable`].
+    pub fn table(&self) -> CoverageTable {
+        let mut table = CoverageTable::new();
+        for o in self.outcomes() {
+            table.push(o.row.clone());
+        }
+        table
+    }
+}
+
+/// What one task sends back through the channel.
+enum TaskPayload {
+    Coverage(Box<SignalOutcome>),
+    Verdicts(Vec<PropertyVerdict>),
+}
+
+/// Runs one queue task on a private, fresh manager. Pure in (deck
+/// source, kind, config): no state is shared with any other task.
+fn run_task(
+    deck: &PlannedDeck,
+    kind: &TaskKind,
+    config: &ParConfig,
+) -> Result<TaskPayload, String> {
+    let bdd = BddManager::new();
+    bdd.set_reorder_config(ReorderConfig {
+        mode: config.reorder,
+        ..Default::default()
+    });
+    let model =
+        covest_smv::compile_with(&bdd, &deck.source, config.image).map_err(|e| e.to_string());
+    let model = model?;
+    if config.reorder == ReorderMode::Sift {
+        bdd.reduce_heap();
+    }
+    // The planner already paid for reachability; import its set instead
+    // of re-running the BFS. Name keying makes this correct even though
+    // this manager's variable order has its own history.
+    let reach = bdd.import_bdd(&deck.reach).map_err(|e| e.to_string())?;
+    model.fsm.seed_reachable(reach);
+
+    match kind {
+        TaskKind::Coverage { signal } => {
+            let estimator = CoverageEstimator::new(&model.fsm);
+            let options = CoverageOptions {
+                fairness: model.fairness.clone(),
+                ..Default::default()
+            };
+            let analysis = estimator
+                .analyze(signal, &model.specs, &options)
+                .map_err(|e| e.to_string())?;
+            let sample = estimator.uncovered_states(&analysis, config.uncovered_limit);
+            let uncovered = analysis
+                .uncovered()
+                .export_bdd()
+                .map_err(|e| e.to_string())?;
+            let row = ReportRow::from_analysis(&deck.name, &analysis).with_uncovered_sample(sample);
+            Ok(TaskPayload::Coverage(Box::new(SignalOutcome {
+                deck: deck.name.clone(),
+                signal: signal.clone(),
+                row,
+                uncovered,
+            })))
+        }
+        TaskKind::VerifyOnly => {
+            let mut mc = ModelChecker::new(&model.fsm);
+            for fair in &model.fairness {
+                mc.add_fairness(fair).map_err(|e| e.to_string())?;
+            }
+            if config.image.simplify != covest_smv::SimplifyConfig::Off {
+                mc.set_care(model.fsm.install_reachable_care());
+            }
+            let mut verdicts = Vec::with_capacity(model.specs.len());
+            for spec in &model.specs {
+                let verdict = mc.check(&spec.clone().into()).map_err(|e| e.to_string())?;
+                verdicts.push(PropertyVerdict {
+                    formula: spec.to_string(),
+                    holds: verdict.holds(),
+                    vacuous: false,
+                });
+            }
+            Ok(TaskPayload::Verdicts(verdicts))
+        }
+    }
+}
+
+impl WorkPlan {
+    /// Executes the plan on a pool of `config.jobs` worker threads and
+    /// merges the results deterministically: decks in input order,
+    /// signals in declaration order, whatever order tasks completed in.
+    ///
+    /// # Errors
+    ///
+    /// [`ParError::Task`] for the failed task with the lowest task index
+    /// if any task fails (also deterministic under racing failures).
+    pub fn run(&self, config: &ParConfig) -> Result<BatchReport, ParError> {
+        let workers = self.tasks.len().min(config.effective_jobs()).max(1);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<TaskPayload, String>>> = Vec::new();
+        slots.resize_with(self.tasks.len(), || None);
+
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, Result<TaskPayload, String>)>();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = self.tasks.get(i) else { break };
+                    let result = run_task(&self.decks[task.deck], &task.kind, config);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+        });
+
+        merge_results(
+            &self
+                .decks
+                .iter()
+                .map(|d| (d.name.clone(), d.num_properties))
+                .collect::<Vec<_>>(),
+            &self.tasks,
+            slots,
+        )
+    }
+}
+
+/// Assembles per-task payloads (indexed by task) into the final
+/// deterministic report: decks in `decks` order, signals in task order.
+fn merge_results(
+    decks: &[(String, usize)],
+    tasks: &[crate::plan::Task],
+    slots: Vec<Option<Result<TaskPayload, String>>>,
+) -> Result<BatchReport, ParError> {
+    let mut reports: Vec<DeckReport> = decks
+        .iter()
+        .map(|(name, num_properties)| DeckReport {
+            name: name.clone(),
+            num_properties: *num_properties,
+            verdicts: Vec::new(),
+            signals: Vec::new(),
+        })
+        .collect();
+    for (task, slot) in tasks.iter().zip(slots) {
+        let payload = slot
+            .expect("every task sends exactly one result")
+            .map_err(|message| ParError::Task {
+                deck: decks[task.deck].0.clone(),
+                signal: match &task.kind {
+                    TaskKind::Coverage { signal } => Some(signal.clone()),
+                    TaskKind::VerifyOnly => None,
+                },
+                message,
+            })?;
+        let report = &mut reports[task.deck];
+        match payload {
+            TaskPayload::Coverage(outcome) => {
+                if report.verdicts.is_empty() {
+                    report.verdicts = outcome.row.verdicts.clone();
+                }
+                report.signals.push(*outcome);
+            }
+            TaskPayload::Verdicts(verdicts) => report.verdicts = verdicts,
+        }
+    }
+    Ok(BatchReport { decks: reports })
+}
+
+/// Plans and runs a batch in one call — the front door used by
+/// `covest check --jobs N` and `covest batch`.
+///
+/// Planning and execution are **pipelined**: each deck's tasks are
+/// released to the worker pool the moment that deck finishes planning,
+/// so workers analyze the first decks while the planner is still
+/// compiling the last ones. The observable behavior is identical to
+/// `WorkPlan::plan(…)?.run(…)` — same deterministic report, and a plan
+/// failure still takes precedence over any task failure, exactly as if
+/// planning had completed before the first task ran — the pipelining
+/// only moves wall-clock.
+///
+/// # Errors
+///
+/// See [`WorkPlan::plan`] and [`WorkPlan::run`].
+pub fn run_batch(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchReport, ParError> {
+    use std::sync::{Arc, Mutex};
+
+    let workers = config.effective_jobs().max(1);
+    let mut planned: Vec<(String, usize)> = Vec::new();
+    let mut tasks: Vec<crate::plan::Task> = Vec::new();
+    let mut plan_error: Option<ParError> = None;
+    let mut slots: Vec<Option<Result<TaskPayload, String>>> = Vec::new();
+
+    type WorkItem = (usize, Arc<PlannedDeck>, TaskKind);
+    let (task_tx, task_rx) = mpsc::channel::<WorkItem>();
+    let task_rx = Mutex::new(task_rx);
+    let (result_tx, result_rx) = mpsc::channel::<(usize, Result<TaskPayload, String>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let result_tx = result_tx.clone();
+            let task_rx = &task_rx;
+            scope.spawn(move || loop {
+                // Take the lock only to receive; blocked peers wake as
+                // soon as this worker starts computing.
+                let item = task_rx.lock().expect("queue lock").recv();
+                let Ok((i, deck, kind)) = item else { break };
+                let result = run_task(&deck, &kind, config);
+                if result_tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(result_tx);
+
+        // Plan on this thread, releasing each deck's tasks immediately.
+        for job in jobs {
+            match crate::plan::plan_deck(job, config) {
+                Ok((deck, kinds)) => {
+                    let deck_idx = planned.len();
+                    planned.push((deck.name.clone(), deck.num_properties));
+                    let deck = Arc::new(deck);
+                    for kind in kinds {
+                        let i = tasks.len();
+                        tasks.push(crate::plan::Task {
+                            deck: deck_idx,
+                            kind: kind.clone(),
+                        });
+                        let _ = task_tx.send((i, Arc::clone(&deck), kind));
+                    }
+                }
+                Err(e) => {
+                    // Match plan-then-run semantics: a plan failure wins
+                    // over every task outcome. In-flight tasks drain
+                    // (results discarded below), no new decks are planned.
+                    plan_error = Some(e);
+                    break;
+                }
+            }
+        }
+        drop(task_tx);
+        slots.resize_with(tasks.len(), || None);
+        for (i, result) in result_rx {
+            slots[i] = Some(result);
+        }
+    });
+
+    if let Some(e) = plan_error {
+        return Err(e);
+    }
+    merge_results(&planned, &tasks, slots)
+}
+
+/// The sequential baseline: the same decks analyzed the way the
+/// pre-parallel pipeline did — one manager per deck, one compile, one
+/// reachability fixpoint shared by all of the deck's signals via
+/// [`covest_core::CoverageEstimator::analyze_signals`]. Used by the
+/// `parallel_report` bench (wall-clock comparison) and the parity suite
+/// (ground truth): percentages, verdicts and uncovered sets must be
+/// bit-identical to [`WorkPlan::run`]'s. Node counts and timings differ
+/// by construction (shared manager vs per-task managers).
+///
+/// # Errors
+///
+/// [`ParError::Plan`] / [`ParError::Task`] mirroring the parallel path.
+pub fn run_sequential(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchReport, ParError> {
+    let mut reports = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let bdd = BddManager::new();
+        bdd.set_reorder_config(ReorderConfig {
+            mode: config.reorder,
+            ..Default::default()
+        });
+        let model = covest_smv::compile_with(&bdd, &job.source, config.image).map_err(|e| {
+            ParError::Plan {
+                deck: job.name.clone(),
+                message: e.to_string(),
+            }
+        })?;
+        if config.reorder == ReorderMode::Sift {
+            bdd.reduce_heap();
+        }
+        let signals = if job.observed.is_empty() {
+            model.observed.clone()
+        } else {
+            job.observed.clone()
+        };
+        let task_err = |signal: Option<&String>, message: String| ParError::Task {
+            deck: job.name.clone(),
+            signal: signal.cloned(),
+            message,
+        };
+        let mut report = DeckReport {
+            name: job.name.clone(),
+            num_properties: model.specs.len(),
+            verdicts: Vec::new(),
+            signals: Vec::new(),
+        };
+        if signals.is_empty() {
+            let mut mc = ModelChecker::new(&model.fsm);
+            for fair in &model.fairness {
+                mc.add_fairness(fair)
+                    .map_err(|e| task_err(None, e.to_string()))?;
+            }
+            if config.image.simplify != covest_smv::SimplifyConfig::Off {
+                mc.set_care(model.fsm.install_reachable_care());
+            }
+            for spec in &model.specs {
+                let verdict = mc
+                    .check(&spec.clone().into())
+                    .map_err(|e| task_err(None, e.to_string()))?;
+                report.verdicts.push(PropertyVerdict {
+                    formula: spec.to_string(),
+                    holds: verdict.holds(),
+                    vacuous: false,
+                });
+            }
+        } else {
+            let estimator = CoverageEstimator::new(&model.fsm);
+            let options = CoverageOptions {
+                fairness: model.fairness.clone(),
+                ..Default::default()
+            };
+            for signal in &signals {
+                let analysis = estimator
+                    .analyze(signal, &model.specs, &options)
+                    .map_err(|e| task_err(Some(signal), e.to_string()))?;
+                let sample = estimator.uncovered_states(&analysis, config.uncovered_limit);
+                let uncovered = analysis
+                    .uncovered()
+                    .export_bdd()
+                    .map_err(|e| task_err(Some(signal), e.to_string()))?;
+                let row =
+                    ReportRow::from_analysis(&job.name, &analysis).with_uncovered_sample(sample);
+                if report.verdicts.is_empty() {
+                    report.verdicts = row.verdicts.clone();
+                }
+                report.signals.push(SignalOutcome {
+                    deck: job.name.clone(),
+                    signal: signal.clone(),
+                    row,
+                    uncovered,
+                });
+            }
+        }
+        reports.push(report);
+    }
+    Ok(BatchReport { decks: reports })
+}

@@ -1,0 +1,250 @@
+//! Sequential ↔ parallel parity: the worker pool is pure mechanism.
+//!
+//! Over **every** bundled circuit and every `models/*.smv` deck, across
+//! the full `--image mono|part` × `--simplify off|restrict|constrain` ×
+//! `--reorder off|auto` mode cross, the parallel engine must produce
+//! coverage percentages (bit-for-bit, via `f64::to_bits`), per-property
+//! verdicts, vacuity flags, state counts and uncovered-state **sets**
+//! (compared semantically, by importing both sides' name-keyed dumps
+//! into one manager where canonicity turns semantic equality into handle
+//! equality) identical to the sequential estimator. A separate test
+//! pins scheduling-independence: `jobs = 1` and `jobs = 4` must agree on
+//! every deterministic field, node counts and uncovered samples
+//! included, because every task runs on its own fresh manager.
+
+use covest_bdd::{BddManager, ReorderMode};
+use covest_par::{run_batch, run_sequential, BatchReport, DeckJob, ParConfig, WorkPlan};
+use covest_smv::{ImageConfig, ImageMethod, SimplifyConfig};
+
+/// Every bundled circuit as a self-contained deck (generated source +
+/// its Table-2 property suite), plus every checked-in `models/*.smv`.
+fn all_decks() -> Vec<DeckJob> {
+    use covest_circuits::{circular_queue, counter, pipeline, priority_buffer};
+    use std::fmt::Write as _;
+
+    let with_specs = |mut deck: String, specs: &[covest_ctl::Formula]| -> String {
+        for spec in specs {
+            writeln!(deck, "SPEC {spec};").expect("write to string");
+        }
+        deck
+    };
+
+    let mut decks = Vec::new();
+
+    // The circular queue is the one bundled circuit without a models/
+    // fixture; its three observed signals make it the best sharding test.
+    let mut queue_suite = circular_queue::wrap_suite_initial();
+    queue_suite.extend(circular_queue::full_suite());
+    queue_suite.extend(circular_queue::empty_suite());
+    decks.push(DeckJob::new(
+        "circuit:circular_queue",
+        with_specs(circular_queue::deck(4), &queue_suite),
+    ));
+
+    let mut buffer_suite = priority_buffer::lo_suite_initial(4);
+    buffer_suite.push(priority_buffer::lo_missing_case());
+    buffer_suite.extend(priority_buffer::hi_suite(4));
+    decks.push(DeckJob::new(
+        "circuit:priority_buffer",
+        with_specs(priority_buffer::deck(4, false), &buffer_suite),
+    ));
+
+    decks.push(DeckJob::new(
+        "circuit:counter",
+        with_specs(counter::deck(), &counter::increment_properties()),
+    ));
+
+    let mut pipeline_suite = pipeline::out_suite_initial(4);
+    pipeline_suite.extend(pipeline::out_suite_hold());
+    decks.push(DeckJob::new(
+        "circuit:pipeline",
+        with_specs(pipeline::deck(4), &pipeline_suite),
+    ));
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../models");
+    let mut model_decks: Vec<DeckJob> = std::fs::read_dir(&dir)
+        .expect("models directory")
+        .filter_map(|e| {
+            let path = e.expect("dir entry").path();
+            if path.extension().is_some_and(|x| x == "smv") {
+                let name = format!("models/{}", path.file_name().unwrap().to_string_lossy());
+                let src = std::fs::read_to_string(&path).expect("readable deck");
+                Some(DeckJob::new(name, src))
+            } else {
+                None
+            }
+        })
+        .collect();
+    model_decks.sort_by(|a, b| a.name.cmp(&b.name));
+    assert!(!model_decks.is_empty(), "no decks under {}", dir.display());
+    decks.extend(model_decks);
+    decks
+}
+
+/// Asserts every deterministic *semantic* field agrees between two
+/// batch reports: percentages bit-for-bit, counts, verdicts, vacuity,
+/// uncovered samples, and the uncovered sets themselves (imported into
+/// one shared manager, where canonicity makes equality literal).
+fn assert_semantic_parity(label: &str, seq: &BatchReport, par: &BatchReport) {
+    assert_eq!(seq.decks.len(), par.decks.len(), "{label}: deck count");
+    for (sd, pd) in seq.decks.iter().zip(&par.decks) {
+        assert_eq!(sd.name, pd.name, "{label}: deck order");
+        assert_eq!(
+            sd.num_properties, pd.num_properties,
+            "{label}: {0}",
+            sd.name
+        );
+        assert_eq!(sd.verdicts, pd.verdicts, "{label}: {0} verdicts", sd.name);
+        assert_eq!(
+            sd.signals.len(),
+            pd.signals.len(),
+            "{label}: {0} signal count",
+            sd.name
+        );
+        for (so, po) in sd.signals.iter().zip(&pd.signals) {
+            let tag = format!("{label}: {}/{}", sd.name, so.signal);
+            assert_eq!(so.signal, po.signal, "{tag}: signal order");
+            assert_eq!(
+                so.row.percent.to_bits(),
+                po.row.percent.to_bits(),
+                "{tag}: coverage percent (seq {} vs par {})",
+                so.row.percent,
+                po.row.percent
+            );
+            assert_eq!(
+                so.row.covered_states.to_bits(),
+                po.row.covered_states.to_bits(),
+                "{tag}: covered count"
+            );
+            assert_eq!(
+                so.row.space_states.to_bits(),
+                po.row.space_states.to_bits(),
+                "{tag}: space count"
+            );
+            assert_eq!(so.row.verdicts, po.row.verdicts, "{tag}: verdicts");
+            assert_eq!(
+                so.row.uncovered_sample, po.row.uncovered_sample,
+                "{tag}: canonical uncovered sample"
+            );
+            // Semantic set equality on a shared manager.
+            let probe = BddManager::new();
+            let s = probe.import_bdd(&so.uncovered).expect("seq dump imports");
+            let p = probe.import_bdd(&po.uncovered).expect("par dump imports");
+            assert_eq!(s, p, "{tag}: uncovered set");
+        }
+    }
+}
+
+fn config(image: ImageMethod, simplify: SimplifyConfig, reorder: ReorderMode) -> ParConfig {
+    ParConfig {
+        jobs: 4,
+        image: ImageConfig {
+            method: image,
+            simplify,
+            ..Default::default()
+        },
+        reorder,
+        ..Default::default()
+    }
+}
+
+/// The acceptance-criteria cross: every deck, every image × simplify ×
+/// reorder combination, sequential estimator vs 4-way parallel pool.
+#[test]
+fn parallel_matches_sequential_across_mode_cross() {
+    let decks = all_decks();
+    for image in [ImageMethod::Partitioned, ImageMethod::Monolithic] {
+        for simplify in [
+            SimplifyConfig::Off,
+            SimplifyConfig::Restrict,
+            SimplifyConfig::Constrain,
+        ] {
+            for reorder in [ReorderMode::Off, ReorderMode::Auto] {
+                let cfg = config(image, simplify, reorder);
+                let label = format!("image={image} simplify={simplify} reorder={reorder:?}");
+                let seq = run_sequential(&decks, &cfg).expect("sequential baseline");
+                let par = run_batch(&decks, &cfg).expect("parallel batch");
+                assert_semantic_parity(&label, &seq, &par);
+            }
+        }
+    }
+}
+
+/// Scheduling independence: with per-task managers, `jobs = 1` and
+/// `jobs = 4` reports agree on *everything* deterministic — including
+/// node counts, which would diverge if tasks shared managers.
+#[test]
+fn job_count_does_not_change_the_report() {
+    let decks = all_decks();
+    let base = ParConfig::default();
+    let plan = WorkPlan::plan(&decks, &base).expect("plans");
+    let one = plan.run(&ParConfig { jobs: 1, ..base }).expect("jobs=1");
+    let four = plan.run(&ParConfig { jobs: 4, ..base }).expect("jobs=4");
+    assert_semantic_parity("jobs=1 vs jobs=4", &one, &four);
+    for (a, b) in one.outcomes().zip(four.outcomes()) {
+        assert_eq!(a.row.verify_nodes, b.row.verify_nodes, "{}", a.signal);
+        assert_eq!(a.row.coverage_nodes, b.row.coverage_nodes, "{}", a.signal);
+        assert_eq!(a.uncovered, b.uncovered, "{}: dump bytes", a.signal);
+    }
+}
+
+/// The planner decomposes per the paper's algorithm: one task per
+/// observed signal, declaration order, verification-only decks get one
+/// task, and the queue spans all decks (one shared thread budget).
+#[test]
+fn plan_shape_follows_signal_decomposition() {
+    let toggler =
+        "MODULE main\nVAR b : boolean;\nASSIGN init(b) := FALSE; next(b) := !b;\nSPEC AX b;\n";
+    let decks = vec![
+        DeckJob::new("no-signals", toggler),
+        DeckJob {
+            name: "override".into(),
+            source: format!("{toggler}OBSERVED b;\n"),
+            observed: vec!["b".into(), "b".into()],
+        },
+    ];
+    let plan = WorkPlan::plan(&decks, &ParConfig::default()).expect("plans");
+    assert_eq!(plan.num_decks(), 2);
+    assert_eq!(plan.num_tasks(), 3, "1 verify-only + 2 override signals");
+    assert_eq!(plan.num_coverage_tasks(), 2);
+    let report = plan.run(&ParConfig::default()).expect("runs");
+    assert_eq!(report.decks[0].signals.len(), 0);
+    assert_eq!(report.decks[0].verdicts.len(), 1);
+    assert_eq!(report.decks[1].signals.len(), 2);
+}
+
+/// Worker errors surface deterministically: the failed task with the
+/// lowest task index wins, regardless of which worker hit it first.
+#[test]
+fn unknown_signal_fails_deterministically() {
+    let toggler =
+        "MODULE main\nVAR b : boolean;\nASSIGN init(b) := FALSE; next(b) := !b;\nSPEC AX b;\n";
+    let decks = vec![DeckJob {
+        name: "bad".into(),
+        source: toggler.to_owned(),
+        observed: vec!["nope1".into(), "nope2".into()],
+    }];
+    let cfg = ParConfig {
+        jobs: 4,
+        ..Default::default()
+    };
+    for _ in 0..4 {
+        match run_batch(&decks, &cfg) {
+            Err(covest_par::ParError::Task { deck, signal, .. }) => {
+                assert_eq!(deck, "bad");
+                assert_eq!(signal.as_deref(), Some("nope1"), "lowest task index wins");
+            }
+            other => panic!("expected a task error, got {other:?}"),
+        }
+    }
+}
+
+/// A bad deck is rejected at planning time, before any thread spawns.
+#[test]
+fn malformed_deck_fails_in_the_planner() {
+    let decks = vec![DeckJob::new("broken", "MODULE main\nVAR x : snake;\n")];
+    match run_batch(&decks, &ParConfig::default()) {
+        Err(covest_par::ParError::Plan { deck, .. }) => assert_eq!(deck, "broken"),
+        other => panic!("expected a plan error, got {other:?}"),
+    }
+}

@@ -12,6 +12,7 @@
 //! - [`smv`] — SMV-like modeling language compiled to symbolic FSMs
 //! - [`mc`] — symbolic CTL model checker with fairness
 //! - [`coverage`] — the paper's coverage estimator (the contribution)
+//! - [`par`] — parallel coverage engine (signal-sharded worker pool)
 //! - [`circuits`] — the paper's example circuits and property suites
 //!
 //! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
@@ -23,4 +24,5 @@ pub use covest_core as coverage;
 pub use covest_ctl as ctl;
 pub use covest_fsm as fsm;
 pub use covest_mc as mc;
+pub use covest_par as par;
 pub use covest_smv as smv;
