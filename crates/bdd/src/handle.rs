@@ -43,6 +43,7 @@ use crate::manager::Inner;
 use crate::node::{Ref, VarId};
 use crate::quant::QuantSchedule;
 use crate::reorder::{ReorderConfig, ReorderStats};
+use crate::stats::BddStats;
 
 /// Root-table sentinel for the constant-false handle (terminals are
 /// never stored in the table; their slots are virtual).
@@ -357,6 +358,21 @@ impl BddManager {
     /// maps) without collecting any nodes.
     pub fn clear_caches(&self) {
         self.inner.borrow_mut().clear_caches();
+    }
+
+    // ---- engine counters ----------------------------------------------
+
+    /// Snapshot of the deterministic engine counters: unique-table and
+    /// memo hits/misses, gc and reorder activity, and the live-node
+    /// high-water mark. See [`crate::BddStats`] for field semantics.
+    pub fn stats(&self) -> BddStats {
+        self.inner.borrow().stats()
+    }
+
+    /// Zeroes the engine counters, restarting the `peak_live_nodes`
+    /// high-water mark at the current live-node count (never at zero).
+    pub fn reset_stats(&self) {
+        self.inner.borrow_mut().reset_stats();
     }
 
     // ---- export -------------------------------------------------------

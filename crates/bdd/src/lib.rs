@@ -76,6 +76,7 @@ mod quant;
 mod reorder;
 mod serde;
 mod simplify;
+mod stats;
 mod subst;
 
 pub use handle::{BddManager, Cubes, Func, Minterms};
@@ -83,3 +84,4 @@ pub use node::VarId;
 pub use quant::QuantSchedule;
 pub use reorder::{ReorderConfig, ReorderMode, ReorderStats};
 pub use serde::{BddDump, SerdeError};
+pub use stats::BddStats;

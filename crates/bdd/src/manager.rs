@@ -67,6 +67,9 @@ pub(crate) struct Inner {
     // `clear_caches` like every other memo.
     pub(crate) constrain_memo: HashMap<(Ref, Ref), Ref>,
     pub(crate) restrict_memo: HashMap<(Ref, Ref), Ref>,
+    /// Deterministic engine counters (see [`crate::BddStats`]); bumped
+    /// inline on the hot paths, snapshot via [`Inner::stats`].
+    pub(crate) stats: crate::stats::BddStats,
 }
 
 impl Default for Inner {
@@ -104,7 +107,29 @@ impl Inner {
             mask_scratch: Vec::new(),
             constrain_memo: HashMap::new(),
             restrict_memo: HashMap::new(),
+            stats: crate::stats::BddStats {
+                // The two terminals exist from birth: the high-water mark
+                // starts at the initial live-node count, not at zero.
+                peak_live_nodes: 2,
+                ..Default::default()
+            },
         }
+    }
+
+    /// Snapshot of the deterministic engine counters.
+    pub fn stats(&self) -> crate::stats::BddStats {
+        self.stats
+    }
+
+    /// Zeroes the engine counters. The `peak_live_nodes` high-water mark
+    /// restarts at the *current* live-node count — the nodes alive right
+    /// now were allocated, so a fresh measurement window still starts
+    /// from them, never from zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = crate::stats::BddStats {
+            peak_live_nodes: self.live_nodes() as u64,
+            ..Default::default()
+        };
     }
 
     // ---- external-root table ------------------------------------------
@@ -274,8 +299,10 @@ impl Inner {
             "ordering violation in mk"
         );
         if let Some(&r) = self.unique[var as usize].get(&(lo, hi)) {
+            self.stats.unique_hits += 1;
             return r;
         }
+        self.stats.unique_misses += 1;
         let node = Node { var, lo, hi };
         let r = if let Some(slot) = self.free.pop() {
             self.nodes[slot as usize] = node;
@@ -286,6 +313,8 @@ impl Inner {
             Ref(slot)
         };
         self.unique[var as usize].insert((lo, hi), r);
+        self.stats.unique_insertions += 1;
+        self.stats.peak_live_nodes = self.stats.peak_live_nodes.max(self.live_nodes() as u64);
         r
     }
 
@@ -338,8 +367,10 @@ impl Inner {
             return f;
         }
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            self.stats.ite_hits += 1;
             return r;
         }
+        self.stats.ite_misses += 1;
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let var = self.level2var[top as usize];
         let (f0, f1) = self.cofactors_at(f, top);
@@ -517,6 +548,11 @@ impl Inner {
             }
         }
         self.clear_caches();
+        self.stats.gc_runs += 1;
+        self.stats.gc_nodes_reclaimed += freed as u64;
+        // Deliberately no peak_live_nodes update: a collection shrinks
+        // the live set but the high-water mark records how big the
+        // manager ever got (see `reset_stats` for the one reset point).
         freed
     }
 

@@ -97,8 +97,10 @@ impl Inner {
             return f;
         }
         if let Some(&r) = memo.get(&f) {
+            self.stats.quant_hits += 1;
             return r;
         }
+        self.stats.quant_misses += 1;
         let n = self.node(f);
         let lo = self.quant_rec(n.lo, mask, existential, memo);
         let hi = self.quant_rec(n.hi, mask, existential, memo);
@@ -146,8 +148,10 @@ impl Inner {
         // Normalize operand order: ∧ is commutative.
         let (f, g) = if f <= g { (f, g) } else { (g, f) };
         if let Some(&r) = memo.get(&(f, g)) {
+            self.stats.pair_hits += 1;
             return r;
         }
+        self.stats.pair_misses += 1;
         let top = self.level(f).min(self.level(g));
         let var = self.var_at_level(top);
         let (f0, f1) = self.cofactors_at(f, top);
@@ -292,8 +296,10 @@ impl Inner {
             return f; // var cannot appear below its level
         }
         if let Some(&r) = memo.get(&f) {
+            self.stats.quant_hits += 1;
             return r;
         }
+        self.stats.quant_misses += 1;
         let n = self.node(f);
         let r = if n.var == var.0 {
             if value {

@@ -210,6 +210,10 @@ impl Inner {
         let blocks_sifted = self.sift_all(&mut ctx);
         let after = self.live_nodes() - 2;
         debug_assert!(self.check_reorder_invariants(&ctx));
+        self.stats.reorder_invocations += 1;
+        self.stats.reorder_swaps += ctx.swaps as u64;
+        self.stats.reorder_size_before += before as u64;
+        self.stats.reorder_size_after += after as u64;
         ReorderStats {
             before,
             after,

@@ -90,8 +90,10 @@ impl Inner {
             return Ref::TRUE;
         }
         if let Some(&r) = memo.get(&(f, c)) {
+            self.stats.constrain_hits += 1;
             return r;
         }
+        self.stats.constrain_misses += 1;
         let top = self.level(f).min(self.level(c));
         let var = self.var_at_level(top);
         let (f0, f1) = self.cofactors_at(f, top);
@@ -155,8 +157,10 @@ impl Inner {
             return Ref::TRUE;
         }
         if let Some(&r) = memo.get(&(f, c)) {
+            self.stats.restrict_hits += 1;
             return r;
         }
+        self.stats.restrict_misses += 1;
         let flevel = self.level(f);
         let clevel = self.level(c);
         let r = if clevel < flevel {

@@ -7,7 +7,6 @@
 //! as the first argument).
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use covest_bdd::BddManager;
 use covest_bench::{table2_workloads, Workload};
@@ -54,7 +53,7 @@ fn measure(w: &Workload, method: ImageMethod) -> Measurement {
     // the machine's owned handles are the live set.
     bdd.gc();
 
-    let start = Instant::now();
+    let start = covest_bench::Stopwatch::start();
     let mut peak_live = bdd.live_nodes();
     // Measure the image method in isolation: don't-care simplification
     // (on by default) has its own report, and its care-simplified
@@ -89,7 +88,7 @@ fn measure(w: &Workload, method: ImageMethod) -> Measurement {
     let analysis = estimator
         .analyze(w.signal, &w.properties, &w.options)
         .expect("workload analyzes");
-    let millis = start.elapsed().as_secs_f64() * 1e3;
+    let millis = covest_bench::elapsed_ms(&start);
 
     Measurement {
         peak_live,

@@ -13,7 +13,6 @@
 //! given as the first argument).
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use covest_bdd::BddManager;
 use covest_par::{run_batch, run_sequential, BatchReport, DeckJob, ParConfig};
@@ -119,22 +118,43 @@ fn main() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let jobs = cores.min(4);
+    // Profiling on: the pool collects per-task phase durations, which
+    // the report aggregates into the wall-clock attribution below.
     let config = ParConfig {
         jobs,
+        profile: true,
         ..Default::default()
     };
 
-    let t0 = Instant::now();
-    let seq = run_sequential(&decks, &config).expect("sequential baseline runs");
-    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-    let t1 = Instant::now();
-    let par = run_batch(&decks, &config).expect("parallel batch runs");
-    let par_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let (seq, seq_ms) =
+        covest_bench::timed(|| run_sequential(&decks, &config).expect("sequential baseline runs"));
+    let (par, par_ms) =
+        covest_bench::timed(|| run_batch(&decks, &config).expect("parallel batch runs"));
 
     assert_parity(&seq, &par);
     let speedup = seq_ms / par_ms;
     let tasks = par.outcomes().count();
+
+    // Where the parallel run's CPU time went, summed across tasks: the
+    // planner's per-deck compile + reachability (serial, on the calling
+    // thread), then each task's queue wait, recompile, reachable-set
+    // import, and analysis. Solve is the only phase the sequential
+    // baseline also pays per signal; plan and compile are the
+    // parallelization overhead (the per-task recompiles), which is what
+    // caps the speedup well below the job count.
+    let profiles: Vec<_> = par.decks.iter().flat_map(|d| d.profiles.iter()).collect();
+    let sum_ms = |f: fn(&covest_par::TaskProfile) -> std::time::Duration| -> f64 {
+        profiles.iter().map(|p| f(p).as_secs_f64() * 1e3).sum()
+    };
+    let plan_ms: f64 = par
+        .decks
+        .iter()
+        .map(|d| d.plan_time.as_secs_f64() * 1e3)
+        .sum();
+    let queue_ms = sum_ms(|p| p.queue_wait);
+    let compile_ms = sum_ms(|p| p.compile);
+    let import_ms = sum_ms(|p| p.import);
+    let solve_ms = sum_ms(|p| p.solve);
 
     // Acceptance gate: with real parallelism available, the pool must
     // not lose to the sequential baseline on the whole-fleet wall clock
@@ -162,6 +182,11 @@ fn main() {
     let _ = writeln!(json, "  \"sequential_ms\": {seq_ms:.2},");
     let _ = writeln!(json, "  \"parallel_ms\": {par_ms:.2},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"phase_plan_ms\": {plan_ms:.2},");
+    let _ = writeln!(json, "  \"phase_queue_ms\": {queue_ms:.2},");
+    let _ = writeln!(json, "  \"phase_compile_ms\": {compile_ms:.2},");
+    let _ = writeln!(json, "  \"phase_import_ms\": {import_ms:.2},");
+    let _ = writeln!(json, "  \"phase_solve_ms\": {solve_ms:.2},");
     json.push_str("  \"rows\": [\n");
     let all: Vec<_> = par.outcomes().collect();
     for (i, o) in all.iter().enumerate() {
@@ -188,6 +213,10 @@ fn main() {
         jobs,
         cores,
         speedup
+    );
+    println!(
+        "phase attribution (cpu-ms across tasks): plan {plan_ms:.1}, queue {queue_ms:.1}, \
+         compile {compile_ms:.1}, import {import_ms:.1}, solve {solve_ms:.1}"
     );
     println!("wrote {out_path}");
 }

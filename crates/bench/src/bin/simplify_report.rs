@@ -8,7 +8,6 @@
 //! as the first argument).
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use covest_bdd::BddManager;
 use covest_bench::{table2_workloads, Workload};
@@ -67,7 +66,7 @@ fn measure(w: &Workload, simplify: SimplifyConfig) -> Measurement {
     // Drop compile garbage (identical for all arms) before the window.
     bdd.gc();
 
-    let start = Instant::now();
+    let start = covest_bench::Stopwatch::start();
     let mut peak_live = bdd.live_nodes();
     // Phase 1: reachability (mode-gated frontier simplification inside)
     // and care installation (mode-gated cluster simplification).
@@ -125,7 +124,7 @@ fn measure(w: &Workload, simplify: SimplifyConfig) -> Measurement {
     let analysis = estimator
         .analyze(w.signal, &w.properties, &w.options)
         .expect("workload analyzes");
-    let millis = start.elapsed().as_secs_f64() * 1e3;
+    let millis = covest_bench::elapsed_ms(&start);
     bdd.gc();
     peak_live = peak_live.max(bdd.live_nodes());
 

@@ -11,6 +11,26 @@ use covest_core::{CoverageAnalysis, CoverageEstimator, CoverageOptions};
 use covest_ctl::Formula;
 use covest_smv::CompiledModel;
 
+// The report bins measure wall-clock through the telemetry stopwatch,
+// not hand-rolled `Instant::now()` pairs — CI greps the workspace to
+// keep raw `Instant` confined to `covest-telemetry` (and this harness).
+pub use covest_telemetry::Stopwatch;
+
+/// Milliseconds elapsed on `sw`, in the form the report bins' `*_ms`
+/// JSON fields use. Wall-clock by definition — never parity-checked.
+pub fn elapsed_ms(sw: &Stopwatch) -> f64 {
+    sw.elapsed().as_secs_f64() * 1e3
+}
+
+/// Runs `f` on a fresh [`Stopwatch`], returning its result together
+/// with the elapsed milliseconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let sw = Stopwatch::start();
+    let value = f();
+    let ms = elapsed_ms(&sw);
+    (value, ms)
+}
+
 /// One Table-2 row workload: a circuit, an observed signal and its suite.
 pub struct Workload {
     /// Circuit display name (Table 2's first column).

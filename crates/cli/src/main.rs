@@ -29,7 +29,20 @@
 //!   table legitimately differ — per-worker managers vs one shared one);
 //! - `--json FILE` additionally writes the coverage table — rows plus
 //!   per-property verdicts and the canonical uncovered-state sample — as
-//!   machine-readable JSON.
+//!   machine-readable JSON;
+//! - `--stats` prints an engine-counter summary (unique-table and memo
+//!   hit rates, fixpoint iterations, image calls, per-task phase times)
+//!   after the run; counter values are deterministic — byte-identical
+//!   across `--jobs` values — while everything below the `-- timings --`
+//!   line is wall-clock and excluded from any parity contract;
+//! - `--trace FILE` writes the recorded span/event log (compile,
+//!   reachability with per-BFS-step sizes, care install, each per-signal
+//!   analysis) as JSONL.
+//!
+//! With `--stats`/`--trace`, coverage always routes through the worker
+//! pool (even at `--jobs 1`): per-task fresh managers make every task's
+//! counters a pure function of (deck source, signal, config), which is
+//! what makes the summary's counter section parity-checkable.
 //!
 //! `batch` runs a *fleet* of decks: `JOBLIST` names one deck per line
 //! (`PATH [SIGNAL ...]`, `#` comments; relative paths resolve against
@@ -38,13 +51,18 @@
 //! no timings or node counts, so two runs with different `--jobs` are
 //! byte-identical.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
-use covest_core::{CoverageEstimator, CoverageOptions, CoverageTable, ReportRow};
+use covest_core::{json_string, CoverageEstimator, CoverageOptions, CoverageTable, ReportRow};
 use covest_mc::{ModelChecker, Verdict};
-use covest_par::{run_batch, DeckJob, ParConfig};
+use covest_par::{run_batch, BatchReport, DeckJob, ParConfig, TaskProfile};
 use covest_smv::{ImageConfig, ImageMethod, SimplifyConfig};
+use covest_telemetry::{
+    self as telemetry, records_to_text, Counters, SpanRecord, Telemetry, TIMINGS_MARKER,
+};
 
 /// Flags shared by `check` and `batch`.
 struct EngineArgs {
@@ -53,6 +71,8 @@ struct EngineArgs {
     simplify: SimplifyConfig,
     jobs: usize,
     json: Option<String>,
+    stats: bool,
+    trace: Option<String>,
 }
 
 impl Default for EngineArgs {
@@ -63,7 +83,17 @@ impl Default for EngineArgs {
             simplify: SimplifyConfig::Restrict,
             jobs: 1,
             json: None,
+            stats: false,
+            trace: None,
         }
+    }
+}
+
+impl EngineArgs {
+    /// `true` when either observability flag asks for a recorder — and
+    /// therefore for per-task profiling and pooled coverage.
+    fn profiling(&self) -> bool {
+        self.stats || self.trace.is_some()
     }
 }
 
@@ -93,10 +123,10 @@ fn usage() -> ! {
         "usage: covest check MODEL.smv [--coverage] [--observed SIGNAL]... \
          [--traces N] [--strict] [--dot FILE] [--reorder off|sift|auto] \
          [--image mono|part] [--simplify off|restrict|constrain] \
-         [--jobs N] [--json FILE]\n\
+         [--jobs N] [--json FILE] [--stats] [--trace FILE]\n\
          \u{20}      covest batch JOBLIST [--strict] [--reorder off|sift|auto] \
          [--image mono|part] [--simplify off|restrict|constrain] \
-         [--jobs N] [--json FILE]\n\
+         [--jobs N] [--json FILE] [--stats] [--trace FILE]\n\
          \n\
          --reorder off   keep the declaration variable order\n\
          --reorder sift  sift once after compiling the model (default)\n\
@@ -112,6 +142,10 @@ fn usage() -> ! {
          \u{20}               (0 = one per core; default 1 = sequential)\n\
          --json FILE     write the coverage table (rows, verdicts,\n\
          \u{20}               uncovered sample) as JSON\n\
+         --stats         print the engine-counter summary (deterministic\n\
+         \u{20}               counters above `-- timings --`, wall-clock below)\n\
+         --trace FILE    write the span/event log (compile, reachability,\n\
+         \u{20}               per-signal fixpoints) as JSONL\n\
          \n\
          JOBLIST lines: PATH [SIGNAL ...]   (# comments; relative paths\n\
          resolve against the joblist's directory)"
@@ -152,6 +186,11 @@ fn parse_engine_flag(
         },
         "--json" => match argv.next() {
             Some(p) => engine.json = Some(p),
+            None => usage(),
+        },
+        "--stats" => engine.stats = true,
+        "--trace" => match argv.next() {
+            Some(p) => engine.trace = Some(p),
             None => usage(),
         },
         _ => return false,
@@ -285,12 +324,170 @@ fn par_config(engine: &EngineArgs) -> ParConfig {
         },
         reorder: engine.reorder,
         uncovered_limit: UNCOVERED_SAMPLE_LIMIT,
+        profile: engine.profiling(),
     }
 }
 
-fn write_json(engine: &EngineArgs, table: &CoverageTable) -> Result<(), std::io::Error> {
+/// Writes the coverage table as JSON, splicing the `stats` object in as
+/// a sibling of `rows` when observability was collected.
+fn write_json(
+    engine: &EngineArgs,
+    table: &CoverageTable,
+    stats: Option<&str>,
+) -> Result<(), std::io::Error> {
     if let Some(path) = &engine.json {
-        std::fs::write(path, table.to_json())?;
+        let mut doc = table.to_json();
+        if let Some(stats) = stats {
+            let body = doc.strip_suffix("\n}\n").expect("table JSON shape");
+            doc = format!("{body},\n  \"stats\": {stats}\n}}\n");
+        }
+        std::fs::write(path, doc)?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Everything the observability flags produce in one place: the summary
+/// text (deterministic counters above [`TIMINGS_MARKER`], wall-clock
+/// below), the `--json` `stats` object, and the merged span log.
+struct StatsOutput {
+    text: String,
+    json: String,
+    records: Vec<SpanRecord>,
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+fn counters_json(c: &Counters) -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in c.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {value}", json_string(name));
+    }
+    out.push('}');
+    out
+}
+
+fn profile_label(p: &TaskProfile) -> String {
+    match &p.signal {
+        Some(signal) => format!("task {} signal {signal}", p.deck),
+        None => format!("task {} (verify)", p.deck),
+    }
+}
+
+/// Uninstalls the recorder installed for `--stats`/`--trace` and folds
+/// its output together with the per-task profiles of `report` (when the
+/// run went through the worker pool) and the front-end manager's engine
+/// counters (when one survives the run, i.e. `check`).
+///
+/// The counter sections — the front-end counters and every per-task
+/// counter set — are deterministic: byte-identical across `--jobs`
+/// values and across identical runs. Every `*_ms` value and everything
+/// below the [`TIMINGS_MARKER`] line is wall-clock.
+fn collect_observability(
+    engine: &EngineArgs,
+    front_mgr: Option<&BddManager>,
+    report: Option<&BatchReport>,
+) -> Option<StatsOutput> {
+    if !engine.profiling() {
+        return None;
+    }
+    let rec = telemetry::uninstall().unwrap_or_default();
+    let (mut records, mut front) = rec.into_parts();
+    if let Some(mgr) = front_mgr {
+        for (name, value) in mgr.stats().pairs() {
+            front.add(name, value);
+        }
+    }
+    let profiles: Vec<&TaskProfile> = report
+        .iter()
+        .flat_map(|r| r.decks.iter())
+        .flat_map(|d| d.profiles.iter())
+        .collect();
+
+    let mut text = String::from("stats:\n  front-end\n");
+    text.push_str(&front.render("    "));
+    for p in &profiles {
+        let _ = writeln!(text, "  {}", profile_label(p));
+        text.push_str(&p.counters.render("    "));
+    }
+    let _ = writeln!(text, "{TIMINGS_MARKER}");
+    for deck in report.iter().flat_map(|r| r.decks.iter()) {
+        let _ = writeln!(text, "  plan {}  {} ms", deck.name, fmt_ms(deck.plan_time));
+    }
+    for p in &profiles {
+        let _ = writeln!(
+            text,
+            "  {}  queue {} ms  compile {} ms  import {} ms  solve {} ms",
+            profile_label(p),
+            fmt_ms(p.queue_wait),
+            fmt_ms(p.compile),
+            fmt_ms(p.import),
+            fmt_ms(p.solve),
+        );
+    }
+
+    // The `stats` JSON object: deterministic fields first, `*_ms` last.
+    let mut json = String::from("{\"front_end\": ");
+    json.push_str(&counters_json(&front));
+    json.push_str(", \"tasks\": [");
+    for (i, p) in profiles.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(
+            json,
+            "{{\"deck\": {}, \"signal\": {}, \"counters\": {}, \
+             \"queue_ms\": {}, \"compile_ms\": {}, \"import_ms\": {}, \"solve_ms\": {}}}",
+            json_string(&p.deck),
+            p.signal.as_deref().map_or("null".to_owned(), json_string),
+            counters_json(&p.counters),
+            fmt_ms(p.queue_wait),
+            fmt_ms(p.compile),
+            fmt_ms(p.import),
+            fmt_ms(p.solve),
+        );
+    }
+    json.push(']');
+    if let Some(rep) = report {
+        let plan_ms: f64 = rep
+            .decks
+            .iter()
+            .map(|d| d.plan_time.as_secs_f64() * 1e3)
+            .sum();
+        let _ = write!(json, ", \"plan_ms\": {plan_ms:.3}");
+    }
+    json.push('}');
+
+    // Graft each task's span forest after the front-end's: record ids
+    // are list indices, so appended records shift by the offset.
+    for p in &profiles {
+        let offset = records.len();
+        records.extend(p.spans.iter().cloned().map(|mut r| {
+            if let Some(parent) = r.parent.as_mut() {
+                *parent += offset;
+            }
+            r
+        }));
+    }
+    Some(StatsOutput {
+        text,
+        json,
+        records,
+    })
+}
+
+/// Prints the `--stats` summary and writes the `--trace` JSONL log.
+fn emit_observability(engine: &EngineArgs, out: &StatsOutput) -> Result<(), std::io::Error> {
+    if engine.stats {
+        print!("\n{}", out.text);
+    }
+    if let Some(path) = &engine.trace {
+        std::fs::write(path, records_to_text(&out.records))?;
         println!("wrote {path}");
     }
     Ok(())
@@ -298,6 +495,11 @@ fn write_json(engine: &EngineArgs, table: &CoverageTable) -> Result<(), std::io:
 
 fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
     let src = std::fs::read_to_string(&args.model_path)?;
+    // The recorder goes in before compile so the span log covers the
+    // front-end compile, reachability, and verification phases.
+    if args.engine.profiling() {
+        telemetry::install(Telemetry::new());
+    }
     let bdd = BddManager::new();
     bdd.set_reorder_config(ReorderConfig {
         mode: args.engine.reorder,
@@ -375,6 +577,8 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
     // the worker pool with `--jobs N` — same output either way (the
     // table's node counts and timings honestly reflect per-worker
     // managers in the parallel case).
+    let mut table_out: Option<CoverageTable> = None;
+    let mut pool_report: Option<BatchReport> = None;
     if args.coverage {
         let signals: Vec<String> = if args.observed.is_empty() {
             model.observed.clone()
@@ -386,7 +590,13 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
         }
         let estimator = CoverageEstimator::new(&model.fsm);
         let mut table = CoverageTable::new();
-        if args.engine.jobs == 1 || signals.len() <= 1 {
+        // Profiling routes coverage through the worker pool at every
+        // `--jobs` value: per-task fresh managers make each task's
+        // counters a pure function of (deck source, signal, config), so
+        // the summary's counter section is `--jobs`-independent.
+        let sequential = signals.is_empty()
+            || (!args.engine.profiling() && (args.engine.jobs == 1 || signals.len() <= 1));
+        if sequential {
             let options = CoverageOptions {
                 fairness: model.fairness.clone(),
                 ..Default::default()
@@ -423,15 +633,28 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
                 }
                 table.push(outcome.row.clone());
             }
+            pool_report = Some(report);
         }
         println!("\n{table}");
-        write_json(&args.engine, &table)?;
+        table_out = Some(table);
     }
 
     if let Some(path) = &args.dot {
         let reach = model.fsm.reachable();
         std::fs::write(path, bdd.to_dot(&[("reachable", &reach)]))?;
         println!("wrote {path}");
+    }
+
+    let stats_out = collect_observability(&args.engine, Some(&bdd), pool_report.as_ref());
+    if let Some(table) = &table_out {
+        write_json(
+            &args.engine,
+            table,
+            stats_out.as_ref().map(|s| s.json.as_str()),
+        )?;
+    }
+    if let Some(out) = &stats_out {
+        emit_observability(&args.engine, out)?;
     }
 
     Ok(all_passed)
@@ -481,6 +704,11 @@ fn parse_joblist(path: &str) -> Result<Vec<DeckJob>, Box<dyn std::error::Error>>
 }
 
 fn run_batch_cmd(args: &BatchArgs) -> Result<bool, Box<dyn std::error::Error>> {
+    // Planning runs on this thread inside `run_batch`, so the recorder
+    // captures the plan-phase compile and reachability spans.
+    if args.engine.profiling() {
+        telemetry::install(Telemetry::new());
+    }
     let jobs = parse_joblist(&args.joblist)?;
     let config = par_config(&args.engine);
     let report = run_batch(&jobs, &config)?;
@@ -526,6 +754,14 @@ fn run_batch_cmd(args: &BatchArgs) -> Result<bool, Box<dyn std::error::Error>> {
         report.decks.len(),
         report.outcomes().count(),
     );
-    write_json(&args.engine, &report.table())?;
+    let stats_out = collect_observability(&args.engine, None, Some(&report));
+    write_json(
+        &args.engine,
+        &report.table(),
+        stats_out.as_ref().map(|s| s.json.as_str()),
+    )?;
+    if let Some(out) = &stats_out {
+        emit_observability(&args.engine, out)?;
+    }
     Ok(report.all_hold())
 }

@@ -365,3 +365,121 @@ fn missing_file_reports_error() {
         .expect("runs");
     assert!(!out.status.success());
 }
+
+/// The `--stats` summary above the `-- timings --` marker holds only
+/// deterministic counters, so it must be byte-identical between a
+/// sequential and a 4-thread run (the timings below the marker are
+/// wall-clock and legitimately differ).
+#[test]
+fn stats_summary_is_byte_identical_across_job_counts() {
+    let section = |jobs: &str| -> String {
+        let stdout = check_stdout(
+            "models/counter.smv",
+            &["--coverage", "--stats", "--jobs", jobs],
+        );
+        let start = stdout.find("stats:").expect("stats section present");
+        let end = stdout
+            .find("-- timings --")
+            .expect("timings marker present");
+        assert!(start < end, "marker precedes stats:\n{stdout}");
+        stdout[start..end].to_owned()
+    };
+    let seq = section("1");
+    let par = section("4");
+    assert!(seq.contains("bdd_peak_live_nodes"), "{seq}");
+    assert!(seq.contains("image_calls"), "{seq}");
+    assert!(seq.contains("signal count"), "{seq}");
+    assert_eq!(seq, par, "stats counters must not depend on --jobs");
+}
+
+/// `--trace FILE` writes a JSONL span log covering the compile, the
+/// reachability fixpoint (with per-step events), and every per-signal
+/// coverage fixpoint.
+#[test]
+fn trace_log_covers_the_run_phases() {
+    let trace = std::env::temp_dir().join("covest-trace-test.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    let stdout = check_stdout(
+        "models/counter.smv",
+        &["--coverage", "--trace", trace.to_str().unwrap()],
+    );
+    assert!(stdout.contains("wrote "), "{stdout}");
+    let log = std::fs::read_to_string(&trace).expect("trace written");
+    for needle in [
+        "\"name\":\"compile\"",
+        "\"name\":\"reachability\"",
+        "\"name\":\"bfs_step\"",
+        "\"name\":\"care_install\"",
+        "\"name\":\"signal:count\"",
+        "\"name\":\"verify\"",
+        "\"name\":\"coverage\"",
+    ] {
+        assert!(log.contains(needle), "missing {needle} in:\n{log}");
+    }
+    // Every line parses as a record with the fixed field set.
+    for line in log.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        for key in ["\"type\"", "\"id\"", "\"name\"", "\"start_us\""] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+    }
+    let _ = std::fs::remove_file(&trace);
+}
+
+/// With `--stats --json`, the JSON document gains a `stats` object whose
+/// counters match across job counts (the `*_ms` fields are wall-clock
+/// and are scrubbed before comparing).
+#[test]
+fn json_stats_object_is_deterministic() {
+    let run = |jobs: &str, path: &std::path::Path| -> String {
+        check_stdout(
+            "models/counter.smv",
+            &[
+                "--coverage",
+                "--stats",
+                "--jobs",
+                jobs,
+                "--json",
+                path.to_str().unwrap(),
+            ],
+        );
+        std::fs::read_to_string(path).expect("json written")
+    };
+    let p1 = std::env::temp_dir().join("covest-stats-1.json");
+    let p4 = std::env::temp_dir().join("covest-stats-4.json");
+    let j1 = run("1", &p1);
+    let j4 = run("4", &p4);
+    assert!(j1.contains("\"stats\": {"), "{j1}");
+    assert!(j1.contains("\"front_end\": {"), "{j1}");
+    assert!(j1.contains("\"bdd_peak_live_nodes\":"), "{j1}");
+    let scrub = |s: &str| -> String {
+        let mut s = s.to_owned();
+        for key in [
+            "\"verify_ms\": ",
+            "\"coverage_ms\": ",
+            "\"queue_ms\": ",
+            "\"compile_ms\": ",
+            "\"import_ms\": ",
+            "\"solve_ms\": ",
+            "\"plan_ms\": ",
+        ] {
+            while let Some(at) = s.find(key) {
+                let start = at + key.len();
+                let end = start
+                    + s[start..]
+                        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+                        .unwrap();
+                s.replace_range(at..end, "");
+            }
+        }
+        s
+    };
+    assert_eq!(
+        scrub(&j1),
+        scrub(&j4),
+        "json stats must not depend on --jobs"
+    );
+    for p in [p1, p4] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -7,12 +7,13 @@
 //! paths and excluding user don't-cares), and help the user inspect the
 //! holes.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use covest_bdd::{Func, VarId};
 use covest_ctl::{Formula, PropExpr};
 use covest_fsm::{SymbolicFsm, Trace};
 use covest_mc::ModelChecker;
+use covest_telemetry::{self as telemetry, Stopwatch};
 
 use crate::covered::CoveredSets;
 use crate::error::CoverageError;
@@ -176,6 +177,7 @@ impl<'m> CoverageEstimator<'m> {
         properties: &[Formula],
         options: &CoverageOptions,
     ) -> Result<CoverageAnalysis, CoverageError> {
+        let _span = telemetry::span(format!("signal:{observed}"));
         let mgr = self.fsm.manager().clone();
         // Reachability comes first: the reachable set is both the
         // coverage-space denominator (phase 2) and the don't-care
@@ -193,7 +195,8 @@ impl<'m> CoverageEstimator<'m> {
         let mut cs = CoveredSets::with_checker(mc, observed)?;
 
         // Phase 1: verification.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
+        let verify_span = telemetry::span("verify");
         let mut verdicts = Vec::with_capacity(properties.len());
         for p in properties {
             let holds = cs.verify(p)?;
@@ -202,6 +205,8 @@ impl<'m> CoverageEstimator<'m> {
             }
             verdicts.push(holds);
         }
+        telemetry::span_field("properties", properties.len() as u64);
+        drop(verify_span);
         let verify_time = t0.elapsed();
         let verify_nodes = mgr.table_size();
 
@@ -212,7 +217,8 @@ impl<'m> CoverageEstimator<'m> {
         mgr.maybe_reduce_heap();
 
         // Phase 2: covered sets + coverage space.
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
+        let coverage_span = telemetry::span("coverage");
         let mut property_results = Vec::with_capacity(properties.len());
         let mut covered = mgr.constant(false);
         for (p, &holds) in properties.iter().zip(&verdicts) {
@@ -238,6 +244,7 @@ impl<'m> CoverageEstimator<'m> {
             space = space.diff(&dcf);
         }
         let covered = covered.and(&space);
+        drop(coverage_span);
         let coverage_time = t1.elapsed();
         let coverage_nodes = mgr.table_size();
 

@@ -378,6 +378,7 @@ impl ImageEngine {
     /// Exact for every argument set regardless of the installed care
     /// state (see [`ImageEngine::install_care`]).
     pub fn forward(&self, set: &Func) -> Func {
+        covest_telemetry::count("image_calls", 1);
         if let Some(img) = self.forward_care(set) {
             return img;
         }
@@ -393,6 +394,7 @@ impl ImageEngine {
     /// state set already renamed to **next** variables, as a BDD over
     /// current variables.
     pub fn backward(&self, set_next: &Func) -> Func {
+        covest_telemetry::count("preimage_calls", 1);
         match self.config.method {
             ImageMethod::Monolithic => self.monolithic_trans().and_exists(set_next, &self.bwd_vars),
             ImageMethod::Partitioned => {
@@ -407,6 +409,7 @@ impl ImageEngine {
     /// state to the inputs justifying the transition. This is what trace
     /// replay needs, and it never forces the monolith to exist.
     pub fn backward_with_inputs(&self, set_next: &Func) -> Func {
+        covest_telemetry::count("preimage_calls", 1);
         match self.config.method {
             ImageMethod::Monolithic => self
                 .monolithic_trans()

@@ -11,6 +11,7 @@
 //! is bit-identical across simplification modes.
 
 use covest_bdd::Func;
+use covest_telemetry as telemetry;
 
 use crate::fsm::SymbolicFsm;
 
@@ -18,13 +19,18 @@ impl SymbolicFsm {
     /// All states reachable from `from` in any number of steps, including
     /// `from` itself (the paper's `reachable(S0)`).
     pub fn reachable_from(&self, from: &Func) -> Func {
+        let _span = telemetry::span("reachability");
         let simplify = self.image_config().simplify;
         let mut reached = from.clone();
         let mut frontier = from.clone();
+        let mut steps = 0u64;
         loop {
             let img = self.image(&frontier);
             let fresh = img.diff(&reached);
+            steps += 1;
+            telemetry::count("bfs_steps", 1);
             if fresh.is_false() {
+                telemetry::span_field("bfs_steps", steps);
                 return reached;
             }
             // Care = ¬visited (before absorbing the new layer): the
@@ -32,6 +38,18 @@ impl SymbolicFsm {
             // region and is free to absorb visited states elsewhere.
             frontier = simplify.apply(&fresh, &reached.not());
             reached = reached.or(&fresh);
+            // Per-step BDD sizes are deterministic but cost a node-count
+            // traversal each, so they are gathered only under a recorder.
+            if telemetry::is_active() {
+                telemetry::event(
+                    "bfs_step",
+                    &[
+                        ("step", steps),
+                        ("frontier_nodes", frontier.node_count() as u64),
+                        ("visited_nodes", reached.node_count() as u64),
+                    ],
+                );
+            }
         }
     }
 
@@ -88,6 +106,7 @@ impl SymbolicFsm {
     pub fn install_reachable_care(&self) -> Func {
         let reach = self.reachable();
         if self.engine.care_set().as_ref() != Some(&reach) {
+            let _span = telemetry::span("care_install");
             self.engine
                 .install_care(&reach, self.image_config().simplify);
         }

@@ -253,10 +253,13 @@ impl<'m> ModelChecker<'m> {
     /// the care states, which is all any observable consumer reads.
     fn eu_raw(&self, p: &Func, q: &Func) -> Func {
         let mut z = q.clone();
+        let mut iters = 0u64;
         loop {
             let pre = self.fsm.preimage(&self.shrink(&z));
             let next = z.or(&p.and(&pre));
+            iters += 1;
             if next == z {
+                covest_telemetry::count("eu_iterations", iters);
                 return z;
             }
             z = next;
@@ -287,6 +290,7 @@ impl<'m> ModelChecker<'m> {
                 let pre = self.fsm.preimage(&self.shrink(&reach));
                 next = next.and(&pre);
             }
+            covest_telemetry::count("eg_fair_iterations", 1);
             if next == z {
                 return z;
             }
@@ -297,10 +301,13 @@ impl<'m> ModelChecker<'m> {
     /// Plain greatest-fixpoint `EG p`.
     fn eg_raw(&self, p: &Func) -> Func {
         let mut z = p.clone();
+        let mut iters = 0u64;
         loop {
             let pre = self.fsm.preimage(&self.shrink(&z));
             let next = z.and(&pre);
+            iters += 1;
             if next == z {
+                covest_telemetry::count("eg_iterations", iters);
                 return z;
             }
             z = next;

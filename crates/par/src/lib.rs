@@ -63,4 +63,6 @@ mod plan;
 mod pool;
 
 pub use plan::{DeckJob, ParConfig, WorkPlan};
-pub use pool::{run_batch, run_sequential, BatchReport, DeckReport, ParError, SignalOutcome};
+pub use pool::{
+    run_batch, run_sequential, BatchReport, DeckReport, ParError, SignalOutcome, TaskProfile,
+};

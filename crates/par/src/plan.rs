@@ -55,6 +55,12 @@ pub struct ParConfig {
     /// declaration-order sample; see
     /// [`covest_core::CoverageEstimator::uncovered_states`]).
     pub uncovered_limit: usize,
+    /// Collect a per-task [`crate::TaskProfile`] — phase durations, a
+    /// span log, and the task's deterministic engine counters. Off by
+    /// default; the counters are a pure function of (deck source,
+    /// signal, config), so they are byte-identical across `jobs` values,
+    /// while the durations are wall-clock and excluded from parity.
+    pub profile: bool,
 }
 
 impl Default for ParConfig {
@@ -64,6 +70,7 @@ impl Default for ParConfig {
             image: ImageConfig::default(),
             reorder: ReorderMode::Sift,
             uncovered_limit: 10,
+            profile: false,
         }
     }
 }
@@ -91,6 +98,9 @@ pub(crate) struct PlannedDeck {
     /// The planner-computed reachable set, exported name-keyed so every
     /// worker imports it instead of re-running the reachability BFS.
     pub reach: BddDump,
+    /// Wall-clock the planner spent on this deck (compile + reachability
+    /// + export). Timing only — never parity-checked.
+    pub plan_time: std::time::Duration,
 }
 
 /// What one queue entry asks a worker to do.
@@ -126,6 +136,7 @@ pub(crate) fn plan_deck(
         deck: job.name.clone(),
         message,
     };
+    let sw = covest_telemetry::Stopwatch::start();
     let bdd = BddManager::new();
     bdd.set_reorder_config(ReorderConfig {
         mode: config.reorder,
@@ -157,6 +168,7 @@ pub(crate) fn plan_deck(
             source: job.source.clone(),
             num_properties: model.specs.len(),
             reach,
+            plan_time: sw.elapsed(),
         },
         kinds,
     ))

@@ -19,11 +19,15 @@
 //! `--jobs 1` and `--jobs 64` produce byte-identical reports.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 use covest_bdd::{BddDump, BddManager, ReorderConfig, ReorderMode};
 use covest_core::{CoverageEstimator, CoverageOptions, CoverageTable, PropertyVerdict, ReportRow};
 use covest_mc::ModelChecker;
+use covest_telemetry::{
+    self as telemetry, Clock, Counters, SpanRecord, Stopwatch, Telemetry, WallClock,
+};
 
 use crate::plan::{DeckJob, ParConfig, PlannedDeck, TaskKind, WorkPlan};
 
@@ -86,6 +90,40 @@ pub struct SignalOutcome {
     pub uncovered: BddDump,
 }
 
+/// The per-task observability record collected when
+/// [`ParConfig::profile`] is on: where the task's wall-clock went, the
+/// span log its phases recorded, and the deterministic engine counters
+/// of its private manager.
+///
+/// The counters (and spans' deterministic fields) are a pure function of
+/// (deck source, signal, config) — byte-identical across `jobs` values
+/// and across identical runs. Every `Duration` here is wall-clock and
+/// excluded from any parity contract.
+#[derive(Debug, Clone)]
+pub struct TaskProfile {
+    /// Deck display name.
+    pub deck: String,
+    /// Observed signal for coverage tasks; `None` for verify-only tasks.
+    pub signal: Option<String>,
+    /// Time between the task becoming runnable and a worker picking it
+    /// up.
+    pub queue_wait: Duration,
+    /// Time recompiling the deck on the task's private manager
+    /// (including the startup sifting pass, when configured).
+    pub compile: Duration,
+    /// Time importing and seeding the planner's reachable set.
+    pub import: Duration,
+    /// Time in the analysis proper (verification + coverage, or
+    /// verification only).
+    pub solve: Duration,
+    /// Deterministic counters: the telemetry tallies recorded during the
+    /// task (image calls, fixpoint iterations, …) plus the manager's
+    /// [`covest_bdd::BddStats`] as `bdd_`-prefixed entries.
+    pub counters: Counters,
+    /// The task's span/event forest (see [`covest_telemetry`]).
+    pub spans: Vec<SpanRecord>,
+}
+
 /// All results for one deck, in signal declaration order.
 #[derive(Debug, Clone)]
 pub struct DeckReport {
@@ -99,6 +137,13 @@ pub struct DeckReport {
     pub verdicts: Vec<PropertyVerdict>,
     /// Per-signal outcomes, in declaration order.
     pub signals: Vec<SignalOutcome>,
+    /// Wall-clock the planner spent on this deck (compile + reachability
+    /// + export); zero on the sequential baseline, which does not plan.
+    pub plan_time: Duration,
+    /// Per-task profiles in task order — empty unless
+    /// [`ParConfig::profile`] is set (the sequential baseline never
+    /// profiles).
+    pub profiles: Vec<TaskProfile>,
 }
 
 impl DeckReport {
@@ -145,29 +190,79 @@ enum TaskPayload {
 
 /// Runs one queue task on a private, fresh manager. Pure in (deck
 /// source, kind, config): no state is shared with any other task.
+/// `queue_wait` is how long the task sat runnable before this call;
+/// with [`ParConfig::profile`] set, a fresh telemetry recorder is
+/// installed for the task's duration and shipped back as a
+/// [`TaskProfile`] alongside the payload.
 fn run_task(
     deck: &PlannedDeck,
     kind: &TaskKind,
     config: &ParConfig,
-) -> Result<TaskPayload, String> {
+    queue_wait: Duration,
+) -> Result<(TaskPayload, Option<TaskProfile>), String> {
+    if config.profile {
+        telemetry::install(Telemetry::new());
+    }
     let bdd = BddManager::new();
+    let result = run_task_phases(&bdd, deck, kind, config);
+    let recorder = telemetry::uninstall();
+    let (payload, compile, import, solve) = result?;
+    let profile = recorder.map(|rec| {
+        let (spans, mut counters) = rec.into_parts();
+        for (name, value) in bdd.stats().pairs() {
+            counters.add(name, value);
+        }
+        TaskProfile {
+            deck: deck.name.clone(),
+            signal: match kind {
+                TaskKind::Coverage { signal } => Some(signal.clone()),
+                TaskKind::VerifyOnly => None,
+            },
+            queue_wait,
+            compile,
+            import,
+            solve,
+            counters,
+            spans,
+        }
+    });
+    Ok((payload, profile))
+}
+
+/// The task body proper: compile, import, solve — returning the payload
+/// plus each phase's wall-clock. Split out of [`run_task`] so the
+/// recorder installed there is uninstalled on *every* exit path.
+fn run_task_phases(
+    bdd: &BddManager,
+    deck: &PlannedDeck,
+    kind: &TaskKind,
+    config: &ParConfig,
+) -> Result<(TaskPayload, Duration, Duration, Duration), String> {
+    let _task_span = telemetry::span(match kind {
+        TaskKind::Coverage { signal } => format!("task:{}:{signal}", deck.name),
+        TaskKind::VerifyOnly => format!("task:{}", deck.name),
+    });
     bdd.set_reorder_config(ReorderConfig {
         mode: config.reorder,
         ..Default::default()
     });
+    let sw = Stopwatch::start();
     let model =
-        covest_smv::compile_with(&bdd, &deck.source, config.image).map_err(|e| e.to_string());
-    let model = model?;
+        covest_smv::compile_with(bdd, &deck.source, config.image).map_err(|e| e.to_string())?;
     if config.reorder == ReorderMode::Sift {
         bdd.reduce_heap();
     }
+    let compile = sw.elapsed();
     // The planner already paid for reachability; import its set instead
     // of re-running the BFS. Name keying makes this correct even though
     // this manager's variable order has its own history.
+    let sw = Stopwatch::start();
     let reach = bdd.import_bdd(&deck.reach).map_err(|e| e.to_string())?;
     model.fsm.seed_reachable(reach);
+    let import = sw.elapsed();
 
-    match kind {
+    let sw = Stopwatch::start();
+    let payload = match kind {
         TaskKind::Coverage { signal } => {
             let estimator = CoverageEstimator::new(&model.fsm);
             let options = CoverageOptions {
@@ -183,12 +278,12 @@ fn run_task(
                 .export_bdd()
                 .map_err(|e| e.to_string())?;
             let row = ReportRow::from_analysis(&deck.name, &analysis).with_uncovered_sample(sample);
-            Ok(TaskPayload::Coverage(Box::new(SignalOutcome {
+            TaskPayload::Coverage(Box::new(SignalOutcome {
                 deck: deck.name.clone(),
                 signal: signal.clone(),
                 row,
                 uncovered,
-            })))
+            }))
         }
         TaskKind::VerifyOnly => {
             let mut mc = ModelChecker::new(&model.fsm);
@@ -207,9 +302,11 @@ fn run_task(
                     vacuous: false,
                 });
             }
-            Ok(TaskPayload::Verdicts(verdicts))
+            TaskPayload::Verdicts(verdicts)
         }
-    }
+    };
+    let solve = sw.elapsed();
+    Ok((payload, compile, import, solve))
 }
 
 impl WorkPlan {
@@ -224,18 +321,23 @@ impl WorkPlan {
     pub fn run(&self, config: &ParConfig) -> Result<BatchReport, ParError> {
         let workers = self.tasks.len().min(config.effective_jobs()).max(1);
         let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<Result<TaskPayload, String>>> = Vec::new();
+        // Every task of a pre-built plan is runnable from the start, so
+        // queue wait is simply the clock reading at pickup.
+        let clock = WallClock::new();
+        let mut slots: Vec<TaskSlot> = Vec::new();
         slots.resize_with(self.tasks.len(), || None);
 
         std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<(usize, Result<TaskPayload, String>)>();
+            let (tx, rx) = mpsc::channel::<(usize, TaskResult)>();
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
+                let clock = &clock;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(task) = self.tasks.get(i) else { break };
-                    let result = run_task(&self.decks[task.deck], &task.kind, config);
+                    let queue_wait = clock.now();
+                    let result = run_task(&self.decks[task.deck], &task.kind, config, queue_wait);
                     if tx.send((i, result)).is_err() {
                         break;
                     }
@@ -251,7 +353,7 @@ impl WorkPlan {
             &self
                 .decks
                 .iter()
-                .map(|d| (d.name.clone(), d.num_properties))
+                .map(|d| (d.name.clone(), d.num_properties, d.plan_time))
                 .collect::<Vec<_>>(),
             &self.tasks,
             slots,
@@ -259,33 +361,40 @@ impl WorkPlan {
     }
 }
 
+/// What one task delivers: payload plus optional profile, or an error.
+type TaskResult = Result<(TaskPayload, Option<TaskProfile>), String>;
+type TaskSlot = Option<TaskResult>;
+
 /// Assembles per-task payloads (indexed by task) into the final
-/// deterministic report: decks in `decks` order, signals in task order.
+/// deterministic report: decks in `decks` order, signals (and profiles)
+/// in task order.
 fn merge_results(
-    decks: &[(String, usize)],
+    decks: &[(String, usize, Duration)],
     tasks: &[crate::plan::Task],
-    slots: Vec<Option<Result<TaskPayload, String>>>,
+    slots: Vec<TaskSlot>,
 ) -> Result<BatchReport, ParError> {
     let mut reports: Vec<DeckReport> = decks
         .iter()
-        .map(|(name, num_properties)| DeckReport {
+        .map(|(name, num_properties, plan_time)| DeckReport {
             name: name.clone(),
             num_properties: *num_properties,
             verdicts: Vec::new(),
             signals: Vec::new(),
+            plan_time: *plan_time,
+            profiles: Vec::new(),
         })
         .collect();
     for (task, slot) in tasks.iter().zip(slots) {
-        let payload = slot
-            .expect("every task sends exactly one result")
-            .map_err(|message| ParError::Task {
-                deck: decks[task.deck].0.clone(),
-                signal: match &task.kind {
-                    TaskKind::Coverage { signal } => Some(signal.clone()),
-                    TaskKind::VerifyOnly => None,
-                },
-                message,
-            })?;
+        let (payload, profile) =
+            slot.expect("every task sends exactly one result")
+                .map_err(|message| ParError::Task {
+                    deck: decks[task.deck].0.clone(),
+                    signal: match &task.kind {
+                        TaskKind::Coverage { signal } => Some(signal.clone()),
+                        TaskKind::VerifyOnly => None,
+                    },
+                    message,
+                })?;
         let report = &mut reports[task.deck];
         match payload {
             TaskPayload::Coverage(outcome) => {
@@ -296,6 +405,7 @@ fn merge_results(
             }
             TaskPayload::Verdicts(verdicts) => report.verdicts = verdicts,
         }
+        report.profiles.extend(profile);
     }
     Ok(BatchReport { decks: reports })
 }
@@ -316,28 +426,33 @@ fn merge_results(
 ///
 /// See [`WorkPlan::plan`] and [`WorkPlan::run`].
 pub fn run_batch(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchReport, ParError> {
-    use std::sync::{Arc, Mutex};
-
     let workers = config.effective_jobs().max(1);
-    let mut planned: Vec<(String, usize)> = Vec::new();
+    let clock = WallClock::new();
+    let mut planned: Vec<(String, usize, Duration)> = Vec::new();
     let mut tasks: Vec<crate::plan::Task> = Vec::new();
     let mut plan_error: Option<ParError> = None;
-    let mut slots: Vec<Option<Result<TaskPayload, String>>> = Vec::new();
+    let mut slots: Vec<TaskSlot> = Vec::new();
 
-    type WorkItem = (usize, Arc<PlannedDeck>, TaskKind);
+    // The `Duration` is the enqueue timestamp (shared-clock reading at
+    // release), so the worker can report the task's queue wait.
+    type WorkItem = (usize, Arc<PlannedDeck>, TaskKind, Duration);
     let (task_tx, task_rx) = mpsc::channel::<WorkItem>();
     let task_rx = Mutex::new(task_rx);
-    let (result_tx, result_rx) = mpsc::channel::<(usize, Result<TaskPayload, String>)>();
+    let (result_tx, result_rx) = mpsc::channel::<(usize, TaskResult)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let result_tx = result_tx.clone();
             let task_rx = &task_rx;
+            let clock = &clock;
             scope.spawn(move || loop {
                 // Take the lock only to receive; blocked peers wake as
                 // soon as this worker starts computing.
                 let item = task_rx.lock().expect("queue lock").recv();
-                let Ok((i, deck, kind)) = item else { break };
-                let result = run_task(&deck, &kind, config);
+                let Ok((i, deck, kind, enqueued)) = item else {
+                    break;
+                };
+                let queue_wait = clock.now().saturating_sub(enqueued);
+                let result = run_task(&deck, &kind, config, queue_wait);
                 if result_tx.send((i, result)).is_err() {
                     break;
                 }
@@ -350,7 +465,7 @@ pub fn run_batch(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchReport, Pa
             match crate::plan::plan_deck(job, config) {
                 Ok((deck, kinds)) => {
                     let deck_idx = planned.len();
-                    planned.push((deck.name.clone(), deck.num_properties));
+                    planned.push((deck.name.clone(), deck.num_properties, deck.plan_time));
                     let deck = Arc::new(deck);
                     for kind in kinds {
                         let i = tasks.len();
@@ -358,7 +473,7 @@ pub fn run_batch(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchReport, Pa
                             deck: deck_idx,
                             kind: kind.clone(),
                         });
-                        let _ = task_tx.send((i, Arc::clone(&deck), kind));
+                        let _ = task_tx.send((i, Arc::clone(&deck), kind, clock.now()));
                     }
                 }
                 Err(e) => {
@@ -427,6 +542,8 @@ pub fn run_sequential(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchRepor
             num_properties: model.specs.len(),
             verdicts: Vec::new(),
             signals: Vec::new(),
+            plan_time: Duration::ZERO,
+            profiles: Vec::new(),
         };
         if signals.is_empty() {
             let mut mc = ModelChecker::new(&model.fsm);

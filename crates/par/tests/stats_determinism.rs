@@ -1,0 +1,138 @@
+//! Determinism contract for the telemetry profiles: every per-task
+//! counter is a pure function of (deck source, observed signal,
+//! configuration) — never of the scheduler, the thread count, or the
+//! clock. Two identical runs must produce byte-identical counters, and
+//! so must runs that differ only in `jobs`. Durations (`queue_wait`,
+//! `compile`, `import`, `solve`) are wall-clock by definition and are
+//! deliberately excluded from every assertion here.
+
+use std::fmt::Write as _;
+
+use covest_par::{run_batch, BatchReport, DeckJob, ParConfig, TaskProfile};
+
+/// Every bundled circuit (generated deck + its Table-2 suite) plus
+/// every checked-in `models/*.smv` deck — the same fleet the parity
+/// suite locks.
+fn all_decks() -> Vec<DeckJob> {
+    use covest_circuits::{circular_queue, counter, pipeline, priority_buffer};
+
+    let with_specs = |mut deck: String, specs: &[covest_ctl::Formula]| -> String {
+        for spec in specs {
+            writeln!(deck, "SPEC {spec};").expect("write to string");
+        }
+        deck
+    };
+
+    let mut queue_suite = circular_queue::wrap_suite_initial();
+    queue_suite.extend(circular_queue::full_suite());
+    queue_suite.extend(circular_queue::empty_suite());
+    let mut buffer_suite = priority_buffer::lo_suite_initial(4);
+    buffer_suite.push(priority_buffer::lo_missing_case());
+    buffer_suite.extend(priority_buffer::hi_suite(4));
+    let mut pipeline_suite = pipeline::out_suite_initial(4);
+    pipeline_suite.extend(pipeline::out_suite_hold());
+
+    let mut decks = vec![
+        DeckJob::new(
+            "circuit:circular_queue",
+            with_specs(circular_queue::deck(4), &queue_suite),
+        ),
+        DeckJob::new(
+            "circuit:priority_buffer",
+            with_specs(priority_buffer::deck(4, false), &buffer_suite),
+        ),
+        DeckJob::new(
+            "circuit:counter",
+            with_specs(counter::deck(), &counter::increment_properties()),
+        ),
+        DeckJob::new(
+            "circuit:pipeline",
+            with_specs(pipeline::deck(4), &pipeline_suite),
+        ),
+    ];
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../models");
+    let mut model_decks: Vec<DeckJob> = std::fs::read_dir(&dir)
+        .expect("models directory")
+        .filter_map(|e| {
+            let path = e.expect("dir entry").path();
+            if path.extension().is_some_and(|x| x == "smv") {
+                let name = format!("models/{}", path.file_name().unwrap().to_string_lossy());
+                let src = std::fs::read_to_string(&path).expect("readable deck");
+                Some(DeckJob::new(name, src))
+            } else {
+                None
+            }
+        })
+        .collect();
+    model_decks.sort_by(|a, b| a.name.cmp(&b.name));
+    assert!(!model_decks.is_empty(), "no decks under {}", dir.display());
+    decks.extend(model_decks);
+    decks
+}
+
+/// Flattens a report's profiles in merge order (decks in input order,
+/// tasks in task-index order within each deck).
+fn profiles(report: &BatchReport) -> Vec<&TaskProfile> {
+    report
+        .decks
+        .iter()
+        .flat_map(|d| d.profiles.iter())
+        .collect()
+}
+
+/// Asserts two runs produced the same tasks with byte-identical
+/// counters. Durations are never compared.
+fn assert_counter_parity(label: &str, a: &BatchReport, b: &BatchReport) {
+    let (pa, pb) = (profiles(a), profiles(b));
+    assert_eq!(pa.len(), pb.len(), "{label}: profile count");
+    assert!(!pa.is_empty(), "{label}: profiling produced no profiles");
+    for (x, y) in pa.iter().zip(&pb) {
+        let tag = format!("{label}: {} / {:?}", x.deck, x.signal);
+        assert_eq!(x.deck, y.deck, "{tag}: deck order");
+        assert_eq!(x.signal, y.signal, "{tag}: signal order");
+        assert_eq!(x.counters, y.counters, "{tag}: counters drifted");
+        assert!(!x.counters.is_empty(), "{tag}: counters recorded");
+    }
+}
+
+#[test]
+fn identical_runs_produce_identical_counters() {
+    let decks = all_decks();
+    let config = ParConfig {
+        jobs: 2,
+        profile: true,
+        ..Default::default()
+    };
+    let a = run_batch(&decks, &config).expect("first run");
+    let b = run_batch(&decks, &config).expect("second run");
+    assert_counter_parity("repeat", &a, &b);
+}
+
+#[test]
+fn per_task_counters_identical_across_job_counts() {
+    let decks = all_decks();
+    let one = ParConfig {
+        jobs: 1,
+        profile: true,
+        ..Default::default()
+    };
+    let four = ParConfig {
+        jobs: 4,
+        profile: true,
+        ..Default::default()
+    };
+    let a = run_batch(&decks, &one).expect("jobs=1 run");
+    let b = run_batch(&decks, &four).expect("jobs=4 run");
+    assert_counter_parity("jobs 1 vs 4", &a, &b);
+}
+
+#[test]
+fn profiles_absent_unless_requested() {
+    let decks = all_decks();
+    let report = run_batch(&decks, &ParConfig::default()).expect("unprofiled run");
+    assert!(
+        report.decks.iter().all(|d| d.profiles.is_empty()),
+        "profiles must only be collected when ParConfig::profile is set"
+    );
+}

@@ -70,6 +70,7 @@ use covest_bdd::BddManager;
 ///
 /// Returns [`ModelError`] for lexical, syntactic, type, or range errors.
 pub fn compile(bdd: &BddManager, src: &str) -> Result<CompiledModel, ModelError> {
+    let _span = covest_telemetry::span("compile");
     let module = parse_module(src)?;
     compile_module(bdd, &module)
 }
@@ -84,6 +85,7 @@ pub fn compile_with(
     src: &str,
     image: ImageConfig,
 ) -> Result<CompiledModel, ModelError> {
+    let _span = covest_telemetry::span("compile");
     let module = parse_module(src)?;
     compile_module_with(bdd, &module, image)
 }

@@ -14,6 +14,7 @@
 //! - [`coverage`] — the paper's coverage estimator (the contribution)
 //! - [`par`] — parallel coverage engine (signal-sharded worker pool)
 //! - [`circuits`] — the paper's example circuits and property suites
+//! - [`telemetry`] — engine counters, phase spans and per-task profiles
 //!
 //! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
 //! experiment-by-experiment reproduction index.
@@ -26,3 +27,4 @@ pub use covest_fsm as fsm;
 pub use covest_mc as mc;
 pub use covest_par as par;
 pub use covest_smv as smv;
+pub use covest_telemetry as telemetry;
