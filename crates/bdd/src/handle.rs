@@ -130,6 +130,13 @@ impl BddManager {
         self.inner.borrow().live_nodes()
     }
 
+    /// Engine memory footprint in bytes: the packed 16-byte node arena
+    /// plus every unique table and compute cache. An allocator-independent
+    /// peak-RSS proxy for benchmark reports.
+    pub fn arena_bytes(&self) -> usize {
+        self.inner.borrow().arena_bytes()
+    }
+
     /// Number of live external-root slots (distinct live [`Func`]
     /// handles; clones share a slot).
     pub fn live_roots(&self) -> usize {

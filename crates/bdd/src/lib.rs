@@ -78,6 +78,7 @@ mod serde;
 mod simplify;
 mod stats;
 mod subst;
+mod table;
 
 pub use handle::{BddManager, Cubes, Func, Minterms};
 pub use node::VarId;

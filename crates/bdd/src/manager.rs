@@ -1,13 +1,21 @@
-//! The internal BDD engine: node store, unique table, external-root
-//! table and core operations.
+//! The internal BDD engine: packed node arena, open-addressing unique
+//! tables, direct-mapped compute caches, external-root table and core
+//! operations.
 //!
 //! [`Inner`] is the crate-private substrate behind the public
 //! [`crate::BddManager`] / [`crate::Func`] handle API. It works in terms
 //! of raw [`Ref`] indices; nothing outside this crate ever sees a `Ref`.
+//!
+//! Nodes live in one contiguous arena of 16-byte [`PackedNode`] entries
+//! indexed by `u32`. Free slots are threaded into an intrusive free list
+//! through their `aux` word (flagged by `var == FREE_VAR`); on live
+//! nodes `aux` carries the GC mark. Hash-consing goes through one
+//! open-addressing [`UniqueTable`] per variable, and all operation memos
+//! are fixed-size direct-mapped caches (see `table.rs` for why lossiness
+//! is sound).
 
-use std::collections::HashMap;
-
-use crate::node::{Node, Ref, VarId, TERMINAL_VAR};
+use crate::node::{Node, PackedNode, Ref, VarId, FREE_VAR, NIL_SLOT, TERMINAL_VAR};
+use crate::table::{BinCache, IteCache, PairCache, UnaryCache, UniqueTable};
 
 /// One slot of the external-root table: a pinned node handle plus the
 /// number of live [`crate::Func`] clones pointing at it.
@@ -31,17 +39,22 @@ pub(crate) struct ExtSlot {
 /// public API.
 #[derive(Debug, Clone)]
 pub(crate) struct Inner {
-    pub(crate) nodes: Vec<Node>,
+    /// The packed node arena; slots 0 and 1 are the terminals.
+    pub(crate) nodes: Vec<PackedNode>,
     /// Level-organized unique table: `unique[var]` hash-conses the nodes
     /// labelled `var`, keyed by their `(lo, hi)` cofactors. Keeping one
     /// subtable per variable lets dynamic reordering move a whole level
     /// without touching the rest of the table.
-    pub(crate) unique: Vec<HashMap<(Ref, Ref), Ref>>,
-    pub(crate) ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    pub(crate) unique: Vec<UniqueTable>,
+    pub(crate) ite_cache: IteCache,
     pub(crate) var2level: Vec<u32>,
     pub(crate) level2var: Vec<u32>,
     var_names: Vec<Option<String>>,
-    pub(crate) free: Vec<u32>,
+    /// Head of the intrusive free list threaded through the `aux` words
+    /// of freed arena slots (`NIL_SLOT` when empty).
+    pub(crate) free_head: u32,
+    /// Free-list length, kept so `live_nodes` stays O(1).
+    pub(crate) free_len: u32,
     /// Variable groups kept adjacent by reordering (e.g. a state bit's
     /// current/next pair); see [`Inner::group_vars`].
     pub(crate) groups: Vec<Vec<u32>>,
@@ -56,17 +69,21 @@ pub(crate) struct Inner {
     /// free list, regardless of how many roots are live.
     pub(crate) ext: Vec<ExtSlot>,
     pub(crate) ext_free: Vec<u32>,
-    // Manager-owned scratch buffers reused across quantification calls so
-    // `exists`/`forall`/`and_exists` do not allocate per invocation.
-    pub(crate) quant_memo: HashMap<Ref, Ref>,
-    pub(crate) pair_memo: HashMap<(Ref, Ref), Ref>,
+    // Generation-tagged caches shared by the unary traversals
+    // (quantification, cofactor, compose) and the fused relational
+    // product; a tag bump replaces the old per-call memo clear.
+    pub(crate) quant_cache: UnaryCache,
+    pub(crate) pair_cache: PairCache,
     pub(crate) mask_scratch: Vec<bool>,
-    // Persistent memo tables for the Coudert–Madre simplification
-    // operators (see `simplify.rs`). Keyed by `(f, care)`, valid only for
-    // the current variable order and node slots, hence dropped by
+    /// Var-indexed substitution scratch for `compose`/`vector_compose`
+    /// (`NIL_REF` = identity), reused across calls.
+    pub(crate) subst_scratch: Vec<Ref>,
+    // Persistent caches for the Coudert–Madre simplification operators
+    // (see `simplify.rs`). Keyed by `(f, care)`, valid only for the
+    // current variable order and node slots, hence dropped by
     // `clear_caches` like every other memo.
-    pub(crate) constrain_memo: HashMap<(Ref, Ref), Ref>,
-    pub(crate) restrict_memo: HashMap<(Ref, Ref), Ref>,
+    pub(crate) constrain_cache: BinCache,
+    pub(crate) restrict_cache: BinCache,
     /// Deterministic engine counters (see [`crate::BddStats`]); bumped
     /// inline on the hot paths, snapshot via [`Inner::stats`].
     pub(crate) stats: crate::stats::BddStats,
@@ -81,32 +98,35 @@ impl Default for Inner {
 impl Inner {
     /// Creates an empty engine with no variables.
     pub fn new() -> Self {
-        let terminal = Node {
+        let terminal = PackedNode {
             var: TERMINAL_VAR,
             lo: Ref::FALSE,
             hi: Ref::TRUE,
+            aux: 0,
         };
         Inner {
             // Slots 0 and 1 are the terminals; their node contents are
             // sentinels and never looked up through the unique table.
             nodes: vec![terminal, terminal],
             unique: Vec::new(),
-            ite_cache: HashMap::new(),
+            ite_cache: IteCache::new(),
             var2level: Vec::new(),
             level2var: Vec::new(),
             var_names: Vec::new(),
-            free: Vec::new(),
+            free_head: NIL_SLOT,
+            free_len: 0,
             groups: Vec::new(),
             var_group: Vec::new(),
             reorder: crate::reorder::ReorderConfig::default(),
             next_auto_threshold: crate::reorder::ReorderConfig::default().auto_threshold,
             ext: Vec::new(),
             ext_free: Vec::new(),
-            quant_memo: HashMap::new(),
-            pair_memo: HashMap::new(),
+            quant_cache: UnaryCache::new(),
+            pair_cache: PairCache::new(),
             mask_scratch: Vec::new(),
-            constrain_memo: HashMap::new(),
-            restrict_memo: HashMap::new(),
+            subst_scratch: Vec::new(),
+            constrain_cache: BinCache::new(),
+            restrict_cache: BinCache::new(),
             stats: crate::stats::BddStats {
                 // The two terminals exist from birth: the high-water mark
                 // starts at the initial live-node count, not at zero.
@@ -197,7 +217,7 @@ impl Inner {
         self.var2level.push(id);
         self.level2var.push(id);
         self.var_names.push(None);
-        self.unique.push(HashMap::new());
+        self.unique.push(UniqueTable::new());
         self.var_group.push(None);
         VarId(id)
     }
@@ -239,7 +259,21 @@ impl Inner {
 
     /// Number of live nodes (allocated slots minus the free list).
     pub fn live_nodes(&self) -> usize {
-        self.nodes.len() - self.free.len()
+        self.nodes.len() - self.free_len as usize
+    }
+
+    /// Engine memory footprint in bytes: the packed node arena plus
+    /// every unique table and compute cache. Used as the peak-RSS proxy
+    /// in benchmark reports — it tracks exactly the structures this
+    /// module owns, independent of allocator behavior.
+    pub fn arena_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<PackedNode>()
+            + self.unique.iter().map(UniqueTable::bytes).sum::<usize>()
+            + self.ite_cache.bytes()
+            + self.quant_cache.bytes()
+            + self.pair_cache.bytes()
+            + self.constrain_cache.bytes()
+            + self.restrict_cache.bytes()
     }
 
     /// The level (position in the variable order, `0` = topmost) of `var`.
@@ -254,7 +288,50 @@ impl Inner {
 
     #[inline]
     pub(crate) fn node(&self, r: Ref) -> Node {
-        self.nodes[r.index()]
+        let p = self.nodes[r.index()];
+        debug_assert_ne!(p.var, FREE_VAR, "read of a freed node slot");
+        Node {
+            var: p.var,
+            lo: p.lo,
+            hi: p.hi,
+        }
+    }
+
+    /// Pops a free slot (or appends) and writes the node; free-list
+    /// links live in the `aux` words of the freed slots themselves.
+    #[inline]
+    pub(crate) fn alloc_node(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        let entry = PackedNode {
+            var,
+            lo,
+            hi,
+            aux: 0,
+        };
+        if self.free_head != NIL_SLOT {
+            let slot = self.free_head;
+            self.free_head = self.nodes[slot as usize].aux;
+            self.free_len -= 1;
+            self.nodes[slot as usize] = entry;
+            Ref(slot)
+        } else {
+            let slot = self.nodes.len() as u32;
+            assert!(slot < FREE_VAR, "BDD arena exhausted the u32 slot space");
+            self.nodes.push(entry);
+            Ref(slot)
+        }
+    }
+
+    /// Returns a slot to the free list (flagged by `var == FREE_VAR`,
+    /// next link in `aux`). The caller must already have unlinked the
+    /// node from its unique table.
+    #[inline]
+    pub(crate) fn free_node(&mut self, slot: u32) {
+        let n = &mut self.nodes[slot as usize];
+        debug_assert_ne!(n.var, FREE_VAR, "double free of an arena slot");
+        n.var = FREE_VAR;
+        n.aux = self.free_head;
+        self.free_head = slot;
+        self.free_len += 1;
     }
 
     /// Level of the topmost variable of `r`; terminals get `u32::MAX`.
@@ -298,24 +375,24 @@ impl Inner {
                 && self.var2level[var as usize] < self.level(hi),
             "ordering violation in mk"
         );
-        if let Some(&r) = self.unique[var as usize].get(&(lo, hi)) {
-            self.stats.unique_hits += 1;
-            return r;
+        // Reserve before probing so a vacant probe position stays valid
+        // for the fill below (allocation never touches the table).
+        self.unique[var as usize].reserve(&self.nodes);
+        match self.unique[var as usize].probe(&self.nodes, lo, hi) {
+            Ok(r) => {
+                self.stats.unique_hits += 1;
+                r
+            }
+            Err(pos) => {
+                self.stats.unique_misses += 1;
+                let r = self.alloc_node(var, lo, hi);
+                self.unique[var as usize].fill(pos, r.0);
+                self.stats.unique_insertions += 1;
+                self.stats.peak_live_nodes =
+                    self.stats.peak_live_nodes.max(self.live_nodes() as u64);
+                r
+            }
         }
-        self.stats.unique_misses += 1;
-        let node = Node { var, lo, hi };
-        let r = if let Some(slot) = self.free.pop() {
-            self.nodes[slot as usize] = node;
-            Ref(slot)
-        } else {
-            let slot = self.nodes.len() as u32;
-            self.nodes.push(node);
-            Ref(slot)
-        };
-        self.unique[var as usize].insert((lo, hi), r);
-        self.stats.unique_insertions += 1;
-        self.stats.peak_live_nodes = self.stats.peak_live_nodes.max(self.live_nodes() as u64);
-        r
     }
 
     /// The function that is true exactly when `var` is true.
@@ -366,7 +443,7 @@ impl Inner {
         if g.is_true() && h.is_false() {
             return f;
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+        if let Some(r) = self.ite_cache.lookup(f, g, h) {
             self.stats.ite_hits += 1;
             return r;
         }
@@ -379,7 +456,7 @@ impl Inner {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(var, lo, hi);
-        self.ite_cache.insert((f, g, h), r);
+        self.ite_cache.insert(f, g, h, r);
         r
     }
 
@@ -517,33 +594,45 @@ impl Inner {
     /// table or the `extra` refs (internal pins used by tests and the
     /// reordering machinery).
     ///
-    /// All operation and scratch caches are dropped — including the
-    /// manager-owned `quant_memo`/`pair_memo`, whose cached `Ref`s would
-    /// otherwise dangle into recycled slots — and dead slots are recycled.
+    /// Marks live nodes through their `aux` words, sweeps the arena
+    /// (dead slots join the intrusive free list), and rebuilds every
+    /// unique table from the survivors — a clear-and-reinsert pass is
+    /// cheaper and leaves shorter probe chains than per-node
+    /// backward-shift removals when many nodes die at once. All
+    /// operation caches are dropped: their cached `Ref`s would otherwise
+    /// dangle into recycled slots.
     ///
     /// Returns the number of freed node slots.
     pub fn gc(&mut self, extra: &[Ref]) -> usize {
-        let mut marked = vec![false; self.nodes.len()];
-        marked[0] = true;
-        marked[1] = true;
         let mut stack: Vec<Ref> = extra.to_vec();
         self.ext_roots_into(&mut stack);
         while let Some(r) = stack.pop() {
-            if marked[r.index()] {
+            if r.is_const() {
                 continue;
             }
-            marked[r.index()] = true;
-            let n = self.nodes[r.index()];
-            stack.push(n.lo);
-            stack.push(n.hi);
+            let n = &mut self.nodes[r.index()];
+            if n.aux != 0 {
+                continue;
+            }
+            n.aux = 1;
+            let (lo, hi) = (n.lo, n.hi);
+            stack.push(lo);
+            stack.push(hi);
         }
-        let already_free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        for table in &mut self.unique {
+            table.clear();
+        }
         let mut freed = 0usize;
-        for (i, m) in marked.iter().enumerate().skip(2) {
-            if !*m && !already_free.contains(&(i as u32)) {
-                let node = self.nodes[i];
-                self.unique[node.var as usize].remove(&(node.lo, node.hi));
-                self.free.push(i as u32);
+        for i in 2..self.nodes.len() {
+            let n = self.nodes[i];
+            if n.var == FREE_VAR {
+                continue; // already on the free list
+            }
+            if n.aux != 0 {
+                self.nodes[i].aux = 0;
+                self.unique[n.var as usize].insert_fresh(&self.nodes, i as u32);
+            } else {
+                self.free_node(i as u32);
                 freed += 1;
             }
         }
@@ -556,18 +645,18 @@ impl Inner {
         freed
     }
 
-    /// Drops all memoization caches, including the quantification scratch
-    /// maps and the simplification memos — after a reorder shuffles levels
-    /// (or a collection recycles slots), a stale memoized `Ref` must never
-    /// be observable. `constrain`/`restrict` results additionally *depend*
-    /// on the variable order, so surviving a reorder would be wrong even
-    /// without slot recycling.
+    /// Drops all memoization caches, including the generation-tagged
+    /// quantification caches and the simplification caches — after a
+    /// reorder shuffles levels (or a collection recycles slots), a stale
+    /// memoized `Ref` must never be observable. `constrain`/`restrict`
+    /// results additionally *depend* on the variable order, so surviving
+    /// a reorder would be wrong even without slot recycling.
     pub fn clear_caches(&mut self) {
         self.ite_cache.clear();
-        self.quant_memo.clear();
-        self.pair_memo.clear();
-        self.constrain_memo.clear();
-        self.restrict_memo.clear();
+        self.quant_cache.clear();
+        self.pair_cache.clear();
+        self.constrain_cache.clear();
+        self.restrict_cache.clear();
     }
 }
 
@@ -692,8 +781,12 @@ mod tests {
         assert_eq!(b.live_nodes(), live_before - freed);
         // The kept function still evaluates correctly.
         assert!(b.eval(keep, &|v| v.index() < 2));
-        // Rebuilding the same function reuses the live nodes.
-        let again = b.and(lits[0], lits[1]);
+        // Rebuilding the same function (from fresh literals — the old
+        // literal refs above may have been collected) reuses the live
+        // nodes: hash-consing returns the identical root.
+        let l0 = b.var(vars[0]);
+        let l1 = b.var(vars[1]);
+        let again = b.and(l0, l1);
         assert_eq!(again, keep);
     }
 
@@ -756,13 +849,41 @@ mod tests {
         let _ae = b.and_exists(f, lits[2], &[vars[1]]);
         let _co = b.constrain(f, lits[2]);
         let _re = b.restrict(f, lits[2]);
-        assert!(!b.quant_memo.is_empty() || !b.pair_memo.is_empty());
-        assert!(!b.constrain_memo.is_empty() && !b.restrict_memo.is_empty());
+        assert!(b.quant_cache.occupied() > 0 || b.pair_cache.occupied() > 0);
+        assert!(b.constrain_cache.occupied() > 0 && b.restrict_cache.occupied() > 0);
         b.gc(&[f]);
-        assert!(b.quant_memo.is_empty() && b.pair_memo.is_empty());
-        assert!(b.constrain_memo.is_empty() && b.restrict_memo.is_empty());
+        assert_eq!(b.quant_cache.occupied(), 0);
+        assert_eq!(b.pair_cache.occupied(), 0);
+        assert_eq!(b.constrain_cache.occupied(), 0);
+        assert_eq!(b.restrict_cache.occupied(), 0);
         b.clear_caches();
-        assert!(b.ite_cache.is_empty());
+        assert_eq!(b.ite_cache.occupied(), 0);
+    }
+
+    #[test]
+    fn free_list_is_intrusive_and_o1() {
+        let mut b = Inner::new();
+        let vars = b.new_vars(4);
+        let lits: Vec<Ref> = vars.iter().map(|&v| b.var(v)).collect();
+        let dead = b.and_many(lits.clone());
+        let size_before = b.table_size();
+        let freed = b.gc(&lits);
+        assert!(freed > 0);
+        assert_eq!(b.live_nodes(), size_before - freed);
+        // Freed slots are flagged and chained through their aux words.
+        let mut chained = 0usize;
+        let mut cursor = b.free_head;
+        while cursor != crate::node::NIL_SLOT {
+            assert_eq!(b.nodes[cursor as usize].var, crate::node::FREE_VAR);
+            cursor = b.nodes[cursor as usize].aux;
+            chained += 1;
+        }
+        assert_eq!(chained, freed);
+        assert_eq!(chained, b.free_len as usize);
+        // Reallocation reuses the chained slots before growing the arena.
+        let again = b.and(lits[0], lits[1]);
+        assert!(b.table_size() <= size_before);
+        let _ = (dead, again);
     }
 
     #[test]

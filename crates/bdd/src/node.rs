@@ -94,6 +94,9 @@ impl fmt::Display for Ref {
 }
 
 /// Internal decision node: `if var then hi else lo`.
+///
+/// This is the *view* type handed to traversals ([`crate::manager::Inner::node`]);
+/// the arena itself stores [`PackedNode`]s, which add the `aux` word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct Node {
     pub var: u32,
@@ -101,8 +104,33 @@ pub(crate) struct Node {
     pub hi: Ref,
 }
 
+/// One 16-byte arena entry: a decision node plus the `aux` word.
+///
+/// `aux` is overloaded by slot state: on a live node it is the GC mark
+/// (zero outside a collection), on a free slot it is the next-free link
+/// of the intrusive free list (the slot itself is flagged by
+/// `var == FREE_VAR`). Packing nodes this way keeps four entries per
+/// 64-byte cache line and lets every table index nodes by bare `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PackedNode {
+    pub var: u32,
+    pub lo: Ref,
+    pub hi: Ref,
+    pub aux: u32,
+}
+
+// The whole point of the packed arena: exactly 16 bytes per node.
+const _: () = assert!(std::mem::size_of::<PackedNode>() == 16);
+
 /// Sentinel variable index used by terminal nodes (level = +infinity).
 pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Sentinel variable index marking a free (recycled) arena slot; the
+/// slot's `aux` field holds the next free slot (or [`NIL_SLOT`]).
+pub(crate) const FREE_VAR: u32 = u32::MAX - 1;
+
+/// Null link for the intrusive free list threaded through `aux`.
+pub(crate) const NIL_SLOT: u32 = u32::MAX;
 
 #[cfg(test)]
 mod tests {

@@ -2,8 +2,6 @@
 //! `and_exists`, and the multi-operand, schedule-driven
 //! conjoin-and-quantify used by partitioned image computation.
 
-use std::collections::HashMap;
-
 use crate::manager::Inner;
 use crate::node::{Ref, VarId};
 
@@ -53,10 +51,8 @@ impl Inner {
     /// ```
     pub fn exists(&mut self, f: Ref, vars: &[VarId]) -> Ref {
         let mask = self.take_mask(vars);
-        let mut memo = std::mem::take(&mut self.quant_memo);
-        memo.clear();
-        let r = self.quant_rec(f, &mask, true, &mut memo);
-        self.quant_memo = memo;
+        let tag = self.quant_cache.begin();
+        let r = self.quant_rec(f, &mask, true, tag);
         self.mask_scratch = mask;
         r
     }
@@ -64,10 +60,8 @@ impl Inner {
     /// Universal quantification `∀ vars. f`.
     pub fn forall(&mut self, f: Ref, vars: &[VarId]) -> Ref {
         let mask = self.take_mask(vars);
-        let mut memo = std::mem::take(&mut self.quant_memo);
-        memo.clear();
-        let r = self.quant_rec(f, &mask, false, &mut memo);
-        self.quant_memo = memo;
+        let tag = self.quant_cache.begin();
+        let r = self.quant_rec(f, &mask, false, tag);
         self.mask_scratch = mask;
         r
     }
@@ -86,24 +80,21 @@ impl Inner {
         mask
     }
 
-    fn quant_rec(
-        &mut self,
-        f: Ref,
-        mask: &[bool],
-        existential: bool,
-        memo: &mut HashMap<Ref, Ref>,
-    ) -> Ref {
+    /// `tag` scopes the cache entries to one top-level call: the mask
+    /// differs between calls, so a fresh generation (not a wipe) keeps
+    /// earlier calls' entries from matching.
+    fn quant_rec(&mut self, f: Ref, mask: &[bool], existential: bool, tag: u64) -> Ref {
         if f.is_const() {
             return f;
         }
-        if let Some(&r) = memo.get(&f) {
+        if let Some(r) = self.quant_cache.lookup(tag, f) {
             self.stats.quant_hits += 1;
             return r;
         }
         self.stats.quant_misses += 1;
         let n = self.node(f);
-        let lo = self.quant_rec(n.lo, mask, existential, memo);
-        let hi = self.quant_rec(n.hi, mask, existential, memo);
+        let lo = self.quant_rec(n.lo, mask, existential, tag);
+        let hi = self.quant_rec(n.hi, mask, existential, tag);
         let r = if mask[n.var as usize] {
             if existential {
                 self.or(lo, hi)
@@ -113,7 +104,7 @@ impl Inner {
         } else {
             self.mk(n.var, lo, hi)
         };
-        memo.insert(f, r);
+        self.quant_cache.insert(tag, f, r);
         r
     }
 
@@ -124,21 +115,13 @@ impl Inner {
     /// workhorse of symbolic image/preimage computation.
     pub fn and_exists(&mut self, f: Ref, g: Ref, vars: &[VarId]) -> Ref {
         let mask = self.take_mask(vars);
-        let mut memo = std::mem::take(&mut self.pair_memo);
-        memo.clear();
-        let r = self.and_exists_rec(f, g, &mask, &mut memo);
-        self.pair_memo = memo;
+        let tag = self.pair_cache.begin();
+        let r = self.and_exists_rec(f, g, &mask, tag);
         self.mask_scratch = mask;
         r
     }
 
-    fn and_exists_rec(
-        &mut self,
-        f: Ref,
-        g: Ref,
-        mask: &[bool],
-        memo: &mut HashMap<(Ref, Ref), Ref>,
-    ) -> Ref {
+    fn and_exists_rec(&mut self, f: Ref, g: Ref, mask: &[bool], tag: u64) -> Ref {
         if f.is_false() || g.is_false() {
             return Ref::FALSE;
         }
@@ -147,7 +130,7 @@ impl Inner {
         }
         // Normalize operand order: ∧ is commutative.
         let (f, g) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(&r) = memo.get(&(f, g)) {
+        if let Some(r) = self.pair_cache.lookup(tag, f, g) {
             self.stats.pair_hits += 1;
             return r;
         }
@@ -157,20 +140,20 @@ impl Inner {
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let r = if mask[var.index()] {
-            let lo = self.and_exists_rec(f0, g0, mask, memo);
+            let lo = self.and_exists_rec(f0, g0, mask, tag);
             if lo.is_true() {
                 // Early termination: ∨ with true.
-                memo.insert((f, g), Ref::TRUE);
+                self.pair_cache.insert(tag, f, g, Ref::TRUE);
                 return Ref::TRUE;
             }
-            let hi = self.and_exists_rec(f1, g1, mask, memo);
+            let hi = self.and_exists_rec(f1, g1, mask, tag);
             self.or(lo, hi)
         } else {
-            let lo = self.and_exists_rec(f0, g0, mask, memo);
-            let hi = self.and_exists_rec(f1, g1, mask, memo);
+            let lo = self.and_exists_rec(f0, g0, mask, tag);
+            let hi = self.and_exists_rec(f1, g1, mask, tag);
             self.mk(var.0, lo, hi)
         };
-        memo.insert((f, g), r);
+        self.pair_cache.insert(tag, f, g, r);
         r
     }
 
@@ -273,20 +256,11 @@ impl Inner {
     /// (The care-set generalized cofactors live in `simplify.rs` as
     /// [`Inner::constrain`] and [`Inner::restrict`].)
     pub fn cofactor(&mut self, f: Ref, var: VarId, value: bool) -> Ref {
-        let mut memo = std::mem::take(&mut self.quant_memo);
-        memo.clear();
-        let r = self.cofactor_rec(f, var, value, &mut memo);
-        self.quant_memo = memo;
-        r
+        let tag = self.quant_cache.begin();
+        self.cofactor_rec(f, var, value, tag)
     }
 
-    fn cofactor_rec(
-        &mut self,
-        f: Ref,
-        var: VarId,
-        value: bool,
-        memo: &mut HashMap<Ref, Ref>,
-    ) -> Ref {
+    fn cofactor_rec(&mut self, f: Ref, var: VarId, value: bool, tag: u64) -> Ref {
         if f.is_const() {
             return f;
         }
@@ -295,7 +269,7 @@ impl Inner {
         if flevel > vlevel {
             return f; // var cannot appear below its level
         }
-        if let Some(&r) = memo.get(&f) {
+        if let Some(r) = self.quant_cache.lookup(tag, f) {
             self.stats.quant_hits += 1;
             return r;
         }
@@ -308,11 +282,11 @@ impl Inner {
                 n.lo
             }
         } else {
-            let lo = self.cofactor_rec(n.lo, var, value, memo);
-            let hi = self.cofactor_rec(n.hi, var, value, memo);
+            let lo = self.cofactor_rec(n.lo, var, value, tag);
+            let hi = self.cofactor_rec(n.hi, var, value, tag);
             self.mk(n.var, lo, hi)
         };
-        memo.insert(f, r);
+        self.quant_cache.insert(tag, f, r);
         r
     }
 

@@ -31,7 +31,7 @@
 //! it.
 
 use crate::manager::Inner;
-use crate::node::{Node, Ref, VarId};
+use crate::node::{PackedNode, Ref, VarId, FREE_VAR};
 
 /// When reordering runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -120,6 +120,9 @@ impl ReorderStats {
 struct ReorderCtx {
     rc: Vec<u32>,
     swaps: usize,
+    /// Scratch buffer for the nodes a swap rewrites, reused across all
+    /// swaps of one reordering so the hot loop never allocates.
+    moved: Vec<Ref>,
 }
 
 impl Inner {
@@ -250,7 +253,7 @@ impl Inner {
     /// Live decision nodes (terminals excluded) — the metric sifting
     /// minimizes. O(1): slots minus the free list.
     fn live_size(&self) -> u64 {
-        (self.nodes.len() - self.free.len() - 2) as u64
+        (self.live_nodes() - 2) as u64
     }
 
     /// Builds reference counts: one per parent edge in the table, plus one
@@ -259,15 +262,14 @@ impl Inner {
     /// explicit roots, so the table holds exactly the reachable nodes.
     fn reorder_ctx(&self, roots: &[Ref]) -> ReorderCtx {
         let mut rc = vec![0u32; self.nodes.len()];
-        let free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
         for slot in 2..self.nodes.len() as u32 {
-            if free.contains(&slot) {
+            let n = self.nodes[slot as usize];
+            if n.var == FREE_VAR {
                 continue;
             }
             if roots.is_empty() {
                 rc[slot as usize] += 1; // pin-all mode
             }
-            let n = self.nodes[slot as usize];
             for child in [n.lo, n.hi] {
                 if !child.is_const() {
                     rc[child.index()] += 1;
@@ -279,7 +281,11 @@ impl Inner {
                 rc[r.index()] += 1;
             }
         }
-        ReorderCtx { rc, swaps: 0 }
+        ReorderCtx {
+            rc,
+            swaps: 0,
+            moved: Vec::new(),
+        }
     }
 
     /// `rc -= 1`; a node that loses its last reference is reclaimed on the
@@ -293,8 +299,11 @@ impl Inner {
         ctx.rc[r.index()] -= 1;
         if ctx.rc[r.index()] == 0 {
             let n = self.nodes[r.index()];
-            self.unique[n.var as usize].remove(&(n.lo, n.hi));
-            self.free.push(r.0);
+            // Unlink from the unique table (the node is still intact, so
+            // the probe can compare its key), then recycle the slot.
+            let removed = self.unique[n.var as usize].remove(&self.nodes, n.lo, n.hi);
+            debug_assert!(removed, "reclaimed node was not in its unique table");
+            self.free_node(r.0);
             self.dec_ref(n.lo, ctx);
             self.dec_ref(n.hi, ctx);
         }
@@ -309,20 +318,19 @@ impl Inner {
             }
             return lo;
         }
-        if let Some(&r) = self.unique[var as usize].get(&(lo, hi)) {
-            ctx.rc[r.index()] += 1;
-            return r;
-        }
-        let node = Node { var, lo, hi };
-        let r = if let Some(slot) = self.free.pop() {
-            self.nodes[slot as usize] = node;
-            Ref(slot)
-        } else {
-            let slot = self.nodes.len() as u32;
-            self.nodes.push(node);
-            ctx.rc.push(0);
-            Ref(slot)
+        self.unique[var as usize].reserve(&self.nodes);
+        let pos = match self.unique[var as usize].probe(&self.nodes, lo, hi) {
+            Ok(r) => {
+                ctx.rc[r.index()] += 1;
+                return r;
+            }
+            Err(pos) => pos,
         };
+        let r = self.alloc_node(var, lo, hi);
+        if r.index() == ctx.rc.len() {
+            ctx.rc.push(0); // arena grew: track the new slot
+        }
+        self.unique[var as usize].fill(pos, r.0);
         ctx.rc[r.index()] = 1;
         if !lo.is_const() {
             ctx.rc[lo.index()] += 1;
@@ -330,7 +338,6 @@ impl Inner {
         if !hi.is_const() {
             ctx.rc[hi.index()] += 1;
         }
-        self.unique[var as usize].insert((lo, hi), r);
         r
     }
 
@@ -342,18 +349,20 @@ impl Inner {
         let xv = self.level2var[level as usize];
         let yv = self.level2var[level as usize + 1];
         // Nodes labelled x that depend on y must be rewritten; the rest of
-        // x's level just sinks one level with no structural change.
-        let moved: Vec<Ref> = self.unique[xv as usize]
-            .values()
-            .copied()
-            .filter(|&r| {
-                let n = self.nodes[r.index()];
-                self.nodes[n.lo.index()].var == yv || self.nodes[n.hi.index()].var == yv
-            })
-            .collect();
+        // x's level just sinks one level with no structural change. The
+        // open-addressed table yields them in deterministic slot order,
+        // into a buffer reused across every swap of this reordering.
+        let nodes = &self.nodes;
+        let mut moved = std::mem::take(&mut ctx.moved);
+        moved.clear();
+        moved.extend(self.unique[xv as usize].iter_refs().filter(|&r| {
+            let n = nodes[r.index()];
+            nodes[n.lo.index()].var == yv || nodes[n.hi.index()].var == yv
+        }));
         for &r in &moved {
             let n = self.nodes[r.index()];
-            self.unique[xv as usize].remove(&(n.lo, n.hi));
+            let removed = self.unique[xv as usize].remove(&self.nodes, n.lo, n.hi);
+            debug_assert!(removed, "moved node was not in its unique table");
         }
         self.level2var.swap(level as usize, level as usize + 1);
         self.var2level[xv as usize] = level + 1;
@@ -379,17 +388,24 @@ impl Inner {
             debug_assert_ne!(new_lo, new_hi, "swap produced a redundant node");
             self.dec_ref(n.lo, ctx);
             self.dec_ref(n.hi, ctx);
-            self.nodes[r.index()] = Node {
+            self.nodes[r.index()] = PackedNode {
                 var: yv,
                 lo: new_lo,
                 hi: new_hi,
+                aux: 0,
             };
-            let displaced = self.unique[yv as usize].insert((new_lo, new_hi), r);
-            debug_assert!(
-                displaced.is_none(),
-                "swap collided with an existing node at the lower level"
-            );
+            // Relink the rewritten node into the lower level's table; by
+            // canonicity its new key cannot collide with an existing node.
+            self.unique[yv as usize].reserve(&self.nodes);
+            match self.unique[yv as usize].probe(&self.nodes, new_lo, new_hi) {
+                Err(pos) => self.unique[yv as usize].fill(pos, r.0),
+                Ok(_) => debug_assert!(
+                    false,
+                    "swap collided with an existing node at the lower level"
+                ),
+            }
         }
+        ctx.moved = moved;
         ctx.swaps += 1;
     }
 
@@ -517,31 +533,35 @@ impl Inner {
                 );
             }
         }
-        // unique tables agree with node labels and respect the order, and
-        // together with the free list they partition the slots
+        // unique tables agree with node labels, respect the order, find
+        // their own entries, and together with the free list they
+        // partition the slots
         let mut tabled = 0usize;
         for (var, table) in self.unique.iter().enumerate() {
-            for (&(lo, hi), &r) in table {
+            for r in table.iter_refs() {
                 let n = self.nodes[r.index()];
                 assert_eq!(n.var as usize, var);
-                assert_eq!((n.lo, n.hi), (lo, hi));
-                assert!(self.var2level[var] < self.level(lo));
-                assert!(self.var2level[var] < self.level(hi));
+                assert_eq!(
+                    table.probe(&self.nodes, n.lo, n.hi),
+                    Ok(r),
+                    "tabled node is not findable under its own key"
+                );
+                assert!(self.var2level[var] < self.level(n.lo));
+                assert!(self.var2level[var] < self.level(n.hi));
                 tabled += 1;
             }
         }
         assert_eq!(
             tabled,
-            self.nodes.len() - self.free.len() - 2,
+            self.live_nodes() - 2,
             "unique tables and free list must partition the slots"
         );
         // every internal edge is reflected in the refcounts
-        let free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
         for slot in 2..self.nodes.len() as u32 {
-            if free.contains(&slot) {
+            let n = self.nodes[slot as usize];
+            if n.var == FREE_VAR {
                 continue;
             }
-            let n = self.nodes[slot as usize];
             for child in [n.lo, n.hi] {
                 if !child.is_const() {
                     assert!(

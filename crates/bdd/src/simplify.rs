@@ -29,29 +29,21 @@
 //!   if the recursion still produced a bigger BDD than `f`, plain `f` is
 //!   returned — `restrict` never grows anything.
 //!
-//! Results are memoized in manager-owned `(f, c)`-keyed tables that
-//! persist across calls — a reachability care set is applied to every
-//! fixpoint iterate, so hits across top-level calls are the common case.
-//! Both operations depend on the variable order, and the cached `Ref`s
-//! dangle once slots are recycled, so the tables are dropped by
+//! Results are memoized in manager-owned direct-mapped caches keyed by
+//! `(f, c)` that persist across calls — a reachability care set is
+//! applied to every fixpoint iterate, so hits across top-level calls are
+//! the common case. Being fixed-size and lossy, the caches also bound
+//! their own growth: call sites like the frontier-simplified BFS key
+//! entries by a care set that changes every iteration, and those
+//! one-shot entries simply age out by overwrite (the old `HashMap`
+//! tables needed an explicit flood guard for this). Both operations
+//! depend on the variable order, and the cached `Ref`s dangle once
+//! slots are recycled, so the caches are dropped by
 //! [`Inner::clear_caches`] — i.e. on every gc, reordering, and explicit
-//! cache clear (the same contract as `quant_memo`/`pair_memo`).
-
-use std::collections::HashMap;
+//! cache clear (the same contract as the quantification caches).
 
 use crate::manager::Inner;
 use crate::node::Ref;
-
-/// Flood guard for the persistent memo tables. Call sites like the
-/// frontier-simplified BFS key their entries by a care set that changes
-/// every iteration, so those entries can never hit again; without a
-/// bound the tables would grow for the life of the process (gc/reorder
-/// are the only other things that clear them, and a long analysis may
-/// never trigger either). Clearing past this bound keeps the
-/// high-value common case — a fixed reachable care set hit by every
-/// fixpoint iterate — while bounding worst-case growth to a few
-/// megabytes per table.
-const SIMPLIFY_MEMO_CAP: usize = 1 << 18;
 
 impl Inner {
     /// Coudert–Madre generalized cofactor (`constrain`, also written
@@ -73,23 +65,17 @@ impl Inner {
         if f.is_const() {
             return f;
         }
-        let mut memo = std::mem::take(&mut self.constrain_memo);
-        if memo.len() > SIMPLIFY_MEMO_CAP {
-            memo.clear();
-        }
-        let r = self.constrain_rec(f, c, &mut memo);
-        self.constrain_memo = memo;
-        r
+        self.constrain_rec(f, c)
     }
 
-    fn constrain_rec(&mut self, f: Ref, c: Ref, memo: &mut HashMap<(Ref, Ref), Ref>) -> Ref {
+    fn constrain_rec(&mut self, f: Ref, c: Ref) -> Ref {
         if c.is_true() || f.is_const() {
             return f;
         }
         if f == c {
             return Ref::TRUE;
         }
-        if let Some(&r) = memo.get(&(f, c)) {
+        if let Some(r) = self.constrain_cache.lookup(f, c) {
             self.stats.constrain_hits += 1;
             return r;
         }
@@ -100,15 +86,15 @@ impl Inner {
         let (c0, c1) = self.cofactors_at(c, top);
         let r = if c0.is_false() {
             // No care point below var=0: jump into the var=1 branch.
-            self.constrain_rec(f1, c1, memo)
+            self.constrain_rec(f1, c1)
         } else if c1.is_false() {
-            self.constrain_rec(f0, c0, memo)
+            self.constrain_rec(f0, c0)
         } else {
-            let lo = self.constrain_rec(f0, c0, memo);
-            let hi = self.constrain_rec(f1, c1, memo);
+            let lo = self.constrain_rec(f0, c0);
+            let hi = self.constrain_rec(f1, c1);
             self.mk(var.0, lo, hi)
         };
-        memo.insert((f, c), r);
+        self.constrain_cache.insert(f, c, r);
         r
     }
 
@@ -125,38 +111,33 @@ impl Inner {
         if c.is_const() || f.is_const() {
             return f;
         }
-        let mut memo = std::mem::take(&mut self.restrict_memo);
-        if memo.len() > SIMPLIFY_MEMO_CAP {
-            memo.clear();
-        }
-        let r = self.restrict_rec(f, c, &mut memo);
-        self.restrict_memo = memo;
+        let r = self.restrict_rec(f, c);
         if r == f {
             return f;
         }
         // The size guard that makes restrict safe to sprinkle anywhere:
         // never hand back a bigger BDD than the input.
         if self.node_count(r) > self.node_count(f) {
-            // Overwrite the memo with the guarded answer — `f` is itself
+            // Overwrite the cache with the guarded answer — `f` is itself
             // a valid restriction (it agrees with `f` on `c`, trivially,
             // within `f`'s support and size), and the `r == f` fast path
             // above then makes repeated calls O(1) instead of paying the
             // two node-count traversals again.
-            self.restrict_memo.insert((f, c), f);
+            self.restrict_cache.insert(f, c, f);
             f
         } else {
             r
         }
     }
 
-    fn restrict_rec(&mut self, f: Ref, c: Ref, memo: &mut HashMap<(Ref, Ref), Ref>) -> Ref {
+    fn restrict_rec(&mut self, f: Ref, c: Ref) -> Ref {
         if c.is_true() || f.is_const() {
             return f;
         }
         if f == c {
             return Ref::TRUE;
         }
-        if let Some(&r) = memo.get(&(f, c)) {
+        if let Some(r) = self.restrict_cache.lookup(f, c) {
             self.stats.restrict_hits += 1;
             return r;
         }
@@ -169,23 +150,23 @@ impl Inner {
             // the result's support inside f's.
             let (c0, c1) = self.children(c);
             let cq = self.or(c0, c1);
-            self.restrict_rec(f, cq, memo)
+            self.restrict_rec(f, cq)
         } else {
             let var = self.node(f).var;
             let (f0, f1) = self.cofactors_at(f, flevel);
             let (c0, c1) = self.cofactors_at(c, flevel);
             if c0.is_false() {
                 // var=0 is entirely don't-care: substitute the sibling.
-                self.restrict_rec(f1, c1, memo)
+                self.restrict_rec(f1, c1)
             } else if c1.is_false() {
-                self.restrict_rec(f0, c0, memo)
+                self.restrict_rec(f0, c0)
             } else {
-                let lo = self.restrict_rec(f0, c0, memo);
-                let hi = self.restrict_rec(f1, c1, memo);
+                let lo = self.restrict_rec(f0, c0);
+                let hi = self.restrict_rec(f1, c1);
                 self.mk(var, lo, hi)
             }
         };
-        memo.insert((f, c), r);
+        self.restrict_cache.insert(f, c, r);
         r
     }
 }
@@ -284,17 +265,21 @@ mod tests {
     }
 
     #[test]
-    fn memo_tables_persist_across_calls_and_clear() {
+    fn memo_caches_persist_across_calls_and_clear() {
         let (mut b, _, f, c) = fixture();
         let g1 = b.constrain(f, c);
         let r1 = b.restrict(f, c);
-        assert!(!b.constrain_memo.is_empty());
-        assert!(!b.restrict_memo.is_empty());
-        // Hits across top-level calls return identical results.
+        assert!(b.constrain_cache.occupied() > 0);
+        assert!(b.restrict_cache.occupied() > 0);
+        let misses = (b.stats.constrain_misses, b.stats.restrict_misses);
+        // Hits across top-level calls return identical results without
+        // recomputation (the cross-call miss counters stand still).
         assert_eq!(b.constrain(f, c), g1);
         assert_eq!(b.restrict(f, c), r1);
+        assert_eq!((b.stats.constrain_misses, b.stats.restrict_misses), misses);
         b.clear_caches();
-        assert!(b.constrain_memo.is_empty() && b.restrict_memo.is_empty());
+        assert_eq!(b.constrain_cache.occupied(), 0);
+        assert_eq!(b.restrict_cache.occupied(), 0);
         // Recomputation from a cold cache agrees.
         assert_eq!(b.constrain(f, c), g1);
         assert_eq!(b.restrict(f, c), r1);

@@ -1,9 +1,16 @@
 //! Substitution: functional composition and variable renaming.
-
-use std::collections::HashMap;
+//!
+//! The substitution map is a manager-owned scratch vector indexed by
+//! variable (`NIL_REF` = identity), and the per-call memo is the shared
+//! generation-tagged unary cache — no allocation, no hashing of boxed
+//! keys, one array read per node visit.
 
 use crate::manager::Inner;
 use crate::node::{Ref, VarId};
+
+/// Identity marker in the substitution scratch vector. Never a valid
+/// node: the arena allocator keeps slots below `FREE_VAR < u32::MAX`.
+const NIL_REF: Ref = Ref(u32::MAX);
 
 impl Inner {
     /// Functional composition: `f` with `var` replaced by the function `g`.
@@ -20,9 +27,7 @@ impl Inner {
     /// assert_eq!(mgr.var(x).compose(x, &ny), ny);
     /// ```
     pub fn compose(&mut self, f: Ref, var: VarId, g: Ref) -> Ref {
-        let map: HashMap<u32, Ref> = [(var.0, g)].into_iter().collect();
-        let mut memo = HashMap::new();
-        self.compose_rec(f, &map, &mut memo)
+        self.vector_compose(f, &[(var, g)])
     }
 
     /// Simultaneous functional composition: every variable in `map` is
@@ -32,34 +37,38 @@ impl Inner {
     /// two variables, whereas two sequential [`Inner::compose`] calls would
     /// collapse them.
     pub fn vector_compose(&mut self, f: Ref, map: &[(VarId, Ref)]) -> Ref {
-        let map: HashMap<u32, Ref> = map.iter().map(|&(v, g)| (v.0, g)).collect();
-        let mut memo = HashMap::new();
-        self.compose_rec(f, &map, &mut memo)
+        // Move the scratch vector out so the recursion can borrow `self`
+        // mutably; hand it back afterwards to keep its capacity.
+        let mut subst = std::mem::take(&mut self.subst_scratch);
+        subst.clear();
+        subst.resize(self.num_vars(), NIL_REF);
+        for &(v, g) in map {
+            subst[v.index()] = g;
+        }
+        let tag = self.quant_cache.begin();
+        let r = self.compose_rec(f, &subst, tag);
+        self.subst_scratch = subst;
+        r
     }
 
-    fn compose_rec(
-        &mut self,
-        f: Ref,
-        map: &HashMap<u32, Ref>,
-        memo: &mut HashMap<Ref, Ref>,
-    ) -> Ref {
+    fn compose_rec(&mut self, f: Ref, subst: &[Ref], tag: u64) -> Ref {
         if f.is_const() {
             return f;
         }
-        if let Some(&r) = memo.get(&f) {
+        if let Some(r) = self.quant_cache.lookup(tag, f) {
             return r;
         }
         let n = self.node(f);
-        let lo = self.compose_rec(n.lo, map, memo);
-        let hi = self.compose_rec(n.hi, map, memo);
-        let selector = match map.get(&n.var) {
-            Some(&g) => g,
-            None => self.var(VarId(n.var)),
+        let lo = self.compose_rec(n.lo, subst, tag);
+        let hi = self.compose_rec(n.hi, subst, tag);
+        let selector = match subst[n.var as usize] {
+            NIL_REF => self.var(VarId(n.var)),
+            g => g,
         };
         // ITE keeps the result canonical even when the substituted
         // function's support lies above the current level.
         let r = self.ite(selector, hi, lo);
-        memo.insert(f, r);
+        self.quant_cache.insert(tag, f, r);
         r
     }
 

@@ -1,0 +1,195 @@
+//! Property tests pinned to the packed-arena core's table machinery:
+//! unique-table rehash and GC rebuild must preserve hash-consing
+//! canonicity (the *same* `Ref`, not just a logically equal function),
+//! and the lossy direct-mapped compute caches must never change results
+//! — checked against a `HashMap`-memoized truth-table oracle and via
+//! cache-clear-every-k cross-runs, which also exercise the caches'
+//! lazy-allocation and drop-on-clear paths.
+
+use std::collections::HashMap;
+
+use covest_bdd::{BddManager, Func, VarId};
+use proptest::prelude::*;
+
+const NVARS: usize = 5;
+
+/// A tiny expression language used to generate random Boolean programs.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(bool),
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0..NVARS).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
+        ]
+    })
+}
+
+fn build(mgr: &BddManager, vars: &[VarId], e: &Expr) -> Func {
+    match e {
+        Expr::Const(c) => mgr.constant(*c),
+        Expr::Var(i) => mgr.var(vars[*i]),
+        Expr::Not(a) => build(mgr, vars, a).not(),
+        Expr::And(a, b) => build(mgr, vars, a).and(&build(mgr, vars, b)),
+        Expr::Or(a, b) => build(mgr, vars, a).or(&build(mgr, vars, b)),
+        Expr::Xor(a, b) => build(mgr, vars, a).xor(&build(mgr, vars, b)),
+        Expr::Ite(a, b, c) => build(mgr, vars, a).ite(&build(mgr, vars, b), &build(mgr, vars, c)),
+    }
+}
+
+/// The function's full truth table: bit `i` is its value under the
+/// assignment whose variable `v` reads bit `v` of `i`.
+fn truth_table(f: &Func, vars: &[VarId]) -> u32 {
+    let mut tt = 0u32;
+    for bits in 0..(1u32 << NVARS) {
+        let lookup = |v: VarId| {
+            let pos = vars.iter().position(|&w| w == v).expect("known var");
+            bits >> pos & 1 == 1
+        };
+        if f.eval(&lookup) {
+            tt |= 1 << bits;
+        }
+    }
+    tt
+}
+
+/// `HashMap`-memoized reference semantics: the truth table of every
+/// distinct subexpression is computed exactly once and never evicted —
+/// the behaviour the lossy direct-mapped caches must be indistinguishable
+/// from.
+fn oracle_tt(e: &Expr, memo: &mut HashMap<*const Expr, u32>) -> u32 {
+    let key = e as *const Expr;
+    if let Some(&tt) = memo.get(&key) {
+        return tt;
+    }
+    let tt = match e {
+        Expr::Const(c) => {
+            if *c {
+                u32::MAX
+            } else {
+                0
+            }
+        }
+        Expr::Var(i) => {
+            let mut tt = 0u32;
+            for bits in 0..(1u32 << NVARS) {
+                if bits >> *i & 1 == 1 {
+                    tt |= 1 << bits;
+                }
+            }
+            tt
+        }
+        Expr::Not(a) => !oracle_tt(a, memo),
+        Expr::And(a, b) => oracle_tt(a, memo) & oracle_tt(b, memo),
+        Expr::Or(a, b) => oracle_tt(a, memo) | oracle_tt(b, memo),
+        Expr::Xor(a, b) => oracle_tt(a, memo) ^ oracle_tt(b, memo),
+        Expr::Ite(a, b, c) => {
+            let s = oracle_tt(a, memo);
+            s & oracle_tt(b, memo) | !s & oracle_tt(c, memo)
+        }
+    };
+    memo.insert(key, tt);
+    tt
+}
+
+/// Grows the manager's per-level unique tables well past their initial
+/// capacity by hash-consing many distinct functions over the same
+/// variables, forcing at least one rehash at every level `junk` minterms
+/// touch. Returns the junk so callers control when it is dropped.
+fn force_rehash(mgr: &BddManager, vars: &[VarId], salt: u32) -> Vec<Func> {
+    let mut junk = Vec::new();
+    for bits in 0..(1u32 << NVARS) {
+        let mut cube = mgr.constant(true);
+        for (i, &v) in vars.iter().enumerate() {
+            let phase = (bits ^ salt) >> i & 1 == 1;
+            cube = cube.and(&mgr.literal(v, phase));
+        }
+        // Accumulated disjunction prefixes create interior nodes at
+        // every level, not just cube chains.
+        let prev = junk.last().cloned().unwrap_or_else(|| mgr.constant(false));
+        junk.push(prev.or(&cube));
+    }
+    junk
+}
+
+proptest! {
+    /// Rebuilding an expression after the unique tables have been grown
+    /// (rehashed) yields the *identical* node — hash-consing survives
+    /// slot migration — and its semantics still match the memo oracle.
+    #[test]
+    fn rehash_preserves_canonicity(e in arb_expr()) {
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let before = build(&mgr, &vars, &e);
+        let junk = force_rehash(&mgr, &vars, 0b10110);
+        let after = build(&mgr, &vars, &e);
+        prop_assert!(before == after, "rehash broke hash-consing");
+        drop(junk);
+        let mut memo = HashMap::new();
+        prop_assert_eq!(truth_table(&after, &vars), oracle_tt(&e, &mut memo));
+    }
+
+    /// A garbage collection (which rebuilds every unique table from the
+    /// mark bits and clears all caches) preserves canonicity for
+    /// surviving functions: the rebuilt expression is pointer-identical
+    /// and semantically unchanged.
+    #[test]
+    fn gc_rebuild_preserves_canonicity(e in arb_expr()) {
+        let mgr = BddManager::new();
+        let vars = mgr.new_vars(NVARS);
+        let f = build(&mgr, &vars, &e);
+        let tt_before = truth_table(&f, &vars);
+        drop(force_rehash(&mgr, &vars, 0b01101));
+        mgr.gc();
+        let rebuilt = build(&mgr, &vars, &e);
+        prop_assert!(f == rebuilt, "GC rebuild broke hash-consing");
+        prop_assert_eq!(truth_table(&f, &vars), tt_before);
+    }
+
+    /// The direct-mapped caches are lossy (an insert may evict an
+    /// unrelated live entry), so two managers running the same program —
+    /// one clearing every cache every `k` operations, one never — must
+    /// still agree with each other and with the never-evicting
+    /// `HashMap`-memo oracle on every subexpression.
+    #[test]
+    fn cache_eviction_never_changes_results(
+        exprs in proptest::collection::vec(arb_expr(), 1..6),
+        k in 1usize..5,
+    ) {
+        let plain = BddManager::new();
+        let plain_vars = plain.new_vars(NVARS);
+        let churned = BddManager::new();
+        let churned_vars = churned.new_vars(NVARS);
+        let mut memo = HashMap::new();
+        for (i, e) in exprs.iter().enumerate() {
+            let expect = oracle_tt(e, &mut memo);
+            let p = build(&plain, &plain_vars, e);
+            if i % k == k - 1 {
+                churned.clear_caches();
+            }
+            let c = build(&churned, &churned_vars, e);
+            prop_assert_eq!(truth_table(&p, &plain_vars), expect);
+            prop_assert_eq!(truth_table(&c, &churned_vars), expect);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Old-vs-new core engines on the seeded microbench programs behind
+//! `BENCH_core.json`: the packed-arena / open-addressing /
+//! direct-mapped-cache core against the `oldcore` HashMap replica of
+//! the pre-rewrite engine, interpreting byte-identical gate programs.
+//! Run `cargo bench -p covest-bench --bench core`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use covest_bench::corebench::{
+    netlist, run_and_exists_new, run_and_exists_old, run_netlist_new, run_netlist_old,
+    run_reorder_new, run_reorder_old, Netlist,
+};
+
+/// Criterion-sized siblings of the `core_report` programs — same seeds
+/// and shapes, smaller layer counts so each iteration stays in the
+/// millisecond range.
+fn programs() -> (Netlist, Netlist, Netlist) {
+    (
+        netlist(0x5EED_0001, 18, 6, 30),
+        netlist(0x5EED_0002, 18, 5, 20),
+        netlist(0x5EED_0003, 14, 4, 12),
+    )
+}
+
+fn bench_ite_netlist(c: &mut Criterion) {
+    let (ite_prog, _, _) = programs();
+    assert_eq!(
+        run_netlist_old(&ite_prog),
+        run_netlist_new(&ite_prog),
+        "engines disagree on the ITE netlist — timings are meaningless"
+    );
+    let mut group = c.benchmark_group("core/ite-netlist");
+    for (engine, run) in [
+        ("old", run_netlist_old as fn(&Netlist) -> u64),
+        ("new", run_netlist_new as fn(&Netlist) -> u64),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(engine, ite_prog.gates.len()),
+            &ite_prog,
+            |b, prog| b.iter(|| std::hint::black_box(run(prog))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_and_exists(c: &mut Criterion) {
+    let (_, ae_prog, _) = programs();
+    const PAIRS: usize = 48;
+    const SEED: u64 = 0xABCD;
+    assert_eq!(
+        run_and_exists_old(&ae_prog, PAIRS, SEED),
+        run_and_exists_new(&ae_prog, PAIRS, SEED),
+        "engines disagree on and_exists — timings are meaningless"
+    );
+    let mut group = c.benchmark_group("core/and-exists");
+    for (engine, run) in [
+        ("old", run_and_exists_old as fn(&Netlist, usize, u64) -> u64),
+        ("new", run_and_exists_new as fn(&Netlist, usize, u64) -> u64),
+    ] {
+        group.bench_with_input(BenchmarkId::new(engine, PAIRS), &ae_prog, |b, prog| {
+            b.iter(|| std::hint::black_box(run(prog, PAIRS, SEED)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let (_, _, ro_prog) = programs();
+    const ROUNDS: usize = 2;
+    assert_eq!(
+        run_reorder_old(&ro_prog, ROUNDS),
+        run_reorder_new(&ro_prog, ROUNDS),
+        "engines disagree after reordering — timings are meaningless"
+    );
+    let mut group = c.benchmark_group("core/reorder");
+    for (engine, run) in [
+        ("old", run_reorder_old as fn(&Netlist, usize) -> u64),
+        ("new", run_reorder_new as fn(&Netlist, usize) -> u64),
+    ] {
+        group.bench_with_input(BenchmarkId::new(engine, ROUNDS), &ro_prog, |b, prog| {
+            b.iter(|| std::hint::black_box(run(prog, ROUNDS)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ite_netlist, bench_and_exists, bench_reorder);
+criterion_main!(benches);

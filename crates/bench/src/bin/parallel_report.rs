@@ -137,11 +137,14 @@ fn main() {
 
     // Where the parallel run's CPU time went, summed across tasks: the
     // planner's per-deck compile + reachability (serial, on the calling
-    // thread), then each task's queue wait, recompile, reachable-set
-    // import, and analysis. Solve is the only phase the sequential
-    // baseline also pays per signal; plan and compile are the
-    // parallelization overhead (the per-task recompiles), which is what
-    // caps the speedup well below the job count.
+    // thread), then each task's recompile, reachable-set import, and
+    // analysis. Solve is the only phase the sequential baseline also
+    // pays per signal; plan and compile are the parallelization overhead
+    // (the per-task recompiles), which is what caps the speedup well
+    // below the job count. Queue wait is NOT compute — a task sitting in
+    // the queue occupies no core — so it is reported separately, as a
+    // total (how much waiting the whole fleet accumulated) and a max
+    // (the worst any single task waited, the number that bounds latency).
     let profiles: Vec<_> = par.decks.iter().flat_map(|d| d.profiles.iter()).collect();
     let sum_ms = |f: fn(&covest_par::TaskProfile) -> std::time::Duration| -> f64 {
         profiles.iter().map(|p| f(p).as_secs_f64() * 1e3).sum()
@@ -151,7 +154,11 @@ fn main() {
         .iter()
         .map(|d| d.plan_time.as_secs_f64() * 1e3)
         .sum();
-    let queue_ms = sum_ms(|p| p.queue_wait);
+    let queue_ms_total = sum_ms(|p| p.queue_wait);
+    let queue_ms_max = profiles
+        .iter()
+        .map(|p| p.queue_wait.as_secs_f64() * 1e3)
+        .fold(0.0f64, f64::max);
     let compile_ms = sum_ms(|p| p.compile);
     let import_ms = sum_ms(|p| p.import);
     let solve_ms = sum_ms(|p| p.solve);
@@ -183,7 +190,8 @@ fn main() {
     let _ = writeln!(json, "  \"parallel_ms\": {par_ms:.2},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     let _ = writeln!(json, "  \"phase_plan_ms\": {plan_ms:.2},");
-    let _ = writeln!(json, "  \"phase_queue_ms\": {queue_ms:.2},");
+    let _ = writeln!(json, "  \"phase_queue_ms_total\": {queue_ms_total:.2},");
+    let _ = writeln!(json, "  \"phase_queue_ms_max\": {queue_ms_max:.2},");
     let _ = writeln!(json, "  \"phase_compile_ms\": {compile_ms:.2},");
     let _ = writeln!(json, "  \"phase_import_ms\": {import_ms:.2},");
     let _ = writeln!(json, "  \"phase_solve_ms\": {solve_ms:.2},");
@@ -215,8 +223,9 @@ fn main() {
         speedup
     );
     println!(
-        "phase attribution (cpu-ms across tasks): plan {plan_ms:.1}, queue {queue_ms:.1}, \
-         compile {compile_ms:.1}, import {import_ms:.1}, solve {solve_ms:.1}"
+        "phase attribution (cpu-ms across tasks): plan {plan_ms:.1}, \
+         compile {compile_ms:.1}, import {import_ms:.1}, solve {solve_ms:.1}; \
+         queue wait (not compute): total {queue_ms_total:.1}, max {queue_ms_max:.1}"
     );
     println!("wrote {out_path}");
 }

@@ -1,0 +1,345 @@
+//! Deterministic core-engine microbench workloads, shared by the
+//! `core_report` acceptance bin and the `core` criterion bench.
+//!
+//! Each workload is generated once as a seeded *program* (a flat list of
+//! gate/quantifier operations) and then interpreted on both engines —
+//! the current packed-arena core behind [`BddManager`] and the
+//! [`crate::oldcore`] HashMap replica of the pre-rewrite engine — so the
+//! two sides do byte-for-byte the same logical work. Every interpreter
+//! returns an evaluation checksum (64 seeded assignments per probed
+//! function, bit-packed and folded), and the report asserts old and new
+//! checksums agree before it prints a single number: a faster engine
+//! that computes something else is a failure, not a speedup.
+
+use covest_bdd::{BddManager, Func, VarId};
+
+use crate::oldcore::{ORef, OldEngine};
+
+/// Xorshift64* — tiny, deterministic, dependency-free.
+pub struct Xorshift(u64);
+
+impl Xorshift {
+    pub fn new(seed: u64) -> Self {
+        Xorshift(seed.max(1))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// One gate of a netlist program; operand indices are taken modulo the
+/// current pool length at interpretation time.
+#[derive(Debug, Clone, Copy)]
+pub enum Gate {
+    Ite(usize, usize, usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Xor(usize, usize),
+    Not(usize),
+}
+
+/// A seeded netlist over `nvars` variables: the operand pool starts with
+/// the `2 * nvars` literals, and every gate appends its result.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub nvars: usize,
+    pub gates: Vec<Gate>,
+    /// 64 assignment vectors (bit `v` = value of variable `v`) probed to
+    /// build the checksum.
+    pub probes: Vec<u64>,
+}
+
+/// Generates a layered random netlist: `layers * width` gates, each
+/// drawing operands from everything built so far.
+pub fn netlist(seed: u64, nvars: usize, layers: usize, width: usize) -> Netlist {
+    let mut rng = Xorshift::new(seed);
+    let mut gates = Vec::with_capacity(layers * width);
+    let mut pool = 2 * nvars;
+    for _ in 0..layers {
+        for _ in 0..width {
+            let a = rng.below(pool);
+            let b = rng.below(pool);
+            let c = rng.below(pool);
+            gates.push(match rng.below(5) {
+                0 => Gate::Ite(a, b, c),
+                1 => Gate::And(a, b),
+                2 => Gate::Or(a, b),
+                3 => Gate::Xor(a, b),
+                _ => Gate::Not(a),
+            });
+            pool += 1;
+        }
+    }
+    let probes = (0..64).map(|_| rng.next_u64()).collect();
+    Netlist {
+        nvars,
+        gates,
+        probes,
+    }
+}
+
+/// Folds one function's 64 probe evaluations into the running checksum.
+fn fold(checksum: u64, signature: u64) -> u64 {
+    (checksum ^ signature).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+// ---- the new core (covest-bdd, packed arena) --------------------------
+
+fn literal_pool(mgr: &BddManager, vars: &[VarId]) -> Vec<Func> {
+    let mut pool: Vec<Func> = vars.iter().map(|&v| mgr.var(v)).collect();
+    pool.extend(vars.iter().map(|&v| mgr.var(v).not()));
+    pool
+}
+
+fn signature_new(f: &Func, probes: &[u64]) -> u64 {
+    let mut sig = 0u64;
+    for (j, &bits) in probes.iter().enumerate() {
+        if f.eval(&|v: VarId| bits >> v.index() & 1 == 1) {
+            sig |= 1 << j;
+        }
+    }
+    sig
+}
+
+/// How many of the newest pool entries the checksum probes. Bounded so
+/// the (engine-independent) evaluation cost stays a small fraction of
+/// the timed work while still witnessing the whole dependency cone of
+/// the final layers.
+pub const PROBED_TAIL: usize = 48;
+
+/// Interprets the netlist on a fresh packed-arena manager; returns the
+/// checksum over the newest [`PROBED_TAIL`] pool entries.
+pub fn run_netlist_new(prog: &Netlist) -> u64 {
+    let mgr = BddManager::new();
+    let vars = mgr.new_vars(prog.nvars);
+    let mut pool = literal_pool(&mgr, &vars);
+    for g in &prog.gates {
+        let r = apply_new(&pool, *g);
+        pool.push(r);
+    }
+    let mut checksum = 0u64;
+    for f in pool.iter().rev().take(PROBED_TAIL) {
+        checksum = fold(checksum, signature_new(f, &prog.probes));
+    }
+    checksum
+}
+
+fn apply_new(pool: &[Func], g: Gate) -> Func {
+    let at = |i: usize| &pool[i % pool.len()];
+    match g {
+        Gate::Ite(a, b, c) => at(a).ite(at(b), at(c)),
+        Gate::And(a, b) => at(a).and(at(b)),
+        Gate::Or(a, b) => at(a).or(at(b)),
+        Gate::Xor(a, b) => at(a).xor(at(b)),
+        Gate::Not(a) => at(a).not(),
+    }
+}
+
+/// Interprets the netlist, then runs `pairs` fused relational products
+/// `∃ first-half-vars. (f ∧ g)` over seeded pool picks.
+pub fn run_and_exists_new(prog: &Netlist, pairs: usize, seed: u64) -> u64 {
+    let mgr = BddManager::new();
+    let vars = mgr.new_vars(prog.nvars);
+    let mut pool = literal_pool(&mgr, &vars);
+    for g in &prog.gates {
+        let r = apply_new(&pool, *g);
+        pool.push(r);
+    }
+    let quantified = &vars[..prog.nvars / 2];
+    let mut rng = Xorshift::new(seed);
+    let mut checksum = 0u64;
+    for _ in 0..pairs {
+        let f = &pool[rng.below(pool.len())];
+        let g = &pool[rng.below(pool.len())];
+        let r = f.and_exists(g, quantified);
+        checksum = fold(checksum, signature_new(&r, &prog.probes));
+    }
+    checksum
+}
+
+/// Interprets the netlist, then applies `rounds` reverse/identity order
+/// flips via `set_order`. After every flip the live-node count is folded
+/// into the checksum (a structural witness — a wrong swap changes node
+/// counts); a full evaluation checksum over the newest [`PROBED_TAIL`]
+/// pool entries seals the run semantically. Evaluation is kept out of
+/// the per-flip loop because its cost is engine-independent work that
+/// would otherwise swamp the `set_order` time being measured.
+pub fn run_reorder_new(prog: &Netlist, rounds: usize) -> u64 {
+    let mgr = BddManager::new();
+    let vars = mgr.new_vars(prog.nvars);
+    let mut pool = literal_pool(&mgr, &vars);
+    for g in &prog.gates {
+        let r = apply_new(&pool, *g);
+        pool.push(r);
+    }
+    let reversed: Vec<VarId> = vars.iter().rev().copied().collect();
+    let mut checksum = 0u64;
+    for _ in 0..rounds {
+        for order in [&reversed, &vars] {
+            mgr.set_order(order);
+            checksum = fold(checksum, mgr.live_nodes() as u64);
+        }
+    }
+    for f in pool.iter().rev().take(PROBED_TAIL) {
+        checksum = fold(checksum, signature_new(f, &prog.probes));
+    }
+    checksum
+}
+
+/// Runs the netlist and reports the new core's heap footprint (packed
+/// arena + unique tables + compute caches) when the build is done.
+pub fn netlist_footprint_new(prog: &Netlist) -> usize {
+    let mgr = BddManager::new();
+    let vars = mgr.new_vars(prog.nvars);
+    let mut pool = literal_pool(&mgr, &vars);
+    for g in &prog.gates {
+        let r = apply_new(&pool, *g);
+        pool.push(r);
+    }
+    mgr.arena_bytes()
+}
+
+// ---- the old core (HashMap replica) -----------------------------------
+
+fn old_literal_pool(e: &mut OldEngine, vars: &[u32]) -> Vec<ORef> {
+    let mut pool: Vec<ORef> = vars.iter().map(|&v| e.var(v)).collect();
+    pool.extend(vars.iter().map(|&v| e.nvar(v)).collect::<Vec<_>>());
+    pool
+}
+
+fn signature_old(e: &OldEngine, f: ORef, probes: &[u64]) -> u64 {
+    let mut sig = 0u64;
+    for (j, &bits) in probes.iter().enumerate() {
+        if e.eval(f, bits) {
+            sig |= 1 << j;
+        }
+    }
+    sig
+}
+
+/// Old-engine interpreter for [`run_netlist_new`]'s program.
+pub fn run_netlist_old(prog: &Netlist) -> u64 {
+    let mut e = OldEngine::new();
+    let vars = e.new_vars(prog.nvars);
+    let mut pool = old_literal_pool(&mut e, &vars);
+    for g in &prog.gates {
+        let r = apply_old(&mut e, &pool, *g);
+        pool.push(r);
+    }
+    let mut checksum = 0u64;
+    for &f in pool.iter().rev().take(PROBED_TAIL) {
+        checksum = fold(checksum, signature_old(&e, f, &prog.probes));
+    }
+    checksum
+}
+
+fn apply_old(e: &mut OldEngine, pool: &[ORef], g: Gate) -> ORef {
+    let at = |i: usize| pool[i % pool.len()];
+    match g {
+        Gate::Ite(a, b, c) => e.ite(at(a), at(b), at(c)),
+        Gate::And(a, b) => e.and(at(a), at(b)),
+        Gate::Or(a, b) => e.or(at(a), at(b)),
+        Gate::Xor(a, b) => e.xor(at(a), at(b)),
+        Gate::Not(a) => e.not(at(a)),
+    }
+}
+
+/// Old-engine interpreter for [`run_and_exists_new`]'s program.
+pub fn run_and_exists_old(prog: &Netlist, pairs: usize, seed: u64) -> u64 {
+    let mut e = OldEngine::new();
+    let vars = e.new_vars(prog.nvars);
+    let mut pool = old_literal_pool(&mut e, &vars);
+    for g in &prog.gates {
+        let r = apply_old(&mut e, &pool, *g);
+        pool.push(r);
+    }
+    let quantified = &vars[..prog.nvars / 2];
+    let mut rng = Xorshift::new(seed);
+    let mut checksum = 0u64;
+    for _ in 0..pairs {
+        let f = pool[rng.below(pool.len())];
+        let g = pool[rng.below(pool.len())];
+        let r = e.and_exists(f, g, quantified);
+        checksum = fold(checksum, signature_old(&e, r, &prog.probes));
+    }
+    checksum
+}
+
+/// Old-engine interpreter for [`run_reorder_new`]'s program.
+pub fn run_reorder_old(prog: &Netlist, rounds: usize) -> u64 {
+    let mut e = OldEngine::new();
+    let vars = e.new_vars(prog.nvars);
+    let mut pool = old_literal_pool(&mut e, &vars);
+    for g in &prog.gates {
+        let r = apply_old(&mut e, &pool, *g);
+        pool.push(r);
+    }
+    let reversed: Vec<u32> = vars.iter().rev().copied().collect();
+    let mut checksum = 0u64;
+    for _ in 0..rounds {
+        for order in [&reversed, &vars] {
+            e.set_order(order);
+            checksum = fold(checksum, e.live_nodes() as u64);
+        }
+    }
+    for &f in pool.iter().rev().take(PROBED_TAIL) {
+        checksum = fold(checksum, signature_old(&e, f, &prog.probes));
+    }
+    checksum
+}
+
+/// Old-engine counterpart of [`netlist_footprint_new`].
+pub fn netlist_footprint_old(prog: &Netlist) -> usize {
+    let mut e = OldEngine::new();
+    let vars = e.new_vars(prog.nvars);
+    let mut pool = old_literal_pool(&mut e, &vars);
+    for g in &prog.gates {
+        let r = apply_old(&mut e, &pool, *g);
+        pool.push(r);
+    }
+    e.arena_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlist_checksums_agree_across_engines() {
+        let prog = netlist(0xC0FFEE, 12, 4, 12);
+        assert_eq!(run_netlist_new(&prog), run_netlist_old(&prog));
+    }
+
+    #[test]
+    fn and_exists_checksums_agree_across_engines() {
+        let prog = netlist(0xBEEF, 12, 3, 10);
+        assert_eq!(
+            run_and_exists_new(&prog, 16, 7),
+            run_and_exists_old(&prog, 16, 7)
+        );
+    }
+
+    #[test]
+    fn reorder_checksums_agree_across_engines() {
+        let prog = netlist(0xFACADE, 10, 3, 8);
+        assert_eq!(run_reorder_new(&prog, 2), run_reorder_old(&prog, 2));
+    }
+
+    #[test]
+    fn programs_are_deterministic() {
+        let a = netlist(42, 8, 2, 4);
+        let b = netlist(42, 8, 2, 4);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(run_netlist_new(&a), run_netlist_new(&b));
+    }
+}

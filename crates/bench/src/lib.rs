@@ -5,6 +5,9 @@
 //! The binaries (`table2`, `figures`) and the criterion benches all pull
 //! from here so the workloads stay identical across harnesses.
 
+pub mod corebench;
+pub mod oldcore;
+
 use covest_bdd::BddManager;
 use covest_circuits::{circular_queue, counter, pipeline, priority_buffer};
 use covest_core::{CoverageAnalysis, CoverageEstimator, CoverageOptions};

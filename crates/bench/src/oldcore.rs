@@ -1,0 +1,495 @@
+//! A compact replica of the pre-rewrite BDD core, kept as the baseline
+//! for `core_report`'s old-vs-new comparison.
+//!
+//! This is the engine covest-bdd shipped before the packed-arena
+//! rewrite, reduced to the operations the microbenchmarks exercise:
+//! `Vec<Node>` with boxed-key hashing everywhere — per-level
+//! `HashMap<(lo, hi), Ref>` unique tables, a `HashMap` ITE memo, and
+//! per-call `HashMap` memos for quantification and the fused relational
+//! product — plus the refcount-based adjacent-level swap machinery
+//! behind `set_order`. Algorithms, normalizations and terminal cases are
+//! copied from the old engine verbatim so the comparison isolates the
+//! data-structure change; only the removed features (GC, groups,
+//! external roots, stats) are stripped.
+//!
+//! Results are cross-checked against the new core by evaluation
+//! checksums before any timing is reported, so a speedup can never hide
+//! a semantic drift.
+
+use std::collections::HashMap;
+
+/// Node handle; slots 0/1 are the terminals, like the real engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ORef(pub u32);
+
+impl ORef {
+    pub const FALSE: ORef = ORef(0);
+    pub const TRUE: ORef = ORef(1);
+
+    fn is_const(self) -> bool {
+        self.0 < 2
+    }
+
+    fn is_true(self) -> bool {
+        self.0 == 1
+    }
+
+    fn is_false(self) -> bool {
+        self.0 == 0
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ONode {
+    var: u32,
+    lo: ORef,
+    hi: ORef,
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// The pre-rewrite engine: hash maps all the way down.
+pub struct OldEngine {
+    nodes: Vec<ONode>,
+    unique: Vec<HashMap<(ORef, ORef), ORef>>,
+    ite_cache: HashMap<(ORef, ORef, ORef), ORef>,
+    quant_memo: HashMap<ORef, ORef>,
+    pair_memo: HashMap<(ORef, ORef), ORef>,
+    var2level: Vec<u32>,
+    level2var: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl Default for OldEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OldEngine {
+    pub fn new() -> Self {
+        let terminal = ONode {
+            var: TERMINAL_VAR,
+            lo: ORef::FALSE,
+            hi: ORef::TRUE,
+        };
+        OldEngine {
+            nodes: vec![terminal, terminal],
+            unique: Vec::new(),
+            ite_cache: HashMap::new(),
+            quant_memo: HashMap::new(),
+            pair_memo: HashMap::new(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    pub fn new_vars(&mut self, n: usize) -> Vec<u32> {
+        (0..n)
+            .map(|_| {
+                let id = self.var2level.len() as u32;
+                self.var2level.push(id);
+                self.level2var.push(id);
+                self.unique.push(HashMap::new());
+                id
+            })
+            .collect()
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.var2level.len()
+    }
+
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Heap footprint proxy, mirroring the new core's `arena_bytes`:
+    /// node storage plus the hash tables' bucket arrays (estimated at
+    /// `HashMap` capacity times entry size).
+    pub fn arena_bytes(&self) -> usize {
+        let node = std::mem::size_of::<ONode>();
+        let uniq_entry = std::mem::size_of::<((ORef, ORef), ORef)>();
+        let ite_entry = std::mem::size_of::<((ORef, ORef, ORef), ORef)>();
+        self.nodes.capacity() * node
+            + self
+                .unique
+                .iter()
+                .map(|t| t.capacity() * uniq_entry)
+                .sum::<usize>()
+            + self.ite_cache.capacity() * ite_entry
+    }
+
+    #[inline]
+    fn level(&self, r: ORef) -> u32 {
+        if r.is_const() {
+            u32::MAX
+        } else {
+            self.var2level[self.nodes[r.index()].var as usize]
+        }
+    }
+
+    fn mk(&mut self, var: u32, lo: ORef, hi: ORef) -> ORef {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&r) = self.unique[var as usize].get(&(lo, hi)) {
+            return r;
+        }
+        let node = ONode { var, lo, hi };
+        let r = if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            ORef(slot)
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(node);
+            ORef(slot)
+        };
+        self.unique[var as usize].insert((lo, hi), r);
+        r
+    }
+
+    pub fn var(&mut self, var: u32) -> ORef {
+        self.mk(var, ORef::FALSE, ORef::TRUE)
+    }
+
+    pub fn nvar(&mut self, var: u32) -> ORef {
+        self.mk(var, ORef::TRUE, ORef::FALSE)
+    }
+
+    #[inline]
+    fn cofactors_at(&self, r: ORef, level: u32) -> (ORef, ORef) {
+        if self.level(r) == level {
+            let n = self.nodes[r.index()];
+            (n.lo, n.hi)
+        } else {
+            (r, r)
+        }
+    }
+
+    pub fn ite(&mut self, f: ORef, g: ORef, h: ORef) -> ORef {
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let var = self.level2var[top as usize];
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(var, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    pub fn not(&mut self, f: ORef) -> ORef {
+        self.ite(f, ORef::FALSE, ORef::TRUE)
+    }
+
+    pub fn and(&mut self, f: ORef, g: ORef) -> ORef {
+        self.ite(f, g, ORef::FALSE)
+    }
+
+    pub fn or(&mut self, f: ORef, g: ORef) -> ORef {
+        self.ite(f, ORef::TRUE, g)
+    }
+
+    pub fn xor(&mut self, f: ORef, g: ORef) -> ORef {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    pub fn exists(&mut self, f: ORef, vars: &[u32]) -> ORef {
+        let mut mask = vec![false; self.num_vars()];
+        for &v in vars {
+            mask[v as usize] = true;
+        }
+        let mut memo = std::mem::take(&mut self.quant_memo);
+        memo.clear();
+        let r = self.quant_rec(f, &mask, &mut memo);
+        self.quant_memo = memo;
+        r
+    }
+
+    fn quant_rec(&mut self, f: ORef, mask: &[bool], memo: &mut HashMap<ORef, ORef>) -> ORef {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let lo = self.quant_rec(n.lo, mask, memo);
+        let hi = self.quant_rec(n.hi, mask, memo);
+        let r = if mask[n.var as usize] {
+            self.or(lo, hi)
+        } else {
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    pub fn and_exists(&mut self, f: ORef, g: ORef, vars: &[u32]) -> ORef {
+        let mut mask = vec![false; self.num_vars()];
+        for &v in vars {
+            mask[v as usize] = true;
+        }
+        let mut memo = std::mem::take(&mut self.pair_memo);
+        memo.clear();
+        let r = self.and_exists_rec(f, g, &mask, &mut memo);
+        self.pair_memo = memo;
+        r
+    }
+
+    fn and_exists_rec(
+        &mut self,
+        f: ORef,
+        g: ORef,
+        mask: &[bool],
+        memo: &mut HashMap<(ORef, ORef), ORef>,
+    ) -> ORef {
+        if f.is_false() || g.is_false() {
+            return ORef::FALSE;
+        }
+        if f.is_true() && g.is_true() {
+            return ORef::TRUE;
+        }
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = memo.get(&(f, g)) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g));
+        let var = self.level2var[top as usize];
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let r = if mask[var as usize] {
+            let lo = self.and_exists_rec(f0, g0, mask, memo);
+            if lo.is_true() {
+                memo.insert((f, g), ORef::TRUE);
+                return ORef::TRUE;
+            }
+            let hi = self.and_exists_rec(f1, g1, mask, memo);
+            self.or(lo, hi)
+        } else {
+            let lo = self.and_exists_rec(f0, g0, mask, memo);
+            let hi = self.and_exists_rec(f1, g1, mask, memo);
+            self.mk(var, lo, hi)
+        };
+        memo.insert((f, g), r);
+        r
+    }
+
+    pub fn eval(&self, f: ORef, assignment: u64) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.nodes[cur.index()];
+            cur = if assignment >> n.var & 1 == 1 {
+                n.hi
+            } else {
+                n.lo
+            };
+        }
+        cur.is_true()
+    }
+
+    // ---- refcount-based reordering (pin-all mode) ---------------------
+
+    /// Applies an explicit variable order by adjacent-level swaps, exactly
+    /// like the old engine's public `set_order` path: every allocated
+    /// node is pinned, so all handles stay valid.
+    pub fn set_order(&mut self, order: &[u32]) {
+        assert_eq!(order.len(), self.num_vars());
+        self.ite_cache.clear();
+        let mut rc = vec![0u32; self.nodes.len()];
+        let free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        for slot in 2..self.nodes.len() as u32 {
+            if free.contains(&slot) {
+                continue;
+            }
+            rc[slot as usize] += 1; // pin-all
+            let n = self.nodes[slot as usize];
+            for child in [n.lo, n.hi] {
+                if !child.is_const() {
+                    rc[child.index()] += 1;
+                }
+            }
+        }
+        for (target, &var) in order.iter().enumerate() {
+            let mut lvl = self.var2level[var as usize] as usize;
+            while lvl > target {
+                self.swap_levels(lvl as u32 - 1, &mut rc);
+                lvl -= 1;
+            }
+        }
+    }
+
+    fn dec_ref(&mut self, r: ORef, rc: &mut Vec<u32>) {
+        if r.is_const() {
+            return;
+        }
+        rc[r.index()] -= 1;
+        if rc[r.index()] == 0 {
+            let n = self.nodes[r.index()];
+            self.unique[n.var as usize].remove(&(n.lo, n.hi));
+            self.free.push(r.0);
+            self.dec_ref(n.lo, rc);
+            self.dec_ref(n.hi, rc);
+        }
+    }
+
+    fn reorder_mk(&mut self, var: u32, lo: ORef, hi: ORef, rc: &mut Vec<u32>) -> ORef {
+        if lo == hi {
+            if !lo.is_const() {
+                rc[lo.index()] += 1;
+            }
+            return lo;
+        }
+        if let Some(&r) = self.unique[var as usize].get(&(lo, hi)) {
+            rc[r.index()] += 1;
+            return r;
+        }
+        let node = ONode { var, lo, hi };
+        let r = if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            ORef(slot)
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(node);
+            rc.push(0);
+            ORef(slot)
+        };
+        rc[r.index()] = 1;
+        if !lo.is_const() {
+            rc[lo.index()] += 1;
+        }
+        if !hi.is_const() {
+            rc[hi.index()] += 1;
+        }
+        self.unique[var as usize].insert((lo, hi), r);
+        r
+    }
+
+    fn swap_levels(&mut self, level: u32, rc: &mut Vec<u32>) {
+        let xv = self.level2var[level as usize];
+        let yv = self.level2var[level as usize + 1];
+        let moved: Vec<ORef> = self.unique[xv as usize]
+            .values()
+            .copied()
+            .filter(|&r| {
+                let n = self.nodes[r.index()];
+                self.nodes[n.lo.index()].var == yv || self.nodes[n.hi.index()].var == yv
+            })
+            .collect();
+        for &r in &moved {
+            let n = self.nodes[r.index()];
+            self.unique[xv as usize].remove(&(n.lo, n.hi));
+        }
+        self.level2var.swap(level as usize, level as usize + 1);
+        self.var2level[xv as usize] = level + 1;
+        self.var2level[yv as usize] = level;
+        for &r in &moved {
+            let n = self.nodes[r.index()];
+            let (f00, f01) = if self.nodes[n.lo.index()].var == yv {
+                let c = self.nodes[n.lo.index()];
+                (c.lo, c.hi)
+            } else {
+                (n.lo, n.lo)
+            };
+            let (f10, f11) = if self.nodes[n.hi.index()].var == yv {
+                let c = self.nodes[n.hi.index()];
+                (c.lo, c.hi)
+            } else {
+                (n.hi, n.hi)
+            };
+            let new_lo = self.reorder_mk(xv, f00, f10, rc);
+            let new_hi = self.reorder_mk(xv, f01, f11, rc);
+            self.dec_ref(n.lo, rc);
+            self.dec_ref(n.hi, rc);
+            self.nodes[r.index()] = ONode {
+                var: yv,
+                lo: new_lo,
+                hi: new_hi,
+            };
+            self.unique[yv as usize].insert((new_lo, new_hi), r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ite_is_canonical_and_correct() {
+        let mut e = OldEngine::new();
+        let vs = e.new_vars(3);
+        let a = e.var(vs[0]);
+        let b = e.var(vs[1]);
+        let c = e.var(vs[2]);
+        let ab = e.and(a, b);
+        let f = e.or(ab, c);
+        let ab2 = e.and(a, b);
+        let f2 = e.or(ab2, c);
+        assert_eq!(f, f2);
+        for bits in 0..8u64 {
+            let expect = (bits & 1 == 1 && bits >> 1 & 1 == 1) || bits >> 2 & 1 == 1;
+            assert_eq!(e.eval(f, bits), expect);
+        }
+    }
+
+    #[test]
+    fn exists_and_and_exists_agree() {
+        let mut e = OldEngine::new();
+        let vs = e.new_vars(4);
+        let a = e.var(vs[0]);
+        let b = e.var(vs[1]);
+        let c = e.var(vs[2]);
+        let d = e.nvar(vs[3]);
+        let f = e.xor(a, b);
+        let g = e.or(c, d);
+        let fg = e.and(f, g);
+        let direct = e.exists(fg, &[vs[0], vs[2]]);
+        let fused = e.and_exists(f, g, &[vs[0], vs[2]]);
+        assert_eq!(direct, fused);
+    }
+
+    #[test]
+    fn set_order_preserves_denotation() {
+        let mut e = OldEngine::new();
+        let vs = e.new_vars(6);
+        let mut f = ORef::FALSE;
+        for pair in vs.chunks(2) {
+            let a = e.var(pair[0]);
+            let b = e.var(pair[1]);
+            let ab = e.and(a, b);
+            f = e.or(f, ab);
+        }
+        let before: Vec<bool> = (0..64u64).map(|bits| e.eval(f, bits)).collect();
+        let reversed: Vec<u32> = vs.iter().rev().copied().collect();
+        e.set_order(&reversed);
+        let after: Vec<bool> = (0..64u64).map(|bits| e.eval(f, bits)).collect();
+        assert_eq!(before, after);
+        e.set_order(&vs);
+        let back: Vec<bool> = (0..64u64).map(|bits| e.eval(f, bits)).collect();
+        assert_eq!(before, back);
+    }
+}
