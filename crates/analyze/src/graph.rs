@@ -1,0 +1,321 @@
+//! The variable-dependency graph of a parsed deck.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use covest_smv::{Expr, Module, VarType};
+
+/// How a bare identifier in a deck expression resolves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameKind {
+    /// A declared `VAR` or `IVAR`.
+    Var,
+    /// A `DEFINE` macro.
+    Define,
+    /// An enumeration literal; the payload is the declaring variable.
+    EnumLiteral(String),
+    /// Not declared anywhere in the deck.
+    Unknown,
+}
+
+/// The static dependency graph of a module: for every declared variable,
+/// the set of variables its `next`/`init` expressions read (with `DEFINE`
+/// macros expanded and enumeration literals attributed to their declaring
+/// variable), and for every `DEFINE`, its resolved variable support.
+///
+/// All sets are `BTreeSet`s keyed by variable *name*, so iteration order —
+/// and everything derived from it — is deterministic.
+#[derive(Debug)]
+pub struct DepGraph {
+    var_index: BTreeMap<String, usize>,
+    define_index: BTreeMap<String, usize>,
+    literal_owner: BTreeMap<String, String>,
+    /// Per declared variable (declaration order): variables read by its
+    /// `next` and `init` expressions.
+    var_deps: Vec<BTreeSet<String>>,
+    /// Per `DEFINE` (declaration order): resolved variable support.
+    define_vars: Vec<BTreeSet<String>>,
+    /// Per `DEFINE` (declaration order): directly referenced `DEFINE`s.
+    define_refs: Vec<BTreeSet<usize>>,
+}
+
+/// Collects every bare identifier occurring in an expression.
+fn expr_names(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Bool(_) | Expr::Int(_) => {}
+        Expr::Name(n) => {
+            out.insert(n.clone());
+        }
+        Expr::Not(a) => expr_names(a, out),
+        Expr::Bin(_, a, b) => {
+            expr_names(a, out);
+            expr_names(b, out);
+        }
+        Expr::Case(arms) => {
+            for (g, v) in arms {
+                expr_names(g, out);
+                expr_names(v, out);
+            }
+        }
+    }
+}
+
+impl DepGraph {
+    /// Builds the dependency graph of `module`.
+    pub fn new(module: &Module) -> Self {
+        let var_index: BTreeMap<String, usize> = module
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), i))
+            .collect();
+        let define_index: BTreeMap<String, usize> = module
+            .defines
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), i))
+            .collect();
+        // First declaration wins for enumeration literals; variables and
+        // defines shadow literals (matching the compiler's name lookup).
+        let mut literal_owner: BTreeMap<String, String> = BTreeMap::new();
+        for d in &module.vars {
+            if let VarType::Enum(lits) = &d.ty {
+                for l in lits {
+                    literal_owner
+                        .entry(l.clone())
+                        .or_insert_with(|| d.name.clone());
+                }
+            }
+        }
+
+        let mut g = DepGraph {
+            var_index,
+            define_index,
+            literal_owner,
+            var_deps: vec![BTreeSet::new(); module.vars.len()],
+            define_vars: vec![BTreeSet::new(); module.defines.len()],
+            define_refs: vec![BTreeSet::new(); module.defines.len()],
+        };
+
+        for (i, def) in module.defines.iter().enumerate() {
+            let mut names = BTreeSet::new();
+            expr_names(&def.expr, &mut names);
+            for n in &names {
+                if let Some(&j) = g.define_index.get(n) {
+                    g.define_refs[i].insert(j);
+                }
+            }
+            let mut vars = BTreeSet::new();
+            let mut visiting = BTreeSet::new();
+            visiting.insert(def.name.clone());
+            for n in &names {
+                g.resolve_into(module, n, &mut vars, &mut visiting);
+            }
+            g.define_vars[i] = vars;
+        }
+
+        for assign in module.nexts.iter().chain(module.inits.iter()) {
+            let Some(&vi) = g.var_index.get(&assign.name) else {
+                continue;
+            };
+            let mut names = BTreeSet::new();
+            expr_names(&assign.expr, &mut names);
+            let mut vars = std::mem::take(&mut g.var_deps[vi]);
+            let mut visiting = BTreeSet::new();
+            for n in &names {
+                g.resolve_into(module, n, &mut vars, &mut visiting);
+            }
+            g.var_deps[vi] = vars;
+        }
+
+        g
+    }
+
+    /// Classifies a bare identifier the way the deck compiler does:
+    /// variables shadow `DEFINE`s, which shadow enumeration literals.
+    pub fn classify(&self, name: &str) -> NameKind {
+        if self.var_index.contains_key(name) {
+            NameKind::Var
+        } else if self.define_index.contains_key(name) {
+            NameKind::Define
+        } else if let Some(owner) = self.literal_owner.get(name) {
+            NameKind::EnumLiteral(owner.clone())
+        } else {
+            NameKind::Unknown
+        }
+    }
+
+    /// Resolves `name` to the declared variables it denotes (a variable to
+    /// itself, a `DEFINE` to its transitive variable support, an
+    /// enumeration literal to its declaring variable) and inserts them into
+    /// `vars`. `visiting` guards against `DEFINE` cycles.
+    fn resolve_into(
+        &self,
+        module: &Module,
+        name: &str,
+        vars: &mut BTreeSet<String>,
+        visiting: &mut BTreeSet<String>,
+    ) {
+        if self.var_index.contains_key(name) {
+            vars.insert(name.to_owned());
+        } else if let Some(&di) = self.define_index.get(name) {
+            if !visiting.insert(name.to_owned()) {
+                return; // cycle; reported by lint
+            }
+            let mut names = BTreeSet::new();
+            expr_names(&module.defines[di].expr, &mut names);
+            for n in &names {
+                self.resolve_into(module, n, vars, visiting);
+            }
+            visiting.remove(name);
+        } else if let Some(owner) = self.literal_owner.get(name) {
+            vars.insert(owner.clone());
+        }
+        // Unknown names contribute nothing; lint reports them.
+    }
+
+    /// Resolves a set of seed names (variables, `DEFINE`s, or enumeration
+    /// literals) to variables; used to start a cone closure.
+    pub fn resolve_names<'a>(
+        &self,
+        module: &Module,
+        seeds: impl IntoIterator<Item = &'a str>,
+    ) -> BTreeSet<String> {
+        let mut vars = BTreeSet::new();
+        let mut visiting = BTreeSet::new();
+        for s in seeds {
+            self.resolve_into(module, s, &mut vars, &mut visiting);
+        }
+        vars
+    }
+
+    /// The variables an assigned variable reads through its `next` and
+    /// `init` expressions (macros expanded), or `None` if `name` is not a
+    /// declared variable.
+    pub fn var_deps(&self, name: &str) -> Option<&BTreeSet<String>> {
+        self.var_index.get(name).map(|&i| &self.var_deps[i])
+    }
+
+    /// The resolved variable support of a `DEFINE`, or `None` if `name` is
+    /// not a macro.
+    pub fn define_vars(&self, name: &str) -> Option<&BTreeSet<String>> {
+        self.define_index.get(name).map(|&i| &self.define_vars[i])
+    }
+
+    /// The cone of influence of a set of seed variables: the least set of
+    /// declared variables containing the seeds and closed under
+    /// [`DepGraph::var_deps`]. Input variables read by cone members are in
+    /// the cone.
+    pub fn cone(&self, seeds: &BTreeSet<String>) -> BTreeSet<String> {
+        let mut cone: BTreeSet<String> = seeds
+            .iter()
+            .filter(|n| self.var_index.contains_key(n.as_str()))
+            .cloned()
+            .collect();
+        let mut work: Vec<String> = cone.iter().cloned().collect();
+        while let Some(v) = work.pop() {
+            let i = self.var_index[&v];
+            for d in &self.var_deps[i] {
+                if cone.insert(d.clone()) {
+                    work.push(d.clone());
+                }
+            }
+        }
+        cone
+    }
+
+    /// Names of `DEFINE`s that lie on a combinational `DEFINE` cycle, in
+    /// declaration order.
+    pub fn define_cycles(&self, module: &Module) -> Vec<String> {
+        let n = module.defines.len();
+        // A define is cyclic iff it can reach itself in the define-ref
+        // graph. The graphs are tiny; a per-node DFS is fine.
+        let mut cyclic = Vec::new();
+        for start in 0..n {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = self.define_refs[start].iter().copied().collect();
+            let mut hits_self = false;
+            while let Some(i) = stack.pop() {
+                if i == start {
+                    hits_self = true;
+                    break;
+                }
+                if !seen[i] {
+                    seen[i] = true;
+                    stack.extend(self.define_refs[i].iter().copied());
+                }
+            }
+            if hits_self {
+                cyclic.push(module.defines[start].name.clone());
+            }
+        }
+        cyclic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covest_smv::parse_module;
+
+    const DECK: &str = r#"
+VAR mode : {idle, run, halt};
+    x : boolean;
+    y : 0..3;
+    z : boolean;
+IVAR go : boolean;
+DEFINE running := mode = run;
+       twice := running & x;
+ASSIGN
+  init(mode) := idle;
+  next(mode) := case go : run; TRUE : mode; esac;
+  init(x) := FALSE;
+  next(x) := twice | x;
+  init(y) := 0;
+  next(y) := case y < 3 : y + 1; TRUE : 0; esac;
+  init(z) := FALSE;
+  next(z) := z;
+"#;
+
+    #[test]
+    fn classification_and_supports() {
+        let m = parse_module(DECK).expect("parses");
+        let g = DepGraph::new(&m);
+        assert_eq!(g.classify("x"), NameKind::Var);
+        assert_eq!(g.classify("go"), NameKind::Var);
+        assert_eq!(g.classify("running"), NameKind::Define);
+        assert_eq!(g.classify("run"), NameKind::EnumLiteral("mode".into()));
+        assert_eq!(g.classify("nope"), NameKind::Unknown);
+
+        // next(x) reads the macro `twice` which expands to {mode, x}.
+        let deps = g.var_deps("x").unwrap();
+        assert!(deps.contains("mode") && deps.contains("x"));
+        assert!(!deps.contains("y"));
+        // DEFINE support resolves enum literals to the declaring var.
+        assert_eq!(
+            g.define_vars("running").unwrap().iter().collect::<Vec<_>>(),
+            vec!["mode"]
+        );
+    }
+
+    #[test]
+    fn cone_closes_over_next_supports() {
+        let m = parse_module(DECK).expect("parses");
+        let g = DepGraph::new(&m);
+        let cone = g.cone(&["x".to_owned()].into_iter().collect());
+        // x ← twice ← {mode, x}; mode ← go. y and z are outside.
+        assert!(cone.contains("x") && cone.contains("mode") && cone.contains("go"));
+        assert!(!cone.contains("y") && !cone.contains("z"));
+    }
+
+    #[test]
+    fn define_cycles_are_detected() {
+        let m = parse_module(
+            "VAR a : boolean;\nDEFINE p := q | a; q := p; r := a;\nASSIGN init(a) := FALSE; next(a) := a;",
+        )
+        .expect("parses");
+        let g = DepGraph::new(&m);
+        assert_eq!(g.define_cycles(&m), vec!["p".to_owned(), "q".to_owned()]);
+        // Cycle resolution still terminates and keeps the sound part.
+        assert!(g.define_vars("p").unwrap().contains("a"));
+    }
+}

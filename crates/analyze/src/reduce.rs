@@ -1,0 +1,277 @@
+//! Cone-of-influence computation and deck reduction.
+
+use std::collections::BTreeSet;
+
+use covest_ctl::parse_formula;
+use covest_smv::{decl_bit_names, Expr, Module, ObservedDecl};
+
+use crate::graph::DepGraph;
+
+/// Collects every bare identifier occurring in an expression.
+fn expr_names(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Bool(_) | Expr::Int(_) => {}
+        Expr::Name(n) => {
+            out.insert(n.clone());
+        }
+        Expr::Not(a) => expr_names(a, out),
+        Expr::Bin(_, a, b) => {
+            expr_names(a, out);
+            expr_names(b, out);
+        }
+        Expr::Case(arms) => {
+            for (g, v) in arms {
+                expr_names(g, out);
+                expr_names(v, out);
+            }
+        }
+    }
+}
+
+/// The atom names of every `SPEC` and `FAIRNESS` declaration.
+///
+/// # Errors
+///
+/// Returns the CTL parser's message for the first unparseable property
+/// (decks that already compiled cannot hit this).
+fn property_atoms(module: &Module) -> Result<BTreeSet<String>, String> {
+    let mut atoms = BTreeSet::new();
+    for s in module.specs.iter().chain(module.fairness.iter()) {
+        let f = parse_formula(&s.text).map_err(|e| e.to_string())?;
+        atoms.extend(f.signals());
+    }
+    Ok(atoms)
+}
+
+/// The cone of influence of one coverage task: the variables that the
+/// deck's properties, fairness constraints, and the observed `signal`
+/// transitively depend on.
+///
+/// Every `SPEC` is seeded (a coverage task verifies the full property
+/// suite), every `FAIRNESS` is seeded (fair-state computation must be a
+/// cone predicate), and the task's observed signal is seeded.
+///
+/// # Errors
+///
+/// Returns the CTL parser's message for the first unparseable property.
+pub fn task_cone(
+    module: &Module,
+    graph: &DepGraph,
+    signal: &str,
+) -> Result<BTreeSet<String>, String> {
+    let mut atoms = property_atoms(module)?;
+    atoms.insert(signal.to_owned());
+    let seeds = graph.resolve_names(module, atoms.iter().map(String::as_str));
+    Ok(graph.cone(&seeds))
+}
+
+/// The union cone over every property, fairness constraint, and observed
+/// signal of the deck — the set of variables that can influence *any*
+/// analysis of the deck. Variables outside it are dead (lint `dead-var`).
+/// Unparseable properties contribute no atoms (lint reports them
+/// separately as `bad-property`).
+pub fn union_cone(module: &Module, graph: &DepGraph) -> BTreeSet<String> {
+    let mut atoms = BTreeSet::new();
+    for s in module.specs.iter().chain(module.fairness.iter()) {
+        if let Ok(f) = parse_formula(&s.text) {
+            atoms.extend(f.signals());
+        }
+    }
+    for o in &module.observed {
+        atoms.insert(o.name.clone());
+    }
+    let seeds = graph.resolve_names(module, atoms.iter().map(String::as_str));
+    graph.cone(&seeds)
+}
+
+/// The `DEFINE`s reachable — through macro references — from the
+/// properties, the fairness constraints, `signal`, or any `init`/`next`
+/// expression of a cone variable, by name.
+fn needed_defines(module: &Module, cone: &BTreeSet<String>, signal: &str) -> BTreeSet<String> {
+    let mut seeds = BTreeSet::new();
+    for s in module.specs.iter().chain(module.fairness.iter()) {
+        if let Ok(f) = parse_formula(&s.text) {
+            seeds.extend(f.signals());
+        }
+    }
+    seeds.insert(signal.to_owned());
+    for a in module.inits.iter().chain(module.nexts.iter()) {
+        if cone.contains(&a.name) {
+            expr_names(&a.expr, &mut seeds);
+        }
+    }
+
+    let mut needed = BTreeSet::new();
+    let mut work: Vec<String> = seeds.into_iter().collect();
+    while let Some(n) = work.pop() {
+        if let Some(def) = module.define(&n) {
+            if needed.insert(n) {
+                let mut body = BTreeSet::new();
+                expr_names(&def.expr, &mut body);
+                work.extend(body);
+            }
+        }
+    }
+    needed
+}
+
+/// Prunes a deck to the cone of one coverage task: keeps exactly the cone
+/// variables (declaration order preserved), their `init`/`next`
+/// assignments, the `DEFINE`s the properties and `signal` reach, every
+/// `SPEC` and `FAIRNESS`, and observes only `signal`.
+///
+/// Compiling the result yields a machine over exactly the cone bits, with
+/// the same bit names and variable order as the full compile restricted to
+/// the cone — the basis for the bit-identical-parity guarantee (see
+/// DESIGN.md).
+pub fn reduce_module(module: &Module, cone: &BTreeSet<String>, signal: &str) -> Module {
+    let defines = needed_defines(module, cone, signal);
+    Module {
+        vars: module
+            .vars
+            .iter()
+            .filter(|d| cone.contains(&d.name))
+            .cloned()
+            .collect(),
+        inits: module
+            .inits
+            .iter()
+            .filter(|a| cone.contains(&a.name))
+            .cloned()
+            .collect(),
+        nexts: module
+            .nexts
+            .iter()
+            .filter(|a| cone.contains(&a.name))
+            .cloned()
+            .collect(),
+        defines: module
+            .defines
+            .iter()
+            .filter(|d| defines.contains(&d.name))
+            .cloned()
+            .collect(),
+        specs: module.specs.clone(),
+        fairness: module.fairness.clone(),
+        observed: vec![ObservedDecl {
+            name: signal.to_owned(),
+            line: module
+                .observed
+                .iter()
+                .find(|o| o.name == signal)
+                .map_or(0, |o| o.line),
+        }],
+    }
+}
+
+/// The state-bit names of the cone variables, in declaration order — the
+/// counting/sampling universe of a cone-restricted coverage analysis and
+/// the static size estimate of the task.
+pub fn cone_bit_names(module: &Module, cone: &BTreeSet<String>) -> Vec<String> {
+    module
+        .vars
+        .iter()
+        .filter(|d| cone.contains(&d.name))
+        .flat_map(decl_bit_names)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covest_smv::parse_module;
+
+    const DECK: &str = r#"
+VAR count : 0..3;
+    shadow : 0..3;
+    flag : boolean;
+IVAR step : boolean;
+DEFINE full := count = 3;
+       ghost := shadow = 0;
+ASSIGN
+  init(count) := 0;
+  next(count) := case step & !full : count + 1; TRUE : count; esac;
+  init(shadow) := 0;
+  next(shadow) := count;
+  init(flag) := FALSE;
+  next(flag) := flag;
+SPEC AG (full -> AX full);
+OBSERVED count, shadow;
+"#;
+
+    #[test]
+    fn task_cone_follows_macros_and_inputs() {
+        let m = parse_module(DECK).expect("parses");
+        let g = DepGraph::new(&m);
+        let cone = task_cone(&m, &g, "count").unwrap();
+        assert!(cone.contains("count") && cone.contains("step"));
+        assert!(!cone.contains("shadow") && !cone.contains("flag"));
+        // Observing `shadow` drags in `count` (its next reads it).
+        let cone = task_cone(&m, &g, "shadow").unwrap();
+        assert!(cone.contains("shadow") && cone.contains("count"));
+        assert!(!cone.contains("flag"));
+    }
+
+    #[test]
+    fn reduce_keeps_declaration_order_and_needed_defines() {
+        let m = parse_module(DECK).expect("parses");
+        let g = DepGraph::new(&m);
+        let cone = task_cone(&m, &g, "count").unwrap();
+        let r = reduce_module(&m, &cone, "count");
+        let names: Vec<&str> = r.vars.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["count", "step"]);
+        assert_eq!(r.defines.len(), 1);
+        assert_eq!(r.defines[0].name, "full");
+        assert_eq!(r.specs.len(), 1);
+        assert_eq!(r.observed.len(), 1);
+        assert_eq!(r.observed[0].name, "count");
+        // The reduced deck still compiles.
+        let bdd = covest_bdd::BddManager::new();
+        covest_smv::compile_module(&bdd, &r).expect("reduced deck compiles");
+    }
+
+    #[test]
+    fn reduce_keeps_defines_reached_only_through_assignments() {
+        // `hidden` is referenced by next(count) but by no property — the
+        // reduced deck must still carry it (regression: priority_buffer's
+        // next(hi_cnt) reads DEFINE hi_deq, which no SPEC mentions).
+        let deck = r#"
+VAR count : 0..3;
+    gate : boolean;
+DEFINE hidden := gate & count < 3;
+ASSIGN
+  init(count) := 0;
+  next(count) := case hidden : count + 1; TRUE : count; esac;
+  init(gate) := TRUE;
+  next(gate) := !gate;
+SPEC AG (count <= 3);
+OBSERVED count;
+"#;
+        let m = parse_module(deck).expect("parses");
+        let g = DepGraph::new(&m);
+        let cone = task_cone(&m, &g, "count").unwrap();
+        let r = reduce_module(&m, &cone, "count");
+        assert!(r.defines.iter().any(|d| d.name == "hidden"));
+        let bdd = covest_bdd::BddManager::new();
+        covest_smv::compile_module(&bdd, &r).expect("reduced deck compiles");
+    }
+
+    #[test]
+    fn cone_bit_names_match_compiled_bit_names() {
+        let m = parse_module(DECK).expect("parses");
+        let g = DepGraph::new(&m);
+        let cone = task_cone(&m, &g, "count").unwrap();
+        let bits = cone_bit_names(&m, &cone);
+        assert_eq!(bits, vec!["count.0", "count.1", "step"]);
+        let r = reduce_module(&m, &cone, "count");
+        let bdd = covest_bdd::BddManager::new();
+        let model = covest_smv::compile_module(&bdd, &r).unwrap();
+        let compiled: Vec<String> = model
+            .fsm
+            .state_bits()
+            .iter()
+            .map(|b| b.name.clone())
+            .collect();
+        assert_eq!(bits, compiled);
+    }
+}

@@ -99,7 +99,9 @@ fn sized_decks(n: u32) -> Vec<(String, String)> {
     let stages = n as usize;
     let mut pipeline_suite = pipeline::out_suite_initial(stages);
     pipeline_suite.extend(pipeline::out_suite_hold());
-    let pipeline_deck = with_specs(pipeline::deck(stages), &pipeline_suite);
+    // The sized pipeline carries the debug chain: a cone-prunable tail
+    // that gives the COI benchmark something real to cut away.
+    let pipeline_deck = with_specs(pipeline::deck_sized(stages), &pipeline_suite);
 
     vec![
         (format!("counter_m{n}.smv"), counter_deck),

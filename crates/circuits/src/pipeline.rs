@@ -75,6 +75,35 @@ OBSERVED out;
     )
 }
 
+/// [`deck`] plus a `stages`-deep debug shift register recording the
+/// output history — the kind of observability logic real decks carry
+/// and cone-of-influence reduction exists to prune. No property or
+/// observed signal reads the `dbg*` chain, so a cone-reduced compile
+/// drops all of it; each register carries a `covest-lint` allow pragma
+/// so the sized decks still lint clean under `--strict`.
+pub fn deck_sized(stages: usize) -> String {
+    let mut vars = String::new();
+    let mut pragmas = String::new();
+    let mut assigns = String::new();
+    for i in 1..=stages {
+        vars.push_str(&format!("  dbg{i} : boolean;\n"));
+        pragmas.push_str(&format!("-- covest-lint: allow(dead-var, dbg{i})\n"));
+        let src = if i == 1 {
+            "out".to_owned()
+        } else {
+            format!("dbg{}", i - 1)
+        };
+        assigns.push_str(&format!(
+            "  init(dbg{i}) := FALSE;\n  next(dbg{i}) := {src};\n"
+        ));
+    }
+    let tail = format!(
+        "-- Debug shift register: records the last {stages} output values.\n\
+         {pragmas}VAR\n{vars}ASSIGN\n{assigns}OBSERVED out;\n"
+    );
+    deck(stages).replace("OBSERVED out;\n", &tail)
+}
+
 /// Compiles the pipeline.
 ///
 /// # Errors

@@ -44,7 +44,9 @@ VAR
   hi_cnt : 0..{n};
   lo_cnt : 0..{n};
   -- Status register: how many low-priority entries were accepted in the
-  -- previous cycle (an acknowledge output of the real design).
+  -- previous cycle (an acknowledge output of the real design). No
+  -- property or observed signal reads it, and that is intentional.
+  -- covest-lint: allow(dead-var, lo_accepted)
   lo_accepted : 0..{MAX_INCOMING};
 IVAR
   in_hi : 0..{MAX_INCOMING};

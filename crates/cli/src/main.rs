@@ -7,9 +7,11 @@
 //!                        [--traces N] [--strict] [--dot FILE]
 //!                        [--reorder off|sift|auto] [--image mono|part]
 //!                        [--simplify off|restrict|constrain]
-//!                        [--jobs N] [--json FILE]
+//!                        [--coi on|off] [--jobs N] [--json FILE]
 //! covest batch JOBLIST   [--strict] [--reorder ...] [--image ...]
-//!                        [--simplify ...] [--jobs N] [--json FILE]
+//!                        [--simplify ...] [--coi on|off] [--jobs N]
+//!                        [--json FILE]
+//! covest lint DECK.smv... [--strict]
 //! ```
 //!
 //! `check` verifies every `SPEC` under the deck's `FAIRNESS` constraints
@@ -22,6 +24,10 @@
 //! - `--dot FILE` dumps the reachable-state BDD in Graphviz format;
 //! - `--reorder`, `--image`, `--simplify` select the engine modes (all
 //!   combinations produce bit-identical results; see `README.md`);
+//! - `--coi on|off` (default on) controls whether parallel workers
+//!   compile each signal's statically pruned cone-of-influence deck or
+//!   the full deck; reports are bit-identical either way — the coverage
+//!   universe is the signal's cone in both modes;
 //! - `--jobs N` analyzes the observed signals **in parallel** on `N`
 //!   worker threads (`0` = one per core), each with its own BDD manager;
 //!   coverage percentages, verdicts and uncovered states are
@@ -50,11 +56,19 @@
 //! worker pool under the `--jobs` thread budget. Batch output contains
 //! no timings or node counts, so two runs with different `--jobs` are
 //! byte-identical.
+//!
+//! `lint` statically checks decks without building any BDDs: undefined
+//! names, `DEFINE` cycles, missing `next` assignments, dead variables,
+//! constant signals, observed signals outside every property's cone.
+//! Findings print in a stable order (declaration order, then line);
+//! `--strict` fails on warnings too. Exit codes: 0 clean, 1 findings,
+//! 2 usage/I-O error.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use covest_analyze::{cone_bit_names, lint_source, task_cone, DepGraph};
 use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
 use covest_core::{json_string, CoverageEstimator, CoverageOptions, CoverageTable, ReportRow};
 use covest_mc::{ModelChecker, Verdict};
@@ -73,6 +87,7 @@ struct EngineArgs {
     json: Option<String>,
     stats: bool,
     trace: Option<String>,
+    coi: bool,
 }
 
 impl Default for EngineArgs {
@@ -85,6 +100,7 @@ impl Default for EngineArgs {
             json: None,
             stats: false,
             trace: None,
+            coi: true,
         }
     }
 }
@@ -113,9 +129,15 @@ struct BatchArgs {
     engine: EngineArgs,
 }
 
+struct LintArgs {
+    paths: Vec<String>,
+    strict: bool,
+}
+
 enum Cmd {
     Check(CheckArgs),
     Batch(BatchArgs),
+    Lint(LintArgs),
 }
 
 fn usage() -> ! {
@@ -123,10 +145,11 @@ fn usage() -> ! {
         "usage: covest check MODEL.smv [--coverage] [--observed SIGNAL]... \
          [--traces N] [--strict] [--dot FILE] [--reorder off|sift|auto] \
          [--image mono|part] [--simplify off|restrict|constrain] \
-         [--jobs N] [--json FILE] [--stats] [--trace FILE]\n\
+         [--coi on|off] [--jobs N] [--json FILE] [--stats] [--trace FILE]\n\
          \u{20}      covest batch JOBLIST [--strict] [--reorder off|sift|auto] \
          [--image mono|part] [--simplify off|restrict|constrain] \
-         [--jobs N] [--json FILE] [--stats] [--trace FILE]\n\
+         [--coi on|off] [--jobs N] [--json FILE] [--stats] [--trace FILE]\n\
+         \u{20}      covest lint DECK.smv... [--strict]\n\
          \n\
          --reorder off   keep the declaration variable order\n\
          --reorder sift  sift once after compiling the model (default)\n\
@@ -138,6 +161,11 @@ fn usage() -> ! {
          \u{20}                    frontiers, iterates and clusters (default)\n\
          --simplify constrain  stronger generalized-cofactor simplification\n\
          --simplify off        no don't-care simplification\n\
+         --coi on        parallel workers compile each signal's statically\n\
+         \u{20}               pruned cone deck (default; reports are\n\
+         \u{20}               bit-identical to --coi off)\n\
+         --coi off       workers compile the full deck and project onto\n\
+         \u{20}               the cone afterwards\n\
          --jobs N        analyze observed signals on N worker threads\n\
          \u{20}               (0 = one per core; default 1 = sequential)\n\
          --json FILE     write the coverage table (rows, verdicts,\n\
@@ -148,7 +176,11 @@ fn usage() -> ! {
          \u{20}               per-signal fixpoints) as JSONL\n\
          \n\
          JOBLIST lines: PATH [SIGNAL ...]   (# comments; relative paths\n\
-         resolve against the joblist's directory)"
+         resolve against the joblist's directory)\n\
+         \n\
+         lint exit codes: 0 = clean (warnings allowed without --strict),\n\
+         \u{20}                1 = errors, or warnings under --strict,\n\
+         \u{20}                2 = usage or I/O error"
     );
     std::process::exit(2);
 }
@@ -187,6 +219,14 @@ fn parse_engine_flag(
         "--json" => match argv.next() {
             Some(p) => engine.json = Some(p),
             None => usage(),
+        },
+        "--coi" => match argv.next().as_deref() {
+            Some("on") => engine.coi = true,
+            Some("off") => engine.coi = false,
+            _ => {
+                eprintln!("error: --coi expects `on` or `off`");
+                usage()
+            }
         },
         "--stats" => engine.stats = true,
         "--trace" => match argv.next() {
@@ -264,6 +304,21 @@ fn parse_args() -> Cmd {
             }
             Cmd::Batch(args)
         }
+        Some("lint") => {
+            let mut paths = Vec::new();
+            let mut strict = false;
+            for a in argv {
+                match a.as_str() {
+                    "--strict" => strict = true,
+                    _ if !a.starts_with('-') => paths.push(a),
+                    _ => usage(),
+                }
+            }
+            if paths.is_empty() {
+                usage();
+            }
+            Cmd::Lint(LintArgs { paths, strict })
+        }
         _ => usage(),
     }
 }
@@ -272,6 +327,7 @@ fn main() -> ExitCode {
     let (result, strict) = match parse_args() {
         Cmd::Check(args) => (run_check(&args), args.strict),
         Cmd::Batch(args) => (run_batch_cmd(&args), args.strict),
+        Cmd::Lint(args) => return run_lint(&args),
     };
     match result {
         Ok(all_passed) => {
@@ -285,6 +341,42 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `covest lint`: statically checks decks and prints findings in the
+/// stable order (declaration order, then line). Exit code 0 when clean
+/// (warnings allowed without `--strict`), 1 on errors or on warnings
+/// under `--strict`, 2 on usage or I/O problems.
+fn run_lint(args: &LintArgs) -> ExitCode {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for path in &args.paths {
+        let src = match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = lint_source(&src);
+        for d in &report.diagnostics {
+            println!(
+                "{path}:{}: {} [{}] {}",
+                d.line, d.severity, d.rule, d.message
+            );
+        }
+        errors += report.errors();
+        warnings += report.warnings();
+    }
+    println!(
+        "lint: {} decks, {errors} errors, {warnings} warnings",
+        args.paths.len()
+    );
+    if errors > 0 || (args.strict && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -325,6 +417,7 @@ fn par_config(engine: &EngineArgs) -> ParConfig {
         reorder: engine.reorder,
         uncovered_limit: UNCOVERED_SAMPLE_LIMIT,
         profile: engine.profiling(),
+        coi: engine.coi,
     }
 }
 
@@ -510,7 +603,8 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
         simplify: args.engine.simplify,
         ..Default::default()
     };
-    let model = covest_smv::compile_with(&bdd, &src, image)?;
+    let module = covest_smv::parse_module(&src)?;
+    let model = covest_smv::compile_module_with(&bdd, &module, image)?;
     // In mono mode nothing was clustered — the engine holds the raw
     // parts and the fixpoints run on the lazy monolith.
     let partition = match args.engine.image {
@@ -589,6 +683,7 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
             eprintln!("warning: no OBSERVED signals; use --observed");
         }
         let estimator = CoverageEstimator::new(&model.fsm);
+        let graph = DepGraph::new(&module);
         let mut table = CoverageTable::new();
         // Profiling routes coverage through the worker pool at every
         // `--jobs` value: per-task fresh managers make each task's
@@ -597,18 +692,32 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
         let sequential = signals.is_empty()
             || (!args.engine.profiling() && (args.engine.jobs == 1 || signals.len() <= 1));
         if sequential {
-            let options = CoverageOptions {
-                fairness: model.fairness.clone(),
-                ..Default::default()
-            };
+            // The counting/sampling universe of a deck analysis is the
+            // signal's static cone — the same universe the worker pool
+            // uses, so sequential and `--jobs` output stay byte-identical.
             for signal in &signals {
+                let cone = task_cone(&module, &graph, signal)?;
+                let options = CoverageOptions {
+                    fairness: model.fairness.clone(),
+                    cone: Some(cone_bit_names(&module, &cone)),
+                    ..Default::default()
+                };
                 let analysis = estimator.analyze(signal, &model.specs, &options)?;
-                let sample = estimator.uncovered_states(&analysis, UNCOVERED_SAMPLE_LIMIT);
+                let universe = estimator.universe(options.cone.as_deref());
+                let sample = estimator.sample_states_over(
+                    &analysis.uncovered(),
+                    &universe,
+                    UNCOVERED_SAMPLE_LIMIT,
+                );
                 let row = ReportRow::from_analysis(&args.model_path, &analysis)
                     .with_uncovered_sample(sample);
                 print_signal_block(&row);
                 if row.percent < 100.0 {
-                    for trace in estimator.traces_to_uncovered(&analysis, args.traces) {
+                    for trace in estimator.traces_to_states_over(
+                        &analysis.uncovered(),
+                        &universe,
+                        args.traces,
+                    ) {
                         println!("trace to uncovered state:\n{trace}");
                     }
                 }
@@ -624,10 +733,14 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
             for outcome in report.outcomes() {
                 print_signal_block(&outcome.row);
                 if outcome.row.percent < 100.0 && args.traces > 0 {
-                    // The worker exported its uncovered set name-keyed;
-                    // import it here and replay traces on this manager.
+                    // The worker exported its uncovered set name-keyed
+                    // over the signal's cone; import it here and replay
+                    // traces over the same cone universe.
                     let uncovered = bdd.import_bdd(&outcome.uncovered)?;
-                    for trace in estimator.traces_to_states(&uncovered, args.traces) {
+                    let cone = task_cone(&module, &graph, &outcome.row.signal)?;
+                    let universe = estimator.universe(Some(&cone_bit_names(&module, &cone)));
+                    for trace in estimator.traces_to_states_over(&uncovered, &universe, args.traces)
+                    {
                         println!("trace to uncovered state:\n{trace}");
                     }
                 }

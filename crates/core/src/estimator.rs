@@ -111,6 +111,15 @@ pub struct CoverageOptions {
     /// [`CoverageError::PropertyFails`]; if `false` (default), failing
     /// properties contribute no coverage but are reported.
     pub strict: bool,
+    /// Cone-of-influence restriction: the state-bit *names* (declaration
+    /// order) that span the coverage universe. When set, the covered set
+    /// and the space are projected onto these bits (existentially
+    /// quantifying everything else) after they are intersected, and
+    /// counting/sampling runs over exactly these bits. Projection at that
+    /// point is exact — see DESIGN.md "Static deck analysis &
+    /// cone-of-influence" for the argument. `None` (default) keeps the
+    /// full state-bit universe.
+    pub cone: Option<Vec<String>>,
 }
 
 /// The coverage estimator for one machine.
@@ -244,13 +253,31 @@ impl<'m> CoverageEstimator<'m> {
             space = space.diff(&dcf);
         }
         let covered = covered.and(&space);
+        // Cone-of-influence restriction: project *after* intersecting the
+        // covered set with the space — `covered` is then a cone predicate
+        // conjoined with `space`, which makes ∃-projection exact (the
+        // uncovered set derived from the projected pair equals the
+        // projection of the full uncovered set; DESIGN.md).
+        let (covered, space) = if let Some(bits) = &options.cone {
+            let keep: std::collections::HashSet<&str> = bits.iter().map(String::as_str).collect();
+            let outside: Vec<VarId> = self
+                .fsm
+                .state_bits()
+                .iter()
+                .filter(|b| !keep.contains(b.name.as_str()))
+                .map(|b| b.current)
+                .collect();
+            (covered.exists(&outside), space.exists(&outside))
+        } else {
+            (covered, space)
+        };
         drop(coverage_span);
         let coverage_time = t1.elapsed();
         let coverage_nodes = mgr.table_size();
 
         mgr.maybe_reduce_heap();
 
-        let vars = self.state_universe(&covered, &space);
+        let vars = self.state_universe(&covered, &space, options.cone.as_deref());
         let covered_count = covered.sat_count_over(&vars);
         let space_count = space.sat_count_over(&vars);
 
@@ -298,7 +325,7 @@ impl<'m> CoverageEstimator<'m> {
                 mine.holds &= theirs.holds;
             }
         }
-        let vars = self.state_universe(&merged.covered, &merged.space);
+        let vars = self.state_universe(&merged.covered, &merged.space, options.cone.as_deref());
         merged.covered_count = merged.covered.sat_count_over(&vars);
         merged.observed = observed.join("+");
         Ok(merged)
@@ -326,24 +353,30 @@ impl<'m> CoverageEstimator<'m> {
         Ok(analyses)
     }
 
-    /// Samples up to `limit` states of `set` as *canonical* minterms:
-    /// the lexicographically smallest assignments with respect to the
-    /// machine's state-bit **declaration order** (false before true),
-    /// extracted by a cofactor walk and returned in ascending order.
+    /// Samples up to `limit` states of `set` as *canonical* minterms
+    /// over an explicit variable universe (a cone-restricted analysis
+    /// samples over the cone bits only): the lexicographically smallest
+    /// assignments with respect to `vars`' order — for state sets, the
+    /// machine's **declaration order** (false before true) — extracted
+    /// by a cofactor walk and returned in ascending order.
     ///
-    /// The sample is a pure function of the state set and the
-    /// declaration order — independent of the manager's variable order,
-    /// reordering history, or which manager the set was computed on — so
-    /// sequential and parallel runs print byte-identical reports.
-    fn canonical_minterms(&self, set: &Func, limit: usize) -> Vec<Vec<(VarId, bool)>> {
-        let vars = self.fsm.current_vars();
+    /// The sample is a pure function of the state set and the universe
+    /// order — independent of the manager's variable order, reordering
+    /// history, or which manager the set was computed on — so sequential
+    /// and parallel runs print byte-identical reports.
+    fn canonical_minterms_over(
+        &self,
+        set: &Func,
+        vars: &[VarId],
+        limit: usize,
+    ) -> Vec<Vec<(VarId, bool)>> {
         let mgr = self.fsm.manager();
         // When the caller wants the whole set, lazy enumeration plus a
         // sort beats the one-BDD-diff-per-state walk below (which would
         // be quadratic in the set size) and yields the same canonical
         // declaration-order listing.
-        if limit as f64 >= set.sat_count_over(&vars) {
-            let mut all: Vec<Vec<(VarId, bool)>> = set.minterms_over(&vars).collect();
+        if limit as f64 >= set.sat_count_over(vars) {
+            let mut all: Vec<Vec<(VarId, bool)>> = set.minterms_over(vars).collect();
             all.sort_by(|a, b| {
                 let key = |m: &[(VarId, bool)]| m.iter().map(|&(_, v)| v).collect::<Vec<_>>();
                 key(a).cmp(&key(b))
@@ -356,7 +389,7 @@ impl<'m> CoverageEstimator<'m> {
             let mut cube_f = mgr.constant(true);
             let mut cube = Vec::with_capacity(vars.len());
             let mut cur = rest.clone();
-            for &v in &vars {
+            for &v in vars {
                 let lo = cur.cofactor(v, false);
                 let (val, next) = if lo.is_false() {
                     (true, cur.cofactor(v, true))
@@ -380,7 +413,19 @@ impl<'m> CoverageEstimator<'m> {
     /// contract). This is the entry point the parallel front-end uses
     /// after importing an uncovered set from a worker.
     pub fn sample_states(&self, set: &Func, limit: usize) -> Vec<Vec<(String, bool)>> {
-        self.canonical_minterms(set, limit)
+        self.sample_states_over(set, &self.fsm.current_vars(), limit)
+    }
+
+    /// [`CoverageEstimator::sample_states`] over an explicit variable
+    /// universe (see [`CoverageEstimator::universe`]); a cone-restricted
+    /// analysis samples its sets over the cone bits only.
+    pub fn sample_states_over(
+        &self,
+        set: &Func,
+        vars: &[VarId],
+        limit: usize,
+    ) -> Vec<Vec<(String, bool)>> {
+        self.canonical_minterms_over(set, vars, limit)
             .into_iter()
             .map(|m| {
                 m.into_iter()
@@ -388,6 +433,34 @@ impl<'m> CoverageEstimator<'m> {
                     .collect()
             })
             .collect()
+    }
+
+    /// The counting/sampling universe selected by an optional cone of
+    /// state-bit names: the matching current-state [`VarId`]s in
+    /// declaration order, or every state bit for `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cone name does not name a state bit of this machine.
+    pub fn universe(&self, cone: Option<&[String]>) -> Vec<VarId> {
+        match cone {
+            None => self.fsm.current_vars(),
+            Some(bits) => {
+                let vars: Vec<VarId> = self
+                    .fsm
+                    .state_bits()
+                    .iter()
+                    .filter(|b| bits.contains(&b.name))
+                    .map(|b| b.current)
+                    .collect();
+                assert_eq!(
+                    vars.len(),
+                    bits.len(),
+                    "every cone entry must name a distinct state bit"
+                );
+                vars
+            }
+        }
     }
 
     /// Lists up to `limit` uncovered states as named bit assignments.
@@ -409,9 +482,16 @@ impl<'m> CoverageEstimator<'m> {
     /// `limit` states of `set`, targeting the same canonical state
     /// sample as [`CoverageEstimator::sample_states`].
     pub fn traces_to_states(&self, set: &Func, limit: usize) -> Vec<Trace> {
+        self.traces_to_states_over(set, &self.fsm.current_vars(), limit)
+    }
+
+    /// [`CoverageEstimator::traces_to_states`] over an explicit variable
+    /// universe: traces target the canonical sample over `vars` (for a
+    /// cone-restricted set, any reachable completion of the cone cube).
+    pub fn traces_to_states_over(&self, set: &Func, vars: &[VarId], limit: usize) -> Vec<Trace> {
         let mgr = self.fsm.manager();
         let mut traces = Vec::new();
-        for t in self.canonical_minterms(set, limit) {
+        for t in self.canonical_minterms_over(set, vars, limit) {
             let mut cube = mgr.constant(true);
             for (v, val) in t {
                 cube = cube.and(&mgr.literal(v, val));
@@ -438,10 +518,11 @@ impl<'m> CoverageEstimator<'m> {
             .unwrap_or("?")
     }
 
-    fn state_universe(&self, covered: &Func, space: &Func) -> Vec<VarId> {
-        // Counting universe: the state bits. Signals over inputs can leak
-        // input variables into covered sets; guard against that in debug.
-        let vars = self.fsm.current_vars();
+    fn state_universe(&self, covered: &Func, space: &Func, cone: Option<&[String]>) -> Vec<VarId> {
+        // Counting universe: the state bits (or the cone bits). Signals
+        // over inputs can leak input variables into covered sets; guard
+        // against that in debug.
+        let vars = self.universe(cone);
         debug_assert!(
             {
                 let set: std::collections::HashSet<VarId> = vars.iter().copied().collect();

@@ -10,8 +10,11 @@
 //! `(deck, signal)` pair — in declaration order, which is also the
 //! order results are reassembled in, whatever order workers finish.
 
-use covest_bdd::{BddDump, BddManager, ReorderConfig, ReorderMode};
-use covest_smv::ImageConfig;
+use std::sync::Arc;
+
+use covest_analyze::{cone_bit_names, reduce_module, task_cone, DepGraph};
+use covest_bdd::{BddDump, BddManager, ReorderConfig, ReorderMode, VarId};
+use covest_smv::{ImageConfig, Module};
 
 use crate::pool::ParError;
 
@@ -61,6 +64,16 @@ pub struct ParConfig {
     /// signal, config), so they are byte-identical across `jobs` values,
     /// while the durations are wall-clock and excluded from parity.
     pub profile: bool,
+    /// Cone-of-influence reduction (`true`, the default): each coverage
+    /// task compiles the statically pruned cone deck on its private
+    /// manager instead of the full source, and imports the
+    /// cone-projected reachable set. With `false` the task compiles the
+    /// full deck and the estimator projects onto the cone instead. The
+    /// two modes produce bit-identical reports (percentages, counts,
+    /// verdicts, uncovered listings) — the coverage universe is the cone
+    /// either way; only manager size and wall-clock differ. See
+    /// DESIGN.md "Static deck analysis & cone-of-influence".
+    pub coi: bool,
 }
 
 impl Default for ParConfig {
@@ -71,6 +84,7 @@ impl Default for ParConfig {
             reorder: ReorderMode::Sift,
             uncovered_limit: 10,
             profile: false,
+            coi: true,
         }
     }
 }
@@ -103,13 +117,43 @@ pub(crate) struct PlannedDeck {
     pub plan_time: std::time::Duration,
 }
 
+/// The statically pruned form of one coverage task: the cone-reduced
+/// module and the cone-projection of the planner's reachable set, ready
+/// to compile/import on a worker's private manager.
+#[derive(Debug)]
+pub(crate) struct ReducedCone {
+    pub module: Module,
+    pub reach: BddDump,
+}
+
 /// What one queue entry asks a worker to do.
 #[derive(Debug, Clone)]
 pub(crate) enum TaskKind {
     /// Verify the suite and estimate coverage for one observed signal.
-    Coverage { signal: String },
+    Coverage {
+        signal: String,
+        /// The cone's state-bit names in declaration order — the task's
+        /// counting/sampling universe and its static size estimate.
+        cone: Arc<Vec<String>>,
+        /// The pruned deck (`Some` iff [`ParConfig::coi`] was on at
+        /// planning time).
+        reduced: Option<Arc<ReducedCone>>,
+    },
     /// Verify the suite only (decks with no observed signals).
     VerifyOnly,
+}
+
+impl TaskKind {
+    /// Static size estimate in state bits: the cone width for coverage
+    /// tasks; `usize::MAX` for verify-only tasks (whole machine). Large
+    /// tasks are dispatched first so the slowest work does not land last
+    /// on an otherwise drained queue.
+    pub(crate) fn size_hint(&self) -> usize {
+        match self {
+            TaskKind::Coverage { cone, .. } => cone.len(),
+            TaskKind::VerifyOnly => usize::MAX,
+        }
+    }
 }
 
 /// One unit of queue work: a deck index plus what to do with it.
@@ -142,25 +186,58 @@ pub(crate) fn plan_deck(
         mode: config.reorder,
         ..Default::default()
     });
-    let model = covest_smv::compile_with(&bdd, &job.source, config.image)
+    let module = covest_smv::parse_module(&job.source).map_err(|e| plan_err(e.to_string()))?;
+    let model = covest_smv::compile_module_with(&bdd, &module, config.image)
         .map_err(|e| plan_err(e.to_string()))?;
     let signals = if job.observed.is_empty() {
         model.observed.clone()
     } else {
         job.observed.clone()
     };
-    let reach = model
-        .fsm
-        .reachable()
+    let full_reach = model.fsm.reachable();
+    let reach = full_reach
         .export_bdd()
         .map_err(|e| plan_err(format!("cannot export reachable set: {e}")))?;
     let kinds = if signals.is_empty() {
         vec![TaskKind::VerifyOnly]
     } else {
-        signals
-            .into_iter()
-            .map(|signal| TaskKind::Coverage { signal })
-            .collect()
+        // Static analysis per signal: the task's cone (its counting
+        // universe and size estimate), and — with COI on — the pruned
+        // deck plus the cone-projection of the reachable set the worker
+        // will import instead of the full one.
+        let graph = DepGraph::new(&module);
+        let mut kinds = Vec::with_capacity(signals.len());
+        for signal in signals {
+            let cone = task_cone(&module, &graph, &signal).map_err(&plan_err)?;
+            let bits = cone_bit_names(&module, &cone);
+            let reduced = if config.coi {
+                let keep: std::collections::HashSet<&str> =
+                    bits.iter().map(String::as_str).collect();
+                let outside: Vec<VarId> = model
+                    .fsm
+                    .state_bits()
+                    .iter()
+                    .filter(|b| !keep.contains(b.name.as_str()))
+                    .map(|b| b.current)
+                    .collect();
+                let cone_reach = full_reach
+                    .exists(&outside)
+                    .export_bdd()
+                    .map_err(|e| plan_err(format!("cannot export cone reachable set: {e}")))?;
+                Some(Arc::new(ReducedCone {
+                    module: reduce_module(&module, &cone, &signal),
+                    reach: cone_reach,
+                }))
+            } else {
+                None
+            };
+            kinds.push(TaskKind::Coverage {
+                signal,
+                cone: Arc::new(bits),
+                reduced,
+            });
+        }
+        kinds
     };
     Ok((
         PlannedDeck {
@@ -220,6 +297,15 @@ impl WorkPlan {
     /// Total number of queue tasks (coverage + verification-only).
     pub fn num_tasks(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// Static per-task size estimates, in task order: the cone width in
+    /// state bits for coverage tasks, `usize::MAX` for verify-only tasks
+    /// (whole machine). [`WorkPlan::run`] dispatches largest-first on
+    /// these; they are also the task-size inputs the ROADMAP's
+    /// work-stealing item calls for.
+    pub fn task_size_estimates(&self) -> Vec<usize> {
+        self.tasks.iter().map(|t| t.kind.size_hint()).collect()
     }
 
     /// Number of per-signal coverage tasks.

@@ -215,7 +215,7 @@ fn run_task(
         TaskProfile {
             deck: deck.name.clone(),
             signal: match kind {
-                TaskKind::Coverage { signal } => Some(signal.clone()),
+                TaskKind::Coverage { signal, .. } => Some(signal.clone()),
                 TaskKind::VerifyOnly => None,
             },
             queue_wait,
@@ -239,16 +239,30 @@ fn run_task_phases(
     config: &ParConfig,
 ) -> Result<(TaskPayload, Duration, Duration, Duration), String> {
     let _task_span = telemetry::span(match kind {
-        TaskKind::Coverage { signal } => format!("task:{}:{signal}", deck.name),
+        TaskKind::Coverage { signal, .. } => format!("task:{}:{signal}", deck.name),
         TaskKind::VerifyOnly => format!("task:{}", deck.name),
     });
     bdd.set_reorder_config(ReorderConfig {
         mode: config.reorder,
         ..Default::default()
     });
+    // With COI on, a coverage task compiles the statically pruned cone
+    // deck (smaller manager) and imports the cone-projected reachable
+    // set; otherwise it compiles the full source and the estimator
+    // projects onto the cone instead. Reports are bit-identical either
+    // way — the counting universe is the cone in both modes.
+    let reduced = match kind {
+        TaskKind::Coverage { reduced, .. } => reduced.as_deref(),
+        TaskKind::VerifyOnly => None,
+    };
     let sw = Stopwatch::start();
-    let model =
-        covest_smv::compile_with(bdd, &deck.source, config.image).map_err(|e| e.to_string())?;
+    let model = match reduced {
+        Some(r) => covest_smv::compile_module_with(bdd, &r.module, config.image)
+            .map_err(|e| e.to_string())?,
+        None => {
+            covest_smv::compile_with(bdd, &deck.source, config.image).map_err(|e| e.to_string())?
+        }
+    };
     if config.reorder == ReorderMode::Sift {
         bdd.reduce_heap();
     }
@@ -257,22 +271,29 @@ fn run_task_phases(
     // of re-running the BFS. Name keying makes this correct even though
     // this manager's variable order has its own history.
     let sw = Stopwatch::start();
-    let reach = bdd.import_bdd(&deck.reach).map_err(|e| e.to_string())?;
+    let reach_dump = reduced.map_or(&deck.reach, |r| &r.reach);
+    let reach = bdd.import_bdd(reach_dump).map_err(|e| e.to_string())?;
     model.fsm.seed_reachable(reach);
     let import = sw.elapsed();
 
     let sw = Stopwatch::start();
     let payload = match kind {
-        TaskKind::Coverage { signal } => {
+        TaskKind::Coverage { signal, cone, .. } => {
             let estimator = CoverageEstimator::new(&model.fsm);
             let options = CoverageOptions {
                 fairness: model.fairness.clone(),
+                cone: Some(cone.as_ref().clone()),
                 ..Default::default()
             };
             let analysis = estimator
                 .analyze(signal, &model.specs, &options)
                 .map_err(|e| e.to_string())?;
-            let sample = estimator.uncovered_states(&analysis, config.uncovered_limit);
+            let universe = estimator.universe(options.cone.as_deref());
+            let sample = estimator.sample_states_over(
+                &analysis.uncovered(),
+                &universe,
+                config.uncovered_limit,
+            );
             let uncovered = analysis
                 .uncovered()
                 .export_bdd()
@@ -321,6 +342,13 @@ impl WorkPlan {
     pub fn run(&self, config: &ParConfig) -> Result<BatchReport, ParError> {
         let workers = self.tasks.len().min(config.effective_jobs()).max(1);
         let next = AtomicUsize::new(0);
+        // Dispatch largest-first on the static size estimates (stable by
+        // task index), so the biggest cone is not the last pickup on an
+        // otherwise drained queue. Results are still slotted by task
+        // index — scheduling order never reaches the report.
+        let mut order: Vec<usize> = (0..self.tasks.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.tasks[i].kind.size_hint()));
+        let order = &order;
         // Every task of a pre-built plan is runnable from the start, so
         // queue wait is simply the clock reading at pickup.
         let clock = WallClock::new();
@@ -334,8 +362,9 @@ impl WorkPlan {
                 let next = &next;
                 let clock = &clock;
                 scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(task) = self.tasks.get(i) else { break };
+                    let pick = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = order.get(pick) else { break };
+                    let task = &self.tasks[i];
                     let queue_wait = clock.now();
                     let result = run_task(&self.decks[task.deck], &task.kind, config, queue_wait);
                     if tx.send((i, result)).is_err() {
@@ -390,7 +419,7 @@ fn merge_results(
                 .map_err(|message| ParError::Task {
                     deck: decks[task.deck].0.clone(),
                     signal: match &task.kind {
-                        TaskKind::Coverage { signal } => Some(signal.clone()),
+                        TaskKind::Coverage { signal, .. } => Some(signal.clone()),
                         TaskKind::VerifyOnly => None,
                     },
                     message,
@@ -467,12 +496,20 @@ pub fn run_batch(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchReport, Pa
                     let deck_idx = planned.len();
                     planned.push((deck.name.clone(), deck.num_properties, deck.plan_time));
                     let deck = Arc::new(deck);
+                    // Release this deck's tasks largest-first (stable by
+                    // declaration order); task indices — and therefore
+                    // the merged report — keep declaration order.
+                    let mut release: Vec<(usize, crate::plan::TaskKind)> = Vec::new();
                     for kind in kinds {
                         let i = tasks.len();
                         tasks.push(crate::plan::Task {
                             deck: deck_idx,
                             kind: kind.clone(),
                         });
+                        release.push((i, kind));
+                    }
+                    release.sort_by_key(|(_, kind)| std::cmp::Reverse(kind.size_hint()));
+                    for (i, kind) in release {
                         let _ = task_tx.send((i, Arc::clone(&deck), kind, clock.now()));
                     }
                 }
@@ -566,15 +603,32 @@ pub fn run_sequential(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchRepor
             }
         } else {
             let estimator = CoverageEstimator::new(&model.fsm);
-            let options = CoverageOptions {
-                fairness: model.fairness.clone(),
-                ..Default::default()
-            };
+            // The baseline never compiles reduced decks, but the coverage
+            // universe is still the per-signal cone — deck semantics, not
+            // a COI-mode artifact — so it stays bit-comparable with the
+            // pool under either `coi` setting.
+            let module = covest_smv::parse_module(&job.source).map_err(|e| ParError::Plan {
+                deck: job.name.clone(),
+                message: e.to_string(),
+            })?;
+            let graph = covest_analyze::DepGraph::new(&module);
             for signal in &signals {
+                let cone = covest_analyze::task_cone(&module, &graph, signal)
+                    .map_err(|message| task_err(Some(signal), message))?;
+                let options = CoverageOptions {
+                    fairness: model.fairness.clone(),
+                    cone: Some(covest_analyze::cone_bit_names(&module, &cone)),
+                    ..Default::default()
+                };
                 let analysis = estimator
                     .analyze(signal, &model.specs, &options)
                     .map_err(|e| task_err(Some(signal), e.to_string()))?;
-                let sample = estimator.uncovered_states(&analysis, config.uncovered_limit);
+                let universe = estimator.universe(options.cone.as_deref());
+                let sample = estimator.sample_states_over(
+                    &analysis.uncovered(),
+                    &universe,
+                    config.uncovered_limit,
+                );
                 let uncovered = analysis
                     .uncovered()
                     .export_bdd()

@@ -147,6 +147,49 @@ pub struct VarDecl {
     pub ty: VarType,
     /// `true` for `IVAR` (primary input), `false` for `VAR` (state).
     pub input: bool,
+    /// 1-based source line of the declaration (0 when synthesized).
+    pub line: usize,
+}
+
+/// One `init(x) := e` or `next(x) := e` assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assign {
+    /// Assigned variable name.
+    pub name: String,
+    /// Right-hand side.
+    pub expr: Expr,
+    /// 1-based source line of the assignment (0 when synthesized).
+    pub line: usize,
+}
+
+/// One `DEFINE name := e` macro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Define {
+    /// Macro name.
+    pub name: String,
+    /// Body expression.
+    pub expr: Expr,
+    /// 1-based source line of the definition (0 when synthesized).
+    pub line: usize,
+}
+
+/// One `SPEC` or `FAIRNESS` declaration: the body is kept as re-serialized
+/// token text and parsed downstream by the CTL parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecDecl {
+    /// Re-serialized body text.
+    pub text: String,
+    /// 1-based source line of the declaration (0 when synthesized).
+    pub line: usize,
+}
+
+/// One name from an `OBSERVED` list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedDecl {
+    /// Observed-signal name.
+    pub name: String,
+    /// 1-based source line of the name (0 when synthesized).
+    pub line: usize,
 }
 
 /// A parsed module (we support a single `MODULE main`).
@@ -155,15 +198,27 @@ pub struct Module {
     /// Declared variables, in order.
     pub vars: Vec<VarDecl>,
     /// `init(x) := e` assignments.
-    pub inits: Vec<(String, Expr)>,
+    pub inits: Vec<Assign>,
     /// `next(x) := e` assignments.
-    pub nexts: Vec<(String, Expr)>,
+    pub nexts: Vec<Assign>,
     /// `DEFINE name := e` macros, in order.
-    pub defines: Vec<(String, Expr)>,
+    pub defines: Vec<Define>,
     /// `SPEC <actl>` properties (raw text, parsed downstream).
-    pub specs: Vec<String>,
+    pub specs: Vec<SpecDecl>,
     /// `FAIRNESS <prop>` constraints (raw text).
-    pub fairness: Vec<String>,
+    pub fairness: Vec<SpecDecl>,
     /// `OBSERVED a, b` observed-signal names.
-    pub observed: Vec<String>,
+    pub observed: Vec<ObservedDecl>,
+}
+
+impl Module {
+    /// The declaration of `name`, if it is a variable.
+    pub fn var(&self, name: &str) -> Option<&VarDecl> {
+        self.vars.iter().find(|d| d.name == name)
+    }
+
+    /// The `DEFINE` binding of `name`, if there is one.
+    pub fn define(&self, name: &str) -> Option<&Define> {
+        self.defines.iter().find(|d| d.name == name)
+    }
 }

@@ -61,6 +61,35 @@ fn bits_needed(span: i64) -> usize {
     n
 }
 
+/// Number of state bits a declaration of type `ty` compiles to.
+pub fn decl_bit_width(ty: &VarType) -> usize {
+    match ty {
+        VarType::Boolean => 1,
+        VarType::Range(lo, hi) => bits_needed(hi - lo + 1),
+        VarType::Enum(lits) => bits_needed(lits.len() as i64),
+    }
+}
+
+/// The bit-level state names `decl` expands to, in bit order — exactly
+/// the names [`compile_module_with`] registers on the machine (booleans
+/// keep their bare name; multi-bit variables become `{name}.{i}`).
+///
+/// This is the single naming convention shared by the compiler, the
+/// name-keyed BDD export format, and the static cone analysis in
+/// `covest-analyze`.
+pub fn decl_bit_names(decl: &VarDecl) -> Vec<String> {
+    let nbits = decl_bit_width(&decl.ty);
+    (0..nbits)
+        .map(|i| {
+            if nbits == 1 && matches!(decl.ty, VarType::Boolean) {
+                decl.name.clone()
+            } else {
+                format!("{}.{i}", decl.name)
+            }
+        })
+        .collect()
+}
+
 struct Compiler<'a> {
     module: &'a Module,
     vars: HashMap<String, VarInfo>,
@@ -75,11 +104,7 @@ struct Compiler<'a> {
 
 impl<'a> Compiler<'a> {
     fn lookup_define(&self, name: &str) -> Option<&Expr> {
-        self.module
-            .defines
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, e)| e)
+        self.module.define(name).map(|d| &d.expr)
     }
 
     fn eval(&mut self, bdd: &BddManager, e: &Expr) -> Result<Value, ModelError> {
@@ -386,6 +411,7 @@ pub fn compile_module_with(
     module: &Module,
     image: ImageConfig,
 ) -> Result<CompiledModel, ModelError> {
+    let _span = covest_telemetry::span("compile");
     // Duplicate checks + literal table.
     let mut literals: HashMap<String, i64> = HashMap::new();
     let mut seen: HashMap<&str, ()> = HashMap::new();
@@ -419,17 +445,9 @@ pub fn compile_module_with(
             VarType::Range(lo, hi) => (*lo, hi - lo + 1),
             VarType::Enum(lits) => (0, lits.len() as i64),
         };
-        let nbits = match d.ty {
-            VarType::Boolean => 1,
-            _ => bits_needed(span),
-        };
-        let mut bits = Vec::with_capacity(nbits);
-        for i in 0..nbits {
-            let bit_name = if nbits == 1 && matches!(d.ty, VarType::Boolean) {
-                d.name.clone()
-            } else {
-                format!("{}.{i}", d.name)
-            };
+        let bit_names = decl_bit_names(d);
+        let mut bits = Vec::with_capacity(bit_names.len());
+        for bit_name in bit_names {
             if d.input {
                 // Inputs compile to *free* state bits (unconstrained next
                 // value), matching original SMV: the input valuation is
@@ -520,7 +538,8 @@ pub fn compile_module_with(
 
     // init(x) constraints.
     let mut init = valid;
-    for (name, expr) in &module.inits {
+    for a in &module.inits {
+        let name = &a.name;
         let info = compiler
             .vars
             .get(name)
@@ -531,14 +550,15 @@ pub fn compile_module_with(
                 "`{name}` is an input; inputs cannot be assigned"
             )));
         }
-        let v = compiler.eval(bdd, expr)?;
+        let v = compiler.eval(bdd, &a.expr)?;
         let constraint = assign_constraint(bdd, &mut compiler, name, &info, &v, false)?;
         init = init.and(&constraint);
     }
     builder.set_init(init);
 
     // next(x) assignments.
-    for (name, expr) in &module.nexts {
+    for a in &module.nexts {
+        let name = &a.name;
         let info = compiler
             .vars
             .get(name)
@@ -549,13 +569,13 @@ pub fn compile_module_with(
                 "`{name}` is an input; inputs cannot be assigned"
             )));
         }
-        let v = compiler.eval(bdd, expr)?;
+        let v = compiler.eval(bdd, &a.expr)?;
         set_next_bits(bdd, &mut builder, &mut compiler, name, &info, &v)?;
     }
 
     // Every state variable must have a next() assignment.
     for d in &module.vars {
-        if !d.input && !module.nexts.iter().any(|(n, _)| n == &d.name) {
+        if !d.input && !module.nexts.iter().any(|a| a.name == d.name) {
             return Err(ModelError::nowhere(format!(
                 "state variable `{}` has no next() assignment",
                 d.name
@@ -564,7 +584,8 @@ pub fn compile_module_with(
     }
 
     // DEFINEs become named signals.
-    for (name, expr) in &module.defines {
+    for def in &module.defines {
+        let name = &def.name;
         match compiler.eval(bdd, &Expr::Name(name.clone()))? {
             Value::Bool(r) => {
                 builder.add_signal(name.clone(), r);
@@ -587,7 +608,6 @@ pub fn compile_module_with(
                 builder.add_numeric_signal(name.clone(), sig);
             }
         }
-        let _ = expr;
     }
 
     let fsm = builder
@@ -597,19 +617,21 @@ pub fn compile_module_with(
     // Parse SPEC and FAIRNESS bodies.
     let mut specs = Vec::with_capacity(module.specs.len());
     for s in &module.specs {
-        let f = covest_ctl::parse_formula(s)
-            .map_err(|e| ModelError::nowhere(format!("SPEC `{s}`: {e}")))?;
+        let text = &s.text;
+        let f = covest_ctl::parse_formula(text)
+            .map_err(|e| ModelError::nowhere(format!("SPEC `{text}`: {e}")))?;
         specs.push(f);
     }
     let mut fairness = Vec::with_capacity(module.fairness.len());
     for s in &module.fairness {
-        let ast = covest_ctl::parse_ast(s)
-            .map_err(|e| ModelError::nowhere(format!("FAIRNESS `{s}`: {e}")))?;
+        let text = &s.text;
+        let ast = covest_ctl::parse_ast(text)
+            .map_err(|e| ModelError::nowhere(format!("FAIRNESS `{text}`: {e}")))?;
         match covest_ctl::classify(&ast) {
             Ok(covest_ctl::Formula::Prop(p)) => fairness.push(p),
             _ => {
                 return Err(ModelError::nowhere(format!(
-                    "FAIRNESS `{s}` must be propositional"
+                    "FAIRNESS `{text}` must be propositional"
                 )))
             }
         }
@@ -617,9 +639,10 @@ pub fn compile_module_with(
 
     // Validate observed names.
     for o in &module.observed {
-        if !fsm.signals().contains(o) {
+        if !fsm.signals().contains(&o.name) {
             return Err(ModelError::nowhere(format!(
-                "OBSERVED signal `{o}` is not defined"
+                "OBSERVED signal `{}` is not defined",
+                o.name
             )));
         }
     }
@@ -635,7 +658,7 @@ pub fn compile_module_with(
         fsm,
         specs,
         fairness,
-        observed: module.observed.clone(),
+        observed: module.observed.iter().map(|o| o.name.clone()).collect(),
     })
 }
 

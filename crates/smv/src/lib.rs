@@ -51,8 +51,10 @@ mod error;
 mod lex;
 mod parse;
 
-pub use ast::{BinOp, Expr, Module, VarDecl, VarType};
-pub use compile::{compile_module, compile_module_with, CompiledModel};
+pub use ast::{Assign, BinOp, Define, Expr, Module, ObservedDecl, SpecDecl, VarDecl, VarType};
+pub use compile::{
+    compile_module, compile_module_with, decl_bit_names, decl_bit_width, CompiledModel,
+};
 pub use error::ModelError;
 pub use lex::{lex, TokKind, Token};
 pub use parse::parse_module;
@@ -70,7 +72,6 @@ use covest_bdd::BddManager;
 ///
 /// Returns [`ModelError`] for lexical, syntactic, type, or range errors.
 pub fn compile(bdd: &BddManager, src: &str) -> Result<CompiledModel, ModelError> {
-    let _span = covest_telemetry::span("compile");
     let module = parse_module(src)?;
     compile_module(bdd, &module)
 }
@@ -85,7 +86,6 @@ pub fn compile_with(
     src: &str,
     image: ImageConfig,
 ) -> Result<CompiledModel, ModelError> {
-    let _span = covest_telemetry::span("compile");
     let module = parse_module(src)?;
     compile_module_with(bdd, &module, image)
 }

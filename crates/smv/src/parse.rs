@@ -1,6 +1,6 @@
 //! Parser for the modeling language.
 
-use crate::ast::{BinOp, Expr, Module, VarDecl, VarType};
+use crate::ast::{Assign, BinOp, Define, Expr, Module, ObservedDecl, SpecDecl, VarDecl, VarType};
 use crate::error::ModelError;
 use crate::lex::{lex, TokKind, Token};
 
@@ -89,25 +89,32 @@ impl Parser {
                 TokKind::Ident(sec) if sec == "DEFINE" => {
                     self.bump();
                     while !self.at_section() {
+                        let line = self.peek_tok().line;
                         let name = self.expect_ident("DEFINE name")?;
                         self.expect(&TokKind::Assign, "`:=`")?;
-                        let e = self.parse_expr()?;
+                        let expr = self.parse_expr()?;
                         self.expect(&TokKind::Semi, "`;`")?;
-                        m.defines.push((name, e));
+                        m.defines.push(Define { name, expr, line });
                     }
                 }
                 TokKind::Ident(sec) if sec == "SPEC" => {
+                    let line = self.peek_tok().line;
                     self.bump();
-                    m.specs.push(self.capture_until_semi()?);
+                    let text = self.capture_until_semi()?;
+                    m.specs.push(SpecDecl { text, line });
                 }
                 TokKind::Ident(sec) if sec == "FAIRNESS" => {
+                    let line = self.peek_tok().line;
                     self.bump();
-                    m.fairness.push(self.capture_until_semi()?);
+                    let text = self.capture_until_semi()?;
+                    m.fairness.push(SpecDecl { text, line });
                 }
                 TokKind::Ident(sec) if sec == "OBSERVED" => {
                     self.bump();
                     loop {
-                        m.observed.push(self.expect_ident("signal name")?);
+                        let line = self.peek_tok().line;
+                        let name = self.expect_ident("signal name")?;
+                        m.observed.push(ObservedDecl { name, line });
                         if self.peek() == &TokKind::Comma {
                             self.bump();
                         } else {
@@ -123,6 +130,7 @@ impl Parser {
     }
 
     fn parse_var_decl(&mut self, input: bool) -> Result<VarDecl, ModelError> {
+        let line = self.peek_tok().line;
         let name = self.expect_ident("variable name")?;
         self.expect(&TokKind::Colon, "`:`")?;
         let ty = match self.peek().clone() {
@@ -186,24 +194,31 @@ impl Parser {
             _ => return Err(self.err("expected a type")),
         };
         self.expect(&TokKind::Semi, "`;`")?;
-        Ok(VarDecl { name, ty, input })
+        Ok(VarDecl {
+            name,
+            ty,
+            input,
+            line,
+        })
     }
 
     fn parse_assign(&mut self, m: &mut Module) -> Result<(), ModelError> {
+        let line = self.peek_tok().line;
         let kw = self.expect_ident("`init` or `next`")?;
         if kw != "init" && kw != "next" {
             return Err(self.err("expected `init(...)` or `next(...)`"));
         }
         self.expect(&TokKind::LParen, "`(`")?;
-        let var = self.expect_ident("variable name")?;
+        let name = self.expect_ident("variable name")?;
         self.expect(&TokKind::RParen, "`)`")?;
         self.expect(&TokKind::Assign, "`:=`")?;
-        let e = self.parse_expr()?;
+        let expr = self.parse_expr()?;
         self.expect(&TokKind::Semi, "`;`")?;
+        let assign = Assign { name, expr, line };
         if kw == "init" {
-            m.inits.push((var, e));
+            m.inits.push(assign);
         } else {
-            m.nexts.push((var, e));
+            m.nexts.push(assign);
         }
         Ok(())
     }
@@ -482,15 +497,31 @@ OBSERVED count, x;
         assert_eq!(m.inits.len(), 2);
         assert_eq!(m.nexts.len(), 2);
         assert_eq!(m.defines.len(), 1);
-        assert_eq!(m.specs, vec!["AG ( stall -> AX x )".to_owned()]);
-        assert_eq!(m.fairness, vec!["! stall".to_owned()]);
-        assert_eq!(m.observed, vec!["count".to_owned(), "x".to_owned()]);
+        assert_eq!(m.specs.len(), 1);
+        assert_eq!(m.specs[0].text, "AG ( stall -> AX x )");
+        assert_eq!(m.fairness.len(), 1);
+        assert_eq!(m.fairness[0].text, "! stall");
+        let observed: Vec<&str> = m.observed.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(observed, vec!["count", "x"]);
+    }
+
+    #[test]
+    fn declarations_carry_source_lines() {
+        let m = parse_module(DECK).expect("parses");
+        assert_eq!(m.vars[0].line, 4); // `x : boolean;`
+        assert_eq!(m.vars[3].line, 8); // `stall : boolean;` under IVAR
+        assert_eq!(m.inits[0].line, 10);
+        assert_eq!(m.nexts[1].line, 13);
+        assert_eq!(m.defines[0].line, 19);
+        assert_eq!(m.specs[0].line, 20);
+        assert_eq!(m.fairness[0].line, 21);
+        assert_eq!(m.observed[0].line, 22);
     }
 
     #[test]
     fn case_expression_parses() {
         let m = parse_module(DECK).expect("parses");
-        let (_, next_count) = &m.nexts[1];
+        let next_count = &m.nexts[1].expr;
         match next_count {
             Expr::Case(arms) => assert_eq!(arms.len(), 3),
             other => panic!("expected case, got {other}"),
@@ -500,7 +531,7 @@ OBSERVED count, x;
     #[test]
     fn spec_text_reparses_with_ctl_parser() {
         let m = parse_module(DECK).expect("parses");
-        let f = covest_ctl::parse_formula(&m.specs[0]).expect("ctl parses");
+        let f = covest_ctl::parse_formula(&m.specs[0].text).expect("ctl parses");
         assert_eq!(f.to_string(), "AG (stall -> AX x)");
     }
 
@@ -524,7 +555,7 @@ OBSERVED count, x;
     #[test]
     fn operator_precedence() {
         let m = parse_module("DEFINE d := a + 1 < b & c;").expect("parses");
-        let (_, e) = &m.defines[0];
+        let e = &m.defines[0].expr;
         // Parses as ((a+1) < b) & c.
         assert_eq!(e.to_string(), "(((a + 1) < b) & c)");
     }

@@ -24,8 +24,8 @@ fn eval(module: &Module, env: &HashMap<String, Val>, e: &Expr) -> Val {
         Expr::Name(n) => {
             if let Some(v) = env.get(n) {
                 *v
-            } else if let Some((_, def)) = module.defines.iter().find(|(d, _)| d == n) {
-                eval(module, env, def)
+            } else if let Some(def) = module.define(n) {
+                eval(module, env, &def.expr)
             } else {
                 // Enumeration literal.
                 for d in &module.vars {
@@ -144,9 +144,9 @@ fn check_deck(src: &str) {
         }
         // Expected next values for assigned state variables.
         let mut next_bits: Vec<(String, bool)> = Vec::new();
-        for (name, expr) in &module.nexts {
-            let v = eval(&module, &env, expr);
-            next_bits.extend(encode_bits(&module, name, v));
+        for a in &module.nexts {
+            let v = eval(&module, &env, &a.expr);
+            next_bits.extend(encode_bits(&module, &a.name, v));
         }
         // Restrict the transition relation by current and next bits; it
         // must be satisfiable (deterministic machines: exactly the free
@@ -183,9 +183,9 @@ fn check_deck(src: &str) {
         }
         // Init agreement: evaluate init constraints on this env.
         let mut expected_init = true;
-        for (name, expr) in &module.inits {
-            let v = eval(&module, &env, expr);
-            expected_init &= env[name] == v;
+        for a in &module.inits {
+            let v = eval(&module, &env, &a.expr);
+            expected_init &= env[&a.name] == v;
         }
         let mut i = fsm.init().clone();
         for (name, val) in &cur_bits {

@@ -10,6 +10,7 @@
 //! - [`ctl`] — CTL/ACTL formulas, parser, observability transformation
 //! - [`fsm`] — symbolic Mealy machines, reachability, traces
 //! - [`smv`] — SMV-like modeling language compiled to symbolic FSMs
+//! - [`analyze`] — static deck analysis: dependency graphs, lint, COI
 //! - [`mc`] — symbolic CTL model checker with fairness
 //! - [`coverage`] — the paper's coverage estimator (the contribution)
 //! - [`par`] — parallel coverage engine (signal-sharded worker pool)
@@ -19,6 +20,7 @@
 //! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
 //! experiment-by-experiment reproduction index.
 
+pub use covest_analyze as analyze;
 pub use covest_bdd as bdd;
 pub use covest_circuits as circuits;
 pub use covest_core as coverage;
