@@ -85,16 +85,20 @@ pub fn union_cone(module: &Module, graph: &DepGraph) -> BTreeSet<String> {
 }
 
 /// The `DEFINE`s reachable — through macro references — from the
-/// properties, the fairness constraints, `signal`, or any `init`/`next`
-/// expression of a cone variable, by name.
-fn needed_defines(module: &Module, cone: &BTreeSet<String>, signal: &str) -> BTreeSet<String> {
+/// properties, the fairness constraints, any of `signals`, or any
+/// `init`/`next` expression of a cone variable, by name.
+fn needed_defines(
+    module: &Module,
+    cone: &BTreeSet<String>,
+    signals: &[String],
+) -> BTreeSet<String> {
     let mut seeds = BTreeSet::new();
     for s in module.specs.iter().chain(module.fairness.iter()) {
         if let Ok(f) = parse_formula(&s.text) {
             seeds.extend(f.signals());
         }
     }
-    seeds.insert(signal.to_owned());
+    seeds.extend(signals.iter().cloned());
     for a in module.inits.iter().chain(module.nexts.iter()) {
         if cone.contains(&a.name) {
             expr_names(&a.expr, &mut seeds);
@@ -125,7 +129,32 @@ fn needed_defines(module: &Module, cone: &BTreeSet<String>, signal: &str) -> BTr
 /// the cone — the basis for the bit-identical-parity guarantee (see
 /// DESIGN.md).
 pub fn reduce_module(module: &Module, cone: &BTreeSet<String>, signal: &str) -> Module {
-    let defines = needed_defines(module, cone, signal);
+    reduce_module_multi(module, cone, std::slice::from_ref(&signal.to_owned()))
+}
+
+/// Prunes a deck to the union cone of a *shard* — a group of coverage
+/// tasks that share one compiled machine: keeps exactly the cone
+/// variables (declaration order preserved), their `init`/`next`
+/// assignments, the `DEFINE`s the properties and any of `signals` reach,
+/// every `SPEC` and `FAIRNESS`, and observes exactly `signals` (in the
+/// order given, which shard construction keeps as declaration order).
+///
+/// With a single signal this is [`reduce_module`]; with several, `cone`
+/// must be the union of the per-signal cones so that every signal's
+/// analysis is exact on the shared machine.
+pub fn reduce_module_multi(module: &Module, cone: &BTreeSet<String>, signals: &[String]) -> Module {
+    let defines = needed_defines(module, cone, signals);
+    let observed = signals
+        .iter()
+        .map(|signal| ObservedDecl {
+            name: signal.clone(),
+            line: module
+                .observed
+                .iter()
+                .find(|o| &o.name == signal)
+                .map_or(0, |o| o.line),
+        })
+        .collect();
     Module {
         vars: module
             .vars
@@ -153,14 +182,7 @@ pub fn reduce_module(module: &Module, cone: &BTreeSet<String>, signal: &str) -> 
             .collect(),
         specs: module.specs.clone(),
         fairness: module.fairness.clone(),
-        observed: vec![ObservedDecl {
-            name: signal.to_owned(),
-            line: module
-                .observed
-                .iter()
-                .find(|o| o.name == signal)
-                .map_or(0, |o| o.line),
-        }],
+        observed,
     }
 }
 

@@ -123,6 +123,9 @@ struct ReorderCtx {
     /// Scratch buffer for the nodes a swap rewrites, reused across all
     /// swaps of one reordering so the hot loop never allocates.
     moved: Vec<Ref>,
+    /// Scratch for the level's survivors, feeding the batch-rebuild
+    /// unlink path of [`Inner::swap_levels`].
+    kept: Vec<u32>,
 }
 
 impl Inner {
@@ -212,6 +215,7 @@ impl Inner {
         let before = self.live_nodes() - 2;
         let blocks_sifted = self.sift_all(&mut ctx);
         let after = self.live_nodes() - 2;
+        self.compact_tables();
         debug_assert!(self.check_reorder_invariants(&ctx));
         self.stats.reorder_invocations += 1;
         self.stats.reorder_swaps += ctx.swaps as u64;
@@ -285,6 +289,7 @@ impl Inner {
             rc,
             swaps: 0,
             moved: Vec::new(),
+            kept: Vec::new(),
         }
     }
 
@@ -351,7 +356,7 @@ impl Inner {
         // Nodes labelled x that depend on y must be rewritten; the rest of
         // x's level just sinks one level with no structural change. The
         // open-addressed table yields them in deterministic slot order,
-        // into a buffer reused across every swap of this reordering.
+        // into buffers reused across every swap of this reordering.
         let nodes = &self.nodes;
         let mut moved = std::mem::take(&mut ctx.moved);
         moved.clear();
@@ -359,10 +364,35 @@ impl Inner {
             let n = nodes[r.index()];
             nodes[n.lo.index()].var == yv || nodes[n.hi.index()].var == yv
         }));
-        for &r in &moved {
-            let n = self.nodes[r.index()];
-            let removed = self.unique[xv as usize].remove(&self.nodes, n.lo, n.hi);
-            debug_assert!(removed, "moved node was not in its unique table");
+        // Unlink the movers. When most of the level moves at once — the
+        // common case while `set_order` drags a variable across the
+        // order, where every node of the passing level tends to depend
+        // on its new neighbour — one capacity-preserving memset plus a
+        // reinsertion per survivor beats per-node backward-shift
+        // deletion, whose cost is a hash and a probe-chain walk per
+        // removal. The survivors are collected in a second scan only on
+        // this path, so the common small-move swap pays nothing extra.
+        let table_cap = self.unique[xv as usize].capacity();
+        if moved.len() >= 32 && moved.len() * 4 >= table_cap {
+            let mut kept = std::mem::take(&mut ctx.kept);
+            kept.clear();
+            kept.extend(
+                self.unique[xv as usize]
+                    .iter_refs()
+                    .filter(|&r| {
+                        let n = nodes[r.index()];
+                        nodes[n.lo.index()].var != yv && nodes[n.hi.index()].var != yv
+                    })
+                    .map(|r| r.0),
+            );
+            self.unique[xv as usize].rebuild(&self.nodes, &kept);
+            ctx.kept = kept;
+        } else {
+            for &r in &moved {
+                let n = self.nodes[r.index()];
+                let removed = self.unique[xv as usize].remove(&self.nodes, n.lo, n.hi);
+                debug_assert!(removed, "moved node was not in its unique table");
+            }
         }
         self.level2var.swap(level as usize, level as usize + 1);
         self.var2level[xv as usize] = level + 1;
@@ -407,6 +437,17 @@ impl Inner {
         }
         ctx.moved = moved;
         ctx.swaps += 1;
+    }
+
+    /// Right-sizes every level's slot array after the swaps settle.
+    /// Swaps never shrink a table, so the levels a reordering drained
+    /// would otherwise keep their peak capacity — and every *later*
+    /// swap pays an O(capacity) scan of the upper level, so one
+    /// compaction pass here directly cheapens the next reordering.
+    fn compact_tables(&mut self) {
+        for table in &mut self.unique {
+            table.compact(&self.nodes);
+        }
     }
 
     // ---- sifting ------------------------------------------------------

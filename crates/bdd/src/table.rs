@@ -81,6 +81,12 @@ impl UniqueTable {
         self.len
     }
 
+    /// Slot-array capacity — the cost of a full scan or memset, which
+    /// can exceed `len` arbitrarily since removal never shrinks.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Heap footprint of the slot array in bytes.
     pub fn bytes(&self) -> usize {
         self.slots.len() * std::mem::size_of::<u32>()
@@ -205,6 +211,60 @@ impl UniqueTable {
     pub fn clear(&mut self) {
         self.slots.fill(EMPTY);
         self.len = 0;
+    }
+
+    /// Replaces the whole table with exactly the `kept` arena slots
+    /// (which must be distinct, absent duplicates of each other, and
+    /// intact in `nodes`), keeping the current capacity: one memset
+    /// plus `kept` reinsertions, no allocation. This is the batch
+    /// unlink path of the reordering swap — when most of a level moves
+    /// at once it beats per-node backward-shift deletion, whose cost is
+    /// a probe chain walk per removal.
+    pub fn rebuild(&mut self, nodes: &[PackedNode], kept: &[u32]) {
+        self.slots.fill(EMPTY);
+        self.len = kept.len();
+        if kept.is_empty() {
+            return;
+        }
+        let mask = self.slots.len() - 1;
+        for &s in kept {
+            let n = &nodes[s as usize];
+            let mut i = (hash_pair(n.lo, n.hi) >> self.shift) as usize;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+
+    /// Right-sizes the slot array to the current occupancy when it is
+    /// at least 4x oversized. `remove` and `rebuild` never shrink
+    /// capacity, so a level that peaked early would otherwise tax every
+    /// later full-table scan (each reorder swap walks the whole array)
+    /// at its peak footprint forever. Called once per reordering, after
+    /// the swaps settle — not per swap, where the allocation churn
+    /// would outweigh the scan savings.
+    pub fn compact(&mut self, nodes: &[PackedNode]) {
+        let cap = (self.len * 4 / 3 + 1)
+            .next_power_of_two()
+            .max(Self::INITIAL_CAP);
+        if cap * 4 > self.slots.len() {
+            return;
+        }
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; cap].into_boxed_slice());
+        self.shift = 64 - cap.trailing_zeros();
+        let mask = cap - 1;
+        for &s in old.iter() {
+            if s == EMPTY {
+                continue;
+            }
+            let n = &nodes[s as usize];
+            let mut i = (hash_pair(n.lo, n.hi) >> self.shift) as usize;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
     }
 
     /// All tabled nodes, in slot order (deterministic).

@@ -121,16 +121,19 @@ fn assert_parity(on: &BatchReport, off: &BatchReport) {
     }
 }
 
-/// The per-task peak live node count, keyed by `(deck, signal)`.
+/// The peak live node count of the shard that analyzed `signal` on
+/// `deck`. With cone-disjoint sharding this attributes the whole
+/// shard's peak to each of its signals — identical for coi on and off,
+/// since shard grouping is a pure function of the deck's static cones.
 fn peak_live(report: &BatchReport, deck: &str, signal: &str) -> u64 {
     report
         .decks
         .iter()
         .filter(|d| d.name == deck)
         .flat_map(|d| d.profiles.iter())
-        .find(|p| p.signal.as_deref() == Some(signal))
+        .find(|p| p.signals.iter().any(|s| s == signal))
         .map(|p| p.counters.get("bdd_peak_live_nodes"))
-        .expect("profiled task")
+        .expect("profiled shard")
 }
 
 fn main() {

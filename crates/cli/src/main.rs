@@ -32,12 +32,12 @@
 //!   worker threads (`0` = one per core), each with its own BDD manager;
 //!   coverage percentages, verdicts and uncovered states are
 //!   bit-identical to the sequential run (node counts and timings in the
-//!   table legitimately differ — per-worker managers vs one shared one);
+//!   table legitimately differ — per-shard managers vs one shared one);
 //! - `--json FILE` additionally writes the coverage table — rows plus
 //!   per-property verdicts and the canonical uncovered-state sample — as
 //!   machine-readable JSON;
 //! - `--stats` prints an engine-counter summary (unique-table and memo
-//!   hit rates, fixpoint iterations, image calls, per-task phase times)
+//!   hit rates, fixpoint iterations, image calls, per-shard phase times)
 //!   after the run; counter values are deterministic — byte-identical
 //!   across `--jobs` values — while everything below the `-- timings --`
 //!   line is wall-clock and excluded from any parity contract;
@@ -46,8 +46,8 @@
 //!   analysis) as JSONL.
 //!
 //! With `--stats`/`--trace`, coverage always routes through the worker
-//! pool (even at `--jobs 1`): per-task fresh managers make every task's
-//! counters a pure function of (deck source, signal, config), which is
+//! pool (even at `--jobs 1`): per-shard fresh managers make every
+//! shard's counters a pure function of (deck source, config), which is
 //! what makes the summary's counter section parity-checkable.
 //!
 //! `batch` runs a *fleet* of decks: `JOBLIST` names one deck per line
@@ -72,7 +72,7 @@ use covest_analyze::{cone_bit_names, lint_source, task_cone, DepGraph};
 use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
 use covest_core::{json_string, CoverageEstimator, CoverageOptions, CoverageTable, ReportRow};
 use covest_mc::{ModelChecker, Verdict};
-use covest_par::{run_batch, BatchReport, DeckJob, ParConfig, TaskProfile};
+use covest_par::{run_batch, BatchReport, DeckJob, ParConfig, ShardProfile};
 use covest_smv::{ImageConfig, ImageMethod, SimplifyConfig};
 use covest_telemetry::{
     self as telemetry, records_to_text, Counters, SpanRecord, Telemetry, TIMINGS_MARKER,
@@ -107,7 +107,7 @@ impl Default for EngineArgs {
 
 impl EngineArgs {
     /// `true` when either observability flag asks for a recorder — and
-    /// therefore for per-task profiling and pooled coverage.
+    /// therefore for per-shard profiling and pooled coverage.
     fn profiling(&self) -> bool {
         self.stats || self.trace.is_some()
     }
@@ -465,22 +465,24 @@ fn counters_json(c: &Counters) -> String {
     out
 }
 
-fn profile_label(p: &TaskProfile) -> String {
-    match &p.signal {
-        Some(signal) => format!("task {} signal {signal}", p.deck),
-        None => format!("task {} (verify)", p.deck),
+fn profile_label(p: &ShardProfile) -> String {
+    if p.signals.is_empty() {
+        format!("shard {} (verify)", p.deck)
+    } else {
+        format!("shard {} signals {}", p.deck, p.signals.join("+"))
     }
 }
 
 /// Uninstalls the recorder installed for `--stats`/`--trace` and folds
-/// its output together with the per-task profiles of `report` (when the
+/// its output together with the per-shard profiles of `report` (when the
 /// run went through the worker pool) and the front-end manager's engine
 /// counters (when one survives the run, i.e. `check`).
 ///
-/// The counter sections — the front-end counters and every per-task
+/// The counter sections — the front-end counters and every per-shard
 /// counter set — are deterministic: byte-identical across `--jobs`
-/// values and across identical runs. Every `*_ms` value and everything
-/// below the [`TIMINGS_MARKER`] line is wall-clock.
+/// values and across identical runs. Every `*_ms` value, the stolen
+/// markers, the scheduler line, and everything below the
+/// [`TIMINGS_MARKER`] line is wall-clock/scheduling observability.
 fn collect_observability(
     engine: &EngineArgs,
     front_mgr: Option<&BddManager>,
@@ -496,7 +498,7 @@ fn collect_observability(
             front.add(name, value);
         }
     }
-    let profiles: Vec<&TaskProfile> = report
+    let profiles: Vec<&ShardProfile> = report
         .iter()
         .flat_map(|r| r.decks.iter())
         .flat_map(|d| d.profiles.iter())
@@ -515,34 +517,45 @@ fn collect_observability(
     for p in &profiles {
         let _ = writeln!(
             text,
-            "  {}  queue {} ms  compile {} ms  import {} ms  solve {} ms",
+            "  {}  queue {} ms  compile {} ms  reach {} ms  solve {} ms{}",
             profile_label(p),
             fmt_ms(p.queue_wait),
             fmt_ms(p.compile),
-            fmt_ms(p.import),
+            fmt_ms(p.reach),
             fmt_ms(p.solve),
+            if p.stolen { "  (stolen)" } else { "" },
+        );
+    }
+    if let Some(rep) = report {
+        let _ = writeln!(
+            text,
+            "  sched  workers {}  shards {}  steals {}",
+            rep.sched.workers, rep.sched.shards, rep.sched.steals
         );
     }
 
     // The `stats` JSON object: deterministic fields first, `*_ms` last.
     let mut json = String::from("{\"front_end\": ");
     json.push_str(&counters_json(&front));
-    json.push_str(", \"tasks\": [");
+    json.push_str(", \"shards\": [");
     for (i, p) in profiles.iter().enumerate() {
         if i > 0 {
             json.push_str(", ");
         }
+        let signals: Vec<String> = p.signals.iter().map(|s| json_string(s)).collect();
         let _ = write!(
             json,
-            "{{\"deck\": {}, \"signal\": {}, \"counters\": {}, \
-             \"queue_ms\": {}, \"compile_ms\": {}, \"import_ms\": {}, \"solve_ms\": {}}}",
+            "{{\"deck\": {}, \"signals\": [{}], \"counters\": {}, \
+             \"queue_ms\": {}, \"compile_ms\": {}, \"reach_ms\": {}, \"solve_ms\": {}, \
+             \"stolen\": {}}}",
             json_string(&p.deck),
-            p.signal.as_deref().map_or("null".to_owned(), json_string),
+            signals.join(", "),
             counters_json(&p.counters),
             fmt_ms(p.queue_wait),
             fmt_ms(p.compile),
-            fmt_ms(p.import),
+            fmt_ms(p.reach),
             fmt_ms(p.solve),
+            p.stolen,
         );
     }
     json.push(']');
@@ -667,10 +680,11 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
         all_passed &= verdict.holds();
     }
 
-    // Coverage: sequentially on this manager, or signal-sharded across
-    // the worker pool with `--jobs N` — same output either way (the
-    // table's node counts and timings honestly reflect per-worker
-    // managers in the parallel case).
+    // Coverage: sequentially on this manager, or sharded across the
+    // worker pool with `--jobs N` — cone-disjoint signal groups each
+    // compile one private manager, and idle workers steal whole shards.
+    // Same output either way (the table's node counts honestly reflect
+    // per-shard managers in the parallel case).
     let mut table_out: Option<CoverageTable> = None;
     let mut pool_report: Option<BatchReport> = None;
     if args.coverage {
@@ -686,9 +700,10 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
         let graph = DepGraph::new(&module);
         let mut table = CoverageTable::new();
         // Profiling routes coverage through the worker pool at every
-        // `--jobs` value: per-task fresh managers make each task's
-        // counters a pure function of (deck source, signal, config), so
-        // the summary's counter section is `--jobs`-independent.
+        // `--jobs` value: per-shard fresh managers make each shard's
+        // counters a pure function of (deck source, config), so the
+        // summary's counter section is `--jobs`-independent — stealing
+        // included.
         let sequential = signals.is_empty()
             || (!args.engine.profiling() && (args.engine.jobs == 1 || signals.len() <= 1));
         if sequential {

@@ -388,7 +388,7 @@ fn stats_summary_is_byte_identical_across_job_counts() {
     let par = section("4");
     assert!(seq.contains("bdd_peak_live_nodes"), "{seq}");
     assert!(seq.contains("image_calls"), "{seq}");
-    assert!(seq.contains("signal count"), "{seq}");
+    assert!(seq.contains("signals count"), "{seq}");
     assert_eq!(seq, par, "stats counters must not depend on --jobs");
 }
 
@@ -459,7 +459,7 @@ fn json_stats_object_is_deterministic() {
             "\"coverage_ms\": ",
             "\"queue_ms\": ",
             "\"compile_ms\": ",
-            "\"import_ms\": ",
+            "\"reach_ms\": ",
             "\"solve_ms\": ",
             "\"plan_ms\": ",
         ] {

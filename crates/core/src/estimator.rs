@@ -186,16 +186,49 @@ impl<'m> CoverageEstimator<'m> {
         properties: &[Formula],
         options: &CoverageOptions,
     ) -> Result<CoverageAnalysis, CoverageError> {
+        let reach = self.prepare();
+        self.analyze_prepared(&reach, observed, properties, options)
+    }
+
+    /// The machine-wide (signal-independent) prefix of an analysis:
+    /// computes the reachable states and installs them as the care set.
+    /// Reachability comes first: the reachable set is both the
+    /// coverage-space denominator and the don't-care boundary. Per the
+    /// configured [`covest_fsm::SimplifyConfig`] it is installed as the
+    /// image engine's care set (transition clusters simplified, forward
+    /// schedules re-derived) and as the checker's
+    /// iterate-simplification boundary, so verification and coverage
+    /// both fixpoint over don't-care-simplified BDDs.
+    ///
+    /// Idempotent (the fixpoint is cached on the machine, the install
+    /// compares care handles), so callers that analyze several signals
+    /// on one machine — the sharded worker pool — pay for it once and
+    /// pass the returned set to each
+    /// [`CoverageEstimator::analyze_prepared`] call.
+    pub fn prepare(&self) -> Func {
+        self.fsm.install_reachable_care()
+    }
+
+    /// Runs one signal's analysis on an already-prepared machine:
+    /// `reach` must be the set returned by
+    /// [`CoverageEstimator::prepare`] on this machine (with the care
+    /// set it installed still in place). Everything after this point is
+    /// per-signal; [`CoverageEstimator::analyze`] is exactly `prepare`
+    /// followed by this.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoverageEstimator::analyze`].
+    pub fn analyze_prepared(
+        &self,
+        reach: &Func,
+        observed: &str,
+        properties: &[Formula],
+        options: &CoverageOptions,
+    ) -> Result<CoverageAnalysis, CoverageError> {
         let _span = telemetry::span(format!("signal:{observed}"));
         let mgr = self.fsm.manager().clone();
-        // Reachability comes first: the reachable set is both the
-        // coverage-space denominator (phase 2) and the don't-care
-        // boundary. Per the configured [`covest_fsm::SimplifyConfig`]
-        // it is installed as the image engine's care set (transition
-        // clusters simplified, forward schedules re-derived) and as the
-        // checker's iterate-simplification boundary, so verification and
-        // coverage both fixpoint over don't-care-simplified BDDs.
-        let reach = self.fsm.install_reachable_care();
+        let reach = reach.clone();
         let mut mc = ModelChecker::new(self.fsm);
         for fair in &options.fairness {
             mc.add_fairness(fair)?;

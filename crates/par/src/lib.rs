@@ -14,30 +14,34 @@
 //! pieces that turn signal independence into wall-clock speedup:
 //!
 //! - **[`WorkPlan`]** — decompose decks × observed signals into
-//!   per-signal tasks. The planner compiles each deck once (failing
-//!   fast on bad decks), computes its reachable states, and exports
-//!   them through the name-keyed BDD serialization layer
-//!   ([`covest_bdd::BddDump`]) so no worker re-runs the reachability
-//!   BFS.
-//! - **The worker pool** ([`WorkPlan::run`]) — `jobs` OS threads drain
-//!   one atomic task queue. Each task owns a *private* manager:
-//!   recompile the deck, import the planner's reachable set (correct
-//!   under the worker's own variable order — the dump is keyed by
-//!   variable name), seed it with
-//!   [`covest_fsm::SymbolicFsm::seed_reachable`], and run the standard
-//!   [`covest_core::CoverageEstimator`] for one signal.
+//!   per-signal tasks and cone-disjoint **shards**. Planning is purely
+//!   static (parse, dependency graph, cones of influence — no BDDs):
+//!   signals whose cones overlap are grouped into one shard, which
+//!   compiles one union-cone machine and runs one reachability fixpoint
+//!   for all of them, instead of every signal paying its own compile.
+//! - **The worker pool** ([`WorkPlan::run`]) — `jobs` OS threads, one
+//!   deque each. Shards are dealt round-robin largest-first (by their
+//!   static cone weights); an idle worker **steals whole shards** —
+//!   never individual signals — from its peers, so every shard still
+//!   executes its signals in declaration order on one fresh private
+//!   manager, wherever it lands. A worthiness heuristic in
+//!   [`run_batch`] routes fleets too small to amortize the pool
+//!   straight to [`run_sequential`].
 //! - **Deterministic merge** ([`BatchReport`]) — results are assembled
 //!   by task index: decks in input order, signals in declaration order,
-//!   byte-identical reports regardless of scheduling or `jobs`.
+//!   byte-identical reports regardless of scheduling, stealing or
+//!   `jobs`.
 //!
 //! [`run_batch`] is the one-call front door (`covest check --jobs N`,
 //! `covest batch`); [`run_sequential`] is the pre-parallel baseline the
 //! bench and parity suites compare against. The contract — enforced by
 //! `tests/parity.rs` across the full image × simplify × reorder mode
-//! cross — is that parallelism is *pure mechanism*: coverage
-//! percentages, per-property verdicts and uncovered-state sets are
-//! bit-identical to the sequential estimator's; only node counts and
-//! timings (per-task managers vs one shared manager) may differ.
+//! cross, and under forced stealing — is that parallelism is *pure
+//! mechanism*: coverage percentages, per-property verdicts and
+//! uncovered-state sets are bit-identical to the sequential estimator's;
+//! only node counts and timings (per-shard managers vs one shared
+//! manager) may differ between the pool and the baseline, and even
+//! those are identical across `jobs` values.
 //!
 //! # Example
 //!
@@ -61,8 +65,10 @@
 
 mod plan;
 mod pool;
+mod shard;
 
 pub use plan::{DeckJob, ParConfig, WorkPlan};
 pub use pool::{
-    run_batch, run_sequential, BatchReport, DeckReport, ParError, SignalOutcome, TaskProfile,
+    run_batch, run_sequential, BatchReport, DeckReport, ParError, SchedStats, ShardProfile,
+    SignalOutcome,
 };

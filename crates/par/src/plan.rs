@@ -1,22 +1,27 @@
-//! Work planning: decompose decks × observed signals into independent
-//! per-signal coverage tasks, per the paper's workflow.
+//! Work planning: decompose decks × observed signals into per-signal
+//! tasks and cone-disjoint **shards**, per the paper's workflow.
 //!
 //! The DAC'99 estimator runs one analysis *per observed signal*
 //! (Table 2 has one row per signal), and once the model is compiled the
-//! analyses are independent. The planner makes that decomposition
-//! explicit: it compiles each deck once (validating it early, on the
-//! calling thread), computes the deck's reachable states, exports them
-//! as a name-keyed [`covest_bdd::BddDump`], and emits one task per
-//! `(deck, signal)` pair — in declaration order, which is also the
-//! order results are reassembled in, whatever order workers finish.
+//! analyses are independent. Planning here is **purely static** — parse,
+//! dependency graph, cones of influence — and builds no BDDs: all
+//! compile and reachability work happens inside the shards, where it
+//! runs in parallel, instead of serially on the planning thread. The
+//! planner emits one task per `(deck, signal)` pair — in declaration
+//! order, which is also the order results are reassembled in, whatever
+//! order workers finish — and groups each deck's signals into
+//! cone-disjoint shards (see [`crate::shard`]): signals whose cones
+//! overlap share one compiled machine and one reachability fixpoint.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Duration;
 
-use covest_analyze::{cone_bit_names, reduce_module, task_cone, DepGraph};
-use covest_bdd::{BddDump, BddManager, ReorderConfig, ReorderMode, VarId};
-use covest_smv::{ImageConfig, Module};
+use covest_analyze::{cone_bit_names, reduce_module_multi, task_cone, DepGraph};
+use covest_smv::{decl_bit_names, ImageConfig};
 
 use crate::pool::ParError;
+use crate::shard::Shard;
 
 /// One deck in a batch: a name (shown in reports), the SMV source text,
 /// and an optional observed-signal override.
@@ -45,34 +50,39 @@ impl DeckJob {
 #[derive(Debug, Clone, Copy)]
 pub struct ParConfig {
     /// Thread budget for the worker pool (`0` = one worker per available
-    /// core). The budget is shared by *all* tasks of a batch — many decks
-    /// × many signals drain through one queue.
+    /// core). The budget is shared by *all* shards of a batch — many
+    /// decks × many signals drain through one set of deques.
     pub jobs: usize,
     /// Image configuration for every compile (method, cluster threshold,
-    /// simplification mode) — planner and workers alike.
+    /// simplification mode).
     pub image: ImageConfig,
     /// Dynamic-reordering mode for every manager. [`ReorderMode::Sift`]
     /// mirrors the CLI default: one sifting pass right after compile.
-    pub reorder: ReorderMode,
+    ///
+    /// [`ReorderMode::Sift`]: covest_bdd::ReorderMode::Sift
+    pub reorder: covest_bdd::ReorderMode,
     /// How many uncovered states to sample per signal (the canonical
     /// declaration-order sample; see
     /// [`covest_core::CoverageEstimator::uncovered_states`]).
     pub uncovered_limit: usize,
-    /// Collect a per-task [`crate::TaskProfile`] — phase durations, a
-    /// span log, and the task's deterministic engine counters. Off by
+    /// Collect a per-shard [`crate::ShardProfile`] — phase durations, a
+    /// span log, and the shard's deterministic engine counters. Off by
     /// default; the counters are a pure function of (deck source,
-    /// signal, config), so they are byte-identical across `jobs` values,
-    /// while the durations are wall-clock and excluded from parity.
+    /// config), so they are byte-identical across `jobs` values, while
+    /// the durations (and the stolen flag) are wall-clock scheduling
+    /// facts and excluded from parity. Profiling also forces the pool:
+    /// [`crate::run_batch`] never routes a profiled fleet to the
+    /// sequential baseline, which collects no profiles.
     pub profile: bool,
-    /// Cone-of-influence reduction (`true`, the default): each coverage
-    /// task compiles the statically pruned cone deck on its private
-    /// manager instead of the full source, and imports the
-    /// cone-projected reachable set. With `false` the task compiles the
-    /// full deck and the estimator projects onto the cone instead. The
-    /// two modes produce bit-identical reports (percentages, counts,
-    /// verdicts, uncovered listings) — the coverage universe is the cone
-    /// either way; only manager size and wall-clock differ. See
-    /// DESIGN.md "Static deck analysis & cone-of-influence".
+    /// Cone-of-influence reduction (`true`, the default): each shard
+    /// compiles the statically pruned union-cone deck of its member
+    /// signals on its private manager instead of the full source. With
+    /// `false` the shard compiles the full deck and the estimator
+    /// projects onto each signal's cone instead. The two modes produce
+    /// bit-identical reports (percentages, counts, verdicts, uncovered
+    /// listings) — the coverage universe is the per-signal cone either
+    /// way; only manager size and wall-clock differ. See DESIGN.md
+    /// "Static deck analysis & cone-of-influence".
     pub coi: bool,
 }
 
@@ -81,7 +91,7 @@ impl Default for ParConfig {
         ParConfig {
             jobs: 1,
             image: ImageConfig::default(),
-            reorder: ReorderMode::Sift,
+            reorder: covest_bdd::ReorderMode::Sift,
             uncovered_limit: 10,
             profile: false,
             coi: true,
@@ -102,42 +112,28 @@ impl ParConfig {
     }
 }
 
-/// A validated, planner-compiled deck: everything a worker needs to run
-/// one of its signals on a private manager. Plain `Send + Sync` data.
+/// A statically planned deck: name, suite size, and how long the (pure
+/// parse/cone) planning took. Carries no sources and no BDD dumps — the
+/// shards own the modules they compile.
 #[derive(Debug, Clone)]
 pub(crate) struct PlannedDeck {
     pub name: String,
-    pub source: String,
     pub num_properties: usize,
-    /// The planner-computed reachable set, exported name-keyed so every
-    /// worker imports it instead of re-running the reachability BFS.
-    pub reach: BddDump,
-    /// Wall-clock the planner spent on this deck (compile + reachability
-    /// + export). Timing only — never parity-checked.
-    pub plan_time: std::time::Duration,
+    /// Wall-clock the planner spent on this deck (parse + cones + shard
+    /// construction). Timing only — never parity-checked.
+    pub plan_time: Duration,
 }
 
-/// The statically pruned form of one coverage task: the cone-reduced
-/// module and the cone-projection of the planner's reachable set, ready
-/// to compile/import on a worker's private manager.
-#[derive(Debug)]
-pub(crate) struct ReducedCone {
-    pub module: Module,
-    pub reach: BddDump,
-}
-
-/// What one queue entry asks a worker to do.
+/// What one task asks its shard to do.
 #[derive(Debug, Clone)]
 pub(crate) enum TaskKind {
     /// Verify the suite and estimate coverage for one observed signal.
     Coverage {
         signal: String,
-        /// The cone's state-bit names in declaration order — the task's
-        /// counting/sampling universe and its static size estimate.
+        /// The signal's cone state-bit names in declaration order — the
+        /// task's counting/sampling universe and its static size
+        /// estimate.
         cone: Arc<Vec<String>>,
-        /// The pruned deck (`Some` iff [`ParConfig::coi`] was on at
-        /// planning time).
-        reduced: Option<Arc<ReducedCone>>,
     },
     /// Verify the suite only (decks with no observed signals).
     VerifyOnly,
@@ -145,9 +141,7 @@ pub(crate) enum TaskKind {
 
 impl TaskKind {
     /// Static size estimate in state bits: the cone width for coverage
-    /// tasks; `usize::MAX` for verify-only tasks (whole machine). Large
-    /// tasks are dispatched first so the slowest work does not land last
-    /// on an otherwise drained queue.
+    /// tasks; `usize::MAX` for verify-only tasks (whole machine).
     pub(crate) fn size_hint(&self) -> usize {
         match self {
             TaskKind::Coverage { cone, .. } => cone.len(),
@@ -156,137 +150,191 @@ impl TaskKind {
     }
 }
 
-/// One unit of queue work: a deck index plus what to do with it.
+/// One unit of report work: a deck index plus what to do with it.
 #[derive(Debug, Clone)]
 pub(crate) struct Task {
     pub deck: usize,
     pub kind: TaskKind,
 }
 
-/// Plans a single deck: compile (validating early, on the calling
-/// thread), compute and export the reachable states, and decide the
-/// deck's task kinds — one per observed signal in declaration order, or
-/// a single verification-only task when the deck observes nothing.
-///
-/// The planner deliberately skips the explicit startup sifting pass of
-/// [`ReorderMode::Sift`]: its managers only exist to validate the deck
-/// and export the (purely semantic) reachable set, and the workers sift
-/// their own managers.
-pub(crate) fn plan_deck(
+/// Plans a single deck, statically: parse (validating early, on the
+/// calling thread), compute per-signal cones, and group the signals into
+/// cone-disjoint shards — task indices local to the deck; the caller
+/// offsets them into the global task list.
+fn plan_deck(
     job: &DeckJob,
     config: &ParConfig,
-) -> Result<(PlannedDeck, Vec<TaskKind>), ParError> {
+) -> Result<(PlannedDeck, Vec<TaskKind>, Vec<Shard>), ParError> {
     let plan_err = |message: String| ParError::Plan {
         deck: job.name.clone(),
         message,
     };
     let sw = covest_telemetry::Stopwatch::start();
-    let bdd = BddManager::new();
-    bdd.set_reorder_config(ReorderConfig {
-        mode: config.reorder,
-        ..Default::default()
-    });
     let module = covest_smv::parse_module(&job.source).map_err(|e| plan_err(e.to_string()))?;
-    let model = covest_smv::compile_module_with(&bdd, &module, config.image)
-        .map_err(|e| plan_err(e.to_string()))?;
-    let signals = if job.observed.is_empty() {
-        model.observed.clone()
+    let signals: Vec<String> = if job.observed.is_empty() {
+        module.observed.iter().map(|o| o.name.clone()).collect()
     } else {
         job.observed.clone()
     };
-    let full_reach = model.fsm.reachable();
-    let reach = full_reach
-        .export_bdd()
-        .map_err(|e| plan_err(format!("cannot export reachable set: {e}")))?;
-    let kinds = if signals.is_empty() {
-        vec![TaskKind::VerifyOnly]
+    let num_properties = module.specs.len();
+
+    let (kinds, shards) = if signals.is_empty() {
+        // Verification-only deck: one shard over the full machine.
+        let est_bits = module.vars.iter().flat_map(decl_bit_names).count();
+        let shard = Shard {
+            deck: 0,
+            module: Arc::new(module),
+            tasks: vec![0],
+            weight: usize::MAX,
+            est_bits,
+        };
+        (vec![TaskKind::VerifyOnly], vec![shard])
     } else {
-        // Static analysis per signal: the task's cone (its counting
-        // universe and size estimate), and — with COI on — the pruned
-        // deck plus the cone-projection of the reachable set the worker
-        // will import instead of the full one.
         let graph = DepGraph::new(&module);
+        let mut cones: Vec<BTreeSet<String>> = Vec::with_capacity(signals.len());
         let mut kinds = Vec::with_capacity(signals.len());
-        for signal in signals {
-            let cone = task_cone(&module, &graph, &signal).map_err(&plan_err)?;
-            let bits = cone_bit_names(&module, &cone);
-            let reduced = if config.coi {
-                let keep: std::collections::HashSet<&str> =
-                    bits.iter().map(String::as_str).collect();
-                let outside: Vec<VarId> = model
-                    .fsm
-                    .state_bits()
-                    .iter()
-                    .filter(|b| !keep.contains(b.name.as_str()))
-                    .map(|b| b.current)
-                    .collect();
-                let cone_reach = full_reach
-                    .exists(&outside)
-                    .export_bdd()
-                    .map_err(|e| plan_err(format!("cannot export cone reachable set: {e}")))?;
-                Some(Arc::new(ReducedCone {
-                    module: reduce_module(&module, &cone, &signal),
-                    reach: cone_reach,
-                }))
-            } else {
-                None
-            };
+        for signal in &signals {
+            let cone = task_cone(&module, &graph, signal).map_err(&plan_err)?;
             kinds.push(TaskKind::Coverage {
-                signal,
-                cone: Arc::new(bits),
-                reduced,
+                signal: signal.clone(),
+                cone: Arc::new(cone_bit_names(&module, &cone)),
             });
+            cones.push(cone);
         }
-        kinds
+
+        // Union-find over the signals: overlapping cones share a shard.
+        let mut root: Vec<usize> = (0..signals.len()).collect();
+        fn find(root: &mut [usize], mut i: usize) -> usize {
+            while root[i] != i {
+                root[i] = root[root[i]];
+                i = root[i];
+            }
+            i
+        }
+        for i in 0..signals.len() {
+            for j in 0..i {
+                if !cones[i].is_disjoint(&cones[j]) {
+                    let (a, b) = (find(&mut root, i), find(&mut root, j));
+                    // Union toward the lower index, so a group is named
+                    // by its first signal in declaration order.
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    root[hi] = lo;
+                }
+            }
+        }
+        // Groups in first-signal declaration order; members likewise.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut group_of = vec![usize::MAX; signals.len()];
+        for i in 0..signals.len() {
+            let r = find(&mut root, i);
+            if group_of[r] == usize::MAX {
+                group_of[r] = groups.len();
+                groups.push(Vec::new());
+            }
+            groups[group_of[r]].push(i);
+        }
+
+        let full = Arc::new(module);
+        let shards = groups
+            .into_iter()
+            .map(|members| {
+                let weight: usize = members
+                    .iter()
+                    .map(|&i| kinds[i].size_hint())
+                    .fold(0usize, usize::saturating_add);
+                let module = if config.coi {
+                    let mut union: BTreeSet<String> = BTreeSet::new();
+                    for &i in &members {
+                        union.extend(cones[i].iter().cloned());
+                    }
+                    // Deduped for the reduced module's OBSERVED list; the
+                    // shard's task list keeps duplicates (two identical
+                    // rows, as the per-task pool produced).
+                    let mut observed: Vec<String> = Vec::new();
+                    for &i in &members {
+                        if !observed.contains(&signals[i]) {
+                            observed.push(signals[i].clone());
+                        }
+                    }
+                    Arc::new(reduce_module_multi(&full, &union, &observed))
+                } else {
+                    Arc::clone(&full)
+                };
+                Shard {
+                    deck: 0,
+                    module,
+                    tasks: members,
+                    weight,
+                    est_bits: weight,
+                }
+            })
+            .collect();
+        (kinds, shards)
     };
+
     Ok((
         PlannedDeck {
             name: job.name.clone(),
-            source: job.source.clone(),
-            num_properties: model.specs.len(),
-            reach,
+            num_properties,
             plan_time: sw.elapsed(),
         },
         kinds,
+        shards,
     ))
 }
 
-/// The decomposition of a batch into per-signal tasks.
+/// The decomposition of a batch into per-signal tasks and cone-disjoint
+/// shards.
 ///
 /// Built by [`WorkPlan::plan`]; executed by [`WorkPlan::run`]. The plan
-/// is immutable, `Send + Sync`, and carries no BDD handles — only
-/// sources, names and [`BddDump`]s — so the worker pool can share it by
-/// reference across threads. ([`crate::run_batch`] skips this two-phase
-/// shape and *pipelines* planning with execution; build a `WorkPlan`
-/// when the same plan is run more than once.)
+/// is immutable, `Send + Sync`, and carries no BDD handles — only parsed
+/// modules, names and cone bit lists — so the worker pool can share it
+/// by reference across threads. Planning is static (no compiles, no
+/// reachability); all BDD work happens inside the shards, in parallel.
 #[derive(Debug)]
 pub struct WorkPlan {
     pub(crate) decks: Vec<PlannedDeck>,
     pub(crate) tasks: Vec<Task>,
+    pub(crate) shards: Vec<Shard>,
 }
 
 impl WorkPlan {
-    /// Compiles and validates every deck (on the calling thread),
-    /// computes and exports each deck's reachable states, and lays out
+    /// Parses and statically validates every deck (on the calling
+    /// thread), computes each signal's cone of influence, and lays out
     /// one task per `(deck, observed signal)` — or a verification-only
-    /// task for decks without signals.
+    /// task for decks without signals — grouped into cone-disjoint
+    /// shards.
     ///
     /// # Errors
     ///
-    /// [`ParError::Plan`] if a deck fails to compile or its reachable
-    /// set cannot be exported.
+    /// [`ParError::Plan`] if a deck fails to parse or a property fails
+    /// to parse. (Semantic compile failures surface when the shard
+    /// compiles, also as [`ParError::Plan`].)
     pub fn plan(jobs: &[DeckJob], config: &ParConfig) -> Result<WorkPlan, ParError> {
         let mut decks = Vec::with_capacity(jobs.len());
         let mut tasks = Vec::new();
+        let mut shards: Vec<Shard> = Vec::new();
         for (deck_idx, job) in jobs.iter().enumerate() {
-            let (deck, kinds) = plan_deck(job, config)?;
+            let (deck, kinds, deck_shards) = plan_deck(job, config)?;
+            let base = tasks.len();
             tasks.extend(kinds.into_iter().map(|kind| Task {
                 deck: deck_idx,
                 kind,
             }));
+            shards.extend(deck_shards.into_iter().map(|mut s| {
+                s.deck = deck_idx;
+                for t in &mut s.tasks {
+                    *t += base;
+                }
+                s
+            }));
             decks.push(deck);
         }
-        Ok(WorkPlan { decks, tasks })
+        Ok(WorkPlan {
+            decks,
+            tasks,
+            shards,
+        })
     }
 
     /// Number of decks in the plan.
@@ -294,16 +342,21 @@ impl WorkPlan {
         self.decks.len()
     }
 
-    /// Total number of queue tasks (coverage + verification-only).
+    /// Total number of report tasks (coverage + verification-only).
     pub fn num_tasks(&self) -> usize {
         self.tasks.len()
     }
 
+    /// Number of shards — the pool's schedulable (and stealable) units.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Static per-task size estimates, in task order: the cone width in
     /// state bits for coverage tasks, `usize::MAX` for verify-only tasks
-    /// (whole machine). [`WorkPlan::run`] dispatches largest-first on
-    /// these; they are also the task-size inputs the ROADMAP's
-    /// work-stealing item calls for.
+    /// (whole machine). A shard's scheduling weight is the sum over its
+    /// member tasks; the pool dispatches shards largest-first on those
+    /// weights.
     pub fn task_size_estimates(&self) -> Vec<usize> {
         self.tasks.iter().map(|t| t.kind.size_hint()).collect()
     }
@@ -314,5 +367,14 @@ impl WorkPlan {
             .iter()
             .filter(|t| matches!(t.kind, TaskKind::Coverage { .. }))
             .count()
+    }
+
+    /// The fleet's total worthiness estimate in state bits — the input
+    /// to [`crate::run_batch`]'s pool-vs-sequential routing heuristic.
+    pub(crate) fn fleet_est_bits(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.est_bits)
+            .fold(0usize, usize::saturating_add)
     }
 }

@@ -1,49 +1,55 @@
-//! The signal-sharded worker pool and the deterministic result merge.
+//! The deck-sharded worker pool and the deterministic result merge.
 //!
 //! A [`covest_bdd::BddManager`] is an `Rc<RefCell<…>>` handle and
 //! deliberately **not** `Send`: sharing one node arena across threads
 //! would put a lock on every `ite`. The pool therefore shards by
-//! *signal*: each queue task gets a private manager, recompiles its deck
-//! on it, imports the planner's serialized reachable set (skipping the
-//! per-task reachability BFS), and runs the standard sequential
-//! estimator for its one signal. Tasks are drained from a single atomic
-//! queue by `config.jobs` OS threads — many decks × many signals share
-//! one thread budget — and results are reassembled **by task index**, so
+//! *deck partition*: each cone-disjoint group of a deck's signals (a
+//! [`crate::shard::Shard`]) gets one private manager, compiles its
+//! (union-cone-reduced) module once, runs one reachability fixpoint, and
+//! multiplexes its signals on that machine in declaration order. Shards
+//! drain from per-worker deques with whole-shard stealing — see
+//! [`crate::shard`] — and results are reassembled **by task index**, so
 //! the report order (and every byte of it) is independent of scheduling.
 //!
-//! One manager per *task* (not per worker) is a deliberate determinism
-//! choice: a worker that happened to run two signals of one deck on a
-//! shared manager would report different node counts than one that
-//! didn't, making output depend on scheduling. With per-task managers
-//! every task is a pure function of (deck source, signal, config), so
-//! `--jobs 1` and `--jobs 64` produce byte-identical reports.
+//! One manager per *shard* (not per worker) is a deliberate determinism
+//! choice: a worker that happened to run two shards on a shared manager
+//! would report different node counts than one that didn't, making
+//! output depend on scheduling. With per-shard managers every shard is a
+//! pure function of (deck source, config), so `--jobs 1` and `--jobs 64`
+//! produce byte-identical reports — even when shards are stolen.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use covest_bdd::{BddDump, BddManager, ReorderConfig, ReorderMode};
 use covest_core::{CoverageEstimator, CoverageOptions, CoverageTable, PropertyVerdict, ReportRow};
 use covest_mc::ModelChecker;
-use covest_telemetry::{
-    self as telemetry, Clock, Counters, SpanRecord, Stopwatch, Telemetry, WallClock,
-};
+use covest_telemetry::{Counters, SpanRecord};
 
-use crate::plan::{DeckJob, ParConfig, PlannedDeck, TaskKind, WorkPlan};
+use crate::plan::{DeckJob, ParConfig, PlannedDeck, Task, TaskKind, WorkPlan};
+use crate::shard::{run_pool, Shard, ShardResult};
+
+/// Minimum fleet size — total static shard estimate, in state bits —
+/// that justifies spinning up the pool. Below it [`run_batch`] routes to
+/// [`run_sequential`]: a fleet of toy decks finishes before the pool's
+/// thread setup pays for itself. The decision is a pure function of the
+/// plan (never of `jobs` or core count), so a fleet routes the same way
+/// at every `--jobs` value and reports stay byte-identical.
+const MIN_POOL_BITS: usize = 16;
 
 /// Errors from planning or running a parallel batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParError {
-    /// A deck failed to compile (or export) during planning.
+    /// A deck failed to parse (during static planning) or compile (on
+    /// its shard's manager).
     Plan {
         /// Deck display name.
         deck: String,
         /// Underlying error message.
         message: String,
     },
-    /// A worker task failed. When several tasks fail, the one with the
-    /// lowest task index is reported — deterministically, regardless of
-    /// completion order.
+    /// A per-signal analysis (or verification) failed. When several
+    /// fail, the one with the lowest task index is reported —
+    /// deterministically, regardless of completion order.
     Task {
         /// Deck display name.
         deck: String,
@@ -90,37 +96,45 @@ pub struct SignalOutcome {
     pub uncovered: BddDump,
 }
 
-/// The per-task observability record collected when
-/// [`ParConfig::profile`] is on: where the task's wall-clock went, the
+/// The per-shard observability record collected when
+/// [`ParConfig::profile`] is on: where the shard's wall-clock went, the
 /// span log its phases recorded, and the deterministic engine counters
 /// of its private manager.
 ///
 /// The counters (and spans' deterministic fields) are a pure function of
-/// (deck source, signal, config) — byte-identical across `jobs` values
-/// and across identical runs. Every `Duration` here is wall-clock and
-/// excluded from any parity contract.
+/// (deck source, config) — byte-identical across `jobs` values and
+/// across identical runs. Every `Duration` here, and the `stolen` flag,
+/// is a wall-clock scheduling fact and excluded from any parity
+/// contract.
 #[derive(Debug, Clone)]
-pub struct TaskProfile {
+pub struct ShardProfile {
     /// Deck display name.
     pub deck: String,
-    /// Observed signal for coverage tasks; `None` for verify-only tasks.
-    pub signal: Option<String>,
-    /// Time between the task becoming runnable and a worker picking it
-    /// up.
+    /// The shard's member signals in declaration order; empty for a
+    /// verification-only shard.
+    pub signals: Vec<String>,
+    /// Time between the shard being enqueued and a worker dequeuing it
+    /// (its own or a thief) — by construction never more than the
+    /// pool's wall-clock.
     pub queue_wait: Duration,
-    /// Time recompiling the deck on the task's private manager
+    /// Time compiling the shard's module on its private manager
     /// (including the startup sifting pass, when configured).
     pub compile: Duration,
-    /// Time importing and seeding the planner's reachable set.
-    pub import: Duration,
-    /// Time in the analysis proper (verification + coverage, or
-    /// verification only).
+    /// Time in the shard's one reachability fixpoint + care install
+    /// (zero for verification-only shards, which handle care inside
+    /// `solve`).
+    pub reach: Duration,
+    /// Time in the analyses proper (verification + coverage per member
+    /// signal, or verification only).
     pub solve: Duration,
+    /// `true` if the shard was executed by a worker other than the one
+    /// it was dealt to. Scheduling observability only.
+    pub stolen: bool,
     /// Deterministic counters: the telemetry tallies recorded during the
-    /// task (image calls, fixpoint iterations, …) plus the manager's
+    /// shard (image calls, fixpoint iterations, …) plus the manager's
     /// [`covest_bdd::BddStats`] as `bdd_`-prefixed entries.
     pub counters: Counters,
-    /// The task's span/event forest (see [`covest_telemetry`]).
+    /// The shard's span/event forest (see [`covest_telemetry`]).
     pub spans: Vec<SpanRecord>,
 }
 
@@ -137,13 +151,14 @@ pub struct DeckReport {
     pub verdicts: Vec<PropertyVerdict>,
     /// Per-signal outcomes, in declaration order.
     pub signals: Vec<SignalOutcome>,
-    /// Wall-clock the planner spent on this deck (compile + reachability
-    /// + export); zero on the sequential baseline, which does not plan.
+    /// Wall-clock the planner spent statically analyzing this deck
+    /// (parse + cones + shard construction); zero on the sequential
+    /// baseline, which does not plan.
     pub plan_time: Duration,
-    /// Per-task profiles in task order — empty unless
+    /// Per-shard profiles in shard order — empty unless
     /// [`ParConfig::profile`] is set (the sequential baseline never
     /// profiles).
-    pub profiles: Vec<TaskProfile>,
+    pub profiles: Vec<ShardProfile>,
 }
 
 impl DeckReport {
@@ -153,12 +168,33 @@ impl DeckReport {
     }
 }
 
+/// Scheduling statistics for one batch run: how the work was executed.
+/// Pure observability — every field except `shards` depends on timing
+/// and core count, so none of this may reach a deterministic report
+/// surface (it is excluded from all parity contracts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedStats {
+    /// Worker threads actually spawned (0 when routed sequential).
+    pub workers: usize,
+    /// Shards in the plan.
+    pub shards: usize,
+    /// Shards executed by a worker other than the one they were dealt
+    /// to.
+    pub steals: usize,
+    /// `true` if [`run_batch`]'s worthiness heuristic sent the fleet to
+    /// [`run_sequential`] instead of the pool.
+    pub routed_sequential: bool,
+}
+
 /// The deterministic merge of a whole batch: decks in input order,
 /// signals in declaration order — independent of worker scheduling.
 #[derive(Debug, Clone, Default)]
 pub struct BatchReport {
     /// Per-deck reports, in batch input order.
     pub decks: Vec<DeckReport>,
+    /// How the batch was scheduled (non-deterministic observability;
+    /// never part of the report's parity surface).
+    pub sched: SchedStats,
 }
 
 impl BatchReport {
@@ -182,250 +218,124 @@ impl BatchReport {
     }
 }
 
-/// What one task sends back through the channel.
-enum TaskPayload {
+/// What one task sends back from its shard.
+pub(crate) enum TaskPayload {
     Coverage(Box<SignalOutcome>),
     Verdicts(Vec<PropertyVerdict>),
 }
 
-/// Runs one queue task on a private, fresh manager. Pure in (deck
-/// source, kind, config): no state is shared with any other task.
-/// `queue_wait` is how long the task sat runnable before this call;
-/// with [`ParConfig::profile`] set, a fresh telemetry recorder is
-/// installed for the task's duration and shipped back as a
-/// [`TaskProfile`] alongside the payload.
-fn run_task(
-    deck: &PlannedDeck,
-    kind: &TaskKind,
-    config: &ParConfig,
-    queue_wait: Duration,
-) -> Result<(TaskPayload, Option<TaskProfile>), String> {
-    if config.profile {
-        telemetry::install(Telemetry::new());
-    }
-    let bdd = BddManager::new();
-    let result = run_task_phases(&bdd, deck, kind, config);
-    let recorder = telemetry::uninstall();
-    let (payload, compile, import, solve) = result?;
-    let profile = recorder.map(|rec| {
-        let (spans, mut counters) = rec.into_parts();
-        for (name, value) in bdd.stats().pairs() {
-            counters.add(name, value);
-        }
-        TaskProfile {
-            deck: deck.name.clone(),
-            signal: match kind {
-                TaskKind::Coverage { signal, .. } => Some(signal.clone()),
-                TaskKind::VerifyOnly => None,
-            },
-            queue_wait,
-            compile,
-            import,
-            solve,
-            counters,
-            spans,
-        }
-    });
-    Ok((payload, profile))
-}
-
-/// The task body proper: compile, import, solve — returning the payload
-/// plus each phase's wall-clock. Split out of [`run_task`] so the
-/// recorder installed there is uninstalled on *every* exit path.
-fn run_task_phases(
-    bdd: &BddManager,
-    deck: &PlannedDeck,
-    kind: &TaskKind,
-    config: &ParConfig,
-) -> Result<(TaskPayload, Duration, Duration, Duration), String> {
-    let _task_span = telemetry::span(match kind {
-        TaskKind::Coverage { signal, .. } => format!("task:{}:{signal}", deck.name),
-        TaskKind::VerifyOnly => format!("task:{}", deck.name),
-    });
-    bdd.set_reorder_config(ReorderConfig {
-        mode: config.reorder,
-        ..Default::default()
-    });
-    // With COI on, a coverage task compiles the statically pruned cone
-    // deck (smaller manager) and imports the cone-projected reachable
-    // set; otherwise it compiles the full source and the estimator
-    // projects onto the cone instead. Reports are bit-identical either
-    // way — the counting universe is the cone in both modes.
-    let reduced = match kind {
-        TaskKind::Coverage { reduced, .. } => reduced.as_deref(),
-        TaskKind::VerifyOnly => None,
-    };
-    let sw = Stopwatch::start();
-    let model = match reduced {
-        Some(r) => covest_smv::compile_module_with(bdd, &r.module, config.image)
-            .map_err(|e| e.to_string())?,
-        None => {
-            covest_smv::compile_with(bdd, &deck.source, config.image).map_err(|e| e.to_string())?
-        }
-    };
-    if config.reorder == ReorderMode::Sift {
-        bdd.reduce_heap();
-    }
-    let compile = sw.elapsed();
-    // The planner already paid for reachability; import its set instead
-    // of re-running the BFS. Name keying makes this correct even though
-    // this manager's variable order has its own history.
-    let sw = Stopwatch::start();
-    let reach_dump = reduced.map_or(&deck.reach, |r| &r.reach);
-    let reach = bdd.import_bdd(reach_dump).map_err(|e| e.to_string())?;
-    model.fsm.seed_reachable(reach);
-    let import = sw.elapsed();
-
-    let sw = Stopwatch::start();
-    let payload = match kind {
-        TaskKind::Coverage { signal, cone, .. } => {
-            let estimator = CoverageEstimator::new(&model.fsm);
-            let options = CoverageOptions {
-                fairness: model.fairness.clone(),
-                cone: Some(cone.as_ref().clone()),
-                ..Default::default()
-            };
-            let analysis = estimator
-                .analyze(signal, &model.specs, &options)
-                .map_err(|e| e.to_string())?;
-            let universe = estimator.universe(options.cone.as_deref());
-            let sample = estimator.sample_states_over(
-                &analysis.uncovered(),
-                &universe,
-                config.uncovered_limit,
-            );
-            let uncovered = analysis
-                .uncovered()
-                .export_bdd()
-                .map_err(|e| e.to_string())?;
-            let row = ReportRow::from_analysis(&deck.name, &analysis).with_uncovered_sample(sample);
-            TaskPayload::Coverage(Box::new(SignalOutcome {
-                deck: deck.name.clone(),
-                signal: signal.clone(),
-                row,
-                uncovered,
-            }))
-        }
-        TaskKind::VerifyOnly => {
-            let mut mc = ModelChecker::new(&model.fsm);
-            for fair in &model.fairness {
-                mc.add_fairness(fair).map_err(|e| e.to_string())?;
-            }
-            if config.image.simplify != covest_smv::SimplifyConfig::Off {
-                mc.set_care(model.fsm.install_reachable_care());
-            }
-            let mut verdicts = Vec::with_capacity(model.specs.len());
-            for spec in &model.specs {
-                let verdict = mc.check(&spec.clone().into()).map_err(|e| e.to_string())?;
-                verdicts.push(PropertyVerdict {
-                    formula: spec.to_string(),
-                    holds: verdict.holds(),
-                    vacuous: false,
-                });
-            }
-            TaskPayload::Verdicts(verdicts)
-        }
-    };
-    let solve = sw.elapsed();
-    Ok((payload, compile, import, solve))
-}
-
 impl WorkPlan {
-    /// Executes the plan on a pool of `config.jobs` worker threads and
-    /// merges the results deterministically: decks in input order,
-    /// signals in declaration order, whatever order tasks completed in.
+    /// Executes the plan on a pool of `config.jobs` worker threads (one
+    /// deque each, whole-shard stealing) and merges the results
+    /// deterministically: decks in input order, signals in declaration
+    /// order, whatever order shards completed in — and on whichever
+    /// worker.
+    ///
+    /// Unlike [`run_batch`], this never routes to the sequential
+    /// baseline: callers who built a plan get the pool.
     ///
     /// # Errors
     ///
-    /// [`ParError::Task`] for the failed task with the lowest task index
-    /// if any task fails (also deterministic under racing failures).
+    /// [`ParError::Plan`] if a shard's compile fails; [`ParError::Task`]
+    /// for the failed analysis with the lowest task index if any fails
+    /// (deterministic under racing failures).
     pub fn run(&self, config: &ParConfig) -> Result<BatchReport, ParError> {
-        let workers = self.tasks.len().min(config.effective_jobs()).max(1);
-        let next = AtomicUsize::new(0);
-        // Dispatch largest-first on the static size estimates (stable by
-        // task index), so the biggest cone is not the last pickup on an
-        // otherwise drained queue. Results are still slotted by task
-        // index — scheduling order never reaches the report.
-        let mut order: Vec<usize> = (0..self.tasks.len()).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(self.tasks[i].kind.size_hint()));
-        let order = &order;
-        // Every task of a pre-built plan is runnable from the start, so
-        // queue wait is simply the clock reading at pickup.
-        let clock = WallClock::new();
-        let mut slots: Vec<TaskSlot> = Vec::new();
-        slots.resize_with(self.tasks.len(), || None);
-
-        std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<(usize, TaskResult)>();
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let clock = &clock;
-                scope.spawn(move || loop {
-                    let pick = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = order.get(pick) else { break };
-                    let task = &self.tasks[i];
-                    let queue_wait = clock.now();
-                    let result = run_task(&self.decks[task.deck], &task.kind, config, queue_wait);
-                    if tx.send((i, result)).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            for (i, result) in rx {
-                slots[i] = Some(result);
-            }
-        });
-
-        merge_results(
-            &self
-                .decks
-                .iter()
-                .map(|d| (d.name.clone(), d.num_properties, d.plan_time))
-                .collect::<Vec<_>>(),
-            &self.tasks,
-            slots,
-        )
+        let (slots, steals, workers) = run_pool(self, config);
+        let mut report = merge_shard_results(&self.decks, &self.tasks, &self.shards, slots)?;
+        report.sched = SchedStats {
+            workers,
+            shards: self.shards.len(),
+            steals,
+            routed_sequential: false,
+        };
+        Ok(report)
     }
 }
 
-/// What one task delivers: payload plus optional profile, or an error.
-type TaskResult = Result<(TaskPayload, Option<TaskProfile>), String>;
-type TaskSlot = Option<TaskResult>;
-
-/// Assembles per-task payloads (indexed by task) into the final
-/// deterministic report: decks in `decks` order, signals (and profiles)
-/// in task order.
-fn merge_results(
-    decks: &[(String, usize, Duration)],
-    tasks: &[crate::plan::Task],
-    slots: Vec<TaskSlot>,
+/// Assembles per-shard results into the final deterministic report:
+/// decks in input order, signals in task order, profiles in shard order.
+///
+/// Error precedence is deterministic regardless of scheduling: the
+/// failure anchored at the lowest task index wins, with a shard-level
+/// compile failure anchored at its shard's first task and preempting
+/// that shard's per-task failures.
+fn merge_shard_results(
+    decks: &[PlannedDeck],
+    tasks: &[Task],
+    shards: &[Shard],
+    slots: Vec<Option<ShardResult>>,
 ) -> Result<BatchReport, ParError> {
+    let slots: Vec<ShardResult> = slots
+        .into_iter()
+        .map(|s| s.expect("every shard reports exactly once"))
+        .collect();
+
+    // Error pass: anchor every failure at a task index and pick the
+    // lowest (compile failures rank before task failures on a tie).
+    let mut best: Option<((usize, u8), ParError)> = None;
+    let mut consider = |key: (usize, u8), err: ParError| {
+        if best.as_ref().is_none_or(|(k, _)| key < *k) {
+            best = Some((key, err));
+        }
+    };
+    for (shard, (result, _)) in shards.iter().zip(&slots) {
+        let first = shard.tasks.first().copied().unwrap_or(usize::MAX);
+        match result {
+            Err(message) => consider(
+                (first, 0),
+                ParError::Plan {
+                    deck: decks[shard.deck].name.clone(),
+                    message: message.clone(),
+                },
+            ),
+            Ok(entries) => {
+                for (ti, entry) in entries {
+                    if let Err(message) = entry {
+                        consider(
+                            (*ti, 1),
+                            ParError::Task {
+                                deck: decks[shard.deck].name.clone(),
+                                signal: match &tasks[*ti].kind {
+                                    TaskKind::Coverage { signal, .. } => Some(signal.clone()),
+                                    TaskKind::VerifyOnly => None,
+                                },
+                                message: message.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if let Some((_, err)) = best {
+        return Err(err);
+    }
+
     let mut reports: Vec<DeckReport> = decks
         .iter()
-        .map(|(name, num_properties, plan_time)| DeckReport {
-            name: name.clone(),
-            num_properties: *num_properties,
+        .map(|d| DeckReport {
+            name: d.name.clone(),
+            num_properties: d.num_properties,
             verdicts: Vec::new(),
             signals: Vec::new(),
-            plan_time: *plan_time,
+            plan_time: d.plan_time,
             profiles: Vec::new(),
         })
         .collect();
-    for (task, slot) in tasks.iter().zip(slots) {
-        let (payload, profile) =
-            slot.expect("every task sends exactly one result")
-                .map_err(|message| ParError::Task {
-                    deck: decks[task.deck].0.clone(),
-                    signal: match &task.kind {
-                        TaskKind::Coverage { signal, .. } => Some(signal.clone()),
-                        TaskKind::VerifyOnly => None,
-                    },
-                    message,
-                })?;
+
+    // Scatter payloads to task slots, then gather in task order.
+    let mut payloads: Vec<Option<TaskPayload>> = Vec::new();
+    payloads.resize_with(tasks.len(), || None);
+    for (shard, (result, profile)) in shards.iter().zip(slots) {
+        let entries = result.expect("error pass returned above");
+        for (ti, entry) in entries {
+            payloads[ti] = Some(entry.expect("error pass returned above"));
+        }
+        reports[shard.deck].profiles.extend(profile);
+    }
+    for (task, payload) in tasks.iter().zip(payloads) {
         let report = &mut reports[task.deck];
-        match payload {
+        match payload.expect("every task belongs to exactly one shard") {
             TaskPayload::Coverage(outcome) => {
                 if report.verdicts.is_empty() {
                     report.verdicts = outcome.row.verdicts.clone();
@@ -434,115 +344,55 @@ fn merge_results(
             }
             TaskPayload::Verdicts(verdicts) => report.verdicts = verdicts,
         }
-        report.profiles.extend(profile);
     }
-    Ok(BatchReport { decks: reports })
+    Ok(BatchReport {
+        decks: reports,
+        sched: SchedStats::default(),
+    })
 }
 
 /// Plans and runs a batch in one call — the front door used by
 /// `covest check --jobs N` and `covest batch`.
 ///
-/// Planning and execution are **pipelined**: each deck's tasks are
-/// released to the worker pool the moment that deck finishes planning,
-/// so workers analyze the first decks while the planner is still
-/// compiling the last ones. The observable behavior is identical to
-/// `WorkPlan::plan(…)?.run(…)` — same deterministic report, and a plan
-/// failure still takes precedence over any task failure, exactly as if
-/// planning had completed before the first task ran — the pipelining
-/// only moves wall-clock.
+/// Planning is static (parse + cones, no BDDs) and cheap, so it always
+/// completes before execution; a plan failure therefore takes precedence
+/// over every shard outcome. After planning, a **worthiness heuristic**
+/// routes the fleet: if it decomposes into a single shard, or its total
+/// static size estimate is under a small threshold, the pool cannot win
+/// and the batch runs on [`run_sequential`] instead (reported via
+/// [`SchedStats::routed_sequential`]). The decision is a pure function
+/// of the plan — never of `jobs` — so a given fleet produces
+/// byte-identical reports at every `--jobs` value. Profiled runs
+/// ([`ParConfig::profile`]) always take the pool, which is what collects
+/// [`ShardProfile`]s.
 ///
 /// # Errors
 ///
 /// See [`WorkPlan::plan`] and [`WorkPlan::run`].
 pub fn run_batch(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchReport, ParError> {
-    let workers = config.effective_jobs().max(1);
-    let clock = WallClock::new();
-    let mut planned: Vec<(String, usize, Duration)> = Vec::new();
-    let mut tasks: Vec<crate::plan::Task> = Vec::new();
-    let mut plan_error: Option<ParError> = None;
-    let mut slots: Vec<TaskSlot> = Vec::new();
-
-    // The `Duration` is the enqueue timestamp (shared-clock reading at
-    // release), so the worker can report the task's queue wait.
-    type WorkItem = (usize, Arc<PlannedDeck>, TaskKind, Duration);
-    let (task_tx, task_rx) = mpsc::channel::<WorkItem>();
-    let task_rx = Mutex::new(task_rx);
-    let (result_tx, result_rx) = mpsc::channel::<(usize, TaskResult)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let result_tx = result_tx.clone();
-            let task_rx = &task_rx;
-            let clock = &clock;
-            scope.spawn(move || loop {
-                // Take the lock only to receive; blocked peers wake as
-                // soon as this worker starts computing.
-                let item = task_rx.lock().expect("queue lock").recv();
-                let Ok((i, deck, kind, enqueued)) = item else {
-                    break;
-                };
-                let queue_wait = clock.now().saturating_sub(enqueued);
-                let result = run_task(&deck, &kind, config, queue_wait);
-                if result_tx.send((i, result)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(result_tx);
-
-        // Plan on this thread, releasing each deck's tasks immediately.
-        for job in jobs {
-            match crate::plan::plan_deck(job, config) {
-                Ok((deck, kinds)) => {
-                    let deck_idx = planned.len();
-                    planned.push((deck.name.clone(), deck.num_properties, deck.plan_time));
-                    let deck = Arc::new(deck);
-                    // Release this deck's tasks largest-first (stable by
-                    // declaration order); task indices — and therefore
-                    // the merged report — keep declaration order.
-                    let mut release: Vec<(usize, crate::plan::TaskKind)> = Vec::new();
-                    for kind in kinds {
-                        let i = tasks.len();
-                        tasks.push(crate::plan::Task {
-                            deck: deck_idx,
-                            kind: kind.clone(),
-                        });
-                        release.push((i, kind));
-                    }
-                    release.sort_by_key(|(_, kind)| std::cmp::Reverse(kind.size_hint()));
-                    for (i, kind) in release {
-                        let _ = task_tx.send((i, Arc::clone(&deck), kind, clock.now()));
-                    }
-                }
-                Err(e) => {
-                    // Match plan-then-run semantics: a plan failure wins
-                    // over every task outcome. In-flight tasks drain
-                    // (results discarded below), no new decks are planned.
-                    plan_error = Some(e);
-                    break;
-                }
-            }
-        }
-        drop(task_tx);
-        slots.resize_with(tasks.len(), || None);
-        for (i, result) in result_rx {
-            slots[i] = Some(result);
-        }
-    });
-
-    if let Some(e) = plan_error {
-        return Err(e);
+    let plan = WorkPlan::plan(jobs, config)?;
+    if !config.profile && (plan.num_shards() <= 1 || plan.fleet_est_bits() < MIN_POOL_BITS) {
+        let mut report = run_sequential(jobs, config)?;
+        report.sched = SchedStats {
+            workers: 0,
+            shards: plan.num_shards(),
+            steals: 0,
+            routed_sequential: true,
+        };
+        return Ok(report);
     }
-    merge_results(&planned, &tasks, slots)
+    plan.run(config)
 }
 
 /// The sequential baseline: the same decks analyzed the way the
 /// pre-parallel pipeline did — one manager per deck, one compile, one
-/// reachability fixpoint shared by all of the deck's signals via
-/// [`covest_core::CoverageEstimator::analyze_signals`]. Used by the
-/// `parallel_report` bench (wall-clock comparison) and the parity suite
-/// (ground truth): percentages, verdicts and uncovered sets must be
-/// bit-identical to [`WorkPlan::run`]'s. Node counts and timings differ
-/// by construction (shared manager vs per-task managers).
+/// reachability fixpoint shared by all of the deck's signals. Used by
+/// the `parallel_report` bench (wall-clock comparison), the parity suite
+/// (ground truth), and [`run_batch`]'s worthiness routing for fleets too
+/// small to amortize the pool: percentages, verdicts and uncovered sets
+/// must be bit-identical to [`WorkPlan::run`]'s. Node counts and timings
+/// differ by construction (shared whole-deck manager vs per-shard
+/// cone-reduced managers).
 ///
 /// # Errors
 ///
@@ -648,5 +498,8 @@ pub fn run_sequential(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchRepor
         }
         reports.push(report);
     }
-    Ok(BatchReport { decks: reports })
+    Ok(BatchReport {
+        decks: reports,
+        sched: SchedStats::default(),
+    })
 }

@@ -7,10 +7,12 @@
 //! verdicts, vacuity flags, state counts and uncovered-state **sets**
 //! (compared semantically, by importing both sides' name-keyed dumps
 //! into one manager where canonicity turns semantic equality into handle
-//! equality) identical to the sequential estimator. A separate test
-//! pins scheduling-independence: `jobs = 1` and `jobs = 4` must agree on
+//! equality) identical to the sequential estimator. Separate tests pin
+//! scheduling-independence: `jobs = 1` and `jobs = 4` (and a steal-storm
+//! `jobs = 8` case where work stealing provably occurs) must agree on
 //! every deterministic field, node counts and uncovered samples
-//! included, because every task runs on its own fresh manager.
+//! included, because every shard runs its signals in declaration order
+//! on its own fresh manager — wherever, and by whomever, it executes.
 
 mod common;
 
@@ -54,9 +56,10 @@ fn parallel_matches_sequential_across_mode_cross() {
     }
 }
 
-/// Scheduling independence: with per-task managers, `jobs = 1` and
+/// Scheduling independence: with per-shard managers, `jobs = 1` and
 /// `jobs = 4` reports agree on *everything* deterministic — including
-/// node counts, which would diverge if tasks shared managers.
+/// node counts, which would diverge if shards shared managers across
+/// scheduling boundaries.
 #[test]
 fn job_count_does_not_change_the_report() {
     let decks = all_decks();
@@ -66,6 +69,53 @@ fn job_count_does_not_change_the_report() {
     let four = plan.run(&ParConfig { jobs: 4, ..base }).expect("jobs=4");
     assert_semantic_parity("jobs=1 vs jobs=4", &one, &four);
     for (a, b) in one.outcomes().zip(four.outcomes()) {
+        assert_eq!(a.row.verify_nodes, b.row.verify_nodes, "{}", a.signal);
+        assert_eq!(a.row.coverage_nodes, b.row.coverage_nodes, "{}", a.signal);
+        assert_eq!(a.uncovered, b.uncovered, "{}: dump bytes", a.signal);
+    }
+}
+
+/// The steal-storm case: a fleet engineered so whole-shard stealing
+/// *provably* happens at `jobs = 8` (one heavyweight sized-counter shard
+/// dealt to worker 0 with togglers queued behind it; the other workers
+/// drain instantly and must steal) — and the full report is still byte
+/// identical to `jobs = 1`: rows, node counts, and every uncovered-dump
+/// byte. Stealing moves a shard between threads before its private
+/// manager exists, so it cannot perturb a single deterministic value.
+#[test]
+fn report_bytes_survive_forced_stealing() {
+    use covest_circuits::counter;
+    use std::fmt::Write as _;
+    let mut heavy = counter::deck_sized(64);
+    for spec in counter::increment_properties_sized(64) {
+        writeln!(heavy, "SPEC {spec};").expect("write to string");
+    }
+    let mut decks = vec![DeckJob::new("storm:heavy_counter", heavy)];
+    for i in 0..8 {
+        let toggler = format!(
+            "MODULE main\nVAR b : boolean;\nASSIGN init(b) := FALSE; next(b) := !b;\n\
+             SPEC AG (b -> AX !b);\nOBSERVED b;\n-- toggler {i}\n"
+        );
+        decks.push(DeckJob::new(format!("storm:toggler_{i}"), toggler));
+    }
+
+    let base = ParConfig::default();
+    let one = run_batch(&decks, &ParConfig { jobs: 1, ..base }).expect("jobs=1");
+    let eight = run_batch(&decks, &ParConfig { jobs: 8, ..base }).expect("jobs=8");
+    assert!(
+        !one.sched.routed_sequential && !eight.sched.routed_sequential,
+        "the storm fleet must be pool-worthy"
+    );
+    assert_eq!(one.sched.steals, 0, "one worker has nobody to steal from");
+    assert!(
+        eight.sched.steals > 0,
+        "the storm fleet must force at least one steal at jobs=8 \
+         (workers {}, shards {})",
+        eight.sched.workers,
+        eight.sched.shards,
+    );
+    assert_semantic_parity("steal storm jobs 1 vs 8", &one, &eight);
+    for (a, b) in one.outcomes().zip(eight.outcomes()) {
         assert_eq!(a.row.verify_nodes, b.row.verify_nodes, "{}", a.signal);
         assert_eq!(a.row.coverage_nodes, b.row.coverage_nodes, "{}", a.signal);
         assert_eq!(a.uncovered, b.uncovered, "{}: dump bytes", a.signal);

@@ -1,14 +1,16 @@
-//! Determinism contract for the telemetry profiles: every per-task
-//! counter is a pure function of (deck source, observed signal,
-//! configuration) — never of the scheduler, the thread count, or the
-//! clock. Two identical runs must produce byte-identical counters, and
-//! so must runs that differ only in `jobs`. Durations (`queue_wait`,
-//! `compile`, `import`, `solve`) are wall-clock by definition and are
-//! deliberately excluded from every assertion here.
+//! Determinism contract for the telemetry profiles: every per-shard
+//! counter is a pure function of (deck source, configuration) — never of
+//! the scheduler, the thread count, the clock, or which worker executed
+//! (or stole) the shard. Two identical runs must produce byte-identical
+//! counters, and so must runs that differ only in `jobs` — including
+//! runs where stealing provably occurred. Durations (`queue_wait`,
+//! `compile`, `reach`, `solve`) and the `stolen` flag are wall-clock
+//! scheduling facts by definition and are deliberately excluded from
+//! every parity assertion here.
 
 use std::fmt::Write as _;
 
-use covest_par::{run_batch, BatchReport, DeckJob, ParConfig, TaskProfile};
+use covest_par::{run_batch, BatchReport, DeckJob, ParConfig, ShardProfile, WorkPlan};
 
 /// Every bundled circuit (generated deck + its Table-2 suite) plus
 /// every checked-in `models/*.smv` deck — the same fleet the parity
@@ -71,9 +73,32 @@ fn all_decks() -> Vec<DeckJob> {
     decks
 }
 
+/// A fleet engineered so that stealing *provably* occurs at high job
+/// counts: one heavyweight shard (a sized counter whose suite dwarfs
+/// everything else) plus a tail of one-bit togglers. Largest-first
+/// round-robin deals the heavy shard to worker 0 along with at least one
+/// toggler behind it; the other workers drain their togglers long before
+/// the heavy shard finishes and must steal worker 0's queued leftovers.
+fn steal_storm_decks() -> Vec<DeckJob> {
+    use covest_circuits::counter;
+    let mut heavy = counter::deck_sized(48);
+    for spec in counter::increment_properties_sized(48) {
+        writeln!(heavy, "SPEC {spec};").expect("write to string");
+    }
+    let mut decks = vec![DeckJob::new("storm:heavy_counter", heavy)];
+    for i in 0..8 {
+        let toggler = format!(
+            "MODULE main\nVAR b : boolean;\nASSIGN init(b) := FALSE; next(b) := !b;\n\
+             SPEC AG (b -> AX !b);\nOBSERVED b;\n-- toggler {i}\n"
+        );
+        decks.push(DeckJob::new(format!("storm:toggler_{i}"), toggler));
+    }
+    decks
+}
+
 /// Flattens a report's profiles in merge order (decks in input order,
-/// tasks in task-index order within each deck).
-fn profiles(report: &BatchReport) -> Vec<&TaskProfile> {
+/// shards in shard-index order within each deck).
+fn profiles(report: &BatchReport) -> Vec<&ShardProfile> {
     report
         .decks
         .iter()
@@ -81,16 +106,16 @@ fn profiles(report: &BatchReport) -> Vec<&TaskProfile> {
         .collect()
 }
 
-/// Asserts two runs produced the same tasks with byte-identical
-/// counters. Durations are never compared.
+/// Asserts two runs produced the same shards with byte-identical
+/// counters. Durations and steal flags are never compared.
 fn assert_counter_parity(label: &str, a: &BatchReport, b: &BatchReport) {
     let (pa, pb) = (profiles(a), profiles(b));
     assert_eq!(pa.len(), pb.len(), "{label}: profile count");
     assert!(!pa.is_empty(), "{label}: profiling produced no profiles");
     for (x, y) in pa.iter().zip(&pb) {
-        let tag = format!("{label}: {} / {:?}", x.deck, x.signal);
+        let tag = format!("{label}: {} / {:?}", x.deck, x.signals);
         assert_eq!(x.deck, y.deck, "{tag}: deck order");
-        assert_eq!(x.signal, y.signal, "{tag}: signal order");
+        assert_eq!(x.signals, y.signals, "{tag}: signal order");
         assert_eq!(x.counters, y.counters, "{tag}: counters drifted");
         assert!(!x.counters.is_empty(), "{tag}: counters recorded");
     }
@@ -110,7 +135,7 @@ fn identical_runs_produce_identical_counters() {
 }
 
 #[test]
-fn per_task_counters_identical_across_job_counts() {
+fn per_shard_counters_identical_across_job_counts() {
     let decks = all_decks();
     let one = ParConfig {
         jobs: 1,
@@ -127,6 +152,37 @@ fn per_task_counters_identical_across_job_counts() {
     assert_counter_parity("jobs 1 vs 4", &a, &b);
 }
 
+/// The steal-storm case: at `jobs=8` on the engineered fleet the steal
+/// counter must actually move (otherwise this test pins nothing), and
+/// the per-shard counters must still match a `jobs=1` run byte for byte
+/// — stealing relocates a shard between threads *before* its manager
+/// exists, so it cannot perturb a single deterministic value.
+#[test]
+fn counters_survive_forced_stealing() {
+    let decks = steal_storm_decks();
+    let one = ParConfig {
+        jobs: 1,
+        profile: true,
+        ..Default::default()
+    };
+    let eight = ParConfig {
+        jobs: 8,
+        profile: true,
+        ..Default::default()
+    };
+    let a = run_batch(&decks, &one).expect("jobs=1 run");
+    let b = run_batch(&decks, &eight).expect("jobs=8 run");
+    assert_eq!(a.sched.steals, 0, "one worker has nobody to steal from");
+    assert!(
+        b.sched.steals > 0,
+        "the storm fleet must force at least one steal at jobs=8 \
+         (workers {}, shards {})",
+        b.sched.workers,
+        b.sched.shards,
+    );
+    assert_counter_parity("steal storm jobs 1 vs 8", &a, &b);
+}
+
 #[test]
 fn profiles_absent_unless_requested() {
     let decks = all_decks();
@@ -134,5 +190,33 @@ fn profiles_absent_unless_requested() {
     assert!(
         report.decks.iter().all(|d| d.profiles.is_empty()),
         "profiles must only be collected when ParConfig::profile is set"
+    );
+}
+
+/// Queue wait is attributed per shard as (dequeue − enqueue), so no
+/// single shard can ever report waiting longer than the whole pool ran:
+/// `queue_max ≤ wall`. (The *total* across shards may legitimately
+/// exceed wall-clock — N shards wait concurrently — which is why the
+/// bench reports a mean and a max; see DESIGN.md.)
+#[test]
+fn queue_wait_never_exceeds_pool_wall_clock() {
+    let decks = all_decks();
+    let config = ParConfig {
+        jobs: 2,
+        profile: true,
+        ..Default::default()
+    };
+    let plan = WorkPlan::plan(&decks, &config).expect("plans");
+    let sw = covest_telemetry::Stopwatch::start();
+    let report = plan.run(&config).expect("runs");
+    let wall = sw.elapsed();
+    let queue_max = profiles(&report)
+        .iter()
+        .map(|p| p.queue_wait)
+        .max()
+        .expect("profiles present");
+    assert!(
+        queue_max <= wall,
+        "per-shard queue wait ({queue_max:?}) exceeded pool wall-clock ({wall:?})"
     );
 }
