@@ -137,6 +137,20 @@ impl BddManager {
         self.inner.borrow().arena_bytes()
     }
 
+    /// One combined reading of the memory gauges — `(live_nodes,
+    /// arena_bytes, peak_live_nodes)` — in a single borrow. The
+    /// telemetry memory sampler calls this at every span boundary and
+    /// event, so the three gauges must come from one consistent
+    /// snapshot (and one cell borrow, not three).
+    pub fn mem_gauges(&self) -> (usize, usize, u64) {
+        let inner = self.inner.borrow();
+        (
+            inner.live_nodes(),
+            inner.arena_bytes(),
+            inner.stats().peak_live_nodes,
+        )
+    }
+
     /// Number of live external-root slots (distinct live [`Func`]
     /// handles; clones share a slot).
     pub fn live_roots(&self) -> usize {

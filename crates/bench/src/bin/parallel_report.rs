@@ -27,59 +27,7 @@ use std::fmt::Write as _;
 use covest_bdd::BddManager;
 use covest_par::{run_batch, run_sequential, BatchReport, DeckJob, ParConfig};
 
-/// Every bundled circuit (generated deck + Table-2 suite) plus every
-/// checked-in `models/*.smv` deck.
-fn fleet() -> Vec<DeckJob> {
-    use covest_circuits::{circular_queue, counter, pipeline, priority_buffer};
-
-    let mut queue_suite = circular_queue::wrap_suite_initial();
-    queue_suite.extend(circular_queue::full_suite());
-    queue_suite.extend(circular_queue::empty_suite());
-    let mut buffer_suite = priority_buffer::lo_suite_initial(4);
-    buffer_suite.push(priority_buffer::lo_missing_case());
-    buffer_suite.extend(priority_buffer::hi_suite(4));
-    let mut pipeline_suite = pipeline::out_suite_initial(4);
-    pipeline_suite.extend(pipeline::out_suite_hold());
-
-    let mut decks = vec![
-        DeckJob::new(
-            "circuit:circular_queue",
-            with_specs(circular_queue::deck(4), &queue_suite),
-        ),
-        DeckJob::new(
-            "circuit:priority_buffer",
-            with_specs(priority_buffer::deck(4, false), &buffer_suite),
-        ),
-        DeckJob::new(
-            "circuit:counter",
-            with_specs(counter::deck(), &counter::increment_properties()),
-        ),
-        DeckJob::new(
-            "circuit:pipeline",
-            with_specs(pipeline::deck(4), &pipeline_suite),
-        ),
-    ];
-
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../models");
-    let mut model_decks: Vec<DeckJob> = std::fs::read_dir(&dir)
-        .expect("models directory")
-        .filter_map(|e| {
-            let path = e.expect("dir entry").path();
-            if path.extension().is_some_and(|x| x == "smv") {
-                let name = format!("models/{}", path.file_name().unwrap().to_string_lossy());
-                Some(DeckJob::new(
-                    name,
-                    std::fs::read_to_string(&path).expect("readable deck"),
-                ))
-            } else {
-                None
-            }
-        })
-        .collect();
-    model_decks.sort_by(|a, b| a.name.cmp(&b.name));
-    decks.extend(model_decks);
-    decks
-}
+use covest_bench::{bundled_fleet as fleet, with_specs};
 
 /// The scaling fleet: the `gen-models --size` decks (sized counters and
 /// pipelines with their property suites) at several sizes, generated
@@ -107,13 +55,6 @@ fn sized_fleet() -> Vec<DeckJob> {
         ));
     }
     decks
-}
-
-fn with_specs(mut deck: String, specs: &[covest_ctl::Formula]) -> String {
-    for spec in specs {
-        writeln!(deck, "SPEC {spec};").expect("write to string");
-    }
-    deck
 }
 
 /// Best-of-`n` wall-clock, to keep the gates out of reach of scheduler

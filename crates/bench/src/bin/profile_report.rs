@@ -1,0 +1,151 @@
+//! The deep-profiling acceptance gate: run the bundled fleet through
+//! the worker pool with profiling on and check that the memory
+//! timeline's books balance.
+//!
+//! For every shard the gate asserts, exactly:
+//!
+//! - the per-phase **peak-live attribution table** (the fold of the
+//!   memory samples stamped on the shard's span forest — see
+//!   [`covest_telemetry::memory::peak_by_phase`]) is non-empty, and its
+//!   maximum equals the shard manager's `bdd_peak_live_nodes` counter.
+//!   This reconciliation is the whole point of the attribution rule: no
+//!   allocation escapes the table, and no phase is credited with nodes
+//!   that never existed;
+//! - the surfaced reorder sizes are coherent: `bdd_reorder_size_before`
+//!   and `_after` are both zero (reordering never ran) or both nonzero.
+//!
+//! Writes `BENCH_profile.json` at the workspace root (or the path given
+//! as the first argument): per-shard peak tables plus the fleet-wide
+//! merged table. With `--trace FILE` the run additionally streams a
+//! Chrome trace-event file (one track per pool worker) — CI uploads it
+//! as the Perfetto artifact.
+//!
+//! Usage: `profile_report [OUT.json] [--jobs N] [--trace FILE]`.
+
+use std::fmt::Write as _;
+
+use covest_core::json_string;
+use covest_par::{run_batch, run_batch_with_trace, ParConfig};
+use covest_telemetry::chrome::{TraceFormat, TraceWriter};
+use covest_telemetry::{memory, Counters};
+
+fn counters_json(c: &Counters) -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in c.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {value}", json_string(name));
+    }
+    out.push('}');
+    out
+}
+
+fn main() {
+    let mut out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_profile.json").to_owned();
+    let mut jobs = 4usize;
+    let mut trace_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let n = argv.next().expect("--jobs needs a value");
+                jobs = n.parse().expect("--jobs value parses");
+            }
+            "--trace" => trace_path = Some(argv.next().expect("--trace needs a path")),
+            _ => out_path = arg,
+        }
+    }
+
+    let decks = covest_bench::bundled_fleet();
+    let config = ParConfig {
+        jobs,
+        profile: true,
+        ..Default::default()
+    };
+    let report = match &trace_path {
+        Some(path) => {
+            let file = std::fs::File::create(path).expect("trace file creates");
+            let mut writer = TraceWriter::new(std::io::BufWriter::new(file), TraceFormat::Chrome);
+            let report =
+                run_batch_with_trace(&decks, &config, &mut writer).expect("profiled batch runs");
+            writer.finish().expect("trace file writes");
+            report
+        }
+        None => run_batch(&decks, &config).expect("profiled batch runs"),
+    };
+
+    let profiles: Vec<_> = report
+        .decks
+        .iter()
+        .flat_map(|d| d.profiles.iter())
+        .collect();
+    assert!(!profiles.is_empty(), "profiled run must collect profiles");
+
+    // The reconciliation gate, per shard.
+    let mut merged = Counters::new();
+    for p in &profiles {
+        let label = format!("{} [{}]", p.deck, p.signals.join("+"));
+        assert!(
+            !p.peak_by_phase.is_empty(),
+            "{label}: profiled shard has no memory samples"
+        );
+        let table_peak = memory::table_peak(&p.peak_by_phase);
+        assert_eq!(
+            table_peak,
+            p.peak_live_nodes(),
+            "{label}: peak attribution table (max {table_peak}) must reconcile \
+             exactly with bdd_peak_live_nodes ({})",
+            p.peak_live_nodes()
+        );
+        let (before, after) = p.reorder_sizes();
+        assert_eq!(
+            before == 0,
+            after == 0,
+            "{label}: reorder sizes must be both unset or both set \
+             (before {before}, after {after})"
+        );
+        for (phase, value) in p.peak_by_phase.iter() {
+            merged.set_max(phase, value);
+        }
+    }
+    let fleet_peak = profiles.iter().map(|p| p.peak_live_nodes()).max().unwrap();
+    assert_eq!(
+        memory::table_peak(&merged),
+        fleet_peak,
+        "merged table peak must equal the largest per-shard high-water mark"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"shards\": [");
+    for (i, p) in profiles.iter().enumerate() {
+        let signals: Vec<String> = p.signals.iter().map(|s| json_string(s)).collect();
+        let (before, after) = p.reorder_sizes();
+        let _ = write!(
+            json,
+            "    {{\"deck\": {}, \"signals\": [{}], \"peak_live_nodes\": {}, \
+             \"reorder_size_before\": {before}, \"reorder_size_after\": {after}, \
+             \"peak_by_phase\": {}}}",
+            json_string(&p.deck),
+            signals.join(", "),
+            p.peak_live_nodes(),
+            counters_json(&p.peak_by_phase),
+        );
+        json.push_str(if i + 1 < profiles.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"peak_by_phase\": {},", counters_json(&merged));
+    let _ = writeln!(json, "  \"peak_live_nodes\": {fleet_peak}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("report written");
+
+    println!(
+        "profile gate: {} shards reconciled (fleet peak {fleet_peak} live nodes, {jobs} jobs)",
+        profiles.len()
+    );
+    if let Some(path) = &trace_path {
+        println!("wrote {path}");
+    }
+    println!("wrote {out_path}");
+}

@@ -43,12 +43,29 @@
 //!   line is wall-clock and excluded from any parity contract;
 //! - `--trace FILE` writes the recorded span/event log (compile,
 //!   reachability with per-BFS-step sizes, care install, each per-signal
-//!   analysis) as JSONL.
+//!   analysis). The file **streams**: each shard's span forest is
+//!   written as its result arrives, one track per pool worker, so a
+//!   long batch holds at most one shard's records in memory; the
+//!   front-end's own track (tid 0) is appended at the end;
+//! - `--trace-format jsonl|chrome` selects the trace flavor: native
+//!   JSONL (default; one record per line, `tid` = track), or Chrome
+//!   trace-event JSON — load the file in `ui.perfetto.dev` to see one
+//!   timeline row per worker, shard spans tagged with their signals and
+//!   stolen flag, memory gauges in the args panel;
+//! - `--progress` prints a throttled heartbeat to stderr while the
+//!   fixpoints run (phase, iteration, BDD size, support width, live
+//!   nodes) and arms a watchdog that reports any fixpoint whose iterate
+//!   has stopped changing (same size and support for many iterations)
+//!   together with a snapshot of the open spans.
 //!
 //! With `--stats`/`--trace`, coverage always routes through the worker
 //! pool (even at `--jobs 1`): per-shard fresh managers make every
 //! shard's counters a pure function of (deck source, config), which is
-//! what makes the summary's counter section parity-checkable.
+//! what makes the summary's counter section parity-checkable. The
+//! summary also carries each shard's **peak-live-by-phase** table — the
+//! fold of the memory samples stamped on every span open/close and BFS
+//! step — whose maximum reconciles exactly with the shard's
+//! `bdd_peak_live_nodes` counter.
 //!
 //! `batch` runs a *fleet* of decks: `JOBLIST` names one deck per line
 //! (`PATH [SIGNAL ...]`, `#` comments; relative paths resolve against
@@ -72,10 +89,11 @@ use covest_analyze::{cone_bit_names, lint_source, task_cone, DepGraph};
 use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
 use covest_core::{json_string, CoverageEstimator, CoverageOptions, CoverageTable, ReportRow};
 use covest_mc::{ModelChecker, Verdict};
-use covest_par::{run_batch, BatchReport, DeckJob, ParConfig, ShardProfile};
+use covest_par::{run_batch, run_batch_with_trace, BatchReport, DeckJob, ParConfig, ShardProfile};
 use covest_smv::{ImageConfig, ImageMethod, SimplifyConfig};
+use covest_telemetry::chrome::{TraceFormat, TraceSink, TraceWriter};
 use covest_telemetry::{
-    self as telemetry, records_to_text, Counters, SpanRecord, Telemetry, TIMINGS_MARKER,
+    self as telemetry, memory, progress, Counters, SpanRecord, Telemetry, WallClock, TIMINGS_MARKER,
 };
 
 /// Flags shared by `check` and `batch`.
@@ -87,6 +105,8 @@ struct EngineArgs {
     json: Option<String>,
     stats: bool,
     trace: Option<String>,
+    trace_format: TraceFormat,
+    progress: bool,
     coi: bool,
 }
 
@@ -100,6 +120,8 @@ impl Default for EngineArgs {
             json: None,
             stats: false,
             trace: None,
+            trace_format: TraceFormat::Jsonl,
+            progress: false,
             coi: true,
         }
     }
@@ -145,10 +167,12 @@ fn usage() -> ! {
         "usage: covest check MODEL.smv [--coverage] [--observed SIGNAL]... \
          [--traces N] [--strict] [--dot FILE] [--reorder off|sift|auto] \
          [--image mono|part] [--simplify off|restrict|constrain] \
-         [--coi on|off] [--jobs N] [--json FILE] [--stats] [--trace FILE]\n\
+         [--coi on|off] [--jobs N] [--json FILE] [--stats] [--trace FILE] \
+         [--trace-format jsonl|chrome] [--progress]\n\
          \u{20}      covest batch JOBLIST [--strict] [--reorder off|sift|auto] \
          [--image mono|part] [--simplify off|restrict|constrain] \
-         [--coi on|off] [--jobs N] [--json FILE] [--stats] [--trace FILE]\n\
+         [--coi on|off] [--jobs N] [--json FILE] [--stats] [--trace FILE] \
+         [--trace-format jsonl|chrome] [--progress]\n\
          \u{20}      covest lint DECK.smv... [--strict]\n\
          \n\
          --reorder off   keep the declaration variable order\n\
@@ -173,7 +197,12 @@ fn usage() -> ! {
          --stats         print the engine-counter summary (deterministic\n\
          \u{20}               counters above `-- timings --`, wall-clock below)\n\
          --trace FILE    write the span/event log (compile, reachability,\n\
-         \u{20}               per-signal fixpoints) as JSONL\n\
+         \u{20}               per-signal fixpoints), streamed per shard\n\
+         --trace-format jsonl|chrome   trace flavor: native JSONL\n\
+         \u{20}               (default) or Chrome trace-event JSON for\n\
+         \u{20}               ui.perfetto.dev (`perfetto` is an alias)\n\
+         --progress      print a throttled fixpoint heartbeat to stderr\n\
+         \u{20}               and flag stalled fixpoints (watchdog)\n\
          \n\
          JOBLIST lines: PATH [SIGNAL ...]   (# comments; relative paths\n\
          resolve against the joblist's directory)\n\
@@ -233,6 +262,8 @@ fn parse_engine_flag(
             Some(p) => engine.trace = Some(p),
             None => usage(),
         },
+        "--trace-format" => engine.trace_format = parsed(argv.next()),
+        "--progress" => engine.progress = true,
         _ => return false,
     }
     true
@@ -417,8 +448,69 @@ fn par_config(engine: &EngineArgs) -> ParConfig {
         reorder: engine.reorder,
         uncovered_limit: UNCOVERED_SAMPLE_LIMIT,
         profile: engine.profiling(),
+        progress: engine.progress,
+        clock: None,
         coi: engine.coi,
     }
+}
+
+/// Opens the streaming `--trace` writer over a buffered file, in the
+/// selected `--trace-format`. Shard tracks stream into it as the pool
+/// produces results; the front-end's own records land on tid 0 at the
+/// end (see [`finish_trace`]).
+fn open_trace(
+    engine: &EngineArgs,
+) -> Result<Option<TraceWriter<std::io::BufWriter<std::fs::File>>>, std::io::Error> {
+    match &engine.trace {
+        Some(path) => {
+            let file = std::fs::File::create(path)?;
+            Ok(Some(TraceWriter::new(
+                std::io::BufWriter::new(file),
+                engine.trace_format,
+            )))
+        }
+        None => {
+            if engine.trace_format != TraceFormat::Jsonl {
+                eprintln!("warning: --trace-format has no effect without --trace");
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Appends the front-end record forest as track 0 and closes the trace
+/// file (surfacing any I/O error deferred during streaming).
+fn finish_trace(
+    engine: &EngineArgs,
+    writer: Option<TraceWriter<std::io::BufWriter<std::fs::File>>>,
+    records: &[SpanRecord],
+) -> Result<(), std::io::Error> {
+    if let Some(mut writer) = writer {
+        if !records.is_empty() {
+            writer.write_track(0, "front-end", records);
+        }
+        writer.finish()?;
+        if let Some(path) = &engine.trace {
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Installs the front-end memory sampler: every span open/close and
+/// event recorded on this thread is stamped with `mgr`'s live-node /
+/// arena-byte / high-water gauges. The caller owns the recorder's
+/// lifecycle; the sampler is cleared in [`collect_observability`].
+fn install_front_sampler(mgr: &BddManager) {
+    let gauges = mgr.clone();
+    memory::set_mem_sampler(move || {
+        let (live, bytes, peak) = gauges.mem_gauges();
+        memory::MemSample {
+            live_nodes: live as u64,
+            arena_bytes: bytes as u64,
+            peak_live_nodes: peak,
+        }
+    });
 }
 
 /// Writes the coverage table as JSON, splicing the `stats` object in as
@@ -442,7 +534,8 @@ fn write_json(
 
 /// Everything the observability flags produce in one place: the summary
 /// text (deterministic counters above [`TIMINGS_MARKER`], wall-clock
-/// below), the `--json` `stats` object, and the merged span log.
+/// below), the `--json` `stats` object, and the front-end's own span
+/// forest (shard forests stream straight to the trace sink).
 struct StatsOutput {
     text: String,
     json: String,
@@ -473,10 +566,11 @@ fn profile_label(p: &ShardProfile) -> String {
     }
 }
 
-/// Uninstalls the recorder installed for `--stats`/`--trace` and folds
-/// its output together with the per-shard profiles of `report` (when the
-/// run went through the worker pool) and the front-end manager's engine
-/// counters (when one survives the run, i.e. `check`).
+/// Uninstalls the recorder installed for `--stats`/`--trace` (plus the
+/// front-end memory sampler and progress channel) and folds its output
+/// together with the per-shard profiles of `report` (when the run went
+/// through the worker pool) and the front-end manager's engine counters
+/// (when one survives the run, i.e. `check`).
 ///
 /// The counter sections — the front-end counters and every per-shard
 /// counter set — are deterministic: byte-identical across `--jobs`
@@ -491,24 +585,55 @@ fn collect_observability(
     if !engine.profiling() {
         return None;
     }
+    memory::clear_mem_sampler();
+    progress::uninstall_progress();
     let rec = telemetry::uninstall().unwrap_or_default();
-    let (mut records, mut front) = rec.into_parts();
+    let (records, mut front) = rec.into_parts();
     if let Some(mgr) = front_mgr {
         for (name, value) in mgr.stats().pairs() {
             front.add(name, value);
         }
     }
+    let front_peak = memory::peak_by_phase(&records);
     let profiles: Vec<&ShardProfile> = report
         .iter()
         .flat_map(|r| r.decks.iter())
         .flat_map(|d| d.profiles.iter())
         .collect();
+    // The fleet-wide attribution table: per phase, the largest peak any
+    // shard saw there. Its maximum is the largest per-shard manager
+    // high-water mark (each shard's own table reconciles exactly with
+    // that shard's `bdd_peak_live_nodes`).
+    let mut merged_peak = Counters::new();
+    for p in &profiles {
+        for (phase, value) in p.peak_by_phase.iter() {
+            merged_peak.set_max(phase, value);
+        }
+    }
 
     let mut text = String::from("stats:\n  front-end\n");
     text.push_str(&front.render("    "));
+    if !front_peak.is_empty() {
+        text.push_str("    peak-live by phase\n");
+        text.push_str(&front_peak.render("      "));
+    }
     for p in &profiles {
         let _ = writeln!(text, "  {}", profile_label(p));
         text.push_str(&p.counters.render("    "));
+        let (before, after) = p.reorder_sizes();
+        let _ = writeln!(
+            text,
+            "    peak live {} nodes  reorder {before} -> {after} nodes",
+            p.peak_live_nodes()
+        );
+        if !p.peak_by_phase.is_empty() {
+            text.push_str("    peak-live by phase\n");
+            text.push_str(&p.peak_by_phase.render("      "));
+        }
+    }
+    if !merged_peak.is_empty() {
+        text.push_str("  peak-live by phase (max across shards)\n");
+        text.push_str(&merged_peak.render("    "));
     }
     let _ = writeln!(text, "{TIMINGS_MARKER}");
     for deck in report.iter().flat_map(|r| r.decks.iter()) {
@@ -537,6 +662,13 @@ fn collect_observability(
     // The `stats` JSON object: deterministic fields first, `*_ms` last.
     let mut json = String::from("{\"front_end\": ");
     json.push_str(&counters_json(&front));
+    if !front_peak.is_empty() {
+        let _ = write!(
+            json,
+            ", \"front_end_peak_by_phase\": {}",
+            counters_json(&front_peak)
+        );
+    }
     json.push_str(", \"shards\": [");
     for (i, p) in profiles.iter().enumerate() {
         if i > 0 {
@@ -546,11 +678,14 @@ fn collect_observability(
         let _ = write!(
             json,
             "{{\"deck\": {}, \"signals\": [{}], \"counters\": {}, \
+             \"peak_live_nodes\": {}, \"peak_by_phase\": {}, \
              \"queue_ms\": {}, \"compile_ms\": {}, \"reach_ms\": {}, \"solve_ms\": {}, \
              \"stolen\": {}}}",
             json_string(&p.deck),
             signals.join(", "),
             counters_json(&p.counters),
+            p.peak_live_nodes(),
+            counters_json(&p.peak_by_phase),
             fmt_ms(p.queue_wait),
             fmt_ms(p.compile),
             fmt_ms(p.reach),
@@ -559,6 +694,9 @@ fn collect_observability(
         );
     }
     json.push(']');
+    if !merged_peak.is_empty() {
+        let _ = write!(json, ", \"peak_by_phase\": {}", counters_json(&merged_peak));
+    }
     if let Some(rep) = report {
         let plan_ms: f64 = rep
             .decks
@@ -569,17 +707,6 @@ fn collect_observability(
     }
     json.push('}');
 
-    // Graft each task's span forest after the front-end's: record ids
-    // are list indices, so appended records shift by the offset.
-    for p in &profiles {
-        let offset = records.len();
-        records.extend(p.spans.iter().cloned().map(|mut r| {
-            if let Some(parent) = r.parent.as_mut() {
-                *parent += offset;
-            }
-            r
-        }));
-    }
     Some(StatsOutput {
         text,
         json,
@@ -587,16 +714,12 @@ fn collect_observability(
     })
 }
 
-/// Prints the `--stats` summary and writes the `--trace` JSONL log.
-fn emit_observability(engine: &EngineArgs, out: &StatsOutput) -> Result<(), std::io::Error> {
+/// Prints the `--stats` summary (the trace file streams separately; see
+/// [`finish_trace`]).
+fn emit_observability(engine: &EngineArgs, out: &StatsOutput) {
     if engine.stats {
         print!("\n{}", out.text);
     }
-    if let Some(path) = &engine.trace {
-        std::fs::write(path, records_to_text(&out.records))?;
-        println!("wrote {path}");
-    }
-    Ok(())
 }
 
 fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
@@ -606,11 +729,26 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
     if args.engine.profiling() {
         telemetry::install(Telemetry::new());
     }
+    // The heartbeat/watchdog channel covers the front-end fixpoints
+    // (reachability, verification EU/EG) on this thread; pool workers
+    // install their own per-shard channels.
+    if args.engine.progress {
+        progress::install_progress(progress::Progress::stderr(
+            std::sync::Arc::new(WallClock::new()),
+            args.model_path.clone(),
+        ));
+    }
+    let mut trace_writer = open_trace(&args.engine)?;
     let bdd = BddManager::new();
     bdd.set_reorder_config(ReorderConfig {
         mode: args.engine.reorder,
         ..Default::default()
     });
+    // Memory timeline: stamp every front-end span/event with this
+    // manager's gauges (workers sample their own per-shard managers).
+    if args.engine.profiling() {
+        install_front_sampler(&bdd);
+    }
     let image = ImageConfig {
         method: args.engine.image,
         simplify: args.engine.simplify,
@@ -744,7 +882,11 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
                 source: src.clone(),
                 observed: args.observed.clone(),
             }];
-            let report = run_batch(&jobs, &par_config(&args.engine))?;
+            let config = par_config(&args.engine);
+            let report = match trace_writer.as_mut() {
+                Some(writer) => run_batch_with_trace(&jobs, &config, writer)?,
+                None => run_batch(&jobs, &config)?,
+            };
             for outcome in report.outcomes() {
                 print_signal_block(&outcome.row);
                 if outcome.row.percent < 100.0 && args.traces > 0 {
@@ -774,6 +916,11 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
     }
 
     let stats_out = collect_observability(&args.engine, Some(&bdd), pool_report.as_ref());
+    finish_trace(
+        &args.engine,
+        trace_writer,
+        stats_out.as_ref().map_or(&[][..], |s| &s.records),
+    )?;
     if let Some(table) = &table_out {
         write_json(
             &args.engine,
@@ -782,7 +929,7 @@ fn run_check(args: &CheckArgs) -> Result<bool, Box<dyn std::error::Error>> {
         )?;
     }
     if let Some(out) = &stats_out {
-        emit_observability(&args.engine, out)?;
+        emit_observability(&args.engine, out);
     }
 
     Ok(all_passed)
@@ -837,9 +984,13 @@ fn run_batch_cmd(args: &BatchArgs) -> Result<bool, Box<dyn std::error::Error>> {
     if args.engine.profiling() {
         telemetry::install(Telemetry::new());
     }
+    let mut trace_writer = open_trace(&args.engine)?;
     let jobs = parse_joblist(&args.joblist)?;
     let config = par_config(&args.engine);
-    let report = run_batch(&jobs, &config)?;
+    let report = match trace_writer.as_mut() {
+        Some(writer) => run_batch_with_trace(&jobs, &config, writer)?,
+        None => run_batch(&jobs, &config)?,
+    };
 
     // Every line below is deterministic (no timings, no node counts, no
     // thread counts), so batch output is byte-identical across `--jobs`.
@@ -883,13 +1034,18 @@ fn run_batch_cmd(args: &BatchArgs) -> Result<bool, Box<dyn std::error::Error>> {
         report.outcomes().count(),
     );
     let stats_out = collect_observability(&args.engine, None, Some(&report));
+    finish_trace(
+        &args.engine,
+        trace_writer,
+        stats_out.as_ref().map_or(&[][..], |s| &s.records),
+    )?;
     write_json(
         &args.engine,
         &report.table(),
         stats_out.as_ref().map(|s| s.json.as_str()),
     )?;
     if let Some(out) = &stats_out {
-        emit_observability(&args.engine, out)?;
+        emit_observability(&args.engine, out);
     }
     Ok(report.all_hold())
 }

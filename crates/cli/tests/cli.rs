@@ -483,3 +483,135 @@ fn json_stats_object_is_deterministic() {
         let _ = std::fs::remove_file(p);
     }
 }
+
+/// `--trace-format chrome` streams a Chrome trace-event JSON array:
+/// square-bracketed, comma-separated objects, `thread_name` metadata
+/// for the worker and front-end tracks, and complete (`ph:"X"`) events
+/// for the run's phases. `ui.perfetto.dev` ingests exactly this shape.
+#[test]
+fn chrome_trace_is_a_perfetto_loadable_array() {
+    let trace = std::env::temp_dir().join("covest-trace-test-chrome.json");
+    let _ = std::fs::remove_file(&trace);
+    let stdout = check_stdout(
+        "models/priority_buffer.smv",
+        &[
+            "--coverage",
+            "--jobs",
+            "4",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--trace-format",
+            "chrome",
+        ],
+    );
+    assert!(stdout.contains("wrote "), "{stdout}");
+    let log = std::fs::read_to_string(&trace).expect("trace written");
+    let body = log.trim();
+    assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
+    for needle in [
+        "\"ph\":\"M\"",
+        "\"name\":\"thread_name\"",
+        "\"args\":{\"name\":\"worker 0\"}",
+        "\"args\":{\"name\":\"front-end\"}",
+        "\"ph\":\"X\"",
+        "\"name\":\"compile\"",
+        "\"name\":\"signal:hi_cnt\"",
+        "\"signals\":\"hi_cnt+lo_cnt\"",
+        "\"stolen\":",
+        "\"mem_peak_close\":",
+    ] {
+        assert!(log.contains(needle), "missing {needle} in:\n{log}");
+    }
+    // Structural JSON-array check without a parser: every event line is
+    // one object, comma-terminated except the last.
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(lines.len() > 3, "trace has events");
+    for line in &lines[1..lines.len() - 1] {
+        assert!(line.starts_with('{'), "{line}");
+        assert!(line.ends_with("},") || line.ends_with('}'), "{line}");
+    }
+    let _ = std::fs::remove_file(&trace);
+}
+
+/// `--progress` emits heartbeat lines on stderr naming the phase,
+/// iteration, BDD size and support width; stdout stays byte-identical
+/// to a run without the flag.
+#[test]
+fn progress_heartbeat_lands_on_stderr_only() {
+    let deck = repo_root().join("models/priority_buffer.smv");
+    let with = covest()
+        .arg("check")
+        .arg(&deck)
+        .args(["--coverage", "--progress"])
+        .output()
+        .expect("runs");
+    assert!(with.status.success());
+    let stderr = String::from_utf8_lossy(&with.stderr);
+    assert!(stderr.contains("progress["), "no heartbeat in:\n{stderr}");
+    assert!(
+        stderr.contains("reach iter=") && stderr.contains(" size=") && stderr.contains(" support="),
+        "heartbeat lacks fixpoint gauges:\n{stderr}"
+    );
+    let without = covest()
+        .arg("check")
+        .arg(&deck)
+        .arg("--coverage")
+        .output()
+        .expect("runs");
+    // The coverage table prints wall-clock columns, so compare stdout
+    // with the timing lines filtered out.
+    let stable = |out: &[u8]| -> String {
+        String::from_utf8_lossy(out)
+            .lines()
+            .filter(|l| !l.contains("ms"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        stable(&with.stdout),
+        stable(&without.stdout),
+        "--progress must not perturb stdout"
+    );
+}
+
+/// `--stats` surfaces the per-phase peak-live attribution: the shard
+/// table's maximum must equal the shard's `bdd_peak_live_nodes` counter
+/// (the acceptance reconciliation), and the explicit peak/reorder line
+/// rides along.
+#[test]
+fn stats_peak_table_reconciles_with_high_water_counter() {
+    let stdout = check_stdout(
+        "models/counter.smv",
+        &["--coverage", "--stats", "--jobs", "4"],
+    );
+    let start = stdout.find("stats:").expect("stats section");
+    let section = &stdout[start..];
+    assert!(section.contains("peak-live by phase"), "{section}");
+    assert!(section.contains("peak live "), "{section}");
+    assert!(section.contains("  reorder "), "{section}");
+
+    // Parse the *shard* block: its counters (including the high-water
+    // mark) followed by its peak table.
+    let shard_at = section.find("  shard ").expect("shard block");
+    let shard = &section[shard_at..];
+    let peak_counter: u64 = shard
+        .lines()
+        .find(|l| l.trim_start().starts_with("bdd_peak_live_nodes"))
+        .and_then(|l| l.split_whitespace().last())
+        .expect("bdd_peak_live_nodes line")
+        .parse()
+        .expect("counter parses");
+    let table_at = shard.find("peak-live by phase").expect("peak table");
+    let table_max = shard[table_at..]
+        .lines()
+        .skip(1)
+        .take_while(|l| l.starts_with("      "))
+        .filter_map(|l| l.split_whitespace().last())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .max()
+        .expect("table rows");
+    assert_eq!(
+        table_max, peak_counter,
+        "peak table max must equal bdd_peak_live_nodes:\n{shard}"
+    );
+}

@@ -304,6 +304,14 @@ impl<'m> CoverageEstimator<'m> {
         } else {
             (covered, space)
         };
+        // Deterministic coverage-span payload: BDD sizes of the two
+        // result sets, pure functions of (deck source, config) like the
+        // counters — gathered only under a recorder, since node_count is
+        // a traversal.
+        if telemetry::is_active() {
+            telemetry::span_field("covered_nodes", covered.node_count() as u64);
+            telemetry::span_field("space_nodes", space.node_count() as u64);
+        }
         drop(coverage_span);
         let coverage_time = t1.elapsed();
         let coverage_nodes = mgr.table_size();

@@ -19,6 +19,12 @@
 //!   and `crates/bench`; everything else must go through
 //!   `covest_telemetry::Stopwatch` so the deterministic-counters /
 //!   timings split stays auditable.
+//! - `progress-eprintln` — engine crates must not write to stderr
+//!   directly: runtime diagnostics go through the progress/watchdog
+//!   channel (`covest_telemetry::progress`), which is throttled,
+//!   labeled, and clock-injectable. `eprintln!` is allowed only in the
+//!   CLI (user-facing errors/usage), binaries (`src/bin/`), tests, and
+//!   the progress module itself.
 //!
 //! A finding on a line ending in `// devlint: allow(<rule>)` is
 //! suppressed. Exit status: 0 clean, 1 findings, 2 usage/IO error.
@@ -156,6 +162,17 @@ fn cache_fields(line: &str) -> Vec<String> {
     fields
 }
 
+/// `true` for the paths where `eprintln!` is sanctioned: the CLI's
+/// user-facing errors, standalone binaries, tests, and the progress
+/// channel itself.
+fn eprintln_exempt(crates: &Path, path: &Path) -> bool {
+    path.starts_with(crates.join("cli"))
+        || path == crates.join("telemetry").join("src").join("progress.rs")
+        || path
+            .components()
+            .any(|c| c.as_os_str() == "bin" || c.as_os_str() == "tests")
+}
+
 fn run(root: &Path) -> std::io::Result<Vec<Finding>> {
     let crates = root.join("crates");
     let mut sources = Vec::new();
@@ -200,6 +217,16 @@ fn run(root: &Path) -> std::io::Result<Vec<Finding>> {
                 "Instant::now()",
                 "raw-instant",
                 "use covest_telemetry::Stopwatch instead of raw Instant",
+                &mut findings,
+            );
+        }
+        if !eprintln_exempt(&crates, path) {
+            scan_lines(
+                path,
+                &src,
+                "eprintln!",
+                "progress-eprintln",
+                "engine crates report through covest_telemetry::progress, not stderr",
                 &mut findings,
             );
         }
@@ -287,6 +314,26 @@ mod tests {
         assert!(rules.iter().any(|m| m.contains("bar_memo")));
         assert!(rules.iter().any(|m| m.contains("clear_caches")));
         assert!(!rules.iter().any(|m| m.contains("foo_cache")));
+    }
+
+    #[test]
+    fn eprintln_exemptions_cover_the_sanctioned_sites_only() {
+        let crates = Path::new("crates");
+        assert!(eprintln_exempt(crates, &crates.join("cli/src/main.rs")));
+        assert!(eprintln_exempt(
+            crates,
+            &crates.join("telemetry/src/progress.rs")
+        ));
+        assert!(eprintln_exempt(
+            crates,
+            &crates.join("circuits/src/bin/gen_models.rs")
+        ));
+        assert!(eprintln_exempt(crates, &crates.join("par/tests/parity.rs")));
+        assert!(!eprintln_exempt(crates, &crates.join("par/src/shard.rs")));
+        assert!(!eprintln_exempt(
+            crates,
+            &crates.join("telemetry/src/lib.rs")
+        ));
     }
 
     #[test]

@@ -50,6 +50,17 @@ impl SymbolicFsm {
                     ],
                 );
             }
+            // Same gating for the heartbeat/watchdog channel: the size
+            // and support reads are only worth paying when someone
+            // listens.
+            if telemetry::progress::progress_active() {
+                telemetry::progress::fixpoint_progress(
+                    "reach",
+                    steps,
+                    reached.node_count() as u64,
+                    reached.support().len() as u64,
+                );
+            }
         }
     }
 

@@ -45,6 +45,22 @@ pub struct ModelChecker<'m> {
     care: Option<(Func, SimplifyConfig)>,
 }
 
+/// Reports one CTL fixpoint iteration to the progress/watchdog channel
+/// (see [`covest_telemetry::progress`]): the iterate's node count and
+/// support width are what the heartbeat prints and the stall detector
+/// watches. Both reads cost a traversal, so unmonitored runs pay only
+/// one thread-local check per iteration.
+fn fixpoint_tick(phase: &str, iteration: u64, iterate: &Func) {
+    if covest_telemetry::progress::progress_active() {
+        covest_telemetry::progress::fixpoint_progress(
+            phase,
+            iteration,
+            iterate.node_count() as u64,
+            iterate.support().len() as u64,
+        );
+    }
+}
+
 impl<'m> ModelChecker<'m> {
     /// Creates a checker with no fairness constraints.
     pub fn new(fsm: &'m SymbolicFsm) -> Self {
@@ -258,6 +274,7 @@ impl<'m> ModelChecker<'m> {
             let pre = self.fsm.preimage(&self.shrink(&z));
             let next = z.or(&p.and(&pre));
             iters += 1;
+            fixpoint_tick("eu", iters, &next);
             if next == z {
                 covest_telemetry::count("eu_iterations", iters);
                 return z;
@@ -274,6 +291,7 @@ impl<'m> ModelChecker<'m> {
         // νZ. p ∧ ⋀_c EX E[p U (Z ∧ c)]
         let constraints = self.fairness.clone();
         let mut z = self.fsm.manager().constant(true);
+        let mut fair_iters = 0u64;
         loop {
             // Seed with z ∧ p rather than p: unsimplified, the iterates
             // form a decreasing chain anyway (z ∧ F(z) = F(z)), but with
@@ -291,6 +309,8 @@ impl<'m> ModelChecker<'m> {
                 next = next.and(&pre);
             }
             covest_telemetry::count("eg_fair_iterations", 1);
+            fair_iters += 1;
+            fixpoint_tick("eg_fair", fair_iters, &next);
             if next == z {
                 return z;
             }
@@ -306,6 +326,7 @@ impl<'m> ModelChecker<'m> {
             let pre = self.fsm.preimage(&self.shrink(&z));
             let next = z.and(&pre);
             iters += 1;
+            fixpoint_tick("eg", iters, &next);
             if next == z {
                 covest_telemetry::count("eg_iterations", iters);
                 return z;

@@ -69,6 +69,6 @@ mod shard;
 
 pub use plan::{DeckJob, ParConfig, WorkPlan};
 pub use pool::{
-    run_batch, run_sequential, BatchReport, DeckReport, ParError, SchedStats, ShardProfile,
-    SignalOutcome,
+    run_batch, run_batch_with_trace, run_sequential, BatchReport, DeckReport, ParError, SchedStats,
+    ShardProfile, SignalOutcome,
 };

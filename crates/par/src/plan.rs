@@ -47,7 +47,7 @@ impl DeckJob {
 }
 
 /// Configuration for planning and running a parallel coverage batch.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct ParConfig {
     /// Thread budget for the worker pool (`0` = one worker per available
     /// core). The budget is shared by *all* shards of a batch — many
@@ -84,6 +84,32 @@ pub struct ParConfig {
     /// way; only manager size and wall-clock differ. See DESIGN.md
     /// "Static deck analysis & cone-of-influence".
     pub coi: bool,
+    /// Emit the throttled stderr progress heartbeat (and arm the
+    /// fixpoint watchdog) on every shard and on the sequential
+    /// baseline. Pure stderr observability — never reaches a report
+    /// byte. See [`covest_telemetry::progress`].
+    pub progress: bool,
+    /// The clock stamping profile spans, queue waits, and the progress
+    /// throttle. `None` (the default) means a fresh
+    /// [`covest_telemetry::WallClock`] per batch; tests inject a
+    /// [`covest_telemetry::ManualClock`] to freeze every timestamp and
+    /// make whole span forests byte-comparable across runs.
+    pub clock: Option<Arc<dyn covest_telemetry::Clock>>,
+}
+
+impl std::fmt::Debug for ParConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParConfig")
+            .field("jobs", &self.jobs)
+            .field("image", &self.image)
+            .field("reorder", &self.reorder)
+            .field("uncovered_limit", &self.uncovered_limit)
+            .field("profile", &self.profile)
+            .field("coi", &self.coi)
+            .field("progress", &self.progress)
+            .field("clock", &self.clock.as_ref().map(|_| "injected"))
+            .finish()
+    }
 }
 
 impl Default for ParConfig {
@@ -95,6 +121,8 @@ impl Default for ParConfig {
             uncovered_limit: 10,
             profile: false,
             coi: true,
+            progress: false,
+            clock: None,
         }
     }
 }
@@ -109,6 +137,16 @@ impl ParConfig {
                 .unwrap_or(1),
             n => n,
         }
+    }
+
+    /// The clock one batch runs under: the injected one, or a fresh
+    /// [`covest_telemetry::WallClock`] with its epoch at the call. One
+    /// shared clock per batch keeps every worker's span timestamps on a
+    /// single timeline, which is what makes merged trace tracks line up.
+    pub(crate) fn batch_clock(&self) -> Arc<dyn covest_telemetry::Clock> {
+        self.clock
+            .clone()
+            .unwrap_or_else(|| Arc::new(covest_telemetry::WallClock::new()))
     }
 }
 

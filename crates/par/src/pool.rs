@@ -130,12 +130,42 @@ pub struct ShardProfile {
     /// `true` if the shard was executed by a worker other than the one
     /// it was dealt to. Scheduling observability only.
     pub stolen: bool,
+    /// Index of the pool worker that executed the shard (the thief, if
+    /// stolen). Scheduling observability only — it is also the shard's
+    /// trace track: tid = `worker + 1` (tid 0 is the driver).
+    pub worker: usize,
+    /// Per-phase peak-live attribution table (`compile` / `reach` /
+    /// `care_install` / `signal:NAME` / `other` → peak live nodes), the
+    /// fold of the span forest's memory samples — deterministic, and
+    /// its maximum equals the `bdd_peak_live_nodes` counter exactly.
+    /// See [`covest_telemetry::memory::peak_by_phase`].
+    pub peak_by_phase: Counters,
     /// Deterministic counters: the telemetry tallies recorded during the
     /// shard (image calls, fixpoint iterations, …) plus the manager's
     /// [`covest_bdd::BddStats`] as `bdd_`-prefixed entries.
     pub counters: Counters,
     /// The shard's span/event forest (see [`covest_telemetry`]).
+    /// Emptied after streaming when the run carries a trace sink.
     pub spans: Vec<SpanRecord>,
+}
+
+impl ShardProfile {
+    /// The shard manager's live-node high-water mark (the
+    /// `bdd_peak_live_nodes` counter) — also the maximum of
+    /// [`ShardProfile::peak_by_phase`].
+    pub fn peak_live_nodes(&self) -> u64 {
+        self.counters.get("bdd_peak_live_nodes")
+    }
+
+    /// `(before, after)` live-node sizes of the post-compile sifting
+    /// pass (the `bdd_reorder_size_before`/`_after` counters; both zero
+    /// when reordering never ran).
+    pub fn reorder_sizes(&self) -> (u64, u64) {
+        (
+            self.counters.get("bdd_reorder_size_before"),
+            self.counters.get("bdd_reorder_size_after"),
+        )
+    }
 }
 
 /// All results for one deck, in signal declaration order.
@@ -240,7 +270,30 @@ impl WorkPlan {
     /// for the failed analysis with the lowest task index if any fails
     /// (deterministic under racing failures).
     pub fn run(&self, config: &ParConfig) -> Result<BatchReport, ParError> {
-        let (slots, steals, workers) = run_pool(self, config);
+        self.run_inner(config, None)
+    }
+
+    /// [`WorkPlan::run`], streaming every profiled shard's span forest
+    /// into `sink` as results arrive — one track per worker, the shard
+    /// root span tagged with its `stolen` flag. Streamed forests are
+    /// dropped from the returned profiles ([`ShardProfile::spans`] comes
+    /// back empty), so a long batch holds at most one shard's records at
+    /// a time. Without [`ParConfig::profile`] there are no records and
+    /// the sink stays untouched.
+    pub fn run_with_trace(
+        &self,
+        config: &ParConfig,
+        sink: &mut dyn covest_telemetry::chrome::TraceSink,
+    ) -> Result<BatchReport, ParError> {
+        self.run_inner(config, Some(sink))
+    }
+
+    fn run_inner(
+        &self,
+        config: &ParConfig,
+        sink: Option<&mut dyn covest_telemetry::chrome::TraceSink>,
+    ) -> Result<BatchReport, ParError> {
+        let (slots, steals, workers) = run_pool(self, config, sink);
         let mut report = merge_shard_results(&self.decks, &self.tasks, &self.shards, slots)?;
         report.sched = SchedStats {
             workers,
@@ -370,6 +423,27 @@ fn merge_shard_results(
 ///
 /// See [`WorkPlan::plan`] and [`WorkPlan::run`].
 pub fn run_batch(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchReport, ParError> {
+    run_batch_inner(jobs, config, None)
+}
+
+/// [`run_batch`] with a streaming trace sink — see
+/// [`WorkPlan::run_with_trace`]. Profiled fleets always take the pool,
+/// so every shard's forest streams; a fleet routed to the sequential
+/// baseline (only possible unprofiled) records nothing and leaves the
+/// sink untouched.
+pub fn run_batch_with_trace(
+    jobs: &[DeckJob],
+    config: &ParConfig,
+    sink: &mut dyn covest_telemetry::chrome::TraceSink,
+) -> Result<BatchReport, ParError> {
+    run_batch_inner(jobs, config, Some(sink))
+}
+
+fn run_batch_inner(
+    jobs: &[DeckJob],
+    config: &ParConfig,
+    sink: Option<&mut dyn covest_telemetry::chrome::TraceSink>,
+) -> Result<BatchReport, ParError> {
     let plan = WorkPlan::plan(jobs, config)?;
     if !config.profile && (plan.num_shards() <= 1 || plan.fleet_est_bits() < MIN_POOL_BITS) {
         let mut report = run_sequential(jobs, config)?;
@@ -381,7 +455,7 @@ pub fn run_batch(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchReport, Pa
         };
         return Ok(report);
     }
-    plan.run(config)
+    plan.run_inner(config, sink)
 }
 
 /// The sequential baseline: the same decks analyzed the way the
@@ -398,8 +472,27 @@ pub fn run_batch(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchReport, Pa
 ///
 /// [`ParError::Plan`] / [`ParError::Task`] mirroring the parallel path.
 pub fn run_sequential(jobs: &[DeckJob], config: &ParConfig) -> Result<BatchReport, ParError> {
+    /// Uninstalls the progress channel on every exit path (the `?`s
+    /// below would otherwise leave it on the caller's thread).
+    struct ProgressGuard(bool);
+    impl Drop for ProgressGuard {
+        fn drop(&mut self) {
+            if self.0 {
+                covest_telemetry::progress::uninstall_progress();
+            }
+        }
+    }
     let mut reports = Vec::with_capacity(jobs.len());
     for job in jobs {
+        let _progress = ProgressGuard(config.progress);
+        if config.progress {
+            covest_telemetry::progress::install_progress(
+                covest_telemetry::progress::Progress::stderr(
+                    config.batch_clock(),
+                    job.name.clone(),
+                ),
+            );
+        }
         let bdd = BddManager::new();
         bdd.set_reorder_config(ReorderConfig {
             mode: config.reorder,

@@ -27,7 +27,8 @@ use covest_bdd::{BddManager, ReorderConfig, ReorderMode};
 use covest_core::{CoverageEstimator, CoverageOptions, PropertyVerdict, ReportRow};
 use covest_mc::ModelChecker;
 use covest_smv::Module;
-use covest_telemetry::{self as telemetry, Clock, Stopwatch, Telemetry, WallClock};
+use covest_telemetry::chrome::TraceSink;
+use covest_telemetry::{self as telemetry, memory, progress, Clock, Stopwatch, Telemetry};
 
 use crate::plan::{ParConfig, Task, TaskKind, WorkPlan};
 use crate::pool::{ShardProfile, SignalOutcome, TaskPayload};
@@ -64,10 +65,29 @@ pub(crate) type ShardEntries = Vec<(usize, Result<TaskPayload, String>)>;
 /// optional profile.
 pub(crate) type ShardResult = (Result<ShardEntries, String>, Option<ShardProfile>);
 
+/// Installs the telemetry memory sampler over `bdd` on the current
+/// thread. The closure holds its own manager handle (an `Rc` clone), so
+/// the caller **must** [`memory::clear_mem_sampler`] before the shard
+/// ends or the sampler would keep the whole arena alive.
+pub(crate) fn install_mem_sampler(bdd: &BddManager) {
+    let gauges = bdd.clone();
+    memory::set_mem_sampler(move || {
+        let (live, bytes, peak) = gauges.mem_gauges();
+        memory::MemSample {
+            live_nodes: live as u64,
+            arena_bytes: bytes as u64,
+            peak_live_nodes: peak,
+        }
+    });
+}
+
 /// Executes one shard on a fresh private manager. Pure in (deck source,
 /// config): compile once, reach once, then the member signals in
-/// declaration order. `queue_wait` and `stolen` are scheduling
-/// observability only and reach nothing but the (non-parity) profile.
+/// declaration order. `queue_wait`, `stolen` and `worker` are
+/// scheduling observability only and reach nothing but the (non-parity)
+/// profile. `clock` is the batch-shared timeline every profile span is
+/// stamped on.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_shard(
     deck_name: &str,
     shard: &Shard,
@@ -75,12 +95,25 @@ pub(crate) fn run_shard(
     config: &ParConfig,
     queue_wait: Duration,
     stolen: bool,
+    worker: usize,
+    clock: &Arc<dyn Clock>,
 ) -> ShardResult {
     if config.profile {
-        telemetry::install(Telemetry::new());
+        telemetry::install(Telemetry::with_clock(clock.clone()));
     }
     let bdd = BddManager::new();
+    if config.profile {
+        install_mem_sampler(&bdd);
+    }
+    if config.progress {
+        progress::install_progress(progress::Progress::stderr(
+            clock.clone(),
+            format!("shard:{deck_name}"),
+        ));
+    }
     let result = run_shard_phases(&bdd, deck_name, shard, tasks, config);
+    memory::clear_mem_sampler();
+    progress::uninstall_progress();
     let recorder = telemetry::uninstall();
     match result {
         Ok((entries, compile, reach, solve)) => {
@@ -104,6 +137,8 @@ pub(crate) fn run_shard(
                     reach,
                     solve,
                     stolen,
+                    worker,
+                    peak_by_phase: memory::peak_by_phase(&spans),
                     counters,
                     spans,
                 }
@@ -128,6 +163,17 @@ fn run_shard_phases(
     config: &ParConfig,
 ) -> Result<(ShardEntries, Duration, Duration, Duration), String> {
     let _shard_span = telemetry::span(format!("shard:{deck_name}"));
+    if telemetry::is_active() {
+        let signals: Vec<&str> = shard
+            .tasks
+            .iter()
+            .filter_map(|&ti| match &tasks[ti].kind {
+                TaskKind::Coverage { signal, .. } => Some(signal.as_str()),
+                TaskKind::VerifyOnly => None,
+            })
+            .collect();
+        telemetry::span_label("signals", &signals.join("+"));
+    }
     bdd.set_reorder_config(ReorderConfig {
         mode: config.reorder,
         ..Default::default()
@@ -234,14 +280,24 @@ fn run_shard_phases(
 /// largest shard still queued there, which moves the most work per
 /// steal. All work is enqueued before the workers start, so a full
 /// unsuccessful scan means the pool is drained and the worker exits.
+///
+/// When `sink` is given, each finished shard's span forest is streamed
+/// out of the result loop as it arrives — one track per **worker**
+/// (tid = worker index + 1; tid 0 is reserved for the driver), batches
+/// in per-worker execution order — and dropped from the profile, so
+/// trace memory stays bounded by one shard whatever the batch size.
+/// The shard root span is tagged with its `stolen` flag at stream time
+/// (a scheduling fact, so it must stay out of the parity-checked
+/// in-memory profile).
 pub(crate) fn run_pool(
     plan: &WorkPlan,
     config: &ParConfig,
+    mut sink: Option<&mut dyn TraceSink>,
 ) -> (Vec<Option<ShardResult>>, usize, usize) {
     let workers = plan.shards.len().min(config.effective_jobs()).max(1);
     let mut order: Vec<usize> = (0..plan.shards.len()).collect();
     order.sort_by_key(|&s| std::cmp::Reverse(plan.shards[s].weight));
-    let clock = WallClock::new();
+    let clock = config.batch_clock();
     let deques: Vec<Mutex<VecDeque<(usize, Duration)>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (rank, &s) in order.iter().enumerate() {
@@ -290,6 +346,8 @@ pub(crate) fn run_pool(
                     config,
                     queue_wait,
                     stolen,
+                    w,
+                    clock,
                 );
                 if tx.send((s, result)).is_err() {
                     break;
@@ -297,7 +355,23 @@ pub(crate) fn run_pool(
             });
         }
         drop(tx);
-        for (s, result) in rx {
+        for (s, mut result) in rx {
+            if let Some(sink) = sink.as_deref_mut() {
+                if let Some(profile) = result.1.as_mut() {
+                    if !profile.spans.is_empty() {
+                        if let Some(root) = profile.spans.first_mut() {
+                            root.fields
+                                .push(("stolen".to_owned(), u64::from(profile.stolen)));
+                        }
+                        sink.write_track(
+                            profile.worker as u64 + 1,
+                            &format!("worker {}", profile.worker),
+                            &profile.spans,
+                        );
+                        profile.spans = Vec::new();
+                    }
+                }
+            }
             slots[s] = Some(result);
         }
     });

@@ -65,7 +65,12 @@ fn job_count_does_not_change_the_report() {
     let decks = all_decks();
     let base = ParConfig::default();
     let plan = WorkPlan::plan(&decks, &base).expect("plans");
-    let one = plan.run(&ParConfig { jobs: 1, ..base }).expect("jobs=1");
+    let one = plan
+        .run(&ParConfig {
+            jobs: 1,
+            ..base.clone()
+        })
+        .expect("jobs=1");
     let four = plan.run(&ParConfig { jobs: 4, ..base }).expect("jobs=4");
     assert_semantic_parity("jobs=1 vs jobs=4", &one, &four);
     for (a, b) in one.outcomes().zip(four.outcomes()) {
@@ -100,7 +105,14 @@ fn report_bytes_survive_forced_stealing() {
     }
 
     let base = ParConfig::default();
-    let one = run_batch(&decks, &ParConfig { jobs: 1, ..base }).expect("jobs=1");
+    let one = run_batch(
+        &decks,
+        &ParConfig {
+            jobs: 1,
+            ..base.clone()
+        },
+    )
+    .expect("jobs=1");
     let eight = run_batch(&decks, &ParConfig { jobs: 8, ..base }).expect("jobs=8");
     assert!(
         !one.sched.routed_sequential && !eight.sched.routed_sequential,

@@ -9,8 +9,13 @@
 //! every parity assertion here.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-use covest_par::{run_batch, BatchReport, DeckJob, ParConfig, ShardProfile, WorkPlan};
+use covest_par::{
+    run_batch, run_batch_with_trace, BatchReport, DeckJob, ParConfig, ShardProfile, WorkPlan,
+};
+use covest_telemetry::chrome::{TraceFormat, TraceWriter};
+use covest_telemetry::{memory, ManualClock};
 
 /// Every bundled circuit (generated deck + its Table-2 suite) plus
 /// every checked-in `models/*.smv` deck — the same fleet the parity
@@ -191,6 +196,132 @@ fn profiles_absent_unless_requested() {
         report.decks.iter().all(|d| d.profiles.is_empty()),
         "profiles must only be collected when ParConfig::profile is set"
     );
+}
+
+/// A profiled config driven by an injected [`ManualClock`]: the clock
+/// never advances, so every wall-clock stamp in the record stream ties
+/// at zero and the *entire* span forest — names, nesting, deterministic
+/// fields, memory-timeline samples — becomes parity-comparable.
+fn clocked(jobs: usize) -> ParConfig {
+    ParConfig {
+        jobs,
+        profile: true,
+        clock: Some(Arc::new(ManualClock::new())),
+        ..Default::default()
+    }
+}
+
+/// Under an injected manual clock, two identical profiled runs agree on
+/// the complete span forests — including the memory-timeline samples
+/// (`mem_live`/`mem_bytes`/`mem_peak` and their `_close` twins) stamped
+/// at every span boundary and BFS step — and on the peak-live
+/// attribution tables folded from them. The table's maximum must also
+/// reconcile exactly with the shard manager's high-water counter.
+#[test]
+fn memory_timelines_identical_across_repeat_runs() {
+    let decks = all_decks();
+    let a = run_batch(&decks, &clocked(2)).expect("first run");
+    let b = run_batch(&decks, &clocked(2)).expect("second run");
+    assert_counter_parity("clocked repeat", &a, &b);
+    for (x, y) in profiles(&a).iter().zip(profiles(&b)) {
+        let tag = format!("{} / {:?}", x.deck, x.signals);
+        assert_eq!(x.spans, y.spans, "{tag}: span forest drifted");
+        assert!(
+            x.spans
+                .iter()
+                .any(|r| r.fields.iter().any(|(n, _)| n == memory::OPEN_FIELDS[0])),
+            "{tag}: no memory samples in the span forest"
+        );
+        assert_eq!(
+            x.peak_by_phase, y.peak_by_phase,
+            "{tag}: peak attribution drifted"
+        );
+        assert_eq!(
+            memory::table_peak(&x.peak_by_phase),
+            x.peak_live_nodes(),
+            "{tag}: peak table must reconcile with bdd_peak_live_nodes"
+        );
+    }
+}
+
+/// The span forests themselves are `--jobs`-independent: a shard records
+/// the same spans, fields, labels and memory samples whether the pool
+/// ran one worker or four (the `worker` index and the durations differ,
+/// but under the manual clock every in-record stamp is zero).
+#[test]
+fn span_forests_identical_across_job_counts() {
+    let decks = all_decks();
+    let a = run_batch(&decks, &clocked(1)).expect("jobs=1 run");
+    let b = run_batch(&decks, &clocked(4)).expect("jobs=4 run");
+    assert_counter_parity("clocked jobs 1 vs 4", &a, &b);
+    for (x, y) in profiles(&a).iter().zip(profiles(&b)) {
+        let tag = format!("{} / {:?}", x.deck, x.signals);
+        assert_eq!(x.spans, y.spans, "{tag}: span forest depends on jobs");
+        assert_eq!(
+            x.peak_by_phase, y.peak_by_phase,
+            "{tag}: peak attribution depends on jobs"
+        );
+    }
+}
+
+/// The streamed Chrome trace carries the same spans and args at every
+/// job count. Track ids, track order, and the `stolen` scheduling flag
+/// legitimately differ, so events are normalized (tid scrubbed, stolen
+/// dropped, metadata lines excluded) and compared as sorted multisets.
+#[test]
+fn chrome_trace_events_identical_across_job_counts() {
+    fn normalized_events(jobs: usize) -> Vec<String> {
+        let decks = all_decks();
+        let mut writer = TraceWriter::new(Vec::new(), TraceFormat::Chrome);
+        run_batch_with_trace(&decks, &clocked(jobs), &mut writer).expect("profiled traced run");
+        let text = String::from_utf8(writer.into_inner().expect("vec sink")).expect("utf-8 trace");
+        let mut events: Vec<String> = text
+            .lines()
+            .filter(|l| l.contains("\"ph\":\"X\"") || l.contains("\"ph\":\"i\""))
+            .map(|l| {
+                let mut e = l.trim_end_matches(',').to_owned();
+                for stolen in [",\"stolen\":0", ",\"stolen\":1"] {
+                    e = e.replace(stolen, "");
+                }
+                let at = e.find("\"tid\":").expect("events carry a tid");
+                let rest = e[at + 6..].find(',').expect("tid is not last") + at + 6;
+                format!("{}\"tid\":_{}", &e[..at], &e[rest..])
+            })
+            .collect();
+        events.sort();
+        events
+    }
+    let one = normalized_events(1);
+    let four = normalized_events(4);
+    assert!(!one.is_empty(), "trace recorded no events");
+    assert_eq!(
+        one, four,
+        "chrome trace span names/args must not depend on --jobs"
+    );
+}
+
+/// Streaming empties the profile's span buffer (the writer owns the
+/// records now), while the unstreamed run keeps them — the bounded
+/// memory contract of `--trace` on long batches.
+#[test]
+fn streaming_drains_profile_span_buffers() {
+    let decks = all_decks();
+    let mut writer = TraceWriter::new(Vec::new(), TraceFormat::Jsonl);
+    let streamed = run_batch_with_trace(&decks, &clocked(2), &mut writer).expect("streamed");
+    writer.finish().expect("vec sink");
+    let buffered = run_batch(&decks, &clocked(2)).expect("buffered");
+    assert!(
+        profiles(&streamed).iter().all(|p| p.spans.is_empty()),
+        "streamed profiles must not retain span forests"
+    );
+    assert!(
+        profiles(&buffered).iter().all(|p| !p.spans.is_empty()),
+        "unstreamed profiles must retain span forests"
+    );
+    // Draining the spans must not lose the attribution table.
+    for (s, b) in profiles(&streamed).iter().zip(profiles(&buffered)) {
+        assert_eq!(s.peak_by_phase, b.peak_by_phase, "{}", s.deck);
+    }
 }
 
 /// Queue wait is attributed per shard as (dequeue − enqueue), so no

@@ -52,6 +52,10 @@
 //! assert!(rec.to_text().contains("\"name\":\"compile\""));
 //! ```
 
+pub mod chrome;
+pub mod memory;
+pub mod progress;
+
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -267,6 +271,10 @@ pub struct SpanRecord {
     /// Deterministic numeric payload (iteration counts, node counts, …)
     /// in attachment order.
     pub fields: Vec<(String, u64)>,
+    /// Deterministic string payload (signal lists, modes, …) in
+    /// attachment order. Rendered alongside [`SpanRecord::fields`] in
+    /// every serialization.
+    pub labels: Vec<(String, String)>,
 }
 
 /// Serializes a record forest as JSONL: one JSON object per record, in
@@ -275,41 +283,67 @@ pub struct SpanRecord {
 pub fn records_to_text(records: &[SpanRecord]) -> String {
     let mut out = String::new();
     for (id, r) in records.iter().enumerate() {
-        let kind = match r.kind {
-            RecordKind::Span => "span",
-            RecordKind::Event => "event",
-        };
-        let _ = write!(
-            out,
-            "{{\"type\":\"{kind}\",\"id\":{id},\"parent\":{},\"name\":\"{}\",\"start_us\":{}",
-            r.parent.map_or("null".to_owned(), |p| p.to_string()),
-            escape_json(&r.name),
-            r.start.as_micros(),
-        );
-        if r.kind == RecordKind::Span {
-            let _ = write!(
-                out,
-                ",\"end_us\":{}",
-                r.end
-                    .map_or("null".to_owned(), |e| e.as_micros().to_string())
-            );
-        }
-        if !r.fields.is_empty() {
-            out.push_str(",\"fields\":{");
-            for (i, (name, value)) in r.fields.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                let _ = write!(out, "\"{}\":{value}", escape_json(name));
-            }
-            out.push('}');
-        }
-        out.push_str("}\n");
+        write_record_json(&mut out, r, id, r.parent, None);
     }
     out
 }
 
-fn escape_json(s: &str) -> String {
+/// Writes one record as a JSONL line. `id`/`parent` are passed
+/// explicitly so streaming writers can rebase indices when
+/// concatenating several forests into one file; `tid` (when given)
+/// tags the line with its track (pool worker) index.
+pub(crate) fn write_record_json(
+    out: &mut String,
+    r: &SpanRecord,
+    id: usize,
+    parent: Option<usize>,
+    tid: Option<u64>,
+) {
+    let kind = match r.kind {
+        RecordKind::Span => "span",
+        RecordKind::Event => "event",
+    };
+    let _ = write!(
+        out,
+        "{{\"type\":\"{kind}\",\"id\":{id},\"parent\":{},\"name\":\"{}\",\"start_us\":{}",
+        parent.map_or("null".to_owned(), |p| p.to_string()),
+        escape_json(&r.name),
+        r.start.as_micros(),
+    );
+    if r.kind == RecordKind::Span {
+        let _ = write!(
+            out,
+            ",\"end_us\":{}",
+            r.end
+                .map_or("null".to_owned(), |e| e.as_micros().to_string())
+        );
+    }
+    if let Some(tid) = tid {
+        let _ = write!(out, ",\"tid\":{tid}");
+    }
+    if !r.fields.is_empty() || !r.labels.is_empty() {
+        out.push_str(",\"fields\":{");
+        let mut first = true;
+        for (name, value) in &r.fields {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{value}", escape_json(name));
+        }
+        for (name, value) in &r.labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":\"{}\"", escape_json(name), escape_json(value));
+        }
+        out.push('}');
+    }
+    out.push_str("}\n");
+}
+
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -391,7 +425,7 @@ impl Telemetry {
         records_to_text(&self.records)
     }
 
-    fn open_span(&mut self, name: String) -> usize {
+    fn open_span(&mut self, name: String, sample: Option<memory::MemSample>) -> usize {
         let idx = self.records.len();
         self.records.push(SpanRecord {
             kind: RecordKind::Span,
@@ -399,32 +433,55 @@ impl Telemetry {
             parent: self.open.last().copied(),
             start: self.clock.now(),
             end: None,
-            fields: Vec::new(),
+            fields: sample.map(memory::open_fields).unwrap_or_default(),
+            labels: Vec::new(),
         });
         self.open.push(idx);
         idx
     }
 
-    fn close_span(&mut self, idx: usize) {
+    fn close_span(&mut self, idx: usize, sample: Option<memory::MemSample>) {
         let now = self.clock.now();
+        if let Some(s) = sample {
+            self.records[idx].fields.extend(memory::close_fields(s));
+        }
         self.records[idx].end = Some(now);
         self.open.retain(|&i| i != idx);
     }
 
-    fn push_event(&mut self, name: String, fields: &[(&str, u64)]) {
+    fn push_event(
+        &mut self,
+        name: String,
+        fields: &[(&str, u64)],
+        sample: Option<memory::MemSample>,
+    ) {
+        let mut fields: Vec<(String, u64)> =
+            fields.iter().map(|&(n, v)| (n.to_owned(), v)).collect();
+        if let Some(s) = sample {
+            fields.extend(memory::open_fields(s));
+        }
         self.records.push(SpanRecord {
             kind: RecordKind::Event,
             name,
             parent: self.open.last().copied(),
             start: self.clock.now(),
             end: None,
-            fields: fields.iter().map(|&(n, v)| (n.to_owned(), v)).collect(),
+            fields,
+            labels: Vec::new(),
         });
     }
 
     fn attach_field(&mut self, name: &str, value: u64) {
         if let Some(&idx) = self.open.last() {
             self.records[idx].fields.push((name.to_owned(), value));
+        }
+    }
+
+    fn attach_label(&mut self, name: &str, value: &str) {
+        if let Some(&idx) = self.open.last() {
+            self.records[idx]
+                .labels
+                .push((name.to_owned(), value.to_owned()));
         }
     }
 }
@@ -464,10 +521,16 @@ pub fn is_active() -> bool {
 /// its children.
 #[must_use = "the span closes when the guard drops"]
 pub fn span(name: impl Into<String>) -> SpanGuard {
+    if !is_active() {
+        return SpanGuard { idx: None };
+    }
+    // Sampled before the recorder borrow: the sampler closes over the
+    // driver's `BddManager` and must stay free to re-enter telemetry.
+    let sample = memory::sample();
     let idx = CURRENT.with(|c| {
         c.borrow_mut()
             .as_mut()
-            .map(|rec| rec.open_span(name.into()))
+            .map(|rec| rec.open_span(name.into(), sample))
     });
     SpanGuard { idx }
 }
@@ -475,9 +538,13 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
 /// Records an instantaneous event with deterministic numeric fields
 /// under the innermost open span. No-op without a recorder.
 pub fn event(name: impl Into<String>, fields: &[(&str, u64)]) {
+    if !is_active() {
+        return;
+    }
+    let sample = memory::sample();
     CURRENT.with(|c| {
         if let Some(rec) = c.borrow_mut().as_mut() {
-            rec.push_event(name.into(), fields);
+            rec.push_event(name.into(), fields, sample);
         }
     });
 }
@@ -503,6 +570,46 @@ pub fn span_field(name: &str, value: u64) {
     });
 }
 
+/// Attaches a deterministic string label to the innermost open span
+/// (e.g. the signal list a shard multiplexes). No-op without a recorder
+/// or outside any span.
+pub fn span_label(name: &str, value: &str) {
+    CURRENT.with(|c| {
+        if let Some(rec) = c.borrow_mut().as_mut() {
+            rec.attach_label(name, value);
+        }
+    });
+}
+
+/// The names of the currently open spans joined by `/` (outermost
+/// first) — the "where are we" context the progress heartbeat prints.
+/// Empty without a recorder or outside any span.
+pub fn open_span_path() -> String {
+    CURRENT.with(|c| {
+        c.borrow().as_ref().map_or_else(String::new, |rec| {
+            let names: Vec<&str> = rec
+                .open
+                .iter()
+                .map(|&i| rec.records[i].name.as_str())
+                .collect();
+            names.join("/")
+        })
+    })
+}
+
+/// A snapshot of the currently open spans — `(name, start)` outermost
+/// first — for watchdog diagnostics. Empty without a recorder.
+pub fn open_span_snapshot() -> Vec<(String, Duration)> {
+    CURRENT.with(|c| {
+        c.borrow().as_ref().map_or_else(Vec::new, |rec| {
+            rec.open
+                .iter()
+                .map(|&i| (rec.records[i].name.clone(), rec.records[i].start))
+                .collect()
+        })
+    })
+}
+
 /// Closes its span on drop. Obtained from [`span`].
 #[derive(Debug)]
 pub struct SpanGuard {
@@ -512,9 +619,10 @@ pub struct SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(idx) = self.idx {
+            let sample = memory::sample();
             CURRENT.with(|c| {
                 if let Some(rec) = c.borrow_mut().as_mut() {
-                    rec.close_span(idx);
+                    rec.close_span(idx, sample);
                 }
             });
         }

@@ -1,0 +1,366 @@
+//! The progress + watchdog channel: a throttled stderr heartbeat for
+//! long symbolic fixpoints, and a stall detector for the hangs dynamic
+//! reordering (and future frontier exchange) can cause.
+//!
+//! Fixpoint loops — reachability BFS, `EU`/`EG` iteration — call
+//! [`fixpoint_progress`] once per iteration, guarded by
+//! [`progress_active`] so the node/support counts it reports are only
+//! computed when someone is watching. A [`Progress`] channel installed
+//! on the thread then:
+//!
+//! - emits a heartbeat line (`progress[label]: path/phase iter=…
+//!   size=… live=…`) at most once per throttle interval, measured on
+//!   the injected [`Clock`] so tests drive the throttle with a
+//!   [`ManualClock`](crate::ManualClock);
+//! - watches the iterate's `(size, support)` signature and, once it
+//!   has not changed for `stall_after` consecutive iterations, flags
+//!   the fixpoint **once**: a `watchdog:` line plus a diagnostic
+//!   snapshot of the open span stack on the sink, and a
+//!   `watchdog_stall` event in the telemetry record stream.
+//!
+//! An unchanged signature is how a *stuck* fixpoint looks from outside
+//! (the iterate may still be semantically moving — the watchdog flags,
+//! it does not kill), and it is exactly the signature a reordering-
+//! thrashed or livelocked run exhibits.
+//!
+//! This module is the only place in the engine crates allowed to write
+//! progress output to stderr — a devlint rule keeps stray `eprintln!`
+//! out of library code.
+
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::{memory, open_span_path, open_span_snapshot, Clock};
+
+/// Default heartbeat throttle: at most one line per interval.
+pub const DEFAULT_INTERVAL: Duration = Duration::from_millis(500);
+/// Default watchdog patience, in consecutive unchanged iterations.
+pub const DEFAULT_STALL_AFTER: u64 = 64;
+
+/// A per-thread progress channel. Install with [`install_progress`];
+/// fixpoint loops feed it through [`fixpoint_progress`].
+pub struct Progress {
+    clock: Arc<dyn Clock>,
+    interval: Duration,
+    stall_after: u64,
+    label: String,
+    sink: Box<dyn std::io::Write + Send>,
+    last_emit: Option<Duration>,
+    watch: Option<Watch>,
+}
+
+/// The watchdog's view of the current fixpoint.
+struct Watch {
+    phase: String,
+    size: u64,
+    support: u64,
+    /// Consecutive iterations with an unchanged `(size, support)`.
+    stale: u64,
+    /// Whether this plateau has already been reported.
+    flagged: bool,
+}
+
+impl std::fmt::Debug for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Progress")
+            .field("label", &self.label)
+            .field("interval", &self.interval)
+            .field("stall_after", &self.stall_after)
+            .finish()
+    }
+}
+
+impl Progress {
+    /// A channel writing to `sink`, throttled on `clock`. `label` tags
+    /// every line (the shard or driver name); `stall_after` is the
+    /// watchdog patience in iterations.
+    pub fn new(
+        clock: Arc<dyn Clock>,
+        interval: Duration,
+        stall_after: u64,
+        label: impl Into<String>,
+        sink: Box<dyn std::io::Write + Send>,
+    ) -> Self {
+        Progress {
+            clock,
+            interval,
+            stall_after: stall_after.max(1),
+            label: label.into(),
+            sink,
+            last_emit: None,
+            watch: None,
+        }
+    }
+
+    /// The production channel: stderr, default throttle and patience.
+    pub fn stderr(clock: Arc<dyn Clock>, label: impl Into<String>) -> Self {
+        Progress::new(
+            clock,
+            DEFAULT_INTERVAL,
+            DEFAULT_STALL_AFTER,
+            label,
+            Box::new(std::io::stderr()),
+        )
+    }
+}
+
+thread_local! {
+    static PROGRESS: RefCell<Option<Progress>> = const { RefCell::new(None) };
+}
+
+/// Installs `channel` as the current thread's progress sink. Replaces
+/// any previously installed channel.
+pub fn install_progress(channel: Progress) {
+    PROGRESS.with(|p| *p.borrow_mut() = Some(channel));
+}
+
+/// Removes and returns the current thread's progress channel, if any.
+pub fn uninstall_progress() -> Option<Progress> {
+    PROGRESS.with(|p| p.borrow_mut().take())
+}
+
+/// `true` if a progress channel is installed on this thread. Fixpoint
+/// loops check this before computing the (non-free) node and support
+/// counts an iteration report needs.
+pub fn progress_active() -> bool {
+    PROGRESS.with(|p| p.borrow().is_some())
+}
+
+/// Reports one fixpoint iteration: `phase` is the loop's name (`reach`,
+/// `eu`, `eg`, `eg_fair`), `size` the iterate's BDD node count and
+/// `support` its support width. Heartbeats are throttled; the watchdog
+/// fires once per plateau. No-op without an installed channel.
+pub fn fixpoint_progress(phase: &str, iteration: u64, size: u64, support: u64) {
+    // The span path, stack snapshot and memory sample all touch *other*
+    // thread-locals, so they are gathered before borrowing PROGRESS.
+    let path = open_span_path();
+    let live = memory::sample().map(|s| s.live_nodes);
+    let stalled = PROGRESS.with(|p| {
+        let mut slot = p.borrow_mut();
+        let pr = slot.as_mut()?;
+        let stale = match &mut pr.watch {
+            Some(w) if w.phase == phase && w.size == size && w.support == support => {
+                w.stale += 1;
+                w.stale
+            }
+            w => {
+                *w = Some(Watch {
+                    phase: phase.to_owned(),
+                    size,
+                    support,
+                    stale: 0,
+                    flagged: false,
+                });
+                0
+            }
+        };
+        let watch = pr.watch.as_mut().expect("watch just set");
+        let fire = stale >= pr.stall_after && !watch.flagged;
+        if fire {
+            watch.flagged = true;
+        }
+
+        let now = pr.clock.now();
+        let due = pr
+            .last_emit
+            .is_none_or(|at| now.saturating_sub(at) >= pr.interval);
+        if due {
+            pr.last_emit = Some(now);
+            let where_ = if path.is_empty() {
+                phase.to_owned()
+            } else {
+                format!("{path}/{phase}")
+            };
+            let live = live.map_or(String::new(), |l| format!(" live={l}"));
+            let _ = writeln!(
+                pr.sink,
+                "progress[{}]: {where_} iter={iteration} size={size} support={support}{live}",
+                pr.label
+            );
+        }
+        fire.then_some(stale)
+    });
+
+    if let Some(stale) = stalled {
+        report_stall(phase, iteration, size, support, stale);
+    }
+}
+
+/// Emits the watchdog diagnostic: the stall line plus an open-span
+/// snapshot on the progress sink, and a `watchdog_stall` event into
+/// the telemetry record stream.
+fn report_stall(phase: &str, iteration: u64, size: u64, support: u64, stale: u64) {
+    // The event goes first: event() samples memory and borrows the
+    // recorder, neither of which may happen under the PROGRESS borrow.
+    crate::event(
+        "watchdog_stall",
+        &[
+            ("iteration", iteration),
+            ("size", size),
+            ("support", support),
+            ("stale", stale),
+        ],
+    );
+    let snapshot = open_span_snapshot();
+    PROGRESS.with(|p| {
+        let mut slot = p.borrow_mut();
+        let Some(pr) = slot.as_mut() else { return };
+        let _ = writeln!(
+            pr.sink,
+            "watchdog[{}]: fixpoint `{phase}` iterate unchanged (size={size}, \
+             support={support}) for {stale} consecutive iterations at iter={iteration}",
+            pr.label
+        );
+        for (name, start) in &snapshot {
+            let _ = writeln!(
+                pr.sink,
+                "watchdog[{}]:   open span `{name}` since {}us",
+                pr.label,
+                start.as_micros()
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{install, span, uninstall, ManualClock, Telemetry};
+    use std::sync::Mutex;
+
+    /// A cloneable in-memory sink the tests can read back.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn channel(interval: Duration, stall_after: u64) -> (Arc<ManualClock>, SharedBuf) {
+        let clock = Arc::new(ManualClock::new());
+        let buf = SharedBuf::default();
+        install_progress(Progress::new(
+            clock.clone(),
+            interval,
+            stall_after,
+            "test",
+            Box::new(buf.clone()),
+        ));
+        (clock, buf)
+    }
+
+    #[test]
+    fn heartbeat_throttles_on_the_injected_clock() {
+        let (clock, buf) = channel(Duration::from_micros(100), u64::MAX);
+        fixpoint_progress("reach", 1, 10, 4); // first tick always emits
+        fixpoint_progress("reach", 2, 11, 4); // throttled
+        clock.advance(Duration::from_micros(99));
+        fixpoint_progress("reach", 3, 12, 4); // still throttled
+        clock.advance(Duration::from_micros(1));
+        fixpoint_progress("reach", 4, 13, 4); // due again
+        uninstall_progress().expect("installed");
+        let text = buf.text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            2,
+            "throttle must swallow ticks 2 and 3: {text}"
+        );
+        assert_eq!(lines[0], "progress[test]: reach iter=1 size=10 support=4");
+        assert_eq!(lines[1], "progress[test]: reach iter=4 size=13 support=4");
+    }
+
+    #[test]
+    fn heartbeat_reports_span_context_and_live_nodes() {
+        let (_clock, buf) = channel(Duration::ZERO, u64::MAX);
+        install(Telemetry::new());
+        memory::set_mem_sampler(|| memory::MemSample {
+            live_nodes: 42,
+            arena_bytes: 0,
+            peak_live_nodes: 42,
+        });
+        {
+            let _s = span("signal:ack");
+            fixpoint_progress("eu", 7, 3, 2);
+        }
+        memory::clear_mem_sampler();
+        uninstall().expect("recorder");
+        uninstall_progress().expect("installed");
+        assert!(
+            buf.text()
+                .contains("progress[test]: signal:ack/eu iter=7 size=3 support=2 live=42"),
+            "got: {}",
+            buf.text()
+        );
+    }
+
+    #[test]
+    fn watchdog_flags_a_plateau_once_and_records_the_event() {
+        let (_clock, buf) = channel(Duration::from_secs(3600), 3);
+        install(Telemetry::new());
+        {
+            let _s = span("reachability");
+            for i in 0..10 {
+                fixpoint_progress("reach", i, 5, 5); // frozen signature
+            }
+        }
+        let rec = uninstall().expect("recorder");
+        uninstall_progress().expect("installed");
+        let text = buf.text();
+        assert_eq!(
+            text.matches("watchdog[test]: fixpoint `reach`").count(),
+            1,
+            "plateau flagged exactly once: {text}"
+        );
+        assert!(text.contains("for 3 consecutive iterations"));
+        assert!(text.contains("open span `reachability`"));
+        let stalls: Vec<_> = rec
+            .records()
+            .iter()
+            .filter(|r| r.name == "watchdog_stall")
+            .collect();
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].fields[3], ("stale".to_owned(), 3));
+    }
+
+    #[test]
+    fn watchdog_rearms_when_the_iterate_moves() {
+        let (_clock, buf) = channel(Duration::from_secs(3600), 2);
+        for i in 0..5 {
+            fixpoint_progress("eg", i, 9, 9);
+        }
+        fixpoint_progress("eg", 5, 10, 9); // signature moved: re-arm
+        for i in 6..12 {
+            fixpoint_progress("eg", i, 10, 9);
+        }
+        uninstall_progress().expect("installed");
+        assert_eq!(
+            buf.text().matches("watchdog[test]: fixpoint `eg`").count(),
+            2,
+            "each plateau flags once: {}",
+            buf.text()
+        );
+    }
+
+    #[test]
+    fn no_channel_means_no_op() {
+        assert!(!progress_active());
+        fixpoint_progress("reach", 1, 1, 1);
+        assert!(uninstall_progress().is_none());
+    }
+}
